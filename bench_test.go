@@ -1,0 +1,316 @@
+package raidx
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each iteration runs the full deterministic virtual-time experiment;
+// the paper-facing quantities (aggregate MB/s, virtual elapsed seconds,
+// improvement factors) are reported as custom metrics, while ns/op and
+// B/op describe the simulation's own cost.
+//
+//	go test -bench=. -benchmem
+//
+// Scales are trimmed relative to `cmd/raidxbench` so the whole suite
+// finishes quickly; EXPERIMENTS.md records full-scale runs.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/andrew"
+	"repro/internal/bench"
+	"repro/internal/chkpt"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/reliab"
+	"repro/internal/workload"
+)
+
+// benchParams is the 12-node Trojans calibration.
+func benchParams() cluster.Params { return cluster.DefaultParams() }
+
+// BenchmarkTable2Analytic evaluates the closed-form Table 2 model.
+func BenchmarkTable2Analytic(b *testing.B) {
+	in := analytic.DefaultInputs()
+	var rows []analytic.Row
+	for i := 0; i < b.N; i++ {
+		rows = analytic.Table2(in)
+	}
+	b.ReportMetric(analytic.SmallWriteAdvantage(in), "raidx/raid5-small-write-x")
+	b.ReportMetric(analytic.ChainedWriteImprovement(in), "raidx/chained-large-write-x")
+	if len(rows) != 5 {
+		b.Fatal("missing rows")
+	}
+}
+
+// figure5 benchmarks one Figure 5 panel for every system.
+func figure5(b *testing.B, pattern bench.Pattern) {
+	cfg := bench.Config{LargeBytes: 2 << 20, SmallOps: 16}
+	for _, sys := range bench.PaperSystems() {
+		sys := sys
+		b.Run(string(sys), func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				r, err := bench.Bandwidth(benchParams(), sys, pattern, 12, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mbps = r.MBps
+			}
+			b.ReportMetric(mbps, "MB/s-aggregate")
+		})
+	}
+}
+
+// BenchmarkFigure5LargeRead reproduces Figure 5(a).
+func BenchmarkFigure5LargeRead(b *testing.B) { figure5(b, bench.LargeRead) }
+
+// BenchmarkFigure5SmallRead reproduces Figure 5(b).
+func BenchmarkFigure5SmallRead(b *testing.B) { figure5(b, bench.SmallRead) }
+
+// BenchmarkFigure5LargeWrite reproduces Figure 5(c).
+func BenchmarkFigure5LargeWrite(b *testing.B) { figure5(b, bench.LargeWrite) }
+
+// BenchmarkFigure5SmallWrite reproduces Figure 5(d).
+func BenchmarkFigure5SmallWrite(b *testing.B) { figure5(b, bench.SmallWrite) }
+
+// BenchmarkTable3Improvement reproduces Table 3's 1-vs-12-client
+// improvement factors for RAID-x and NFS.
+func BenchmarkTable3Improvement(b *testing.B) {
+	cfg := bench.Config{LargeBytes: 2 << 20, SmallOps: 16}
+	for _, sys := range []bench.System{bench.RAIDx, bench.NFS} {
+		sys := sys
+		b.Run(string(sys), func(b *testing.B) {
+			var rows []bench.Table3Row
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = bench.Table3(benchParams(), []bench.System{sys}, 12, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, r := range rows {
+				b.ReportMetric(r.Improvement, fmt.Sprintf("%s-improve-x", r.Pattern))
+			}
+		})
+	}
+}
+
+// BenchmarkFigure6Andrew reproduces Figure 6 at 8 clients per system.
+func BenchmarkFigure6Andrew(b *testing.B) {
+	cfg := andrew.DefaultConfig()
+	for _, sys := range bench.PaperSystems() {
+		sys := sys
+		b.Run(string(sys), func(b *testing.B) {
+			var r bench.AndrewResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = bench.RunAndrew(benchParams(), sys, 8, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Total.Seconds(), "vsec-total")
+			b.ReportMetric(r.Phase["Copy"].Seconds(), "vsec-copy")
+			b.ReportMetric(r.Phase["Make"].Seconds(), "vsec-make")
+		})
+	}
+}
+
+// BenchmarkFigure7Checkpoint reproduces the Figure 7 schemes.
+func BenchmarkFigure7Checkpoint(b *testing.B) {
+	cfg := chkpt.Config{Processes: 12, ImageBytes: 2 << 20, Slots: 3, LocalImages: true}
+	for _, scheme := range chkpt.Schemes() {
+		scheme := scheme
+		b.Run(string(scheme), func(b *testing.B) {
+			var r chkpt.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = bench.RunCheckpoint(benchParams(), scheme, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Makespan.Seconds()*1e3, "vms-makespan")
+			b.ReportMetric(r.MaxWrite.Seconds()*1e3, "vms-maxC")
+			b.ReportMetric(r.MaxSync.Seconds()*1e3, "vms-maxS")
+		})
+	}
+}
+
+// BenchmarkAblationMirrorMode: background vs foreground mirror writes
+// (DESIGN.md ablation 1).
+func BenchmarkAblationMirrorMode(b *testing.B) {
+	cfg := bench.Config{LargeBytes: 2 << 20, SmallOps: 16}
+	for _, mode := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"background", core.Options{}},
+		{"foreground", core.Options{ForegroundMirror: true}},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				r, err := bench.BandwidthOpt(benchParams(), bench.RAIDx, bench.LargeWrite, 12, cfg, mode.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mbps = r.MBps
+			}
+			b.ReportMetric(mbps, "MB/s-aggregate")
+		})
+	}
+}
+
+// BenchmarkAblationGatherVsScatter: clustered mirror groups vs
+// per-block images, measured as time-to-full-redundancy (DESIGN.md
+// ablation 2).
+func BenchmarkAblationGatherVsScatter(b *testing.B) {
+	cfg := bench.Config{LargeBytes: 2 << 20, SmallOps: 16, FlushTimed: true}
+	for _, mode := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"gathered", core.Options{}},
+		{"scattered", core.Options{ScatterMirror: true}},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				r, err := bench.BandwidthOpt(benchParams(), bench.RAIDx, bench.LargeWrite, 12, cfg, mode.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mbps = r.MBps
+			}
+			b.ReportMetric(mbps, "MB/s-to-redundancy")
+		})
+	}
+}
+
+// BenchmarkAblationNbyK: parallelism n vs pipelining depth k at fixed
+// n*k = 12 disks (DESIGN.md ablation 3, paper Section 3).
+func BenchmarkAblationNbyK(b *testing.B) {
+	cfg := bench.Config{LargeBytes: 2 << 20, SmallOps: 16}
+	for _, geo := range []struct{ n, k int }{{12, 1}, {6, 2}, {4, 3}} {
+		geo := geo
+		b.Run(fmt.Sprintf("%dx%d", geo.n, geo.k), func(b *testing.B) {
+			p := benchParams()
+			p.Nodes, p.DisksPerNode = geo.n, geo.k
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				r, err := bench.Bandwidth(p, bench.RAIDx, bench.LargeWrite, geo.n, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mbps = r.MBps
+			}
+			b.ReportMetric(mbps, "MB/s-aggregate")
+		})
+	}
+}
+
+// BenchmarkAblationStaggerDepth: staggering depth vs striped
+// parallelism in checkpointing (DESIGN.md ablation 4, paper Section 6).
+func BenchmarkAblationStaggerDepth(b *testing.B) {
+	for _, slots := range []int{1, 3, 12} {
+		slots := slots
+		b.Run(fmt.Sprintf("slots%d", slots), func(b *testing.B) {
+			cfg := chkpt.Config{Processes: 12, ImageBytes: 2 << 20, Slots: slots, LocalImages: true}
+			var r chkpt.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = bench.RunCheckpoint(benchParams(), chkpt.StripedStaggered, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Makespan.Seconds()*1e3, "vms-makespan")
+			b.ReportMetric(r.MaxWrite.Seconds()*1e3, "vms-maxC")
+		})
+	}
+}
+
+// BenchmarkAblationLockGranularity: FS allocation groups as lock-group
+// granularity (DESIGN.md ablation 5) — Andrew at 8 clients.
+func BenchmarkAblationLockGranularity(b *testing.B) {
+	cfg := andrew.DefaultConfig()
+	for _, groups := range []int{1, 16} {
+		groups := groups
+		b.Run(fmt.Sprintf("groups%d", groups), func(b *testing.B) {
+			var r bench.AndrewResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = bench.RunAndrewOpts(benchParams(), bench.RAIDx, 8, cfg, bench.AndrewOpts{FSGroups: groups})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Total.Seconds(), "vsec-total")
+		})
+	}
+}
+
+// BenchmarkAblationBalancedReads: hot-spot reads with and without the
+// Section 7 load-balancing extension (DESIGN.md ablation 6).
+func BenchmarkAblationBalancedReads(b *testing.B) {
+	cfg := bench.Config{LargeBytes: 2 << 20, SmallOps: 32}
+	for _, mode := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"primary-only", core.Options{}},
+		{"balanced", core.Options{BalanceReads: true}},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var r bench.MixedResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = bench.MixedReadWrite(benchParams(), mode.opt, 6, 6, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.ReadMBps, "MB/s-readers")
+		})
+	}
+}
+
+// BenchmarkTransactions: the OLTP-style mixed workload (paper Section 7
+// application class), reporting throughput and tail latency.
+func BenchmarkTransactions(b *testing.B) {
+	p := benchParams()
+	cfg := workload.OLTP(p.DiskBlocks * int64(p.Nodes) / 4)
+	cfg.Ops = 32
+	for _, sys := range bench.PaperSystems() {
+		sys := sys
+		b.Run(string(sys), func(b *testing.B) {
+			var r bench.TxnResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = bench.Transactions(p, sys, 12, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.OpsPerSec, "ops/s")
+			b.ReportMetric(r.Lat.Percentile(99).Seconds()*1e3, "vms-p99")
+		})
+	}
+}
+
+// BenchmarkReliability: Monte Carlo MTTDL per architecture on the 4x3
+// grid.
+func BenchmarkReliability(b *testing.B) {
+	var rows []reliab.Row
+	for i := 0; i < b.N; i++ {
+		rows = reliab.Compare(4, 3, 256, 10000*time.Hour, 10*time.Hour, 100)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Simulated.Hours()/24, fmt.Sprintf("%s-mttdl-days", r.Arch))
+	}
+}

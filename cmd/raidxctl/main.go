@@ -1,0 +1,249 @@
+// Command raidxctl inspects and drives RAID-x clusters:
+//
+//	raidxctl layout -nodes 4 -disks 1 -rows 3    print the OSM block map
+//	                                             (paper Figures 1a / 3)
+//	raidxctl status -addrs host:port,...         show remote node disks
+//	raidxctl fail -addrs ... -node 2 -disk 0     inject a disk failure
+//	raidxctl replace -addrs ... -node 2 -disk 0  install a blank disk
+//	raidxctl rebuild -addrs ... -node 2 -disk 0  rebuild it from redundancy
+//	raidxctl verify -addrs ...                   check all images match
+//
+// The -addrs list orders nodes; disks are assembled in SIOS order (disk
+// j on node j mod n), so the same list must be used consistently.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cdd"
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/raid"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "layout":
+		err = runLayout(os.Args[2:])
+	case "status":
+		err = withCluster(os.Args[2:], runStatus)
+	case "fail":
+		err = withCluster(os.Args[2:], runFail)
+	case "replace":
+		err = withCluster(os.Args[2:], runReplace)
+	case "rebuild":
+		err = withCluster(os.Args[2:], runRebuild)
+	case "verify":
+		err = withCluster(os.Args[2:], runVerify)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "raidxctl: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raidxctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: raidxctl <layout|status|fail|replace|rebuild|verify> [flags]")
+}
+
+func runLayout(args []string) error {
+	fs := flag.NewFlagSet("layout", flag.ExitOnError)
+	nodes := fs.Int("nodes", 4, "nodes (n)")
+	disks := fs.Int("disks", 1, "disks per node (k)")
+	rows := fs.Int("rows", 3, "data rows per disk to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	per := int64(*rows) * 2 * int64(*nodes-1) // enough slots for the rows shown
+	lay := layout.NewOSM(*nodes, *disks, per*2)
+	total := lay.TotalDisks()
+
+	fmt.Printf("OSM layout, %dx%d array (stripe width %d, mirror groups of %d)\n\n",
+		*nodes, *disks, lay.StripeWidth(), lay.GroupSize())
+	fmt.Printf("%-6s", "")
+	for j := 0; j < total; j++ {
+		fmt.Printf(" %8s", fmt.Sprintf("D%d(n%d)", j, lay.NodeOfDisk(j)))
+	}
+	fmt.Println()
+	for row := int64(0); row < int64(*rows); row++ {
+		fmt.Printf("data%-2d", row)
+		for j := 0; j < total; j++ {
+			b := row*int64(total) + int64(j)
+			if b < lay.DataBlocks() {
+				fmt.Printf(" %8s", fmt.Sprintf("B%d", b))
+			} else {
+				fmt.Printf(" %8s", "-")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	groups := lay.DataBlocks() / int64(lay.GroupSize())
+	shown := int64(0)
+	for g := int64(0); g < groups && shown < int64(*rows)*int64(total); g++ {
+		loc := lay.GroupLoc(g)
+		blocks := lay.GroupBlocks(g)
+		fmt.Printf("mirror group %-3d -> disk D%d (node %d) at block %d: images of B%d..B%d\n",
+			g, loc.Disk, lay.NodeOfDisk(loc.Disk), loc.Block, blocks[0], blocks[len(blocks)-1])
+		shown += int64(len(blocks))
+	}
+	return nil
+}
+
+// rig is a live TCP-assembled RAID-x.
+type rig struct {
+	clients []*cdd.NodeClient
+	devs    []raid.Dev
+	arr     *core.RAIDx
+	nodes   int
+	perNode int
+}
+
+func withCluster(args []string, fn func(fs *flag.FlagSet, r *rig) error) error {
+	fs := flag.NewFlagSet("raidxctl", flag.ExitOnError)
+	addrs := fs.String("addrs", "", "comma-separated node addresses (required)")
+	// The target flags are shared by fail/replace/rebuild and read back
+	// through fs.Lookup in target().
+	fs.Int("node", 0, "target node index")
+	fs.Int("disk", 0, "target local disk index")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addrs == "" {
+		return fmt.Errorf("-addrs is required")
+	}
+	list := strings.Split(*addrs, ",")
+	r := &rig{nodes: len(list)}
+	defer func() {
+		for _, c := range r.clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for _, a := range list {
+		c, err := cdd.Connect(strings.TrimSpace(a))
+		if err != nil {
+			return fmt.Errorf("connect %s: %w", a, err)
+		}
+		r.clients = append(r.clients, c)
+	}
+	r.perNode = r.clients[0].NumDisks()
+	for _, c := range r.clients {
+		if c.NumDisks() != r.perNode {
+			return fmt.Errorf("nodes export different disk counts")
+		}
+	}
+	r.devs = make([]raid.Dev, r.nodes*r.perNode)
+	for local := 0; local < r.perNode; local++ {
+		for node := 0; node < r.nodes; node++ {
+			r.devs[node+local*r.nodes] = r.clients[node].Dev(local)
+		}
+	}
+	arr, err := core.New(r.devs, r.nodes, r.perNode, core.Options{})
+	if err != nil {
+		return err
+	}
+	r.arr = arr
+	return fn(fs, r)
+}
+
+func target(fs *flag.FlagSet, r *rig) (node, disk int, err error) {
+	node = atoi(fs.Lookup("node").Value.String())
+	disk = atoi(fs.Lookup("disk").Value.String())
+	if node < 0 || node >= r.nodes || disk < 0 || disk >= r.perNode {
+		return 0, 0, fmt.Errorf("target n%d/d%d out of range (%d nodes x %d disks)", node, disk, r.nodes, r.perNode)
+	}
+	return node, disk, nil
+}
+
+func atoi(s string) int {
+	var n int
+	fmt.Sscanf(s, "%d", &n)
+	return n
+}
+
+func runStatus(fs *flag.FlagSet, r *rig) error {
+	fmt.Printf("RAID-x over %d node(s) x %d disk(s); capacity %d blocks x %d B\n",
+		r.nodes, r.perNode, r.arr.Blocks(), r.arr.BlockSize())
+	for node, c := range r.clients {
+		fmt.Printf("node %d (%s):\n", node, c.Addr())
+		for local := 0; local < r.perNode; local++ {
+			d := c.Dev(local)
+			d.InvalidateHealth()
+			state := "healthy"
+			if !d.Healthy() {
+				state = "FAILED"
+			}
+			line := fmt.Sprintf("  disk %d (global D%d): %d blocks, %s",
+				local, node+local*r.nodes, d.NumBlocks(), state)
+			if st, err := c.Stats(local); err == nil {
+				line += fmt.Sprintf("  [%d reads / %d writes, %d MB in / %d MB out]",
+					st.Reads, st.Writes, st.BytesWritten>>20, st.BytesRead>>20)
+			}
+			fmt.Println(line)
+		}
+	}
+	return nil
+}
+
+func runFail(fs *flag.FlagSet, r *rig) error {
+	node, disk, err := target(fs, r)
+	if err != nil {
+		return err
+	}
+	if err := r.clients[node].FailDisk(disk); err != nil {
+		return err
+	}
+	fmt.Printf("injected failure into node %d disk %d\n", node, disk)
+	return nil
+}
+
+func runReplace(fs *flag.FlagSet, r *rig) error {
+	node, disk, err := target(fs, r)
+	if err != nil {
+		return err
+	}
+	if err := r.clients[node].ReplaceDisk(disk); err != nil {
+		return err
+	}
+	fmt.Printf("installed blank replacement at node %d disk %d (run rebuild next)\n", node, disk)
+	return nil
+}
+
+func runRebuild(fs *flag.FlagSet, r *rig) error {
+	node, disk, err := target(fs, r)
+	if err != nil {
+		return err
+	}
+	global := node + disk*r.nodes
+	r.devs[global].(*cdd.RemoteDev).InvalidateHealth()
+	if err := r.arr.Rebuild(context.Background(), global); err != nil {
+		return err
+	}
+	fmt.Printf("rebuilt global disk D%d (node %d disk %d)\n", global, node, disk)
+	return nil
+}
+
+func runVerify(fs *flag.FlagSet, r *rig) error {
+	if err := r.arr.Verify(context.Background()); err != nil {
+		return err
+	}
+	fmt.Println("verify: all data blocks match their images")
+	return nil
+}

@@ -1,0 +1,70 @@
+// Command raidxnode runs one cooperative-disk-driver storage node: it
+// exports a set of disks over the CDD wire protocol so remote clients
+// can assemble distributed arrays across nodes. With several raidxnode
+// processes (one per host, or per port on one host) and a client using
+// the raidx package, the serverless cluster of the paper runs for real
+// over TCP.
+//
+//	raidxnode -addr :7000 -disks 1 -blocks 4096 -bs 32768
+//
+// Disks are in-memory by default (this reproduction's substitute for
+// the Trojans cluster's SCSI drives); with -dir they become persistent
+// file-backed images that survive restarts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/cdd"
+	"repro/internal/disk"
+	"repro/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7000", "listen address")
+	nDisks := flag.Int("disks", 1, "disks to export")
+	blocks := flag.Int64("blocks", 4096, "blocks per disk")
+	bs := flag.Int("bs", 32<<10, "block size (bytes)")
+	name := flag.String("name", "node", "node name (disk id prefix)")
+	dir := flag.String("dir", "", "directory for persistent disk images (empty: in-memory)")
+	flag.Parse()
+
+	disks := make([]*disk.Disk, *nDisks)
+	for i := range disks {
+		var st store.BlockStore
+		if *dir == "" {
+			st = store.NewMem(*bs, *blocks)
+		} else {
+			if err := os.MkdirAll(*dir, 0o755); err != nil {
+				log.Fatalf("raidxnode: %v", err)
+			}
+			fst, err := store.OpenFile(filepath.Join(*dir, fmt.Sprintf("%s-d%d.img", *name, i)), *bs, *blocks)
+			if err != nil {
+				log.Fatalf("raidxnode: %v", err)
+			}
+			defer fst.Close()
+			st = fst
+		}
+		disks[i] = disk.New(nil, fmt.Sprintf("%s-d%d", *name, i), st, disk.DefaultModel())
+	}
+	node, err := cdd.ListenAndServe(*addr, disks)
+	if err != nil {
+		log.Fatalf("raidxnode: %v", err)
+	}
+	log.Printf("raidxnode %s: exporting %d disk(s) x %d blocks x %d B on %s",
+		*name, *nDisks, *blocks, *bs, node.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("raidxnode %s: shutting down", *name)
+	if err := node.Close(); err != nil {
+		log.Printf("raidxnode: close: %v", err)
+	}
+}

@@ -1,0 +1,207 @@
+// extsort: an out-of-core external merge sort running entirely on the
+// RAID-x file system — the paper's "data mining" application class.
+// A dataset bigger than the configured memory budget is sorted by
+// streaming sorted runs onto the distributed array and k-way merging
+// them, all through the FS's sequential reader/writer handles.
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sort"
+
+	raidx "repro"
+)
+
+const (
+	records   = 512 << 10 // 512Ki records x 8 B = 4 MiB dataset
+	memBudget = 64 << 10  // in-memory sort capacity: 64Ki records
+	recSize   = 8
+)
+
+func main() {
+	ctx := context.Background()
+	arr, err := raidx.NewRAIDx(raidx.NewMemDevs(4, 2048, 32<<10), 4, 1, raidx.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, err := raidx.Mkfs(ctx, arr, raidx.NewTableLocker(raidx.NewLockTable()), "extsort", raidx.FSOptions{MaxInodes: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate the unsorted dataset (deterministic xorshift).
+	fmt.Printf("generating %d records (%d MiB) on the array...\n", records, records*recSize>>20)
+	in, err := fs.Create(ctx, "/input")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := in.Writer(ctx, 0)
+	state := uint64(88172645463325252)
+	buf := make([]byte, memBudget*recSize)
+	written := 0
+	for written < records {
+		n := memBudget
+		if records-written < n {
+			n = records - written
+		}
+		for i := 0; i < n; i++ {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			binary.BigEndian.PutUint64(buf[i*recSize:], state)
+		}
+		if _, err := w.Write(buf[:n*recSize]); err != nil {
+			log.Fatal(err)
+		}
+		written += n
+	}
+
+	// Phase 1: sorted run generation within the memory budget.
+	fmt.Printf("phase 1: generating sorted runs of %d records...\n", memBudget)
+	r := in.Reader(ctx)
+	var runs []string
+	keys := make([]uint64, memBudget)
+	for runID := 0; ; runID++ {
+		total := 0
+		for total < len(buf) {
+			n, err := r.Read(buf[total:])
+			total += n
+			if err != nil || n == 0 {
+				break
+			}
+		}
+		if total == 0 {
+			break
+		}
+		nrec := total / recSize
+		for i := 0; i < nrec; i++ {
+			keys[i] = binary.BigEndian.Uint64(buf[i*recSize:])
+		}
+		ks := keys[:nrec]
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		for i, k := range ks {
+			binary.BigEndian.PutUint64(buf[i*recSize:], k)
+		}
+		name := fmt.Sprintf("/run%02d", runID)
+		rf, err := fs.Create(ctx, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := rf.Writer(ctx, 0).Write(buf[:total]); err != nil {
+			log.Fatal(err)
+		}
+		runs = append(runs, name)
+		if total < len(buf) {
+			break
+		}
+	}
+	fmt.Printf("  %d runs written\n", len(runs))
+
+	// Phase 2: k-way merge of all runs into /sorted.
+	fmt.Println("phase 2: k-way merge...")
+	type cursor struct {
+		r    *raidx.File
+		rd   interface{ Read([]byte) (int, error) }
+		buf  []byte
+		pos  int
+		fill int
+		done bool
+	}
+	cursors := make([]*cursor, len(runs))
+	for i, name := range runs {
+		f, err := fs.Open(ctx, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := &cursor{r: f, rd: f.Reader(ctx), buf: make([]byte, 64<<10)}
+		cursors[i] = c
+	}
+	refill := func(c *cursor) {
+		if c.done || c.pos < c.fill {
+			return
+		}
+		n, err := c.rd.Read(c.buf)
+		c.fill, c.pos = n-(n%recSize), 0
+		if err != nil || c.fill == 0 {
+			c.done = true
+		}
+	}
+	for _, c := range cursors {
+		refill(c)
+	}
+	out, err := fs.Create(ctx, "/sorted")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ow := out.Writer(ctx, 0)
+	obuf := make([]byte, 0, 64<<10)
+	var merged, last uint64
+	count := 0
+	for {
+		best := -1
+		for i, c := range cursors {
+			if c.done {
+				continue
+			}
+			k := binary.BigEndian.Uint64(c.buf[c.pos:])
+			if best < 0 || k < merged {
+				best, merged = i, k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if count > 0 && merged < last {
+			log.Fatalf("merge produced out-of-order key at %d", count)
+		}
+		last = merged
+		count++
+		obuf = binary.BigEndian.AppendUint64(obuf, merged)
+		if len(obuf) == cap(obuf) {
+			if _, err := ow.Write(obuf); err != nil {
+				log.Fatal(err)
+			}
+			obuf = obuf[:0]
+		}
+		c := cursors[best]
+		c.pos += recSize
+		refill(c)
+	}
+	if len(obuf) > 0 {
+		if _, err := ow.Write(obuf); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if count != records {
+		log.Fatalf("merged %d records, want %d", count, records)
+	}
+
+	// Verify the output end to end.
+	fmt.Println("verifying /sorted...")
+	vf, err := fs.Open(ctx, "/sorted")
+	if err != nil {
+		log.Fatal(err)
+	}
+	vr := vf.Reader(ctx)
+	var prev uint64
+	checked := 0
+	vbuf := make([]byte, 64<<10)
+	for {
+		n, err := vr.Read(vbuf)
+		for i := 0; i+recSize <= n; i += recSize {
+			k := binary.BigEndian.Uint64(vbuf[i:])
+			if checked > 0 && k < prev {
+				log.Fatalf("output not sorted at record %d", checked)
+			}
+			prev = k
+			checked++
+		}
+		if err != nil {
+			break
+		}
+	}
+	fmt.Printf("sorted and verified %d records out-of-core on the distributed array\n", checked)
+}

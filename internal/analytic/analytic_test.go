@@ -1,0 +1,164 @@
+package analytic
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/raid"
+	"repro/internal/store"
+	"repro/internal/vclock"
+)
+
+func TestTable2Values(t *testing.T) {
+	in := Inputs{N: 12, B: 10, M: 64, R: 10 * time.Millisecond, W: 10 * time.Millisecond}
+	rows := Table2(in)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	get := func(a Arch) Row {
+		for _, r := range rows {
+			if r.Arch == a {
+				return r
+			}
+		}
+		t.Fatalf("missing arch %s", a)
+		return Row{}
+	}
+	if get(RAID0).ReadBW != 120 || get(RAID5).ReadBW != 110 {
+		t.Errorf("read BW: raid0=%v raid5=%v", get(RAID0).ReadBW, get(RAID5).ReadBW)
+	}
+	if get(RAIDx).SmallWriteBW != 120 || get(RAID5).SmallWriteBW != 30 {
+		t.Errorf("small write BW: raidx=%v raid5=%v", get(RAIDx).SmallWriteBW, get(RAID5).SmallWriteBW)
+	}
+	if get(RAID5).SmallWrite != 20*time.Millisecond {
+		t.Errorf("raid5 small write = %v, want R+W = 20ms", get(RAID5).SmallWrite)
+	}
+	if get(RAIDx).SmallWrite != 10*time.Millisecond {
+		t.Errorf("raidx small write = %v, want W = 10ms", get(RAIDx).SmallWrite)
+	}
+	// RAID-x large write: mW/n + mW/(n(n-1)) for m=64, W=10ms, n=12:
+	// 53.33ms + 4.85ms.
+	want := 64*10*time.Millisecond/12 + 64*10*time.Millisecond/(12*11)
+	if got := get(RAIDx).LargeWrite; got != want {
+		t.Errorf("raidx large write = %v, want %v", got, want)
+	}
+}
+
+func TestSmallWriteAdvantageIsFour(t *testing.T) {
+	// RAID-5 small writes need 4 disk ops; RAID-x needs 1 foreground
+	// op, so the modelled bandwidth ratio is exactly 4.
+	if got := SmallWriteAdvantage(DefaultInputs()); got != 4 {
+		t.Fatalf("advantage = %v, want 4", got)
+	}
+}
+
+func TestChainedImprovementApproachesTwo(t *testing.T) {
+	small := ChainedWriteImprovement(Inputs{N: 4, B: 10, M: 60, R: time.Millisecond, W: time.Millisecond})
+	big := ChainedWriteImprovement(Inputs{N: 64, B: 10, M: 640, R: time.Millisecond, W: time.Millisecond})
+	if !(small < big && big < 2 && big > 1.9) {
+		t.Fatalf("improvement: n=4 %.3f, n=64 %.3f; want monotone toward 2", small, big)
+	}
+}
+
+func TestFormatRowListsAllArchs(t *testing.T) {
+	rows := Table2(DefaultInputs())
+	s := FormatRow(rows, "small-write")
+	for _, want := range []string{"W", "R+W"} {
+		found := false
+		for i := 0; i+len(want) <= len(s); i++ {
+			if s[i:i+len(want)] == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("formatted row %q missing %q", s, want)
+		}
+	}
+}
+
+// TestSimulatorMatchesModel cross-checks the analytic large-write times
+// against the simulator with all overheads zeroed: one client writing
+// an m-block file to each architecture on n local disks.
+func TestSimulatorMatchesModel(t *testing.T) {
+	const (
+		n      = 4
+		bs     = 1000
+		blocks = 256
+		m      = 48 // full stripes for every layout
+	)
+	W := time.Millisecond // 1000 bytes at 1 MB/s
+	model := disk.Model{Seek: 0, TrackSkip: 0, BandwidthBps: 1e6, PerRequest: 0}
+	in := Inputs{N: n, B: 1, M: m, R: W, W: W}
+	rows := Table2(in)
+	want := map[Arch]time.Duration{}
+	for _, r := range rows {
+		want[r.Arch] = r.LargeWrite
+	}
+
+	build := func(s *vclock.Sim, arch Arch) raid.Array {
+		devs := make([]raid.Dev, n)
+		for i := range devs {
+			devs[i] = disk.New(s, fmt.Sprintf("d%d", i), store.NewMem(bs, blocks), model)
+		}
+		var (
+			a   raid.Array
+			err error
+		)
+		switch arch {
+		case RAID0:
+			a, err = raid.NewRAID0(devs)
+		case RAID5:
+			a, err = raid.NewRAID5(devs)
+		case RAID10:
+			a, err = raid.NewRAID10(devs)
+		case Chained:
+			a, err = raid.NewChained(devs)
+		case RAIDx:
+			a, err = core.New(devs, n, 1, core.Options{})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	for _, arch := range Archs() {
+		s := vclock.New()
+		a := build(s, arch)
+		var took time.Duration
+		s.Spawn("client", func(p *vclock.Proc) {
+			ctx := vclock.With(context.Background(), p)
+			if err := a.WriteBlocks(ctx, 0, make([]byte, m*bs)); err != nil {
+				t.Error(err)
+			}
+			took = p.Now()
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// The simulator should agree with the closed form within 15%
+		// for the foreground-visible write time. RAID-x's analytic form
+		// includes the deferred tail, so its measured foreground time
+		// must be at most the modelled value.
+		w := want[arch]
+		switch arch {
+		case RAIDx:
+			if took > w {
+				t.Errorf("raidx: measured %v exceeds model %v", took, w)
+			}
+			if took != time.Duration(m)*W/n {
+				t.Errorf("raidx foreground write = %v, want mW/n = %v", took, time.Duration(m)*W/n)
+			}
+		default:
+			lo := w - w*15/100
+			hi := w + w*15/100
+			if took < lo || took > hi {
+				t.Errorf("%s: measured %v, model %v (±15%%)", arch, took, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package andrew implements the Andrew benchmark (Howard et al., 1988)
+// as used in the paper's Figure 6: five phases — MakeDir, Copy,
+// ScanDir, ReadAll, and Make — run by each client in a private subtree
+// of a shared file system. The storage architecture underneath the file
+// system is what the experiment compares; the benchmark itself only
+// speaks the fsim API.
+//
+// The Make (compile) phase's processor time is charged on the client's
+// CPU resource in virtual time, calibrated as a cost per compiled byte;
+// its I/O (reading sources, writing objects and an executable) is real
+// file-system I/O.
+package andrew
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/fsim"
+	"repro/internal/vclock"
+)
+
+// Config sizes the benchmark. Defaults follow the original benchmark's
+// shape scaled to block-sized files: a handful of directories, ~70
+// source files of a few KB, objects ~40% of source size.
+type Config struct {
+	// Dirs is the number of subdirectories created in MakeDir.
+	Dirs int
+	// Files is the number of source files copied in Copy.
+	Files int
+	// FileSize is the average source file size in bytes; individual
+	// files vary deterministically around it.
+	FileSize int
+	// ObjRatio is the object-file size as a fraction of its source.
+	ObjRatio float64
+	// CompileCPUPerKB is the processor time charged per KB of source
+	// compiled in the Make phase.
+	CompileCPUPerKB time.Duration
+}
+
+// DefaultConfig matches the original benchmark's shape.
+func DefaultConfig() Config {
+	return Config{
+		Dirs:            20,
+		Files:           70,
+		FileSize:        4 << 10,
+		ObjRatio:        0.4,
+		CompileCPUPerKB: 2 * time.Millisecond,
+	}
+}
+
+// fileSize deterministically varies sizes around the mean.
+func (c Config) fileSize(i int) int {
+	// 0.5x .. 1.5x of the mean.
+	return c.FileSize/2 + (i*2654435761)%c.FileSize
+}
+
+// fileDir assigns file i to a directory.
+func (c Config) fileDir(i int) int { return i % c.Dirs }
+
+// srcName and related helpers name the shared source tree.
+func srcName(i int) string { return fmt.Sprintf("src%03d.c", i) }
+func objName(i int) string { return fmt.Sprintf("src%03d.o", i) }
+
+// PopulateSource builds the shared read-only source tree under
+// srcRoot; run once (untimed) before the benchmark.
+func PopulateSource(ctx context.Context, fs *fsim.FS, srcRoot string, cfg Config) error {
+	if err := fs.MkdirAll(ctx, srcRoot); err != nil {
+		return err
+	}
+	for i := 0; i < cfg.Files; i++ {
+		data := make([]byte, cfg.fileSize(i))
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		if err := fs.WriteFile(ctx, srcRoot+"/"+srcName(i), data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PhaseTimes are the per-phase elapsed times of one run.
+type PhaseTimes struct {
+	MakeDir time.Duration
+	Copy    time.Duration
+	ScanDir time.Duration
+	ReadAll time.Duration
+	Make    time.Duration
+}
+
+// Total sums the phases.
+func (p PhaseTimes) Total() time.Duration {
+	return p.MakeDir + p.Copy + p.ScanDir + p.ReadAll + p.Make
+}
+
+// Phases lists the phase names in benchmark order.
+func Phases() []string { return []string{"MakeDir", "Copy", "ScanDir", "ReadAll", "Make"} }
+
+// ByName returns the named phase's time.
+func (p PhaseTimes) ByName(name string) time.Duration {
+	switch name {
+	case "MakeDir":
+		return p.MakeDir
+	case "Copy":
+		return p.Copy
+	case "ScanDir":
+		return p.ScanDir
+	case "ReadAll":
+		return p.ReadAll
+	case "Make":
+		return p.Make
+	}
+	return 0
+}
+
+// now reads the benchmark clock: virtual if ctx carries a process,
+// real otherwise.
+func now(ctx context.Context) time.Time {
+	if p, ok := vclock.From(ctx); ok {
+		return time.Unix(0, int64(p.Now()))
+	}
+	return time.Now()
+}
+
+// Run executes the five phases in the client's private subtree (root,
+// e.g. "/client3"), copying sources from srcRoot. cpu, when non-nil,
+// receives the Make phase's compile charges.
+func Run(ctx context.Context, fs *fsim.FS, cpu *vclock.Resource, root, srcRoot string, cfg Config) (PhaseTimes, error) {
+	var pt PhaseTimes
+
+	// Phase 1: MakeDir.
+	start := now(ctx)
+	if err := fs.MkdirAll(ctx, root); err != nil {
+		return pt, fmt.Errorf("andrew MakeDir: %w", err)
+	}
+	for d := 0; d < cfg.Dirs; d++ {
+		if err := fs.Mkdir(ctx, fmt.Sprintf("%s/dir%02d", root, d)); err != nil {
+			return pt, fmt.Errorf("andrew MakeDir: %w", err)
+		}
+	}
+	pt.MakeDir = now(ctx).Sub(start)
+
+	// Phase 2: Copy — read each source file, write it into the tree.
+	start = now(ctx)
+	for i := 0; i < cfg.Files; i++ {
+		data, err := fs.ReadFile(ctx, srcRoot+"/"+srcName(i))
+		if err != nil {
+			return pt, fmt.Errorf("andrew Copy read: %w", err)
+		}
+		dst := fmt.Sprintf("%s/dir%02d/%s", root, cfg.fileDir(i), srcName(i))
+		if err := fs.WriteFile(ctx, dst, data); err != nil {
+			return pt, fmt.Errorf("andrew Copy write: %w", err)
+		}
+	}
+	pt.Copy = now(ctx).Sub(start)
+
+	// Phase 3: ScanDir — stat every entry of every directory.
+	start = now(ctx)
+	for d := 0; d < cfg.Dirs; d++ {
+		dir := fmt.Sprintf("%s/dir%02d", root, d)
+		ents, err := fs.ReadDir(ctx, dir)
+		if err != nil {
+			return pt, fmt.Errorf("andrew ScanDir: %w", err)
+		}
+		for _, e := range ents {
+			if _, err := fs.Stat(ctx, dir+"/"+e.Name); err != nil {
+				return pt, fmt.Errorf("andrew ScanDir stat: %w", err)
+			}
+		}
+	}
+	pt.ScanDir = now(ctx).Sub(start)
+
+	// Phase 4: ReadAll — read every copied file.
+	start = now(ctx)
+	for i := 0; i < cfg.Files; i++ {
+		path := fmt.Sprintf("%s/dir%02d/%s", root, cfg.fileDir(i), srcName(i))
+		if _, err := fs.ReadFile(ctx, path); err != nil {
+			return pt, fmt.Errorf("andrew ReadAll: %w", err)
+		}
+	}
+	pt.ReadAll = now(ctx).Sub(start)
+
+	// Phase 5: Make — recompile: read each source, burn CPU, write the
+	// object; then link everything into one executable.
+	start = now(ctx)
+	var exeSize int
+	for i := 0; i < cfg.Files; i++ {
+		path := fmt.Sprintf("%s/dir%02d/%s", root, cfg.fileDir(i), srcName(i))
+		data, err := fs.ReadFile(ctx, path)
+		if err != nil {
+			return pt, fmt.Errorf("andrew Make read: %w", err)
+		}
+		if cpu != nil {
+			if p, ok := vclock.From(ctx); ok {
+				cpu.Use(p, time.Duration(float64(len(data))/1024*float64(cfg.CompileCPUPerKB)))
+			}
+		}
+		obj := make([]byte, int(float64(len(data))*cfg.ObjRatio))
+		for j := range obj {
+			obj[j] = byte(j ^ i)
+		}
+		exeSize += len(obj)
+		dst := fmt.Sprintf("%s/dir%02d/%s", root, cfg.fileDir(i), objName(i))
+		if err := fs.WriteFile(ctx, dst, obj); err != nil {
+			return pt, fmt.Errorf("andrew Make write: %w", err)
+		}
+	}
+	exe := make([]byte, exeSize)
+	if err := fs.WriteFile(ctx, root+"/a.out", exe); err != nil {
+		return pt, fmt.Errorf("andrew Make link: %w", err)
+	}
+	pt.Make = now(ctx).Sub(start)
+	return pt, nil
+}

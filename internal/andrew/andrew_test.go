@@ -1,0 +1,140 @@
+package andrew
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/cdd"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/fsim"
+	"repro/internal/raid"
+	"repro/internal/store"
+)
+
+func testFS(t *testing.T) *fsim.FS {
+	t.Helper()
+	devs := make([]raid.Dev, 4)
+	for i := range devs {
+		devs[i] = disk.New(nil, fmt.Sprintf("d%d", i), store.NewMem(4096, 2048), disk.DefaultModel())
+	}
+	arr, err := core.New(devs, 4, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := fsim.Mkfs(context.Background(), arr, fsim.NewTableLocker(cdd.NewTable()), "andrew", fsim.Options{MaxInodes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Dirs = 4
+	cfg.Files = 10
+	cfg.FileSize = 2048
+	return cfg
+}
+
+func TestRunCompletesAndLeavesArtifacts(t *testing.T) {
+	ctx := context.Background()
+	fs := testFS(t)
+	cfg := smallConfig()
+	if err := PopulateSource(ctx, fs, "/src", cfg); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := Run(ctx, fs, nil, "/cl0", "/src", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Total() != 0 {
+		// Without a virtual clock the phases use wall time; just check
+		// they are non-negative.
+		for _, name := range Phases() {
+			if pt.ByName(name) < 0 {
+				t.Errorf("phase %s negative: %v", name, pt.ByName(name))
+			}
+		}
+	}
+	// Every directory, source copy, object, and the executable exist.
+	for d := 0; d < cfg.Dirs; d++ {
+		if _, err := fs.Stat(ctx, fmt.Sprintf("/cl0/dir%02d", d)); err != nil {
+			t.Fatalf("dir %d missing: %v", d, err)
+		}
+	}
+	for i := 0; i < cfg.Files; i++ {
+		src := fmt.Sprintf("/cl0/dir%02d/src%03d.c", cfg.fileDir(i), i)
+		obj := fmt.Sprintf("/cl0/dir%02d/src%03d.o", cfg.fileDir(i), i)
+		sInfo, err := fs.Stat(ctx, src)
+		if err != nil {
+			t.Fatalf("source copy %d missing: %v", i, err)
+		}
+		if want := int64(cfg.fileSize(i)); sInfo.Size != want {
+			t.Errorf("source copy %d size %d, want %d", i, sInfo.Size, want)
+		}
+		oInfo, err := fs.Stat(ctx, obj)
+		if err != nil {
+			t.Fatalf("object %d missing: %v", i, err)
+		}
+		if want := int64(float64(cfg.fileSize(i)) * cfg.ObjRatio); oInfo.Size != want {
+			t.Errorf("object %d size %d, want %d", i, oInfo.Size, want)
+		}
+	}
+	if _, err := fs.Stat(ctx, "/cl0/a.out"); err != nil {
+		t.Fatalf("executable missing: %v", err)
+	}
+}
+
+func TestTwoClientsPrivateTrees(t *testing.T) {
+	ctx := context.Background()
+	fs := testFS(t)
+	cfg := smallConfig()
+	if err := PopulateSource(ctx, fs, "/src", cfg); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		if _, err := Run(ctx, fs, nil, fmt.Sprintf("/cl%d", c), "/src", cfg); err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	ents, err := fs.ReadDir(ctx, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// /src + /cl0 + /cl1.
+	if len(ents) != 3 {
+		t.Fatalf("root has %d entries, want 3", len(ents))
+	}
+}
+
+func TestConfigSizesDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	for i := 0; i < cfg.Files; i++ {
+		a, b := cfg.fileSize(i), cfg.fileSize(i)
+		if a != b {
+			t.Fatal("fileSize not deterministic")
+		}
+		if a < cfg.FileSize/2 || a >= cfg.FileSize/2+cfg.FileSize {
+			t.Fatalf("fileSize(%d) = %d outside [%d,%d)", i, a, cfg.FileSize/2, cfg.FileSize/2+cfg.FileSize)
+		}
+	}
+}
+
+func TestPhaseAccessors(t *testing.T) {
+	pt := PhaseTimes{MakeDir: 1, Copy: 2, ScanDir: 3, ReadAll: 4, Make: 5}
+	if pt.Total() != 15 {
+		t.Fatalf("total = %d", pt.Total())
+	}
+	sum := int64(0)
+	for _, n := range Phases() {
+		sum += int64(pt.ByName(n))
+	}
+	if sum != 15 {
+		t.Fatalf("phase sum = %d", sum)
+	}
+	if pt.ByName("bogus") != 0 {
+		t.Fatal("unknown phase nonzero")
+	}
+}

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/raid"
+)
+
+// Pattern is one of the four access patterns of Figure 5.
+type Pattern string
+
+// The four panels of Figure 5.
+const (
+	LargeRead  Pattern = "large-read"
+	SmallRead  Pattern = "small-read"
+	LargeWrite Pattern = "large-write"
+	SmallWrite Pattern = "small-write"
+)
+
+// Patterns lists all four in the paper's order.
+func Patterns() []Pattern { return []Pattern{LargeRead, SmallRead, LargeWrite, SmallWrite} }
+
+// Config sets the workload sizes (paper Section 5.1: each client
+// accesses a private 2 MB file for large operations; small operations
+// move 32 KB — one block of a stripe group — per access).
+type Config struct {
+	// LargeBytes is the per-client file size for large read/write.
+	LargeBytes int
+	// SmallOps is how many single-block accesses each client performs
+	// for small read/write.
+	SmallOps int
+	// FlushTimed includes a Flush in the timed region, measuring
+	// time-to-full-redundancy instead of client-visible latency (used
+	// by the mirror-write ablations).
+	FlushTimed bool
+}
+
+// DefaultConfig matches the paper's workload.
+func DefaultConfig() Config {
+	return Config{LargeBytes: 2 << 20, SmallOps: 16}
+}
+
+// Result is one measured point.
+type Result struct {
+	System   System
+	Pattern  Pattern
+	Clients  int
+	Bytes    int64
+	Makespan time.Duration
+	MBps     float64
+	// Bottleneck names the busiest simulated resource of the run and
+	// its utilization — which disk, NIC direction, or CPU capped the
+	// result.
+	Bottleneck     string
+	BottleneckUtil float64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-8s %-12s clients=%-3d %7.2f MB/s", r.System, r.Pattern, r.Clients, r.MBps)
+}
+
+// Bandwidth runs one (system, pattern, client-count) cell of Figure 5
+// on a fresh cluster and reports aggregate bandwidth.
+func Bandwidth(p cluster.Params, sys System, pattern Pattern, clients int, cfg Config) (Result, error) {
+	return BandwidthOpt(p, sys, pattern, clients, cfg, core.Options{})
+}
+
+// BandwidthOpt is Bandwidth with RAID-x engine options (ablations).
+func BandwidthOpt(p cluster.Params, sys System, pattern Pattern, clients int, cfg Config, opt core.Options) (Result, error) {
+	rig, err := NewRig(p, sys, clients, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	bs := rig.Arrays[0].BlockSize()
+	fileBlocks := int64((cfg.LargeBytes + bs - 1) / bs)
+	var perClientBytes int64
+
+	var region int64 // private region per client, in blocks
+	switch pattern {
+	case LargeRead, LargeWrite:
+		region = fileBlocks
+		perClientBytes = fileBlocks * int64(bs)
+	case SmallRead, SmallWrite:
+		// Small accesses stride within a region as large as the file,
+		// touching a different stripe group each time.
+		region = fileBlocks
+		perClientBytes = int64(cfg.SmallOps) * int64(bs)
+	default:
+		return Result{}, fmt.Errorf("bench: unknown pattern %q", pattern)
+	}
+	need := region * int64(clients)
+	if need > rig.Arrays[0].Blocks() {
+		return Result{}, fmt.Errorf("bench: workload needs %d blocks, array has %d", need, rig.Arrays[0].Blocks())
+	}
+	if pattern == LargeRead || pattern == SmallRead {
+		if err := rig.Prefill(need); err != nil {
+			return Result{}, err
+		}
+	}
+
+	body := func(ctx context.Context, client int, arr raid.Array) error {
+		base := int64(client) * region
+		switch pattern {
+		case LargeRead:
+			buf := make([]byte, region*int64(bs))
+			return arr.ReadBlocks(ctx, base, buf)
+		case LargeWrite:
+			buf := make([]byte, region*int64(bs))
+			for i := range buf {
+				buf[i] = byte(client + i)
+			}
+			return arr.WriteBlocks(ctx, base, buf)
+		case SmallRead, SmallWrite:
+			buf := make([]byte, bs)
+			for i := range buf {
+				buf[i] = byte(client ^ i)
+			}
+			// Stride by a prime-ish step so successive ops land in
+			// different stripe groups, like independent small files.
+			step := region/int64(cfg.SmallOps) | 1
+			for t := 0; t < cfg.SmallOps; t++ {
+				b := base + (int64(t)*step)%region
+				var err error
+				if pattern == SmallRead {
+					err = arr.ReadBlocks(ctx, b, buf)
+				} else {
+					err = arr.WriteBlocks(ctx, b, buf)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return nil
+	}
+	work := func(ctx context.Context, client int, arr raid.Array) error {
+		if err := body(ctx, client, arr); err != nil {
+			return err
+		}
+		if cfg.FlushTimed {
+			return arr.Flush(ctx)
+		}
+		return nil
+	}
+
+	makespan, err := rig.RunClients(work)
+	if err != nil {
+		return Result{}, err
+	}
+	total := perClientBytes * int64(clients)
+	mbps := float64(total) / 1e6 / makespan.Seconds()
+	hot := rig.C.Utilization().Hottest()
+	return Result{
+		System:         sys,
+		Pattern:        pattern,
+		Clients:        clients,
+		Bytes:          total,
+		Makespan:       makespan,
+		MBps:           mbps,
+		Bottleneck:     hot.Name,
+		BottleneckUtil: hot.Utilization,
+	}, nil
+}
+
+// Figure5 sweeps systems × patterns × client counts, reproducing all
+// four panels of the paper's Figure 5.
+func Figure5(p cluster.Params, systems []System, patterns []Pattern, clientCounts []int, cfg Config) ([]Result, error) {
+	var out []Result
+	for _, pattern := range patterns {
+		for _, sys := range systems {
+			for _, m := range clientCounts {
+				r, err := Bandwidth(p, sys, pattern, m, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%d clients: %w", sys, pattern, m, err)
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table3Row is one architecture's entry in the paper's Table 3.
+type Table3Row struct {
+	System      System
+	Pattern     Pattern
+	OneClient   float64 // MB/s
+	ManyClients float64 // MB/s
+	Clients     int
+	Improvement float64
+}
+
+// Table3 reproduces the paper's Table 3: achievable bandwidth at 1
+// client and at `clients` clients, with the improvement factor, for
+// large read, large write, and small write.
+func Table3(p cluster.Params, systems []System, clients int, cfg Config) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, sys := range systems {
+		for _, pattern := range []Pattern{LargeRead, LargeWrite, SmallWrite} {
+			one, err := Bandwidth(p, sys, pattern, 1, cfg)
+			if err != nil {
+				return nil, err
+			}
+			many, err := Bandwidth(p, sys, pattern, clients, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table3Row{
+				System:      sys,
+				Pattern:     pattern,
+				OneClient:   one.MBps,
+				ManyClients: many.MBps,
+				Clients:     clients,
+				Improvement: many.MBps / one.MBps,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/chkpt"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/nfssim"
+	"repro/internal/raid"
+)
+
+// Figure7 runs one coordinated checkpoint round under each scheme,
+// reproducing the paper's Figure 7 experiment: centralized and
+// staggered checkpoints go through the NFS server; striped and
+// striped-staggered checkpoints go to the RAID-x array, with each
+// image's OSM mirror groups placed on the owning process's node.
+func Figure7(p cluster.Params, cfg chkpt.Config) ([]chkpt.Result, error) {
+	var out []chkpt.Result
+	for _, scheme := range chkpt.Schemes() {
+		r, err := RunCheckpoint(p, scheme, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", scheme, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunCheckpoint executes one scheme on a fresh cluster.
+func RunCheckpoint(p cluster.Params, scheme chkpt.Scheme, cfg chkpt.Config) (chkpt.Result, error) {
+	striped := scheme == chkpt.Striped || scheme == chkpt.StripedStaggered
+	if !striped {
+		// Capacity parity for the central server, as in RunAndrew.
+		p.DiskBlocks *= int64(p.Nodes * p.DisksPerNode)
+	}
+	c := cluster.New(p)
+
+	arrays := make([]raid.Array, cfg.Processes)
+	nodes := make([]int, cfg.Processes)
+	var err error
+	if striped {
+		for i := 0; i < cfg.Processes; i++ {
+			nodes[i] = i % p.Nodes
+			arrays[i], err = core.New(c.DevView(nodes[i]), p.Nodes, p.DisksPerNode, core.Options{})
+			if err != nil {
+				return chkpt.Result{}, err
+			}
+		}
+	} else {
+		srv, err := nfssim.NewServer(c, 0)
+		if err != nil {
+			return chkpt.Result{}, err
+		}
+		for i := 0; i < cfg.Processes; i++ {
+			nodes[i] = i % p.Nodes
+			arrays[i] = srv.ClientArray(nodes[i])
+		}
+	}
+
+	planCfg := cfg
+	planCfg.LocalImages = cfg.LocalImages && striped
+	plan, err := chkpt.NewPlan(arrays, nodes, planCfg)
+	if err != nil {
+		return chkpt.Result{}, err
+	}
+	return chkpt.Round(c.Sim, arrays, plan, scheme)
+}
+
+// RecoveryComparison measures the paper's two-level recovery for one
+// process on a fresh cluster: a transient restart reading the local
+// OSM-aligned mirror images versus a permanent-failure re-read through
+// the stripes (with one data disk failed).
+func RecoveryComparison(p cluster.Params, cfg chkpt.Config) (transient, permanent time.Duration, err error) {
+	cfg.LocalImages = true
+	c := cluster.New(p)
+	arrays := make([]raid.Array, cfg.Processes)
+	nodes := make([]int, cfg.Processes)
+	for i := 0; i < cfg.Processes; i++ {
+		nodes[i] = i % p.Nodes
+		arrays[i], err = core.New(c.DevView(nodes[i]), p.Nodes, p.DisksPerNode, core.Options{})
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	plan, err := chkpt.NewPlan(arrays, nodes, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Write process 0's image untimed, then fail one data disk that
+	// holds part of it (a disk on another node), forcing the permanent
+	// path through degraded reads.
+	ctx := context.Background()
+	if err := plan.WriteImageForTest(ctx, arrays[0], 0); err != nil {
+		return 0, 0, err
+	}
+	if err := arrays[0].Flush(ctx); err != nil {
+		return 0, 0, err
+	}
+	lay := arrays[0].(*core.RAIDx).Layout()
+	victim := lay.DataLoc(plan.Regions(0)[0].Block).Disk
+	c.Disks[victim].Fail()
+	return chkpt.RecoveryTiming(c.Sim, arrays[0], lay, c.DevView(nodes[0]), plan, 0)
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/raid"
+	"repro/internal/vclock"
+)
+
+// MixedResult reports the reader-side bandwidth of a mixed workload.
+type MixedResult struct {
+	ReadMBps      float64
+	ReadMakespan  time.Duration
+	WriteMakespan time.Duration
+}
+
+// MixedReadWrite runs readers hammering one shared *hot* region (a
+// popular file) while writers stream large writes into private regions
+// — the scenario where RAID-x's BalanceReads option (Section 7's I/O
+// load balancing) pays off: hot blocks are served from both the data
+// copy and the orthogonal image, splitting the hot disks' load.
+func MixedReadWrite(p cluster.Params, opt core.Options, readers, writers int, cfg Config) (MixedResult, error) {
+	total := readers + writers
+	rig, err := NewRig(p, RAIDx, total, opt)
+	if err != nil {
+		return MixedResult{}, err
+	}
+	bs := rig.Arrays[0].BlockSize()
+	region := int64((cfg.LargeBytes + bs - 1) / bs)
+	// Region 0 is the shared hot file; writers get private regions
+	// after it.
+	if region*int64(writers+1) > rig.Arrays[0].Blocks() {
+		return MixedResult{}, fmt.Errorf("bench: mixed workload exceeds capacity")
+	}
+	if err := rig.Prefill(region * int64(writers+1)); err != nil {
+		return MixedResult{}, err
+	}
+
+	var readEnd, writeEnd time.Duration
+	work := func(ctx context.Context, client int, arr raid.Array) error {
+		proc, _ := vclock.From(ctx)
+		if client < readers {
+			// All readers pound the same few hot blocks. The hot set
+			// strides by width+1 so the blocks sit on distinct data
+			// disks AND in distinct mirror groups — balancing can then
+			// spread the load over twice as many spindles.
+			buf := make([]byte, bs)
+			const hot = 4
+			stride := int64(p.Nodes*p.DisksPerNode) + 1
+			for t := 0; t < cfg.SmallOps; t++ {
+				blk := (int64(client+t) % hot) * stride
+				if err := arr.ReadBlocks(ctx, blk, buf); err != nil {
+					return err
+				}
+			}
+			if proc != nil && proc.Now() > readEnd {
+				readEnd = proc.Now()
+			}
+			return nil
+		}
+		base := int64(client-readers+1) * region
+		buf := make([]byte, region*int64(bs))
+		if err := arr.WriteBlocks(ctx, base, buf); err != nil {
+			return err
+		}
+		if proc != nil && proc.Now() > writeEnd {
+			writeEnd = proc.Now()
+		}
+		return nil
+	}
+	if _, err := rig.RunClients(work); err != nil {
+		return MixedResult{}, err
+	}
+	bytesRead := int64(readers) * int64(cfg.SmallOps) * int64(bs)
+	return MixedResult{
+		ReadMBps:      float64(bytesRead) / 1e6 / readEnd.Seconds(),
+		ReadMakespan:  readEnd,
+		WriteMakespan: writeEnd,
+	}, nil
+}

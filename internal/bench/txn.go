@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/raid"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// TxnResult summarizes a transactional mixed-workload run.
+type TxnResult struct {
+	System    System
+	Clients   int
+	Ops       int
+	Makespan  time.Duration
+	OpsPerSec float64
+	Lat       workload.Latencies
+}
+
+func (r TxnResult) String() string {
+	return fmt.Sprintf("%-8s clients=%-3d %8.1f ops/s  %s", r.System, r.Clients, r.OpsPerSec, r.Lat.String())
+}
+
+// Transactions runs the workload mix on each client concurrently over a
+// *shared* working set (all clients hit the same blocks, as an OLTP
+// database would), measuring per-operation latency. Reads of the shared
+// region are prefetched so every read hits real data.
+func Transactions(p cluster.Params, sys System, clients int, cfg workload.Config) (TxnResult, error) {
+	if sys == NFS {
+		// Capacity parity for the single-spindle server, as elsewhere.
+		p.DiskBlocks *= int64(p.Nodes * p.DisksPerNode)
+	}
+	rig, err := NewRig(p, sys, clients, core.Options{})
+	if err != nil {
+		return TxnResult{}, err
+	}
+	if cfg.WorkingSetBlocks > rig.Arrays[0].Blocks() {
+		return TxnResult{}, fmt.Errorf("bench: working set exceeds capacity")
+	}
+	if err := rig.Prefill(cfg.WorkingSetBlocks); err != nil {
+		return TxnResult{}, err
+	}
+	bs := rig.Arrays[0].BlockSize()
+	lats := make([]workload.Latencies, clients)
+
+	work := func(ctx context.Context, client int, arr raid.Array) error {
+		proc, _ := vclock.From(ctx)
+		gen := workload.NewGen(cfg, uint64(client)+1)
+		for t := 0; t < cfg.Ops; t++ {
+			op := gen.Op()
+			buf := make([]byte, op.Blocks*int64(bs))
+			start := proc.Now()
+			var err error
+			if op.Read {
+				err = arr.ReadBlocks(ctx, op.Block, buf)
+			} else {
+				err = arr.WriteBlocks(ctx, op.Block, buf)
+			}
+			if err != nil {
+				return err
+			}
+			lats[client].Add(proc.Now() - start)
+		}
+		return nil
+	}
+	makespan, err := rig.RunClients(work)
+	if err != nil {
+		return TxnResult{}, err
+	}
+	res := TxnResult{System: sys, Clients: clients, Ops: clients * cfg.Ops, Makespan: makespan}
+	for i := range lats {
+		res.Lat.Merge(&lats[i])
+	}
+	res.OpsPerSec = float64(res.Ops) / makespan.Seconds()
+	return res, nil
+}

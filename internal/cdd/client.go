@@ -1,0 +1,261 @@
+package cdd
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/raid"
+	"repro/internal/transport"
+)
+
+// NodeClient is the client module of a CDD: it connects to a remote
+// storage manager and masquerades its disks as local devices.
+type NodeClient struct {
+	c    *transport.Client
+	addr string
+	info infoResp
+}
+
+// Connect dials a CDD node and fetches its disk inventory.
+func Connect(addr string) (*NodeClient, error) {
+	c, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.Call(OpInfo, nil)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("cdd: info from %s: %w", addr, err)
+	}
+	info, err := decodeInfo(raw)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &NodeClient{c: c, addr: addr, info: info}, nil
+}
+
+// Addr reports the remote node's address.
+func (n *NodeClient) Addr() string { return n.addr }
+
+// NumDisks reports how many disks the node exports.
+func (n *NodeClient) NumDisks() int { return int(n.info.Disks) }
+
+// Transport exposes the underlying connection (peer registration).
+func (n *NodeClient) Transport() *transport.Client { return n.c }
+
+// Close tears down the connection.
+func (n *NodeClient) Close() error { return n.c.Close() }
+
+// Dev returns the i-th remote disk as a raid.Dev.
+func (n *NodeClient) Dev(i int) *RemoteDev {
+	return &RemoteDev{
+		n:         n,
+		disk:      uint32(i),
+		bs:        int(n.info.BlockSize),
+		blocks:    n.info.Blocks,
+		healthTTL: 100 * time.Millisecond,
+	}
+}
+
+// Devs returns all of the node's disks as raid.Devs.
+func (n *NodeClient) Devs() []raid.Dev {
+	out := make([]raid.Dev, n.NumDisks())
+	for i := range out {
+		out[i] = n.Dev(i)
+	}
+	return out
+}
+
+// FailDisk injects a failure into a remote disk (fault drills).
+func (n *NodeClient) FailDisk(i int) error {
+	_, err := n.c.Call(OpFail, encodeIOHeader(ioHeader{Disk: uint32(i)}, nil))
+	return err
+}
+
+// ReplaceDisk installs a blank replacement for a remote disk.
+func (n *NodeClient) ReplaceDisk(i int) error {
+	_, err := n.c.Call(OpReplace, encodeIOHeader(ioHeader{Disk: uint32(i)}, nil))
+	return err
+}
+
+// DiskStats holds a remote disk's cumulative counters.
+type DiskStats struct {
+	Reads, Writes, BytesRead, BytesWritten int64
+	Healthy                                bool
+}
+
+// Stats fetches a remote disk's counters.
+func (n *NodeClient) Stats(i int) (DiskStats, error) {
+	raw, err := n.c.Call(OpStats, encodeIOHeader(ioHeader{Disk: uint32(i)}, nil))
+	if err != nil {
+		return DiskStats{}, err
+	}
+	r, err := decodeStats(raw)
+	if err != nil {
+		return DiskStats{}, err
+	}
+	return DiskStats(r), nil
+}
+
+// TryLock atomically try-acquires a range group on this node's lock
+// service.
+func (n *NodeClient) TryLock(owner string, rs []Range) (bool, error) {
+	resp, err := n.c.Call(OpLock, encodeLockMsg(lockMsg{Owner: owner, Ranges: rs}))
+	if err != nil {
+		return false, err
+	}
+	return len(resp) == 1 && resp[0] == 1, nil
+}
+
+// Lock acquires a range group, retrying with backoff until granted or
+// the context is cancelled.
+func (n *NodeClient) Lock(ctx context.Context, owner string, rs []Range) error {
+	backoff := time.Millisecond
+	for {
+		ok, err := n.TryLock(owner, rs)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 32*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// Unlock releases a range group.
+func (n *NodeClient) Unlock(owner string, rs []Range) error {
+	_, err := n.c.Call(OpUnlock, encodeLockMsg(lockMsg{Owner: owner, Ranges: rs}))
+	return err
+}
+
+// UnlockAll releases everything held by owner.
+func (n *NodeClient) UnlockAll(owner string) error {
+	_, err := n.c.Call(OpUnlockAll, encodeLockMsg(lockMsg{Owner: owner}))
+	return err
+}
+
+// LockSnapshot fetches the node's replica of the lock-group table.
+func (n *NodeClient) LockSnapshot() (uint64, []Record, error) {
+	raw, err := n.c.Call(OpLockSnapshot, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return decodeSnapshot(raw)
+}
+
+// RemoteDev is a remote disk masquerading as a local device. It
+// implements raid.Dev, so array engines can be built transparently over
+// any mix of local and remote disks — the essence of the SIOS.
+type RemoteDev struct {
+	n      *NodeClient
+	disk   uint32
+	bs     int
+	blocks int64
+
+	healthTTL time.Duration
+	hmu       sync.Mutex
+	healthy   bool
+	checked   time.Time
+}
+
+var _ raid.Dev = (*RemoteDev)(nil)
+
+// BlockSize implements raid.Dev.
+func (d *RemoteDev) BlockSize() int { return d.bs }
+
+// NumBlocks implements raid.Dev.
+func (d *RemoteDev) NumBlocks() int64 { return d.blocks }
+
+// ReadBlocks implements raid.Dev.
+func (d *RemoteDev) ReadBlocks(_ context.Context, b int64, buf []byte) error {
+	if len(buf)%d.bs != 0 {
+		return fmt.Errorf("cdd: buffer length %d not a multiple of %d", len(buf), d.bs)
+	}
+	resp, err := d.n.c.Call(OpRead, encodeIOHeader(ioHeader{
+		Disk: d.disk, Block: b, Count: uint32(len(buf) / d.bs),
+	}, nil))
+	if err != nil {
+		d.noteOutcome(err)
+		return err
+	}
+	if len(resp) != len(buf) {
+		return fmt.Errorf("cdd: short read: %d of %d bytes", len(resp), len(buf))
+	}
+	copy(buf, resp)
+	return nil
+}
+
+// WriteBlocks implements raid.Dev.
+func (d *RemoteDev) WriteBlocks(_ context.Context, b int64, data []byte) error {
+	_, err := d.n.c.Call(OpWrite, encodeIOHeader(ioHeader{Disk: d.disk, Block: b}, data))
+	d.noteOutcome(err)
+	return err
+}
+
+// WriteBlocksBackground implements raid.Dev: the write travels as a
+// notification, so the caller does not wait for the remote disk. A
+// later Flush or Call on the same connection orders after it.
+func (d *RemoteDev) WriteBlocksBackground(_ context.Context, b int64, data []byte) error {
+	return d.n.c.Notify(OpWriteBG, encodeIOHeader(ioHeader{Disk: d.disk, Block: b}, data))
+}
+
+// Flush implements raid.Dev.
+func (d *RemoteDev) Flush(_ context.Context) error {
+	_, err := d.n.c.Call(OpFlush, encodeIOHeader(ioHeader{Disk: d.disk}, nil))
+	d.noteOutcome(err)
+	return err
+}
+
+// Healthy implements raid.Dev. The answer is cached briefly (healthTTL)
+// to keep engine health sweeps from flooding the network; InvalidateHealth
+// forces the next call to re-check.
+func (d *RemoteDev) Healthy() bool {
+	d.hmu.Lock()
+	if !d.checked.IsZero() && time.Since(d.checked) < d.healthTTL {
+		h := d.healthy
+		d.hmu.Unlock()
+		return h
+	}
+	d.hmu.Unlock()
+	resp, err := d.n.c.Call(OpHealth, encodeIOHeader(ioHeader{Disk: d.disk}, nil))
+	h := err == nil && len(resp) == 1 && resp[0] == 1
+	d.hmu.Lock()
+	d.healthy = h
+	d.checked = time.Now()
+	d.hmu.Unlock()
+	return h
+}
+
+// InvalidateHealth drops the cached health state.
+func (d *RemoteDev) InvalidateHealth() {
+	d.hmu.Lock()
+	d.checked = time.Time{}
+	d.hmu.Unlock()
+}
+
+// noteOutcome updates the cached health from an operation result: a
+// remote disk-failed error marks the device unhealthy immediately.
+func (d *RemoteDev) noteOutcome(err error) {
+	if err == nil {
+		return
+	}
+	// Disk failures render as "disk <id>: failed" (disk.FailedError).
+	if re, ok := err.(*transport.RemoteError); ok && strings.Contains(re.Msg, "failed") {
+		d.hmu.Lock()
+		d.healthy = false
+		d.checked = time.Now()
+		d.hmu.Unlock()
+	}
+}

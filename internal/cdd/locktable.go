@@ -1,0 +1,172 @@
+// Package cdd implements the cooperative disk drivers: the kernel
+// modules of the paper, rebuilt as user-space components with the same
+// three-part structure.
+//
+//   - The storage manager (Manager) exports a node's local disks to the
+//     cluster over the transport protocol.
+//   - The client module (NodeClient / RemoteDev) redirects block I/O to
+//     remote managers, presenting remote disks as local raid.Dev
+//     devices — the device-masquerading technique of Section 4.
+//   - The consistency module (Table) maintains the lock-group table:
+//     records of block ranges granted to a specific CDD client with
+//     write permission, acquired and released atomically, and
+//     replicated to peer CDDs.
+//
+// Together these establish the single I/O space (SIOS): every node sees
+// all nk disks and performs local and remote accesses through one
+// interface, with no central server.
+package cdd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Range is a half-open interval [Start, End) of the global lock space.
+// The file system locks inode and allocation regions; raw-block users
+// may lock block ranges directly.
+type Range struct {
+	Start, End uint64
+}
+
+func (r Range) overlaps(o Range) bool { return r.Start < o.End && o.Start < r.End }
+
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Start, r.End) }
+
+// Record is one entry of the lock-group table: a group of ranges held
+// by one owner.
+type Record struct {
+	Owner  string
+	Ranges []Range
+}
+
+// Table is the lock-group table of the consistency module. Grants are
+// all-or-nothing and atomic: either every requested range is free (or
+// already held by the same owner) and the whole group is granted, or
+// nothing changes.
+type Table struct {
+	mu      sync.Mutex
+	held    map[string][]Range
+	version uint64
+}
+
+// NewTable creates an empty lock-group table.
+func NewTable() *Table {
+	return &Table{held: map[string][]Range{}}
+}
+
+// TryAcquire atomically grants the range group to owner. It reports
+// false (and changes nothing) if any range conflicts with a different
+// owner. Ranges already held by the same owner are permitted.
+func (t *Table) TryAcquire(owner string, rs []Range) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for other, ors := range t.held {
+		if other == owner {
+			continue
+		}
+		for _, o := range ors {
+			for _, r := range rs {
+				if r.overlaps(o) {
+					return false
+				}
+			}
+		}
+	}
+	t.held[owner] = append(t.held[owner], rs...)
+	t.version++
+	return true
+}
+
+// Release atomically removes exactly the given ranges from owner's
+// holdings (ranges must match grants; partial overlap is not split).
+func (t *Table) Release(owner string, rs []Range) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.held[owner]
+	out := cur[:0]
+	for _, h := range cur {
+		drop := false
+		for _, r := range rs {
+			if h == r {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out = append(out, h)
+		}
+	}
+	if len(out) == 0 {
+		delete(t.held, owner)
+	} else {
+		t.held[owner] = out
+	}
+	t.version++
+}
+
+// ReleaseAll drops every range held by owner (client disconnect).
+func (t *Table) ReleaseAll(owner string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.held[owner]; ok {
+		delete(t.held, owner)
+		t.version++
+	}
+}
+
+// Holds reports whether owner currently holds a range overlapping r.
+func (t *Table) Holds(owner string, r Range) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, h := range t.held[owner] {
+		if h.overlaps(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Version reports a counter incremented on every table mutation (used
+// by replication).
+func (t *Table) Version() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
+
+// Snapshot returns the table contents ordered by owner, for replication
+// and introspection.
+func (t *Table) Snapshot() []Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	owners := make([]string, 0, len(t.held))
+	for o := range t.held {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	out := make([]Record, 0, len(owners))
+	for _, o := range owners {
+		rs := make([]Range, len(t.held[o]))
+		copy(rs, t.held[o])
+		out = append(out, Record{Owner: o, Ranges: rs})
+	}
+	return out
+}
+
+// Install replaces the table contents with a replicated snapshot.
+func (t *Table) Install(version uint64, recs []Record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if version <= t.version && t.version != 0 {
+		return // stale replica
+	}
+	t.held = map[string][]Range{}
+	for _, rec := range recs {
+		rs := make([]Range, len(rec.Ranges))
+		copy(rs, rec.Ranges)
+		t.held[rec.Owner] = rs
+	}
+	t.version = version
+}

@@ -1,0 +1,230 @@
+package cdd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/disk"
+	"repro/internal/transport"
+)
+
+// Manager is the storage-manager module of a CDD: it coordinates the
+// use of a node's local disks by remote CDD clients, and hosts a
+// replica of the lock-group table. A node that also mounts arrays acts
+// as client and manager simultaneously — the "both" state of Section 4.
+type Manager struct {
+	disks []*disk.Disk
+	locks *Table
+
+	mu    sync.Mutex
+	peers []*transport.Client // for lock-table replication
+}
+
+// NewManager creates a manager exporting the given local disks.
+func NewManager(disks []*disk.Disk) *Manager {
+	return &Manager{disks: disks, locks: NewTable()}
+}
+
+// Locks exposes the node's lock-group table replica.
+func (m *Manager) Locks() *Table { return m.locks }
+
+// AddPeer registers a peer CDD connection for lock-table replication.
+func (m *Manager) AddPeer(c *transport.Client) {
+	m.mu.Lock()
+	m.peers = append(m.peers, c)
+	m.mu.Unlock()
+}
+
+// replicate pushes the current lock table to all peers (best-effort
+// notifications, matching the paper's asynchronous replica updates).
+func (m *Manager) replicate() {
+	snap := encodeSnapshot(m.locks.Version(), m.locks.Snapshot())
+	m.mu.Lock()
+	peers := append([]*transport.Client(nil), m.peers...)
+	m.mu.Unlock()
+	for _, p := range peers {
+		_ = p.Notify(OpLockReplica, snap) // best effort
+	}
+}
+
+func (m *Manager) disk(i uint32) (*disk.Disk, error) {
+	if int(i) >= len(m.disks) {
+		return nil, fmt.Errorf("cdd: disk %d out of range [0,%d)", i, len(m.disks))
+	}
+	return m.disks[i], nil
+}
+
+// Handle implements transport.Handler.
+func (m *Manager) Handle(op uint8, payload []byte) ([]byte, error) {
+	ctx := context.Background()
+	switch op {
+	case OpInfo:
+		if len(m.disks) == 0 {
+			return nil, errors.New("cdd: node exports no disks")
+		}
+		return encodeInfo(infoResp{
+			Disks:     uint32(len(m.disks)),
+			BlockSize: uint32(m.disks[0].BlockSize()),
+			Blocks:    m.disks[0].NumBlocks(),
+		}), nil
+
+	case OpRead:
+		h, _, err := decodeIOHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		d, err := m.disk(h.Disk)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, int(h.Count)*d.BlockSize())
+		if err := d.ReadBlocks(ctx, h.Block, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+
+	case OpWrite, OpWriteBG:
+		h, data, err := decodeIOHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		d, err := m.disk(h.Disk)
+		if err != nil {
+			return nil, err
+		}
+		if op == OpWriteBG {
+			return nil, d.WriteBlocksBackground(ctx, h.Block, data)
+		}
+		return nil, d.WriteBlocks(ctx, h.Block, data)
+
+	case OpFlush:
+		h, _, err := decodeIOHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		d, err := m.disk(h.Disk)
+		if err != nil {
+			return nil, err
+		}
+		return nil, d.Flush(ctx)
+
+	case OpHealth:
+		h, _, err := decodeIOHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		d, err := m.disk(h.Disk)
+		if err != nil {
+			return nil, err
+		}
+		if d.Healthy() {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+
+	case OpFail:
+		h, _, err := decodeIOHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		d, err := m.disk(h.Disk)
+		if err != nil {
+			return nil, err
+		}
+		d.Fail()
+		return nil, nil
+
+	case OpReplace:
+		h, _, err := decodeIOHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		d, err := m.disk(h.Disk)
+		if err != nil {
+			return nil, err
+		}
+		d.Replace()
+		return nil, nil
+
+	case OpLock:
+		msg, err := decodeLockMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		if m.locks.TryAcquire(msg.Owner, msg.Ranges) {
+			m.replicate()
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+
+	case OpUnlock:
+		msg, err := decodeLockMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		m.locks.Release(msg.Owner, msg.Ranges)
+		m.replicate()
+		return nil, nil
+
+	case OpUnlockAll:
+		msg, err := decodeLockMsg(payload)
+		if err != nil {
+			return nil, err
+		}
+		m.locks.ReleaseAll(msg.Owner)
+		m.replicate()
+		return nil, nil
+
+	case OpLockSnapshot:
+		return encodeSnapshot(m.locks.Version(), m.locks.Snapshot()), nil
+
+	case OpStats:
+		h, _, err := decodeIOHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		d, err := m.disk(h.Disk)
+		if err != nil {
+			return nil, err
+		}
+		r, w, br, bw := d.Stats()
+		return encodeStats(statsResp{
+			Reads: r, Writes: w, BytesRead: br, BytesWritten: bw,
+			Healthy: d.Healthy(),
+		}), nil
+
+	case OpLockReplica:
+		version, recs, err := decodeSnapshot(payload)
+		if err != nil {
+			return nil, err
+		}
+		m.locks.Install(version, recs)
+		return nil, nil
+	}
+	return nil, fmt.Errorf("cdd: unknown op %d", op)
+}
+
+// Node couples a manager with its transport server.
+type Node struct {
+	Manager *Manager
+	Server  *transport.Server
+}
+
+// ListenAndServe starts a CDD node exporting disks on addr
+// ("127.0.0.1:0" picks a free port).
+func ListenAndServe(addr string, disks []*disk.Disk) (*Node, error) {
+	m := NewManager(disks)
+	s, err := transport.Serve(addr, m.Handle)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{Manager: m, Server: s}, nil
+}
+
+// Addr reports the node's bound address.
+func (n *Node) Addr() string { return n.Server.Addr() }
+
+// Close stops the node.
+func (n *Node) Close() error { return n.Server.Close() }

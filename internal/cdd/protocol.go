@@ -1,0 +1,207 @@
+package cdd
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Opcodes of the CDD wire protocol.
+const (
+	// OpInfo returns node metadata: disk count, block size, per-disk
+	// capacity.
+	OpInfo uint8 = iota + 1
+	// OpRead reads count blocks from one disk.
+	OpRead
+	// OpWrite writes blocks to one disk.
+	OpWrite
+	// OpWriteBG is OpWrite as a notification: the deferred mirror push.
+	OpWriteBG
+	// OpFlush drains background work on one disk.
+	OpFlush
+	// OpHealth reports whether a disk is serving requests.
+	OpHealth
+	// OpFail injects a disk failure (testing / fault drills).
+	OpFail
+	// OpReplace swaps in a blank replacement disk.
+	OpReplace
+	// OpLock atomically try-acquires a range group.
+	OpLock
+	// OpUnlock releases a range group.
+	OpUnlock
+	// OpUnlockAll releases everything held by an owner.
+	OpUnlockAll
+	// OpLockSnapshot returns the replicated lock-group table.
+	OpLockSnapshot
+	// OpLockReplica carries a table snapshot to a peer (notification).
+	OpLockReplica
+	// OpStats returns one disk's cumulative operation counters.
+	OpStats
+)
+
+// statsResp is the OpStats response.
+type statsResp struct {
+	Reads, Writes, BytesRead, BytesWritten int64
+	Healthy                                bool
+}
+
+func encodeStats(r statsResp) []byte {
+	b := make([]byte, 33)
+	binary.BigEndian.PutUint64(b[0:8], uint64(r.Reads))
+	binary.BigEndian.PutUint64(b[8:16], uint64(r.Writes))
+	binary.BigEndian.PutUint64(b[16:24], uint64(r.BytesRead))
+	binary.BigEndian.PutUint64(b[24:32], uint64(r.BytesWritten))
+	if r.Healthy {
+		b[32] = 1
+	}
+	return b
+}
+
+func decodeStats(b []byte) (statsResp, error) {
+	if len(b) != 33 {
+		return statsResp{}, fmt.Errorf("cdd: bad stats response length %d", len(b))
+	}
+	return statsResp{
+		Reads:        int64(binary.BigEndian.Uint64(b[0:8])),
+		Writes:       int64(binary.BigEndian.Uint64(b[8:16])),
+		BytesRead:    int64(binary.BigEndian.Uint64(b[16:24])),
+		BytesWritten: int64(binary.BigEndian.Uint64(b[24:32])),
+		Healthy:      b[32] == 1,
+	}, nil
+}
+
+// infoResp is the OpInfo response.
+type infoResp struct {
+	Disks     uint32
+	BlockSize uint32
+	Blocks    int64
+}
+
+func encodeInfo(i infoResp) []byte {
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint32(b[0:4], i.Disks)
+	binary.BigEndian.PutUint32(b[4:8], i.BlockSize)
+	binary.BigEndian.PutUint64(b[8:16], uint64(i.Blocks))
+	return b
+}
+
+func decodeInfo(b []byte) (infoResp, error) {
+	if len(b) != 16 {
+		return infoResp{}, fmt.Errorf("cdd: bad info response length %d", len(b))
+	}
+	return infoResp{
+		Disks:     binary.BigEndian.Uint32(b[0:4]),
+		BlockSize: binary.BigEndian.Uint32(b[4:8]),
+		Blocks:    int64(binary.BigEndian.Uint64(b[8:16])),
+	}, nil
+}
+
+// ioHeader prefixes OpRead/OpWrite/OpWriteBG/OpFlush payloads.
+type ioHeader struct {
+	Disk  uint32
+	Block int64
+	Count uint32 // blocks to read; implied by payload length on writes
+}
+
+const ioHeaderLen = 16
+
+func encodeIOHeader(h ioHeader, payload []byte) []byte {
+	b := make([]byte, ioHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(b[0:4], h.Disk)
+	binary.BigEndian.PutUint64(b[4:12], uint64(h.Block))
+	binary.BigEndian.PutUint32(b[12:16], h.Count)
+	copy(b[ioHeaderLen:], payload)
+	return b
+}
+
+func decodeIOHeader(b []byte) (ioHeader, []byte, error) {
+	if len(b) < ioHeaderLen {
+		return ioHeader{}, nil, fmt.Errorf("cdd: short I/O header (%d bytes)", len(b))
+	}
+	return ioHeader{
+		Disk:  binary.BigEndian.Uint32(b[0:4]),
+		Block: int64(binary.BigEndian.Uint64(b[4:12])),
+		Count: binary.BigEndian.Uint32(b[12:16]),
+	}, b[ioHeaderLen:], nil
+}
+
+// lockMsg carries an owner plus a range group.
+type lockMsg struct {
+	Owner  string
+	Ranges []Range
+}
+
+func encodeLockMsg(m lockMsg) []byte {
+	b := make([]byte, 0, 4+len(m.Owner)+4+16*len(m.Ranges))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Owner)))
+	b = append(b, m.Owner...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Ranges)))
+	for _, r := range m.Ranges {
+		b = binary.BigEndian.AppendUint64(b, r.Start)
+		b = binary.BigEndian.AppendUint64(b, r.End)
+	}
+	return b
+}
+
+func decodeLockMsg(b []byte) (lockMsg, error) {
+	var m lockMsg
+	if len(b) < 4 {
+		return m, fmt.Errorf("cdd: short lock message")
+	}
+	olen := binary.BigEndian.Uint32(b[0:4])
+	b = b[4:]
+	if uint32(len(b)) < olen+4 {
+		return m, fmt.Errorf("cdd: truncated lock owner")
+	}
+	m.Owner = string(b[:olen])
+	b = b[olen:]
+	n := binary.BigEndian.Uint32(b[0:4])
+	b = b[4:]
+	if uint32(len(b)) != 16*n {
+		return m, fmt.Errorf("cdd: truncated lock ranges")
+	}
+	m.Ranges = make([]Range, n)
+	for i := range m.Ranges {
+		m.Ranges[i].Start = binary.BigEndian.Uint64(b[0:8])
+		m.Ranges[i].End = binary.BigEndian.Uint64(b[8:16])
+		b = b[16:]
+	}
+	return m, nil
+}
+
+// encodeSnapshot serializes a table version plus records.
+func encodeSnapshot(version uint64, recs []Record) []byte {
+	b := binary.BigEndian.AppendUint64(nil, version)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(recs)))
+	for _, rec := range recs {
+		sub := encodeLockMsg(lockMsg{Owner: rec.Owner, Ranges: rec.Ranges})
+		b = binary.BigEndian.AppendUint32(b, uint32(len(sub)))
+		b = append(b, sub...)
+	}
+	return b
+}
+
+func decodeSnapshot(b []byte) (version uint64, recs []Record, err error) {
+	if len(b) < 12 {
+		return 0, nil, fmt.Errorf("cdd: short snapshot")
+	}
+	version = binary.BigEndian.Uint64(b[0:8])
+	n := binary.BigEndian.Uint32(b[8:12])
+	b = b[12:]
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 4 {
+			return 0, nil, fmt.Errorf("cdd: truncated snapshot")
+		}
+		sz := binary.BigEndian.Uint32(b[0:4])
+		b = b[4:]
+		if uint32(len(b)) < sz {
+			return 0, nil, fmt.Errorf("cdd: truncated snapshot record")
+		}
+		m, err := decodeLockMsg(b[:sz])
+		if err != nil {
+			return 0, nil, err
+		}
+		recs = append(recs, Record{Owner: m.Owner, Ranges: m.Ranges})
+		b = b[sz:]
+	}
+	return version, recs, nil
+}

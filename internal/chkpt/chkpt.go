@@ -1,0 +1,284 @@
+// Package chkpt implements the paper's Section 6: coordinated
+// checkpointing of parallel processes onto the distributed disk array,
+// comparing four schemes.
+//
+//   - Centralized: every process writes its checkpoint image to the
+//     central server at once (the configuration Vaidya's staggering was
+//     invented to relieve) — network contention and an I/O bottleneck.
+//   - Staggered: processes take turns writing to the central server
+//     (Vaidya): contention is gone but the server is still the
+//     bottleneck.
+//   - Striped: every process writes simultaneously, striped across the
+//     distributed array.
+//   - StripedStaggered: the paper's scheme — stripe groups of processes
+//     write in staggered slots over the RAID-x (Figure 7), combining
+//     parallel stripes with pipelined slots.
+//
+// With the OSM layout, a process's checkpoint can be placed so that its
+// mirror images land on the process's own node ("each striped
+// checkpointing file has its mirrored image in its local disk"),
+// enabling fast local recovery from transient failures while permanent
+// disk failures recover through the stripes.
+package chkpt
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/raid"
+	"repro/internal/vclock"
+)
+
+// Scheme selects a checkpointing discipline.
+type Scheme string
+
+// The four schemes of the Figure 7 experiment.
+const (
+	Centralized      Scheme = "centralized"
+	Staggered        Scheme = "staggered"
+	Striped          Scheme = "striped"
+	StripedStaggered Scheme = "striped-staggered"
+)
+
+// Schemes lists all four.
+func Schemes() []Scheme {
+	return []Scheme{Centralized, Staggered, Striped, StripedStaggered}
+}
+
+// staggers reports whether the scheme uses time slots.
+func (s Scheme) staggers() bool { return s == Staggered || s == StripedStaggered }
+
+// Config shapes one checkpointing round.
+type Config struct {
+	// Processes is the number of application processes (one per
+	// client, placed round-robin on the nodes).
+	Processes int
+	// ImageBytes is each process's checkpoint size.
+	ImageBytes int
+	// Slots is the staggering depth (number of time slots); ignored by
+	// non-staggered schemes. In the paper's Figure 7 a 4x3 array runs
+	// 12 processes in 3 slots of one stripe group each.
+	Slots int
+	// LocalImages aligns each process's checkpoint region so its OSM
+	// mirror groups land on the process's own node (requires a RAID-x
+	// array).
+	LocalImages bool
+}
+
+// Result is one scheme's measured round.
+type Result struct {
+	Scheme Scheme
+	// Makespan is the full round: release to last process finishing.
+	Makespan time.Duration
+	// AvgWrite/MaxWrite are the per-process checkpoint overhead C.
+	AvgWrite, MaxWrite time.Duration
+	// AvgSync/MaxSync are the per-process synchronization overhead S
+	// (waiting for the coordinated commit after writing).
+	AvgSync, MaxSync time.Duration
+	// SlotEnds records when each staggered slot finished (empty for
+	// non-staggered schemes) — the Figure 7 timeline.
+	SlotEnds []time.Duration
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-18s makespan=%8.1fms  C(avg/max)=%6.1f/%6.1fms  S(avg/max)=%6.1f/%6.1fms",
+		r.Scheme, r.Makespan.Seconds()*1e3,
+		r.AvgWrite.Seconds()*1e3, r.MaxWrite.Seconds()*1e3,
+		r.AvgSync.Seconds()*1e3, r.MaxSync.Seconds()*1e3)
+}
+
+// OSMLayouter is implemented by arrays exposing their OSM geometry
+// (core.RAIDx); needed for LocalImages placement.
+type OSMLayouter interface {
+	Layout() layout.OSM
+}
+
+// Plan precomputes each process's checkpoint block regions on a given
+// array.
+type Plan struct {
+	cfg     Config
+	bs      int
+	blocks  int64
+	regions [][]Run
+}
+
+// Run is one contiguous block run of a process's checkpoint region.
+type Run struct {
+	Block int64
+	Count int64
+}
+
+// NewPlan lays out the checkpoint regions. arrays[i] is process i's
+// view of the storage; all views share geometry. nodes[i] is process
+// i's node (used by LocalImages).
+func NewPlan(arrays []raid.Array, nodes []int, cfg Config) (*Plan, error) {
+	if len(arrays) != cfg.Processes || len(nodes) != cfg.Processes {
+		return nil, fmt.Errorf("chkpt: %d arrays / %d nodes for %d processes", len(arrays), len(nodes), cfg.Processes)
+	}
+	bs := arrays[0].BlockSize()
+	imageBlocks := int64((cfg.ImageBytes + bs - 1) / bs)
+	p := &Plan{cfg: cfg, bs: bs, blocks: imageBlocks}
+
+	if !cfg.LocalImages {
+		for i := 0; i < cfg.Processes; i++ {
+			start := int64(i) * imageBlocks
+			if start+imageBlocks > arrays[i].Blocks() {
+				return nil, fmt.Errorf("chkpt: images need %d blocks, array has %d", int64(cfg.Processes)*imageBlocks, arrays[i].Blocks())
+			}
+			p.regions = append(p.regions, []Run{{Block: start, Count: imageBlocks}})
+		}
+		return p, nil
+	}
+
+	osm, ok := arrays[0].(OSMLayouter)
+	if !ok {
+		return nil, fmt.Errorf("chkpt: LocalImages requires a RAID-x array")
+	}
+	lay := osm.Layout()
+	n := int64(lay.Nodes)
+	gs := int64(lay.GroupSize())
+	groupsNeeded := (imageBlocks + gs - 1) / gs
+	totalGroups := arrays[0].Blocks() / gs
+	for i := 0; i < cfg.Processes; i++ {
+		node := int64(nodes[i])
+		// Mirror groups landing on this node satisfy
+		// g ≡ n-1-node (mod n); successive processes on the same node
+		// take successive windows of t.
+		rank := int64(i) / n // how many earlier processes share the node
+		var runs []Run
+		for t := rank * groupsNeeded; int64(len(runs)) < groupsNeeded; t++ {
+			g := (n - 1 - node) + t*n
+			if g >= totalGroups {
+				return nil, fmt.Errorf("chkpt: not enough mirror groups on node %d", node)
+			}
+			runs = append(runs, Run{Block: g * gs, Count: gs})
+		}
+		p.regions = append(p.regions, runs)
+	}
+	return p, nil
+}
+
+// Regions exposes process i's block runs (for recovery and tests).
+func (p *Plan) Regions(i int) []Run { return p.regions[i] }
+
+// writeImage writes process i's checkpoint image.
+func (p *Plan) writeImage(ctx context.Context, arr raid.Array, i int, fill byte) error {
+	for _, r := range p.regions[i] {
+		buf := make([]byte, r.Count*int64(p.bs))
+		for j := range buf {
+			buf[j] = fill + byte(j)
+		}
+		if err := arr.WriteBlocks(ctx, r.Block, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadImage reads back process i's checkpoint (recovery path).
+func (p *Plan) ReadImage(ctx context.Context, arr raid.Array, i int) ([]byte, error) {
+	var out []byte
+	for _, r := range p.regions[i] {
+		buf := make([]byte, r.Count*int64(p.bs))
+		if err := arr.ReadBlocks(ctx, r.Block, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
+}
+
+// Round executes one coordinated checkpoint round on simulator s and
+// reports the timing. arrays[i] is process i's storage view.
+func Round(s *vclock.Sim, arrays []raid.Array, plan *Plan, scheme Scheme) (Result, error) {
+	cfg := plan.cfg
+	slots := 1
+	if scheme.staggers() {
+		slots = cfg.Slots
+		if slots < 1 {
+			slots = 1
+		}
+		if slots > cfg.Processes {
+			slots = cfg.Processes
+		}
+	}
+	slotOf := func(i int) int { return i * slots / cfg.Processes }
+
+	barrier := vclock.NewBarrier(s, "commit", cfg.Processes)
+	slotGate := vclock.NewGate(s, "slot")
+	slotRemaining := make([]int, slots)
+	for i := 0; i < cfg.Processes; i++ {
+		slotRemaining[slotOf(i)]++
+	}
+	currentSlot := 0
+	slotEnds := make([]time.Duration, slots)
+
+	writeT := make([]time.Duration, cfg.Processes)
+	syncT := make([]time.Duration, cfg.Processes)
+	errs := make([]error, cfg.Processes)
+	var makespan time.Duration
+
+	for i := 0; i < cfg.Processes; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("ckpt%d", i), func(proc *vclock.Proc) {
+			ctx := vclock.With(context.Background(), proc)
+			mySlot := slotOf(i)
+			for currentSlot < mySlot {
+				slotGate.Wait(proc)
+			}
+			start := proc.Now()
+			errs[i] = plan.writeImage(ctx, arrays[i], i, byte(i))
+			if errs[i] == nil {
+				// The image must be redundant before the commit.
+				errs[i] = arrays[i].Flush(ctx)
+			}
+			end := proc.Now()
+			writeT[i] = end - start
+			slotRemaining[mySlot]--
+			if slotRemaining[mySlot] == 0 {
+				slotEnds[mySlot] = end
+				currentSlot++
+				slotGate.Broadcast()
+			}
+			barrier.Wait(proc)
+			syncT[i] = proc.Now() - end
+			if proc.Now() > makespan {
+				makespan = proc.Now()
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		return Result{}, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Result{Scheme: scheme, Makespan: makespan}
+	for i := 0; i < cfg.Processes; i++ {
+		res.AvgWrite += writeT[i]
+		res.AvgSync += syncT[i]
+		if writeT[i] > res.MaxWrite {
+			res.MaxWrite = writeT[i]
+		}
+		if syncT[i] > res.MaxSync {
+			res.MaxSync = syncT[i]
+		}
+	}
+	res.AvgWrite /= time.Duration(cfg.Processes)
+	res.AvgSync /= time.Duration(cfg.Processes)
+	if scheme.staggers() {
+		res.SlotEnds = slotEnds
+	}
+	return res, nil
+}
+
+// WriteImageForTest exposes the image writer for harness setup (the
+// benchmark writes images untimed before measuring recovery).
+func (p *Plan) WriteImageForTest(ctx context.Context, arr raid.Array, i int) error {
+	return p.writeImage(ctx, arr, i, byte(i))
+}

@@ -1,0 +1,300 @@
+package chkpt
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/raid"
+	"repro/internal/store"
+	"repro/internal/vclock"
+)
+
+// pureRig builds per-process RAID-x views over shared pure-data disks.
+func pureRig(t *testing.T, procs, n int, diskBlocks int64) ([]raid.Array, []int, []*disk.Disk) {
+	t.Helper()
+	raw := make([]*disk.Disk, n)
+	devs := make([]raid.Dev, n)
+	for i := range devs {
+		d := disk.New(nil, fmt.Sprintf("d%d", i), store.NewMem(1024, diskBlocks), disk.DefaultModel())
+		raw[i] = d
+		devs[i] = d
+	}
+	arrays := make([]raid.Array, procs)
+	nodes := make([]int, procs)
+	for i := range arrays {
+		a, err := core.New(devs, n, 1, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrays[i] = a
+		nodes[i] = i % n
+	}
+	return arrays, nodes, raw
+}
+
+func TestPlanPlainRegionsDisjoint(t *testing.T) {
+	arrays, nodes, _ := pureRig(t, 4, 4, 256)
+	cfg := Config{Processes: 4, ImageBytes: 8 * 1024}
+	plan, err := NewPlan(arrays, nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int64]int{}
+	for i := 0; i < 4; i++ {
+		for _, r := range plan.Regions(i) {
+			for b := r.Block; b < r.Block+r.Count; b++ {
+				if prev, dup := used[b]; dup {
+					t.Fatalf("block %d in regions of %d and %d", b, prev, i)
+				}
+				used[b] = i
+			}
+		}
+	}
+}
+
+func TestPlanLocalImages(t *testing.T) {
+	arrays, nodes, _ := pureRig(t, 8, 4, 256)
+	cfg := Config{Processes: 8, ImageBytes: 6 * 1024, LocalImages: true}
+	plan, err := NewPlan(arrays, nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := arrays[0].(OSMLayouter).Layout()
+	used := map[int64]int{}
+	for i := 0; i < cfg.Processes; i++ {
+		for _, r := range plan.Regions(i) {
+			for b := r.Block; b < r.Block+r.Count; b++ {
+				if prev, dup := used[b]; dup {
+					t.Fatalf("block %d shared by processes %d and %d", b, prev, i)
+				}
+				used[b] = i
+				// The defining property: the image of every block of
+				// process i's checkpoint lives on process i's node.
+				m := lay.MirrorLoc(b)
+				if lay.NodeOfDisk(m.Disk) != nodes[i] {
+					t.Fatalf("process %d (node %d): image of block %d on node %d",
+						i, nodes[i], b, lay.NodeOfDisk(m.Disk))
+				}
+			}
+		}
+	}
+}
+
+func TestPlanLocalImagesRequiresRAIDx(t *testing.T) {
+	devs := make([]raid.Dev, 4)
+	for i := range devs {
+		devs[i] = disk.New(nil, "d", store.NewMem(1024, 64), disk.DefaultModel())
+	}
+	arr, err := raid.NewRAID0(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrays := []raid.Array{arr, arr}
+	if _, err := NewPlan(arrays, []int{0, 1}, Config{Processes: 2, ImageBytes: 1024, LocalImages: true}); err == nil {
+		t.Fatal("LocalImages over RAID-0 accepted")
+	}
+}
+
+func TestRoundWritesRecoverableImages(t *testing.T) {
+	arrays, nodes, raw := pureRig(t, 4, 4, 512)
+	cfg := Config{Processes: 4, ImageBytes: 8 * 1024, Slots: 2, LocalImages: true}
+	plan, err := NewPlan(arrays, nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := vclock.New()
+	res, err := Round(s, arrays, plan, StripedStaggered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure-data disks charge no virtual time; only the structure is
+	// checked here (timing is covered by the staggering test below).
+	if len(res.SlotEnds) != 2 {
+		t.Fatalf("%d slot ends, want 2", len(res.SlotEnds))
+	}
+	// Recovery path 1: normal read-back.
+	ctx := context.Background()
+	img0, err := plan.ReadImage(ctx, arrays[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recovery path 2: permanent single-disk failure — the checkpoint
+	// survives through the orthogonal redundancy.
+	raw[2].Fail()
+	img0Degraded, err := plan.ReadImage(ctx, arrays[0], 0)
+	if err != nil {
+		t.Fatalf("degraded checkpoint recovery: %v", err)
+	}
+	if !bytes.Equal(img0, img0Degraded) {
+		t.Fatal("degraded recovery returned different image")
+	}
+}
+
+func TestRoundStaggeredSlotsSequential(t *testing.T) {
+	// With a timing model, slot k+1's writes must start after slot k
+	// finishes: per-process write times in later slots stay small
+	// (no cross-slot contention), unlike the all-at-once scheme.
+	mkArrays := func(s *vclock.Sim, procs, n int) ([]raid.Array, []int) {
+		model := disk.Model{Seek: 0, TrackSkip: 0, BandwidthBps: 1e6, PerRequest: 0}
+		devs := make([]raid.Dev, n)
+		for i := range devs {
+			devs[i] = disk.New(s, fmt.Sprintf("d%d", i), store.NewMem(1024, 512), model)
+		}
+		arrays := make([]raid.Array, procs)
+		nodes := make([]int, procs)
+		for i := range arrays {
+			a, err := core.New(devs, n, 1, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			arrays[i] = a
+			nodes[i] = i % n
+		}
+		return arrays, nodes
+	}
+
+	run := func(scheme Scheme, slots int) Result {
+		s := vclock.New()
+		arrays, nodes := mkArrays(s, 8, 4)
+		cfg := Config{Processes: 8, ImageBytes: 16 * 1024, Slots: slots}
+		plan, err := NewPlan(arrays, nodes, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Round(s, arrays, plan, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	allAtOnce := run(Striped, 1)
+	staggered := run(StripedStaggered, 4)
+	// Staggering reduces each process's own blocked write time (C) at
+	// the cost of waiting in sync (S); the max write must shrink.
+	if staggered.MaxWrite >= allAtOnce.MaxWrite {
+		t.Errorf("staggering did not reduce per-process write time: %v vs %v",
+			staggered.MaxWrite, allAtOnce.MaxWrite)
+	}
+}
+
+func TestRoundSchemesComplete(t *testing.T) {
+	for _, scheme := range Schemes() {
+		arrays, nodes, _ := pureRig(t, 6, 3, 512)
+		cfg := Config{Processes: 6, ImageBytes: 4 * 1024, Slots: 3}
+		plan, err := NewPlan(arrays, nodes, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := vclock.New()
+		if _, err := Round(s, arrays, plan, scheme); err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+	}
+}
+
+// TestRecoverTransientReadsLocalImages: transient recovery (straight
+// from local mirror images) must return the same bytes as the striped
+// read, and must refuse non-local placements.
+func TestRecoverTransientReadsLocalImages(t *testing.T) {
+	arrays, nodes, raw := pureRig(t, 4, 4, 512)
+	cfg := Config{Processes: 4, ImageBytes: 8 * 1024, LocalImages: true}
+	plan, err := NewPlan(arrays, nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < cfg.Processes; i++ {
+		if err := plan.writeImage(ctx, arrays[i], i, byte(0x40+i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := arrays[i].Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lay := arrays[0].(OSMLayouter).Layout()
+	devs := make([]raid.Dev, len(raw))
+	for j, d := range raw {
+		devs[j] = d
+	}
+	for i := 0; i < cfg.Processes; i++ {
+		want, err := plan.ReadImage(ctx, arrays[i], i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := plan.RecoverTransient(ctx, lay, devs, i)
+		if err != nil {
+			t.Fatalf("process %d transient recovery: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("process %d: transient image differs from striped read", i)
+		}
+	}
+	// Non-local placement must be refused.
+	plain, err := NewPlan(arrays, nodes, Config{Processes: 4, ImageBytes: 8 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.RecoverTransient(ctx, lay, devs, 0); err == nil {
+		t.Fatal("transient recovery accepted a non-local plan")
+	}
+	// A dead local-image disk forces the fallback.
+	g0 := plan.Regions(0)[0].Block / int64(lay.GroupSize())
+	raw[lay.GroupLoc(g0).Disk].Fail()
+	if _, err := plan.RecoverTransient(ctx, lay, devs, 0); err == nil {
+		t.Fatal("transient recovery succeeded with image disk dead")
+	}
+}
+
+// TestSchemeOverheadOrdering runs all four schemes on one timed cluster
+// geometry and checks the paper's qualitative ordering of per-process
+// overhead C: striped-staggered < staggered < centralized-ish, and
+// striped < centralized.
+func TestSchemeOverheadOrdering(t *testing.T) {
+	model := disk.Model{Seek: time.Millisecond, TrackSkip: 0, BandwidthBps: 5e6, PerRequest: 0}
+	run := func(scheme Scheme) Result {
+		s := vclock.New()
+		devs := make([]raid.Dev, 4)
+		for i := range devs {
+			devs[i] = disk.New(s, fmt.Sprintf("d%d", i), store.NewMem(1024, 2048), model)
+		}
+		arrays := make([]raid.Array, 8)
+		nodes := make([]int, 8)
+		for i := range arrays {
+			a, err := core.New(devs, 4, 1, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			arrays[i] = a
+			nodes[i] = i % 4
+		}
+		plan, err := NewPlan(arrays, nodes, Config{Processes: 8, ImageBytes: 64 << 10, Slots: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Round(s, arrays, plan, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	striped := run(Striped)
+	stag := run(StripedStaggered)
+	if stag.MaxWrite >= striped.MaxWrite {
+		t.Errorf("staggering did not cut per-process C: %v vs %v", stag.MaxWrite, striped.MaxWrite)
+	}
+	if stag.Makespan < striped.Makespan {
+		t.Errorf("staggered makespan %v unexpectedly beat all-at-once %v", stag.Makespan, striped.Makespan)
+	}
+	// The timeline must be strictly increasing across slots.
+	for i := 1; i < len(stag.SlotEnds); i++ {
+		if stag.SlotEnds[i] <= stag.SlotEnds[i-1] {
+			t.Fatalf("slot ends not increasing: %v", stag.SlotEnds)
+		}
+	}
+}

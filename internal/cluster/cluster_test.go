@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/netmodel"
+	"repro/internal/vclock"
+)
+
+// flatParams returns a 4-node cluster with arithmetic-friendly costs.
+func flatParams() Params {
+	return Params{
+		Nodes:         4,
+		DisksPerNode:  1,
+		BlockSize:     1024,
+		DiskBlocks:    64,
+		Disk:          disk.Model{Seek: 0, TrackSkip: 0, BandwidthBps: 1e6, PerRequest: 0},
+		Net:           netmodel.Params{LinkBps: 1e6, Latency: 0, PerMessage: 0},
+		CPUPerRequest: 0,
+		ReqMsgBytes:   0,
+	}
+}
+
+func TestTopology(t *testing.T) {
+	p := DefaultParams()
+	p.DisksPerNode = 3
+	c := New(p)
+	if len(c.Disks) != 36 {
+		t.Fatalf("%d disks, want 36", len(c.Disks))
+	}
+	for j := range c.Disks {
+		if c.NodeOfDisk(j) != j%12 {
+			t.Fatalf("disk %d on node %d, want %d", j, c.NodeOfDisk(j), j%12)
+		}
+	}
+	for i, n := range c.Nodes {
+		if len(n.Disks) != 3 {
+			t.Fatalf("node %d has %d disks, want 3", i, len(n.Disks))
+		}
+	}
+}
+
+func TestLocalAccessSkipsNetwork(t *testing.T) {
+	c := New(flatParams())
+	devs := c.DevView(0) // disk 0 is local to node 0
+	var local, remote time.Duration
+	c.Sim.Spawn("client", func(p *vclock.Proc) {
+		ctx := vclock.With(context.Background(), p)
+		buf := make([]byte, 1024)
+		t0 := p.Now()
+		if err := devs[0].ReadBlocks(ctx, 0, buf); err != nil {
+			t.Error(err)
+		}
+		local = p.Now() - t0
+		t0 = p.Now()
+		if err := devs[1].ReadBlocks(ctx, 0, buf); err != nil {
+			t.Error(err)
+		}
+		remote = p.Now() - t0
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Local: 1024B at 1 MB/s disk = 1.024 ms.
+	// Remote: + 1024B response over the 1 MB/s link = 2.048 ms.
+	if local != 1024*time.Microsecond {
+		t.Errorf("local read = %v, want 1.024ms", local)
+	}
+	if remote != 2048*time.Microsecond {
+		t.Errorf("remote read = %v, want 2.048ms", remote)
+	}
+}
+
+func TestRemoteWriteCarriesDataOverNet(t *testing.T) {
+	c := New(flatParams())
+	devs := c.DevView(0)
+	c.Sim.Spawn("client", func(p *vclock.Proc) {
+		ctx := vclock.With(context.Background(), p)
+		data := bytes.Repeat([]byte{5}, 2048)
+		if err := devs[2].WriteBlocks(ctx, 0, data); err != nil {
+			t.Error(err)
+		}
+		// 2048B over net (2.048ms) + disk write (2.048ms).
+		if p.Now() != 4096*time.Microsecond {
+			t.Errorf("remote write took %v, want 4.096ms", p.Now())
+		}
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackgroundRemoteWriteReturnsImmediately(t *testing.T) {
+	c := New(flatParams())
+	devs := c.DevView(0)
+	c.Sim.Spawn("client", func(p *vclock.Proc) {
+		ctx := vclock.With(context.Background(), p)
+		data := bytes.Repeat([]byte{7}, 1024)
+		if err := devs[3].WriteBlocksBackground(ctx, 5, data); err != nil {
+			t.Error(err)
+		}
+		if p.Now() != 0 {
+			t.Errorf("background remote write blocked until %v", p.Now())
+		}
+		// Data is durable (simulation semantics).
+		got := make([]byte, 1024)
+		if err := c.Disks[3].ReadBlocks(context.Background(), 5, got); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("background write lost")
+		}
+		// Flush waits for the deferred disk work.
+		if err := devs[3].Flush(ctx); err != nil {
+			t.Error(err)
+		}
+		if p.Now() == 0 {
+			t.Error("flush of pending background write returned instantly")
+		}
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataVisibleAcrossViews(t *testing.T) {
+	c := New(flatParams())
+	a := c.DevView(0)
+	b := c.DevView(2)
+	c.Sim.Spawn("writer-then-reader", func(p *vclock.Proc) {
+		ctx := vclock.With(context.Background(), p)
+		data := bytes.Repeat([]byte{9}, 1024)
+		if err := a[1].WriteBlocks(ctx, 3, data); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, 1024)
+		if err := b[1].ReadBlocks(ctx, 3, got); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("views see different data")
+		}
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUChargePerRequest(t *testing.T) {
+	p := flatParams()
+	p.CPUPerRequest = time.Millisecond
+	c := New(p)
+	devs := c.DevView(0)
+	c.Sim.Spawn("client", func(pr *vclock.Proc) {
+		ctx := vclock.With(context.Background(), pr)
+		buf := make([]byte, 1024)
+		if err := devs[1].ReadBlocks(ctx, 0, buf); err != nil {
+			t.Error(err)
+		}
+		// client CPU 1ms + server CPU 1ms + disk 1.024ms + response 1.024ms.
+		if pr.Now() != 4048*time.Microsecond {
+			t.Errorf("remote read with CPU costs took %v, want 4.048ms", pr.Now())
+		}
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes[0].CPU.Ops() != 1 || c.Nodes[1].CPU.Ops() != 1 {
+		t.Errorf("CPU ops = %d,%d, want 1,1", c.Nodes[0].CPU.Ops(), c.Nodes[1].CPU.Ops())
+	}
+}
+
+func TestUtilizationSnapshot(t *testing.T) {
+	c := New(flatParams())
+	devs := c.DevView(0)
+	c.Sim.Spawn("client", func(p *vclock.Proc) {
+		ctx := vclock.With(context.Background(), p)
+		buf := make([]byte, 1024)
+		for i := 0; i < 4; i++ {
+			if err := devs[1].ReadBlocks(ctx, int64(i), buf); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	u := c.Utilization()
+	if len(u.Disks) != 4 || len(u.TX) != 4 || len(u.CPUs) != 4 {
+		t.Fatalf("snapshot sizes: %d disks %d tx %d cpus", len(u.Disks), len(u.TX), len(u.CPUs))
+	}
+	hot := u.Hottest()
+	if hot.Utilization <= 0 {
+		t.Fatal("no hot resource found after I/O")
+	}
+	// Disk 1 served everything: it must be the bottleneck.
+	if hot.Name != "n1d0" {
+		t.Fatalf("hottest = %q, want disk n1d0", hot.Name)
+	}
+	if u.String() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestLocalDevsAreNodeLocal(t *testing.T) {
+	p := flatParams()
+	p.DisksPerNode = 2
+	c := New(p)
+	devs := c.LocalDevs(2)
+	if len(devs) != 2 {
+		t.Fatalf("%d local devs, want 2", len(devs))
+	}
+	// Accessing a local dev must not touch the network.
+	c.Sim.Spawn("local", func(pr *vclock.Proc) {
+		ctx := vclock.With(context.Background(), pr)
+		if err := devs[0].WriteBlocks(ctx, 0, make([]byte, 1024)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.Nodes; i++ {
+		port := c.Net.Port(i)
+		if port.TX.Ops() != 0 || port.RX.Ops() != 0 {
+			t.Fatalf("node %d NIC used for local I/O", i)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ResourceUse summarizes one resource after a run.
+type ResourceUse struct {
+	Name        string
+	Utilization float64
+	Ops         int64
+}
+
+// Utilization snapshots every resource's usage at the current virtual
+// time: per-disk foreground and background lanes, per-port NIC
+// directions, and per-node CPUs. The benchmark harness prints it in
+// verbose mode to show where each architecture's bottleneck sits.
+type Utilization struct {
+	Disks   []ResourceUse // foreground arms
+	DiskBGs []ResourceUse // deferred-write lanes
+	TX, RX  []ResourceUse
+	CPUs    []ResourceUse
+}
+
+// Utilization gathers the snapshot.
+func (c *Cluster) Utilization() Utilization {
+	var u Utilization
+	for _, d := range c.Disks {
+		if d.Arm() != nil {
+			u.Disks = append(u.Disks, ResourceUse{d.ID(), d.Arm().Utilization(), d.Arm().Ops()})
+			u.DiskBGs = append(u.DiskBGs, ResourceUse{d.ID(), d.BgLane().Utilization(), d.BgLane().Ops()})
+		}
+	}
+	for i := 0; i < c.Params.Nodes; i++ {
+		p := c.Net.Port(i)
+		u.TX = append(u.TX, ResourceUse{p.TX.Name(), p.TX.Utilization(), p.TX.Ops()})
+		u.RX = append(u.RX, ResourceUse{p.RX.Name(), p.RX.Utilization(), p.RX.Ops()})
+		u.CPUs = append(u.CPUs, ResourceUse{c.Nodes[i].CPU.Name(), c.Nodes[i].CPU.Utilization(), c.Nodes[i].CPU.Ops()})
+	}
+	return u
+}
+
+// summarize reduces a resource class to min/mean/max utilization.
+func summarize(rs []ResourceUse) (min, mean, max float64) {
+	if len(rs) == 0 {
+		return 0, 0, 0
+	}
+	min = rs[0].Utilization
+	for _, r := range rs {
+		if r.Utilization < min {
+			min = r.Utilization
+		}
+		if r.Utilization > max {
+			max = r.Utilization
+		}
+		mean += r.Utilization
+	}
+	mean /= float64(len(rs))
+	return
+}
+
+// String renders the snapshot as a compact table.
+func (u Utilization) String() string {
+	var b strings.Builder
+	row := func(name string, rs []ResourceUse) {
+		min, mean, max := summarize(rs)
+		var ops int64
+		for _, r := range rs {
+			ops += r.Ops
+		}
+		fmt.Fprintf(&b, "  %-10s util min/mean/max %5.1f%%/%5.1f%%/%5.1f%%  ops %d\n",
+			name, min*100, mean*100, max*100, ops)
+	}
+	row("disk(fg)", u.Disks)
+	row("disk(bg)", u.DiskBGs)
+	row("nic-tx", u.TX)
+	row("nic-rx", u.RX)
+	row("cpu", u.CPUs)
+	return b.String()
+}
+
+// Hottest reports the single busiest resource — the bottleneck.
+func (u Utilization) Hottest() ResourceUse {
+	best := ResourceUse{}
+	for _, class := range [][]ResourceUse{u.Disks, u.DiskBGs, u.TX, u.RX, u.CPUs} {
+		for _, r := range class {
+			if r.Utilization > best.Utilization {
+				best = r
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,10 @@
+package cluster
+
+import "repro/internal/store"
+
+// newStore builds the backing store for a simulated disk. Kept as a
+// seam so large simulations could swap in a sparse or file-backed store
+// without touching cluster assembly.
+func newStore(blockSize int, blocks int64) store.BlockStore {
+	return store.NewMem(blockSize, blocks)
+}

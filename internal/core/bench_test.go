@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/raid"
+	"repro/internal/store"
+)
+
+// benchArray builds a pure-data 12-disk RAID-x (no timing), so the
+// benchmarks measure the engine's own CPU and allocation cost.
+func benchArray(b *testing.B, opt Options) (*RAIDx, []*disk.Disk) {
+	b.Helper()
+	devs := make([]raid.Dev, 12)
+	raw := make([]*disk.Disk, 12)
+	for i := range devs {
+		d := disk.New(nil, fmt.Sprintf("d%d", i), store.NewMem(32<<10, 512), disk.DefaultModel())
+		devs[i] = d
+		raw[i] = d
+	}
+	a, err := New(devs, 12, 1, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, raw
+}
+
+func BenchmarkWriteSmall(b *testing.B) {
+	a, _ := benchArray(b, Options{})
+	ctx := context.Background()
+	buf := make([]byte, a.BlockSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.WriteBlocks(ctx, int64(i)%a.Blocks(), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(a.BlockSize()))
+}
+
+func BenchmarkWriteStripe(b *testing.B) {
+	a, _ := benchArray(b, Options{})
+	ctx := context.Background()
+	buf := make([]byte, 12*a.BlockSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.WriteBlocks(ctx, (int64(i)*12)%(a.Blocks()-12), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkReadStripe(b *testing.B) {
+	a, _ := benchArray(b, Options{})
+	ctx := context.Background()
+	buf := make([]byte, 12*a.BlockSize())
+	if err := a.WriteBlocks(ctx, 0, buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.ReadBlocks(ctx, 0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkReadDegraded(b *testing.B) {
+	a, raw := benchArray(b, Options{})
+	ctx := context.Background()
+	buf := make([]byte, 12*a.BlockSize())
+	if err := a.WriteBlocks(ctx, 0, buf); err != nil {
+		b.Fatal(err)
+	}
+	if err := a.Flush(ctx); err != nil {
+		b.Fatal(err)
+	}
+	raw[3].Fail()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.ReadBlocks(ctx, 0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkRebuild(b *testing.B) {
+	a, raw := benchArray(b, Options{})
+	ctx := context.Background()
+	all := make([]byte, a.Blocks()*int64(a.BlockSize()))
+	if err := a.WriteBlocks(ctx, 0, all); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw[5].Fail()
+		raw[5].Replace()
+		if err := a.Rebuild(ctx, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(all)) / 6) // roughly the rebuilt disk's share
+}

@@ -1,0 +1,404 @@
+// Package core implements RAID-x, the paper's contribution: a
+// distributed disk array built on orthogonal striping and mirroring
+// (OSM).
+//
+// Data blocks stripe across the data halves of all n·k disks exactly
+// like RAID-0, so reads and large writes enjoy full-stripe bandwidth.
+// Redundancy comes from mirror images, but unlike RAID-10 or chained
+// declustering the images are not written block-by-block alongside the
+// data: the images of n-1 consecutive blocks form a *mirror group* that
+// is gathered into one long contiguous write on the single disk (on the
+// single node) that holds none of those blocks, and that write is
+// performed in the background by the cooperative disk drivers. Two
+// consequences give RAID-x its measured advantage:
+//
+//   - the small-write problem of RAID-5 disappears — a small write is
+//     one foreground data write plus one deferred image write, with no
+//     read-modify-write of parity;
+//   - mirroring overhead hides behind foreground traffic — the client
+//     sees RAID-0 write latency while the array converges to full
+//     redundancy asynchronously (Flush forces convergence).
+//
+// Orthogonality (no block shares a node with its image) preserves
+// single-disk — and in an n-by-k array, per-mirror-group — fault
+// tolerance: reads fall back to images, writes continue on the
+// surviving copy, and Rebuild regenerates a replaced disk from the
+// orthogonal copies.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/layout"
+	"repro/internal/par"
+	"repro/internal/raid"
+)
+
+// Options tune the engine; the zero value is the paper's design. The
+// other settings exist for the ablation benchmarks in DESIGN.md.
+type Options struct {
+	// ForegroundMirror writes mirror images synchronously, ablating
+	// the "hide mirroring overhead in the background" design point.
+	ForegroundMirror bool
+	// ScatterMirror writes each image block individually instead of
+	// gathering a mirror group into one long write, ablating the
+	// clustered-image design point.
+	ScatterMirror bool
+	// BalanceReads lets single-block reads go to the image copy when
+	// the data disk's queue is longer — the I/O load balancing the
+	// paper's Section 7 lists as the Trojans project's next step.
+	BalanceReads bool
+}
+
+// RAIDx is the OSM array engine. It satisfies raid.Array,
+// raid.Rebuilder, and raid.Verifier.
+type RAIDx struct {
+	devs []raid.Dev
+	lay  layout.OSM
+	bs   int
+	opt  Options
+	// flip alternates the preferred copy for balanced reads so that
+	// simultaneous readers split between data and image instead of
+	// herding onto whichever side momentarily reports less backlog.
+	flip atomic.Uint32
+}
+
+// New builds a RAID-x array over an n-by-k grid of devices: devs[j] is
+// global disk j, attached to node j mod nodes (the paper's Figure 3
+// arrangement). len(devs) must equal nodes × disksPerNode.
+func New(devs []raid.Dev, nodes, disksPerNode int, opt Options) (*RAIDx, error) {
+	if len(devs) != nodes*disksPerNode {
+		return nil, fmt.Errorf("core: %d devices for a %dx%d array", len(devs), nodes, disksPerNode)
+	}
+	bs, per, err := checkDevs(devs)
+	if err != nil {
+		return nil, err
+	}
+	if per%2 != 0 {
+		per-- // use an even number of blocks per disk
+	}
+	if per/2 < int64(nodes-1) {
+		return nil, fmt.Errorf("core: disks too small (%d blocks) for mirror groups of %d", per, nodes-1)
+	}
+	return &RAIDx{
+		devs: devs,
+		lay:  layout.NewOSM(nodes, disksPerNode, per),
+		bs:   bs,
+		opt:  opt,
+	}, nil
+}
+
+func checkDevs(devs []raid.Dev) (int, int64, error) {
+	bs := devs[0].BlockSize()
+	per := devs[0].NumBlocks()
+	for i, d := range devs {
+		if d.BlockSize() != bs {
+			return 0, 0, fmt.Errorf("core: device %d block size %d != %d", i, d.BlockSize(), bs)
+		}
+		if d.NumBlocks() < per {
+			per = d.NumBlocks()
+		}
+	}
+	return bs, per, nil
+}
+
+// Layout exposes the OSM address arithmetic (used by the checkpointing
+// module and the layout-printing tool).
+func (a *RAIDx) Layout() layout.OSM { return a.lay }
+
+// SwapDev implements raid.DevSwapper: it replaces member idx (typically
+// a failed disk) with a hot spare of identical geometry and returns the
+// previous device. The new device is blank until Rebuild runs.
+func (a *RAIDx) SwapDev(idx int, dev raid.Dev) (raid.Dev, error) {
+	if idx < 0 || idx >= len(a.devs) {
+		return nil, fmt.Errorf("core: swap of device %d out of range", idx)
+	}
+	if dev.BlockSize() != a.bs || dev.NumBlocks() < a.lay.DiskBlocks {
+		return nil, fmt.Errorf("core: spare geometry %dx%d does not match %dx%d",
+			dev.BlockSize(), dev.NumBlocks(), a.bs, a.lay.DiskBlocks)
+	}
+	old := a.devs[idx]
+	a.devs[idx] = dev
+	return old, nil
+}
+
+// Name implements raid.Array.
+func (a *RAIDx) Name() string { return "raidx" }
+
+// BlockSize implements raid.Array.
+func (a *RAIDx) BlockSize() int { return a.bs }
+
+// Blocks implements raid.Array.
+func (a *RAIDx) Blocks() int64 { return a.lay.DataBlocks() }
+
+// ReadBlocks implements raid.Array: a parallel RAID-0-style read over
+// the data halves, with per-block fallback to mirror images for blocks
+// on failed disks.
+func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
+	n, err := a.checkRange(b, p)
+	if err != nil {
+		return err
+	}
+	width := a.lay.TotalDisks()
+	var fns []func(context.Context) error
+	for col := 0; col < width; col++ {
+		first := b + (int64(col)-b%int64(width)+int64(width))%int64(width)
+		if first >= b+int64(n) {
+			continue
+		}
+		count := int((b+int64(n)-1-first)/int64(width)) + 1
+		dev := a.devs[col]
+		if dev.Healthy() {
+			// Load-balanced single-block read: alternate the preferred
+			// copy, then defer to whichever disk has less queued work.
+			if a.opt.BalanceReads && count == 1 {
+				m := a.lay.MirrorLoc(first)
+				mdev := a.devs[m.Disk]
+				if mdev.Healthy() {
+					db, mb := raid.BacklogOf(dev), raid.BacklogOf(mdev)
+					useMirror := mb < db || (mb == db && a.flip.Add(1)%2 == 0)
+					if useMirror {
+						fns = append(fns, func(ctx context.Context) error {
+							return mdev.ReadBlocks(ctx, m.Block, p[(first-b)*int64(a.bs):(first-b+1)*int64(a.bs)])
+						})
+						continue
+					}
+				}
+			}
+			fns = append(fns, func(ctx context.Context) error {
+				buf := make([]byte, count*a.bs)
+				if err := dev.ReadBlocks(ctx, first/int64(width), buf); err != nil {
+					return err
+				}
+				for t := 0; t < count; t++ {
+					lb := first + int64(t)*int64(width)
+					copy(p[(lb-b)*int64(a.bs):(lb-b+1)*int64(a.bs)], buf[t*a.bs:(t+1)*a.bs])
+				}
+				return nil
+			})
+			continue
+		}
+		// Degraded: fetch each block's image individually — images of
+		// one column scatter over many mirror groups.
+		for t := 0; t < count; t++ {
+			lb := first + int64(t)*int64(width)
+			fns = append(fns, func(ctx context.Context) error {
+				m := a.lay.MirrorLoc(lb)
+				mdev := a.devs[m.Disk]
+				if !mdev.Healthy() {
+					return fmt.Errorf("core: block %d and its image both unavailable: %w", lb, raid.ErrDataLoss)
+				}
+				return mdev.ReadBlocks(ctx, m.Block, p[(lb-b)*int64(a.bs):(lb-b+1)*int64(a.bs)])
+			})
+		}
+	}
+	return par.Do(ctx, fns...)
+}
+
+// WriteBlocks implements raid.Array: data blocks stripe to all disks in
+// the foreground; the covered portion of each mirror group is gathered
+// and written to its single mirror disk in the background.
+func (a *RAIDx) WriteBlocks(ctx context.Context, b int64, p []byte) error {
+	n, err := a.checkRange(b, p)
+	if err != nil {
+		return err
+	}
+	if err := a.checkWritable(b, n); err != nil {
+		return err
+	}
+	fns := a.dataWriteFns(b, n, p)
+	fns = append(fns, a.mirrorWriteFns(b, n, p)...)
+	return par.Do(ctx, fns...)
+}
+
+// dataWriteFns builds the foreground striped data writes (one
+// contiguous transfer per disk), skipping failed disks.
+func (a *RAIDx) dataWriteFns(b int64, n int, p []byte) []func(context.Context) error {
+	width := a.lay.TotalDisks()
+	var fns []func(context.Context) error
+	for col := 0; col < width; col++ {
+		first := b + (int64(col)-b%int64(width)+int64(width))%int64(width)
+		if first >= b+int64(n) {
+			continue
+		}
+		count := int((b+int64(n)-1-first)/int64(width)) + 1
+		dev := a.devs[col]
+		if !dev.Healthy() {
+			continue // image carries the data
+		}
+		fns = append(fns, func(ctx context.Context) error {
+			buf := make([]byte, count*a.bs)
+			for t := 0; t < count; t++ {
+				lb := first + int64(t)*int64(width)
+				copy(buf[t*a.bs:(t+1)*a.bs], p[(lb-b)*int64(a.bs):])
+			}
+			return dev.WriteBlocks(ctx, first/int64(width), buf)
+		})
+	}
+	return fns
+}
+
+// mirrorWriteFns builds the mirror-group image writes. Each group's
+// covered blocks are logically consecutive, hence physically contiguous
+// in the group's slot: one gathered write per group (or per block under
+// the ScatterMirror ablation), deferred unless ForegroundMirror is set.
+func (a *RAIDx) mirrorWriteFns(b int64, n int, p []byte) []func(context.Context) error {
+	gs := int64(a.lay.GroupSize())
+	var fns []func(context.Context) error
+	for g := b / gs; g*gs < b+int64(n); g++ {
+		lo, hi := g*gs, (g+1)*gs
+		if lo < b {
+			lo = b
+		}
+		if hi > b+int64(n) {
+			hi = b + int64(n)
+		}
+		mdisk := a.lay.MirrorDisk(g)
+		dev := a.devs[mdisk]
+		if !dev.Healthy() {
+			continue // data copy carries the blocks
+		}
+		start := a.lay.GroupLoc(g)
+		phys := start.Block + (lo - g*gs)
+		if a.opt.ScatterMirror {
+			for lb := lo; lb < hi; lb++ {
+				lb := lb
+				fns = append(fns, func(ctx context.Context) error {
+					data := p[(lb-b)*int64(a.bs) : (lb-b+1)*int64(a.bs)]
+					mphys := phys + (lb - lo)
+					if a.opt.ForegroundMirror {
+						return dev.WriteBlocks(ctx, mphys, data)
+					}
+					return dev.WriteBlocksBackground(ctx, mphys, data)
+				})
+			}
+			continue
+		}
+		fns = append(fns, func(ctx context.Context) error {
+			chunk := p[(lo-b)*int64(a.bs) : (hi-b)*int64(a.bs)]
+			if a.opt.ForegroundMirror {
+				return dev.WriteBlocks(ctx, phys, chunk)
+			}
+			return dev.WriteBlocksBackground(ctx, phys, chunk)
+		})
+	}
+	return fns
+}
+
+// checkWritable verifies that every touched block retains at least one
+// healthy copy location.
+func (a *RAIDx) checkWritable(b int64, n int) error {
+	for lb := b; lb < b+int64(n); lb++ {
+		dOK := a.devs[a.lay.DataLoc(lb).Disk].Healthy()
+		mOK := a.devs[a.lay.MirrorLoc(lb).Disk].Healthy()
+		if !dOK && !mOK {
+			return fmt.Errorf("core: block %d has no healthy copy location: %w", lb, raid.ErrDataLoss)
+		}
+	}
+	return nil
+}
+
+func (a *RAIDx) checkRange(b int64, p []byte) (int, error) {
+	if len(p) == 0 || len(p)%a.bs != 0 {
+		return 0, fmt.Errorf("core: buffer length %d not a positive multiple of block size %d", len(p), a.bs)
+	}
+	n := len(p) / a.bs
+	if b < 0 || b+int64(n) > a.Blocks() {
+		return 0, fmt.Errorf("core: blocks [%d,%d) outside [0,%d)", b, b+int64(n), a.Blocks())
+	}
+	return n, nil
+}
+
+// Flush implements raid.Array: waits for all deferred image writes, so
+// the array is fully redundant on return.
+func (a *RAIDx) Flush(ctx context.Context) error {
+	return par.ForEach(ctx, len(a.devs), func(ctx context.Context, i int) error {
+		if !a.devs[i].Healthy() {
+			return nil
+		}
+		return a.devs[i].Flush(ctx)
+	})
+}
+
+// Rebuild implements raid.Rebuilder: the replaced disk's data half is
+// recovered from images on other nodes; its mirror half is regenerated
+// from the corresponding data blocks.
+func (a *RAIDx) Rebuild(ctx context.Context, idx int) error {
+	if idx < 0 || idx >= len(a.devs) {
+		return fmt.Errorf("core: rebuild of device %d out of range", idx)
+	}
+	if !a.devs[idx].Healthy() {
+		return fmt.Errorf("core: rebuild target %d is not healthy (replace it first)", idx)
+	}
+	width := int64(a.lay.TotalDisks())
+	// Recover the data half: blocks lb ≡ idx (mod width).
+	colBlocks := (a.Blocks() - int64(idx) + width - 1) / width
+	if colBlocks > 0 {
+		buf := make([]byte, colBlocks*int64(a.bs))
+		err := par.ForEach(ctx, int(colBlocks), func(ctx context.Context, t int) error {
+			lb := int64(idx) + int64(t)*width
+			m := a.lay.MirrorLoc(lb)
+			src := a.devs[m.Disk]
+			if !src.Healthy() {
+				return fmt.Errorf("core: image of block %d unavailable during rebuild: %w", lb, raid.ErrDataLoss)
+			}
+			return src.ReadBlocks(ctx, m.Block, buf[t*a.bs:(t+1)*a.bs])
+		})
+		if err != nil {
+			return err
+		}
+		if err := a.devs[idx].WriteBlocks(ctx, 0, buf); err != nil {
+			return err
+		}
+	}
+	// Recover the mirror half: every group whose slot lives on idx.
+	gs := int64(a.lay.GroupSize())
+	groups := a.Blocks() / gs
+	for g := int64(0); g < groups; g++ {
+		if a.lay.MirrorDisk(g) != idx {
+			continue
+		}
+		start := a.lay.GroupLoc(g)
+		chunk := make([]byte, gs*int64(a.bs))
+		err := par.ForEach(ctx, int(gs), func(ctx context.Context, j int) error {
+			lb := g*gs + int64(j)
+			d := a.lay.DataLoc(lb)
+			src := a.devs[d.Disk]
+			if !src.Healthy() {
+				return fmt.Errorf("core: data copy of block %d unavailable during rebuild: %w", lb, raid.ErrDataLoss)
+			}
+			return src.ReadBlocks(ctx, d.Block, chunk[j*a.bs:(j+1)*a.bs])
+		})
+		if err != nil {
+			return err
+		}
+		if err := a.devs[idx].WriteBlocks(ctx, start.Block, chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify implements raid.Verifier: every data block must equal its
+// image. Call Flush first if background writes may be pending.
+func (a *RAIDx) Verify(ctx context.Context) error {
+	data := make([]byte, a.bs)
+	image := make([]byte, a.bs)
+	for lb := int64(0); lb < a.Blocks(); lb++ {
+		d, m := a.lay.DataLoc(lb), a.lay.MirrorLoc(lb)
+		if err := a.devs[d.Disk].ReadBlocks(ctx, d.Block, data); err != nil {
+			return err
+		}
+		if err := a.devs[m.Disk].ReadBlocks(ctx, m.Block, image); err != nil {
+			return err
+		}
+		for i := range data {
+			if data[i] != image[i] {
+				return fmt.Errorf("core: block %d differs from its image at byte %d", lb, i)
+			}
+		}
+	}
+	return nil
+}

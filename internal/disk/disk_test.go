@@ -1,0 +1,226 @@
+package disk
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/vclock"
+)
+
+func newPure(t *testing.T, blocks int64) *Disk {
+	t.Helper()
+	return New(nil, "d0", store.NewMem(512, blocks), DefaultModel())
+}
+
+func TestPureDataRoundTrip(t *testing.T) {
+	d := newPure(t, 8)
+	ctx := context.Background()
+	data := bytes.Repeat([]byte{0xab}, 512*3)
+	if err := d.WriteBlocks(ctx, 2, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512*3)
+	if err := d.ReadBlocks(ctx, 2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-block round trip mismatch")
+	}
+}
+
+func TestRangeAndSizeErrors(t *testing.T) {
+	d := newPure(t, 4)
+	ctx := context.Background()
+	if err := d.ReadBlocks(ctx, 3, make([]byte, 1024)); err == nil {
+		t.Fatal("read past end succeeded")
+	}
+	if err := d.WriteBlocks(ctx, 0, make([]byte, 100)); err == nil {
+		t.Fatal("non-multiple write size succeeded")
+	}
+	if err := d.ReadBlocks(ctx, 0, nil); err == nil {
+		t.Fatal("empty read succeeded")
+	}
+}
+
+func TestFailedDiskErrors(t *testing.T) {
+	d := newPure(t, 4)
+	d.Fail()
+	ctx := context.Background()
+	err := d.ReadBlocks(ctx, 0, make([]byte, 512))
+	if !errors.Is(err, ErrFailed) {
+		t.Fatalf("got %v, want ErrFailed", err)
+	}
+	var fe *FailedError
+	if !errors.As(err, &fe) || fe.ID != "d0" {
+		t.Fatalf("got %v, want FailedError{d0}", err)
+	}
+	if err := d.WriteBlocks(ctx, 0, make([]byte, 512)); !errors.Is(err, ErrFailed) {
+		t.Fatalf("write: got %v, want ErrFailed", err)
+	}
+	if err := d.Flush(ctx); !errors.Is(err, ErrFailed) {
+		t.Fatalf("flush: got %v, want ErrFailed", err)
+	}
+}
+
+func TestFailAfterCountdown(t *testing.T) {
+	d := newPure(t, 4)
+	d.FailAfter(2)
+	ctx := context.Background()
+	buf := make([]byte, 512)
+	if err := d.ReadBlocks(ctx, 0, buf); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if err := d.ReadBlocks(ctx, 0, buf); err != nil {
+		t.Fatalf("op 2: %v", err)
+	}
+	if err := d.ReadBlocks(ctx, 0, buf); !errors.Is(err, ErrFailed) {
+		t.Fatalf("op 3: got %v, want ErrFailed", err)
+	}
+}
+
+func TestReplaceClearsDataAndFailure(t *testing.T) {
+	d := newPure(t, 4)
+	ctx := context.Background()
+	if err := d.WriteBlocks(ctx, 1, bytes.Repeat([]byte{7}, 512)); err != nil {
+		t.Fatal(err)
+	}
+	d.Fail()
+	d.Replace()
+	if !d.Healthy() {
+		t.Fatal("replaced disk not healthy")
+	}
+	got := make([]byte, 512)
+	if err := d.ReadBlocks(ctx, 1, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("replacement disk not blank")
+		}
+	}
+}
+
+func TestModelAccessTime(t *testing.T) {
+	m := Model{Seek: 10 * time.Millisecond, TrackSkip: time.Millisecond, BandwidthBps: 1e6, PerRequest: 0}
+	if got := m.AccessTime(1e6, false); got != 10*time.Millisecond+time.Second {
+		t.Fatalf("random 1MB = %v, want 1.01s", got)
+	}
+	if got := m.AccessTime(1e6, true); got != time.Millisecond+time.Second {
+		t.Fatalf("sequential 1MB = %v, want 1.001s", got)
+	}
+}
+
+func TestSimTimingRandomVsSequential(t *testing.T) {
+	s := vclock.New()
+	model := Model{Seek: 10 * time.Millisecond, TrackSkip: 0, BandwidthBps: 1e6, PerRequest: 0}
+	d := New(s, "d0", store.NewMem(1000, 100), model)
+	var first, second, third time.Duration
+	s.Spawn("c", func(p *vclock.Proc) {
+		ctx := vclock.With(context.Background(), p)
+		buf := make([]byte, 1000)
+		// Random access: block 10.
+		if err := d.ReadBlocks(ctx, 10, buf); err != nil {
+			t.Error(err)
+		}
+		first = p.Now()
+		// Sequential continuation: block 11 — no seek.
+		if err := d.ReadBlocks(ctx, 11, buf); err != nil {
+			t.Error(err)
+		}
+		second = p.Now()
+		// Random again: block 50.
+		if err := d.ReadBlocks(ctx, 50, buf); err != nil {
+			t.Error(err)
+		}
+		third = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1000 bytes at 1 MB/s = 1 ms transfer.
+	if first != 11*time.Millisecond {
+		t.Errorf("random read finished at %v, want 11ms", first)
+	}
+	if second-first != time.Millisecond {
+		t.Errorf("sequential read took %v, want 1ms", second-first)
+	}
+	if third-second != 11*time.Millisecond {
+		t.Errorf("second random read took %v, want 11ms", third-second)
+	}
+}
+
+func TestBackgroundWriteHidesTimeButIsDurable(t *testing.T) {
+	s := vclock.New()
+	model := Model{Seek: 10 * time.Millisecond, TrackSkip: 0, BandwidthBps: 1e6, PerRequest: 0}
+	d := New(s, "d0", store.NewMem(1000, 100), model)
+	data := bytes.Repeat([]byte{0x5a}, 1000)
+	s.Spawn("c", func(p *vclock.Proc) {
+		ctx := vclock.With(context.Background(), p)
+		if err := d.WriteBlocksBackground(ctx, 3, data); err != nil {
+			t.Error(err)
+		}
+		if p.Now() != 0 {
+			t.Errorf("background write blocked until %v", p.Now())
+		}
+		// Data is already visible.
+		got := make([]byte, 1000)
+		if err := d.ReadBlocks(ctx, 3, got); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("background write not durable")
+		}
+		// The background write runs on the deferred lane, so the
+		// foreground read pays only its own seek + transfer.
+		if p.Now() != 11*time.Millisecond {
+			t.Errorf("foreground read finished at %v, want 11ms", p.Now())
+		}
+		if err := d.Flush(ctx); err != nil {
+			t.Error(err)
+		}
+		// Flush drains the background lane (11 ms), which overlapped
+		// the foreground read, so no extra wait.
+		if p.Now() != 11*time.Millisecond {
+			t.Errorf("flush returned at %v, want 11ms", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushWaitsForBackgroundWork(t *testing.T) {
+	s := vclock.New()
+	model := Model{Seek: 5 * time.Millisecond, TrackSkip: 0, BandwidthBps: 1e6, PerRequest: 0}
+	d := New(s, "d0", store.NewMem(1000, 10), model)
+	s.Spawn("c", func(p *vclock.Proc) {
+		ctx := vclock.With(context.Background(), p)
+		if err := d.WriteBlocksBackground(ctx, 0, make([]byte, 1000)); err != nil {
+			t.Error(err)
+		}
+		if err := d.Flush(ctx); err != nil {
+			t.Error(err)
+		}
+		if p.Now() != 6*time.Millisecond {
+			t.Errorf("flush returned at %v, want 6ms", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := newPure(t, 8)
+	ctx := context.Background()
+	_ = d.WriteBlocks(ctx, 0, make([]byte, 1024))
+	_ = d.ReadBlocks(ctx, 0, make([]byte, 512))
+	r, w, br, bw := d.Stats()
+	if r != 1 || w != 1 || br != 512 || bw != 1024 {
+		t.Fatalf("stats = %d %d %d %d, want 1 1 512 1024", r, w, br, bw)
+	}
+}

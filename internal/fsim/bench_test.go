@@ -1,0 +1,97 @@
+package fsim
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/cdd"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/raid"
+	"repro/internal/store"
+)
+
+// benchFS builds a file system over a pure-data RAID-x, so the
+// benchmarks measure the FS code path cost (CPU + allocations).
+func benchFS(b *testing.B, cacheBlocks int) *FS {
+	b.Helper()
+	devs := make([]raid.Dev, 4)
+	for i := range devs {
+		devs[i] = disk.New(nil, fmt.Sprintf("d%d", i), store.NewMem(4096, 4096), disk.DefaultModel())
+	}
+	arr, err := core.New(devs, 4, 1, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs, err := Mkfs(context.Background(), arr, NewTableLocker(cdd.NewTable()), "bench",
+		Options{MaxInodes: 8192, CacheBlocks: cacheBlocks})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fs
+}
+
+func BenchmarkCreateWriteRemove(b *testing.B) {
+	fs := benchFS(b, 0)
+	ctx := context.Background()
+	data := make([]byte, 8<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("/f%d", i%512)
+		if err := fs.WriteFile(ctx, name, data); err != nil {
+			b.Fatal(err)
+		}
+		if err := fs.Remove(ctx, name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(data)))
+}
+
+func BenchmarkReadFileCached(b *testing.B) {
+	fs := benchFS(b, 64)
+	ctx := context.Background()
+	if err := fs.WriteFile(ctx, "/hot", make([]byte, 16<<10)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.ReadFile(ctx, "/hot"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(16 << 10)
+}
+
+func BenchmarkReadFileUncached(b *testing.B) {
+	fs := benchFS(b, -1)
+	ctx := context.Background()
+	if err := fs.WriteFile(ctx, "/hot", make([]byte, 16<<10)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.ReadFile(ctx, "/hot"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(16 << 10)
+}
+
+func BenchmarkPathResolveDeep(b *testing.B) {
+	fs := benchFS(b, 64)
+	ctx := context.Background()
+	if err := fs.MkdirAll(ctx, "/a/b/c/d/e"); err != nil {
+		b.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/a/b/c/d/e/leaf", []byte("x")); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Stat(ctx, "/a/b/c/d/e/leaf"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

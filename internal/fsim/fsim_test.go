@@ -1,0 +1,821 @@
+package fsim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cdd"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/raid"
+	"repro/internal/store"
+)
+
+// newFS builds a file system over a RAID-x array on pure-data disks.
+func newFS(t *testing.T, blockSize int, diskBlocks int64) *FS {
+	t.Helper()
+	devs := make([]raid.Dev, 4)
+	for i := range devs {
+		devs[i] = disk.New(nil, fmt.Sprintf("d%d", i), store.NewMem(blockSize, diskBlocks), disk.DefaultModel())
+	}
+	arr, err := core.New(devs, 4, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mkfs(context.Background(), arr, NewTableLocker(cdd.NewTable()), "test", Options{MaxInodes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestMkfsMountRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 512)
+	if err := fs.WriteFile(ctx, "/hello.txt", []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	// Remount over the same array.
+	fs2, err := Mount(ctx, fs.arr, NewTableLocker(cdd.NewTable()), "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.ReadFile(ctx, "/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMountRejectsGarbage(t *testing.T) {
+	devs := make([]raid.Dev, 2)
+	for i := range devs {
+		devs[i] = disk.New(nil, "d", store.NewMem(1024, 64), disk.DefaultModel())
+	}
+	arr, err := raid.NewRAID0(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Mount(context.Background(), arr, NewTableLocker(cdd.NewTable()), "x"); !errors.Is(err, ErrBadFS) {
+		t.Fatalf("got %v, want ErrBadFS", err)
+	}
+}
+
+func TestMkdirTreeAndReadDir(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 512)
+	if err := fs.MkdirAll(ctx, "/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/a/b/c/f1", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/a/b/c/f2", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(ctx, "/a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("%d entries, want 2", len(ents))
+	}
+	info, err := fs.Stat(ctx, "/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.IsDir {
+		t.Fatal("/a/b not a dir")
+	}
+	info, err = fs.Stat(ctx, "/a/b/c/f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.IsDir || info.Size != 3 {
+		t.Fatalf("f1 info = %+v", info)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 512)
+	if _, err := fs.Open(ctx, "/missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("open missing: %v", err)
+	}
+	if err := fs.Mkdir(ctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir(ctx, "/d"); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate mkdir: %v", err)
+	}
+	if _, err := fs.Open(ctx, "/d"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("open dir: %v", err)
+	}
+	if err := fs.WriteFile(ctx, "/d/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(ctx, "/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("remove non-empty: %v", err)
+	}
+	if _, err := fs.Create(ctx, "/d/f/x"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("create under file: %v", err)
+	}
+	long := make([]byte, maxNameLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if _, err := fs.Create(ctx, "/"+string(long)); !errors.Is(err, ErrNameTooLong) {
+		t.Errorf("long name: %v", err)
+	}
+}
+
+func TestRemoveFreesSpace(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 512)
+	data := make([]byte, 8*1024)
+	// Fill and delete repeatedly: if blocks leaked, this would hit
+	// ErrNoSpace.
+	for round := 0; round < 30; round++ {
+		name := fmt.Sprintf("/f%d", round)
+		if err := fs.WriteFile(ctx, name, data); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := fs.Remove(ctx, name); err != nil {
+			t.Fatalf("round %d remove: %v", round, err)
+		}
+	}
+	// Inodes are reusable too.
+	if _, err := fs.Stat(ctx, "/f0"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("removed file still visible: %v", err)
+	}
+}
+
+func TestLargeFileUsesIndirect(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 2048)
+	// > 12 direct blocks: 20 KB with 1 KB blocks.
+	data := make([]byte, 20*1024)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := fs.WriteFile(ctx, "/big", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(ctx, "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("indirect-block file corrupted")
+	}
+}
+
+func TestSparseFileReadsZeros(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 1024)
+	f, err := fs.Create(ctx, "/sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteAt(ctx, []byte("end"), 5000); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5003)
+	n, err := f.ReadAt(ctx, buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5003 {
+		t.Fatalf("read %d bytes, want 5003", n)
+	}
+	for i := 0; i < 5000; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("hole not zero at %d", i)
+		}
+	}
+	if string(buf[5000:]) != "end" {
+		t.Fatalf("tail = %q", buf[5000:])
+	}
+}
+
+func TestOverwriteMiddle(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 1024)
+	base := bytes.Repeat([]byte{'a'}, 3000)
+	if err := fs.WriteFile(ctx, "/f", base); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteAt(ctx, []byte("XYZ"), 1500); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(base[1500:], "XYZ")
+	if !bytes.Equal(got, base) {
+		t.Fatal("partial overwrite corrupted file")
+	}
+	if size, _ := f.Size(ctx); size != 3000 {
+		t.Fatalf("size = %d, want 3000 (overwrite must not grow)", size)
+	}
+}
+
+func TestAppendGrows(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 1024)
+	f, err := fs.Create(ctx, "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for i := 0; i < 10; i++ {
+		chunk := bytes.Repeat([]byte{byte('0' + i)}, 300)
+		if err := f.Append(ctx, chunk); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, chunk...)
+	}
+	got, err := fs.ReadFile(ctx, "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("appended content wrong")
+	}
+}
+
+func TestManyFilesInOneDir(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 2048)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := fs.WriteFile(ctx, fmt.Sprintf("/dir%03d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := fs.ReadDir(ctx, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != n {
+		t.Fatalf("%d entries, want %d", len(ents), n)
+	}
+	for i := 0; i < n; i += 17 {
+		got, err := fs.ReadFile(ctx, fmt.Sprintf("/dir%03d", i))
+		if err != nil || len(got) != 1 || got[0] != byte(i) {
+			t.Fatalf("file %d: %v %v", i, got, err)
+		}
+	}
+}
+
+func TestOutOfSpace(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 64) // tiny volume
+	big := make([]byte, 256*1024)
+	err := fs.WriteFile(ctx, "/big", big)
+	if err == nil {
+		t.Fatal("oversized write succeeded")
+	}
+}
+
+// TestTwoMountsShareState: two FS instances over the same array (two
+// CDD clients) observe each other's changes. Caching is disabled so
+// the reads are strictly coherent; TestCacheStalenessAndTTL pins the
+// weaker cached behaviour.
+func TestTwoMountsShareState(t *testing.T) {
+	ctx := context.Background()
+	fs1 := newFS(t, 1024, 512)
+	table := cdd.NewTable()
+	fs1.lock = NewTableLocker(table)
+	fs1.cache = nil
+	fs2, err := MountOptions(ctx, fs1.arr, NewTableLocker(table), "client2", Options{CacheBlocks: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs1.MkdirAll(ctx, "/shared"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs1.WriteFile(ctx, "/shared/a", []byte("from-1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.ReadFile(ctx, "/shared/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "from-1" {
+		t.Fatalf("fs2 sees %q", got)
+	}
+	if err := fs2.WriteFile(ctx, "/shared/b", []byte("from-2")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs1.ReadDir(ctx, "/shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("fs1 sees %d entries, want 2", len(ents))
+	}
+}
+
+// TestFSSurvivesDiskFailure: the FS on RAID-x keeps working in degraded
+// mode.
+func TestFSSurvivesDiskFailure(t *testing.T) {
+	ctx := context.Background()
+	devs := make([]raid.Dev, 4)
+	raw := make([]*disk.Disk, 4)
+	for i := range devs {
+		d := disk.New(nil, fmt.Sprintf("d%d", i), store.NewMem(1024, 512), disk.DefaultModel())
+		devs[i] = d
+		raw[i] = d
+	}
+	arr, err := core.New(devs, 4, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mkfs(ctx, arr, NewTableLocker(cdd.NewTable()), "t", Options{MaxInodes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x77}, 4096)
+	if err := fs.WriteFile(ctx, "/keep", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	raw[1].Fail()
+	got, err := fs.ReadFile(ctx, "/keep")
+	if err != nil {
+		t.Fatalf("degraded read through FS: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded FS read wrong data")
+	}
+	if err := fs.WriteFile(ctx, "/new", []byte("written degraded")); err != nil {
+		t.Fatalf("degraded write through FS: %v", err)
+	}
+	got, err = fs.ReadFile(ctx, "/new")
+	if err != nil || string(got) != "written degraded" {
+		t.Fatalf("reread: %q %v", got, err)
+	}
+}
+
+func TestLockerSerializesConflicts(t *testing.T) {
+	table := cdd.NewTable()
+	lk := NewTableLocker(table)
+	ctx := context.Background()
+	rs := []cdd.Range{{Start: 5, End: 6}}
+	if err := lk.Lock(ctx, "a", rs); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- lk.Lock(ctx, "b", rs) }()
+	select {
+	case <-done:
+		t.Fatal("conflicting lock granted while held")
+	default:
+	}
+	if err := lk.Unlock(ctx, "a", rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheStalenessAndTTL pins the NFS-style weak consistency of the
+// per-mount block cache: a remote change is invisible while a cached
+// copy is fresh, becomes visible after the TTL, and mutating operations
+// always see fresh state because locked reads bypass the cache.
+func TestCacheStalenessAndTTL(t *testing.T) {
+	ctx := context.Background()
+	fs1 := newFS(t, 1024, 512)
+	table := cdd.NewTable()
+	fs1.lock = NewTableLocker(table)
+	fs2, err := Mount(ctx, fs1.arr, NewTableLocker(table), "client2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs1.cache.ttl = 20 * time.Millisecond
+	fs2.cache.ttl = 20 * time.Millisecond
+
+	if err := fs1.WriteFile(ctx, "/f", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// fs2 reads (and caches) v1.
+	if got, err := fs2.ReadFile(ctx, "/f"); err != nil || string(got) != "v1" {
+		t.Fatalf("fs2 initial read: %q %v", got, err)
+	}
+	// fs1 overwrites.
+	f, err := fs1.Open(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteAt(ctx, []byte("v2"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Within the TTL, fs2 may still see v1 (stale but permitted).
+	if got, _ := fs2.ReadFile(ctx, "/f"); string(got) != "v1" && string(got) != "v2" {
+		t.Fatalf("fs2 saw garbage %q", got)
+	}
+	// After the TTL, fs2 must see v2.
+	time.Sleep(30 * time.Millisecond)
+	if got, err := fs2.ReadFile(ctx, "/f"); err != nil || string(got) != "v2" {
+		t.Fatalf("fs2 post-TTL read: %q %v", got, err)
+	}
+	// A mutating op on fs2 must see fresh state regardless of cache:
+	// creating a name fs1 just created must fail with ErrExist.
+	if err := fs1.WriteFile(ctx, "/race", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs2.Create(ctx, "/race"); !errors.Is(err, ErrExist) {
+		t.Fatalf("fs2 create over existing: %v (locked path must bypass cache)", err)
+	}
+}
+
+// TestCacheSelfCoherence: a mount always reads its own writes, cached
+// or not.
+func TestCacheSelfCoherence(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 512)
+	if err := fs.WriteFile(ctx, "/self", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile(ctx, "/self"); string(got) != "one" {
+		t.Fatalf("got %q", got)
+	}
+	f, err := fs.Open(ctx, "/self")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteAt(ctx, []byte("two"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile(ctx, "/self"); string(got) != "two" {
+		t.Fatalf("after overwrite got %q", got)
+	}
+}
+
+func TestRenameSameDir(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 512)
+	if err := fs.WriteFile(ctx, "/old", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(ctx, "/old", "/new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(ctx, "/old"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("old name still resolves: %v", err)
+	}
+	got, err := fs.ReadFile(ctx, "/new")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("new name: %q %v", got, err)
+	}
+}
+
+func TestRenameAcrossDirs(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 512)
+	if err := fs.MkdirAll(ctx, "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll(ctx, "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/a/f", []byte("move me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(ctx, "/a/f", "/b/g"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(ctx, "/b/g")
+	if err != nil || string(got) != "move me" {
+		t.Fatalf("moved file: %q %v", got, err)
+	}
+	ents, err := fs.ReadDir(ctx, "/a")
+	if err != nil || len(ents) != 0 {
+		t.Fatalf("/a entries after move: %v %v", ents, err)
+	}
+}
+
+func TestRenameErrors(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 512)
+	if err := fs.WriteFile(ctx, "/x", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/y", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(ctx, "/missing", "/z"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("rename missing: %v", err)
+	}
+	if err := fs.Rename(ctx, "/x", "/y"); !errors.Is(err, ErrExist) {
+		t.Errorf("rename onto existing: %v", err)
+	}
+}
+
+func TestFsckCleanVolume(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 512)
+	if err := fs.MkdirAll(ctx, "/d1/d2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := fs.WriteFile(ctx, fmt.Sprintf("/d1/f%d", i), make([]byte, 2048)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Remove(ctx, "/d1/f3"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fs.Fsck(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean volume flagged: %s\nproblems: %v", rep, rep.Problems)
+	}
+	if rep.Files != 9 || rep.Dirs != 3 { // root + d1 + d2
+		t.Fatalf("counts: %s", rep)
+	}
+}
+
+func TestFsckDetectsLeak(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 512)
+	if err := fs.WriteFile(ctx, "/f", make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: mark an unused block as allocated in group 0's bitmap.
+	g := uint32(0)
+	buf := make([]byte, fs.bs)
+	if err := fs.arr.ReadBlocks(ctx, fs.sb.blockBitmapBlk(g), buf); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := fs.sb.groupDataRange(g)
+	victim := int64(-1)
+	for bit := int64(0); bit < hi-lo; bit++ {
+		if buf[bit/8]&(1<<(bit%8)) == 0 {
+			buf[bit/8] |= 1 << (bit % 8)
+			victim = lo + bit
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("group 0 full")
+	}
+	if err := fs.arr.WriteBlocks(ctx, fs.sb.blockBitmapBlk(g), buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fs.Fsck(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.LeakedBlocks) != 1 || rep.LeakedBlocks[0] != victim {
+		t.Fatalf("leak not found: %s (want block %d)", rep, victim)
+	}
+}
+
+func TestTruncateShrinkAndGrow(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 1024)
+	data := make([]byte, 20*1024) // uses indirect blocks at 1 KB bs
+	rand.New(rand.NewSource(5)).Read(data)
+	if err := fs.WriteFile(ctx, "/t", data); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open(ctx, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink below the direct-block boundary.
+	if err := f.Truncate(ctx, 5000); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(ctx, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[:5000]) {
+		t.Fatal("shrink corrupted retained prefix")
+	}
+	// Grow logically: tail reads as zeros.
+	if err := f.Truncate(ctx, 8000); err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs.ReadFile(ctx, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8000 {
+		t.Fatalf("size after grow = %d", len(got))
+	}
+	for i := 5000; i < 8000; i++ {
+		if got[i] != 0 {
+			t.Fatalf("grown tail not zero at %d", i)
+		}
+	}
+	// Freed blocks must be reusable and the volume consistent.
+	rep, err := fs.Fsck(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("fsck after truncate: %s %v", rep, rep.Problems)
+	}
+}
+
+func TestTruncateToZeroFreesEverything(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 1024)
+	if err := fs.WriteFile(ctx, "/t", make([]byte, 30*1024)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open(ctx, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fs.Fsck(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("fsck: %s %v", rep, rep.Problems)
+	}
+	if size, _ := f.Size(ctx); size != 0 {
+		t.Fatalf("size = %d", size)
+	}
+}
+
+func TestRepairReleasesLeaks(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 512)
+	if err := fs.WriteFile(ctx, "/keep", make([]byte, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	// Inject a leaked block and a leaked inode behind the FS's back.
+	buf := make([]byte, fs.bs)
+	if err := fs.arr.ReadBlocks(ctx, fs.sb.blockBitmapBlk(0), buf); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := fs.sb.groupDataRange(0)
+	for bit := int64(0); bit < hi-lo; bit++ {
+		if buf[bit/8]&(1<<(bit%8)) == 0 {
+			buf[bit/8] |= 1 << (bit % 8)
+			break
+		}
+	}
+	if err := fs.arr.WriteBlocks(ctx, fs.sb.blockBitmapBlk(0), buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.arr.ReadBlocks(ctx, fs.sb.inodeBitmapBlk(1), buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[3] |= 1 << 1 // inode 25 of group 1, definitely unused
+	if err := fs.arr.WriteBlocks(ctx, fs.sb.inodeBitmapBlk(1), buf); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := fs.Fsck(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("injected corruption not detected")
+	}
+	after, err := fs.Repair(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.OK() {
+		t.Fatalf("repair left problems: %s %v", after, after.Problems)
+	}
+	// Data untouched.
+	if _, err := fs.ReadFile(ctx, "/keep"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 512)
+	if err := fs.MkdirAll(ctx, "/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/top", "/a/f1", "/a/b/f2"} {
+		if err := fs.WriteFile(ctx, p, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var paths []string
+	err := fs.Walk(ctx, "/", func(path string, info FileInfo) error {
+		paths = append(paths, path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"/": true, "/top": true, "/a": true, "/a/f1": true, "/a/b": true, "/a/b/f2": true}
+	if len(paths) != len(want) {
+		t.Fatalf("walk visited %v, want %d entries", paths, len(want))
+	}
+	for _, p := range paths {
+		if !want[p] {
+			t.Fatalf("unexpected path %q", p)
+		}
+	}
+}
+
+func TestFileReaderWriterStreams(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 1024)
+	f, err := fs.Create(ctx, "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := f.Writer(ctx, 0)
+	var want []byte
+	for i := 0; i < 8; i++ {
+		chunk := bytes.Repeat([]byte{byte('a' + i)}, 700)
+		if _, err := w.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, chunk...)
+	}
+	r := f.Reader(ctx)
+	got := make([]byte, 0, len(want))
+	buf := make([]byte, 513) // odd size to exercise partial reads
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("streamed %d bytes, want %d; content mismatch=%v", len(got), len(want), !bytes.Equal(got, want))
+	}
+}
+
+func TestStatFSAccounting(t *testing.T) {
+	ctx := context.Background()
+	fs := newFS(t, 1024, 512)
+	initial, err := fs.StatFS(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if initial.TotalBlocks <= 0 || initial.FreeBlocks > initial.TotalBlocks {
+		t.Fatalf("bad stat %+v", initial)
+	}
+	// Root consumes one inode.
+	if initial.TotalInodes-initial.FreeInodes != 1 {
+		t.Fatalf("used inodes = %d, want 1 (root)", initial.TotalInodes-initial.FreeInodes)
+	}
+	// Warm the root directory (its first data block) so the deltas
+	// below are purely the file's.
+	if err := fs.WriteFile(ctx, "/warm", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	before, err := fs.StatFS(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/f", make([]byte, 4*1024)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := fs.StatFS(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.FreeBlocks != before.FreeBlocks-4 {
+		t.Fatalf("free blocks %d -> %d, want -4", before.FreeBlocks, after.FreeBlocks)
+	}
+	if after.FreeInodes != before.FreeInodes-1 {
+		t.Fatalf("free inodes %d -> %d, want -1", before.FreeInodes, after.FreeInodes)
+	}
+	if err := fs.Remove(ctx, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	final, err := fs.StatFS(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.FreeBlocks != before.FreeBlocks || final.FreeInodes != before.FreeInodes {
+		t.Fatalf("space not returned: %+v vs %+v", final, before)
+	}
+}

@@ -1,0 +1,360 @@
+package fsim
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cdd"
+)
+
+// Inode modes.
+const (
+	modeFree uint16 = 0
+	modeFile uint16 = 1
+	modeDir  uint16 = 2
+)
+
+// inode is the 128-byte on-disk inode.
+type inode struct {
+	Mode     uint16
+	Nlink    uint16
+	Size     uint64
+	Direct   [numDirect]uint64
+	Indirect uint64
+}
+
+func (in *inode) encode(buf []byte) {
+	binary.BigEndian.PutUint16(buf[0:], in.Mode)
+	binary.BigEndian.PutUint16(buf[2:], in.Nlink)
+	binary.BigEndian.PutUint64(buf[4:], in.Size)
+	for i, d := range in.Direct {
+		binary.BigEndian.PutUint64(buf[12+8*i:], d)
+	}
+	binary.BigEndian.PutUint64(buf[12+8*numDirect:], in.Indirect)
+}
+
+func (in *inode) decode(buf []byte) {
+	in.Mode = binary.BigEndian.Uint16(buf[0:])
+	in.Nlink = binary.BigEndian.Uint16(buf[2:])
+	in.Size = binary.BigEndian.Uint64(buf[4:])
+	for i := range in.Direct {
+		in.Direct[i] = binary.BigEndian.Uint64(buf[12+8*i:])
+	}
+	in.Indirect = binary.BigEndian.Uint64(buf[12+8*numDirect:])
+}
+
+// inodeLoc reports the block and in-block offset of inode ino within
+// its group's inode table.
+func (fs *FS) inodeLoc(ino uint32) (blk int64, off int) {
+	g := ino / fs.sb.InodesPerGroup
+	within := ino % fs.sb.InodesPerGroup
+	per := fs.bs / inodeSize
+	return fs.sb.inodeTableStart(g) + int64(within)/int64(per), (int(within) % per) * inodeSize
+}
+
+// readInode loads inode ino.
+func (fs *FS) readInode(ctx context.Context, ino uint32) (*inode, error) {
+	if ino >= fs.sb.maxInodes() {
+		return nil, fmt.Errorf("fsim: inode %d out of range", ino)
+	}
+	blk, off := fs.inodeLoc(ino)
+	buf := make([]byte, fs.bs)
+	if err := fs.bread(ctx, blk, buf); err != nil {
+		return nil, err
+	}
+	var in inode
+	in.decode(buf[off : off+inodeSize])
+	return &in, nil
+}
+
+// writeInode stores inode ino. Several inodes share one table block, so
+// the read-modify-write runs under a leaf lock on that block. Leaf
+// locks are never held while acquiring other locks, so they cannot
+// participate in a deadlock cycle.
+func (fs *FS) writeInode(ctx context.Context, ino uint32, in *inode) error {
+	blk, _ := fs.inodeLoc(ino)
+	return fs.withLocks(ctx, []cdd.Range{lockForTableBlock(blk)}, func(ctx context.Context) error {
+		return fs.writeInodeRaw(ctx, ino, in)
+	})
+}
+
+// writeInodeRaw is writeInode without the leaf lock (Mkfs, before any
+// concurrency exists).
+func (fs *FS) writeInodeRaw(ctx context.Context, ino uint32, in *inode) error {
+	blk, off := fs.inodeLoc(ino)
+	buf := make([]byte, fs.bs)
+	if err := fs.bread(ctx, blk, buf); err != nil {
+		return err
+	}
+	in.encode(buf[off : off+inodeSize])
+	return fs.bwrite(ctx, blk, buf)
+}
+
+// --- bitmaps (callers hold the owning group's lock) ---
+
+// setInodeUsed flips inode ino's bit in its group's inode bitmap.
+func (fs *FS) setInodeUsed(ctx context.Context, ino uint32, used bool) error {
+	g := ino / fs.sb.InodesPerGroup
+	within := ino % fs.sb.InodesPerGroup
+	bm := fs.sb.inodeBitmapBlk(g)
+	buf := make([]byte, fs.bs)
+	if err := fs.bread(ctx, bm, buf); err != nil {
+		return err
+	}
+	if used {
+		buf[within/8] |= 1 << (within % 8)
+	} else {
+		buf[within/8] &^= 1 << (within % 8)
+	}
+	return fs.bwrite(ctx, bm, buf)
+}
+
+// allocInode claims a free inode in group g.
+func (fs *FS) allocInode(ctx context.Context, g uint32) (uint32, error) {
+	bm := fs.sb.inodeBitmapBlk(g)
+	buf := make([]byte, fs.bs)
+	if err := fs.bread(ctx, bm, buf); err != nil {
+		return 0, err
+	}
+	for i := uint32(0); i < fs.sb.InodesPerGroup; i++ {
+		if buf[i/8]&(1<<(i%8)) == 0 {
+			buf[i/8] |= 1 << (i % 8)
+			if err := fs.bwrite(ctx, bm, buf); err != nil {
+				return 0, err
+			}
+			return g*fs.sb.InodesPerGroup + i, nil
+		}
+	}
+	return 0, ErrNoInodes
+}
+
+// allocBlocks claims count free data blocks from group g.
+func (fs *FS) allocBlocks(ctx context.Context, g uint32, count int) ([]int64, error) {
+	lo, hi := fs.sb.groupDataRange(g)
+	bm := fs.sb.blockBitmapBlk(g)
+	buf := make([]byte, fs.bs)
+	if err := fs.bread(ctx, bm, buf); err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, count)
+	for bit := int64(0); bit < hi-lo && len(out) < count; bit++ {
+		if buf[bit/8]&(1<<(bit%8)) == 0 {
+			buf[bit/8] |= 1 << (bit % 8)
+			out = append(out, lo+bit)
+		}
+	}
+	if len(out) < count {
+		return nil, ErrNoSpace // nothing written back: claim rolled back
+	}
+	if err := fs.bwrite(ctx, bm, buf); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// freeBlocksInGroup releases the subset of blks owned by group g.
+func (fs *FS) freeBlocksInGroup(ctx context.Context, g uint32, blks []int64) error {
+	lo, hi := fs.sb.groupDataRange(g)
+	bm := fs.sb.blockBitmapBlk(g)
+	buf := make([]byte, fs.bs)
+	if err := fs.bread(ctx, bm, buf); err != nil {
+		return err
+	}
+	for _, b := range blks {
+		if b < lo || b >= hi {
+			continue
+		}
+		bit := b - lo
+		buf[bit/8] &^= 1 << (bit % 8)
+	}
+	return fs.bwrite(ctx, bm, buf)
+}
+
+// ptrsPerBlock is the fanout of the indirect block.
+func (fs *FS) ptrsPerBlock() int { return fs.bs / 8 }
+
+// maxFileBlocks is the largest file in blocks.
+func (fs *FS) maxFileBlocks() int64 { return numDirect + int64(fs.ptrsPerBlock()) }
+
+// blockOf resolves file-relative block idx of an inode to a physical
+// block, returning 0 if unallocated.
+func (fs *FS) blockOf(ctx context.Context, in *inode, idx int64) (int64, error) {
+	if idx < numDirect {
+		return int64(in.Direct[idx]), nil
+	}
+	idx -= numDirect
+	if idx >= int64(fs.ptrsPerBlock()) || in.Indirect == 0 {
+		return 0, nil
+	}
+	buf := make([]byte, fs.bs)
+	if err := fs.bread(ctx, int64(in.Indirect), buf); err != nil {
+		return 0, err
+	}
+	return int64(binary.BigEndian.Uint64(buf[idx*8:])), nil
+}
+
+// mapBlocks ensures file blocks [0, want) are allocated, claiming new
+// blocks from group g as needed. Caller holds the inode lock and group
+// g's lock.
+func (fs *FS) mapBlocks(ctx context.Context, in *inode, want int64, g uint32) error {
+	if want > fs.maxFileBlocks() {
+		return fmt.Errorf("fsim: file larger than %d blocks", fs.maxFileBlocks())
+	}
+	var missing int64
+	for idx := int64(0); idx < want; idx++ {
+		b, err := fs.blockOf(ctx, in, idx)
+		if err != nil {
+			return err
+		}
+		if b == 0 {
+			missing++
+		}
+	}
+	needIndirect := want > numDirect && in.Indirect == 0
+	if missing == 0 && !needIndirect {
+		return nil
+	}
+	n := int(missing)
+	if needIndirect {
+		n++
+	}
+	blks, err := fs.allocBlocks(ctx, g, n)
+	if err != nil {
+		return err
+	}
+	next := 0
+	var indirectBuf []byte
+	if needIndirect {
+		in.Indirect = uint64(blks[next])
+		next++
+		indirectBuf = make([]byte, fs.bs)
+	} else if want > numDirect && in.Indirect != 0 {
+		indirectBuf = make([]byte, fs.bs)
+		if err := fs.bread(ctx, int64(in.Indirect), indirectBuf); err != nil {
+			return err
+		}
+	}
+	for idx := int64(0); idx < want; idx++ {
+		if idx < numDirect {
+			if in.Direct[idx] == 0 {
+				in.Direct[idx] = uint64(blks[next])
+				next++
+			}
+			continue
+		}
+		off := (idx - numDirect) * 8
+		if binary.BigEndian.Uint64(indirectBuf[off:]) == 0 {
+			binary.BigEndian.PutUint64(indirectBuf[off:], uint64(blks[next]))
+			next++
+		}
+	}
+	if indirectBuf != nil {
+		if err := fs.bwrite(ctx, int64(in.Indirect), indirectBuf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fileBlocks lists the allocated physical blocks of an inode in order.
+func (fs *FS) fileBlocks(ctx context.Context, in *inode) ([]int64, error) {
+	nblocks := (int64(in.Size) + int64(fs.bs) - 1) / int64(fs.bs)
+	out := make([]int64, 0, nblocks)
+	for idx := int64(0); idx < nblocks; idx++ {
+		b, err := fs.blockOf(ctx, in, idx)
+		if err != nil {
+			return nil, err
+		}
+		if b != 0 {
+			out = append(out, b)
+		}
+	}
+	if in.Indirect != 0 {
+		out = append(out, int64(in.Indirect))
+	}
+	return out, nil
+}
+
+// readData copies [off, off+len(p)) of the inode's data into p.
+func (fs *FS) readData(ctx context.Context, in *inode, off int64, p []byte) (int, error) {
+	size := int64(in.Size)
+	if off >= size {
+		return 0, nil
+	}
+	if off+int64(len(p)) > size {
+		p = p[:size-off]
+	}
+	total := 0
+	buf := make([]byte, fs.bs)
+	for len(p) > 0 {
+		idx := off / int64(fs.bs)
+		within := int(off % int64(fs.bs))
+		n := fs.bs - within
+		if n > len(p) {
+			n = len(p)
+		}
+		phys, err := fs.blockOf(ctx, in, idx)
+		if err != nil {
+			return total, err
+		}
+		if phys == 0 {
+			for i := 0; i < n; i++ {
+				p[i] = 0 // hole
+			}
+		} else {
+			if err := fs.bread(ctx, phys, buf); err != nil {
+				return total, err
+			}
+			copy(p[:n], buf[within:within+n])
+		}
+		p = p[n:]
+		off += int64(n)
+		total += n
+	}
+	return total, nil
+}
+
+// writeData stores p at [off, off+len(p)), growing the file with
+// blocks from group g. Caller must hold the inode and group locks; the
+// inode is updated in memory and must be written back by the caller.
+func (fs *FS) writeData(ctx context.Context, in *inode, off int64, p []byte, g uint32) error {
+	end := off + int64(len(p))
+	want := (end + int64(fs.bs) - 1) / int64(fs.bs)
+	if err := fs.mapBlocks(ctx, in, want, g); err != nil {
+		return err
+	}
+	buf := make([]byte, fs.bs)
+	for len(p) > 0 {
+		idx := off / int64(fs.bs)
+		within := int(off % int64(fs.bs))
+		n := fs.bs - within
+		if n > len(p) {
+			n = len(p)
+		}
+		phys, err := fs.blockOf(ctx, in, idx)
+		if err != nil {
+			return err
+		}
+		if n == fs.bs {
+			if err := fs.bwrite(ctx, phys, p[:n]); err != nil {
+				return err
+			}
+		} else {
+			// Partial block: read-modify-write.
+			if err := fs.bread(ctx, phys, buf); err != nil {
+				return err
+			}
+			copy(buf[within:], p[:n])
+			if err := fs.bwrite(ctx, phys, buf); err != nil {
+				return err
+			}
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+	if uint64(end) > in.Size {
+		in.Size = uint64(end)
+	}
+	return nil
+}

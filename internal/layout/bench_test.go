@@ -1,0 +1,33 @@
+package layout
+
+import "testing"
+
+func BenchmarkOSMDataLoc(b *testing.B) {
+	l := NewOSM(12, 1, 2048)
+	n := l.DataBlocks()
+	var sink Loc
+	for i := 0; i < b.N; i++ {
+		sink = l.DataLoc(int64(i) % n)
+	}
+	_ = sink
+}
+
+func BenchmarkOSMMirrorLoc(b *testing.B) {
+	l := NewOSM(12, 1, 2048)
+	n := l.DataBlocks()
+	var sink Loc
+	for i := 0; i < b.N; i++ {
+		sink = l.MirrorLoc(int64(i) % n)
+	}
+	_ = sink
+}
+
+func BenchmarkRAID5DataLoc(b *testing.B) {
+	l := NewRAID5(Geometry{Disks: 12, DiskBlocks: 2048})
+	n := l.DataBlocks()
+	var sink Loc
+	for i := 0; i < b.N; i++ {
+		sink = l.DataLoc(int64(i) % n)
+	}
+	_ = sink
+}

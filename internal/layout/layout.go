@@ -1,0 +1,190 @@
+// Package layout defines the block placement policies of every disk
+// array architecture in the paper: RAID-0 striping, RAID-5 rotated
+// parity, RAID-10 striped mirrors, chained declustering, and the
+// paper's contribution — orthogonal striping and mirroring (OSM).
+//
+// A layout is pure address arithmetic: it maps logical block numbers to
+// physical (disk, block) locations. The array engines in internal/raid
+// and internal/core move data according to these maps; the property
+// tests in this package verify the invariants the paper claims (no data
+// block shares a disk with its image, the images of one stripe group
+// land on exactly two disks, mirror groups are physically contiguous).
+package layout
+
+import "fmt"
+
+// Loc identifies one physical block: disk index within the array, and
+// block offset within that disk.
+type Loc struct {
+	Disk  int
+	Block int64
+}
+
+func (l Loc) String() string { return fmt.Sprintf("D%d:%d", l.Disk, l.Block) }
+
+// Geometry describes the raw array: number of disks and blocks per disk.
+type Geometry struct {
+	Disks      int
+	DiskBlocks int64
+}
+
+func (g Geometry) validate() {
+	if g.Disks < 1 {
+		panic(fmt.Sprintf("layout: %d disks", g.Disks))
+	}
+	if g.DiskBlocks < 1 {
+		panic(fmt.Sprintf("layout: %d blocks per disk", g.DiskBlocks))
+	}
+}
+
+// Striper is implemented by every layout: the map from logical data
+// blocks to their primary physical location.
+type Striper interface {
+	// DataBlocks reports usable capacity in blocks.
+	DataBlocks() int64
+	// DataLoc maps a logical block to its primary location.
+	DataLoc(b int64) Loc
+}
+
+// Mirrorer is implemented by layouts that keep a second copy of every
+// block (RAID-10, chained declustering, OSM).
+type Mirrorer interface {
+	Striper
+	// MirrorLoc maps a logical block to the location of its image.
+	MirrorLoc(b int64) Loc
+}
+
+// RAID0 stripes blocks round-robin over all disks with no redundancy.
+type RAID0 struct{ Geo Geometry }
+
+// NewRAID0 creates a RAID-0 layout.
+func NewRAID0(geo Geometry) RAID0 {
+	geo.validate()
+	return RAID0{Geo: geo}
+}
+
+// DataBlocks implements Striper.
+func (l RAID0) DataBlocks() int64 { return int64(l.Geo.Disks) * l.Geo.DiskBlocks }
+
+// DataLoc implements Striper.
+func (l RAID0) DataLoc(b int64) Loc {
+	n := int64(l.Geo.Disks)
+	return Loc{Disk: int(b % n), Block: b / n}
+}
+
+// RAID10 stripes data over mirrored pairs of disks: block b lives on
+// pair (b mod Disks/2), with the primary copy on the even disk of the
+// pair and the image on the odd disk at the same offset. Disks must be
+// even and at least 2.
+type RAID10 struct{ Geo Geometry }
+
+// NewRAID10 creates a RAID-10 layout.
+func NewRAID10(geo Geometry) RAID10 {
+	geo.validate()
+	if geo.Disks%2 != 0 {
+		panic(fmt.Sprintf("layout: RAID-10 needs an even disk count, got %d", geo.Disks))
+	}
+	return RAID10{Geo: geo}
+}
+
+// Pairs reports the number of mirrored pairs.
+func (l RAID10) Pairs() int { return l.Geo.Disks / 2 }
+
+// DataBlocks implements Striper.
+func (l RAID10) DataBlocks() int64 { return int64(l.Pairs()) * l.Geo.DiskBlocks }
+
+// DataLoc implements Striper.
+func (l RAID10) DataLoc(b int64) Loc {
+	p := int64(l.Pairs())
+	return Loc{Disk: int(b%p) * 2, Block: b / p}
+}
+
+// MirrorLoc implements Mirrorer.
+func (l RAID10) MirrorLoc(b int64) Loc {
+	p := int64(l.Pairs())
+	return Loc{Disk: int(b%p)*2 + 1, Block: b / p}
+}
+
+// Chained is Hsiao–DeWitt chained declustering (the paper's Figure 1b):
+// the data area of disk i holds blocks b with b mod n == i, and the
+// mirror area of disk (i+1) mod n holds their images at the same
+// relative offsets — "skewed mirroring".
+type Chained struct{ Geo Geometry }
+
+// NewChained creates a chained-declustering layout. At least 2 disks.
+func NewChained(geo Geometry) Chained {
+	geo.validate()
+	if geo.Disks < 2 {
+		panic("layout: chained declustering needs >= 2 disks")
+	}
+	return Chained{Geo: geo}
+}
+
+// DataBlocks implements Striper. Half of each disk holds data, half
+// holds images.
+func (l Chained) DataBlocks() int64 { return int64(l.Geo.Disks) * (l.Geo.DiskBlocks / 2) }
+
+// DataLoc implements Striper.
+func (l Chained) DataLoc(b int64) Loc {
+	n := int64(l.Geo.Disks)
+	return Loc{Disk: int(b % n), Block: b / n}
+}
+
+// MirrorLoc implements Mirrorer.
+func (l Chained) MirrorLoc(b int64) Loc {
+	n := int64(l.Geo.Disks)
+	return Loc{Disk: int((b%n + 1) % n), Block: l.Geo.DiskBlocks/2 + b/n}
+}
+
+// RAID5 is block-interleaved distributed parity with rotating parity
+// placement. Stripe s places its parity on disk (n-1 - s mod n) and its
+// n-1 data blocks on the remaining disks in cyclic order after the
+// parity disk.
+type RAID5 struct{ Geo Geometry }
+
+// NewRAID5 creates a RAID-5 layout. At least 3 disks.
+func NewRAID5(geo Geometry) RAID5 {
+	geo.validate()
+	if geo.Disks < 3 {
+		panic("layout: RAID-5 needs >= 3 disks")
+	}
+	return RAID5{Geo: geo}
+}
+
+// DataBlocks implements Striper.
+func (l RAID5) DataBlocks() int64 { return int64(l.Geo.Disks-1) * l.Geo.DiskBlocks }
+
+// StripeOf reports the stripe number and the index within the stripe of
+// logical block b.
+func (l RAID5) StripeOf(b int64) (stripe int64, j int) {
+	n := int64(l.Geo.Disks - 1)
+	return b / n, int(b % n)
+}
+
+// ParityDisk reports which disk holds the parity of stripe s.
+func (l RAID5) ParityDisk(s int64) int {
+	n := int64(l.Geo.Disks)
+	return int((n - 1 - s%n) % n)
+}
+
+// ParityLoc reports where the parity block of stripe s lives.
+func (l RAID5) ParityLoc(s int64) Loc {
+	return Loc{Disk: l.ParityDisk(s), Block: s}
+}
+
+// DataLoc implements Striper.
+func (l RAID5) DataLoc(b int64) Loc {
+	s, j := l.StripeOf(b)
+	pd := l.ParityDisk(s)
+	return Loc{Disk: (pd + 1 + j) % l.Geo.Disks, Block: s}
+}
+
+// StripeBlocks returns the logical blocks of stripe s in order.
+func (l RAID5) StripeBlocks(s int64) []int64 {
+	n := int64(l.Geo.Disks - 1)
+	out := make([]int64, n)
+	for j := range out {
+		out[j] = s*n + int64(j)
+	}
+	return out
+}

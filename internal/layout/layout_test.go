@@ -1,0 +1,225 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRAID0RoundRobin(t *testing.T) {
+	l := NewRAID0(Geometry{Disks: 4, DiskBlocks: 8})
+	if l.DataBlocks() != 32 {
+		t.Fatalf("DataBlocks = %d, want 32", l.DataBlocks())
+	}
+	want := map[int64]Loc{0: {0, 0}, 1: {1, 0}, 3: {3, 0}, 4: {0, 1}, 9: {1, 2}}
+	for b, w := range want {
+		if got := l.DataLoc(b); got != w {
+			t.Errorf("DataLoc(%d) = %v, want %v", b, got, w)
+		}
+	}
+}
+
+func TestRAID10PairPlacement(t *testing.T) {
+	l := NewRAID10(Geometry{Disks: 6, DiskBlocks: 4})
+	if l.Pairs() != 3 {
+		t.Fatalf("Pairs = %d, want 3", l.Pairs())
+	}
+	if l.DataBlocks() != 12 {
+		t.Fatalf("DataBlocks = %d, want 12", l.DataBlocks())
+	}
+	for b := int64(0); b < l.DataBlocks(); b++ {
+		d, m := l.DataLoc(b), l.MirrorLoc(b)
+		if d.Disk%2 != 0 || m.Disk != d.Disk+1 {
+			t.Errorf("block %d: data %v mirror %v, want even/odd pair", b, d, m)
+		}
+		if d.Block != m.Block {
+			t.Errorf("block %d: copies at different offsets %v %v", b, d, m)
+		}
+	}
+}
+
+func TestRAID10RejectsOddDisks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for odd disk count")
+		}
+	}()
+	NewRAID10(Geometry{Disks: 5, DiskBlocks: 4})
+}
+
+// TestChainedPaperFigure1b checks skewed mirroring: disk i's data is
+// mirrored on disk i+1 (mod n), in the mirror half.
+func TestChainedPaperFigure1b(t *testing.T) {
+	l := NewChained(Geometry{Disks: 4, DiskBlocks: 12})
+	if l.DataBlocks() != 24 {
+		t.Fatalf("DataBlocks = %d, want 24", l.DataBlocks())
+	}
+	for b := int64(0); b < l.DataBlocks(); b++ {
+		d, m := l.DataLoc(b), l.MirrorLoc(b)
+		if m.Disk != (d.Disk+1)%4 {
+			t.Errorf("block %d: mirror on disk %d, want %d", b, m.Disk, (d.Disk+1)%4)
+		}
+		if m.Block != 6+d.Block {
+			t.Errorf("block %d: mirror offset %d, want %d", b, m.Block, 6+d.Block)
+		}
+	}
+}
+
+func TestChainedOrthogonality(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8, 12} {
+		l := NewChained(Geometry{Disks: n, DiskBlocks: 16})
+		for b := int64(0); b < l.DataBlocks(); b++ {
+			if l.DataLoc(b).Disk == l.MirrorLoc(b).Disk {
+				t.Fatalf("n=%d: block %d mirrored onto its own disk", n, b)
+			}
+		}
+	}
+}
+
+func TestRAID5ParityRotates(t *testing.T) {
+	l := NewRAID5(Geometry{Disks: 4, DiskBlocks: 8})
+	if l.DataBlocks() != 24 {
+		t.Fatalf("DataBlocks = %d, want 24", l.DataBlocks())
+	}
+	seen := map[int]bool{}
+	for s := int64(0); s < 4; s++ {
+		seen[l.ParityDisk(s)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("parity visited %d disks over 4 stripes, want 4", len(seen))
+	}
+}
+
+// TestRAID5StripeCoversAllDisks: a stripe's data blocks plus its parity
+// block cover every disk exactly once, all at the same offset.
+func TestRAID5StripeCoversAllDisks(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 8, 12} {
+		l := NewRAID5(Geometry{Disks: n, DiskBlocks: 16})
+		for s := int64(0); s < 16; s++ {
+			used := map[int]bool{l.ParityDisk(s): true}
+			if l.ParityLoc(s).Block != s {
+				t.Fatalf("n=%d: parity of stripe %d at offset %d", n, s, l.ParityLoc(s).Block)
+			}
+			for _, b := range l.StripeBlocks(s) {
+				loc := l.DataLoc(b)
+				if loc.Block != s {
+					t.Fatalf("n=%d: block %d of stripe %d at offset %d", n, b, s, loc.Block)
+				}
+				if used[loc.Disk] {
+					t.Fatalf("n=%d: stripe %d reuses disk %d", n, s, loc.Disk)
+				}
+				used[loc.Disk] = true
+			}
+			if len(used) != n {
+				t.Fatalf("n=%d: stripe %d covers %d disks, want %d", n, s, len(used), n)
+			}
+		}
+	}
+}
+
+func TestRAID5StripeOfInvertsStripeBlocks(t *testing.T) {
+	l := NewRAID5(Geometry{Disks: 5, DiskBlocks: 8})
+	for s := int64(0); s < 8; s++ {
+		for j, b := range l.StripeBlocks(s) {
+			gs, gj := l.StripeOf(b)
+			if gs != s || gj != j {
+				t.Fatalf("StripeOf(%d) = (%d,%d), want (%d,%d)", b, gs, gj, s, j)
+			}
+		}
+	}
+}
+
+// TestMirroredLayoutsInjective property-checks that for each mirrored
+// layout, data and mirror locations are collision-free and disjoint.
+func TestMirroredLayoutsInjective(t *testing.T) {
+	layouts := map[string]Mirrorer{
+		"raid10":  NewRAID10(Geometry{Disks: 6, DiskBlocks: 10}),
+		"chained": NewChained(Geometry{Disks: 5, DiskBlocks: 10}),
+		"osm":     NewOSM(5, 1, 20),
+	}
+	for name, l := range layouts {
+		seen := map[Loc]bool{}
+		for b := int64(0); b < l.DataBlocks(); b++ {
+			for _, loc := range []Loc{l.DataLoc(b), l.MirrorLoc(b)} {
+				if seen[loc] {
+					t.Fatalf("%s: location %v used twice", name, loc)
+				}
+				seen[loc] = true
+			}
+		}
+	}
+}
+
+// Property: RAID-0 DataLoc is a bijection between [0, DataBlocks) and
+// the full disk/offset grid.
+func TestRAID0BijectionProperty(t *testing.T) {
+	f := func(disks uint8, blocks uint8, b1, b2 uint16) bool {
+		n := int(disks%16) + 1
+		per := int64(blocks%32) + 1
+		l := NewRAID0(Geometry{Disks: n, DiskBlocks: per})
+		x := int64(b1) % l.DataBlocks()
+		y := int64(b2) % l.DataBlocks()
+		lx, ly := l.DataLoc(x), l.DataLoc(y)
+		if x != y && lx == ly {
+			return false
+		}
+		// Invertibility: disk + offset*n reconstructs the block.
+		return int64(lx.Disk)+lx.Block*int64(n) == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: chained declustering's data and mirror maps are injective
+// and orthogonal for random geometries and blocks.
+func TestChainedQuickProperties(t *testing.T) {
+	f := func(disks uint8, per uint8, b1 uint16) bool {
+		n := int(disks%15) + 2
+		blocks := int64(per%64)*2 + 4
+		l := NewChained(Geometry{Disks: n, DiskBlocks: blocks})
+		if l.DataBlocks() == 0 {
+			return true
+		}
+		b := int64(b1) % l.DataBlocks()
+		d, m := l.DataLoc(b), l.MirrorLoc(b)
+		if d.Disk == m.Disk {
+			return false
+		}
+		// Data in lower half, mirror in upper half.
+		return d.Block < blocks/2 && m.Block >= blocks/2 && m.Block < blocks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RAID-10 primary and mirror never collide and live on the
+// same pair.
+func TestRAID10QuickProperties(t *testing.T) {
+	f := func(pairs uint8, per uint8, b1 uint16) bool {
+		p := int(pairs%8) + 1
+		blocks := int64(per%64) + 1
+		l := NewRAID10(Geometry{Disks: 2 * p, DiskBlocks: blocks})
+		b := int64(b1) % l.DataBlocks()
+		d, m := l.DataLoc(b), l.MirrorLoc(b)
+		return d.Disk%2 == 0 && m.Disk == d.Disk+1 && d.Block == m.Block && d.Block < blocks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RAID-5 DataLoc never lands on the stripe's parity disk.
+func TestRAID5QuickAvoidsParity(t *testing.T) {
+	f := func(disks uint8, per uint8, b1 uint16) bool {
+		n := int(disks%14) + 3
+		blocks := int64(per%64) + 1
+		l := NewRAID5(Geometry{Disks: n, DiskBlocks: blocks})
+		b := int64(b1) % l.DataBlocks()
+		s, _ := l.StripeOf(b)
+		return l.DataLoc(b).Disk != l.ParityDisk(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestOSMPaperFigure1 checks the 4-disk layout of the paper's Figure 1a:
+// data blocks stripe RAID-0 style, and the images of blocks (B0,B1,B2)
+// cluster contiguously on disk 3, (B3,B4,B5) on disk 2, (B6,B7,B8) on
+// disk 1, (B9,B10,B11) on disk 0.
+func TestOSMPaperFigure1(t *testing.T) {
+	l := NewOSM(4, 1, 12) // 4 disks, 6 data + 6 mirror blocks each
+
+	wantData := map[int64]Loc{
+		0: {0, 0}, 1: {1, 0}, 2: {2, 0}, 3: {3, 0},
+		4: {0, 1}, 5: {1, 1}, 6: {2, 1}, 7: {3, 1},
+		8: {0, 2}, 9: {1, 2}, 10: {2, 2}, 11: {3, 2},
+	}
+	for b, want := range wantData {
+		if got := l.DataLoc(b); got != want {
+			t.Errorf("DataLoc(%d) = %v, want %v", b, got, want)
+		}
+	}
+
+	wantMirrorDisk := map[int64]int{0: 3, 1: 2, 2: 1, 3: 0}
+	for g, want := range wantMirrorDisk {
+		if got := l.MirrorDisk(g); got != want {
+			t.Errorf("MirrorDisk(%d) = %d, want %d", g, got, want)
+		}
+	}
+
+	// Mirror group 0 = images of B0,B1,B2, contiguous on disk 3
+	// starting at the mirror base (block 6).
+	for j, b := range []int64{0, 1, 2} {
+		want := Loc{Disk: 3, Block: 6 + int64(j)}
+		if got := l.MirrorLoc(b); got != want {
+			t.Errorf("MirrorLoc(%d) = %v, want %v", b, got, want)
+		}
+	}
+}
+
+// TestOSMPaperFigure3 checks the 4x3 array of the paper's Figure 3:
+// 12 disks, disk Dj on node j mod 4; stripe group (B0..B3) on D0..D3,
+// (B4..B7) on D4..D7, (B8..B11) on D8..D11, wrapping thereafter.
+func TestOSMPaperFigure3(t *testing.T) {
+	l := NewOSM(4, 3, 12)
+	if l.TotalDisks() != 12 {
+		t.Fatalf("TotalDisks = %d, want 12", l.TotalDisks())
+	}
+	for b := int64(0); b < 12; b++ {
+		if got := l.DataLoc(b); got.Disk != int(b) || got.Block != 0 {
+			t.Errorf("DataLoc(%d) = %v, want D%d:0", b, got, b)
+		}
+	}
+	// Block 12 wraps to D0's second data block.
+	if got := l.DataLoc(12); got != (Loc{0, 1}) {
+		t.Errorf("DataLoc(12) = %v, want D0:1", got)
+	}
+	// Disk-to-node mapping: node i holds disks i, i+4, i+8.
+	for node := 0; node < 4; node++ {
+		for local := 0; local < 3; local++ {
+			j := l.DiskAt(node, local)
+			if j != node+local*4 {
+				t.Errorf("DiskAt(%d,%d) = %d, want %d", node, local, j, node+local*4)
+			}
+			if l.NodeOfDisk(j) != node || l.LocalIndexOfDisk(j) != local {
+				t.Errorf("inverse mapping broken for disk %d", j)
+			}
+		}
+	}
+	// Stripe groups span all 4 nodes.
+	for s := int64(0); s < 6; s++ {
+		nodes := map[int]bool{}
+		for _, b := range l.StripeGroupBlocks(s) {
+			nodes[l.NodeOfDisk(l.DataLoc(b).Disk)] = true
+		}
+		if len(nodes) != 4 {
+			t.Errorf("stripe group %d touches %d nodes, want 4", s, len(nodes))
+		}
+	}
+}
+
+// osmCases is a spread of geometries used by the invariant tests.
+func osmCases() []OSM {
+	return []OSM{
+		NewOSM(2, 1, 8),
+		NewOSM(3, 1, 12),
+		NewOSM(4, 1, 12),
+		NewOSM(4, 3, 12),
+		NewOSM(4, 2, 24),
+		NewOSM(5, 2, 40),
+		NewOSM(8, 1, 64),
+		NewOSM(12, 1, 132),
+		NewOSM(3, 4, 50), // odd-shaped: truncated capacity
+		NewOSM(7, 3, 36),
+	}
+}
+
+// TestOSMOrthogonality: a data block and its image never share a node
+// (and therefore never a disk) — the defining OSM property.
+func TestOSMOrthogonality(t *testing.T) {
+	for _, l := range osmCases() {
+		for b := int64(0); b < l.DataBlocks(); b++ {
+			d := l.DataLoc(b)
+			m := l.MirrorLoc(b)
+			if l.NodeOfDisk(d.Disk) == l.NodeOfDisk(m.Disk) {
+				t.Fatalf("OSM(%d,%d,%d): block %d data on node %d, image on same node (disks %d,%d)",
+					l.Nodes, l.DisksPerNode, l.DiskBlocks, b, l.NodeOfDisk(d.Disk), d.Disk, m.Disk)
+			}
+		}
+	}
+}
+
+// TestOSMStripeGroupImagesOnTwoDisks: the images of one stripe group of
+// n blocks occupy exactly two disks (paper Section 2), for n >= 3.
+func TestOSMStripeGroupImagesOnTwoDisks(t *testing.T) {
+	for _, l := range osmCases() {
+		if l.Nodes < 3 {
+			continue
+		}
+		groups := l.DataBlocks() / int64(l.Nodes)
+		for s := int64(0); s < groups; s++ {
+			disks := map[int]bool{}
+			for _, b := range l.StripeGroupBlocks(s) {
+				disks[l.MirrorLoc(b).Disk] = true
+			}
+			if len(disks) != 2 {
+				t.Fatalf("OSM(%d,%d,%d): stripe group %d images on %d disks, want 2",
+					l.Nodes, l.DisksPerNode, l.DiskBlocks, s, len(disks))
+			}
+		}
+	}
+}
+
+// TestOSMMirrorGroupContiguous: a mirror group occupies GroupSize
+// consecutive blocks on one disk — the "one long write" property.
+func TestOSMMirrorGroupContiguous(t *testing.T) {
+	for _, l := range osmCases() {
+		groups := l.DataBlocks() / int64(l.GroupSize())
+		for g := int64(0); g < groups; g++ {
+			start := l.GroupLoc(g)
+			for j, b := range l.GroupBlocks(g) {
+				want := Loc{Disk: start.Disk, Block: start.Block + int64(j)}
+				if got := l.MirrorLoc(b); got != want {
+					t.Fatalf("OSM(%d,%d,%d): MirrorLoc(%d) = %v, want %v",
+						l.Nodes, l.DisksPerNode, l.DiskBlocks, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOSMMapsAreInjectiveAndInBounds: no two logical blocks collide in
+// either the data or mirror areas, data stays in the lower half, images
+// in the upper half, and everything is within disk capacity.
+func TestOSMMapsAreInjectiveAndInBounds(t *testing.T) {
+	for _, l := range osmCases() {
+		seenData := map[Loc]int64{}
+		seenMirror := map[Loc]int64{}
+		half := l.DiskBlocks / 2
+		for b := int64(0); b < l.DataBlocks(); b++ {
+			d := l.DataLoc(b)
+			m := l.MirrorLoc(b)
+			if d.Disk < 0 || d.Disk >= l.TotalDisks() || d.Block < 0 || d.Block >= half {
+				t.Fatalf("OSM(%d,%d,%d): DataLoc(%d) = %v outside data half", l.Nodes, l.DisksPerNode, l.DiskBlocks, b, d)
+			}
+			if m.Disk < 0 || m.Disk >= l.TotalDisks() || m.Block < half || m.Block >= l.DiskBlocks {
+				t.Fatalf("OSM(%d,%d,%d): MirrorLoc(%d) = %v outside mirror half", l.Nodes, l.DisksPerNode, l.DiskBlocks, b, m)
+			}
+			if prev, dup := seenData[d]; dup {
+				t.Fatalf("data collision: blocks %d and %d both at %v", prev, b, d)
+			}
+			if prev, dup := seenMirror[m]; dup {
+				t.Fatalf("mirror collision: blocks %d and %d both at %v", prev, b, m)
+			}
+			seenData[d] = b
+			seenMirror[m] = b
+		}
+	}
+}
+
+// TestOSMMirrorLoadBalance: every disk receives the same number of
+// mirror groups (perfect packing).
+func TestOSMMirrorLoadBalance(t *testing.T) {
+	for _, l := range osmCases() {
+		groups := l.DataBlocks() / int64(l.GroupSize())
+		perDisk := map[int]int64{}
+		for g := int64(0); g < groups; g++ {
+			perDisk[l.MirrorDisk(g)]++
+		}
+		want := l.GroupSlotsPerDisk()
+		for j := 0; j < l.TotalDisks(); j++ {
+			if perDisk[j] != want {
+				t.Fatalf("OSM(%d,%d,%d): disk %d holds %d groups, want %d",
+					l.Nodes, l.DisksPerNode, l.DiskBlocks, j, perDisk[j], want)
+			}
+		}
+	}
+}
+
+// TestOSMQuickOrthogonality is a property-based sweep over random
+// geometries and blocks.
+func TestOSMQuickOrthogonality(t *testing.T) {
+	f := func(nodes, k uint8, rawBlocks uint16, block uint32) bool {
+		n := int(nodes%11) + 2                       // 2..12
+		kk := int(k%4) + 1                           // 1..4
+		per := int64(rawBlocks%512) + int64(2*(n-1)) // big enough for one group
+		if per%2 != 0 {
+			per++
+		}
+		l := NewOSM(n, kk, per)
+		if l.DataBlocks() == 0 {
+			return true
+		}
+		b := int64(block) % l.DataBlocks()
+		d, m := l.DataLoc(b), l.MirrorLoc(b)
+		return l.NodeOfDisk(d.Disk) != l.NodeOfDisk(m.Disk) &&
+			d.Block < per/2 && m.Block >= per/2 && m.Block < per
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOSMPanicsOnBadGeometry(t *testing.T) {
+	cases := []func(){
+		func() { NewOSM(1, 1, 8) }, // too few nodes
+		func() { NewOSM(4, 0, 8) }, // no disks
+		func() { NewOSM(4, 1, 7) }, // odd capacity
+		func() { NewOSM(4, 1, 4) }, // mirror half smaller than a group
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

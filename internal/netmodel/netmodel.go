@@ -1,0 +1,147 @@
+// Package netmodel models the Trojans cluster's interconnect: a
+// non-blocking Fast Ethernet switch with one full-duplex 100 Mbps port
+// per node. Each node owns two NIC resources (transmit and receive); a
+// message occupies the sender's TX and the receiver's RX servers for its
+// serialization time, so per-port saturation — the effect that caps a
+// centralized NFS server at roughly the link rate — emerges naturally.
+package netmodel
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Params describes the interconnect.
+type Params struct {
+	// LinkBps is the per-direction bandwidth of one switch port in
+	// bytes per second (Fast Ethernet: 12.5e6).
+	LinkBps float64
+	// Latency is the one-way propagation plus switching delay.
+	Latency time.Duration
+	// PerMessage is fixed protocol/processing overhead charged on the
+	// NICs per message (interrupts, TCP/IP stack).
+	PerMessage time.Duration
+}
+
+// FastEthernet returns parameters for the paper's 100 Mbps switched
+// network, including late-90s protocol stack overheads.
+func FastEthernet() Params {
+	return Params{
+		LinkBps:    12.5e6,
+		Latency:    100 * time.Microsecond,
+		PerMessage: 150 * time.Microsecond,
+	}
+}
+
+// Network is the cluster interconnect.
+type Network struct {
+	params Params
+	ports  []*Port
+}
+
+// Port is one node's full-duplex attachment to the switch. Each
+// direction has a foreground lane and a background lane: deferred
+// mirror pushes ride the background lane at low priority, using
+// capacity the foreground traffic leaves spare, so they never delay
+// synchronous requests — the CDD's "hide mirroring overhead in the
+// background" discipline. Flush-style accounting happens at the disks,
+// which carry the corresponding deferred reservations.
+type Port struct {
+	Node int
+	TX   *vclock.Resource
+	RX   *vclock.Resource
+	TXBG *vclock.Resource
+	RXBG *vclock.Resource
+}
+
+// New builds a network with n ports on simulator s.
+func New(s *vclock.Sim, n int, params Params) *Network {
+	if n < 1 {
+		panic("netmodel: need at least one node")
+	}
+	net := &Network{params: params}
+	for i := 0; i < n; i++ {
+		net.ports = append(net.ports, &Port{
+			Node: i,
+			TX:   vclock.NewResource(s, fmt.Sprintf("nic%d.tx", i), 1),
+			RX:   vclock.NewResource(s, fmt.Sprintf("nic%d.rx", i), 1),
+			TXBG: vclock.NewResource(s, fmt.Sprintf("nic%d.txbg", i), 1),
+			RXBG: vclock.NewResource(s, fmt.Sprintf("nic%d.rxbg", i), 1),
+		})
+	}
+	return net
+}
+
+// Nodes reports the number of ports.
+func (n *Network) Nodes() int { return len(n.ports) }
+
+// Port returns node i's port (for utilization reporting).
+func (n *Network) Port(i int) *Port { return n.ports[i] }
+
+// Params returns the interconnect parameters.
+func (n *Network) Params() Params { return n.params }
+
+// serialization is the NIC occupancy time for a message of the given
+// payload size.
+func (n *Network) serialization(bytes int) time.Duration {
+	return n.params.PerMessage + time.Duration(float64(bytes)/n.params.LinkBps*float64(time.Second))
+}
+
+// MessageTime reports the end-to-end latency of one uncontended message.
+func (n *Network) MessageTime(bytes int) time.Duration {
+	return n.serialization(bytes) + n.params.Latency
+}
+
+func (n *Network) checkPair(from, to int) error {
+	if from < 0 || from >= len(n.ports) || to < 0 || to >= len(n.ports) {
+		return fmt.Errorf("netmodel: node pair (%d,%d) out of range [0,%d)", from, to, len(n.ports))
+	}
+	return nil
+}
+
+// Send delivers a message of the given size from node from to node to,
+// blocking the calling process until the last byte arrives. Local
+// delivery (from == to) costs only the per-message overhead. Without a
+// vclock process in ctx, Send is a no-op (real-time mode provides real
+// timing).
+func (n *Network) Send(ctx context.Context, from, to int, bytes int) error {
+	if err := n.checkPair(from, to); err != nil {
+		return err
+	}
+	p, ok := vclock.From(ctx)
+	if !ok {
+		return nil
+	}
+	if from == to {
+		p.Sleep(n.params.PerMessage)
+		return nil
+	}
+	d := n.serialization(bytes)
+	vclock.UseJoint(p, d, n.ports[from].TX, n.ports[to].RX)
+	p.Sleep(n.params.Latency)
+	return nil
+}
+
+// SendBackground reserves the NIC time for a message without blocking
+// the caller — the model for the CDD's deferred mirror pushes, where the
+// driver queues the transfer and returns. It reports when the reserved
+// transfer will complete (arrival at the receiver).
+func (n *Network) SendBackground(ctx context.Context, from, to int, bytes int) (time.Duration, error) {
+	if err := n.checkPair(from, to); err != nil {
+		return 0, err
+	}
+	p, ok := vclock.From(ctx)
+	if !ok {
+		return 0, nil
+	}
+	s := p.Sim()
+	if from == to {
+		return s.Now(), nil
+	}
+	d := n.serialization(bytes)
+	start := vclock.ReserveJoint(s, d, n.ports[from].TXBG, n.ports[to].RXBG)
+	return start + d + n.params.Latency, nil
+}

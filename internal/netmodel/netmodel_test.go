@@ -1,0 +1,188 @@
+package netmodel
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// flat returns parameters with zero latency/overhead at 1 MB/s for easy
+// arithmetic.
+func flat() Params {
+	return Params{LinkBps: 1e6, Latency: 0, PerMessage: 0}
+}
+
+func TestMessageTime(t *testing.T) {
+	p := Params{LinkBps: 1e6, Latency: time.Millisecond, PerMessage: 100 * time.Microsecond}
+	s := vclock.New()
+	n := New(s, 2, p)
+	// 1000 bytes at 1 MB/s = 1ms serialization + 0.1ms overhead + 1ms latency.
+	if got := n.MessageTime(1000); got != 2100*time.Microsecond {
+		t.Fatalf("MessageTime = %v, want 2.1ms", got)
+	}
+}
+
+func TestSendBlocksForTransferTime(t *testing.T) {
+	s := vclock.New()
+	n := New(s, 2, flat())
+	s.Spawn("c", func(p *vclock.Proc) {
+		ctx := vclock.With(context.Background(), p)
+		if err := n.Send(ctx, 0, 1, 5000); err != nil {
+			t.Error(err)
+		}
+		if p.Now() != 5*time.Millisecond {
+			t.Errorf("send of 5000B finished at %v, want 5ms", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSenderPortIsSerialized(t *testing.T) {
+	s := vclock.New()
+	n := New(s, 3, flat())
+	ends := make([]time.Duration, 2)
+	// Two concurrent sends from node 0 to different receivers share
+	// node 0's TX port: they serialize.
+	for i := 0; i < 2; i++ {
+		i := i
+		s.Spawn("tx", func(p *vclock.Proc) {
+			ctx := vclock.With(context.Background(), p)
+			if err := n.Send(ctx, 0, i+1, 10000); err != nil {
+				t.Error(err)
+			}
+			ends[i] = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ends[0] != 10*time.Millisecond || ends[1] != 20*time.Millisecond {
+		t.Fatalf("ends = %v, want [10ms 20ms]", ends)
+	}
+}
+
+func TestDisjointPairsOverlap(t *testing.T) {
+	s := vclock.New()
+	n := New(s, 4, flat())
+	ends := make([]time.Duration, 2)
+	pairs := [][2]int{{0, 1}, {2, 3}}
+	for i, pr := range pairs {
+		i, pr := i, pr
+		s.Spawn("tx", func(p *vclock.Proc) {
+			ctx := vclock.With(context.Background(), p)
+			if err := n.Send(ctx, pr[0], pr[1], 10000); err != nil {
+				t.Error(err)
+			}
+			ends[i] = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A non-blocking switch carries disjoint pairs concurrently.
+	if ends[0] != 10*time.Millisecond || ends[1] != 10*time.Millisecond {
+		t.Fatalf("ends = %v, want both 10ms", ends)
+	}
+}
+
+func TestReceiverPortBottleneck(t *testing.T) {
+	s := vclock.New()
+	n := New(s, 3, flat())
+	ends := make([]time.Duration, 2)
+	// Two senders target node 2: its RX port serializes them. This is
+	// the NFS-server effect from the paper's Figure 5.
+	for i := 0; i < 2; i++ {
+		i := i
+		s.Spawn("tx", func(p *vclock.Proc) {
+			ctx := vclock.With(context.Background(), p)
+			if err := n.Send(ctx, i, 2, 10000); err != nil {
+				t.Error(err)
+			}
+			ends[i] = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ends[0] != 10*time.Millisecond || ends[1] != 20*time.Millisecond {
+		t.Fatalf("ends = %v, want [10ms 20ms]", ends)
+	}
+}
+
+func TestLocalSendCostsOnlyOverhead(t *testing.T) {
+	s := vclock.New()
+	p := Params{LinkBps: 1e6, Latency: time.Millisecond, PerMessage: 50 * time.Microsecond}
+	n := New(s, 2, p)
+	s.Spawn("c", func(pr *vclock.Proc) {
+		ctx := vclock.With(context.Background(), pr)
+		if err := n.Send(ctx, 1, 1, 1<<20); err != nil {
+			t.Error(err)
+		}
+		if pr.Now() != 50*time.Microsecond {
+			t.Errorf("local send took %v, want 50µs", pr.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendBackgroundDoesNotBlock(t *testing.T) {
+	s := vclock.New()
+	n := New(s, 2, flat())
+	s.Spawn("c", func(p *vclock.Proc) {
+		ctx := vclock.With(context.Background(), p)
+		done, err := n.SendBackground(ctx, 0, 1, 10000)
+		if err != nil {
+			t.Error(err)
+		}
+		if p.Now() != 0 {
+			t.Errorf("background send blocked until %v", p.Now())
+		}
+		if done != 10*time.Millisecond {
+			t.Errorf("background completion at %v, want 10ms", done)
+		}
+		// Background rides the low-priority lane: a foreground send on
+		// the same port is NOT delayed by it.
+		if err := n.Send(ctx, 0, 1, 10000); err != nil {
+			t.Error(err)
+		}
+		if p.Now() != 10*time.Millisecond {
+			t.Errorf("foreground send finished at %v, want 10ms (bg must not delay fg)", p.Now())
+		}
+		// Background transfers serialize among themselves.
+		done2, err := n.SendBackground(ctx, 0, 1, 10000)
+		if err != nil {
+			t.Error(err)
+		}
+		if done2 != 20*time.Millisecond {
+			t.Errorf("second background completion at %v, want 20ms", done2)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendWithoutProcIsNoOp(t *testing.T) {
+	s := vclock.New()
+	n := New(s, 2, flat())
+	if err := n.Send(context.Background(), 0, 1, 1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadNodePair(t *testing.T) {
+	s := vclock.New()
+	n := New(s, 2, flat())
+	if err := n.Send(context.Background(), 0, 5, 10); err == nil {
+		t.Fatal("out-of-range receiver accepted")
+	}
+	if _, err := n.SendBackground(context.Background(), -1, 0, 10); err == nil {
+		t.Fatal("out-of-range sender accepted")
+	}
+}

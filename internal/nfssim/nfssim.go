@@ -1,0 +1,111 @@
+// Package nfssim is the centralized-server baseline of the paper's
+// experiments: an NFS-like configuration in which every client's I/O
+// funnels through one server node over the network, and only the
+// server's local disks store data. Its defining behaviour — aggregate
+// bandwidth capped by the server's single switch port and CPU — is what
+// the serverless RAID architectures are measured against in Figure 5
+// and the Andrew benchmark.
+package nfssim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/raid"
+	"repro/internal/vclock"
+)
+
+// Server is the central file server: a RAID-0 set over its own local
+// disks. (With one disk per node this is just the node's disk, like a
+// typical departmental NFS server of the era.)
+type Server struct {
+	c    *cluster.Cluster
+	node int
+	arr  raid.Array
+}
+
+// NewServer creates the NFS server on the given node.
+func NewServer(c *cluster.Cluster, node int) (*Server, error) {
+	if node < 0 || node >= c.Params.Nodes {
+		return nil, fmt.Errorf("nfssim: node %d out of range", node)
+	}
+	arr, err := raid.NewRAID0(c.LocalDevs(node))
+	if err != nil {
+		return nil, err
+	}
+	return &Server{c: c, node: node, arr: arr}, nil
+}
+
+// Node reports the server's node ID.
+func (s *Server) Node() int { return s.node }
+
+// ClientArray returns the server's storage as seen from clientNode:
+// every request crosses the network to the server, runs on the server's
+// CPU and disks, and returns. Implements raid.Array.
+func (s *Server) ClientArray(clientNode int) raid.Array {
+	return &clientArray{s: s, client: clientNode}
+}
+
+type clientArray struct {
+	s      *Server
+	client int
+}
+
+var _ raid.Array = (*clientArray)(nil)
+
+func (a *clientArray) Name() string   { return "nfs" }
+func (a *clientArray) BlockSize() int { return a.s.arr.BlockSize() }
+func (a *clientArray) Blocks() int64  { return a.s.arr.Blocks() }
+
+func (a *clientArray) serverCPU(ctx context.Context) {
+	if p, ok := vclock.From(ctx); ok {
+		a.s.c.Nodes[a.s.node].CPU.Use(p, a.s.c.Params.CPUPerRequest)
+	}
+}
+
+func (a *clientArray) remote() bool { return a.client != a.s.node }
+
+// ReadBlocks: request to the server, server-side disk read, data
+// response over the server's TX port.
+func (a *clientArray) ReadBlocks(ctx context.Context, b int64, p []byte) error {
+	if a.remote() {
+		if err := a.s.c.Net.Send(ctx, a.client, a.s.node, a.s.c.Params.ReqMsgBytes); err != nil {
+			return err
+		}
+	}
+	a.serverCPU(ctx)
+	if err := a.s.arr.ReadBlocks(ctx, b, p); err != nil {
+		return err
+	}
+	if a.remote() {
+		if err := a.s.c.Net.Send(ctx, a.s.node, a.client, len(p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBlocks: data to the server, server-side disk write, ack.
+func (a *clientArray) WriteBlocks(ctx context.Context, b int64, p []byte) error {
+	if a.remote() {
+		if err := a.s.c.Net.Send(ctx, a.client, a.s.node, len(p)); err != nil {
+			return err
+		}
+	}
+	a.serverCPU(ctx)
+	if err := a.s.arr.WriteBlocks(ctx, b, p); err != nil {
+		return err
+	}
+	if a.remote() {
+		if err := a.s.c.Net.Send(ctx, a.s.node, a.client, a.s.c.Params.ReqMsgBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush drains the server array.
+func (a *clientArray) Flush(ctx context.Context) error {
+	return a.s.arr.Flush(ctx)
+}

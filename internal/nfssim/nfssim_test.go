@@ -1,0 +1,177 @@
+package nfssim
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/disk"
+	"repro/internal/netmodel"
+	"repro/internal/vclock"
+)
+
+func flatParams() cluster.Params {
+	return cluster.Params{
+		Nodes:         4,
+		DisksPerNode:  1,
+		BlockSize:     1024,
+		DiskBlocks:    64,
+		Disk:          disk.Model{Seek: 0, TrackSkip: 0, BandwidthBps: 1e6, PerRequest: 0},
+		Net:           netmodel.Params{LinkBps: 1e6, Latency: 0, PerMessage: 0},
+		CPUPerRequest: 0,
+		ReqMsgBytes:   0,
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	c := cluster.New(flatParams())
+	if _, err := NewServer(c, 99); err == nil {
+		t.Fatal("out-of-range server node accepted")
+	}
+}
+
+func TestRoundTripThroughServer(t *testing.T) {
+	c := cluster.New(flatParams())
+	srv, err := NewServer(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := srv.ClientArray(2)
+	c.Sim.Spawn("client", func(p *vclock.Proc) {
+		ctx := vclock.With(context.Background(), p)
+		data := bytes.Repeat([]byte{3}, 2048)
+		if err := arr.WriteBlocks(ctx, 1, data); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, 2048)
+		if err := arr.ReadBlocks(ctx, 1, got); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("NFS round trip mismatch")
+		}
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerPortSerializesClients is the defining NFS behaviour: two
+// remote clients reading concurrently are serialized by the server's
+// transmit port, so aggregate bandwidth does not scale.
+func TestServerPortSerializesClients(t *testing.T) {
+	c := cluster.New(flatParams())
+	srv, err := NewServer(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefill without timing.
+	if err := srv.ClientArray(0).WriteBlocks(context.Background(), 0, make([]byte, 16*1024)); err != nil {
+		t.Fatal(err)
+	}
+	ends := make([]time.Duration, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		arr := srv.ClientArray(i + 1)
+		c.Sim.Spawn("client", func(p *vclock.Proc) {
+			ctx := vclock.With(context.Background(), p)
+			buf := make([]byte, 8*1024)
+			if err := arr.ReadBlocks(ctx, int64(i*8), buf); err != nil {
+				t.Error(err)
+			}
+			ends[i] = p.Now()
+		})
+	}
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Each response is 8 KB = 8.192 ms on the server TX port; the disk
+	// reads (8.192 ms each) serialize too. The second client cannot
+	// finish before ~2x the first client's time.
+	if ends[1] < ends[0]+8*time.Millisecond && ends[0] < ends[1]+8*time.Millisecond {
+		t.Errorf("clients finished together (%v, %v); server must serialize them", ends[0], ends[1])
+	}
+}
+
+func TestLocalClientSkipsNetwork(t *testing.T) {
+	c := cluster.New(flatParams())
+	srv, err := NewServer(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := srv.ClientArray(0)
+	remote := srv.ClientArray(1)
+	var localT, remoteT time.Duration
+	c.Sim.Spawn("client", func(p *vclock.Proc) {
+		ctx := vclock.With(context.Background(), p)
+		buf := make([]byte, 1024)
+		t0 := p.Now()
+		if err := local.ReadBlocks(ctx, 0, buf); err != nil {
+			t.Error(err)
+		}
+		localT = p.Now() - t0
+		t0 = p.Now()
+		if err := remote.ReadBlocks(ctx, 0, buf); err != nil {
+			t.Error(err)
+		}
+		remoteT = p.Now() - t0
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if localT >= remoteT {
+		t.Errorf("local NFS access (%v) not cheaper than remote (%v)", localT, remoteT)
+	}
+}
+
+func TestClientArrayMetadata(t *testing.T) {
+	c := cluster.New(flatParams())
+	srv, err := NewServer(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Node() != 1 {
+		t.Fatalf("node = %d", srv.Node())
+	}
+	arr := srv.ClientArray(0)
+	if arr.Name() != "nfs" {
+		t.Fatalf("name = %q", arr.Name())
+	}
+	if arr.BlockSize() != 1024 || arr.Blocks() != 64 {
+		t.Fatalf("geometry %d x %d", arr.BlockSize(), arr.Blocks())
+	}
+	if err := arr.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWritesVisibleAcrossClients: two clients of the same server see
+// one store.
+func TestWritesVisibleAcrossClients(t *testing.T) {
+	c := cluster.New(flatParams())
+	srv, err := NewServer(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := srv.ClientArray(1)
+	b := srv.ClientArray(2)
+	c.Sim.Spawn("pair", func(p *vclock.Proc) {
+		ctx := vclock.With(context.Background(), p)
+		data := bytes.Repeat([]byte{0x5A}, 1024)
+		if err := a.WriteBlocks(ctx, 7, data); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, 1024)
+		if err := b.ReadBlocks(ctx, 7, got); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("clients see different data")
+		}
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

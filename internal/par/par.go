@@ -1,0 +1,100 @@
+// Package par provides fork-join parallelism that works both in real
+// time (goroutines) and in virtual time (vclock child processes).
+//
+// Array engines use it to issue per-disk I/O in parallel: a striped read
+// touches many disks at once, and the elapsed time must be the maximum
+// of the per-disk times, not their sum. When the context carries a
+// vclock.Proc, children are spawned as simulated processes so that the
+// virtual clock observes the overlap; otherwise ordinary goroutines are
+// used.
+package par
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// Do runs every function, in parallel, and waits for all of them. It
+// returns the first non-nil error in argument order. A nil function is
+// skipped.
+func Do(ctx context.Context, fns ...func(context.Context) error) error {
+	live := fns[:0]
+	for _, fn := range fns {
+		if fn != nil {
+			live = append(live, fn)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0](ctx)
+	}
+	if p, ok := vclock.From(ctx); ok {
+		return doSim(ctx, p, live)
+	}
+	return doReal(ctx, live)
+}
+
+func doSim(ctx context.Context, p *vclock.Proc, fns []func(context.Context) error) error {
+	s := p.Sim()
+	errs := make([]error, len(fns))
+	remaining := len(fns)
+	gate := vclock.NewGate(s, "par.Do")
+	for i, fn := range fns {
+		i, fn := i, fn
+		s.Spawn(fmt.Sprintf("%s/par%d", p.Name(), i), func(child *vclock.Proc) {
+			errs[i] = fn(vclock.With(ctx, child))
+			remaining--
+			if remaining == 0 {
+				gate.Broadcast()
+			}
+		})
+	}
+	// The children are scheduled at the current instant; park until the
+	// last one finishes.
+	if remaining > 0 {
+		gate.Wait(p)
+	}
+	return firstError(errs)
+}
+
+func doReal(ctx context.Context, fns []func(context.Context) error) error {
+	errs := make([]error, len(fns))
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for i, fn := range fns {
+		go func(i int, fn func(context.Context) error) {
+			defer wg.Done()
+			errs[i] = fn(ctx)
+		}(i, fn)
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) in parallel and returns the
+// first error in index order.
+func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	fns := make([]func(context.Context) error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		fns[i] = func(ctx context.Context) error { return fn(ctx, i) }
+	}
+	return Do(ctx, fns...)
+}

@@ -1,0 +1,281 @@
+package raid
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/layout"
+	"repro/internal/par"
+)
+
+// AFRAID is the Savage–Wilkes "Frequently Redundant Array of
+// Independent Disks" (USENIX '96), which the paper names as an
+// influence on RAID-x: a RAID-5 layout whose parity is updated *lazily*
+// in the background. Small writes run at striping speed (no
+// read-modify-write on the critical path); the cost is a redundancy
+// window — stripes whose parity has not caught up are unprotected, and
+// a disk failure inside the window loses the affected blocks.
+//
+// RAID-x reaches the same small-write speed with mirroring instead of
+// parity, paying capacity (50%) rather than a redundancy window; this
+// engine makes that design-space comparison concrete.
+type AFRAID struct {
+	devs []Dev
+	lay  layout.RAID5
+	bs   int
+
+	mu    sync.Mutex
+	dirty map[int64]bool // stripes with stale parity
+}
+
+// NewAFRAID builds an AFRAID array over at least three devices.
+func NewAFRAID(devs []Dev) (*AFRAID, error) {
+	bs, per, err := checkDevs(devs, 3)
+	if err != nil {
+		return nil, err
+	}
+	return &AFRAID{
+		devs:  devs,
+		lay:   layout.NewRAID5(layout.Geometry{Disks: len(devs), DiskBlocks: per}),
+		bs:    bs,
+		dirty: map[int64]bool{},
+	}, nil
+}
+
+// Name implements Array.
+func (a *AFRAID) Name() string { return "afraid" }
+
+// BlockSize implements Array.
+func (a *AFRAID) BlockSize() int { return a.bs }
+
+// Blocks implements Array.
+func (a *AFRAID) Blocks() int64 { return a.lay.DataBlocks() }
+
+// DirtyStripes reports how many stripes currently lack valid parity —
+// the size of the redundancy window.
+func (a *AFRAID) DirtyStripes() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.dirty)
+}
+
+func (a *AFRAID) markDirty(s int64) {
+	a.mu.Lock()
+	a.dirty[s] = true
+	a.mu.Unlock()
+}
+
+func (a *AFRAID) isDirty(s int64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dirty[s]
+}
+
+func (a *AFRAID) diskOfData(s int64, j int) int {
+	return (a.lay.ParityDisk(s) + 1 + j) % len(a.devs)
+}
+
+func (a *AFRAID) failedDisk() (int, error) {
+	failed := -1
+	for i, d := range a.devs {
+		if !d.Healthy() {
+			if failed >= 0 {
+				return 0, fmt.Errorf("afraid: disks %d and %d both failed: %w", failed, i, ErrDataLoss)
+			}
+			failed = i
+		}
+	}
+	return failed, nil
+}
+
+// ReadBlocks implements Array. Healthy reads are plain data reads;
+// degraded reads reconstruct through parity, which only works for
+// stripes outside the redundancy window.
+func (a *AFRAID) ReadBlocks(ctx context.Context, b int64, p []byte) error {
+	n, err := checkRange(a, b, p)
+	if err != nil {
+		return err
+	}
+	failed, err := a.failedDisk()
+	if err != nil {
+		return err
+	}
+	return par.ForEach(ctx, n, func(ctx context.Context, i int) error {
+		lb := b + int64(i)
+		s, j := a.lay.StripeOf(lb)
+		d := a.diskOfData(s, int(j))
+		dst := p[int64(i)*int64(a.bs) : (int64(i)+1)*int64(a.bs)]
+		if d != failed {
+			return a.devs[d].ReadBlocks(ctx, s, dst)
+		}
+		// Reconstruct from the survivors — valid only if parity is
+		// current for this stripe.
+		if a.isDirty(s) {
+			return fmt.Errorf("afraid: block %d in redundancy window (stripe %d parity stale): %w", lb, s, ErrDataLoss)
+		}
+		acc := make([]byte, a.bs)
+		buf := make([]byte, a.bs)
+		for dd := range a.devs {
+			if dd == failed {
+				continue
+			}
+			if err := a.devs[dd].ReadBlocks(ctx, s, buf); err != nil {
+				return err
+			}
+			xorInto(acc, buf)
+		}
+		copy(dst, acc)
+		return nil
+	})
+}
+
+// WriteBlocks implements Array: data blocks are written immediately
+// (striped, parallel, no parity I/O on the critical path), and the
+// affected stripes enter the redundancy window until Flush (or the
+// opportunistic sync below) recomputes their parity in the background.
+func (a *AFRAID) WriteBlocks(ctx context.Context, b int64, p []byte) error {
+	n, err := checkRange(a, b, p)
+	if err != nil {
+		return err
+	}
+	failed, err := a.failedDisk()
+	if err != nil {
+		return err
+	}
+	// Group per disk for contiguity, as in the striped engines.
+	type op struct {
+		disk int
+		phys int64
+		src  []byte
+	}
+	var ops []op
+	for i := 0; i < n; i++ {
+		lb := b + int64(i)
+		s, j := a.lay.StripeOf(lb)
+		d := a.diskOfData(s, int(j))
+		if d == failed {
+			return fmt.Errorf("afraid: cannot write block %d, its disk failed and parity is lazy: %w", lb, ErrDataLoss)
+		}
+		a.markDirty(s)
+		ops = append(ops, op{disk: d, phys: s, src: p[int64(i)*int64(a.bs) : (int64(i)+1)*int64(a.bs)]})
+	}
+	return par.ForEach(ctx, len(ops), func(ctx context.Context, i int) error {
+		return a.devs[ops[i].disk].WriteBlocks(ctx, ops[i].phys, ops[i].src)
+	})
+}
+
+// Flush recomputes parity for every stripe in the redundancy window
+// using the background lanes (reads of the data blocks plus the parity
+// write are deferred work), restoring full redundancy.
+func (a *AFRAID) Flush(ctx context.Context) error {
+	a.mu.Lock()
+	stripes := make([]int64, 0, len(a.dirty))
+	for s := range a.dirty {
+		stripes = append(stripes, s)
+	}
+	a.mu.Unlock()
+	for _, s := range stripes {
+		if err := a.syncStripe(ctx, s); err != nil {
+			return err
+		}
+	}
+	// Wait for the deferred parity work to drain.
+	return par.ForEach(ctx, len(a.devs), func(ctx context.Context, i int) error {
+		if !a.devs[i].Healthy() {
+			return nil
+		}
+		return a.devs[i].Flush(ctx)
+	})
+}
+
+// syncStripe recomputes one stripe's parity. The data reads happen in
+// the foreground of the *sync worker* (here: the flusher), but are
+// charged as background work by using the deferred-write entry points
+// where possible; the parity write itself is deferred.
+func (a *AFRAID) syncStripe(ctx context.Context, s int64) error {
+	pd := a.lay.ParityDisk(s)
+	if !a.devs[pd].Healthy() {
+		// No parity disk: the stripe stays dirty until rebuild.
+		return nil
+	}
+	parity := make([]byte, a.bs)
+	buf := make([]byte, a.bs)
+	for j := 0; j < len(a.devs)-1; j++ {
+		d := a.diskOfData(s, j)
+		if !a.devs[d].Healthy() {
+			return fmt.Errorf("afraid: cannot sync stripe %d, data disk %d down: %w", s, d, ErrDataLoss)
+		}
+		if err := a.devs[d].ReadBlocks(ctx, s, buf); err != nil {
+			return err
+		}
+		xorInto(parity, buf)
+	}
+	if err := a.devs[pd].WriteBlocksBackground(ctx, s, parity); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	delete(a.dirty, s)
+	a.mu.Unlock()
+	return nil
+}
+
+// Rebuild implements Rebuilder for stripes outside the redundancy
+// window; dirty stripes cannot be reconstructed (AFRAID's accepted
+// risk) and abort the rebuild.
+func (a *AFRAID) Rebuild(ctx context.Context, idx int) error {
+	if idx < 0 || idx >= len(a.devs) {
+		return fmt.Errorf("afraid: rebuild of device %d out of range", idx)
+	}
+	if a.DirtyStripes() > 0 {
+		return fmt.Errorf("afraid: %d stripes in the redundancy window: %w", a.DirtyStripes(), ErrDataLoss)
+	}
+	stripes := a.lay.Geo.DiskBlocks
+	acc := make([]byte, a.bs)
+	buf := make([]byte, a.bs)
+	for s := int64(0); s < stripes; s++ {
+		for i := range acc {
+			acc[i] = 0
+		}
+		for d := range a.devs {
+			if d == idx {
+				continue
+			}
+			if err := a.devs[d].ReadBlocks(ctx, s, buf); err != nil {
+				return err
+			}
+			xorInto(acc, buf)
+		}
+		if err := a.devs[idx].WriteBlocks(ctx, s, acc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify implements Verifier: every clean stripe's XOR must be zero
+// (dirty stripes are exempt — that is the redundancy window).
+func (a *AFRAID) Verify(ctx context.Context) error {
+	acc := make([]byte, a.bs)
+	buf := make([]byte, a.bs)
+	for s := int64(0); s < a.lay.Geo.DiskBlocks; s++ {
+		if a.isDirty(s) {
+			continue
+		}
+		for i := range acc {
+			acc[i] = 0
+		}
+		for d := range a.devs {
+			if err := a.devs[d].ReadBlocks(ctx, s, buf); err != nil {
+				return err
+			}
+			xorInto(acc, buf)
+		}
+		for i, v := range acc {
+			if v != 0 {
+				return fmt.Errorf("afraid: clean stripe %d parity mismatch at byte %d", s, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package raid_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/raid"
+)
+
+func afraidRig(t *testing.T) (*raid.AFRAID, []*diskHandle) {
+	t.Helper()
+	devs, raw := mkDisks(4, 32)
+	a, err := raid.NewAFRAID(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := make([]*diskHandle, len(raw))
+	for i, d := range raw {
+		hs[i] = &diskHandle{d}
+	}
+	return a, hs
+}
+
+// diskHandle just adapts *disk.Disk for readable failure injection.
+type diskHandle struct{ d failer }
+
+type failer interface {
+	Fail()
+	Replace()
+}
+
+func TestAFRAIDRoundTripAndWindow(t *testing.T) {
+	a, _ := afraidRig(t)
+	ctx := context.Background()
+	data := make([]byte, int(a.Blocks())*a.BlockSize())
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := a.WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if a.DirtyStripes() == 0 {
+		t.Fatal("writes opened no redundancy window")
+	}
+	got := make([]byte, len(data))
+	if err := a.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if err := a.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if a.DirtyStripes() != 0 {
+		t.Fatalf("window not closed by flush: %d dirty", a.DirtyStripes())
+	}
+	if err := a.Verify(ctx); err != nil {
+		t.Fatalf("parity wrong after flush: %v", err)
+	}
+}
+
+func TestAFRAIDDegradedReadOutsideWindow(t *testing.T) {
+	a, hs := afraidRig(t)
+	ctx := context.Background()
+	data := make([]byte, int(a.Blocks())*a.BlockSize())
+	rand.New(rand.NewSource(2)).Read(data)
+	if err := a.WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	hs[1].d.Fail()
+	got := make([]byte, len(data))
+	if err := a.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatalf("degraded read with clean parity: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read wrong data")
+	}
+}
+
+// TestAFRAIDWindowIsHonest: a failure inside the redundancy window must
+// surface as data loss, never as silently wrong data.
+func TestAFRAIDWindowIsHonest(t *testing.T) {
+	a, hs := afraidRig(t)
+	ctx := context.Background()
+	data := make([]byte, int(a.Blocks())*a.BlockSize())
+	rand.New(rand.NewSource(3)).Read(data)
+	if err := a.WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	// No flush: everything is inside the window. Lose a disk.
+	hs[2].d.Fail()
+	err := a.ReadBlocks(ctx, 0, make([]byte, len(data)))
+	if !errors.Is(err, raid.ErrDataLoss) {
+		t.Fatalf("window read: got %v, want ErrDataLoss", err)
+	}
+	// Rebuild must refuse too.
+	hs[2].d.Replace()
+	if err := a.Rebuild(ctx, 2); !errors.Is(err, raid.ErrDataLoss) {
+		t.Fatalf("rebuild in window: got %v, want ErrDataLoss", err)
+	}
+}
+
+func TestAFRAIDRebuildAfterFlush(t *testing.T) {
+	a, hs := afraidRig(t)
+	ctx := context.Background()
+	data := make([]byte, int(a.Blocks())*a.BlockSize())
+	rand.New(rand.NewSource(4)).Read(data)
+	if err := a.WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	hs[0].d.Fail()
+	hs[0].d.Replace()
+	if err := a.Rebuild(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(ctx); err != nil {
+		t.Fatalf("verify after rebuild: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := a.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data wrong after rebuild")
+	}
+}
+
+// TestAFRAIDSmallWriteIsSingleIO: unlike RAID-5's 4-I/O small write,
+// AFRAID's critical path is one data write.
+func TestAFRAIDSmallWriteIsSingleIO(t *testing.T) {
+	devs, raw := mkDisks(4, 32)
+	a, err := raid.NewAFRAID(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	buf := make([]byte, a.BlockSize())
+	if err := a.WriteBlocks(ctx, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	var reads, writes int64
+	for _, d := range raw {
+		r, w, _, _ := d.Stats()
+		reads += r
+		writes += w
+	}
+	if reads != 0 || writes != 1 {
+		t.Fatalf("small write cost %d reads + %d writes, want 0 + 1", reads, writes)
+	}
+}

@@ -1,0 +1,54 @@
+package raid_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/raid"
+)
+
+func benchOver(b *testing.B, build func([]raid.Dev) (raid.Array, error), blocks int, small bool) {
+	b.Helper()
+	devs, _ := mkDisks(12, 512)
+	a, err := build(devs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	n := 12
+	if small {
+		n = 1
+	}
+	buf := make([]byte, n*a.BlockSize())
+	// Seed so RAID-5 RMW reads hit initialized parity.
+	if err := a.WriteBlocks(ctx, 0, make([]byte, 24*a.BlockSize())); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.WriteBlocks(ctx, int64(i%12), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkRAID0LargeWrite(b *testing.B) {
+	benchOver(b, func(d []raid.Dev) (raid.Array, error) { return raid.NewRAID0(d) }, 12, false)
+}
+
+func BenchmarkRAID5SmallWrite(b *testing.B) {
+	benchOver(b, func(d []raid.Dev) (raid.Array, error) { return raid.NewRAID5(d) }, 12, true)
+}
+
+func BenchmarkRAID5LargeWrite(b *testing.B) {
+	benchOver(b, func(d []raid.Dev) (raid.Array, error) { return raid.NewRAID5(d) }, 12, false)
+}
+
+func BenchmarkRAID10SmallWrite(b *testing.B) {
+	benchOver(b, func(d []raid.Dev) (raid.Array, error) { return raid.NewRAID10(d) }, 12, true)
+}
+
+func BenchmarkChainedLargeWrite(b *testing.B) {
+	benchOver(b, func(d []raid.Dev) (raid.Array, error) { return raid.NewChained(d) }, 12, false)
+}

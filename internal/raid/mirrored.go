@@ -1,0 +1,164 @@
+package raid
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/par"
+)
+
+// mirroredArray factors the shared behaviour of RAID-10 and chained
+// declustering: two complete striped copies of the data, written in the
+// foreground, with reads load-balanced over both copies and degraded
+// operation falling back to the surviving copy.
+//
+// The two engines differ only in their primary/mirror mappings, which
+// is exactly the paper's Figure 1b vs. a conventional striped-mirror
+// arrangement.
+type mirroredArray struct {
+	name    string
+	devs    []Dev
+	bs      int
+	blocks  int64
+	primary mapping
+	mirror  mapping
+	// flip alternates reads between copies for load balancing.
+	flip atomic.Uint32
+	// balanceReads enables alternating; chained declustering and
+	// RAID-10 both read from either copy.
+	balanceReads bool
+}
+
+func (a *mirroredArray) Name() string   { return a.name }
+func (a *mirroredArray) BlockSize() int { return a.bs }
+func (a *mirroredArray) Blocks() int64  { return a.blocks }
+
+// ReadBlocks reads from one copy, alternating between copies per call
+// for load balance, with per-run fallback to the other copy when a
+// device has failed.
+func (a *mirroredArray) ReadBlocks(ctx context.Context, b int64, p []byte) error {
+	if _, err := checkRange(a, b, p); err != nil {
+		return err
+	}
+	first, second := a.primary, a.mirror
+	if a.balanceReads && a.flip.Add(1)%2 == 0 {
+		first, second = second, first
+	}
+	return readStriped(ctx, a.devs, first, b, p, a.bs, func(ctx context.Context, r run) error {
+		// Degraded path: the same logical blocks through the other
+		// mapping. Both mappings stripe with the same width, so the
+		// run is contiguous there too.
+		dev := a.devs[second.diskOf(r.col)]
+		if !dev.Healthy() {
+			return fmt.Errorf("%s: both copies of column %d failed: %w", a.name, r.col, ErrDataLoss)
+		}
+		buf := make([]byte, r.count*a.bs)
+		phys := second.base + r.first/int64(second.width)
+		if err := dev.ReadBlocks(ctx, phys, buf); err != nil {
+			return err
+		}
+		second.scatter(p, buf, r, b, a.bs)
+		return nil
+	})
+}
+
+// WriteBlocks writes both copies in the foreground (the conventional
+// mirrored-write discipline that RAID-x improves upon). Runs landing on
+// a failed device are skipped as long as the other copy is healthy.
+func (a *mirroredArray) WriteBlocks(ctx context.Context, b int64, p []byte) error {
+	if _, err := checkRange(a, b, p); err != nil {
+		return err
+	}
+	if err := a.checkWritable(b, len(p)/a.bs); err != nil {
+		return err
+	}
+	return par.Do(ctx,
+		func(ctx context.Context) error {
+			return writeStriped(ctx, a.devs, a.primary, b, p, a.bs, true, false)
+		},
+		func(ctx context.Context) error {
+			return writeStriped(ctx, a.devs, a.mirror, b, p, a.bs, true, false)
+		},
+	)
+}
+
+// checkWritable verifies every touched column retains at least one
+// healthy copy.
+func (a *mirroredArray) checkWritable(b int64, n int) error {
+	for _, r := range a.primary.runs(b, n) {
+		pOK := a.devs[a.primary.diskOf(r.col)].Healthy()
+		mOK := a.devs[a.mirror.diskOf(r.col)].Healthy()
+		if !pOK && !mOK {
+			return fmt.Errorf("%s: both copies of column %d failed: %w", a.name, r.col, ErrDataLoss)
+		}
+	}
+	return nil
+}
+
+// Flush implements Array.
+func (a *mirroredArray) Flush(ctx context.Context) error { return flushAll(ctx, a.devs) }
+
+// Rebuild reconstructs device idx from the surviving copies: every
+// column whose primary or mirror lives on idx is copied across.
+func (a *mirroredArray) Rebuild(ctx context.Context, idx int) error {
+	if idx < 0 || idx >= len(a.devs) {
+		return fmt.Errorf("%s: rebuild of device %d out of range", a.name, idx)
+	}
+	if !a.devs[idx].Healthy() {
+		return fmt.Errorf("%s: rebuild target %d is not healthy (replace it first)", a.name, idx)
+	}
+	total := a.blocks
+	w := int64(a.primary.width)
+	for col := 0; col < a.primary.width; col++ {
+		colBlocks := (total - int64(col) + w - 1) / w
+		if colBlocks <= 0 {
+			continue
+		}
+		var src, dst mapping
+		switch {
+		case a.primary.diskOf(col) == idx:
+			src, dst = a.mirror, a.primary
+		case a.mirror.diskOf(col) == idx:
+			src, dst = a.primary, a.mirror
+		default:
+			continue
+		}
+		from := a.devs[src.diskOf(col)]
+		if !from.Healthy() {
+			return fmt.Errorf("%s: cannot rebuild column %d, source failed: %w", a.name, col, ErrDataLoss)
+		}
+		// Column col starts at physical block base on its disk.
+		buf := make([]byte, colBlocks*int64(a.bs))
+		if err := from.ReadBlocks(ctx, src.base, buf); err != nil {
+			return err
+		}
+		if err := a.devs[idx].WriteBlocks(ctx, dst.base, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify checks that both copies of every block agree.
+func (a *mirroredArray) Verify(ctx context.Context) error {
+	buf1 := make([]byte, a.bs)
+	buf2 := make([]byte, a.bs)
+	for b := int64(0); b < a.blocks; b++ {
+		pl := a.primary
+		ml := a.mirror
+		col := int(b % int64(pl.width))
+		if err := a.devs[pl.diskOf(col)].ReadBlocks(ctx, pl.base+b/int64(pl.width), buf1); err != nil {
+			return err
+		}
+		if err := a.devs[ml.diskOf(col)].ReadBlocks(ctx, ml.base+b/int64(ml.width), buf2); err != nil {
+			return err
+		}
+		for i := range buf1 {
+			if buf1[i] != buf2[i] {
+				return fmt.Errorf("%s: block %d copies differ at byte %d", a.name, b, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+// Package raid implements the baseline disk array engines the paper
+// compares RAID-x against: RAID-0 (striping), RAID-5 (rotated parity),
+// RAID-10 (striped mirrors), and chained declustering. The RAID-x
+// engine itself — the paper's contribution — lives in internal/core and
+// shares this package's device interface and striping machinery.
+//
+// Engines are pure data movers over a set of block devices. The devices
+// may be local simulated disks, or remote disks reached through the
+// cooperative disk drivers (internal/cdd); the engines are oblivious.
+// All engines support multi-block requests, issue per-disk I/O in
+// parallel (fork-join through internal/par), merge per-disk accesses
+// into contiguous runs (long sequential transfers), and survive single
+// disk failures where the architecture provides redundancy.
+package raid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Dev is the block device interface consumed by array engines.
+// *disk.Disk implements it, as do the CDD remote-disk clients.
+type Dev interface {
+	// BlockSize reports the device block size in bytes.
+	BlockSize() int
+	// NumBlocks reports device capacity in blocks.
+	NumBlocks() int64
+	// ReadBlocks fills buf with len(buf)/BlockSize consecutive blocks
+	// starting at b.
+	ReadBlocks(ctx context.Context, b int64, buf []byte) error
+	// WriteBlocks stores data as consecutive blocks starting at b.
+	WriteBlocks(ctx context.Context, b int64, data []byte) error
+	// WriteBlocksBackground is WriteBlocks with deferred timing: the
+	// caller does not wait for the device. Contents are applied
+	// immediately for simulation purposes.
+	WriteBlocksBackground(ctx context.Context, b int64, data []byte) error
+	// Flush waits for background work to drain.
+	Flush(ctx context.Context) error
+	// Healthy reports whether the device is serving requests.
+	Healthy() bool
+}
+
+// Array is the logical block device an engine exposes.
+type Array interface {
+	// Name identifies the architecture ("raid0", "raid5", "raid10",
+	// "chained", "raidx").
+	Name() string
+	// BlockSize reports the logical block size in bytes.
+	BlockSize() int
+	// Blocks reports usable capacity in blocks.
+	Blocks() int64
+	// ReadBlocks fills p with len(p)/BlockSize logical blocks starting
+	// at b.
+	ReadBlocks(ctx context.Context, b int64, p []byte) error
+	// WriteBlocks stores p as logical blocks starting at b.
+	WriteBlocks(ctx context.Context, b int64, p []byte) error
+	// Flush waits until all deferred (background) redundancy updates
+	// have drained, so the array is fully redundant.
+	Flush(ctx context.Context) error
+}
+
+// Rebuilder is implemented by arrays that can reconstruct a replaced
+// disk from redundancy.
+type Rebuilder interface {
+	// Rebuild reconstructs the full contents of (replaced) disk idx.
+	Rebuild(ctx context.Context, idx int) error
+}
+
+// Verifier is implemented by arrays that can check their redundancy
+// (mirror equality, parity consistency) — used by tests and scrubbing.
+type Verifier interface {
+	// Verify checks all redundancy and returns an error describing the
+	// first inconsistency found.
+	Verify(ctx context.Context) error
+}
+
+// ErrDataLoss reports that the requested data is unrecoverable (more
+// failures than the redundancy covers).
+var ErrDataLoss = errors.New("raid: unrecoverable data loss")
+
+// QueueReporter is optionally implemented by devices that can report
+// their pending foreground backlog (simulated disks do; remote disks do
+// not). Load-balancing read policies treat devices without it as idle.
+type QueueReporter interface {
+	QueueBacklog() time.Duration
+}
+
+// BacklogOf reports a device's queue backlog, zero when unknown.
+func BacklogOf(d Dev) time.Duration {
+	if q, ok := d.(QueueReporter); ok {
+		return q.QueueBacklog()
+	}
+	return 0
+}
+
+// checkDevs validates a homogeneous device set and returns the common
+// block size and per-device capacity.
+func checkDevs(devs []Dev, min int) (blockSize int, diskBlocks int64, err error) {
+	if len(devs) < min {
+		return 0, 0, fmt.Errorf("raid: need at least %d devices, got %d", min, len(devs))
+	}
+	blockSize = devs[0].BlockSize()
+	diskBlocks = devs[0].NumBlocks()
+	for i, d := range devs {
+		if d.BlockSize() != blockSize {
+			return 0, 0, fmt.Errorf("raid: device %d block size %d != %d", i, d.BlockSize(), blockSize)
+		}
+		if d.NumBlocks() < diskBlocks {
+			diskBlocks = d.NumBlocks()
+		}
+	}
+	if diskBlocks == 0 {
+		return 0, 0, errors.New("raid: zero-capacity device")
+	}
+	return blockSize, diskBlocks, nil
+}
+
+// checkRange validates a logical request against the array geometry.
+func checkRange(a Array, b int64, p []byte) (blocks int, err error) {
+	bs := a.BlockSize()
+	if len(p) == 0 || len(p)%bs != 0 {
+		return 0, &store.SizeError{Got: len(p), Want: bs}
+	}
+	n := len(p) / bs
+	if b < 0 || b+int64(n) > a.Blocks() {
+		return 0, &store.RangeError{Block: b + int64(n) - 1, Max: a.Blocks()}
+	}
+	return n, nil
+}
+
+// xorInto xors src into dst (dst ^= src). Lengths must match.
+func xorInto(dst, src []byte) {
+	_ = dst[len(src)-1]
+	for i, v := range src {
+		dst[i] ^= v
+	}
+}

@@ -1,0 +1,63 @@
+package raid
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// RAID0 is plain striping: full bandwidth, no redundancy. It is both a
+// baseline in the paper's Table 2 and the model for RAID-x's data area.
+type RAID0 struct {
+	devs []Dev
+	lay  layout.RAID0
+	bs   int
+}
+
+// NewRAID0 builds a RAID-0 array over the devices.
+func NewRAID0(devs []Dev) (*RAID0, error) {
+	bs, per, err := checkDevs(devs, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &RAID0{
+		devs: devs,
+		lay:  layout.NewRAID0(layout.Geometry{Disks: len(devs), DiskBlocks: per}),
+		bs:   bs,
+	}, nil
+}
+
+// Name implements Array.
+func (a *RAID0) Name() string { return "raid0" }
+
+// BlockSize implements Array.
+func (a *RAID0) BlockSize() int { return a.bs }
+
+// Blocks implements Array.
+func (a *RAID0) Blocks() int64 { return a.lay.DataBlocks() }
+
+func (a *RAID0) mapping() mapping {
+	return mapping{width: len(a.devs), base: 0, diskOf: func(c int) int { return c }}
+}
+
+// ReadBlocks implements Array.
+func (a *RAID0) ReadBlocks(ctx context.Context, b int64, p []byte) error {
+	if _, err := checkRange(a, b, p); err != nil {
+		return err
+	}
+	return readStriped(ctx, a.devs, a.mapping(), b, p, a.bs, func(context.Context, run) error {
+		return fmt.Errorf("raid0: %w", ErrDataLoss)
+	})
+}
+
+// WriteBlocks implements Array.
+func (a *RAID0) WriteBlocks(ctx context.Context, b int64, p []byte) error {
+	if _, err := checkRange(a, b, p); err != nil {
+		return err
+	}
+	return writeStriped(ctx, a.devs, a.mapping(), b, p, a.bs, false, false)
+}
+
+// Flush implements Array.
+func (a *RAID0) Flush(ctx context.Context) error { return flushAll(ctx, a.devs) }

@@ -1,0 +1,461 @@
+package raid
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/par"
+)
+
+// RAID5 is block-interleaved distributed parity. Small writes pay the
+// classic read-modify-write penalty (read old data + old parity, write
+// new data + new parity) that the paper's Figure 5 exposes; full-stripe
+// writes compute parity in memory and write all disks in parallel. The
+// array survives a single disk failure: degraded reads reconstruct from
+// the surviving blocks, and Rebuild regenerates a replaced disk.
+type RAID5 struct {
+	devs []Dev
+	lay  layout.RAID5
+	bs   int
+}
+
+// NewRAID5 builds a RAID-5 array over at least three devices.
+func NewRAID5(devs []Dev) (*RAID5, error) {
+	bs, per, err := checkDevs(devs, 3)
+	if err != nil {
+		return nil, err
+	}
+	return &RAID5{
+		devs: devs,
+		lay:  layout.NewRAID5(layout.Geometry{Disks: len(devs), DiskBlocks: per}),
+		bs:   bs,
+	}, nil
+}
+
+// Name implements Array.
+func (a *RAID5) Name() string { return "raid5" }
+
+// BlockSize implements Array.
+func (a *RAID5) BlockSize() int { return a.bs }
+
+// Blocks implements Array.
+func (a *RAID5) Blocks() int64 { return a.lay.DataBlocks() }
+
+// failedDisk returns the index of the single failed device, or -1 if
+// all are healthy. A second failure returns an error.
+func (a *RAID5) failedDisk() (int, error) {
+	failed := -1
+	for i, d := range a.devs {
+		if !d.Healthy() {
+			if failed >= 0 {
+				return 0, fmt.Errorf("raid5: disks %d and %d both failed: %w", failed, i, ErrDataLoss)
+			}
+			failed = i
+		}
+	}
+	return failed, nil
+}
+
+// diskOfData reports which disk holds data index j of stripe s.
+func (a *RAID5) diskOfData(s int64, j int) int {
+	return (a.lay.ParityDisk(s) + 1 + j) % len(a.devs)
+}
+
+// seg is a contiguous per-disk physical run plus the destinations of
+// each of its blocks in the caller's buffer (-1 marks a block that is
+// read for reconstruction only).
+type seg struct {
+	disk int
+	phys int64
+	dsts []int64 // logical block numbers, aligned with physical blocks
+}
+
+// addTo appends block (disk, phys)→logical to segments, merging with
+// the previous segment when physically contiguous.
+func addTo(segs map[int][]seg, disk int, phys, logical int64) {
+	list := segs[disk]
+	if n := len(list); n > 0 {
+		last := &list[n-1]
+		if last.phys+int64(len(last.dsts)) == phys {
+			last.dsts = append(last.dsts, logical)
+			return
+		}
+	}
+	segs[disk] = append(list, seg{disk: disk, phys: phys, dsts: []int64{logical}})
+}
+
+// runSegs executes per-disk segments in parallel, reading each segment
+// as one contiguous transfer and scattering blocks into p (offset by
+// logical block b0).
+func (a *RAID5) runSegs(ctx context.Context, segs map[int][]seg, p []byte, b0 int64) error {
+	disks := make([]int, 0, len(segs))
+	for d := range segs {
+		disks = append(disks, d)
+	}
+	return par.ForEach(ctx, len(disks), func(ctx context.Context, i int) error {
+		var disk int
+		// Iterate deterministically: pick the i-th smallest disk index.
+		disk = -1
+		rank := 0
+		for d := 0; d < len(a.devs); d++ {
+			if _, ok := segs[d]; ok {
+				if rank == i {
+					disk = d
+					break
+				}
+				rank++
+			}
+		}
+		for _, sg := range segs[disk] {
+			buf := make([]byte, len(sg.dsts)*a.bs)
+			if err := a.devs[disk].ReadBlocks(ctx, sg.phys, buf); err != nil {
+				return err
+			}
+			for t, lb := range sg.dsts {
+				if lb < 0 {
+					continue
+				}
+				copy(p[(lb-b0)*int64(a.bs):(lb-b0+1)*int64(a.bs)], buf[t*a.bs:(t+1)*a.bs])
+			}
+		}
+		return nil
+	})
+}
+
+// ReadBlocks implements Array.
+func (a *RAID5) ReadBlocks(ctx context.Context, b int64, p []byte) error {
+	n, err := checkRange(a, b, p)
+	if err != nil {
+		return err
+	}
+	failed, err := a.failedDisk()
+	if err != nil {
+		return err
+	}
+	segs := map[int][]seg{}
+	var degradedStripes []int64
+	for lb := b; lb < b+int64(n); lb++ {
+		s, j := a.lay.StripeOf(lb)
+		d := a.diskOfData(s, j)
+		if d == failed {
+			if len(degradedStripes) == 0 || degradedStripes[len(degradedStripes)-1] != s {
+				degradedStripes = append(degradedStripes, s)
+			}
+			continue
+		}
+		addTo(segs, d, s, lb)
+	}
+	if err := a.runSegs(ctx, segs, p, b); err != nil {
+		return err
+	}
+	// Reconstruct blocks that lived on the failed disk, stripe by
+	// stripe: XOR of all surviving blocks (data + parity).
+	for _, s := range degradedStripes {
+		if err := a.reconstructInto(ctx, s, failed, p, b, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reconstructInto rebuilds the block of stripe s living on disk failed
+// and stores it at its logical position within p (logical window
+// [b0, b0+n)).
+func (a *RAID5) reconstructInto(ctx context.Context, s int64, failed int, p []byte, b0 int64, n int) error {
+	acc := make([]byte, a.bs)
+	bufs := make([][]byte, len(a.devs))
+	err := par.ForEach(ctx, len(a.devs), func(ctx context.Context, d int) error {
+		if d == failed {
+			return nil
+		}
+		bufs[d] = make([]byte, a.bs)
+		return a.devs[d].ReadBlocks(ctx, s, bufs[d])
+	})
+	if err != nil {
+		return err
+	}
+	for d, buf := range bufs {
+		if d == failed || buf == nil {
+			continue
+		}
+		xorInto(acc, buf)
+	}
+	// Locate the failed block's logical number.
+	pd := a.lay.ParityDisk(s)
+	if failed == pd {
+		return nil // parity block: nothing to deliver
+	}
+	j := (failed - pd - 1 + len(a.devs)) % len(a.devs)
+	lb := s*int64(len(a.devs)-1) + int64(j)
+	if lb >= b0 && lb < b0+int64(n) {
+		copy(p[(lb-b0)*int64(a.bs):(lb-b0+1)*int64(a.bs)], acc)
+	}
+	return nil
+}
+
+// WriteBlocks implements Array.
+func (a *RAID5) WriteBlocks(ctx context.Context, b int64, p []byte) error {
+	n, err := checkRange(a, b, p)
+	if err != nil {
+		return err
+	}
+	failed, err := a.failedDisk()
+	if err != nil {
+		return err
+	}
+	nd := int64(len(a.devs) - 1) // data blocks per stripe
+	end := b + int64(n)
+
+	// Split into a partial head stripe, a run of full stripes, and a
+	// partial tail stripe.
+	s0 := b / nd
+	s1 := (end - 1) / nd
+	fullStart, fullEnd := s0, s1+1
+	if b%nd != 0 {
+		fullStart = s0 + 1
+	}
+	if end%nd != 0 {
+		fullEnd = s1
+	}
+	if fullStart > fullEnd {
+		fullStart, fullEnd = 0, 0 // no full stripes
+	}
+
+	// Partial stripes first (RMW or reconstruct-write)...
+	for s := s0; s <= s1; s++ {
+		if s >= fullStart && s < fullEnd {
+			continue
+		}
+		lo, hi := s*nd, (s+1)*nd
+		if lo < b {
+			lo = b
+		}
+		if hi > end {
+			hi = end
+		}
+		if err := a.writePartialStripe(ctx, s, lo, hi, p, b, failed); err != nil {
+			return err
+		}
+	}
+	// ...then the full-stripe region as one long parallel write.
+	if fullStart < fullEnd {
+		if err := a.writeFullStripes(ctx, fullStart, fullEnd, p, b, failed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFullStripes writes stripes [sa, sb), all fully covered, as one
+// contiguous per-disk transfer with in-memory parity.
+func (a *RAID5) writeFullStripes(ctx context.Context, sa, sb int64, p []byte, b0 int64, failed int) error {
+	nDisks := len(a.devs)
+	nd := int64(nDisks - 1)
+	rows := int(sb - sa)
+	perDisk := make([][]byte, nDisks)
+	for d := range perDisk {
+		perDisk[d] = make([]byte, rows*a.bs)
+	}
+	for s := sa; s < sb; s++ {
+		row := int(s - sa)
+		pd := a.lay.ParityDisk(s)
+		parity := perDisk[pd][row*a.bs : (row+1)*a.bs]
+		for j := 0; j < int(nd); j++ {
+			lb := s*nd + int64(j)
+			src := p[(lb-b0)*int64(a.bs) : (lb-b0+1)*int64(a.bs)]
+			d := a.diskOfData(s, j)
+			copy(perDisk[d][row*a.bs:(row+1)*a.bs], src)
+			xorInto(parity, src)
+		}
+	}
+	return par.ForEach(ctx, nDisks, func(ctx context.Context, d int) error {
+		if d == failed {
+			return nil
+		}
+		return a.devs[d].WriteBlocks(ctx, sa, perDisk[d])
+	})
+}
+
+// writePartialStripe updates logical blocks [lo, hi) of stripe s.
+func (a *RAID5) writePartialStripe(ctx context.Context, s, lo, hi int64, p []byte, b0 int64, failed int) error {
+	nDisks := len(a.devs)
+	nd := int64(nDisks - 1)
+	pd := a.lay.ParityDisk(s)
+
+	newData := func(lb int64) []byte {
+		return p[(lb-b0)*int64(a.bs) : (lb-b0+1)*int64(a.bs)]
+	}
+
+	coveredOnFailed := false
+	for lb := lo; lb < hi; lb++ {
+		if a.diskOfData(s, int(lb%nd)) == failed {
+			coveredOnFailed = true
+		}
+	}
+
+	switch {
+	case failed == pd:
+		// Parity disk gone: write the data blocks, no parity upkeep.
+		return par.ForEach(ctx, int(hi-lo), func(ctx context.Context, i int) error {
+			lb := lo + int64(i)
+			return a.devs[a.diskOfData(s, int(lb%nd))].WriteBlocks(ctx, s, newData(lb))
+		})
+
+	case coveredOnFailed:
+		// Reconstruct-write: parity = XOR(new covered values,
+		// surviving uncovered values). The value destined for the
+		// failed disk exists only inside the parity.
+		parity := make([]byte, a.bs)
+		type job struct {
+			disk int
+			lb   int64
+		}
+		var uncovered []job
+		for j := int64(0); j < nd; j++ {
+			lb := s*nd + j
+			if lb >= lo && lb < hi {
+				xorInto(parity, newData(lb))
+				continue
+			}
+			uncovered = append(uncovered, job{disk: a.diskOfData(s, int(j)), lb: lb})
+		}
+		bufs := make([][]byte, len(uncovered))
+		err := par.ForEach(ctx, len(uncovered), func(ctx context.Context, i int) error {
+			bufs[i] = make([]byte, a.bs)
+			return a.devs[uncovered[i].disk].ReadBlocks(ctx, s, bufs[i])
+		})
+		if err != nil {
+			return err
+		}
+		for _, buf := range bufs {
+			xorInto(parity, buf)
+		}
+		fns := []func(context.Context) error{
+			func(ctx context.Context) error { return a.devs[pd].WriteBlocks(ctx, s, parity) },
+		}
+		for lb := lo; lb < hi; lb++ {
+			lb := lb
+			d := a.diskOfData(s, int(lb%nd))
+			if d == failed {
+				continue
+			}
+			fns = append(fns, func(ctx context.Context) error {
+				return a.devs[d].WriteBlocks(ctx, s, newData(lb))
+			})
+		}
+		return par.Do(ctx, fns...)
+
+	default:
+		// Classic read-modify-write: read old data and old parity in
+		// parallel, XOR deltas into parity, write data and parity in
+		// parallel. This is the "R+W" small-write cost of Table 2 and
+		// the source of RAID-5's poor small-write bandwidth.
+		count := int(hi - lo)
+		oldData := make([][]byte, count)
+		oldParity := make([]byte, a.bs)
+		fns := []func(context.Context) error{
+			func(ctx context.Context) error { return a.devs[pd].ReadBlocks(ctx, s, oldParity) },
+		}
+		for i := 0; i < count; i++ {
+			i := i
+			lb := lo + int64(i)
+			d := a.diskOfData(s, int(lb%nd))
+			fns = append(fns, func(ctx context.Context) error {
+				oldData[i] = make([]byte, a.bs)
+				return a.devs[d].ReadBlocks(ctx, s, oldData[i])
+			})
+		}
+		if err := par.Do(ctx, fns...); err != nil {
+			return err
+		}
+		for i := 0; i < count; i++ {
+			lb := lo + int64(i)
+			xorInto(oldParity, oldData[i])
+			xorInto(oldParity, newData(lb))
+		}
+		fns = fns[:0]
+		fns = append(fns, func(ctx context.Context) error {
+			return a.devs[pd].WriteBlocks(ctx, s, oldParity)
+		})
+		for lb := lo; lb < hi; lb++ {
+			lb := lb
+			d := a.diskOfData(s, int(lb%nd))
+			fns = append(fns, func(ctx context.Context) error {
+				return a.devs[d].WriteBlocks(ctx, s, newData(lb))
+			})
+		}
+		return par.Do(ctx, fns...)
+	}
+}
+
+// Flush implements Array.
+func (a *RAID5) Flush(ctx context.Context) error { return flushAll(ctx, a.devs) }
+
+// Rebuild implements Rebuilder: every block of the replaced disk (data
+// or parity) is the XOR of the other disks' blocks in its stripe.
+func (a *RAID5) Rebuild(ctx context.Context, idx int) error {
+	if idx < 0 || idx >= len(a.devs) {
+		return fmt.Errorf("raid5: rebuild of device %d out of range", idx)
+	}
+	if !a.devs[idx].Healthy() {
+		return fmt.Errorf("raid5: rebuild target %d is not healthy (replace it first)", idx)
+	}
+	stripes := a.lay.Geo.DiskBlocks
+	const batch = 64
+	for s0 := int64(0); s0 < stripes; s0 += batch {
+		rows := int64(batch)
+		if s0+rows > stripes {
+			rows = stripes - s0
+		}
+		acc := make([]byte, rows*int64(a.bs))
+		bufs := make([][]byte, len(a.devs))
+		err := par.ForEach(ctx, len(a.devs), func(ctx context.Context, d int) error {
+			if d == idx {
+				return nil
+			}
+			if !a.devs[d].Healthy() {
+				return fmt.Errorf("raid5: rebuild source %d failed: %w", d, ErrDataLoss)
+			}
+			bufs[d] = make([]byte, rows*int64(a.bs))
+			return a.devs[d].ReadBlocks(ctx, s0, bufs[d])
+		})
+		if err != nil {
+			return err
+		}
+		for d, buf := range bufs {
+			if d == idx || buf == nil {
+				continue
+			}
+			xorInto(acc, buf)
+		}
+		if err := a.devs[idx].WriteBlocks(ctx, s0, acc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify implements Verifier: the XOR of every stripe (data blocks and
+// parity) must be zero.
+func (a *RAID5) Verify(ctx context.Context) error {
+	acc := make([]byte, a.bs)
+	buf := make([]byte, a.bs)
+	for s := int64(0); s < a.lay.Geo.DiskBlocks; s++ {
+		for i := range acc {
+			acc[i] = 0
+		}
+		for d := range a.devs {
+			if err := a.devs[d].ReadBlocks(ctx, s, buf); err != nil {
+				return err
+			}
+			xorInto(acc, buf)
+		}
+		for i, v := range acc {
+			if v != 0 {
+				return fmt.Errorf("raid5: stripe %d parity mismatch at byte %d", s, i)
+			}
+		}
+	}
+	return nil
+}

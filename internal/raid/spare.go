@@ -1,0 +1,76 @@
+package raid
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// DevSwapper is implemented by arrays whose member devices can be
+// replaced in place (core.RAIDx implements it); required for hot
+// sparing.
+type DevSwapper interface {
+	Rebuilder
+	// SwapDev replaces member idx with dev (which must match geometry)
+	// and returns the previous device.
+	SwapDev(idx int, dev Dev) (Dev, error)
+}
+
+// Sparer manages a pool of hot-spare disks for an array: when a member
+// fails, Failover swaps a spare into its slot and rebuilds it from the
+// array's redundancy — the automated counterpart of the manual
+// fail/replace/rebuild cycle.
+type Sparer struct {
+	arr DevSwapper
+
+	mu     sync.Mutex
+	spares []Dev
+	// retired holds failed devices swapped out, for inspection.
+	retired []Dev
+}
+
+// NewSparer creates a sparer over the array with the given spare pool.
+func NewSparer(arr DevSwapper, spares []Dev) *Sparer {
+	return &Sparer{arr: arr, spares: spares}
+}
+
+// SparesLeft reports the remaining spare count.
+func (s *Sparer) SparesLeft() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.spares)
+}
+
+// Retired returns the failed devices that have been swapped out.
+func (s *Sparer) Retired() []Dev {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Dev(nil), s.retired...)
+}
+
+// Failover replaces failed member idx with a spare and rebuilds it.
+// The array serves (degraded) traffic throughout; on return the array
+// is fully redundant again.
+func (s *Sparer) Failover(ctx context.Context, idx int) error {
+	s.mu.Lock()
+	if len(s.spares) == 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("raid: no spares left for member %d", idx)
+	}
+	spare := s.spares[len(s.spares)-1]
+	s.spares = s.spares[:len(s.spares)-1]
+	s.mu.Unlock()
+
+	old, err := s.arr.SwapDev(idx, spare)
+	if err != nil {
+		// Return the spare to the pool.
+		s.mu.Lock()
+		s.spares = append(s.spares, spare)
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	s.retired = append(s.retired, old)
+	s.mu.Unlock()
+	return s.arr.Rebuild(ctx, idx)
+}

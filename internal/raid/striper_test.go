@@ -1,0 +1,84 @@
+package raid
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRunsCoverRangeExactly: the per-column runs of any request
+// partition exactly the requested logical blocks.
+func TestRunsCoverRangeExactly(t *testing.T) {
+	f := func(width uint8, start uint16, count uint8) bool {
+		w := int(width%12) + 1
+		b := int64(start % 1024)
+		n := int(count%64) + 1
+		m := mapping{width: w, base: 0, diskOf: func(c int) int { return c }}
+		seen := map[int64]bool{}
+		for _, r := range m.runs(b, n) {
+			if r.col != int(r.first%int64(w)) {
+				return false // run in wrong column
+			}
+			if r.phys != r.first/int64(w) {
+				return false // wrong physical start
+			}
+			for t := 0; t < r.count; t++ {
+				lb := r.first + int64(t)*int64(w)
+				if lb < b || lb >= b+int64(n) || seen[lb] {
+					return false
+				}
+				seen[lb] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatherScatterInverse: scatter(gather(x)) == x for every run.
+func TestGatherScatterInverse(t *testing.T) {
+	const bs = 16
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		w := rng.Intn(8) + 1
+		b := int64(rng.Intn(100))
+		n := rng.Intn(40) + 1
+		m := mapping{width: w, base: 0, diskOf: func(c int) int { return c }}
+		user := make([]byte, n*bs)
+		rng.Read(user)
+		out := make([]byte, n*bs)
+		for _, r := range m.runs(b, n) {
+			dense := make([]byte, r.count*bs)
+			m.gather(dense, user, r, b, bs)
+			m.scatter(out, dense, r, b, bs)
+		}
+		if !bytes.Equal(out, user) {
+			t.Fatalf("trial %d (w=%d b=%d n=%d): scatter∘gather != id", trial, w, b, n)
+		}
+	}
+}
+
+// TestXorIntoProperties: XOR algebra used by RAID-5.
+func TestXorIntoProperties(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if len(a) == 0 {
+			return true
+		}
+		if len(b) > len(a) {
+			b = b[:len(a)]
+		}
+		if len(b) == 0 {
+			return true
+		}
+		orig := append([]byte(nil), a...)
+		xorInto(a, b)
+		xorInto(a, b) // involution
+		return bytes.Equal(a, orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package reliab quantifies the fault-coverage column of the paper's
+// Table 2: mean time to data loss (MTTDL) for each architecture, both
+// in closed form and by Monte Carlo simulation over the *exact* set of
+// fatal disk pairs derived from each layout.
+//
+// A pair of disks (i, j) is fatal if some block keeps both of its
+// copies on exactly {i, j} — losing both before a repair completes
+// loses data. RAID-5 loses data on any second failure; RAID-10 only
+// when a mirror pair dies together; chained declustering when two
+// adjacent disks die; RAID-x when the two disks are on different nodes
+// (images never share a node with their data), so a deeper n-by-k array
+// tolerates whole-node failures that flat mirroring cannot.
+package reliab
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/layout"
+)
+
+// Arch names an architecture for the closed forms.
+type Arch string
+
+// Architectures covered by the analysis.
+const (
+	RAID0   Arch = "raid0"
+	RAID5   Arch = "raid5"
+	RAID10  Arch = "raid10"
+	Chained Arch = "chained"
+	RAIDx   Arch = "raidx"
+)
+
+// FatalPairs scans every logical block of a mirrored layout and marks
+// the disk pairs that hold both copies of at least one block.
+func FatalPairs(l layout.Mirrorer, disks int) [][]bool {
+	fatal := make([][]bool, disks)
+	for i := range fatal {
+		fatal[i] = make([]bool, disks)
+	}
+	for b := int64(0); b < l.DataBlocks(); b++ {
+		d := l.DataLoc(b).Disk
+		m := l.MirrorLoc(b).Disk
+		fatal[d][m] = true
+		fatal[m][d] = true
+	}
+	return fatal
+}
+
+// AllPairsFatal builds the RAID-5/RAID-0 matrix: any two failures (or
+// any one, for RAID-0, handled by MTTR=∞ semantics in the caller) lose
+// data.
+func AllPairsFatal(disks int) [][]bool {
+	fatal := make([][]bool, disks)
+	for i := range fatal {
+		fatal[i] = make([]bool, disks)
+		for j := range fatal[i] {
+			fatal[i][j] = i != j
+		}
+	}
+	return fatal
+}
+
+// CountFatal reports how many unordered fatal pairs a matrix holds.
+func CountFatal(fatal [][]bool) int {
+	n := 0
+	for i := range fatal {
+		for j := i + 1; j < len(fatal); j++ {
+			if fatal[i][j] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Analytic returns the closed-form MTTDL. mttf is a single disk's mean
+// time to failure, mttr the repair (rebuild) time. fatalPerDisk is the
+// average number of disks whose co-failure with a given disk loses data
+// (n-1 for RAID-5, 1 for RAID-10, 2 for chained, and layout-dependent
+// for RAID-x).
+func Analytic(arch Arch, disks int, fatalPerDisk float64, mttf, mttr time.Duration) time.Duration {
+	n := float64(disks)
+	f := mttf.Hours()
+	r := mttr.Hours()
+	var hours float64
+	switch arch {
+	case RAID0:
+		// Any single failure loses data.
+		hours = f / n
+	default:
+		// First failure at rate n/MTTF; during the repair window the
+		// fatalPerDisk co-disks each fail with probability ~MTTR/MTTF.
+		if fatalPerDisk <= 0 {
+			return time.Duration(math.MaxInt64)
+		}
+		hours = f * f / (n * fatalPerDisk * r)
+	}
+	if hours > float64(math.MaxInt64)/float64(time.Hour) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(hours * float64(time.Hour))
+}
+
+// SimResult is a Monte Carlo estimate.
+type SimResult struct {
+	MTTDL  time.Duration
+	Trials int
+}
+
+// Simulate estimates MTTDL by Monte Carlo: disks fail at exponential
+// rate 1/mttf and are repaired mttr after failing; data is lost when a
+// fatal pair is simultaneously down. Deterministically seeded.
+func Simulate(fatal [][]bool, mttf, mttr time.Duration, trials int, seed int64) SimResult {
+	rng := rand.New(rand.NewSource(seed))
+	disks := len(fatal)
+	var total float64
+	for t := 0; t < trials; t++ {
+		total += oneTrial(rng, fatal, disks, mttf.Hours(), mttr.Hours())
+	}
+	hours := total / float64(trials)
+	return SimResult{MTTDL: time.Duration(hours * float64(time.Hour)), Trials: trials}
+}
+
+// oneTrial runs until data loss and returns the elapsed hours.
+func oneTrial(rng *rand.Rand, fatal [][]bool, disks int, mttfH, mttrH float64) float64 {
+	// nextFail[i]: absolute hour of disk i's next failure;
+	// repairAt[i] > now means disk i is down until then.
+	nextFail := make([]float64, disks)
+	repairAt := make([]float64, disks)
+	for i := range nextFail {
+		nextFail[i] = rng.ExpFloat64() * mttfH
+		repairAt[i] = -1
+	}
+	now := 0.0
+	for {
+		// Earliest upcoming failure among healthy disks.
+		victim, at := -1, math.MaxFloat64
+		for i := range nextFail {
+			if repairAt[i] > now {
+				continue // already down
+			}
+			if nextFail[i] < at {
+				victim, at = i, nextFail[i]
+			}
+		}
+		now = at
+		// Complete any repairs that finished before this failure.
+		for i := range repairAt {
+			if repairAt[i] >= 0 && repairAt[i] <= now {
+				repairAt[i] = -1
+				nextFail[i] = now + rng.ExpFloat64()*mttfH
+			}
+		}
+		// Is any fatal partner currently down?
+		for j := range fatal[victim] {
+			if fatal[victim][j] && repairAt[j] > now {
+				return now
+			}
+		}
+		// Survived: the disk is under repair until now + MTTR.
+		repairAt[victim] = now + mttrH
+	}
+}
+
+// Row is one architecture's reliability summary.
+type Row struct {
+	Arch       Arch
+	FatalPairs int
+	Analytic   time.Duration
+	Simulated  time.Duration
+}
+
+func (r Row) String() string {
+	return fmt.Sprintf("%-8s fatal-pairs=%-3d analytic=%-12s simulated=%s",
+		r.Arch, r.FatalPairs, fmtDur(r.Analytic), fmtDur(r.Simulated))
+}
+
+func fmtDur(d time.Duration) string {
+	h := d.Hours()
+	switch {
+	case h > 24*365:
+		return fmt.Sprintf("%.1fy", h/(24*365))
+	case h > 24:
+		return fmt.Sprintf("%.1fd", h/24)
+	default:
+		return fmt.Sprintf("%.1fh", h)
+	}
+}
+
+// Compare builds the reliability table for an n-by-k cluster with the
+// given disk MTTF and rebuild time.
+func Compare(nodes, disksPerNode int, diskBlocks int64, mttf, mttr time.Duration, trials int) []Row {
+	n := nodes * disksPerNode
+	geo := layout.Geometry{Disks: n, DiskBlocks: diskBlocks}
+	var rows []Row
+
+	add := func(arch Arch, fatal [][]bool) {
+		pairs := CountFatal(fatal)
+		perDisk := 0.0
+		if n > 0 {
+			perDisk = 2 * float64(pairs) / float64(n)
+		}
+		rows = append(rows, Row{
+			Arch:       arch,
+			FatalPairs: pairs,
+			Analytic:   Analytic(arch, n, perDisk, mttf, mttr),
+			Simulated:  Simulate(fatal, mttf, mttr, trials, 42).MTTDL,
+		})
+	}
+
+	// RAID-0: any failure is fatal; model as zero redundancy.
+	rows = append(rows, Row{
+		Arch:      RAID0,
+		Analytic:  Analytic(RAID0, n, 0, mttf, mttr),
+		Simulated: simulateRAID0(n, mttf, trials),
+	})
+	add(RAID5, AllPairsFatal(n))
+	if n%2 == 0 {
+		add(RAID10, FatalPairs(layout.NewRAID10(geo), n))
+	}
+	add(Chained, FatalPairs(layout.NewChained(geo), n))
+	add(RAIDx, FatalPairs(layout.NewOSM(nodes, disksPerNode, diskBlocks), n))
+	return rows
+}
+
+// simulateRAID0: time to first failure of any disk.
+func simulateRAID0(disks int, mttf time.Duration, trials int) time.Duration {
+	rng := rand.New(rand.NewSource(42))
+	var total float64
+	for t := 0; t < trials; t++ {
+		min := math.MaxFloat64
+		for i := 0; i < disks; i++ {
+			if f := rng.ExpFloat64() * mttf.Hours(); f < min {
+				min = f
+			}
+		}
+		total += min
+	}
+	return time.Duration(total / float64(trials) * float64(time.Hour))
+}

@@ -1,0 +1,119 @@
+package reliab
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/layout"
+)
+
+func TestFatalPairsRAID10(t *testing.T) {
+	geo := layout.Geometry{Disks: 8, DiskBlocks: 64}
+	fatal := FatalPairs(layout.NewRAID10(geo), 8)
+	// Exactly the 4 mirror pairs are fatal.
+	if got := CountFatal(fatal); got != 4 {
+		t.Fatalf("raid10 fatal pairs = %d, want 4", got)
+	}
+	for i := 0; i < 8; i += 2 {
+		if !fatal[i][i+1] || !fatal[i+1][i] {
+			t.Fatalf("pair (%d,%d) not fatal", i, i+1)
+		}
+	}
+	if fatal[0][2] {
+		t.Fatal("cross-pair marked fatal")
+	}
+}
+
+func TestFatalPairsChained(t *testing.T) {
+	geo := layout.Geometry{Disks: 8, DiskBlocks: 64}
+	fatal := FatalPairs(layout.NewChained(geo), 8)
+	// Adjacent pairs around the ring: 8.
+	if got := CountFatal(fatal); got != 8 {
+		t.Fatalf("chained fatal pairs = %d, want 8", got)
+	}
+	if !fatal[7][0] {
+		t.Fatal("ring wrap pair (7,0) not fatal")
+	}
+	if fatal[0][4] {
+		t.Fatal("non-adjacent pair marked fatal")
+	}
+}
+
+func TestFatalPairsRAIDxRespectNodes(t *testing.T) {
+	// 4 nodes x 3 disks: pairs on the same node are never fatal
+	// (orthogonality); cross-node pairs generally are.
+	lay := layout.NewOSM(4, 3, 64)
+	fatal := FatalPairs(lay, 12)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			if i != j && lay.NodeOfDisk(i) == lay.NodeOfDisk(j) && fatal[i][j] {
+				t.Fatalf("same-node pair (%d,%d) marked fatal", i, j)
+			}
+		}
+	}
+	// RAID-x flat (k=1) behaves like RAID-5 for pair coverage.
+	flat := FatalPairs(layout.NewOSM(12, 1, 2048), 12)
+	if got, want := CountFatal(flat), 12*11/2; got != want {
+		t.Fatalf("flat raidx fatal pairs = %d, want %d", got, want)
+	}
+}
+
+func TestAnalyticOrdering(t *testing.T) {
+	mttf, mttr := 10000*time.Hour, 10*time.Hour
+	r0 := Analytic(RAID0, 12, 0, mttf, mttr)
+	r5 := Analytic(RAID5, 12, 11, mttf, mttr)
+	r10 := Analytic(RAID10, 12, 1, mttf, mttr)
+	if !(r0 < r5 && r5 < r10) {
+		t.Fatalf("ordering wrong: raid0=%v raid5=%v raid10=%v", r0, r5, r10)
+	}
+}
+
+func TestSimulateMatchesAnalyticRAID5(t *testing.T) {
+	const n = 8
+	mttf, mttr := 5000*time.Hour, 20*time.Hour
+	fatal := AllPairsFatal(n)
+	sim := Simulate(fatal, mttf, mttr, 400, 7)
+	ana := Analytic(RAID5, n, n-1, mttf, mttr)
+	ratio := sim.MTTDL.Hours() / ana.Hours()
+	if ratio < 0.6 || ratio > 1.6 {
+		t.Fatalf("simulated %v vs analytic %v (ratio %.2f) diverge", sim.MTTDL, ana, ratio)
+	}
+}
+
+func TestCompareTable(t *testing.T) {
+	rows := Compare(4, 3, 64, 5000*time.Hour, 10*time.Hour, 100)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	get := func(a Arch) Row {
+		for _, r := range rows {
+			if r.Arch == a {
+				return r
+			}
+		}
+		t.Fatalf("missing %s", a)
+		return Row{}
+	}
+	// RAID-0 is worst; every redundant architecture beats it by orders
+	// of magnitude.
+	if get(RAID0).Simulated*10 > get(RAID5).Simulated {
+		t.Fatalf("raid0 %v not clearly worse than raid5 %v", get(RAID0).Simulated, get(RAID5).Simulated)
+	}
+	// RAID-10 has the fewest fatal pairs, hence the best MTTDL.
+	if get(RAID10).Simulated < get(RAID5).Simulated {
+		t.Fatalf("raid10 %v not better than raid5 %v", get(RAID10).Simulated, get(RAID5).Simulated)
+	}
+	// RAID-x with k=3 excludes same-node pairs, so it beats RAID-5.
+	if get(RAIDx).FatalPairs >= get(RAID5).FatalPairs {
+		t.Fatalf("raidx fatal pairs %d not below raid5 %d", get(RAIDx).FatalPairs, get(RAID5).FatalPairs)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	fatal := AllPairsFatal(6)
+	a := Simulate(fatal, 1000*time.Hour, 10*time.Hour, 50, 3)
+	b := Simulate(fatal, 1000*time.Hour, 10*time.Hour, 50, 3)
+	if a.MTTDL != b.MTTDL {
+		t.Fatal("simulation not deterministic for fixed seed")
+	}
+}

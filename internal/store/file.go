@@ -1,0 +1,89 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// File is a file-backed BlockStore: one flat file, block b at offset
+// b*BlockSize. The file is truncated to full size at open, so holes
+// read as zeros (sparse on file systems that support it). File gives
+// raidxnode persistent disks — the durable counterpart of Mem.
+type File struct {
+	mu        sync.Mutex
+	f         *os.File
+	blockSize int
+	blocks    int64
+}
+
+// OpenFile creates (or reopens) a file-backed store at path with the
+// given geometry. Reopening an existing file validates its size.
+func OpenFile(path string, blockSize int, blocks int64) (*File, error) {
+	if blockSize <= 0 || blocks < 0 {
+		return nil, fmt.Errorf("store: bad geometry %dx%d", blockSize, blocks)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	want := int64(blockSize) * blocks
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	switch info.Size() {
+	case want:
+		// Reopened with matching geometry.
+	case 0:
+		if err := f.Truncate(want); err != nil {
+			f.Close()
+			return nil, err
+		}
+	default:
+		f.Close()
+		return nil, fmt.Errorf("store: %s is %d bytes, want %d (geometry mismatch)", path, info.Size(), want)
+	}
+	return &File{f: f, blockSize: blockSize, blocks: blocks}, nil
+}
+
+// BlockSize implements BlockStore.
+func (s *File) BlockSize() int { return s.blockSize }
+
+// NumBlocks implements BlockStore.
+func (s *File) NumBlocks() int64 { return s.blocks }
+
+func (s *File) check(b int64, buf []byte) error {
+	if len(buf) != s.blockSize {
+		return &SizeError{Got: len(buf), Want: s.blockSize}
+	}
+	if b < 0 || b >= s.blocks {
+		return &RangeError{Block: b, Max: s.blocks}
+	}
+	return nil
+}
+
+// ReadBlock implements BlockStore.
+func (s *File) ReadBlock(b int64, buf []byte) error {
+	if err := s.check(b, buf); err != nil {
+		return err
+	}
+	_, err := s.f.ReadAt(buf, b*int64(s.blockSize))
+	return err
+}
+
+// WriteBlock implements BlockStore.
+func (s *File) WriteBlock(b int64, data []byte) error {
+	if err := s.check(b, data); err != nil {
+		return err
+	}
+	_, err := s.f.WriteAt(data, b*int64(s.blockSize))
+	return err
+}
+
+// Sync flushes the backing file to stable storage.
+func (s *File) Sync() error { return s.f.Sync() }
+
+// Close releases the backing file.
+func (s *File) Close() error { return s.f.Close() }

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	s, err := OpenFile(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	data := bytes.Repeat([]byte{0xAB}, 512)
+	if err := s.WriteBlock(7, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if err := s.ReadBlock(7, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestFileStoreHolesReadZero(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	s, err := OpenFile(path, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := bytes.Repeat([]byte{0xFF}, 256)
+	if err := s.ReadBlock(3, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	s, err := OpenFile(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x3C}, 512)
+	if err := s.WriteBlock(2, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFile(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := make([]byte, 512)
+	if err := s2.ReadBlock(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data lost across reopen")
+	}
+}
+
+func TestFileStoreGeometryMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	s, err := OpenFile(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := OpenFile(path, 512, 32); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+func TestFileStoreBounds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	s, err := OpenFile(path, 512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.ReadBlock(4, make([]byte, 512)); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if err := s.WriteBlock(0, make([]byte, 100)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemReadUnwrittenIsZero(t *testing.T) {
+	m := NewMem(16, 4)
+	buf := bytes.Repeat([]byte{0xff}, 16)
+	if err := m.ReadBlock(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestMemWriteReadRoundTrip(t *testing.T) {
+	m := NewMem(8, 10)
+	data := []byte("abcdefgh")
+	if err := m.WriteBlock(7, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := m.ReadBlock(7, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q, want %q", got, data)
+	}
+}
+
+func TestMemWriteDoesNotAliasCallerBuffer(t *testing.T) {
+	m := NewMem(4, 2)
+	data := []byte{1, 2, 3, 4}
+	if err := m.WriteBlock(0, data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99 // mutate the caller's buffer after the write
+	got := make([]byte, 4)
+	if err := m.ReadBlock(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatalf("store aliased caller buffer: got[0] = %d, want 1", got[0])
+	}
+}
+
+func TestMemRangeErrors(t *testing.T) {
+	m := NewMem(4, 2)
+	buf := make([]byte, 4)
+	var re *RangeError
+	if err := m.ReadBlock(2, buf); !errors.As(err, &re) {
+		t.Fatalf("read block 2: got %v, want RangeError", err)
+	}
+	if err := m.WriteBlock(-1, buf); !errors.As(err, &re) {
+		t.Fatalf("write block -1: got %v, want RangeError", err)
+	}
+}
+
+func TestMemSizeErrors(t *testing.T) {
+	m := NewMem(4, 2)
+	var se *SizeError
+	if err := m.ReadBlock(0, make([]byte, 3)); !errors.As(err, &se) {
+		t.Fatalf("short read buf: got %v, want SizeError", err)
+	}
+	if err := m.WriteBlock(0, make([]byte, 5)); !errors.As(err, &se) {
+		t.Fatalf("long write buf: got %v, want SizeError", err)
+	}
+}
+
+func TestMemAllocatedBlocks(t *testing.T) {
+	m := NewMem(4, 8)
+	if m.AllocatedBlocks() != 0 {
+		t.Fatalf("fresh store allocated = %d, want 0", m.AllocatedBlocks())
+	}
+	buf := make([]byte, 4)
+	for _, b := range []int64{1, 3, 3} {
+		if err := m.WriteBlock(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.AllocatedBlocks() != 2 {
+		t.Fatalf("allocated = %d, want 2", m.AllocatedBlocks())
+	}
+}
+
+// Property: for any sequence of writes, reading any block returns the
+// last value written to it (or zeros).
+func TestMemLastWriteWinsProperty(t *testing.T) {
+	const blocks = 16
+	f := func(ops []struct {
+		Block uint8
+		Val   uint8
+	}) bool {
+		m := NewMem(4, blocks)
+		last := map[int64]uint8{}
+		for _, op := range ops {
+			b := int64(op.Block % blocks)
+			data := bytes.Repeat([]byte{op.Val}, 4)
+			if err := m.WriteBlock(b, data); err != nil {
+				return false
+			}
+			last[b] = op.Val
+		}
+		for b := int64(0); b < blocks; b++ {
+			got := make([]byte, 4)
+			if err := m.ReadBlock(b, got); err != nil {
+				return false
+			}
+			want := bytes.Repeat([]byte{last[b]}, 4)
+			if !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+)
+
+func benchPair(b *testing.B) *Client {
+	b.Helper()
+	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+		return payload, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := Dial(s.Addr())
+	if err != nil {
+		s.Close()
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		c.Close()
+		s.Close()
+	})
+	return c
+}
+
+func BenchmarkCallRoundTrip(b *testing.B) {
+	c := benchPair(b)
+	payload := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(payload)))
+}
+
+func BenchmarkCallConcurrent(b *testing.B) {
+	c := benchPair(b)
+	payload := make([]byte, 4096)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	const lanes = 8
+	per := b.N / lanes
+	for l := 0; l < lanes; l++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := c.Call(1, payload); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.SetBytes(int64(len(payload)))
+}
+
+func BenchmarkNotify(b *testing.B) {
+	c := benchPair(b)
+	payload := make([]byte, 32<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Notify(2, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Drain: one Call orders after all notifications.
+	if _, err := c.Call(1, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+}

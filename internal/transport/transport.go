@@ -1,0 +1,297 @@
+// Package transport is the wire protocol of the cooperative disk
+// drivers: a minimal, stdlib-only, length-prefixed binary RPC over TCP.
+//
+// Frames are multiplexed by request ID, so one connection carries many
+// outstanding requests. The server processes each connection's requests
+// in arrival order, preserving the per-client ordering the CDD relies
+// on (a background write followed by a flush on the same connection is
+// applied before the flush completes). Notifications (fire-and-forget
+// frames with ID 0) get no response — the mechanism behind deferred
+// mirror pushes.
+//
+// Frame layout (big endian):
+//
+//	uint32 frame length (bytes after this field)
+//	uint64 request id   (0 = notification)
+//	uint8  type         (0 request, 1 response-ok, 2 response-error)
+//	uint8  op           (application opcode; echoed in responses)
+//	...    payload
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	frameRequest = 0
+	frameOK      = 1
+	frameError   = 2
+	headerLen    = 8 + 1 + 1
+	// MaxFrame bounds a frame's size (16 MiB) to stop a corrupt length
+	// prefix from exhausting memory.
+	MaxFrame = 16 << 20
+)
+
+// Handler processes one request and returns the response payload.
+// Returning an error sends a response-error frame; the error text
+// travels to the caller.
+type Handler func(op uint8, payload []byte) ([]byte, error)
+
+// ErrClosed is returned by calls on a closed client.
+var ErrClosed = errors.New("transport: connection closed")
+
+// RemoteError is a server-side error delivered to the caller.
+type RemoteError struct {
+	Op  uint8
+	Msg string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote error (op %d): %s", e.Op, e.Msg)
+}
+
+func writeFrame(w io.Writer, id uint64, typ, op uint8, payload []byte) error {
+	hdr := make([]byte, 4+headerLen)
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(headerLen+len(payload)))
+	binary.BigEndian.PutUint64(hdr[4:12], id)
+	hdr[12] = typ
+	hdr[13] = op
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (id uint64, typ, op uint8, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < headerLen || n > MaxFrame {
+		err = fmt.Errorf("transport: bad frame length %d", n)
+		return
+	}
+	buf := make([]byte, n)
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return
+	}
+	id = binary.BigEndian.Uint64(buf[0:8])
+	typ = buf[8]
+	op = buf[9]
+	payload = buf[headerLen:]
+	return
+}
+
+// Server accepts CDD connections and dispatches requests to a Handler.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") and begins
+// accepting connections in the background.
+func Serve(addr string, h Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: h, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var wmu sync.Mutex
+	for {
+		id, typ, op, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if typ != frameRequest {
+			continue // ignore stray frames
+		}
+		// Requests are handled in order; responses are written under a
+		// lock because a handler could in principle respond late.
+		resp, herr := s.handler(op, payload)
+		if id == 0 {
+			continue // notification: no response even on error
+		}
+		wmu.Lock()
+		if herr != nil {
+			err = writeFrame(conn, id, frameError, op, []byte(herr.Error()))
+		} else {
+			err = writeFrame(conn, id, frameOK, op, resp)
+		}
+		wmu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and tears down all connections, waiting for
+// handler goroutines to finish.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client is one CDD-to-CDD connection.
+type Client struct {
+	conn    net.Conn
+	nextID  atomic.Uint64
+	wmu     sync.Mutex
+	mu      sync.Mutex
+	pending map[uint64]chan response
+	closed  bool
+	readErr error
+}
+
+type response struct {
+	typ     uint8
+	op      uint8
+	payload []byte
+}
+
+// Dial connects to a CDD server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, pending: map[uint64]chan response{}}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		id, typ, op, payload, err := readFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for _, ch := range c.pending {
+				close(ch)
+			}
+			c.pending = map[uint64]chan response{}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		if ok {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- response{typ: typ, op: op, payload: payload}
+		}
+	}
+}
+
+// Call sends a request and waits for its response payload.
+func (c *Client) Call(op uint8, payload []byte) ([]byte, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeFrame(c.conn, id, frameRequest, op, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	if resp.typ == frameError {
+		return nil, &RemoteError{Op: resp.op, Msg: string(resp.payload)}
+	}
+	return resp.payload, nil
+}
+
+// Notify sends a fire-and-forget request (no response, errors on the
+// server are dropped) — used for deferred mirror pushes.
+func (c *Client) Notify(op uint8, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return writeFrame(c.conn, 0, frameRequest, op, payload)
+}
+
+// Close tears down the connection; outstanding calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}

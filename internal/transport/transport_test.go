@@ -1,0 +1,267 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+func echoServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+		switch op {
+		case 1: // echo
+			return payload, nil
+		case 2: // fail
+			return nil, errors.New("boom")
+		case 3: // double
+			out := make([]byte, 2*len(payload))
+			copy(out, payload)
+			copy(out[len(payload):], payload)
+			return out, nil
+		}
+		return nil, fmt.Errorf("unknown op %d", op)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(s.Addr())
+	if err != nil {
+		s.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		s.Close()
+	})
+	return s, c
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, c := echoServer(t)
+	resp, err := c.Call(1, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "hello" {
+		t.Fatalf("got %q", resp)
+	}
+}
+
+func TestCallEmptyPayload(t *testing.T) {
+	_, c := echoServer(t)
+	resp, err := c.Call(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 0 {
+		t.Fatalf("got %d bytes, want 0", len(resp))
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	_, c := echoServer(t)
+	_, err := c.Call(2, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v, want RemoteError", err)
+	}
+	if re.Msg != "boom" || re.Op != 2 {
+		t.Fatalf("got %+v", re)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	_, c := echoServer(t)
+	if _, err := c.Call(99, nil); err == nil {
+		t.Fatal("unknown op succeeded")
+	}
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	_, c := echoServer(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := bytes.Repeat([]byte{byte(i)}, 100+i)
+			resp, err := c.Call(1, msg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !bytes.Equal(resp, msg) {
+				errs[i] = fmt.Errorf("call %d: payload mismatch", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	_, c := echoServer(t)
+	big := make([]byte, 4<<20)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	resp, err := c.Call(3, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 2*len(big) {
+		t.Fatalf("got %d bytes, want %d", len(resp), 2*len(big))
+	}
+	if !bytes.Equal(resp[:len(big)], big) || !bytes.Equal(resp[len(big):], big) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestNotifyIsProcessedInOrder(t *testing.T) {
+	var mu sync.Mutex
+	var log []byte
+	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+		mu.Lock()
+		log = append(log, op)
+		mu.Unlock()
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		if err := c.Notify(10, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A Call on the same connection flushes behind the notifications.
+	if _, err := c.Call(20, nil); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []byte{10, 10, 10, 10, 10, 20}
+	if !bytes.Equal(log, want) {
+		t.Fatalf("server saw ops %v, want %v", log, want)
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	_, c := echoServer(t)
+	c.Close()
+	if _, err := c.Call(1, nil); err == nil {
+		t.Fatal("call on closed client succeeded")
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	s, c := echoServer(t)
+	s.Close()
+	// Either the write or the read fails, but the call must return.
+	if _, err := c.Call(1, []byte("x")); err == nil {
+		t.Fatal("call against closed server succeeded")
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	s, _ := echoServer(t)
+	for i := 0; i < 4; i++ {
+		c, err := Dial(s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := c.Call(1, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp) != 1 || resp[0] != byte(i) {
+			t.Fatalf("client %d: got %v", i, resp)
+		}
+		c.Close()
+	}
+}
+
+// TestServerSurvivesMalformedFrames: a client sending garbage must not
+// take the server down for other clients.
+func TestServerSurvivesMalformedFrames(t *testing.T) {
+	s, good := echoServer(t)
+
+	// Raw connection sending a hostile length prefix, then junk.
+	raw, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// Length below the header minimum.
+	if _, err := raw.Write([]byte{0, 0, 0, 1, 0xde}); err != nil {
+		t.Fatal(err)
+	}
+	// The good client still works.
+	resp, err := good.Call(1, []byte("still alive"))
+	if err != nil || string(resp) != "still alive" {
+		t.Fatalf("good client broken: %q %v", resp, err)
+	}
+
+	// Oversized frame length.
+	raw2, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw2.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := raw2.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = good.Call(1, []byte("again"))
+	if err != nil || string(resp) != "again" {
+		t.Fatalf("good client broken after oversize frame: %q %v", resp, err)
+	}
+}
+
+// TestClientRejectsOversizedResponse: a hostile server cannot make the
+// client allocate unbounded memory.
+func TestClientRejectsOversizedResponse(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Read the request, answer with an oversized length prefix.
+		io.ReadFull(conn, make([]byte, 4))
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+		conn.Write(hdr[:])
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(1, []byte("x")); err == nil {
+		t.Fatal("oversized response accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures the simulator's event rate: one
+// process sleeping b.N times.
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New()
+	s.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResourceContention measures FCFS queueing with 16 processes
+// sharing one resource.
+func BenchmarkResourceContention(b *testing.B) {
+	s := New()
+	r := NewResource(s, "disk", 1)
+	per := b.N/16 + 1
+	for i := 0; i < 16; i++ {
+		s.Spawn("c", func(p *Proc) {
+			for j := 0; j < per; j++ {
+				r.Use(p, time.Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkForkJoin measures Spawn+Gate fan-out/fan-in cost.
+func BenchmarkForkJoin(b *testing.B) {
+	s := New()
+	s.Spawn("parent", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			gate := NewGate(s, "join")
+			remaining := 4
+			for c := 0; c < 4; c++ {
+				s.Spawn("child", func(cp *Proc) {
+					remaining--
+					if remaining == 0 {
+						gate.Broadcast()
+					}
+				})
+			}
+			gate.Wait(p)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

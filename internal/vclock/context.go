@@ -1,0 +1,19 @@
+package vclock
+
+import "context"
+
+type ctxKey struct{}
+
+// With returns a context carrying the simulated process p. Components
+// that can run both in real time and in virtual time (disks, transports,
+// array engines) extract the process with From to decide which clock to
+// charge.
+func With(ctx context.Context, p *Proc) context.Context {
+	return context.WithValue(ctx, ctxKey{}, p)
+}
+
+// From extracts the simulated process from ctx, if any.
+func From(ctx context.Context) (*Proc, bool) {
+	p, ok := ctx.Value(ctxKey{}).(*Proc)
+	return p, ok
+}

@@ -1,0 +1,38 @@
+package vclock
+
+import "time"
+
+// UseJoint serves one request that must hold a server on every listed
+// resource for the same interval — the model used for a network transfer,
+// which occupies the sender's transmit NIC and the receiver's receive NIC
+// simultaneously. Service starts when all resources have a free server,
+// and the caller sleeps until it completes. It returns the start time.
+func UseJoint(p *Proc, d time.Duration, rs ...*Resource) time.Duration {
+	start := ReserveJoint(p.Sim(), d, rs...)
+	p.SleepUntil(start + d)
+	return start
+}
+
+// ReserveJoint reserves one server on every listed resource for the same
+// interval without blocking the caller (background transfers). It
+// returns the start time of the reserved interval.
+func ReserveJoint(s *Sim, d time.Duration, rs ...*Resource) time.Duration {
+	if d < 0 {
+		d = 0
+	}
+	start := s.now
+	idx := make([]int, len(rs))
+	for k, r := range rs {
+		i := r.earliest()
+		idx[k] = i
+		if r.free[i] > start {
+			start = r.free[i]
+		}
+	}
+	for k, r := range rs {
+		r.free[idx[k]] = start + d
+		r.busy += d
+		r.ops++
+	}
+	return start
+}

@@ -1,0 +1,103 @@
+package vclock
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TraceKind classifies trace events.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	TraceResume TraceKind = iota // a process was given the CPU
+	TraceSleep                   // a process scheduled a wakeup
+	TracePark                    // a process parked on a gate
+	TraceFinish                  // a process finished
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceResume:
+		return "resume"
+	case TraceSleep:
+		return "sleep"
+	case TracePark:
+		return "park"
+	case TraceFinish:
+		return "finish"
+	}
+	return "?"
+}
+
+// TraceEvent is one recorded scheduler event.
+type TraceEvent struct {
+	At    time.Duration
+	Kind  TraceKind
+	Proc  string
+	Extra string
+}
+
+func (e TraceEvent) String() string {
+	s := fmt.Sprintf("%12v %-7s %s", e.At, e.Kind, e.Proc)
+	if e.Extra != "" {
+		s += " (" + e.Extra + ")"
+	}
+	return s
+}
+
+// Trace is a bounded ring buffer of scheduler events, attached to a
+// simulator with EnableTrace. It exists for debugging simulations: when
+// a benchmark behaves unexpectedly, the trace shows exactly which
+// process ran when and where everyone parked.
+type Trace struct {
+	cap    int
+	events []TraceEvent
+	start  int
+	total  int64
+}
+
+// EnableTrace attaches a ring buffer of capacity n events and returns
+// it. Must be called before Run.
+func (s *Sim) EnableTrace(n int) *Trace {
+	if n < 1 {
+		n = 1024
+	}
+	s.trace = &Trace{cap: n}
+	return s.trace
+}
+
+func (t *Trace) add(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.total++
+	if len(t.events) < t.cap {
+		t.events = append(t.events, ev)
+		return
+	}
+	t.events[t.start] = ev
+	t.start = (t.start + 1) % t.cap
+}
+
+// Total reports how many events were recorded (including evicted ones).
+func (t *Trace) Total() int64 { return t.total }
+
+// Events returns the retained events in order.
+func (t *Trace) Events() []TraceEvent {
+	out := make([]TraceEvent, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
+	return out
+}
+
+// Dump renders the retained events, newest last.
+func (t *Trace) Dump() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

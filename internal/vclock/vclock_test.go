@@ -1,0 +1,478 @@
+package vclock
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	s := New()
+	var at time.Duration
+	s.Spawn("a", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		at = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*time.Millisecond {
+		t.Fatalf("woke at %v, want 5ms", at)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Fatalf("sim ended at %v, want 5ms", s.Now())
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	s := New()
+	s.Spawn("a", func(p *Proc) {
+		p.Sleep(-time.Second)
+		if p.Now() != 0 {
+			t.Errorf("negative sleep advanced clock to %v", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	s := New()
+	var order []string
+	for _, n := range []string{"a", "b", "c"} {
+		n := n
+		s.Spawn(n, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				order = append(order, fmt.Sprintf("%s%d@%v", n, i, p.Now()))
+				p.Sleep(time.Millisecond)
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"a0@0s", "b0@0s", "c0@0s",
+		"a1@1ms", "b1@1ms", "c1@1ms",
+		"a2@2ms", "b2@2ms", "c2@2ms",
+	}
+	if len(order) != len(want) {
+		t.Fatalf("got %d events, want %d: %v", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, order[i], want[i], order)
+		}
+	}
+}
+
+func TestSpawnFromWithinProcess(t *testing.T) {
+	s := New()
+	var childRan bool
+	var childStart time.Duration
+	s.Spawn("parent", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		p.Sim().Spawn("child", func(c *Proc) {
+			childStart = c.Now()
+			childRan = true
+		})
+		p.Sleep(time.Millisecond)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child never ran")
+	}
+	if childStart != 2*time.Millisecond {
+		t.Fatalf("child started at %v, want 2ms", childStart)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	s := New()
+	g := NewGate(s, "never")
+	s.Spawn("stuck", func(p *Proc) {
+		g.Wait(p)
+	})
+	err := s.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("got %v, want DeadlockError", err)
+	}
+	if len(dl.Procs) != 1 {
+		t.Fatalf("deadlock names = %v, want one entry", dl.Procs)
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	s := New()
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err == nil {
+		t.Fatal("second Run succeeded, want error")
+	}
+}
+
+func TestResourceFCFSQueueing(t *testing.T) {
+	s := New()
+	r := NewResource(s, "disk", 1)
+	ends := map[string]time.Duration{}
+	s.Spawn("a", func(p *Proc) {
+		r.Use(p, 10*time.Millisecond)
+		ends["a"] = p.Now()
+	})
+	s.Spawn("b", func(p *Proc) {
+		p.Sleep(time.Millisecond) // arrives second
+		r.Use(p, 10*time.Millisecond)
+		ends["b"] = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ends["a"] != 10*time.Millisecond {
+		t.Errorf("a finished at %v, want 10ms", ends["a"])
+	}
+	if ends["b"] != 20*time.Millisecond {
+		t.Errorf("b finished at %v, want 20ms (queued behind a)", ends["b"])
+	}
+}
+
+func TestResourceCapacityTwoOverlaps(t *testing.T) {
+	s := New()
+	r := NewResource(s, "nic", 2)
+	ends := make([]time.Duration, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("c%d", i), func(p *Proc) {
+			r.Use(p, 10*time.Millisecond)
+			ends[i] = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two run together, the third queues behind the first free server.
+	if ends[0] != 10*time.Millisecond || ends[1] != 10*time.Millisecond {
+		t.Errorf("first two finished at %v,%v, want 10ms,10ms", ends[0], ends[1])
+	}
+	if ends[2] != 20*time.Millisecond {
+		t.Errorf("third finished at %v, want 20ms", ends[2])
+	}
+}
+
+func TestReserveDelaysForegroundWork(t *testing.T) {
+	s := New()
+	r := NewResource(s, "disk", 1)
+	var fgEnd, reserveEnd time.Duration
+	s.Spawn("bg-then-fg", func(p *Proc) {
+		reserveEnd = r.Reserve(30 * time.Millisecond) // background write
+		if p.Now() != 0 {
+			t.Errorf("Reserve blocked the caller until %v", p.Now())
+		}
+		r.Use(p, 10*time.Millisecond) // foreground op queues behind it
+		fgEnd = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reserveEnd != 30*time.Millisecond {
+		t.Errorf("reservation completes at %v, want 30ms", reserveEnd)
+	}
+	if fgEnd != 40*time.Millisecond {
+		t.Errorf("foreground op finished at %v, want 40ms", fgEnd)
+	}
+}
+
+func TestDrainWaitsForReservations(t *testing.T) {
+	s := New()
+	r := NewResource(s, "disk", 1)
+	var drained time.Duration
+	s.Spawn("a", func(p *Proc) {
+		r.Reserve(25 * time.Millisecond)
+		r.Drain(p)
+		drained = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if drained != 25*time.Millisecond {
+		t.Fatalf("drained at %v, want 25ms", drained)
+	}
+}
+
+func TestDrainWithNoWorkReturnsImmediately(t *testing.T) {
+	s := New()
+	r := NewResource(s, "disk", 1)
+	s.Spawn("a", func(p *Proc) {
+		r.Drain(p)
+		if p.Now() != 0 {
+			t.Errorf("empty drain advanced to %v", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceStats(t *testing.T) {
+	s := New()
+	r := NewResource(s, "disk", 1)
+	s.Spawn("a", func(p *Proc) {
+		r.Use(p, 10*time.Millisecond)
+		p.Sleep(10 * time.Millisecond)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.BusyTime() != 10*time.Millisecond {
+		t.Errorf("busy = %v, want 10ms", r.BusyTime())
+	}
+	if r.Ops() != 1 {
+		t.Errorf("ops = %d, want 1", r.Ops())
+	}
+	if got := r.Utilization(); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+}
+
+func TestGateSignalWakesOne(t *testing.T) {
+	s := New()
+	g := NewGate(s, "g")
+	var woken []string
+	for _, n := range []string{"w1", "w2"} {
+		n := n
+		s.Spawn(n, func(p *Proc) {
+			g.Wait(p)
+			woken = append(woken, n)
+		})
+	}
+	s.Spawn("signaller", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		if !g.Signal() {
+			t.Error("signal found no waiters")
+		}
+		p.Sleep(time.Millisecond)
+		g.Broadcast()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woken) != 2 || woken[0] != "w1" {
+		t.Fatalf("woken order = %v, want [w1 w2]", woken)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	s := New()
+	b := NewBarrier(s, "sync", 3)
+	var releases []time.Duration
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(time.Duration(i) * 10 * time.Millisecond)
+			b.Wait(p)
+			releases = append(releases, p.Now())
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(releases) != 3 {
+		t.Fatalf("releases = %v, want 3 entries", releases)
+	}
+	for _, r := range releases {
+		if r != 20*time.Millisecond {
+			t.Fatalf("release at %v, want 20ms (last arrival)", r)
+		}
+	}
+}
+
+func TestBarrierIsReusable(t *testing.T) {
+	s := New()
+	b := NewBarrier(s, "sync", 2)
+	var rounds int
+	for i := 0; i < 2; i++ {
+		s.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for r := 0; r < 3; r++ {
+				b.Wait(p)
+				if p.Name() == "p0" {
+					rounds++
+				}
+				p.Sleep(time.Millisecond)
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 3 {
+		t.Fatalf("completed %d rounds, want 3", rounds)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	s := New()
+	m := NewMutex(s, "m")
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 4; i++ {
+		s.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			m.Lock(p)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(time.Millisecond)
+			inside--
+			m.Unlock()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 1 {
+		t.Fatalf("max concurrent holders = %d, want 1", maxInside)
+	}
+}
+
+func TestSleepUntilPast(t *testing.T) {
+	s := New()
+	s.Spawn("a", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		p.SleepUntil(5 * time.Millisecond) // in the past: no-op
+		if p.Now() != 10*time.Millisecond {
+			t.Errorf("now = %v, want 10ms", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUseJointWaitsForBothResources(t *testing.T) {
+	s := New()
+	tx := NewResource(s, "tx", 1)
+	rx := NewResource(s, "rx", 1)
+	s.Spawn("load", func(p *Proc) {
+		// Pre-load rx only.
+		rx.Reserve(20 * time.Millisecond)
+		start := UseJoint(p, 10*time.Millisecond, tx, rx)
+		if start != 20*time.Millisecond {
+			t.Errorf("joint start at %v, want 20ms (later of the two)", start)
+		}
+		if p.Now() != 30*time.Millisecond {
+			t.Errorf("joint use finished at %v, want 30ms", p.Now())
+		}
+		// Both resources were held for the same interval.
+		if tx.DrainTime() != 30*time.Millisecond || rx.DrainTime() != 30*time.Millisecond {
+			t.Errorf("drain times %v/%v, want 30ms/30ms", tx.DrainTime(), rx.DrainTime())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReserveJointDoesNotBlock(t *testing.T) {
+	s := New()
+	a := NewResource(s, "a", 1)
+	b := NewResource(s, "b", 1)
+	s.Spawn("p", func(p *Proc) {
+		end := ReserveJoint(s, 15*time.Millisecond, a, b)
+		if p.Now() != 0 {
+			t.Errorf("ReserveJoint blocked until %v", p.Now())
+		}
+		if end != 0 {
+			t.Errorf("reservation start %v, want 0", end)
+		}
+		// A subsequent Use on either queues behind the reservation.
+		a.Use(p, time.Millisecond)
+		if p.Now() != 16*time.Millisecond {
+			t.Errorf("queued use finished at %v, want 16ms", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBacklogReporting(t *testing.T) {
+	s := New()
+	r := NewResource(s, "r", 1)
+	s.Spawn("p", func(p *Proc) {
+		if r.Backlog() != 0 {
+			t.Errorf("idle backlog = %v", r.Backlog())
+		}
+		r.Reserve(25 * time.Millisecond)
+		if r.Backlog() != 25*time.Millisecond {
+			t.Errorf("backlog = %v, want 25ms", r.Backlog())
+		}
+		p.Sleep(10 * time.Millisecond)
+		if r.Backlog() != 15*time.Millisecond {
+			t.Errorf("backlog after 10ms = %v, want 15ms", r.Backlog())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRecordsSchedulerEvents(t *testing.T) {
+	s := New()
+	tr := s.EnableTrace(100)
+	g := NewGate(s, "g")
+	s.Spawn("worker", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		g.Wait(p)
+	})
+	s.Spawn("waker", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		g.Broadcast()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	kinds := map[TraceKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	if kinds[TraceResume] == 0 || kinds[TraceSleep] == 0 || kinds[TracePark] == 0 || kinds[TraceFinish] != 2 {
+		t.Fatalf("kind counts = %v", kinds)
+	}
+	if tr.Dump() == "" {
+		t.Fatal("empty dump")
+	}
+	// Events must be time-ordered.
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	s := New()
+	tr := s.EnableTrace(4)
+	s.Spawn("p", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Events()); got != 4 {
+		t.Fatalf("retained %d events, want 4", got)
+	}
+	if tr.Total() <= 4 {
+		t.Fatalf("total = %d, want > 4", tr.Total())
+	}
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGenDeterministic(t *testing.T) {
+	cfg := OLTP(1000)
+	a, b := NewGen(cfg, 7), NewGen(cfg, 7)
+	for i := 0; i < 100; i++ {
+		if a.Op() != b.Op() {
+			t.Fatalf("op %d diverged for same seed", i)
+		}
+	}
+	c := NewGen(cfg, 8)
+	same := 0
+	a2 := NewGen(cfg, 7)
+	for i := 0; i < 100; i++ {
+		if a2.Op() == c.Op() {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("different seeds produced %d/100 identical ops", same)
+	}
+}
+
+func TestGenRespectssBounds(t *testing.T) {
+	cfg := Config{ReadFraction: 0.5, WorkingSetBlocks: 64, HotSkew: 0.8, MaxOpBlocks: 8, Ops: 10}
+	g := NewGen(cfg, 1)
+	for i := 0; i < 5000; i++ {
+		op := g.Op()
+		if op.Block < 0 || op.Block >= 64 {
+			t.Fatalf("block %d out of working set", op.Block)
+		}
+		if op.Blocks < 1 || op.Block+op.Blocks > 64 {
+			t.Fatalf("op [%d,+%d) out of bounds", op.Block, op.Blocks)
+		}
+	}
+}
+
+func TestReadFraction(t *testing.T) {
+	g := NewGen(Config{ReadFraction: 0.7, WorkingSetBlocks: 100, MaxOpBlocks: 1}, 3)
+	reads := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Op().Read {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.67 || frac > 0.73 {
+		t.Fatalf("read fraction %.3f, want ~0.70", frac)
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	// With strong skew, the top 10% of blocks should absorb far more
+	// than 10% of accesses; uniform should not.
+	count := func(skew float64) float64 {
+		g := NewGen(Config{ReadFraction: 1, WorkingSetBlocks: 1000, HotSkew: skew, MaxOpBlocks: 1}, 5)
+		hits := map[int64]int{}
+		const n = 30000
+		for i := 0; i < n; i++ {
+			hits[g.Op().Block]++
+		}
+		// Sum the top 100 block counts.
+		counts := make([]int, 0, len(hits))
+		for _, c := range hits {
+			counts = append(counts, c)
+		}
+		top := 0
+		for k := 0; k < 100; k++ {
+			best := -1
+			for i, c := range counts {
+				if best < 0 || c > counts[best] {
+					best = i
+				}
+				_ = c
+			}
+			top += counts[best]
+			counts[best] = -1
+		}
+		return float64(top) / n
+	}
+	skewed := count(0.9)
+	uniform := count(0)
+	if skewed < 0.3 {
+		t.Fatalf("skewed top-10%% share %.2f, want > 0.3", skewed)
+	}
+	if uniform > 0.2 {
+		t.Fatalf("uniform top-10%% share %.2f, want < 0.2", uniform)
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	var l Latencies
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := l.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := l.Percentile(99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := l.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := l.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+	var m Latencies
+	m.Add(time.Second)
+	l.Merge(&m)
+	if l.N() != 101 || l.Percentile(100) != time.Second {
+		t.Fatalf("merge broken: %s", l.String())
+	}
+}
+
+func TestLatenciesEmpty(t *testing.T) {
+	var l Latencies
+	if l.Percentile(99) != 0 || l.Mean() != 0 {
+		t.Fatal("empty latencies nonzero")
+	}
+}

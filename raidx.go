@@ -1,0 +1,253 @@
+// Package raidx is the public API of the RAID-x reproduction: a
+// distributed disk array for I/O-centric cluster computing built on
+// orthogonal striping and mirroring (OSM), after Hwang, Jin & Ho,
+// "RAID-x: A New Distributed Disk Array for I/O-Centric Cluster
+// Computing" (HPDC 2000).
+//
+// The package re-exports the building blocks:
+//
+//   - Array engines: RAID-x (the paper's contribution) plus the RAID-0,
+//     RAID-5, RAID-10, and chained-declustering baselines, all over the
+//     same Dev block-device interface.
+//   - Devices: in-memory disks with a calibrated timing model, remote
+//     disks served by cooperative disk drivers over TCP, and simulated
+//     cluster device views for deterministic experiments.
+//   - A block file system (with CDD lock-group consistency) and the
+//     Andrew benchmark that drives it.
+//   - Striped/staggered coordinated checkpointing.
+//   - The benchmark harness that regenerates every table and figure of
+//     the paper's evaluation.
+//
+// Quick start (see examples/quickstart):
+//
+//	devs := raidx.NewMemDevs(4, 4096, 32<<10) // 4 disks x 4096 blocks x 32 KB
+//	arr, err := raidx.NewRAIDx(devs, 4, 1, raidx.Options{})
+//	arr.WriteBlocks(ctx, 0, data)
+package raidx
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/andrew"
+	"repro/internal/bench"
+	"repro/internal/cdd"
+	"repro/internal/chkpt"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/fsim"
+	"repro/internal/layout"
+	"repro/internal/nfssim"
+	"repro/internal/raid"
+	"repro/internal/reliab"
+	"repro/internal/store"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// Core array types.
+type (
+	// Array is the logical block device every engine exposes.
+	Array = raid.Array
+	// Dev is the block device interface engines consume.
+	Dev = raid.Dev
+	// Rebuilder is implemented by arrays that can reconstruct a
+	// replaced disk.
+	Rebuilder = raid.Rebuilder
+	// Verifier is implemented by arrays that can check redundancy.
+	Verifier = raid.Verifier
+	// Options tunes the RAID-x engine (ablations).
+	Options = core.Options
+	// RAIDx is the OSM array engine.
+	RAIDx = core.RAIDx
+	// OSM is the orthogonal striping and mirroring address map.
+	OSM = layout.OSM
+)
+
+// ErrDataLoss reports unrecoverable data (too many failures).
+var ErrDataLoss = raid.ErrDataLoss
+
+// DiskModel is the disk timing model.
+type DiskModel = disk.Model
+
+// Disk is a simulated or in-memory disk.
+type Disk = disk.Disk
+
+// NewRAIDx builds the paper's array: an n-by-k OSM grid over devs
+// (devs[j] is global disk j, on node j mod nodes).
+func NewRAIDx(devs []Dev, nodes, disksPerNode int, opt Options) (*RAIDx, error) {
+	return core.New(devs, nodes, disksPerNode, opt)
+}
+
+// NewRAID0 builds a striping-only baseline array.
+func NewRAID0(devs []Dev) (Array, error) { return raid.NewRAID0(devs) }
+
+// NewRAID5 builds a rotated-parity baseline array.
+func NewRAID5(devs []Dev) (Array, error) { return raid.NewRAID5(devs) }
+
+// NewRAID10 builds a striped-mirror baseline array.
+func NewRAID10(devs []Dev) (Array, error) { return raid.NewRAID10(devs) }
+
+// NewChained builds a chained-declustering baseline array.
+func NewChained(devs []Dev) (Array, error) { return raid.NewChained(devs) }
+
+// NewOSM exposes the OSM address arithmetic directly.
+func NewOSM(nodes, disksPerNode int, diskBlocks int64) OSM {
+	return layout.NewOSM(nodes, disksPerNode, diskBlocks)
+}
+
+// NewMemDisk creates one in-memory disk with no timing (pure data).
+func NewMemDisk(id string, blockSize int, blocks int64) *Disk {
+	return disk.New(nil, id, store.NewMem(blockSize, blocks), disk.DefaultModel())
+}
+
+// NewMemDevs creates n in-memory disks ready to back any engine.
+func NewMemDevs(n int, blocks int64, blockSize int) []Dev {
+	devs := make([]Dev, n)
+	for i := range devs {
+		devs[i] = NewMemDisk(fmt.Sprintf("d%d", i), blockSize, blocks)
+	}
+	return devs
+}
+
+// Cluster simulation.
+type (
+	// ClusterParams describes the simulated testbed.
+	ClusterParams = cluster.Params
+	// Cluster is the simulated testbed.
+	Cluster = cluster.Cluster
+)
+
+// TrojansParams returns the calibration of the paper's 12-node USC
+// Trojans cluster (one SCSI disk per node, switched Fast Ethernet).
+func TrojansParams() ClusterParams { return cluster.DefaultParams() }
+
+// NewSimCluster builds a simulated cluster on a fresh virtual clock.
+func NewSimCluster(p ClusterParams) *Cluster { return cluster.New(p) }
+
+// WithProc attaches a simulated process to a context so storage
+// operations charge virtual time.
+func WithProc(ctx context.Context, p *vclock.Proc) context.Context {
+	return vclock.With(ctx, p)
+}
+
+// Cooperative disk drivers over TCP.
+type (
+	// Node is a CDD storage node (manager + transport server).
+	Node = cdd.Node
+	// NodeClient is a CDD client connection to a remote node.
+	NodeClient = cdd.NodeClient
+	// RemoteDev is a remote disk masquerading as a local device.
+	RemoteDev = cdd.RemoteDev
+	// LockRange is a lock-group table range.
+	LockRange = cdd.Range
+	// LockTable is the consistency module's lock-group table.
+	LockTable = cdd.Table
+)
+
+// ListenAndServe starts a CDD node exporting disks on addr.
+func ListenAndServe(addr string, disks []*Disk) (*Node, error) {
+	return cdd.ListenAndServe(addr, disks)
+}
+
+// Connect dials a CDD node.
+func Connect(addr string) (*NodeClient, error) { return cdd.Connect(addr) }
+
+// NewLockTable creates an empty lock-group table.
+func NewLockTable() *LockTable { return cdd.NewTable() }
+
+// File system.
+type (
+	// FS is a mounted file system.
+	FS = fsim.FS
+	// File is an open file handle.
+	File = fsim.File
+	// FSOptions configure Mkfs.
+	FSOptions = fsim.Options
+	// Locker is the FS consistency service.
+	Locker = fsim.Locker
+)
+
+// Mkfs formats an array and mounts it.
+func Mkfs(ctx context.Context, arr Array, lk Locker, owner string, opts FSOptions) (*FS, error) {
+	return fsim.Mkfs(ctx, arr, lk, owner, opts)
+}
+
+// Mount opens an existing volume.
+func Mount(ctx context.Context, arr Array, lk Locker, owner string) (*FS, error) {
+	return fsim.Mount(ctx, arr, lk, owner)
+}
+
+// NewTableLocker adapts a lock table to the FS Locker interface.
+func NewTableLocker(t *LockTable) *fsim.TableLocker { return fsim.NewTableLocker(t) }
+
+// Workloads and experiments.
+type (
+	// AndrewConfig sizes the Andrew benchmark.
+	AndrewConfig = andrew.Config
+	// CheckpointConfig shapes a coordinated checkpoint round.
+	CheckpointConfig = chkpt.Config
+	// CheckpointScheme selects a checkpointing discipline.
+	CheckpointScheme = chkpt.Scheme
+	// BenchSystem names an I/O subsystem under test.
+	BenchSystem = bench.System
+	// BenchPattern is a Figure 5 access pattern.
+	BenchPattern = bench.Pattern
+)
+
+// NFSServer is the centralized-server baseline.
+type NFSServer = nfssim.Server
+
+// NewNFSServer creates the NFS-like central server on a cluster node.
+func NewNFSServer(c *Cluster, node int) (*NFSServer, error) {
+	return nfssim.NewServer(c, node)
+}
+
+// Byte-granular access and integrity tooling.
+
+// ByteDevice adapts any Array to byte-addressed I/O with
+// read-modify-write at block edges.
+type ByteDevice = raid.ByteDevice
+
+// NewByteDevice wraps an array for byte-granular access.
+func NewByteDevice(arr Array) *ByteDevice { return raid.NewByteDevice(arr) }
+
+// FsckReport summarizes a file-system consistency check.
+type FsckReport = fsim.FsckReport
+
+// Workload generation and reliability analysis.
+type (
+	// WorkloadConfig shapes a synthetic transactional mix.
+	WorkloadConfig = workload.Config
+	// Latencies aggregates per-operation latency percentiles.
+	Latencies = workload.Latencies
+	// ReliabilityRow is one architecture's MTTDL summary.
+	ReliabilityRow = reliab.Row
+)
+
+// OLTPWorkload returns an e-commerce-like mix over the working set.
+func OLTPWorkload(workingSetBlocks int64) WorkloadConfig { return workload.OLTP(workingSetBlocks) }
+
+// MiningWorkload returns a data-mining-like mix.
+func MiningWorkload(workingSetBlocks int64) WorkloadConfig { return workload.Mining(workingSetBlocks) }
+
+// CompareReliability builds the MTTDL table for an n-by-k cluster.
+func CompareReliability(nodes, disksPerNode int, diskBlocks int64, mttf, mttr time.Duration, trials int) []ReliabilityRow {
+	return reliab.Compare(nodes, disksPerNode, diskBlocks, mttf, mttr, trials)
+}
+
+// NewAFRAID builds the lazily-redundant RAID-5 variant (Savage &
+// Wilkes), a design-space baseline the paper cites.
+func NewAFRAID(devs []Dev) (*raid.AFRAID, error) { return raid.NewAFRAID(devs) }
+
+// Sparer manages hot-spare disks with automatic failover + rebuild.
+type Sparer = raid.Sparer
+
+// NewSparer creates a hot-spare pool for a RAID-x array.
+func NewSparer(arr *RAIDx, spares []Dev) *Sparer { return raid.NewSparer(arr, spares) }
+
+// CopyArray migrates the contents of src onto dst (array
+// reconfiguration, e.g. 4x3 -> 6x2 as in the paper's Section 6).
+func CopyArray(ctx context.Context, dst, src Array) error { return raid.Copy(ctx, dst, src) }

@@ -1,0 +1,138 @@
+package raidx
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestPublicAPILifecycle exercises the façade end to end: build, write,
+// flush, verify, fail, degraded read, rebuild.
+func TestPublicAPILifecycle(t *testing.T) {
+	ctx := context.Background()
+	devs := NewMemDevs(4, 256, 1024)
+	arr, err := NewRAIDx(devs, 4, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 32*arr.BlockSize())
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := arr.WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+	devs[1].(*Disk).Fail()
+	got := make([]byte, len(data))
+	if err := arr.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read mismatch")
+	}
+	devs[1].(*Disk).Replace()
+	if err := arr.Rebuild(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicAPIBaselines builds every baseline through the façade.
+func TestPublicAPIBaselines(t *testing.T) {
+	builders := map[string]func([]Dev) (Array, error){
+		"raid0":   NewRAID0,
+		"raid5":   NewRAID5,
+		"raid10":  NewRAID10,
+		"chained": NewChained,
+	}
+	ctx := context.Background()
+	for name, build := range builders {
+		arr, err := build(NewMemDevs(4, 64, 512))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		buf := make([]byte, 4*arr.BlockSize())
+		rand.New(rand.NewSource(2)).Read(buf)
+		if err := arr.WriteBlocks(ctx, 0, buf); err != nil {
+			t.Fatalf("%s write: %v", name, err)
+		}
+		got := make([]byte, len(buf))
+		if err := arr.ReadBlocks(ctx, 0, got); err != nil {
+			t.Fatalf("%s read: %v", name, err)
+		}
+		if !bytes.Equal(got, buf) {
+			t.Fatalf("%s round trip mismatch", name)
+		}
+	}
+}
+
+// TestPublicAPIFilesystem mounts an FS through the façade.
+func TestPublicAPIFilesystem(t *testing.T) {
+	ctx := context.Background()
+	arr, err := NewRAIDx(NewMemDevs(4, 512, 1024), 4, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mkfs(ctx, arr, NewTableLocker(NewLockTable()), "t", FSOptions{MaxInodes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll(ctx, "/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/a/b/x", []byte("façade")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(ctx, "/a/b/x")
+	if err != nil || string(got) != "façade" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+// TestPublicAPITCP covers the CDD path through the façade.
+func TestPublicAPITCP(t *testing.T) {
+	disks := []*Disk{NewMemDisk("d0", 512, 64)}
+	node, err := ListenAndServe("127.0.0.1:0", disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	c, err := Connect(node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dev := c.Dev(0)
+	ctx := context.Background()
+	data := bytes.Repeat([]byte{0x42}, 512)
+	if err := dev.WriteBlocks(ctx, 3, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if err := dev.ReadBlocks(ctx, 3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("TCP round trip mismatch")
+	}
+}
+
+// TestPublicAPIOSMLayout sanity-checks the exported address arithmetic.
+func TestPublicAPIOSMLayout(t *testing.T) {
+	lay := NewOSM(4, 3, 12)
+	if lay.TotalDisks() != 12 || lay.GroupSize() != 3 {
+		t.Fatalf("geometry: %d disks, groups of %d", lay.TotalDisks(), lay.GroupSize())
+	}
+	for b := int64(0); b < lay.DataBlocks(); b++ {
+		if lay.NodeOfDisk(lay.DataLoc(b).Disk) == lay.NodeOfDisk(lay.MirrorLoc(b).Disk) {
+			t.Fatalf("block %d not orthogonal", b)
+		}
+	}
+}
