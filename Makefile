@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full verification: static analysis plus the whole suite (including
+# the transport/cdd fault-injection tests) under the race detector.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -107,7 +107,8 @@ func runLayout(args []string) error {
 
 // rig is a live TCP-assembled RAID-x.
 type rig struct {
-	clients []*cdd.NodeClient
+	clients []*cdd.NodeClient // nil entry = node unreachable at startup
+	addrs   []string
 	devs    []raid.Dev
 	arr     *core.RAIDx
 	nodes   int
@@ -128,7 +129,7 @@ func withCluster(args []string, fn func(fs *flag.FlagSet, r *rig) error) error {
 		return fmt.Errorf("-addrs is required")
 	}
 	list := strings.Split(*addrs, ",")
-	r := &rig{nodes: len(list)}
+	r := &rig{nodes: len(list), addrs: list}
 	defer func() {
 		for _, c := range r.clients {
 			if c != nil {
@@ -136,23 +137,41 @@ func withCluster(args []string, fn func(fs *flag.FlagSet, r *rig) error) error {
 			}
 		}
 	}()
-	for _, a := range list {
-		c, err := cdd.Connect(strings.TrimSpace(a))
+	// Tolerate unreachable nodes: operate degraded with offline
+	// placeholders (r.clients[i] stays nil for a node that was down).
+	r.clients = make([]*cdd.NodeClient, len(list))
+	var ref *cdd.NodeClient
+	for i, a := range list {
+		a = strings.TrimSpace(a)
+		r.addrs[i] = a
+		c, err := cdd.Connect(a)
 		if err != nil {
-			return fmt.Errorf("connect %s: %w", a, err)
+			fmt.Fprintf(os.Stderr, "raidxctl: warning: node %s unreachable (%v); operating degraded\n", a, err)
+			continue
 		}
-		r.clients = append(r.clients, c)
+		r.clients[i] = c
+		if ref == nil {
+			ref = c
+		}
 	}
-	r.perNode = r.clients[0].NumDisks()
+	if ref == nil {
+		return fmt.Errorf("no CDD node reachable")
+	}
+	r.perNode = ref.NumDisks()
 	for _, c := range r.clients {
-		if c.NumDisks() != r.perNode {
+		if c != nil && c.NumDisks() != r.perNode {
 			return fmt.Errorf("nodes export different disk counts")
 		}
 	}
 	r.devs = make([]raid.Dev, r.nodes*r.perNode)
 	for local := 0; local < r.perNode; local++ {
+		model := ref.Dev(local)
 		for node := 0; node < r.nodes; node++ {
-			r.devs[node+local*r.nodes] = r.clients[node].Dev(local)
+			if r.clients[node] == nil {
+				r.devs[node+local*r.nodes] = cdd.Offline(r.addrs[node], model.BlockSize(), model.NumBlocks())
+			} else {
+				r.devs[node+local*r.nodes] = r.clients[node].Dev(local)
+			}
 		}
 	}
 	arr, err := core.New(r.devs, r.nodes, r.perNode, core.Options{})
@@ -182,6 +201,10 @@ func runStatus(fs *flag.FlagSet, r *rig) error {
 	fmt.Printf("RAID-x over %d node(s) x %d disk(s); capacity %d blocks x %d B\n",
 		r.nodes, r.perNode, r.arr.Blocks(), r.arr.BlockSize())
 	for node, c := range r.clients {
+		if c == nil {
+			fmt.Printf("node %d (%s): OFFLINE (unreachable)\n", node, r.addrs[node])
+			continue
+		}
 		fmt.Printf("node %d (%s):\n", node, c.Addr())
 		for local := 0; local < r.perNode; local++ {
 			d := c.Dev(local)
@@ -207,6 +230,9 @@ func runFail(fs *flag.FlagSet, r *rig) error {
 	if err != nil {
 		return err
 	}
+	if r.clients[node] == nil {
+		return fmt.Errorf("node %d (%s) is offline", node, r.addrs[node])
+	}
 	if err := r.clients[node].FailDisk(disk); err != nil {
 		return err
 	}
@@ -218,6 +244,9 @@ func runReplace(fs *flag.FlagSet, r *rig) error {
 	node, disk, err := target(fs, r)
 	if err != nil {
 		return err
+	}
+	if r.clients[node] == nil {
+		return fmt.Errorf("node %d (%s) is offline", node, r.addrs[node])
 	}
 	if err := r.clients[node].ReplaceDisk(disk); err != nil {
 		return err
@@ -232,7 +261,11 @@ func runRebuild(fs *flag.FlagSet, r *rig) error {
 		return err
 	}
 	global := node + disk*r.nodes
-	r.devs[global].(*cdd.RemoteDev).InvalidateHealth()
+	rd, ok := r.devs[global].(*cdd.RemoteDev)
+	if !ok {
+		return fmt.Errorf("node %d (%s) is offline; bring it back before rebuilding", node, r.addrs[node])
+	}
+	rd.InvalidateHealth()
 	if err := r.arr.Rebuild(context.Background(), global); err != nil {
 		return err
 	}

@@ -50,25 +50,45 @@ func main() {
 
 func run(addrs, owner string, args []string) error {
 	list := strings.Split(addrs, ",")
-	clients := make([]*cdd.NodeClient, 0, len(list))
+	// Tolerate unreachable nodes: mount degraded with offline
+	// placeholders instead of refusing to start (clients[i] is nil for
+	// a node that was down; geometry comes from a reachable peer).
+	clients := make([]*cdd.NodeClient, len(list))
 	defer func() {
 		for _, c := range clients {
-			c.Close()
+			if c != nil {
+				c.Close()
+			}
 		}
 	}()
-	for _, a := range list {
-		c, err := cdd.Connect(strings.TrimSpace(a))
+	var ref *cdd.NodeClient
+	for i, a := range list {
+		a = strings.TrimSpace(a)
+		list[i] = a
+		c, err := cdd.Connect(a)
 		if err != nil {
-			return fmt.Errorf("connect %s: %w", a, err)
+			fmt.Fprintf(os.Stderr, "raidxfs: warning: node %s unreachable (%v); operating degraded\n", a, err)
+			continue
 		}
-		clients = append(clients, c)
+		clients[i] = c
+		if ref == nil {
+			ref = c
+		}
 	}
-	perNode := clients[0].NumDisks()
+	if ref == nil {
+		return fmt.Errorf("no CDD node reachable")
+	}
+	perNode := ref.NumDisks()
 	nodes := len(clients)
 	devs := make([]raid.Dev, nodes*perNode)
 	for local := 0; local < perNode; local++ {
+		model := ref.Dev(local)
 		for node := 0; node < nodes; node++ {
-			devs[node+local*nodes] = clients[node].Dev(local)
+			if clients[node] == nil {
+				devs[node+local*nodes] = cdd.Offline(list[node], model.BlockSize(), model.NumBlocks())
+			} else {
+				devs[node+local*nodes] = clients[node].Dev(local)
+			}
 		}
 	}
 	arr, err := core.New(devs, nodes, perNode, core.Options{})

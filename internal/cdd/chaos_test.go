@@ -1,0 +1,394 @@
+package cdd_test
+
+// Fault-tolerance integration tests: the RAID-x single-fault claim
+// exercised over real TCP against network faults — dead servers,
+// partitions, latency spikes, injected connection resets — rather than
+// only the simulated media failures of internal/disk.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cdd"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/faultnet"
+	"repro/internal/raid"
+	"repro/internal/store"
+)
+
+// fastPolicy keeps retry/deadline budgets small so fault tests run in
+// milliseconds instead of the production seconds.
+func fastPolicy() cdd.RetryPolicy {
+	return cdd.RetryPolicy{
+		MaxAttempts:   4,
+		CallTimeout:   250 * time.Millisecond,
+		BaseBackoff:   2 * time.Millisecond,
+		MaxBackoff:    20 * time.Millisecond,
+		ProbeInterval: 20 * time.Millisecond,
+	}
+}
+
+// budget is the worst-case time one fully-retried operation may take
+// under fastPolicy, used to bound failover latency assertions.
+func budget(pol cdd.RetryPolicy) time.Duration {
+	per := pol.CallTimeout + pol.MaxBackoff
+	return time.Duration(pol.MaxAttempts) * per
+}
+
+// faultCluster spins up n CDD nodes with k disks each, dialed through
+// the given fault injector (nil for a clean network), and returns the
+// global dev list in SIOS order plus the node handles for mid-test
+// server kills.
+func faultCluster(t *testing.T, n, k int, blocks int64, fnet *faultnet.Network) ([]raid.Dev, []*cdd.NodeClient, []*cdd.Node) {
+	t.Helper()
+	opts := cdd.Options{Retry: fastPolicy(), DialTimeout: time.Second}
+	if fnet != nil {
+		opts.Dialer = fnet.Dialer()
+	}
+	nodes := make([]*cdd.Node, n)
+	clients := make([]*cdd.NodeClient, n)
+	for i := 0; i < n; i++ {
+		disks := make([]*disk.Disk, k)
+		for j := range disks {
+			disks[j] = disk.New(nil, fmt.Sprintf("n%dd%d", i, j), store.NewMem(1024, blocks), disk.DefaultModel())
+		}
+		node, err := cdd.ListenAndServe("127.0.0.1:0", disks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		t.Cleanup(func() { node.Close() })
+		c, err := cdd.ConnectWith(context.Background(), node.Addr(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		t.Cleanup(func() { c.Close() })
+	}
+	devs := make([]raid.Dev, n*k)
+	for local := 0; local < k; local++ {
+		for node := 0; node < n; node++ {
+			devs[node+local*n] = clients[node].Dev(local)
+		}
+	}
+	return devs, clients, nodes
+}
+
+// waitAllHealthy polls until every device reports healthy (faults
+// healed, heartbeats re-admitted the nodes) or the deadline passes.
+func waitAllHealthy(t *testing.T, devs []raid.Dev, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		ok := true
+		for _, d := range devs {
+			if rd, is := d.(*cdd.RemoteDev); is {
+				rd.InvalidateHealth()
+			}
+			if !d.Healthy() {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("devices never returned to healthy after faults cleared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDegradedReadOverTCPNodeKill kills a transport.Server mid-workload
+// and asserts the OSM engine completes reads through the mirror images
+// on the orthogonal stripe group, within the deadline+retry budget —
+// the real-socket counterpart of bench/degraded.go.
+func TestDegradedReadOverTCPNodeKill(t *testing.T) {
+	devs, _, nodes := faultCluster(t, 4, 1, 64, nil)
+	a, err := core.New(devs, 4, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	data := make([]byte, int(a.Blocks())*a.BlockSize())
+	rand.New(rand.NewSource(21)).Read(data)
+	if err := a.WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill node 2 outright: no FailDisk courtesy call, the server and
+	// every one of its connections just die.
+	nodes[2].Close()
+
+	got := make([]byte, len(data))
+	start := time.Now()
+	if err := a.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatalf("read with node 2 dead: %v", err)
+	}
+	took := time.Since(start)
+	if !bytes.Equal(got, data) {
+		t.Fatal("failover read returned wrong data")
+	}
+	if max := budget(fastPolicy()) + 2*time.Second; took > max {
+		t.Fatalf("failover read took %v, budget %v", took, max)
+	}
+
+	// The failed reads marked the node suspect, so a second read goes
+	// degraded immediately — it must be fast and still correct.
+	start = time.Now()
+	if err := a.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatalf("second degraded read: %v", err)
+	}
+	if took := time.Since(start); took > budget(fastPolicy()) {
+		t.Fatalf("degraded read after suspicion took %v", took)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("second degraded read returned wrong data")
+	}
+
+	// Degraded writes skip the dead node's columns.
+	upd := make([]byte, 6*a.BlockSize())
+	rand.New(rand.NewSource(22)).Read(upd)
+	if err := a.WriteBlocks(ctx, 3, upd); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	copy(data[3*a.BlockSize():], upd)
+	if err := a.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data wrong after degraded write")
+	}
+}
+
+// TestPartitionFailoverAndReadmission partitions one node mid-workload
+// (established connections hang, new dials are refused), asserts reads
+// fail over to mirrors within the deadline budget, then heals the
+// partition and asserts the heartbeat re-admits the node.
+func TestPartitionFailoverAndReadmission(t *testing.T) {
+	fnet := faultnet.New(3)
+	devs, clients, _ := faultCluster(t, 4, 1, 64, fnet)
+	a, err := core.New(devs, 4, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	data := make([]byte, int(a.Blocks())*a.BlockSize())
+	rand.New(rand.NewSource(31)).Read(data)
+	if err := a.WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := clients[1].Addr()
+	fnet.Partition(victim)
+
+	got := make([]byte, len(data))
+	start := time.Now()
+	if err := a.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatalf("read with node 1 partitioned: %v", err)
+	}
+	took := time.Since(start)
+	if !bytes.Equal(got, data) {
+		t.Fatal("failover read returned wrong data")
+	}
+	if max := budget(fastPolicy()) + 2*time.Second; took > max {
+		t.Fatalf("partitioned read took %v, budget %v", took, max)
+	}
+
+	// Heal; the heartbeat must re-admit the node, and reads must flow
+	// through it again at full speed.
+	fnet.Heal(victim)
+	waitAllHealthy(t, devs, 5*time.Second)
+	start = time.Now()
+	if err := a.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("post-heal read took %v", took)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("post-heal read returned wrong data")
+	}
+}
+
+// TestChaosMixedWorkload runs a mixed read/write workload over a TCP
+// cluster while random network faults — latency spikes, connection
+// resets, stalls, brief partitions — hit one node at a time (the
+// paper's single-fault regime), then heals everything and asserts no
+// data corruption and bounded latency.
+//
+// Correctness contract under chaos: a read that SUCCEEDS must return
+// correct data; a write that fails leaves its region ambiguous (some
+// copies updated) until rewritten. The workload therefore checks
+// successful reads of the never-written region against the golden
+// image, and after healing rewrites every worker region before the
+// final audit.
+func TestChaosMixedWorkload(t *testing.T) {
+	fnet := faultnet.New(42)
+	devs, clients, _ := faultCluster(t, 4, 1, 256, fnet)
+	a, err := core.New(devs, 4, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	bs := a.BlockSize()
+	total := a.Blocks()
+
+	// Lower half: stable, never written after prefill. Upper half:
+	// split between the writing workers.
+	stable := total / 2
+	const workers = 3
+	region := (total - stable) / workers
+
+	golden := make([]byte, int(total)*bs)
+	rand.New(rand.NewSource(41)).Read(golden)
+	if err := a.WriteBlocks(ctx, 0, golden); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := make([]string, len(clients))
+	for i, c := range clients {
+		addrs[i] = c.Addr()
+	}
+
+	// Chaos driver: one faulty peer at a time, varying fault type,
+	// always healing before moving on.
+	stop := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		rng := rand.New(rand.NewSource(43))
+		for {
+			select {
+			case <-stop:
+				fnet.HealAll()
+				return
+			default:
+			}
+			addr := addrs[rng.Intn(len(addrs))]
+			switch rng.Intn(4) {
+			case 0:
+				fnet.SetLatency(addr, time.Duration(1+rng.Intn(3))*time.Millisecond, time.Millisecond)
+			case 1:
+				fnet.SetErrorRate(addr, 0.02+0.1*rng.Float64())
+			case 2:
+				fnet.Stall(addr)
+			case 3:
+				fnet.Partition(addr)
+			}
+			time.Sleep(time.Duration(10+rng.Intn(30)) * time.Millisecond)
+			fnet.Heal(addr)
+			time.Sleep(time.Duration(5+rng.Intn(10)) * time.Millisecond)
+		}
+	}()
+
+	// Workers: each loops mixed reads (stable region, audited) and
+	// writes (private region, errors tolerated during chaos). Each
+	// worker drives its own engine instance, like separate hosts
+	// mounting the same SIOS.
+	arrays := make([]*core.RAIDx, workers)
+	for w := range arrays {
+		if arrays[w], err = core.New(devs, 4, 1, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final := make([][]byte, workers)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(1200 * time.Millisecond)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			base := stable + int64(w)*region
+			buf := make([]byte, int(region)*bs)
+			readBuf := make([]byte, 8*bs)
+			for time.Now().Before(deadline) {
+				// Audited read of a stable slice.
+				off := int64(rng.Intn(int(stable) - 8))
+				if err := arrays[w].ReadBlocks(ctx, off, readBuf); err == nil {
+					want := golden[off*int64(bs) : (off+8)*int64(bs)]
+					if !bytes.Equal(readBuf, want) {
+						errCh <- fmt.Errorf("worker %d: CORRUPTION in stable region at block %d", w, off)
+						return
+					}
+				}
+				// Write the private region; failures are expected while
+				// faults are live.
+				rng.Read(buf)
+				_ = arrays[w].WriteBlocks(ctx, base, buf)
+			}
+			final[w] = append([]byte(nil), buf...)
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	chaosWG.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// Faults are gone: wait for heartbeats to re-admit every node.
+	fnet.HealAll()
+	waitAllHealthy(t, devs, 5*time.Second)
+
+	// Repair pass: rewrite each worker region with its final data. A
+	// foreground-mirror engine makes the image writes retried calls
+	// rather than fire-and-forget notifications, so after this pass
+	// both copies of every block are known-good.
+	repair, err := core.New(devs, 4, 1, core.Options{ForegroundMirror: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		base := stable + int64(w)*region
+		if err := repair.WriteBlocks(ctx, base, final[w]); err != nil {
+			t.Fatalf("repair write for worker %d: %v", w, err)
+		}
+	}
+	if err := repair.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Audit: stable region intact, worker regions hold their final
+	// data, mirror images consistent, and latency back to normal.
+	start := time.Now()
+	got := make([]byte, int(total)*bs)
+	if err := a.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatalf("final read: %v", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("post-chaos full read took %v", took)
+	}
+	if !bytes.Equal(got[:stable*int64(bs)], golden[:stable*int64(bs)]) {
+		t.Fatal("stable region corrupted")
+	}
+	for w := 0; w < workers; w++ {
+		base := stable + int64(w)*region
+		if !bytes.Equal(got[base*int64(bs):(base+region)*int64(bs)], final[w]) {
+			t.Fatalf("worker %d region does not match final data", w)
+		}
+	}
+	if err := a.Verify(ctx); err != nil {
+		t.Fatalf("mirror verify after chaos: %v", err)
+	}
+}

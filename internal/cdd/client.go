@@ -2,30 +2,149 @@ package cdd
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/raid"
 	"repro/internal/transport"
 )
 
+// RetryPolicy governs per-attempt deadlines and retry/backoff for
+// remote operations. Retries apply only to idempotent opcodes (block
+// reads/writes/flushes, health, stats, info — see retryableOp) and only
+// to transport-level failures: a RemoteError proves the server handled
+// the request, so it is returned as-is.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per operation (>= 1).
+	MaxAttempts int
+	// CallTimeout bounds each attempt. Zero disables per-attempt
+	// deadlines (the caller's context still applies).
+	CallTimeout time.Duration
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt up to MaxBackoff, with ±50% jitter.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff.
+	MaxBackoff time.Duration
+	// ProbeInterval paces the heartbeat that re-probes a suspect node
+	// until it recovers.
+	ProbeInterval time.Duration
+	// MinBandwidth (bytes/sec) extends the per-attempt deadline for
+	// bulk transfers: an attempt moving b bytes gets CallTimeout +
+	// b/MinBandwidth. Without it a fixed CallTimeout spuriously cuts
+	// down multi-megabyte reads/writes — and an abandoned call tears
+	// down the shared session, failing innocent concurrent operations.
+	MinBandwidth int64
+}
+
+// DefaultRetryPolicy is the production default: four attempts, 2 s per
+// attempt, 10 ms → 500 ms backoff, 250 ms heartbeat.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:   4,
+		CallTimeout:   2 * time.Second,
+		BaseBackoff:   10 * time.Millisecond,
+		MaxBackoff:    500 * time.Millisecond,
+		ProbeInterval: 250 * time.Millisecond,
+		MinBandwidth:  4 << 20, // 4 MiB/s floor for bulk-transfer deadlines
+	}
+}
+
+// withDefaults fills zero fields from DefaultRetryPolicy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = def.MaxAttempts
+	}
+	if p.CallTimeout <= 0 {
+		p.CallTimeout = def.CallTimeout
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = def.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = def.MaxBackoff
+	}
+	if p.ProbeInterval <= 0 {
+		p.ProbeInterval = def.ProbeInterval
+	}
+	if p.MinBandwidth <= 0 {
+		p.MinBandwidth = def.MinBandwidth
+	}
+	return p
+}
+
+// retryableOp reports whether an opcode may be re-sent after a
+// transport failure. Block reads and whole-block writes are idempotent
+// (rewriting the same blocks converges to the same state), as are
+// flush, health, stats, info, snapshot fetch, and lock releases.
+// OpLock is excluded: a grant whose response was lost would be
+// double-recorded by a blind resend.
+func retryableOp(op uint8) bool {
+	switch op {
+	case OpInfo, OpRead, OpWrite, OpFlush, OpHealth, OpStats,
+		OpLockSnapshot, OpUnlock, OpUnlockAll, OpFail, OpReplace:
+		return true
+	}
+	return false
+}
+
+// retryableErr reports whether an error is worth retrying: transport
+// breakage, timeouts, and injected faults are; remote application
+// errors and caller cancellation are not.
+func retryableErr(err error) bool {
+	var re *transport.RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	if errors.Is(err, transport.ErrClosed) || errors.Is(err, transport.ErrFrameTooLarge) {
+		return false
+	}
+	return true
+}
+
+// Options tune a node connection.
+type Options struct {
+	// Retry is the retry/deadline policy; zero fields take defaults.
+	Retry RetryPolicy
+	// Dialer overrides the raw connection factory (fault injection).
+	Dialer transport.DialFunc
+	// DialTimeout bounds each (re)connection attempt.
+	DialTimeout time.Duration
+}
+
 // NodeClient is the client module of a CDD: it connects to a remote
 // storage manager and masquerades its disks as local devices.
 type NodeClient struct {
-	c    *transport.Client
-	addr string
-	info infoResp
+	c      *transport.Client
+	addr   string
+	info   infoResp
+	policy RetryPolicy
+	closed atomic.Bool
 }
 
-// Connect dials a CDD node and fetches its disk inventory.
+// Connect dials a CDD node with default options and fetches its disk
+// inventory.
 func Connect(addr string) (*NodeClient, error) {
-	c, err := transport.Dial(addr)
+	return ConnectWith(context.Background(), addr, Options{})
+}
+
+// ConnectWith dials a CDD node with explicit fault-tolerance options;
+// ctx bounds the initial connection and inventory fetch.
+func ConnectWith(ctx context.Context, addr string, opts Options) (*NodeClient, error) {
+	c, err := transport.DialWith(ctx, addr, transport.DialOptions{
+		DialTimeout: opts.DialTimeout,
+		Dialer:      opts.Dialer,
+	})
 	if err != nil {
 		return nil, err
 	}
-	raw, err := c.Call(OpInfo, nil)
+	n := &NodeClient{c: c, addr: addr, policy: opts.Retry.withDefaults()}
+	raw, err := n.call(ctx, OpInfo, nil)
 	if err != nil {
 		c.Close()
 		return nil, fmt.Errorf("cdd: info from %s: %w", addr, err)
@@ -35,7 +154,86 @@ func Connect(addr string) (*NodeClient, error) {
 		c.Close()
 		return nil, err
 	}
-	return &NodeClient{c: c, addr: addr, info: info}, nil
+	n.info = info
+	return n, nil
+}
+
+// call performs one remote operation under the retry policy: a
+// per-attempt deadline, exponential backoff with jitter between
+// attempts, and retries only for idempotent opcodes on transport-level
+// failures.
+func (n *NodeClient) call(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
+	return n.callBulk(ctx, op, payload, 0)
+}
+
+// callBulk is call with an expected-response-size hint so the
+// per-attempt deadline scales with the bytes moved in either direction.
+func (n *NodeClient) callBulk(ctx context.Context, op uint8, payload []byte, respBytes int) ([]byte, error) {
+	pol := n.policy
+	attempts := pol.MaxAttempts
+	if !retryableOp(op) {
+		attempts = 1
+	}
+	timeout := pol.CallTimeout
+	if xfer := int64(len(payload) + respBytes); timeout > 0 && xfer > 0 && pol.MinBandwidth > 0 {
+		timeout += time.Duration(xfer * int64(time.Second) / pol.MinBandwidth)
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if err := sleepCtx(ctx, backoffDelay(pol, a)); err != nil {
+				return nil, err
+			}
+		}
+		actx := ctx
+		cancel := func() {}
+		if timeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		resp, err := n.c.Call(actx, op, payload)
+		cancel()
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The caller's own deadline/cancellation — do not mask it
+			// with a retries-exhausted wrapper.
+			return nil, err
+		}
+		if !retryableErr(err) {
+			return nil, err
+		}
+	}
+	if attempts > 1 {
+		return nil, fmt.Errorf("cdd: %s: giving up after %d attempts: %w", n.addr, attempts, lastErr)
+	}
+	return nil, lastErr
+}
+
+// backoffDelay is pol.BaseBackoff doubled per retry, capped at
+// MaxBackoff, with ±50% jitter to keep retry storms from synchronizing.
+func backoffDelay(pol RetryPolicy, attempt int) time.Duration {
+	d := pol.BaseBackoff << (attempt - 1)
+	if d > pol.MaxBackoff || d <= 0 {
+		d = pol.MaxBackoff
+	}
+	half := int64(d) / 2
+	if half > 0 {
+		d = time.Duration(half + rand.Int63n(int64(d)))
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Addr reports the remote node's address.
@@ -44,11 +242,17 @@ func (n *NodeClient) Addr() string { return n.addr }
 // NumDisks reports how many disks the node exports.
 func (n *NodeClient) NumDisks() int { return int(n.info.Disks) }
 
+// Policy reports the connection's retry policy.
+func (n *NodeClient) Policy() RetryPolicy { return n.policy }
+
 // Transport exposes the underlying connection (peer registration).
 func (n *NodeClient) Transport() *transport.Client { return n.c }
 
-// Close tears down the connection.
-func (n *NodeClient) Close() error { return n.c.Close() }
+// Close tears down the connection and stops any heartbeat probes.
+func (n *NodeClient) Close() error {
+	n.closed.Store(true)
+	return n.c.Close()
+}
 
 // Dev returns the i-th remote disk as a raid.Dev.
 func (n *NodeClient) Dev(i int) *RemoteDev {
@@ -72,13 +276,13 @@ func (n *NodeClient) Devs() []raid.Dev {
 
 // FailDisk injects a failure into a remote disk (fault drills).
 func (n *NodeClient) FailDisk(i int) error {
-	_, err := n.c.Call(OpFail, encodeIOHeader(ioHeader{Disk: uint32(i)}, nil))
+	_, err := n.call(context.Background(), OpFail, encodeIOHeader(ioHeader{Disk: uint32(i)}, nil))
 	return err
 }
 
 // ReplaceDisk installs a blank replacement for a remote disk.
 func (n *NodeClient) ReplaceDisk(i int) error {
-	_, err := n.c.Call(OpReplace, encodeIOHeader(ioHeader{Disk: uint32(i)}, nil))
+	_, err := n.call(context.Background(), OpReplace, encodeIOHeader(ioHeader{Disk: uint32(i)}, nil))
 	return err
 }
 
@@ -90,7 +294,7 @@ type DiskStats struct {
 
 // Stats fetches a remote disk's counters.
 func (n *NodeClient) Stats(i int) (DiskStats, error) {
-	raw, err := n.c.Call(OpStats, encodeIOHeader(ioHeader{Disk: uint32(i)}, nil))
+	raw, err := n.call(context.Background(), OpStats, encodeIOHeader(ioHeader{Disk: uint32(i)}, nil))
 	if err != nil {
 		return DiskStats{}, err
 	}
@@ -104,7 +308,7 @@ func (n *NodeClient) Stats(i int) (DiskStats, error) {
 // TryLock atomically try-acquires a range group on this node's lock
 // service.
 func (n *NodeClient) TryLock(owner string, rs []Range) (bool, error) {
-	resp, err := n.c.Call(OpLock, encodeLockMsg(lockMsg{Owner: owner, Ranges: rs}))
+	resp, err := n.call(context.Background(), OpLock, encodeLockMsg(lockMsg{Owner: owner, Ranges: rs}))
 	if err != nil {
 		return false, err
 	}
@@ -136,19 +340,19 @@ func (n *NodeClient) Lock(ctx context.Context, owner string, rs []Range) error {
 
 // Unlock releases a range group.
 func (n *NodeClient) Unlock(owner string, rs []Range) error {
-	_, err := n.c.Call(OpUnlock, encodeLockMsg(lockMsg{Owner: owner, Ranges: rs}))
+	_, err := n.call(context.Background(), OpUnlock, encodeLockMsg(lockMsg{Owner: owner, Ranges: rs}))
 	return err
 }
 
 // UnlockAll releases everything held by owner.
 func (n *NodeClient) UnlockAll(owner string) error {
-	_, err := n.c.Call(OpUnlockAll, encodeLockMsg(lockMsg{Owner: owner}))
+	_, err := n.call(context.Background(), OpUnlockAll, encodeLockMsg(lockMsg{Owner: owner}))
 	return err
 }
 
 // LockSnapshot fetches the node's replica of the lock-group table.
 func (n *NodeClient) LockSnapshot() (uint64, []Record, error) {
-	raw, err := n.c.Call(OpLockSnapshot, nil)
+	raw, err := n.call(context.Background(), OpLockSnapshot, nil)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -158,6 +362,12 @@ func (n *NodeClient) LockSnapshot() (uint64, []Record, error) {
 // RemoteDev is a remote disk masquerading as a local device. It
 // implements raid.Dev, so array engines can be built transparently over
 // any mix of local and remote disks — the essence of the SIOS.
+//
+// Fault handling: every operation runs under the node's RetryPolicy
+// (per-attempt deadline, bounded retries). An operation that still
+// fails at the transport level marks the device *suspect* — Healthy()
+// reports false without further network traffic while a background
+// heartbeat re-probes the node, re-admitting it once it answers again.
 type RemoteDev struct {
 	n      *NodeClient
 	disk   uint32
@@ -168,6 +378,7 @@ type RemoteDev struct {
 	hmu       sync.Mutex
 	healthy   bool
 	checked   time.Time
+	probing   bool // heartbeat goroutine active (device is suspect)
 }
 
 var _ raid.Dev = (*RemoteDev)(nil)
@@ -179,13 +390,13 @@ func (d *RemoteDev) BlockSize() int { return d.bs }
 func (d *RemoteDev) NumBlocks() int64 { return d.blocks }
 
 // ReadBlocks implements raid.Dev.
-func (d *RemoteDev) ReadBlocks(_ context.Context, b int64, buf []byte) error {
+func (d *RemoteDev) ReadBlocks(ctx context.Context, b int64, buf []byte) error {
 	if len(buf)%d.bs != 0 {
 		return fmt.Errorf("cdd: buffer length %d not a multiple of %d", len(buf), d.bs)
 	}
-	resp, err := d.n.c.Call(OpRead, encodeIOHeader(ioHeader{
+	resp, err := d.n.callBulk(ctx, OpRead, encodeIOHeader(ioHeader{
 		Disk: d.disk, Block: b, Count: uint32(len(buf) / d.bs),
-	}, nil))
+	}, nil), len(buf))
 	if err != nil {
 		d.noteOutcome(err)
 		return err
@@ -198,8 +409,8 @@ func (d *RemoteDev) ReadBlocks(_ context.Context, b int64, buf []byte) error {
 }
 
 // WriteBlocks implements raid.Dev.
-func (d *RemoteDev) WriteBlocks(_ context.Context, b int64, data []byte) error {
-	_, err := d.n.c.Call(OpWrite, encodeIOHeader(ioHeader{Disk: d.disk, Block: b}, data))
+func (d *RemoteDev) WriteBlocks(ctx context.Context, b int64, data []byte) error {
+	_, err := d.n.call(ctx, OpWrite, encodeIOHeader(ioHeader{Disk: d.disk, Block: b}, data))
 	d.noteOutcome(err)
 	return err
 }
@@ -208,34 +419,56 @@ func (d *RemoteDev) WriteBlocks(_ context.Context, b int64, data []byte) error {
 // notification, so the caller does not wait for the remote disk. A
 // later Flush or Call on the same connection orders after it.
 func (d *RemoteDev) WriteBlocksBackground(_ context.Context, b int64, data []byte) error {
-	return d.n.c.Notify(OpWriteBG, encodeIOHeader(ioHeader{Disk: d.disk, Block: b}, data))
+	err := d.n.c.Notify(OpWriteBG, encodeIOHeader(ioHeader{Disk: d.disk, Block: b}, data))
+	d.noteOutcome(err)
+	return err
 }
 
 // Flush implements raid.Dev.
-func (d *RemoteDev) Flush(_ context.Context) error {
-	_, err := d.n.c.Call(OpFlush, encodeIOHeader(ioHeader{Disk: d.disk}, nil))
+func (d *RemoteDev) Flush(ctx context.Context) error {
+	_, err := d.n.call(ctx, OpFlush, encodeIOHeader(ioHeader{Disk: d.disk}, nil))
 	d.noteOutcome(err)
 	return err
 }
 
 // Healthy implements raid.Dev. The answer is cached briefly (healthTTL)
-// to keep engine health sweeps from flooding the network; InvalidateHealth
-// forces the next call to re-check.
+// to keep engine health sweeps from flooding the network; while the
+// device is suspect the cached answer (false) is served without any
+// network traffic and the heartbeat probe is the only thing touching
+// the peer. InvalidateHealth forces the next call to re-check.
 func (d *RemoteDev) Healthy() bool {
 	d.hmu.Lock()
-	if !d.checked.IsZero() && time.Since(d.checked) < d.healthTTL {
+	if d.probing || (!d.checked.IsZero() && time.Since(d.checked) < d.healthTTL) {
 		h := d.healthy
 		d.hmu.Unlock()
 		return h
 	}
 	d.hmu.Unlock()
-	resp, err := d.n.c.Call(OpHealth, encodeIOHeader(ioHeader{Disk: d.disk}, nil))
-	h := err == nil && len(resp) == 1 && resp[0] == 1
+	h, err := d.probe(context.Background())
+	if err != nil {
+		d.markSuspect()
+		return false
+	}
 	d.hmu.Lock()
 	d.healthy = h
 	d.checked = time.Now()
 	d.hmu.Unlock()
 	return h
+}
+
+// probe asks the remote manager whether the disk serves requests (one
+// attempt, bounded by the policy's CallTimeout).
+func (d *RemoteDev) probe(ctx context.Context) (bool, error) {
+	cancel := func() {}
+	if t := d.n.policy.CallTimeout; t > 0 {
+		ctx, cancel = context.WithTimeout(ctx, t)
+	}
+	defer cancel()
+	resp, err := d.n.c.Call(ctx, OpHealth, encodeIOHeader(ioHeader{Disk: d.disk}, nil))
+	if err != nil {
+		return false, err
+	}
+	return len(resp) == 1 && resp[0] == 1, nil
 }
 
 // InvalidateHealth drops the cached health state.
@@ -245,17 +478,64 @@ func (d *RemoteDev) InvalidateHealth() {
 	d.hmu.Unlock()
 }
 
-// noteOutcome updates the cached health from an operation result: a
-// remote disk-failed error marks the device unhealthy immediately.
+// noteOutcome updates the cached health from an operation result. A
+// remote disk-failed error marks the device unhealthy immediately (the
+// node answered; its disk is gone). A transport-level failure — broken
+// connection, timeout, injected fault — marks the device suspect and
+// starts the heartbeat that re-admits the node when it recovers.
 func (d *RemoteDev) noteOutcome(err error) {
 	if err == nil {
 		return
 	}
-	// Disk failures render as "disk <id>: failed" (disk.FailedError).
-	if re, ok := err.(*transport.RemoteError); ok && strings.Contains(re.Msg, "failed") {
+	var re *transport.RemoteError
+	if errors.As(err, &re) {
+		// Disk failures render as "disk <id>: failed" (disk.FailedError).
+		if strings.Contains(re.Msg, "failed") {
+			d.hmu.Lock()
+			d.healthy = false
+			d.checked = time.Now()
+			d.hmu.Unlock()
+		}
+		return
+	}
+	d.markSuspect()
+}
+
+// markSuspect records the device as unhealthy and ensures a heartbeat
+// probe is running to re-admit it.
+func (d *RemoteDev) markSuspect() {
+	d.hmu.Lock()
+	d.healthy = false
+	d.checked = time.Now()
+	if !d.probing && !d.n.closed.Load() {
+		d.probing = true
+		go d.probeLoop()
+	}
+	d.hmu.Unlock()
+}
+
+// probeLoop is the heartbeat of a suspect device: every ProbeInterval
+// it asks the node for the disk's health, and on the first answer —
+// healthy or not — hands health tracking back to the normal cached
+// path. It exits when the node client closes.
+func (d *RemoteDev) probeLoop() {
+	for {
+		time.Sleep(d.n.policy.ProbeInterval)
+		if d.n.closed.Load() {
+			d.hmu.Lock()
+			d.probing = false
+			d.hmu.Unlock()
+			return
+		}
+		h, err := d.probe(context.Background())
+		if err != nil {
+			continue // still unreachable; stay suspect
+		}
 		d.hmu.Lock()
-		d.healthy = false
+		d.healthy = h
 		d.checked = time.Now()
+		d.probing = false
 		d.hmu.Unlock()
+		return
 	}
 }

@@ -1,0 +1,45 @@
+package cdd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrOffline reports I/O against a node that was unreachable when the
+// client rig was assembled.
+var ErrOffline = errors.New("cdd: node offline")
+
+// OfflineDev is a placeholder device for a disk on an unreachable
+// node: it reports unhealthy and fails all I/O immediately, so array
+// engines schedule around it exactly as they do for a failed disk.
+// It lets a client mount a degraded array when a node is down at
+// connect time (mid-session outages are handled by RemoteDev's
+// suspect/heartbeat machinery instead).
+type OfflineDev struct {
+	addr   string
+	bs     int
+	blocks int64
+}
+
+// Offline creates a placeholder for a disk on the unreachable node at
+// addr, mirroring the geometry of its reachable peers.
+func Offline(addr string, blockSize int, blocks int64) *OfflineDev {
+	return &OfflineDev{addr: addr, bs: blockSize, blocks: blocks}
+}
+
+func (d *OfflineDev) BlockSize() int   { return d.bs }
+func (d *OfflineDev) NumBlocks() int64 { return d.blocks }
+
+// Healthy always reports false: the node was down when we assembled
+// the rig and no connection exists to probe.
+func (d *OfflineDev) Healthy() bool { return false }
+
+func (d *OfflineDev) err() error { return fmt.Errorf("%w: %s", ErrOffline, d.addr) }
+
+func (d *OfflineDev) ReadBlocks(context.Context, int64, []byte) error  { return d.err() }
+func (d *OfflineDev) WriteBlocks(context.Context, int64, []byte) error { return d.err() }
+func (d *OfflineDev) WriteBlocksBackground(context.Context, int64, []byte) error {
+	return d.err()
+}
+func (d *OfflineDev) Flush(context.Context) error { return d.err() }

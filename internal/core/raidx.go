@@ -161,7 +161,16 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 					useMirror := mb < db || (mb == db && a.flip.Add(1)%2 == 0)
 					if useMirror {
 						fns = append(fns, func(ctx context.Context) error {
-							return mdev.ReadBlocks(ctx, m.Block, p[(first-b)*int64(a.bs):(first-b+1)*int64(a.bs)])
+							dst := p[(first-b)*int64(a.bs) : (first-b+1)*int64(a.bs)]
+							err := mdev.ReadBlocks(ctx, m.Block, dst)
+							if err == nil || ctx.Err() != nil {
+								return err
+							}
+							// Failover to the data copy.
+							if derr := dev.ReadBlocks(ctx, first/int64(width), dst); derr == nil {
+								return nil
+							}
+							return err
 						})
 						continue
 					}
@@ -170,7 +179,15 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 			fns = append(fns, func(ctx context.Context) error {
 				buf := make([]byte, count*a.bs)
 				if err := dev.ReadBlocks(ctx, first/int64(width), buf); err != nil {
-					return err
+					if ctx.Err() != nil {
+						return err
+					}
+					// Read-failover: the primary errored or timed out
+					// mid-run (a flaky/partitioned node, not a known-dead
+					// disk). Redirect every block of the run to its mirror
+					// image on the orthogonal stripe group; the failed
+					// operation has already marked the node suspect.
+					return a.readRunViaMirrors(ctx, first, count, b, p, err)
 				}
 				for t := 0; t < count; t++ {
 					lb := first + int64(t)*int64(width)
@@ -195,6 +212,27 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 		}
 	}
 	return par.Do(ctx, fns...)
+}
+
+// readRunViaMirrors serves one column run from mirror images after the
+// primary read failed with cause. Images of one column scatter over
+// many mirror groups, so each block is fetched individually. A block
+// whose image is also unavailable fails the whole run with both errors.
+func (a *RAIDx) readRunViaMirrors(ctx context.Context, first int64, count int, b int64, p []byte, cause error) error {
+	width := int64(a.lay.TotalDisks())
+	for t := 0; t < count; t++ {
+		lb := first + int64(t)*width
+		m := a.lay.MirrorLoc(lb)
+		mdev := a.devs[m.Disk]
+		if !mdev.Healthy() {
+			return fmt.Errorf("core: block %d primary failed (%v) and image unavailable: %w", lb, cause, raid.ErrDataLoss)
+		}
+		dst := p[(lb-b)*int64(a.bs) : (lb-b+1)*int64(a.bs)]
+		if err := mdev.ReadBlocks(ctx, m.Block, dst); err != nil {
+			return fmt.Errorf("core: block %d primary failed (%v), image read failed: %w", lb, cause, err)
+		}
+	}
+	return nil
 }
 
 // WriteBlocks implements raid.Array: data blocks stripe to all disks in

@@ -1,0 +1,149 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func echoServer(t *testing.T) *transport.Server {
+	t.Helper()
+	s, err := transport.Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+		return payload, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func faultyClient(t *testing.T, n *Network, addr string) *transport.Client {
+	t.Helper()
+	c, err := transport.DialWith(context.Background(), addr, transport.DialOptions{Dialer: n.Dialer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	s := echoServer(t)
+	n := New(1)
+	c := faultyClient(t, n, s.Addr())
+	resp, err := c.Call(context.Background(), 1, []byte("hello"))
+	if err != nil || string(resp) != "hello" {
+		t.Fatalf("got %q %v", resp, err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	s := echoServer(t)
+	n := New(1)
+	c := faultyClient(t, n, s.Addr())
+	n.SetLatency(s.Addr(), 30*time.Millisecond, 0)
+	start := time.Now()
+	if _, err := c.Call(context.Background(), 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// At least the write and one read each pay the latency.
+	if took := time.Since(start); took < 50*time.Millisecond {
+		t.Fatalf("call took %v, want >= 50ms of injected latency", took)
+	}
+	n.Heal(s.Addr())
+	// One warm-up call absorbs the read loop's already-gated sleep.
+	if _, err := c.Call(context.Background(), 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if _, err := c.Call(context.Background(), 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 25*time.Millisecond {
+		t.Fatalf("call took %v after heal", took)
+	}
+}
+
+// callUntilOK retries a call until it succeeds (modeling the retry
+// layer above the transport) or the deadline passes.
+func callUntilOK(t *testing.T, c *transport.Client, payload []byte) []byte {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := c.Call(context.Background(), 1, payload)
+		if err == nil {
+			return resp
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("call never recovered: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestErrorInjectionBreaksAndReconnects(t *testing.T) {
+	s := echoServer(t)
+	n := New(7)
+	c := faultyClient(t, n, s.Addr())
+	n.SetErrorRate(s.Addr(), 1.0)
+	if _, err := c.Call(context.Background(), 1, []byte("x")); err == nil {
+		t.Fatal("call through 100% error rate succeeded")
+	}
+	n.Heal(s.Addr())
+	// The client re-dials once it notices the broken session.
+	if resp := callUntilOK(t, c, []byte("back")); string(resp) != "back" {
+		t.Fatalf("after heal: %q", resp)
+	}
+}
+
+func TestStallBlocksUntilCleared(t *testing.T) {
+	s := echoServer(t)
+	n := New(1)
+	c := faultyClient(t, n, s.Addr())
+	n.Stall(s.Addr())
+	// With a deadline, a stalled call returns DeadlineExceeded.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c.Call(ctx, 1, []byte("x")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	// Without a stall, traffic flows again (new conn, since the stalled
+	// one was abandoned mid-write).
+	n.Unstall(s.Addr())
+	if resp := callUntilOK(t, c, []byte("y")); string(resp) != "y" {
+		t.Fatalf("after unstall: %q", resp)
+	}
+}
+
+func TestPartitionRefusesDials(t *testing.T) {
+	s := echoServer(t)
+	n := New(1)
+	n.Partition(s.Addr())
+	if _, err := n.Dialer()(context.Background(), s.Addr()); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("got %v, want ErrPartitioned", err)
+	}
+	n.Heal(s.Addr())
+	conn, err := n.Dialer()(context.Background(), s.Addr())
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	conn.Close()
+}
+
+func TestHealAllClearsEveryPeer(t *testing.T) {
+	s1, s2 := echoServer(t), echoServer(t)
+	n := New(1)
+	n.Partition(s1.Addr())
+	n.Stall(s2.Addr())
+	n.HealAll()
+	for _, addr := range []string{s1.Addr(), s2.Addr()} {
+		c := faultyClient(t, n, addr)
+		if _, err := c.Call(context.Background(), 1, []byte("ok")); err != nil {
+			t.Fatalf("%s after HealAll: %v", addr, err)
+		}
+	}
+}

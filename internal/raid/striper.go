@@ -63,7 +63,10 @@ func (m mapping) scatter(p, src []byte, r run, b0 int64, bs int) {
 
 // readStriped performs a parallel striped read of [b, b+n) into p.
 // If a device is unhealthy and fallback is non-nil, fallback is invoked
-// for that run instead (degraded path).
+// for that run instead (degraded path). A device that reports healthy
+// but then errors mid-run (a flaky or partitioned remote node) also
+// fails over to fallback; the original error is returned only if the
+// fallback cannot serve the run either.
 func readStriped(ctx context.Context, devs []Dev, m mapping, b int64, p []byte, bs int,
 	fallback func(ctx context.Context, r run) error) error {
 
@@ -78,6 +81,11 @@ func readStriped(ctx context.Context, devs []Dev, m mapping, b int64, p []byte, 
 			}
 			buf := make([]byte, r.count*bs)
 			if err := dev.ReadBlocks(ctx, r.phys, buf); err != nil {
+				if fallback != nil && ctx.Err() == nil {
+					if ferr := fallback(ctx, r); ferr == nil {
+						return nil
+					}
+				}
 				return err
 			}
 			m.scatter(p, buf, r, b, bs)

@@ -1,9 +1,12 @@
 package transport
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
+
+var bgBench = context.Background()
 
 func benchPair(b *testing.B) *Client {
 	b.Helper()
@@ -30,7 +33,7 @@ func BenchmarkCallRoundTrip(b *testing.B) {
 	payload := make([]byte, 4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Call(1, payload); err != nil {
+		if _, err := c.Call(bgBench, 1, payload); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -49,7 +52,7 @@ func BenchmarkCallConcurrent(b *testing.B) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				if _, err := c.Call(1, payload); err != nil {
+				if _, err := c.Call(bgBench, 1, payload); err != nil {
 					b.Error(err)
 					return
 				}
@@ -70,7 +73,7 @@ func BenchmarkNotify(b *testing.B) {
 		}
 	}
 	// Drain: one Call orders after all notifications.
-	if _, err := c.Call(1, nil); err != nil {
+	if _, err := c.Call(bgBench, 1, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(payload)))

@@ -9,6 +9,15 @@
 // frames with ID 0) get no response — the mechanism behind deferred
 // mirror pushes.
 //
+// Calls are context-aware: a deadline or cancellation on the context
+// abandons the call. If the request frame had not been fully written
+// yet the connection is closed (a partial frame would desynchronize the
+// stream); if the frame was sent, the connection stays usable and the
+// eventual response is dropped. A client whose connection has broken
+// re-dials automatically on the next call (unless NoReconnect is set),
+// so a crashed-and-restarted peer is reached again without rebuilding
+// the client.
+//
 // Frame layout (big endian):
 //
 //	uint32 frame length (bytes after this field)
@@ -19,6 +28,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -26,6 +36,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 const (
@@ -36,6 +47,10 @@ const (
 	// MaxFrame bounds a frame's size (16 MiB) to stop a corrupt length
 	// prefix from exhausting memory.
 	MaxFrame = 16 << 20
+	// MaxPayload is the largest payload that fits in one frame.
+	MaxPayload = MaxFrame - headerLen
+	// DefaultDialTimeout bounds each connection attempt.
+	DefaultDialTimeout = 5 * time.Second
 )
 
 // Handler processes one request and returns the response payload.
@@ -46,7 +61,14 @@ type Handler func(op uint8, payload []byte) ([]byte, error)
 // ErrClosed is returned by calls on a closed client.
 var ErrClosed = errors.New("transport: connection closed")
 
-// RemoteError is a server-side error delivered to the caller.
+// ErrFrameTooLarge is returned at send time for payloads that exceed
+// MaxPayload — emitting the frame would only make the peer kill the
+// connection with an opaque "bad frame length" error.
+var ErrFrameTooLarge = errors.New("transport: frame too large")
+
+// RemoteError is a server-side error delivered to the caller. Its
+// presence proves the peer received and processed the request, so it is
+// never worth retrying at the transport level.
 type RemoteError struct {
 	Op  uint8
 	Msg string
@@ -57,6 +79,9 @@ func (e *RemoteError) Error() string {
 }
 
 func writeFrame(w io.Writer, id uint64, typ, op uint8, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("%w: payload %d bytes exceeds %d", ErrFrameTooLarge, len(payload), MaxPayload)
+	}
 	hdr := make([]byte, 4+headerLen)
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(headerLen+len(payload)))
 	binary.BigEndian.PutUint64(hdr[4:12], id)
@@ -168,6 +193,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			err = writeFrame(conn, id, frameError, op, []byte(herr.Error()))
 		} else {
 			err = writeFrame(conn, id, frameOK, op, resp)
+			if errors.Is(err, ErrFrameTooLarge) {
+				// An oversized handler result must not kill the
+				// connection: deliver it as an error response instead.
+				err = writeFrame(conn, id, frameError, op, []byte(err.Error()))
+			}
 		}
 		wmu.Unlock()
 		if err != nil {
@@ -190,15 +220,54 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Client is one CDD-to-CDD connection.
+// DialFunc produces the raw connection under a client. Fault injectors
+// (internal/faultnet) substitute their own.
+type DialFunc func(ctx context.Context, addr string) (net.Conn, error)
+
+func tcpDial(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// DialOptions tune a client's connection management. The zero value is
+// the production default: TCP, DefaultDialTimeout, reconnect enabled.
+type DialOptions struct {
+	// DialTimeout bounds each connection attempt (including automatic
+	// reconnects). Zero means DefaultDialTimeout.
+	DialTimeout time.Duration
+	// NoReconnect disables automatic re-dialing after a broken
+	// connection: calls fail with the error that broke it.
+	NoReconnect bool
+	// Dialer overrides the raw connection factory (fault injection,
+	// testing). Nil means plain TCP.
+	Dialer DialFunc
+}
+
+// Client is one CDD-to-CDD connection (logically: the transport keeps
+// it connected across broken TCP sessions unless NoReconnect is set).
 type Client struct {
-	conn    net.Conn
-	nextID  atomic.Uint64
-	wmu     sync.Mutex
+	addr   string
+	opts   DialOptions
+	nextID atomic.Uint64
+
+	// dialMu serializes reconnect attempts so concurrent calls over a
+	// broken connection produce one new session, not many.
+	dialMu sync.Mutex
+
+	// wmu serializes frame writes on the current connection.
+	wmu sync.Mutex
+
 	mu      sync.Mutex
-	pending map[uint64]chan response
+	conn    net.Conn // current session; nil while broken
+	gen     uint64   // session generation, bumps on every redial
+	connErr error    // why the last session died
+	pending map[uint64]*pendingCall
 	closed  bool
-	readErr error
+}
+
+type pendingCall struct {
+	ch  chan response
+	gen uint64
 }
 
 type response struct {
@@ -207,91 +276,283 @@ type response struct {
 	payload []byte
 }
 
-// Dial connects to a CDD server.
+// Dial connects to a CDD server with default options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+	return DialWith(context.Background(), addr, DialOptions{})
+}
+
+// DialWith connects to a CDD server with explicit options; ctx bounds
+// the initial connection attempt.
+func DialWith(ctx context.Context, addr string, opts DialOptions) (*Client, error) {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = DefaultDialTimeout
+	}
+	if opts.Dialer == nil {
+		opts.Dialer = tcpDial
+	}
+	c := &Client{addr: addr, opts: opts, pending: map[uint64]*pendingCall{}}
+	if err := c.redial(ctx); err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, pending: map[uint64]chan response{}}
-	go c.readLoop()
 	return c, nil
 }
 
-func (c *Client) readLoop() {
-	for {
-		id, typ, op, payload, err := readFrame(c.conn)
-		if err != nil {
-			c.mu.Lock()
-			c.readErr = err
-			for _, ch := range c.pending {
-				close(ch)
+// Addr reports the remote address the client (re)connects to.
+func (c *Client) Addr() string { return c.addr }
+
+// redial establishes a fresh session if none is live.
+func (c *Client) redial(ctx context.Context) error {
+	c.dialMu.Lock()
+	defer c.dialMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.conn != nil {
+		c.mu.Unlock()
+		return nil // someone else already reconnected
+	}
+	c.mu.Unlock()
+	dctx, cancel := context.WithTimeout(ctx, c.opts.DialTimeout)
+	conn, err := c.opts.Dialer(dctx, c.addr)
+	cancel()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	c.conn = conn
+	c.gen++
+	c.connErr = nil
+	gen := c.gen
+	c.mu.Unlock()
+	go c.readLoop(conn, gen)
+	return nil
+}
+
+// ensureConn returns the live session, re-dialing if the previous one
+// broke (and reconnection is enabled).
+func (c *Client) ensureConn(ctx context.Context) (net.Conn, uint64, error) {
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, 0, ErrClosed
+		}
+		if c.conn != nil {
+			conn, gen := c.conn, c.gen
+			c.mu.Unlock()
+			return conn, gen, nil
+		}
+		lastErr := c.connErr
+		c.mu.Unlock()
+		if c.opts.NoReconnect {
+			if lastErr == nil {
+				lastErr = ErrClosed
 			}
-			c.pending = map[uint64]chan response{}
+			return nil, 0, lastErr
+		}
+		if attempt > 0 {
+			// The session we just dialed broke before we could use it;
+			// do not spin on a flapping peer.
+			return nil, 0, lastErr
+		}
+		if err := c.redial(ctx); err != nil {
+			return nil, 0, err
+		}
+	}
+}
+
+func (c *Client) readLoop(conn net.Conn, gen uint64) {
+	for {
+		id, typ, op, payload, err := readFrame(conn)
+		if err != nil {
+			conn.Close()
+			c.mu.Lock()
+			if c.gen == gen && c.conn == conn {
+				c.conn = nil
+				c.connErr = err
+			}
+			for pid, p := range c.pending {
+				if p.gen == gen {
+					delete(c.pending, pid)
+					close(p.ch)
+				}
+			}
 			c.mu.Unlock()
 			return
 		}
 		c.mu.Lock()
-		ch, ok := c.pending[id]
+		p, ok := c.pending[id]
 		if ok {
 			delete(c.pending, id)
 		}
 		c.mu.Unlock()
 		if ok {
-			ch <- response{typ: typ, op: op, payload: payload}
+			p.ch <- response{typ: typ, op: op, payload: payload}
 		}
 	}
 }
 
-// Call sends a request and waits for its response payload.
-func (c *Client) Call(op uint8, payload []byte) ([]byte, error) {
+// brokenErr explains why a pending call's channel was closed.
+func (c *Client) brokenErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.connErr != nil {
+		return c.connErr
+	}
+	return ErrClosed
+}
+
+// Call sends a request and waits for its response payload. The context
+// bounds the whole exchange: on expiry or cancellation the call
+// returns ctx.Err() immediately (closing the connection only if the
+// request frame was still in flight).
+func (c *Client) Call(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: payload %d bytes exceeds %d", ErrFrameTooLarge, len(payload), MaxPayload)
+	}
+	conn, gen, err := c.ensureConn(ctx)
+	if err != nil {
+		return nil, err
+	}
 	id := c.nextID.Add(1)
-	ch := make(chan response, 1)
+	pc := &pendingCall{ch: make(chan response, 1), gen: gen}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
-	c.pending[id] = ch
-	c.mu.Unlock()
-
-	c.wmu.Lock()
-	err := writeFrame(c.conn, id, frameRequest, op, payload)
-	c.wmu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return nil, err
-	}
-	resp, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.readErr
+	if c.conn != conn || c.gen != gen {
+		// The session died between ensureConn and registration; its
+		// drain already ran, so registering now would hang forever.
+		err := c.connErr
 		c.mu.Unlock()
 		if err == nil {
 			err = ErrClosed
 		}
 		return nil, err
 	}
-	if resp.typ == frameError {
-		return nil, &RemoteError{Op: resp.op, Msg: string(resp.payload)}
+	c.pending[id] = pc
+	c.mu.Unlock()
+
+	unregister := func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
 	}
-	return resp.payload, nil
+
+	if ctx.Done() == nil {
+		// Fast path: nothing to race the write against.
+		c.wmu.Lock()
+		err = writeFrame(conn, id, frameRequest, op, payload)
+		c.wmu.Unlock()
+		if err != nil {
+			c.dropConn(conn, err) // a partial frame desynchronizes the stream
+			unregister()
+			return nil, err
+		}
+	} else {
+		written := make(chan error, 1)
+		go func() {
+			c.wmu.Lock()
+			werr := writeFrame(conn, id, frameRequest, op, payload)
+			c.wmu.Unlock()
+			written <- werr
+		}()
+		select {
+		case err = <-written:
+			if err != nil {
+				c.dropConn(conn, err)
+				unregister()
+				return nil, err
+			}
+		case <-ctx.Done():
+			// Abandon mid-write: the frame may be half on the wire, so
+			// the session cannot be reused.
+			c.dropConn(conn, ctx.Err())
+			unregister()
+			return nil, ctx.Err()
+		}
+	}
+
+	select {
+	case resp, ok := <-pc.ch:
+		if !ok {
+			return nil, c.brokenErr()
+		}
+		if resp.typ == frameError {
+			return nil, &RemoteError{Op: resp.op, Msg: string(resp.payload)}
+		}
+		return resp.payload, nil
+	case <-ctx.Done():
+		unregister()
+		return nil, ctx.Err()
+	}
 }
 
 // Notify sends a fire-and-forget request (no response, errors on the
-// server are dropped) — used for deferred mirror pushes.
+// server are dropped) — used for deferred mirror pushes. It shares the
+// session with Call and re-dials a broken one.
 func (c *Client) Notify(op uint8, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("%w: payload %d bytes exceeds %d", ErrFrameTooLarge, len(payload), MaxPayload)
+	}
+	conn, _, err := c.ensureConn(context.Background())
+	if err != nil {
+		return err
+	}
 	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	return writeFrame(c.conn, 0, frameRequest, op, payload)
+	err = writeFrame(conn, 0, frameRequest, op, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.dropConn(conn, err)
+	}
+	return err
 }
 
-// Close tears down the connection; outstanding calls fail.
+// dropConn retires a session whose stream can no longer be trusted (a
+// failed or abandoned write), so the next call re-dials instead of
+// racing the read loop's discovery of the dead socket.
+func (c *Client) dropConn(conn net.Conn, cause error) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+		if c.connErr == nil {
+			c.connErr = cause
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Close tears down the connection. Outstanding calls fail with
+// ErrClosed immediately rather than waiting for the read loop to trip
+// over the dead socket.
 func (c *Client) Close() error {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
 	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	for id, p := range c.pending {
+		delete(c.pending, id)
+		close(p.ch)
+	}
 	c.mu.Unlock()
-	return c.conn.Close()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
 }

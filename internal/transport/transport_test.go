@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,7 +10,10 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 )
+
+var bg = context.Background()
 
 func echoServer(t *testing.T) (*Server, *Client) {
 	t.Helper()
@@ -44,7 +48,7 @@ func echoServer(t *testing.T) (*Server, *Client) {
 
 func TestCallRoundTrip(t *testing.T) {
 	_, c := echoServer(t)
-	resp, err := c.Call(1, []byte("hello"))
+	resp, err := c.Call(bg, 1, []byte("hello"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +59,7 @@ func TestCallRoundTrip(t *testing.T) {
 
 func TestCallEmptyPayload(t *testing.T) {
 	_, c := echoServer(t)
-	resp, err := c.Call(1, nil)
+	resp, err := c.Call(bg, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +70,7 @@ func TestCallEmptyPayload(t *testing.T) {
 
 func TestRemoteError(t *testing.T) {
 	_, c := echoServer(t)
-	_, err := c.Call(2, nil)
+	_, err := c.Call(bg, 2, nil)
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("got %v, want RemoteError", err)
@@ -78,7 +82,7 @@ func TestRemoteError(t *testing.T) {
 
 func TestUnknownOp(t *testing.T) {
 	_, c := echoServer(t)
-	if _, err := c.Call(99, nil); err == nil {
+	if _, err := c.Call(bg, 99, nil); err == nil {
 		t.Fatal("unknown op succeeded")
 	}
 }
@@ -92,7 +96,7 @@ func TestConcurrentCallsMultiplex(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			msg := bytes.Repeat([]byte{byte(i)}, 100+i)
-			resp, err := c.Call(1, msg)
+			resp, err := c.Call(bg, 1, msg)
 			if err != nil {
 				errs[i] = err
 				return
@@ -116,7 +120,7 @@ func TestLargePayload(t *testing.T) {
 	for i := range big {
 		big[i] = byte(i * 7)
 	}
-	resp, err := c.Call(3, big)
+	resp, err := c.Call(bg, 3, big)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +156,7 @@ func TestNotifyIsProcessedInOrder(t *testing.T) {
 		}
 	}
 	// A Call on the same connection flushes behind the notifications.
-	if _, err := c.Call(20, nil); err != nil {
+	if _, err := c.Call(bg, 20, nil); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()
@@ -166,7 +170,7 @@ func TestNotifyIsProcessedInOrder(t *testing.T) {
 func TestCallAfterClose(t *testing.T) {
 	_, c := echoServer(t)
 	c.Close()
-	if _, err := c.Call(1, nil); err == nil {
+	if _, err := c.Call(bg, 1, nil); err == nil {
 		t.Fatal("call on closed client succeeded")
 	}
 }
@@ -175,7 +179,7 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 	s, c := echoServer(t)
 	s.Close()
 	// Either the write or the read fails, but the call must return.
-	if _, err := c.Call(1, []byte("x")); err == nil {
+	if _, err := c.Call(bg, 1, []byte("x")); err == nil {
 		t.Fatal("call against closed server succeeded")
 	}
 }
@@ -187,7 +191,7 @@ func TestMultipleClients(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp, err := c.Call(1, []byte{byte(i)})
+		resp, err := c.Call(bg, 1, []byte{byte(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -214,7 +218,7 @@ func TestServerSurvivesMalformedFrames(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The good client still works.
-	resp, err := good.Call(1, []byte("still alive"))
+	resp, err := good.Call(bg, 1, []byte("still alive"))
 	if err != nil || string(resp) != "still alive" {
 		t.Fatalf("good client broken: %q %v", resp, err)
 	}
@@ -230,7 +234,7 @@ func TestServerSurvivesMalformedFrames(t *testing.T) {
 	if _, err := raw2.Write(hdr[:]); err != nil {
 		t.Fatal(err)
 	}
-	resp, err = good.Call(1, []byte("again"))
+	resp, err = good.Call(bg, 1, []byte("again"))
 	if err != nil || string(resp) != "again" {
 		t.Fatalf("good client broken after oversize frame: %q %v", resp, err)
 	}
@@ -261,7 +265,222 @@ func TestClientRejectsOversizedResponse(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Call(1, []byte("x")); err == nil {
+	if _, err := c.Call(bg, 1, []byte("x")); err == nil {
 		t.Fatal("oversized response accepted")
+	}
+}
+
+// TestOversizedPayloadRejectedAtSend: a payload exceeding MaxPayload
+// must be refused locally instead of being emitted and killing the
+// connection with an opaque peer-side "bad frame length" error.
+func TestOversizedPayloadRejectedAtSend(t *testing.T) {
+	_, c := echoServer(t)
+	big := make([]byte, MaxPayload+1)
+	if _, err := c.Call(bg, 1, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("Call: got %v, want ErrFrameTooLarge", err)
+	}
+	if err := c.Notify(1, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("Notify: got %v, want ErrFrameTooLarge", err)
+	}
+	// The connection must still be usable.
+	resp, err := c.Call(bg, 1, []byte("ok"))
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("connection broken after rejected send: %q %v", resp, err)
+	}
+}
+
+// TestOversizedHandlerResultBecomesError: a handler result that cannot
+// fit in a frame travels back as a response-error, not a dead socket.
+func TestOversizedHandlerResultBecomesError(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+		return make([]byte, MaxPayload+1), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Call(bg, 1, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v, want RemoteError", err)
+	}
+	// And the connection survived.
+	if _, err := c.Call(bg, 1, nil); !errors.As(err, &re) {
+		t.Fatalf("second call: got %v, want RemoteError", err)
+	}
+}
+
+// TestCloseFailsOutstandingCalls: Close must fail in-flight calls with
+// ErrClosed immediately, not leave them waiting on the read loop.
+func TestCloseFailsOutstandingCalls(t *testing.T) {
+	stall := make(chan struct{})
+	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+		<-stall // never answer until the test ends
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(stall); s.Close() }()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Call(bg, 1, nil)
+		errc <- err
+	}()
+	// Wait until the call is registered, then close under it.
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("got %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("outstanding call not failed by Close")
+	}
+}
+
+// TestCallDeadlineAgainstHungServer: a server that accepts but never
+// responds must not hang a call with a deadline.
+func TestCallDeadlineAgainstHungServer(t *testing.T) {
+	stall := make(chan struct{})
+	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+		<-stall
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(stall); s.Close() }()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(bg, 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Call(ctx, 1, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("deadline took %v to fire", took)
+	}
+}
+
+// TestCallCancellation: cancelling the context abandons the call.
+func TestCallCancellation(t *testing.T) {
+	stall := make(chan struct{})
+	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+		<-stall
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(stall); s.Close() }()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(bg)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Call(ctx, 1, nil)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not abandon the call")
+	}
+}
+
+// TestReconnectAfterServerRestart: a client whose server died and came
+// back on the same address must reach it again without re-dialing by
+// hand.
+func TestReconnectAfterServerRestart(t *testing.T) {
+	handler := func(op uint8, payload []byte) ([]byte, error) { return payload, nil }
+	s, err := Serve("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(bg, 1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// While the server is down every call fails, but nothing hangs.
+	if _, err := c.Call(bg, 1, []byte("down")); err == nil {
+		t.Fatal("call against dead server succeeded")
+	}
+
+	s2, err := Serve(addr, handler)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer s2.Close()
+
+	var resp []byte
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = c.Call(bg, 1, []byte("two"))
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil || string(resp) != "two" {
+		t.Fatalf("call after restart: %q %v", resp, err)
+	}
+}
+
+// TestNoReconnect: with reconnection disabled, a broken connection
+// stays broken.
+func TestNoReconnect(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) { return payload, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	c, err := DialWith(bg, addr, DialOptions{NoReconnect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s.Close()
+	if _, err := c.Call(bg, 1, nil); err == nil {
+		t.Fatal("call against dead server succeeded")
+	}
+	s2, err := Serve(addr, func(op uint8, payload []byte) ([]byte, error) { return payload, nil })
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer s2.Close()
+	time.Sleep(20 * time.Millisecond)
+	if _, err := c.Call(bg, 1, nil); err == nil {
+		t.Fatal("NoReconnect client reconnected")
 	}
 }

@@ -37,12 +37,14 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/faultnet"
 	"repro/internal/fsim"
 	"repro/internal/layout"
 	"repro/internal/nfssim"
 	"repro/internal/raid"
 	"repro/internal/reliab"
 	"repro/internal/store"
+	"repro/internal/transport"
 	"repro/internal/vclock"
 	"repro/internal/workload"
 )
@@ -152,8 +154,35 @@ func ListenAndServe(addr string, disks []*Disk) (*Node, error) {
 	return cdd.ListenAndServe(addr, disks)
 }
 
-// Connect dials a CDD node.
+// Connect dials a CDD node with default retry/deadline policy.
 func Connect(addr string) (*NodeClient, error) { return cdd.Connect(addr) }
+
+// Fault tolerance: retry policy, custom dialers, fault injection.
+type (
+	// RetryPolicy tunes per-call deadlines, the retry budget, backoff,
+	// and the suspect-node heartbeat interval.
+	RetryPolicy = cdd.RetryPolicy
+	// ConnectOptions configure a CDD client connection.
+	ConnectOptions = cdd.Options
+	// DialFunc lets callers interpose on connection establishment
+	// (e.g. a FaultNetwork dialer).
+	DialFunc = transport.DialFunc
+	// FaultNetwork injects latency, errors, stalls, and partitions
+	// into client connections for fault-tolerance testing.
+	FaultNetwork = faultnet.Network
+)
+
+// ConnectWith dials a CDD node with explicit options; ctx bounds the
+// dial and the initial handshake.
+func ConnectWith(ctx context.Context, addr string, opts ConnectOptions) (*NodeClient, error) {
+	return cdd.ConnectWith(ctx, addr, opts)
+}
+
+// DefaultRetryPolicy returns the production retry/deadline defaults.
+func DefaultRetryPolicy() RetryPolicy { return cdd.DefaultRetryPolicy() }
+
+// NewFaultNetwork creates a reproducible network fault injector.
+func NewFaultNetwork(seed int64) *FaultNetwork { return faultnet.New(seed) }
 
 // NewLockTable creates an empty lock-group table.
 func NewLockTable() *LockTable { return cdd.NewTable() }

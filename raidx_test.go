@@ -5,6 +5,7 @@ import (
 	"context"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 // TestPublicAPILifecycle exercises the façade end to end: build, write,
@@ -134,5 +135,55 @@ func TestPublicAPIOSMLayout(t *testing.T) {
 		if lay.NodeOfDisk(lay.DataLoc(b).Disk) == lay.NodeOfDisk(lay.MirrorLoc(b).Disk) {
 			t.Fatalf("block %d not orthogonal", b)
 		}
+	}
+}
+
+// TestPublicAPIFaultTolerance exercises the exported retry/fault
+// surface: ConnectWith through a FaultNetwork dialer, call deadlines,
+// and recovery after healing.
+func TestPublicAPIFaultTolerance(t *testing.T) {
+	disks := []*Disk{NewMemDisk("d0", 512, 64)}
+	node, err := ListenAndServe("127.0.0.1:0", disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	fnet := NewFaultNetwork(1)
+	pol := DefaultRetryPolicy()
+	pol.CallTimeout = 100 * time.Millisecond
+	pol.BaseBackoff = time.Millisecond
+	c, err := ConnectWith(context.Background(), node.Addr(), ConnectOptions{
+		Retry:  pol,
+		Dialer: fnet.Dialer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dev := c.Dev(0)
+	ctx := context.Background()
+	data := bytes.Repeat([]byte{0x7a}, 512)
+	if err := dev.WriteBlocks(ctx, 5, data); err != nil {
+		t.Fatal(err)
+	}
+	fnet.Stall(node.Addr())
+	short, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if err := dev.ReadBlocks(short, 5, make([]byte, 512)); err == nil {
+		t.Fatal("read through a stalled network succeeded")
+	}
+	fnet.HealAll()
+	deadline := time.Now().Add(5 * time.Second)
+	got := make([]byte, 512)
+	for {
+		if err := dev.ReadBlocks(ctx, 5, got); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("read never recovered after heal: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("post-heal read mismatch")
 	}
 }
