@@ -276,6 +276,10 @@ func BenchmarkAblationBalancedReads(b *testing.B) {
 				}
 			}
 			b.ReportMetric(r.ReadMBps, "MB/s-readers")
+			// The engine's own registry reports how the balanced reads
+			// split between the image and data copies.
+			b.ReportMetric(float64(r.MirrorReads), "mirror-reads")
+			b.ReportMetric(float64(r.DataReads), "data-reads")
 		})
 	}
 }

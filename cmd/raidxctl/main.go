@@ -3,6 +3,9 @@
 //	raidxctl layout -nodes 4 -disks 1 -rows 3    print the OSM block map
 //	                                             (paper Figures 1a / 3)
 //	raidxctl status -addrs host:port,...         show remote node disks
+//	raidxctl stats -addrs host:port,...          per-node op counters,
+//	                                             per-disk tables, latency
+//	                                             percentiles, event log
 //	raidxctl fail -addrs ... -node 2 -disk 0     inject a disk failure
 //	raidxctl replace -addrs ... -node 2 -disk 0  install a blank disk
 //	raidxctl rebuild -addrs ... -node 2 -disk 0  rebuild it from redundancy
@@ -36,6 +39,8 @@ func main() {
 		err = runLayout(os.Args[2:])
 	case "status":
 		err = withCluster(os.Args[2:], runStatus)
+	case "stats":
+		err = withCluster(os.Args[2:], runStats)
 	case "fail":
 		err = withCluster(os.Args[2:], runFail)
 	case "replace":
@@ -58,7 +63,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: raidxctl <layout|status|fail|replace|rebuild|verify> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: raidxctl <layout|status|stats|fail|replace|rebuild|verify> [flags]")
 }
 
 func runLayout(args []string) error {
@@ -122,6 +127,7 @@ func withCluster(args []string, fn func(fs *flag.FlagSet, r *rig) error) error {
 	// through fs.Lookup in target().
 	fs.Int("node", 0, "target node index")
 	fs.Int("disk", 0, "target local disk index")
+	fs.Int("events", 8, "health events to show per node (stats)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

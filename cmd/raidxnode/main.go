@@ -7,6 +7,13 @@
 //
 //	raidxnode -addr :7000 -disks 1 -blocks 4096 -bs 32768
 //
+// With -http the node additionally serves its observability registry —
+// per-disk op counts, queue backlogs, sequential-hit counts, and served
+// operation counters — as JSON at /stats:
+//
+//	raidxnode -addr :7000 -http :7080
+//	curl http://localhost:7080/stats
+//
 // Disks are in-memory by default (this reproduction's substitute for
 // the Trojans cluster's SCSI drives); with -dir they become persistent
 // file-backed images that survive restarts.
@@ -16,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -33,6 +41,7 @@ func main() {
 	bs := flag.Int("bs", 32<<10, "block size (bytes)")
 	name := flag.String("name", "node", "node name (disk id prefix)")
 	dir := flag.String("dir", "", "directory for persistent disk images (empty: in-memory)")
+	httpAddr := flag.String("http", "", "HTTP listen address for the JSON /stats endpoint (empty: disabled)")
 	flag.Parse()
 
 	disks := make([]*disk.Disk, *nDisks)
@@ -59,6 +68,22 @@ func main() {
 	}
 	log.Printf("raidxnode %s: exporting %d disk(s) x %d blocks x %d B on %s",
 		*name, *nDisks, *blocks, *bs, node.Addr())
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := node.Manager.Obs().WriteJSON(w); err != nil {
+				log.Printf("raidxnode: /stats: %v", err)
+			}
+		})
+		go func() {
+			log.Printf("raidxnode %s: serving stats on http://%s/stats", *name, *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				log.Printf("raidxnode: http: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -7,15 +7,22 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/raid"
 	"repro/internal/vclock"
 )
 
-// MixedResult reports the reader-side bandwidth of a mixed workload.
+// MixedResult reports the reader-side bandwidth of a mixed workload,
+// plus the engine's own accounting of how balanced reads split between
+// the two copies (read from the shared observability registry).
 type MixedResult struct {
 	ReadMBps      float64
 	ReadMakespan  time.Duration
 	WriteMakespan time.Duration
+	// MirrorReads and DataReads count the balanced single-block reads
+	// sent to the image copy vs the data copy.
+	MirrorReads int64
+	DataReads   int64
 }
 
 // MixedReadWrite runs readers hammering one shared *hot* region (a
@@ -24,6 +31,11 @@ type MixedResult struct {
 // load balancing) pays off: hot blocks are served from both the data
 // copy and the orthogonal image, splitting the hot disks' load.
 func MixedReadWrite(p cluster.Params, opt core.Options, readers, writers int, cfg Config) (MixedResult, error) {
+	if opt.Obs == nil {
+		// All client arrays share one registry, so the result totals the
+		// whole experiment's copy-choice counters.
+		opt.Obs = obs.NewRegistry()
+	}
 	total := readers + writers
 	rig, err := NewRig(p, RAIDx, total, opt)
 	if err != nil {
@@ -80,5 +92,7 @@ func MixedReadWrite(p cluster.Params, opt core.Options, readers, writers int, cf
 		ReadMBps:      float64(bytesRead) / 1e6 / readEnd.Seconds(),
 		ReadMakespan:  readEnd,
 		WriteMakespan: writeEnd,
+		MirrorReads:   opt.Obs.Counter("raidx.balanced_read_mirror").Value(),
+		DataReads:     opt.Obs.Counter("raidx.balanced_read_data").Value(),
 	}, nil
 }

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/faultnet"
+	"repro/internal/obs"
 	"repro/internal/raid"
 	"repro/internal/store"
 )
@@ -45,9 +47,10 @@ func budget(pol cdd.RetryPolicy) time.Duration {
 // the given fault injector (nil for a clean network), and returns the
 // global dev list in SIOS order plus the node handles for mid-test
 // server kills.
-func faultCluster(t *testing.T, n, k int, blocks int64, fnet *faultnet.Network) ([]raid.Dev, []*cdd.NodeClient, []*cdd.Node) {
+func faultCluster(t *testing.T, n, k int, blocks int64, fnet *faultnet.Network) ([]raid.Dev, []*cdd.NodeClient, []*cdd.Node, *obs.Registry) {
 	t.Helper()
-	opts := cdd.Options{Retry: fastPolicy(), DialTimeout: time.Second}
+	reg := obs.NewRegistry()
+	opts := cdd.Options{Retry: fastPolicy(), DialTimeout: time.Second, Obs: reg}
 	if fnet != nil {
 		opts.Dialer = fnet.Dialer()
 	}
@@ -77,7 +80,19 @@ func faultCluster(t *testing.T, n, k int, blocks int64, fnet *faultnet.Network) 
 			devs[node+local*n] = clients[node].Dev(local)
 		}
 	}
-	return devs, clients, nodes
+	return devs, clients, nodes, reg
+}
+
+// countEvents tallies event-log entries of one kind whose subject
+// starts with prefix ("" matches all).
+func countEvents(reg *obs.Registry, kind obs.EventKind, prefix string) int {
+	n := 0
+	for _, e := range reg.Events().Events() {
+		if e.Kind == kind && strings.HasPrefix(e.Subject, prefix) {
+			n++
+		}
+	}
+	return n
 }
 
 // waitAllHealthy polls until every device reports healthy (faults
@@ -110,8 +125,8 @@ func waitAllHealthy(t *testing.T, devs []raid.Dev, within time.Duration) {
 // on the orthogonal stripe group, within the deadline+retry budget —
 // the real-socket counterpart of bench/degraded.go.
 func TestDegradedReadOverTCPNodeKill(t *testing.T) {
-	devs, _, nodes := faultCluster(t, 4, 1, 64, nil)
-	a, err := core.New(devs, 4, 1, core.Options{})
+	devs, clients, nodes, reg := faultCluster(t, 4, 1, 64, nil)
+	a, err := core.New(devs, 4, 1, core.Options{Obs: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,6 +155,19 @@ func TestDegradedReadOverTCPNodeKill(t *testing.T) {
 	}
 	if max := budget(fastPolicy()) + 2*time.Second; took > max {
 		t.Fatalf("failover read took %v, budget %v", took, max)
+	}
+
+	// The injected fault must be visible in the observability layer: the
+	// dead node's device was marked suspect, and the engine logged the
+	// read failover.
+	if got := countEvents(reg, obs.EventSuspect, clients[2].Addr()); got == 0 {
+		t.Error("no suspect event for the killed node in the event log")
+	}
+	if got := reg.Counter("raidx.failover_reads").Value(); got == 0 {
+		t.Error("failover read not counted")
+	}
+	if got := countEvents(reg, obs.EventFailover, ""); got == 0 {
+		t.Error("no failover event in the event log")
 	}
 
 	// The failed reads marked the node suspect, so a second read goes
@@ -176,8 +204,8 @@ func TestDegradedReadOverTCPNodeKill(t *testing.T) {
 // partition and asserts the heartbeat re-admits the node.
 func TestPartitionFailoverAndReadmission(t *testing.T) {
 	fnet := faultnet.New(3)
-	devs, clients, _ := faultCluster(t, 4, 1, 64, fnet)
-	a, err := core.New(devs, 4, 1, core.Options{})
+	devs, clients, _, reg := faultCluster(t, 4, 1, 64, fnet)
+	a, err := core.New(devs, 4, 1, core.Options{Obs: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,6 +249,18 @@ func TestPartitionFailoverAndReadmission(t *testing.T) {
 	if !bytes.Equal(got, data) {
 		t.Fatal("post-heal read returned wrong data")
 	}
+
+	// The fault cycle must be mirrored in the event log: the partitioned
+	// node went suspect, and the heartbeat re-admitted it.
+	if got := countEvents(reg, obs.EventSuspect, victim); got == 0 {
+		t.Error("no suspect event for the partitioned node")
+	}
+	if got := countEvents(reg, obs.EventReadmit, victim); got == 0 {
+		t.Error("no re-admission event for the healed node")
+	}
+	if reg.Counter("cdd.suspects").Value() == 0 || reg.Counter("cdd.readmits").Value() == 0 {
+		t.Error("suspect/readmit counters not updated")
+	}
 }
 
 // TestChaosMixedWorkload runs a mixed read/write workload over a TCP
@@ -237,8 +277,8 @@ func TestPartitionFailoverAndReadmission(t *testing.T) {
 // final audit.
 func TestChaosMixedWorkload(t *testing.T) {
 	fnet := faultnet.New(42)
-	devs, clients, _ := faultCluster(t, 4, 1, 256, fnet)
-	a, err := core.New(devs, 4, 1, core.Options{})
+	devs, clients, _, reg := faultCluster(t, 4, 1, 256, fnet)
+	a, err := core.New(devs, 4, 1, core.Options{Obs: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,5 +430,16 @@ func TestChaosMixedWorkload(t *testing.T) {
 	}
 	if err := a.Verify(ctx); err != nil {
 		t.Fatalf("mirror verify after chaos: %v", err)
+	}
+
+	// Observability audit: every suspicion the health tracker counted
+	// must have a matching event, and any node that went suspect must
+	// have been re-admitted (all faults were healed above).
+	suspects := reg.Counter("cdd.suspects").Value()
+	if got := int64(countEvents(reg, obs.EventSuspect, "")); got != suspects {
+		t.Errorf("suspect events (%d) do not match suspect counter (%d)", got, suspects)
+	}
+	if suspects > 0 && countEvents(reg, obs.EventReadmit, "") == 0 {
+		t.Error("nodes went suspect but no re-admission event was logged")
 	}
 }

@@ -5,11 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/raid"
 	"repro/internal/transport"
 )
@@ -87,7 +87,7 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 func retryableOp(op uint8) bool {
 	switch op {
 	case OpInfo, OpRead, OpWrite, OpFlush, OpHealth, OpStats,
-		OpLockSnapshot, OpUnlock, OpUnlockAll, OpFail, OpReplace:
+		OpLockSnapshot, OpUnlock, OpUnlockAll, OpFail, OpReplace, OpObsSnapshot:
 		return true
 	}
 	return false
@@ -115,6 +115,44 @@ type Options struct {
 	Dialer transport.DialFunc
 	// DialTimeout bounds each (re)connection attempt.
 	DialTimeout time.Duration
+	// Obs, when non-nil, receives the connection's metrics: retry and
+	// backoff counters, probe outcomes, per-op latency histograms,
+	// suspect/re-admission events, and the transport-level counters.
+	Obs *obs.Registry
+}
+
+// clientMetrics are a node connection's instruments, resolved once at
+// Connect; without a registry every field is nil and every update a
+// no-op.
+type clientMetrics struct {
+	retries   *obs.Counter
+	backoffNS *obs.Counter
+	probeOK   *obs.Counter
+	probeFail *obs.Counter
+	suspects  *obs.Counter
+	readmits  *obs.Counter
+	readLat   *obs.Histogram
+	writeLat  *obs.Histogram
+	flushLat  *obs.Histogram
+	events    *obs.EventLog
+}
+
+func newClientMetrics(r *obs.Registry) clientMetrics {
+	if r == nil {
+		return clientMetrics{}
+	}
+	return clientMetrics{
+		retries:   r.Counter("cdd.retries"),
+		backoffNS: r.Counter("cdd.backoff_ns"),
+		probeOK:   r.Counter("cdd.probe_ok"),
+		probeFail: r.Counter("cdd.probe_fail"),
+		suspects:  r.Counter("cdd.suspects"),
+		readmits:  r.Counter("cdd.readmits"),
+		readLat:   r.Histogram("cdd.read_latency"),
+		writeLat:  r.Histogram("cdd.write_latency"),
+		flushLat:  r.Histogram("cdd.flush_latency"),
+		events:    r.Events(),
+	}
 }
 
 // NodeClient is the client module of a CDD: it connects to a remote
@@ -124,6 +162,7 @@ type NodeClient struct {
 	addr   string
 	info   infoResp
 	policy RetryPolicy
+	met    clientMetrics
 	closed atomic.Bool
 }
 
@@ -139,11 +178,12 @@ func ConnectWith(ctx context.Context, addr string, opts Options) (*NodeClient, e
 	c, err := transport.DialWith(ctx, addr, transport.DialOptions{
 		DialTimeout: opts.DialTimeout,
 		Dialer:      opts.Dialer,
+		Obs:         opts.Obs,
 	})
 	if err != nil {
 		return nil, err
 	}
-	n := &NodeClient{c: c, addr: addr, policy: opts.Retry.withDefaults()}
+	n := &NodeClient{c: c, addr: addr, policy: opts.Retry.withDefaults(), met: newClientMetrics(opts.Obs)}
 	raw, err := n.call(ctx, OpInfo, nil)
 	if err != nil {
 		c.Close()
@@ -181,7 +221,11 @@ func (n *NodeClient) callBulk(ctx context.Context, op uint8, payload []byte, res
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			if err := sleepCtx(ctx, backoffDelay(pol, a)); err != nil {
+			n.met.retries.Inc()
+			n.met.events.Append(obs.EventRetry, n.addr, fmt.Sprintf("op %d attempt %d: %v", op, a+1, lastErr))
+			delay := backoffDelay(pol, a)
+			n.met.backoffNS.Add(int64(delay))
+			if err := sleepCtx(ctx, delay); err != nil {
 				return nil, err
 			}
 		}
@@ -254,14 +298,19 @@ func (n *NodeClient) Close() error {
 	return n.c.Close()
 }
 
-// Dev returns the i-th remote disk as a raid.Dev.
+// Dev returns the i-th remote disk as a raid.Dev. The device starts
+// optimistically healthy (the node just answered OpInfo), so the first
+// health sweep of an engine's planning loop never blocks on a probe.
 func (n *NodeClient) Dev(i int) *RemoteDev {
 	return &RemoteDev{
 		n:         n,
 		disk:      uint32(i),
 		bs:        int(n.info.BlockSize),
 		blocks:    n.info.Blocks,
+		subject:   fmt.Sprintf("%s/d%d", n.addr, i),
 		healthTTL: 100 * time.Millisecond,
+		healthy:   true,
+		checked:   time.Now(),
 	}
 }
 
@@ -350,6 +399,16 @@ func (n *NodeClient) UnlockAll(owner string) error {
 	return err
 }
 
+// ObsSnapshot fetches the remote node's observability registry:
+// per-disk gauges, served-op counters, and the node's event log.
+func (n *NodeClient) ObsSnapshot(ctx context.Context) (obs.Snapshot, error) {
+	raw, err := n.call(ctx, OpObsSnapshot, nil)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	return obs.DecodeSnapshot(raw)
+}
+
 // LockSnapshot fetches the node's replica of the lock-group table.
 func (n *NodeClient) LockSnapshot() (uint64, []Record, error) {
 	raw, err := n.call(context.Background(), OpLockSnapshot, nil)
@@ -369,16 +428,21 @@ func (n *NodeClient) LockSnapshot() (uint64, []Record, error) {
 // reports false without further network traffic while a background
 // heartbeat re-probes the node, re-admitting it once it answers again.
 type RemoteDev struct {
-	n      *NodeClient
-	disk   uint32
-	bs     int
-	blocks int64
+	n       *NodeClient
+	disk    uint32
+	bs      int
+	blocks  int64
+	subject string // event-log identity: "addr/dN"
 
 	healthTTL time.Duration
 	hmu       sync.Mutex
 	healthy   bool
 	checked   time.Time
 	probing   bool // heartbeat goroutine active (device is suspect)
+	// refresh is non-nil while a single-flight health probe is in
+	// flight; it closes when the probe lands. Concurrent callers at TTL
+	// expiry share the one probe instead of racing to issue duplicates.
+	refresh chan struct{}
 }
 
 var _ raid.Dev = (*RemoteDev)(nil)
@@ -394,15 +458,22 @@ func (d *RemoteDev) ReadBlocks(ctx context.Context, b int64, buf []byte) error {
 	if len(buf)%d.bs != 0 {
 		return fmt.Errorf("cdd: buffer length %d not a multiple of %d", len(buf), d.bs)
 	}
+	start := time.Now()
 	resp, err := d.n.callBulk(ctx, OpRead, encodeIOHeader(ioHeader{
 		Disk: d.disk, Block: b, Count: uint32(len(buf) / d.bs),
 	}, nil), len(buf))
+	d.n.met.readLat.Observe(time.Since(start))
 	if err != nil {
 		d.noteOutcome(err)
 		return err
 	}
 	if len(resp) != len(buf) {
-		return fmt.Errorf("cdd: short read: %d of %d bytes", len(resp), len(buf))
+		// A short read is a protocol-level fault from this peer: it must
+		// feed health tracking like any other failure, or a node that
+		// truncates responses keeps being treated as a good copy.
+		err := fmt.Errorf("cdd: short read: %d of %d bytes", len(resp), len(buf))
+		d.noteOutcome(err)
+		return err
 	}
 	copy(buf, resp)
 	return nil
@@ -410,7 +481,9 @@ func (d *RemoteDev) ReadBlocks(ctx context.Context, b int64, buf []byte) error {
 
 // WriteBlocks implements raid.Dev.
 func (d *RemoteDev) WriteBlocks(ctx context.Context, b int64, data []byte) error {
+	start := time.Now()
 	_, err := d.n.call(ctx, OpWrite, encodeIOHeader(ioHeader{Disk: d.disk, Block: b}, data))
+	d.n.met.writeLat.Observe(time.Since(start))
 	d.noteOutcome(err)
 	return err
 }
@@ -426,7 +499,9 @@ func (d *RemoteDev) WriteBlocksBackground(_ context.Context, b int64, data []byt
 
 // Flush implements raid.Dev.
 func (d *RemoteDev) Flush(ctx context.Context) error {
+	start := time.Now()
 	_, err := d.n.call(ctx, OpFlush, encodeIOHeader(ioHeader{Disk: d.disk}, nil))
+	d.n.met.flushLat.Observe(time.Since(start))
 	d.noteOutcome(err)
 	return err
 }
@@ -435,7 +510,15 @@ func (d *RemoteDev) Flush(ctx context.Context) error {
 // to keep engine health sweeps from flooding the network; while the
 // device is suspect the cached answer (false) is served without any
 // network traffic and the heartbeat probe is the only thing touching
-// the peer. InvalidateHealth forces the next call to re-check.
+// the peer.
+//
+// When the cache has merely expired, Healthy serves the stale answer
+// immediately and refreshes it with ONE background probe shared by all
+// concurrent callers — the engine's serial planning loops never stall
+// on a network round trip, and TTL expiry cannot fan out duplicate
+// probes. Only after an explicit InvalidateHealth (an administrative
+// demand for a fresh answer) does Healthy block, and even then
+// concurrent callers share a single probe.
 func (d *RemoteDev) Healthy() bool {
 	d.hmu.Lock()
 	if d.probing || (!d.checked.IsZero() && time.Since(d.checked) < d.healthTTL) {
@@ -443,17 +526,52 @@ func (d *RemoteDev) Healthy() bool {
 		d.hmu.Unlock()
 		return h
 	}
-	d.hmu.Unlock()
-	h, err := d.probe(context.Background())
-	if err != nil {
-		d.markSuspect()
-		return false
+	if d.checked.IsZero() {
+		// Invalidated: block for a fresh answer, single-flight.
+		ch := d.refresh
+		if ch == nil {
+			ch = make(chan struct{})
+			d.refresh = ch
+			d.hmu.Unlock()
+			d.runRefresh(ch)
+		} else {
+			d.hmu.Unlock()
+			<-ch
+		}
+		d.hmu.Lock()
+		h := d.healthy
+		d.hmu.Unlock()
+		return h
 	}
-	d.hmu.Lock()
-	d.healthy = h
-	d.checked = time.Now()
+	// Stale: serve the cached answer, refresh in the background.
+	h := d.healthy
+	if d.refresh == nil {
+		ch := make(chan struct{})
+		d.refresh = ch
+		go d.runRefresh(ch)
+	}
 	d.hmu.Unlock()
 	return h
+}
+
+// runRefresh performs the single-flight health probe and publishes the
+// result; ch closes when the cache is updated.
+func (d *RemoteDev) runRefresh(ch chan struct{}) {
+	h, err := d.probe(context.Background())
+	d.hmu.Lock()
+	d.refresh = nil
+	if err == nil {
+		d.n.met.probeOK.Inc()
+		d.healthy = h
+		d.checked = time.Now()
+		d.hmu.Unlock()
+		close(ch)
+		return
+	}
+	d.hmu.Unlock()
+	d.n.met.probeFail.Inc()
+	d.markSuspect(err)
+	close(ch)
 }
 
 // probe asks the remote manager whether the disk serves requests (one
@@ -479,7 +597,8 @@ func (d *RemoteDev) InvalidateHealth() {
 }
 
 // noteOutcome updates the cached health from an operation result. A
-// remote disk-failed error marks the device unhealthy immediately (the
+// remote disk-failed error — identified by its wire error code, not by
+// matching message text — marks the device unhealthy immediately (the
 // node answered; its disk is gone). A transport-level failure — broken
 // connection, timeout, injected fault — marks the device suspect and
 // starts the heartbeat that re-admits the node when it recovers.
@@ -489,29 +608,42 @@ func (d *RemoteDev) noteOutcome(err error) {
 	}
 	var re *transport.RemoteError
 	if errors.As(err, &re) {
-		// Disk failures render as "disk <id>: failed" (disk.FailedError).
-		if strings.Contains(re.Msg, "failed") {
+		if re.Code == transport.CodeDiskFailed {
 			d.hmu.Lock()
 			d.healthy = false
 			d.checked = time.Now()
 			d.hmu.Unlock()
+			d.n.met.events.Append(obs.EventDiskFailed, d.subject, re.Msg)
 		}
 		return
 	}
-	d.markSuspect()
+	d.markSuspect(err)
 }
 
 // markSuspect records the device as unhealthy and ensures a heartbeat
-// probe is running to re-admit it.
-func (d *RemoteDev) markSuspect() {
+// probe is running to re-admit it. cause, when non-nil, is recorded in
+// the event log.
+func (d *RemoteDev) markSuspect(cause error) {
 	d.hmu.Lock()
+	wasHealthy := d.healthy
 	d.healthy = false
 	d.checked = time.Now()
-	if !d.probing && !d.n.closed.Load() {
+	start := !d.probing && !d.n.closed.Load()
+	if start {
 		d.probing = true
-		go d.probeLoop()
 	}
 	d.hmu.Unlock()
+	if wasHealthy || start {
+		d.n.met.suspects.Inc()
+		detail := ""
+		if cause != nil {
+			detail = cause.Error()
+		}
+		d.n.met.events.Append(obs.EventSuspect, d.subject, detail)
+	}
+	if start {
+		go d.probeLoop()
+	}
 }
 
 // probeLoop is the heartbeat of a suspect device: every ProbeInterval
@@ -529,13 +661,17 @@ func (d *RemoteDev) probeLoop() {
 		}
 		h, err := d.probe(context.Background())
 		if err != nil {
+			d.n.met.probeFail.Inc()
 			continue // still unreachable; stay suspect
 		}
+		d.n.met.probeOK.Inc()
 		d.hmu.Lock()
 		d.healthy = h
 		d.checked = time.Now()
 		d.probing = false
 		d.hmu.Unlock()
+		d.n.met.readmits.Inc()
+		d.n.met.events.Append(obs.EventReadmit, d.subject, fmt.Sprintf("healthy=%v", h))
 		return
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"sync"
 
 	"repro/internal/disk"
+	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/transport"
 )
 
@@ -17,15 +19,59 @@ import (
 type Manager struct {
 	disks []*disk.Disk
 	locks *Table
+	reg   *obs.Registry
+	met   managerMetrics
 
 	mu    sync.Mutex
 	peers []*transport.Client // for lock-table replication
 }
 
-// NewManager creates a manager exporting the given local disks.
-func NewManager(disks []*disk.Disk) *Manager {
-	return &Manager{disks: disks, locks: NewTable()}
+// managerMetrics count the node's served operations.
+type managerMetrics struct {
+	reads, writes, bgWrites, flushes, probes, failed *obs.Counter
 }
+
+// NewManager creates a manager exporting the given local disks. Every
+// manager owns an observability registry: per-disk gauges (op counts,
+// bytes, sequential hits, queue backlogs) read the disks' own counters,
+// so serving a snapshot costs nothing on the I/O path.
+func NewManager(disks []*disk.Disk) *Manager {
+	reg := obs.NewRegistry()
+	m := &Manager{
+		disks: disks,
+		locks: NewTable(),
+		reg:   reg,
+		met: managerMetrics{
+			reads:    reg.Counter("mgr.read_ops"),
+			writes:   reg.Counter("mgr.write_ops"),
+			bgWrites: reg.Counter("mgr.bg_write_ops"),
+			flushes:  reg.Counter("mgr.flush_ops"),
+			probes:   reg.Counter("mgr.health_ops"),
+			failed:   reg.Counter("mgr.op_errors"),
+		},
+	}
+	for _, d := range disks {
+		d := d
+		name := "disk." + d.ID()
+		reg.RegisterGauge(name+".reads", func() int64 { r, _, _, _ := d.Stats(); return r })
+		reg.RegisterGauge(name+".writes", func() int64 { _, w, _, _ := d.Stats(); return w })
+		reg.RegisterGauge(name+".bytes_read", func() int64 { _, _, br, _ := d.Stats(); return br })
+		reg.RegisterGauge(name+".bytes_written", func() int64 { _, _, _, bw := d.Stats(); return bw })
+		reg.RegisterGauge(name+".seq_hits", func() int64 { return d.SeqHits() })
+		reg.RegisterGauge(name+".backlog_us", func() int64 { return int64(d.QueueBacklog().Microseconds()) })
+		reg.RegisterGauge(name+".bg_backlog_us", func() int64 { return int64(d.BgQueueBacklog().Microseconds()) })
+		reg.RegisterGauge(name+".healthy", func() int64 {
+			if d.Healthy() {
+				return 1
+			}
+			return 0
+		})
+	}
+	return m
+}
+
+// Obs exposes the manager's observability registry (the /stats source).
+func (m *Manager) Obs() *obs.Registry { return m.reg }
 
 // Locks exposes the node's lock-group table replica.
 func (m *Manager) Locks() *Table { return m.locks }
@@ -51,13 +97,45 @@ func (m *Manager) replicate() {
 
 func (m *Manager) disk(i uint32) (*disk.Disk, error) {
 	if int(i) >= len(m.disks) {
-		return nil, fmt.Errorf("cdd: disk %d out of range [0,%d)", i, len(m.disks))
+		return nil, fmt.Errorf("cdd: disk %d out of range [0,%d): %w", i, len(m.disks), errBadRequest)
 	}
 	return m.disks[i], nil
 }
 
-// Handle implements transport.Handler.
+// errUnknownOp marks requests for opcodes this node does not implement.
+var errUnknownOp = errors.New("unknown op")
+
+// errCode classifies a handler error into a wire error code, so clients
+// act on the code instead of matching message text.
+func errCode(err error) uint8 {
+	switch {
+	case errors.Is(err, disk.ErrFailed):
+		return transport.CodeDiskFailed
+	case errors.Is(err, errBadRequest):
+		return transport.CodeBadRequest
+	case errors.Is(err, errUnknownOp):
+		return transport.CodeUnknownOp
+	}
+	var se *store.SizeError
+	var re *store.RangeError
+	if errors.As(err, &se) || errors.As(err, &re) {
+		return transport.CodeBadRequest
+	}
+	return transport.CodeGeneric
+}
+
+// Handle implements transport.Handler: it dispatches the request and
+// stamps any error with its wire code.
 func (m *Manager) Handle(op uint8, payload []byte) ([]byte, error) {
+	resp, err := m.handle(op, payload)
+	if err != nil {
+		m.met.failed.Inc()
+		return nil, transport.WithCode(errCode(err), err)
+	}
+	return resp, nil
+}
+
+func (m *Manager) handle(op uint8, payload []byte) ([]byte, error) {
 	ctx := context.Background()
 	switch op {
 	case OpInfo:
@@ -71,6 +149,7 @@ func (m *Manager) Handle(op uint8, payload []byte) ([]byte, error) {
 		}), nil
 
 	case OpRead:
+		m.met.reads.Inc()
 		h, _, err := decodeIOHeader(payload)
 		if err != nil {
 			return nil, err
@@ -95,11 +174,14 @@ func (m *Manager) Handle(op uint8, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		if op == OpWriteBG {
+			m.met.bgWrites.Inc()
 			return nil, d.WriteBlocksBackground(ctx, h.Block, data)
 		}
+		m.met.writes.Inc()
 		return nil, d.WriteBlocks(ctx, h.Block, data)
 
 	case OpFlush:
+		m.met.flushes.Inc()
 		h, _, err := decodeIOHeader(payload)
 		if err != nil {
 			return nil, err
@@ -111,6 +193,7 @@ func (m *Manager) Handle(op uint8, payload []byte) ([]byte, error) {
 		return nil, d.Flush(ctx)
 
 	case OpHealth:
+		m.met.probes.Inc()
 		h, _, err := decodeIOHeader(payload)
 		if err != nil {
 			return nil, err
@@ -202,8 +285,11 @@ func (m *Manager) Handle(op uint8, payload []byte) ([]byte, error) {
 		}
 		m.locks.Install(version, recs)
 		return nil, nil
+
+	case OpObsSnapshot:
+		return m.reg.MarshalJSON()
 	}
-	return nil, fmt.Errorf("cdd: unknown op %d", op)
+	return nil, fmt.Errorf("cdd: op %d: %w", op, errUnknownOp)
 }
 
 // Node couples a manager with its transport server.

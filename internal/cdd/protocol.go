@@ -2,6 +2,7 @@ package cdd
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
@@ -36,7 +37,14 @@ const (
 	OpLockReplica
 	// OpStats returns one disk's cumulative operation counters.
 	OpStats
+	// OpObsSnapshot returns the node's observability registry as JSON:
+	// counters, gauges, latency histograms, and the degraded-event log.
+	OpObsSnapshot
 )
+
+// errBadRequest marks protocol decode failures so the server can answer
+// with transport.CodeBadRequest instead of a generic error.
+var errBadRequest = errors.New("bad request")
 
 // statsResp is the OpStats response.
 type statsResp struct {
@@ -115,7 +123,7 @@ func encodeIOHeader(h ioHeader, payload []byte) []byte {
 
 func decodeIOHeader(b []byte) (ioHeader, []byte, error) {
 	if len(b) < ioHeaderLen {
-		return ioHeader{}, nil, fmt.Errorf("cdd: short I/O header (%d bytes)", len(b))
+		return ioHeader{}, nil, fmt.Errorf("cdd: short I/O header (%d bytes): %w", len(b), errBadRequest)
 	}
 	return ioHeader{
 		Disk:  binary.BigEndian.Uint32(b[0:4]),
@@ -145,19 +153,19 @@ func encodeLockMsg(m lockMsg) []byte {
 func decodeLockMsg(b []byte) (lockMsg, error) {
 	var m lockMsg
 	if len(b) < 4 {
-		return m, fmt.Errorf("cdd: short lock message")
+		return m, fmt.Errorf("cdd: short lock message: %w", errBadRequest)
 	}
 	olen := binary.BigEndian.Uint32(b[0:4])
 	b = b[4:]
 	if uint32(len(b)) < olen+4 {
-		return m, fmt.Errorf("cdd: truncated lock owner")
+		return m, fmt.Errorf("cdd: truncated lock owner: %w", errBadRequest)
 	}
 	m.Owner = string(b[:olen])
 	b = b[olen:]
 	n := binary.BigEndian.Uint32(b[0:4])
 	b = b[4:]
 	if uint32(len(b)) != 16*n {
-		return m, fmt.Errorf("cdd: truncated lock ranges")
+		return m, fmt.Errorf("cdd: truncated lock ranges: %w", errBadRequest)
 	}
 	m.Ranges = make([]Range, n)
 	for i := range m.Ranges {
@@ -182,19 +190,19 @@ func encodeSnapshot(version uint64, recs []Record) []byte {
 
 func decodeSnapshot(b []byte) (version uint64, recs []Record, err error) {
 	if len(b) < 12 {
-		return 0, nil, fmt.Errorf("cdd: short snapshot")
+		return 0, nil, fmt.Errorf("cdd: short snapshot: %w", errBadRequest)
 	}
 	version = binary.BigEndian.Uint64(b[0:8])
 	n := binary.BigEndian.Uint32(b[8:12])
 	b = b[12:]
 	for i := uint32(0); i < n; i++ {
 		if len(b) < 4 {
-			return 0, nil, fmt.Errorf("cdd: truncated snapshot")
+			return 0, nil, fmt.Errorf("cdd: truncated snapshot: %w", errBadRequest)
 		}
 		sz := binary.BigEndian.Uint32(b[0:4])
 		b = b[4:]
 		if uint32(len(b)) < sz {
-			return 0, nil, fmt.Errorf("cdd: truncated snapshot record")
+			return 0, nil, fmt.Errorf("cdd: truncated snapshot record: %w", errBadRequest)
 		}
 		m, err := decodeLockMsg(b[:sz])
 		if err != nil {

@@ -150,6 +150,10 @@ func (v *simDev) Disk() *disk.Disk { return v.d }
 // disk's pending foreground work.
 func (v *simDev) QueueBacklog() time.Duration { return v.d.QueueBacklog() }
 
+// BgQueueBacklog implements raid.BgQueueReporter by forwarding the
+// physical disk's deferred-write lane backlog.
+func (v *simDev) BgQueueBacklog() time.Duration { return v.d.BgQueueBacklog() }
+
 func (v *simDev) cpu(ctx context.Context, node int) {
 	if p, ok := vclock.From(ctx); ok {
 		v.c.Nodes[node].CPU.Use(p, v.c.Params.CPUPerRequest)

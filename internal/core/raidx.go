@@ -29,9 +29,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/raid"
 )
@@ -50,15 +53,54 @@ type Options struct {
 	// the data disk's queue is longer — the I/O load balancing the
 	// paper's Section 7 lists as the Trojans project's next step.
 	BalanceReads bool
+	// Obs, when non-nil, receives the engine's metrics: failover and
+	// balanced-read counters, per-op latency histograms, queue-depth
+	// gauges, and swap/rebuild/degraded-mount events.
+	Obs *obs.Registry
+}
+
+// coreMetrics are the engine's instruments, resolved once at New;
+// without a registry every field is nil and every update a no-op.
+type coreMetrics struct {
+	failoverReads  *obs.Counter
+	balancedMirror *obs.Counter
+	balancedData   *obs.Counter
+	degradedReads  *obs.Counter
+	readLat        *obs.Histogram
+	writeLat       *obs.Histogram
+	events         *obs.EventLog
+}
+
+func newCoreMetrics(r *obs.Registry) coreMetrics {
+	if r == nil {
+		return coreMetrics{}
+	}
+	return coreMetrics{
+		failoverReads:  r.Counter("raidx.failover_reads"),
+		balancedMirror: r.Counter("raidx.balanced_read_mirror"),
+		balancedData:   r.Counter("raidx.balanced_read_data"),
+		degradedReads:  r.Counter("raidx.degraded_reads"),
+		readLat:        r.Histogram("raidx.read_latency"),
+		writeLat:       r.Histogram("raidx.write_latency"),
+		events:         r.Events(),
+	}
 }
 
 // RAIDx is the OSM array engine. It satisfies raid.Array,
 // raid.Rebuilder, and raid.Verifier.
 type RAIDx struct {
-	devs []raid.Dev
-	lay  layout.OSM
-	bs   int
-	opt  Options
+	// table is the copy-on-write device table: readers load the current
+	// slice once per operation and work on that immutable snapshot,
+	// while SwapDev installs a fresh copy under swapMu. A hot-swap
+	// during a read storm is therefore race-free — in-flight operations
+	// finish against the table they started with, and the next
+	// operation sees the spare.
+	table  atomic.Pointer[[]raid.Dev]
+	swapMu sync.Mutex
+	lay    layout.OSM
+	bs     int
+	opt    Options
+	met    coreMetrics
 	// flip alternates the preferred copy for balanced reads so that
 	// simultaneous readers split between data and image instead of
 	// herding onto whichever side momentarily reports less backlog.
@@ -82,12 +124,43 @@ func New(devs []raid.Dev, nodes, disksPerNode int, opt Options) (*RAIDx, error) 
 	if per/2 < int64(nodes-1) {
 		return nil, fmt.Errorf("core: disks too small (%d blocks) for mirror groups of %d", per, nodes-1)
 	}
-	return &RAIDx{
-		devs: devs,
-		lay:  layout.NewOSM(nodes, disksPerNode, per),
-		bs:   bs,
-		opt:  opt,
-	}, nil
+	a := &RAIDx{
+		lay: layout.NewOSM(nodes, disksPerNode, per),
+		bs:  bs,
+		opt: opt,
+		met: newCoreMetrics(opt.Obs),
+	}
+	owned := append([]raid.Dev(nil), devs...)
+	a.table.Store(&owned)
+	if opt.Obs != nil {
+		opt.Obs.RegisterGauge("raidx.backlog_us", func() int64 {
+			var sum time.Duration
+			for _, d := range a.devices() {
+				sum += raid.BacklogOf(d)
+			}
+			return int64(sum / time.Microsecond)
+		})
+		opt.Obs.RegisterGauge("raidx.bg_backlog_us", func() int64 {
+			var sum time.Duration
+			for _, d := range a.devices() {
+				sum += raid.BgBacklogOf(d)
+			}
+			return int64(sum / time.Microsecond)
+		})
+	}
+	// A degraded mount — building the array over members that are
+	// already unhealthy — is a state worth flagging on the event log.
+	down := 0
+	for _, d := range devs {
+		if !d.Healthy() {
+			down++
+		}
+	}
+	if down > 0 {
+		a.met.events.Append(obs.EventDegradedMount, "raidx",
+			fmt.Sprintf("%d of %d devices unhealthy at mount", down, len(devs)))
+	}
+	return a, nil
 }
 
 func checkDevs(devs []raid.Dev) (int, int64, error) {
@@ -104,6 +177,11 @@ func checkDevs(devs []raid.Dev) (int, int64, error) {
 	return bs, per, nil
 }
 
+// devices returns the current device table snapshot. Operations load it
+// once at entry and pass it down, so a concurrent SwapDev cannot change
+// the set of devices an operation addresses mid-flight.
+func (a *RAIDx) devices() []raid.Dev { return *a.table.Load() }
+
 // Layout exposes the OSM address arithmetic (used by the checkpointing
 // module and the layout-printing tool).
 func (a *RAIDx) Layout() layout.OSM { return a.lay }
@@ -111,16 +189,26 @@ func (a *RAIDx) Layout() layout.OSM { return a.lay }
 // SwapDev implements raid.DevSwapper: it replaces member idx (typically
 // a failed disk) with a hot spare of identical geometry and returns the
 // previous device. The new device is blank until Rebuild runs.
+//
+// The swap installs a fresh copy of the device table, so operations
+// already in flight finish against the old table while everything
+// started afterwards sees the spare; concurrent swaps serialize.
 func (a *RAIDx) SwapDev(idx int, dev raid.Dev) (raid.Dev, error) {
-	if idx < 0 || idx >= len(a.devs) {
+	a.swapMu.Lock()
+	defer a.swapMu.Unlock()
+	cur := a.devices()
+	if idx < 0 || idx >= len(cur) {
 		return nil, fmt.Errorf("core: swap of device %d out of range", idx)
 	}
 	if dev.BlockSize() != a.bs || dev.NumBlocks() < a.lay.DiskBlocks {
 		return nil, fmt.Errorf("core: spare geometry %dx%d does not match %dx%d",
 			dev.BlockSize(), dev.NumBlocks(), a.bs, a.lay.DiskBlocks)
 	}
-	old := a.devs[idx]
-	a.devs[idx] = dev
+	next := append([]raid.Dev(nil), cur...)
+	old := next[idx]
+	next[idx] = dev
+	a.table.Store(&next)
+	a.met.events.Append(obs.EventSwap, fmt.Sprintf("raidx/d%d", idx), "hot spare installed")
 	return old, nil
 }
 
@@ -141,6 +229,9 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
+	defer func() { a.met.readLat.Observe(time.Since(start)) }()
+	devs := a.devices()
 	width := a.lay.TotalDisks()
 	var fns []func(context.Context) error
 	for col := 0; col < width; col++ {
@@ -149,17 +240,18 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 			continue
 		}
 		count := int((b+int64(n)-1-first)/int64(width)) + 1
-		dev := a.devs[col]
+		dev := devs[col]
 		if dev.Healthy() {
 			// Load-balanced single-block read: alternate the preferred
 			// copy, then defer to whichever disk has less queued work.
 			if a.opt.BalanceReads && count == 1 {
 				m := a.lay.MirrorLoc(first)
-				mdev := a.devs[m.Disk]
+				mdev := devs[m.Disk]
 				if mdev.Healthy() {
 					db, mb := raid.BacklogOf(dev), raid.BacklogOf(mdev)
 					useMirror := mb < db || (mb == db && a.flip.Add(1)%2 == 0)
 					if useMirror {
+						a.met.balancedMirror.Inc()
 						fns = append(fns, func(ctx context.Context) error {
 							dst := p[(first-b)*int64(a.bs) : (first-b+1)*int64(a.bs)]
 							err := mdev.ReadBlocks(ctx, m.Block, dst)
@@ -167,6 +259,7 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 								return err
 							}
 							// Failover to the data copy.
+							a.noteFailover(fmt.Sprintf("raidx/d%d", m.Disk), err)
 							if derr := dev.ReadBlocks(ctx, first/int64(width), dst); derr == nil {
 								return nil
 							}
@@ -174,8 +267,10 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 						})
 						continue
 					}
+					a.met.balancedData.Inc()
 				}
 			}
+			col := col
 			fns = append(fns, func(ctx context.Context) error {
 				buf := make([]byte, count*a.bs)
 				if err := dev.ReadBlocks(ctx, first/int64(width), buf); err != nil {
@@ -187,7 +282,8 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 					// disk). Redirect every block of the run to its mirror
 					// image on the orthogonal stripe group; the failed
 					// operation has already marked the node suspect.
-					return a.readRunViaMirrors(ctx, first, count, b, p, err)
+					a.noteFailover(fmt.Sprintf("raidx/d%d", col), err)
+					return a.readRunViaMirrors(ctx, devs, first, count, b, p, err)
 				}
 				for t := 0; t < count; t++ {
 					lb := first + int64(t)*int64(width)
@@ -202,8 +298,9 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 		for t := 0; t < count; t++ {
 			lb := first + int64(t)*int64(width)
 			fns = append(fns, func(ctx context.Context) error {
+				a.met.degradedReads.Inc()
 				m := a.lay.MirrorLoc(lb)
-				mdev := a.devs[m.Disk]
+				mdev := devs[m.Disk]
 				if !mdev.Healthy() {
 					return fmt.Errorf("core: block %d and its image both unavailable: %w", lb, raid.ErrDataLoss)
 				}
@@ -214,16 +311,22 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 	return par.Do(ctx, fns...)
 }
 
+// noteFailover records a read redirected from a failing primary copy.
+func (a *RAIDx) noteFailover(subject string, cause error) {
+	a.met.failoverReads.Inc()
+	a.met.events.Append(obs.EventFailover, subject, cause.Error())
+}
+
 // readRunViaMirrors serves one column run from mirror images after the
 // primary read failed with cause. Images of one column scatter over
 // many mirror groups, so each block is fetched individually. A block
 // whose image is also unavailable fails the whole run with both errors.
-func (a *RAIDx) readRunViaMirrors(ctx context.Context, first int64, count int, b int64, p []byte, cause error) error {
+func (a *RAIDx) readRunViaMirrors(ctx context.Context, devs []raid.Dev, first int64, count int, b int64, p []byte, cause error) error {
 	width := int64(a.lay.TotalDisks())
 	for t := 0; t < count; t++ {
 		lb := first + int64(t)*width
 		m := a.lay.MirrorLoc(lb)
-		mdev := a.devs[m.Disk]
+		mdev := devs[m.Disk]
 		if !mdev.Healthy() {
 			return fmt.Errorf("core: block %d primary failed (%v) and image unavailable: %w", lb, cause, raid.ErrDataLoss)
 		}
@@ -243,17 +346,20 @@ func (a *RAIDx) WriteBlocks(ctx context.Context, b int64, p []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := a.checkWritable(b, n); err != nil {
+	start := time.Now()
+	defer func() { a.met.writeLat.Observe(time.Since(start)) }()
+	devs := a.devices()
+	if err := a.checkWritable(devs, b, n); err != nil {
 		return err
 	}
-	fns := a.dataWriteFns(b, n, p)
-	fns = append(fns, a.mirrorWriteFns(b, n, p)...)
+	fns := a.dataWriteFns(devs, b, n, p)
+	fns = append(fns, a.mirrorWriteFns(devs, b, n, p)...)
 	return par.Do(ctx, fns...)
 }
 
 // dataWriteFns builds the foreground striped data writes (one
 // contiguous transfer per disk), skipping failed disks.
-func (a *RAIDx) dataWriteFns(b int64, n int, p []byte) []func(context.Context) error {
+func (a *RAIDx) dataWriteFns(devs []raid.Dev, b int64, n int, p []byte) []func(context.Context) error {
 	width := a.lay.TotalDisks()
 	var fns []func(context.Context) error
 	for col := 0; col < width; col++ {
@@ -262,7 +368,7 @@ func (a *RAIDx) dataWriteFns(b int64, n int, p []byte) []func(context.Context) e
 			continue
 		}
 		count := int((b+int64(n)-1-first)/int64(width)) + 1
-		dev := a.devs[col]
+		dev := devs[col]
 		if !dev.Healthy() {
 			continue // image carries the data
 		}
@@ -282,7 +388,7 @@ func (a *RAIDx) dataWriteFns(b int64, n int, p []byte) []func(context.Context) e
 // covered blocks are logically consecutive, hence physically contiguous
 // in the group's slot: one gathered write per group (or per block under
 // the ScatterMirror ablation), deferred unless ForegroundMirror is set.
-func (a *RAIDx) mirrorWriteFns(b int64, n int, p []byte) []func(context.Context) error {
+func (a *RAIDx) mirrorWriteFns(devs []raid.Dev, b int64, n int, p []byte) []func(context.Context) error {
 	gs := int64(a.lay.GroupSize())
 	var fns []func(context.Context) error
 	for g := b / gs; g*gs < b+int64(n); g++ {
@@ -294,7 +400,7 @@ func (a *RAIDx) mirrorWriteFns(b int64, n int, p []byte) []func(context.Context)
 			hi = b + int64(n)
 		}
 		mdisk := a.lay.MirrorDisk(g)
-		dev := a.devs[mdisk]
+		dev := devs[mdisk]
 		if !dev.Healthy() {
 			continue // data copy carries the blocks
 		}
@@ -327,10 +433,10 @@ func (a *RAIDx) mirrorWriteFns(b int64, n int, p []byte) []func(context.Context)
 
 // checkWritable verifies that every touched block retains at least one
 // healthy copy location.
-func (a *RAIDx) checkWritable(b int64, n int) error {
+func (a *RAIDx) checkWritable(devs []raid.Dev, b int64, n int) error {
 	for lb := b; lb < b+int64(n); lb++ {
-		dOK := a.devs[a.lay.DataLoc(lb).Disk].Healthy()
-		mOK := a.devs[a.lay.MirrorLoc(lb).Disk].Healthy()
+		dOK := devs[a.lay.DataLoc(lb).Disk].Healthy()
+		mOK := devs[a.lay.MirrorLoc(lb).Disk].Healthy()
 		if !dOK && !mOK {
 			return fmt.Errorf("core: block %d has no healthy copy location: %w", lb, raid.ErrDataLoss)
 		}
@@ -352,43 +458,70 @@ func (a *RAIDx) checkRange(b int64, p []byte) (int, error) {
 // Flush implements raid.Array: waits for all deferred image writes, so
 // the array is fully redundant on return.
 func (a *RAIDx) Flush(ctx context.Context) error {
-	return par.ForEach(ctx, len(a.devs), func(ctx context.Context, i int) error {
-		if !a.devs[i].Healthy() {
+	devs := a.devices()
+	return par.ForEach(ctx, len(devs), func(ctx context.Context, i int) error {
+		if !devs[i].Healthy() {
 			return nil
 		}
-		return a.devs[i].Flush(ctx)
+		return devs[i].Flush(ctx)
 	})
 }
 
 // Rebuild implements raid.Rebuilder: the replaced disk's data half is
 // recovered from images on other nodes; its mirror half is regenerated
 // from the corresponding data blocks.
-func (a *RAIDx) Rebuild(ctx context.Context, idx int) error {
-	if idx < 0 || idx >= len(a.devs) {
+func (a *RAIDx) Rebuild(ctx context.Context, idx int) (err error) {
+	devs := a.devices()
+	if idx < 0 || idx >= len(devs) {
 		return fmt.Errorf("core: rebuild of device %d out of range", idx)
 	}
-	if !a.devs[idx].Healthy() {
+	if !devs[idx].Healthy() {
 		return fmt.Errorf("core: rebuild target %d is not healthy (replace it first)", idx)
 	}
+	subject := fmt.Sprintf("raidx/d%d", idx)
+	a.met.events.Append(obs.EventRebuildStart, subject, "")
+	defer func() {
+		detail := "ok"
+		if err != nil {
+			detail = err.Error()
+		}
+		a.met.events.Append(obs.EventRebuildEnd, subject, detail)
+	}()
 	width := int64(a.lay.TotalDisks())
-	// Recover the data half: blocks lb ≡ idx (mod width).
+	// Recover the data half: blocks lb ≡ idx (mod width). Work in
+	// bounded chunks — a whole column written in one call is tens of
+	// megabytes at realistic disk sizes, which overflows the transport
+	// frame limit when the target is a remote device (and holds the
+	// entire column in memory).
+	const rebuildChunk = 128 // blocks per recovered write
 	colBlocks := (a.Blocks() - int64(idx) + width - 1) / width
 	if colBlocks > 0 {
-		buf := make([]byte, colBlocks*int64(a.bs))
-		err := par.ForEach(ctx, int(colBlocks), func(ctx context.Context, t int) error {
-			lb := int64(idx) + int64(t)*width
-			m := a.lay.MirrorLoc(lb)
-			src := a.devs[m.Disk]
-			if !src.Healthy() {
-				return fmt.Errorf("core: image of block %d unavailable during rebuild: %w", lb, raid.ErrDataLoss)
-			}
-			return src.ReadBlocks(ctx, m.Block, buf[t*a.bs:(t+1)*a.bs])
-		})
-		if err != nil {
-			return err
+		n := colBlocks
+		if n > rebuildChunk {
+			n = rebuildChunk
 		}
-		if err := a.devs[idx].WriteBlocks(ctx, 0, buf); err != nil {
-			return err
+		buf := make([]byte, n*int64(a.bs))
+		for c := int64(0); c < colBlocks; c += rebuildChunk {
+			n := colBlocks - c
+			if n > rebuildChunk {
+				n = rebuildChunk
+			}
+			part := buf[:n*int64(a.bs)]
+			err := par.ForEach(ctx, int(n), func(ctx context.Context, t int) error {
+				lb := int64(idx) + (c+int64(t))*width
+				m := a.lay.MirrorLoc(lb)
+				src := devs[m.Disk]
+				if !src.Healthy() {
+					return fmt.Errorf("core: image of block %d unavailable during rebuild: %w", lb, raid.ErrDataLoss)
+				}
+				return src.ReadBlocks(ctx, m.Block, part[t*a.bs:(t+1)*a.bs])
+			})
+			if err != nil {
+				return err
+			}
+			if err := devs[idx].WriteBlocks(ctx, c, part); err != nil {
+				return err
+			}
 		}
 	}
 	// Recover the mirror half: every group whose slot lives on idx.
@@ -403,7 +536,7 @@ func (a *RAIDx) Rebuild(ctx context.Context, idx int) error {
 		err := par.ForEach(ctx, int(gs), func(ctx context.Context, j int) error {
 			lb := g*gs + int64(j)
 			d := a.lay.DataLoc(lb)
-			src := a.devs[d.Disk]
+			src := devs[d.Disk]
 			if !src.Healthy() {
 				return fmt.Errorf("core: data copy of block %d unavailable during rebuild: %w", lb, raid.ErrDataLoss)
 			}
@@ -412,7 +545,7 @@ func (a *RAIDx) Rebuild(ctx context.Context, idx int) error {
 		if err != nil {
 			return err
 		}
-		if err := a.devs[idx].WriteBlocks(ctx, start.Block, chunk); err != nil {
+		if err := devs[idx].WriteBlocks(ctx, start.Block, chunk); err != nil {
 			return err
 		}
 	}
@@ -422,14 +555,15 @@ func (a *RAIDx) Rebuild(ctx context.Context, idx int) error {
 // Verify implements raid.Verifier: every data block must equal its
 // image. Call Flush first if background writes may be pending.
 func (a *RAIDx) Verify(ctx context.Context) error {
+	devs := a.devices()
 	data := make([]byte, a.bs)
 	image := make([]byte, a.bs)
 	for lb := int64(0); lb < a.Blocks(); lb++ {
 		d, m := a.lay.DataLoc(lb), a.lay.MirrorLoc(lb)
-		if err := a.devs[d.Disk].ReadBlocks(ctx, d.Block, data); err != nil {
+		if err := devs[d.Disk].ReadBlocks(ctx, d.Block, data); err != nil {
 			return err
 		}
-		if err := a.devs[m.Disk].ReadBlocks(ctx, m.Block, image); err != nil {
+		if err := devs[m.Disk].ReadBlocks(ctx, m.Block, image); err != nil {
 			return err
 		}
 		for i := range data {

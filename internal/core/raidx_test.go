@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -180,7 +181,7 @@ func TestPartialGroupMirrorWrites(t *testing.T) {
 			lb := int64(2 + i)
 			m := a.Layout().MirrorLoc(lb)
 			got := make([]byte, bs)
-			if err := a.devs[m.Disk].ReadBlocks(ctx, m.Block, got); err != nil {
+			if err := a.devices()[m.Disk].ReadBlocks(ctx, m.Block, got); err != nil {
 				t.Error(err)
 			}
 			if !bytes.Equal(got, data[i*bs:(i+1)*bs]) {
@@ -403,4 +404,63 @@ func TestRandomGeometriesWithFailures(t *testing.T) {
 			t.Fatalf("trial %d (%dx%d): verify after rebuild: %v", trial, n, k, err)
 		}
 	}
+}
+
+// TestSwapDevDuringReadStorm: hot-swapping members while parallel reads
+// and writes are in flight must be race-free (the device table is
+// copy-on-write; run under -race) and must never fail an operation —
+// in-flight requests finish against the table they started with.
+func TestSwapDevDuringReadStorm(t *testing.T) {
+	const nodes, blocks = 4, 64
+	devs := make([]raid.Dev, nodes)
+	for i := range devs {
+		devs[i] = disk.New(nil, fmt.Sprintf("d%d", i), store.NewMem(bs, blocks), disk.Model{})
+	}
+	a, err := New(devs, nodes, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := a.WriteBlocks(ctx, 0, bytes.Repeat([]byte{7}, 8*bs)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 8*bs)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := a.ReadBlocks(ctx, 0, buf); err != nil {
+					t.Errorf("reader %d: %v", g, err)
+					return
+				}
+				if err := a.WriteBlocks(ctx, int64(8+g), bytes.Repeat([]byte{byte(g)}, bs)); err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+			}
+		}()
+	}
+	for swap := 0; swap < 40; swap++ {
+		idx := swap % nodes
+		spare := disk.New(nil, fmt.Sprintf("spare%d", swap), store.NewMem(bs, blocks), disk.Model{})
+		if _, err := a.SwapDev(idx, spare); err != nil {
+			t.Fatal(err)
+		}
+		// The spare is blank; regenerate it from the orthogonal copies
+		// while the storm continues.
+		if err := a.Rebuild(ctx, idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
 }

@@ -99,6 +99,7 @@ type Disk struct {
 	writes        int64
 	bytesRead     int64
 	bytesWritten  int64
+	seqHits       int64 // foreground accesses that continued the previous one
 }
 
 // New creates a disk over st. If sim is non-nil, a single-server arm
@@ -165,6 +166,15 @@ func (d *Disk) Stats() (reads, writes, bytesRead, bytesWritten int64) {
 	return d.reads, d.writes, d.bytesRead, d.bytesWritten
 }
 
+// SeqHits reports how many foreground accesses continued the previous
+// transfer (the sequential-hit rate is SeqHits over reads+writes).
+// Tracked in both timed (vclock) and pure data mode.
+func (d *Disk) SeqHits() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seqHits
+}
+
 // Arm exposes the disk's foreground timing resource (nil in pure data
 // mode); the benchmark harness uses it for utilization reports.
 func (d *Disk) Arm() *vclock.Resource { return d.arm }
@@ -180,6 +190,17 @@ func (d *Disk) QueueBacklog() time.Duration {
 		return 0
 	}
 	return d.arm.Backlog()
+}
+
+// BgQueueBacklog reports how much deferred-write (background mirror)
+// work is queued on the disk's background lane (zero in pure data
+// mode). Observability gauges use it to show how far redundancy
+// convergence lags behind foreground traffic.
+func (d *Disk) BgQueueBacklog() time.Duration {
+	if d.bg == nil {
+		return 0
+	}
+	return d.bg.Backlog()
 }
 
 func (d *Disk) checkUp() error {
@@ -211,12 +232,34 @@ func (d *Disk) blockCount(b int64, buf []byte) (int64, error) {
 	return n, nil
 }
 
+// noteAccess updates sequential-run detection for an n-byte access at
+// block b and reports whether it continued the previous transfer.
+func (d *Disk) noteAccess(b int64, n int, background bool) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if background {
+		seq := b == d.bgNextBlock
+		d.bgNextBlock = b + int64(n/d.st.BlockSize())
+		return seq
+	}
+	seq := b == d.nextBlock
+	d.nextBlock = b + int64(n/d.st.BlockSize())
+	if seq {
+		d.seqHits++
+	}
+	return seq
+}
+
 // charge applies the timing model for an n-byte access at block b.
 // Background writes are reserved on the deferred-write lane without
 // blocking the caller. Accesses without a vclock process in ctx are
-// administrative (prefill, verification) and charge nothing.
+// administrative (prefill, verification) and charge nothing — and do
+// not perturb sequential detection. In pure data mode (no sim) there is
+// no timing, but sequential runs are still tracked so real-time
+// deployments report a sequential-hit rate.
 func (d *Disk) charge(ctx context.Context, b int64, n int, background bool) {
 	if d.arm == nil {
+		d.noteAccess(b, n, background)
 		return
 	}
 	p, hasProc := vclock.From(ctx)
@@ -224,18 +267,10 @@ func (d *Disk) charge(ctx context.Context, b int64, n int, background bool) {
 		return
 	}
 	if background {
-		d.mu.Lock()
-		seq := b == d.bgNextBlock
-		d.bgNextBlock = b + int64(n/d.st.BlockSize())
-		d.mu.Unlock()
-		d.bg.Reserve(d.model.AccessTime(n, seq))
+		d.bg.Reserve(d.model.AccessTime(n, d.noteAccess(b, n, true)))
 		return
 	}
-	d.mu.Lock()
-	seq := b == d.nextBlock
-	d.nextBlock = b + int64(n/d.st.BlockSize())
-	d.mu.Unlock()
-	d.arm.Use(p, d.model.AccessTime(n, seq))
+	d.arm.Use(p, d.model.AccessTime(n, d.noteAccess(b, n, false)))
 }
 
 // ReadBlocks reads len(buf)/BlockSize consecutive blocks starting at b.

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter reported nonzero")
+	}
+	real := &Counter{}
+	real.Inc()
+	real.Add(2)
+	if got := real.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := &Counter{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := &Histogram{}
+	// 90 fast observations, 10 slow ones: p50 must land in the fast
+	// band, p99 in the slow band.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(80 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if p50 := s.Percentile(50); p50 < 64*time.Microsecond || p50 > time.Millisecond {
+		t.Fatalf("p50 = %v, want ~128µs", p50)
+	}
+	if p99 := s.Percentile(99); p99 < 64*time.Millisecond || p99 > time.Second {
+		t.Fatalf("p99 = %v, want ~128ms", p99)
+	}
+	if max := s.Max(); max < 64*time.Millisecond {
+		t.Fatalf("max = %v", max)
+	}
+	mean := s.Mean()
+	if mean < time.Millisecond || mean > 20*time.Millisecond {
+		t.Fatalf("mean = %v, want ~8ms", mean)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)
+	h.Observe(-time.Second) // clamped to zero
+	h.Observe(365 * 24 * time.Hour)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Buckets[0] != 2 || s.Buckets[histBuckets-1] != 1 {
+		t.Fatalf("bucket spread wrong: %v / %v", s.Buckets[0], s.Buckets[histBuckets-1])
+	}
+	var nilH *Histogram
+	nilH.Observe(time.Second)
+	if nilH.Snapshot().Count != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+}
+
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Append(EventRetry, "dev", "")
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Oldest-first, contiguous tail of the sequence.
+	for i, e := range evs {
+		if e.Seq != uint64(6+i) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, 6+i)
+		}
+	}
+	if l.Total() != 10 || l.Dropped() != 6 {
+		t.Fatalf("total=%d dropped=%d", l.Total(), l.Dropped())
+	}
+	var nilL *EventLog
+	nilL.Append(EventSwap, "x", "")
+	if nilL.Events() != nil || nilL.Total() != 0 {
+		t.Fatal("nil event log misbehaved")
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("disk.d0.reads").Add(7)
+	r.Counter("disk.d0.reads").Add(3) // same instrument
+	r.Histogram("cdd.read_latency").Observe(2 * time.Millisecond)
+	r.RegisterGauge("disk.d0.backlog_us", func() int64 { return 42 })
+	r.Event(EventSuspect, "n1/d0", "connection reset")
+
+	s := r.Snapshot()
+	if s.Counters["disk.d0.reads"] != 10 {
+		t.Fatalf("counter = %d", s.Counters["disk.d0.reads"])
+	}
+	if s.Gauges["disk.d0.backlog_us"] != 42 {
+		t.Fatalf("gauge = %d", s.Gauges["disk.d0.backlog_us"])
+	}
+	if s.Histograms["cdd.read_latency"].Count != 1 {
+		t.Fatal("histogram missing")
+	}
+	if len(s.Events) != 1 || s.Events[0].Kind != EventSuspect {
+		t.Fatalf("events = %+v", s.Events)
+	}
+
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["disk.d0.reads"] != 10 || len(back.Events) != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Histogram("y").Observe(time.Second)
+	r.RegisterGauge("z", func() int64 { return 1 })
+	r.Event(EventSwap, "a", "b")
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Events) != 0 {
+		t.Fatal("nil registry produced data")
+	}
+}
+
+func TestRegistryConcurrentLookup(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("lat").Observe(time.Microsecond)
+				r.Event(EventRetry, "d", "")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+	if r.Events().Total() != 1600 {
+		t.Fatalf("events = %d", r.Events().Total())
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// HistogramStats is the monitoring summary of one histogram, with
+// durations in nanoseconds for JSON transport.
+type HistogramStats struct {
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Summary condenses a snapshot into the monitoring quantities.
+func (s HistogramSnapshot) Summary() HistogramStats {
+	return HistogramStats{
+		Count: s.Count,
+		Mean:  s.Mean(),
+		P50:   s.Percentile(50),
+		P95:   s.Percentile(95),
+		P99:   s.Percentile(99),
+		Max:   s.Max(),
+	}
+}
+
+// Snapshot is a point-in-time copy of a registry, ready for JSON.
+type Snapshot struct {
+	Time       time.Time                 `json:"time"`
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]int64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+	Events     []Event                   `json:"events,omitempty"`
+}
+
+// Snapshot captures every instrument. Gauge callbacks run outside the
+// registry lock (they may take component locks of their own).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Time: time.Now()}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	s.Counters = make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	s.Histograms = make(map[string]HistogramStats, len(r.hists))
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot().Summary()
+	}
+	gauges := make(map[string]Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	r.mu.RUnlock()
+	s.Gauges = make(map[string]int64, len(gauges))
+	for name, g := range gauges {
+		s.Gauges[name] = g()
+	}
+	s.Events = r.events.Events()
+	return s
+}
+
+// MarshalJSON is the standard encoding (expvar-style flat maps).
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// WriteJSON writes the snapshot to w (the /stats endpoint body).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// DecodeSnapshot parses a snapshot previously produced by WriteJSON or
+// MarshalJSON (raidxctl consuming a node's OpObsSnapshot response).
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: bad snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// SortedKeys returns the keys of a snapshot map in stable order, for
+// table rendering.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

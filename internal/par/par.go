@@ -11,6 +11,7 @@ package par
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -20,6 +21,15 @@ import (
 // Do runs every function, in parallel, and waits for all of them. It
 // returns the first non-nil error in argument order. A nil function is
 // skipped.
+//
+// In real time, the first failure cancels the context passed to the
+// remaining siblings, so a doomed fan-out (one column of a striped read
+// has lost both copies) fails as soon as the root cause is known
+// instead of waiting out every other column's full retry/backoff
+// budget. Siblings that fail only because of that cancellation are not
+// reported as the operation's error: the root cause wins, chosen
+// deterministically as the first non-cancellation error in argument
+// order.
 func Do(ctx context.Context, fns ...func(context.Context) error) error {
 	live := fns[:0]
 	for _, fn := range fns {
@@ -63,17 +73,39 @@ func doSim(ctx context.Context, p *vclock.Proc, fns []func(context.Context) erro
 }
 
 func doReal(ctx context.Context, fns []func(context.Context) error) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	errs := make([]error, len(fns))
 	var wg sync.WaitGroup
 	wg.Add(len(fns))
 	for i, fn := range fns {
 		go func(i int, fn func(context.Context) error) {
 			defer wg.Done()
-			errs[i] = fn(ctx)
+			if err := fn(cctx); err != nil {
+				errs[i] = err
+				cancel() // first failure aborts the siblings
+			}
 		}(i, fn)
 	}
 	wg.Wait()
-	return firstError(errs)
+	if ctx.Err() != nil {
+		// The caller's own context ended; every error is legitimate.
+		return firstError(errs)
+	}
+	// Prefer the root cause over a sibling's cancellation echo.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return first
 }
 
 func firstError(errs []error) error {

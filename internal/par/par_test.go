@@ -37,6 +37,63 @@ func TestDoRealFirstErrorInOrder(t *testing.T) {
 	}
 }
 
+// TestDoRealCancelsSiblingsOnFirstError: once one function fails, the
+// context handed to its siblings must be cancelled, so a doomed striped
+// operation does not wait out every other column's retry budget.
+func TestDoRealCancelsSiblingsOnFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	start := time.Now()
+	err := Do(context.Background(),
+		func(ctx context.Context) error {
+			// A sibling that would block for a long time unless cancelled.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(30 * time.Second):
+				return errors.New("sibling was not cancelled")
+			}
+		},
+		func(context.Context) error { return boom },
+	)
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("Do took %v; first error did not cancel siblings", took)
+	}
+	if err != boom {
+		t.Fatalf("got %v, want the root cause %v", err, boom)
+	}
+}
+
+// TestDoRealRootCauseBeatsCancellationEcho: the error reported must be
+// the failure that triggered the cancellation, not an earlier-in-order
+// sibling's ctx.Canceled echo.
+func TestDoRealRootCauseBeatsCancellationEcho(t *testing.T) {
+	boom := errors.New("boom")
+	err := Do(context.Background(),
+		func(ctx context.Context) error {
+			<-ctx.Done() // fails only because the sibling failed
+			return ctx.Err()
+		},
+		func(context.Context) error { return boom },
+	)
+	if err != boom {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+}
+
+// TestDoRealParentCancellationStillReported: when the caller's own
+// context ends, the cancellation error is the legitimate result.
+func TestDoRealParentCancellationStillReported(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Do(ctx,
+		func(ctx context.Context) error { <-ctx.Done(); return ctx.Err() },
+		func(ctx context.Context) error { <-ctx.Done(); return ctx.Err() },
+	)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
 func TestDoNilAndEmpty(t *testing.T) {
 	if err := Do(context.Background()); err != nil {
 		t.Fatal(err)

@@ -97,6 +97,23 @@ func BacklogOf(d Dev) time.Duration {
 	return 0
 }
 
+// BgQueueReporter is optionally implemented by devices that can report
+// the pending deferred-write (background mirror) backlog. Observability
+// gauges use it to expose how far redundancy convergence lags behind
+// the foreground traffic.
+type BgQueueReporter interface {
+	BgQueueBacklog() time.Duration
+}
+
+// BgBacklogOf reports a device's background-lane backlog, zero when
+// unknown.
+func BgBacklogOf(d Dev) time.Duration {
+	if q, ok := d.(BgQueueReporter); ok {
+		return q.BgQueueBacklog()
+	}
+	return 0
+}
+
 // checkDevs validates a homogeneous device set and returns the common
 // block size and per-device capacity.
 func checkDevs(devs []Dev, min int) (blockSize int, diskBlocks int64, err error) {

@@ -37,6 +37,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 const (
@@ -55,8 +57,53 @@ const (
 
 // Handler processes one request and returns the response payload.
 // Returning an error sends a response-error frame; the error text
-// travels to the caller.
+// travels to the caller, prefixed by a one-byte error code (CodeGeneric
+// unless the error carries one via WithCode).
 type Handler func(op uint8, payload []byte) ([]byte, error)
+
+// Error codes carried in the first byte of a response-error frame, so
+// clients classify remote failures structurally instead of matching
+// error-message text.
+const (
+	// CodeGeneric is any application error without a more specific code.
+	CodeGeneric uint8 = 0
+	// CodeDiskFailed: the node is reachable but the addressed disk has
+	// failed — the classification health tracking keys on.
+	CodeDiskFailed uint8 = 1
+	// CodeBadRequest: the request was malformed or out of range.
+	CodeBadRequest uint8 = 2
+	// CodeUnknownOp: the opcode is not implemented by the peer.
+	CodeUnknownOp uint8 = 3
+	// CodeOversized: the handler's response exceeded MaxPayload.
+	CodeOversized uint8 = 4
+)
+
+// codedError attaches a wire code to a handler error.
+type codedError struct {
+	code uint8
+	err  error
+}
+
+func (e *codedError) Error() string { return e.err.Error() }
+func (e *codedError) Unwrap() error { return e.err }
+
+// WithCode wraps err so that, when it crosses the wire as a
+// response-error frame, the peer's RemoteError carries the given code.
+func WithCode(code uint8, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &codedError{code: code, err: err}
+}
+
+// codeOf extracts the wire code from a handler error.
+func codeOf(err error) uint8 {
+	var ce *codedError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	return CodeGeneric
+}
 
 // ErrClosed is returned by calls on a closed client.
 var ErrClosed = errors.New("transport: connection closed")
@@ -68,14 +115,35 @@ var ErrFrameTooLarge = errors.New("transport: frame too large")
 
 // RemoteError is a server-side error delivered to the caller. Its
 // presence proves the peer received and processed the request, so it is
-// never worth retrying at the transport level.
+// never worth retrying at the transport level. Code classifies the
+// failure (CodeDiskFailed, CodeBadRequest, ...); Msg is human-readable
+// detail that callers must not dispatch on.
 type RemoteError struct {
-	Op  uint8
-	Msg string
+	Op   uint8
+	Code uint8
+	Msg  string
 }
 
 func (e *RemoteError) Error() string {
-	return fmt.Sprintf("transport: remote error (op %d): %s", e.Op, e.Msg)
+	return fmt.Sprintf("transport: remote error (op %d, code %d): %s", e.Op, e.Code, e.Msg)
+}
+
+// encodeErrorPayload renders a handler error as a response-error frame
+// payload: one code byte followed by the message text.
+func encodeErrorPayload(code uint8, msg string) []byte {
+	b := make([]byte, 1+len(msg))
+	b[0] = code
+	copy(b[1:], msg)
+	return b
+}
+
+// decodeRemoteError parses a response-error payload. An empty payload
+// (a pre-code peer, or a truncating one) degrades to CodeGeneric.
+func decodeRemoteError(op uint8, payload []byte) *RemoteError {
+	if len(payload) == 0 {
+		return &RemoteError{Op: op, Code: CodeGeneric}
+	}
+	return &RemoteError{Op: op, Code: payload[0], Msg: string(payload[1:])}
 }
 
 func writeFrame(w io.Writer, id uint64, typ, op uint8, payload []byte) error {
@@ -190,13 +258,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		wmu.Lock()
 		if herr != nil {
-			err = writeFrame(conn, id, frameError, op, []byte(herr.Error()))
+			err = writeFrame(conn, id, frameError, op, encodeErrorPayload(codeOf(herr), herr.Error()))
 		} else {
 			err = writeFrame(conn, id, frameOK, op, resp)
 			if errors.Is(err, ErrFrameTooLarge) {
 				// An oversized handler result must not kill the
 				// connection: deliver it as an error response instead.
-				err = writeFrame(conn, id, frameError, op, []byte(err.Error()))
+				err = writeFrame(conn, id, frameError, op, encodeErrorPayload(CodeOversized, err.Error()))
 			}
 		}
 		wmu.Unlock()
@@ -241,6 +309,33 @@ type DialOptions struct {
 	// Dialer overrides the raw connection factory (fault injection,
 	// testing). Nil means plain TCP.
 	Dialer DialFunc
+	// Obs, when non-nil, receives transport counters (frames sent and
+	// received, reconnects, deadline expiries, remote errors).
+	Obs *obs.Registry
+}
+
+// clientMetrics are the client's transport counters, resolved once at
+// dial time; all fields are nil (and all updates no-ops) without a
+// registry.
+type clientMetrics struct {
+	framesSent      *obs.Counter
+	framesRecv      *obs.Counter
+	reconnects      *obs.Counter
+	deadlineExpired *obs.Counter
+	remoteErrors    *obs.Counter
+}
+
+func newClientMetrics(r *obs.Registry) clientMetrics {
+	if r == nil {
+		return clientMetrics{}
+	}
+	return clientMetrics{
+		framesSent:      r.Counter("transport.frames_sent"),
+		framesRecv:      r.Counter("transport.frames_recv"),
+		reconnects:      r.Counter("transport.reconnects"),
+		deadlineExpired: r.Counter("transport.deadline_expired"),
+		remoteErrors:    r.Counter("transport.remote_errors"),
+	}
 }
 
 // Client is one CDD-to-CDD connection (logically: the transport keeps
@@ -248,6 +343,7 @@ type DialOptions struct {
 type Client struct {
 	addr   string
 	opts   DialOptions
+	met    clientMetrics
 	nextID atomic.Uint64
 
 	// dialMu serializes reconnect attempts so concurrent calls over a
@@ -290,7 +386,7 @@ func DialWith(ctx context.Context, addr string, opts DialOptions) (*Client, erro
 	if opts.Dialer == nil {
 		opts.Dialer = tcpDial
 	}
-	c := &Client{addr: addr, opts: opts, pending: map[uint64]*pendingCall{}}
+	c := &Client{addr: addr, opts: opts, met: newClientMetrics(opts.Obs), pending: map[uint64]*pendingCall{}}
 	if err := c.redial(ctx); err != nil {
 		return nil, err
 	}
@@ -331,6 +427,9 @@ func (c *Client) redial(ctx context.Context) error {
 	c.connErr = nil
 	gen := c.gen
 	c.mu.Unlock()
+	if gen > 1 {
+		c.met.reconnects.Inc()
+	}
 	go c.readLoop(conn, gen)
 	return nil
 }
@@ -387,6 +486,7 @@ func (c *Client) readLoop(conn net.Conn, gen uint64) {
 			c.mu.Unlock()
 			return
 		}
+		c.met.framesRecv.Inc()
 		c.mu.Lock()
 		p, ok := c.pending[id]
 		if ok {
@@ -480,9 +580,11 @@ func (c *Client) Call(ctx context.Context, op uint8, payload []byte) ([]byte, er
 			// the session cannot be reused.
 			c.dropConn(conn, ctx.Err())
 			unregister()
+			c.met.deadlineExpired.Inc()
 			return nil, ctx.Err()
 		}
 	}
+	c.met.framesSent.Inc()
 
 	select {
 	case resp, ok := <-pc.ch:
@@ -490,11 +592,13 @@ func (c *Client) Call(ctx context.Context, op uint8, payload []byte) ([]byte, er
 			return nil, c.brokenErr()
 		}
 		if resp.typ == frameError {
-			return nil, &RemoteError{Op: resp.op, Msg: string(resp.payload)}
+			c.met.remoteErrors.Inc()
+			return nil, decodeRemoteError(resp.op, resp.payload)
 		}
 		return resp.payload, nil
 	case <-ctx.Done():
 		unregister()
+		c.met.deadlineExpired.Inc()
 		return nil, ctx.Err()
 	}
 }
@@ -515,8 +619,10 @@ func (c *Client) Notify(op uint8, payload []byte) error {
 	c.wmu.Unlock()
 	if err != nil {
 		c.dropConn(conn, err)
+		return err
 	}
-	return err
+	c.met.framesSent.Inc()
+	return nil
 }
 
 // dropConn retires a session whose stream can no longer be trusted (a

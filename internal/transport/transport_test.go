@@ -28,6 +28,8 @@ func echoServer(t *testing.T) (*Server, *Client) {
 			copy(out, payload)
 			copy(out[len(payload):], payload)
 			return out, nil
+		case 4: // coded failure
+			return nil, WithCode(CodeDiskFailed, errors.New("disk d0: failed"))
 		}
 		return nil, fmt.Errorf("unknown op %d", op)
 	})
@@ -76,6 +78,27 @@ func TestRemoteError(t *testing.T) {
 		t.Fatalf("got %v, want RemoteError", err)
 	}
 	if re.Msg != "boom" || re.Op != 2 {
+		t.Fatalf("got %+v", re)
+	}
+	if re.Code != CodeGeneric {
+		t.Fatalf("uncoded error arrived with code %d", re.Code)
+	}
+}
+
+// TestRemoteErrorCodeRoundTrip asserts that a handler error wrapped
+// with WithCode surfaces the code byte on the client side, and that the
+// message text survives alongside it.
+func TestRemoteErrorCodeRoundTrip(t *testing.T) {
+	_, c := echoServer(t)
+	_, err := c.Call(bg, 4, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v, want RemoteError", err)
+	}
+	if re.Code != CodeDiskFailed {
+		t.Fatalf("code = %d, want CodeDiskFailed", re.Code)
+	}
+	if re.Msg != "disk d0: failed" || re.Op != 4 {
 		t.Fatalf("got %+v", re)
 	}
 }
