@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench
+.PHONY: build test race vet staticcheck promtest check bench
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,27 @@ test:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs only where the binary is installed (CI installs it;
+# local builds without it still pass `make check`).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# promtest pins the /metrics exporter to the Prometheus text
+# exposition-format grammar.
+promtest:
+	$(GO) test ./internal/obs/ -run 'TestWriteProm|TestPromName'
+
 race:
 	$(GO) test -race ./...
 
-# Full verification: static analysis plus the whole suite (including
-# the transport/cdd fault-injection tests) under the race detector.
-check: vet race
+# Full verification: static analysis, the exporter grammar tests, and
+# the whole suite (including the transport/cdd fault-injection tests)
+# under the race detector.
+check: vet staticcheck promtest race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

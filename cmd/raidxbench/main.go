@@ -10,12 +10,17 @@
 //	raidxbench ablate   — design-choice ablations (DESIGN.md Section 5)
 //
 // All runs are deterministic; -nodes/-disks/-clients scale the sweep.
+//
+// The global -pprof flag (before the command) writes a CPU profile of
+// the whole run: raidxbench -pprof bench.prof fig5
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -24,11 +29,34 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	// Global flags come before the command word (per-command FlagSets
+	// own everything after it).
+	global := flag.NewFlagSet("raidxbench", flag.ExitOnError)
+	global.Usage = usage
+	pprofOut := global.String("pprof", "", "write a CPU profile of the whole run to this file")
+	global.Parse(os.Args[1:])
+	if global.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	stopProf := func() {}
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			log.Fatalf("raidxbench: -pprof: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("raidxbench: -pprof: %v", err)
+		}
+		stopProf = func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Printf("raidxbench: -pprof: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "raidxbench: CPU profile written to %s\n", *pprofOut)
+		}
+	}
+	cmd, args := global.Arg(0), global.Args()[1:]
 	var err error
 	switch cmd {
 	case "scale":
@@ -62,6 +90,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	stopProf()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "raidxbench:", err)
 		os.Exit(1)

@@ -10,6 +10,10 @@
 //	raidxctl replace -addrs ... -node 2 -disk 0  install a blank disk
 //	raidxctl rebuild -addrs ... -node 2 -disk 0  rebuild it from redundancy
 //	raidxctl verify -addrs ...                   check all images match
+//	raidxctl trace -addrs ... -ops 8 -slowest 3  run traced probe reads and
+//	                                             render waterfalls of the
+//	                                             slowest, with each node's
+//	                                             server-side spans merged in
 //
 // The -addrs list orders nodes; disks are assembled in SIOS order (disk
 // j on node j mod n), so the same list must be used consistently.
@@ -20,12 +24,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/cdd"
 	"repro/internal/core"
 	"repro/internal/layout"
 	"repro/internal/raid"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -49,6 +55,11 @@ func main() {
 		err = withCluster(os.Args[2:], runRebuild)
 	case "verify":
 		err = withCluster(os.Args[2:], runVerify)
+	case "trace":
+		// Record every probe op; assemble traces from the ring (no slow
+		// log needed — the probe picks its own slowest).
+		tr := trace.New(trace.Config{SlowThreshold: -1})
+		err = withClusterOpts(os.Args[2:], core.Options{Trace: tr}, runTrace)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -63,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: raidxctl <layout|status|stats|fail|replace|rebuild|verify> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: raidxctl <layout|status|stats|fail|replace|rebuild|verify|trace> [flags]")
 }
 
 func runLayout(args []string) error {
@@ -121,13 +132,22 @@ type rig struct {
 }
 
 func withCluster(args []string, fn func(fs *flag.FlagSet, r *rig) error) error {
+	return withClusterOpts(args, core.Options{}, fn)
+}
+
+// withClusterOpts assembles the rig with explicit engine options (the
+// trace command passes a tracer).
+func withClusterOpts(args []string, opts core.Options, fn func(fs *flag.FlagSet, r *rig) error) error {
 	fs := flag.NewFlagSet("raidxctl", flag.ExitOnError)
 	addrs := fs.String("addrs", "", "comma-separated node addresses (required)")
-	// The target flags are shared by fail/replace/rebuild and read back
-	// through fs.Lookup in target().
+	// The per-command flags are shared and read back through fs.Lookup
+	// (target() for fail/replace/rebuild, runTrace for trace).
 	fs.Int("node", 0, "target node index")
 	fs.Int("disk", 0, "target local disk index")
 	fs.Int("events", 8, "health events to show per node (stats)")
+	fs.Int("ops", 8, "probe reads to run (trace)")
+	fs.Int("slowest", 3, "waterfalls to render, slowest first (trace)")
+	fs.Int("chunk", 256, "probe read size in KB (trace)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -180,7 +200,7 @@ func withCluster(args []string, fn func(fs *flag.FlagSet, r *rig) error) error {
 			}
 		}
 	}
-	arr, err := core.New(r.devs, r.nodes, r.perNode, core.Options{})
+	arr, err := core.New(r.devs, r.nodes, r.perNode, opts)
 	if err != nil {
 		return err
 	}
@@ -284,5 +304,84 @@ func runVerify(fs *flag.FlagSet, r *rig) error {
 		return err
 	}
 	fmt.Println("verify: all data blocks match their images")
+	return nil
+}
+
+// runTrace runs a read-only probe workload against the live array,
+// fetches every node's server-side spans, and renders waterfalls for
+// the slowest probes. On a degraded array the failover hop — primary
+// read error plus mirror-image reads — shows up as a raidx.failover
+// subtree with the time it cost.
+func runTrace(fs *flag.FlagSet, r *rig) error {
+	tracer := r.arr.Tracer()
+	ops := atoi(fs.Lookup("ops").Value.String())
+	slowest := atoi(fs.Lookup("slowest").Value.String())
+	chunkKB := atoi(fs.Lookup("chunk").Value.String())
+	if ops < 1 {
+		ops = 1
+	}
+	bs := r.arr.BlockSize()
+	total := r.arr.Blocks()
+	blocksPer := int64(chunkKB) << 10 / int64(bs)
+	if blocksPer < 1 {
+		blocksPer = 1
+	}
+	if blocksPer > total {
+		blocksPer = total
+	}
+	buf := make([]byte, blocksPer*int64(bs))
+	ctx := context.Background()
+
+	// Deterministic probe: ops reads evenly spaced across the array.
+	span := total - blocksPer
+	step := int64(1)
+	if ops > 1 {
+		step = span / int64(ops-1)
+	}
+	failed := 0
+	for i := 0; i < ops; i++ {
+		off := step * int64(i)
+		if off > span {
+			off = span
+		}
+		if err := r.arr.ReadBlocks(ctx, off, buf); err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "raidxctl: probe read at block %d: %v\n", off, err)
+		}
+	}
+
+	traces := tracer.Traces(0)
+	if len(traces) == 0 {
+		return fmt.Errorf("no traces recorded")
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].Root.Dur > traces[j].Root.Dur })
+	if slowest > 0 && len(traces) > slowest {
+		traces = traces[:slowest]
+	}
+
+	// One span fetch per node; each waterfall merges from the same set.
+	remote := make([][]trace.Span, len(r.clients))
+	for i, c := range r.clients {
+		if c == nil {
+			continue
+		}
+		sp, err := c.TraceSpans(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "raidxctl: warning: node %d spans: %v\n", i, err)
+			continue
+		}
+		remote[i] = sp
+	}
+
+	fmt.Printf("probe: %d read(s) x %d KB across %d blocks (%d failed); %d slowest:\n\n",
+		ops, int(blocksPer)*bs>>10, total, failed, len(traces))
+	for k := range traces {
+		wf := traces[k]
+		for i, sp := range remote {
+			wf.Merge(sp, fmt.Sprintf("n%d", i))
+		}
+		trace.WriteWaterfall(os.Stdout, wf)
+		fmt.Println()
+	}
 	return nil
 }

@@ -7,12 +7,16 @@
 //
 //	raidxnode -addr :7000 -disks 1 -blocks 4096 -bs 32768
 //
-// With -http the node additionally serves its observability registry —
-// per-disk op counts, queue backlogs, sequential-hit counts, and served
-// operation counters — as JSON at /stats:
+// With -http the node additionally serves its observability surfaces:
 //
 //	raidxnode -addr :7000 -http :7080
-//	curl http://localhost:7080/stats
+//	curl http://localhost:7080/stats          # obs registry as JSON
+//	curl http://localhost:7080/metrics        # Prometheus text format
+//	curl http://localhost:7080/trace?n=5      # recent + slow traces, JSON
+//	go tool pprof http://localhost:7080/debug/pprof/profile
+//
+// -pprof writes a CPU profile of the whole run to a file (stopped and
+// flushed on shutdown), for profiling without the HTTP listener.
 //
 // Disks are in-memory by default (this reproduction's substitute for
 // the Trojans cluster's SCSI drives); with -dir they become persistent
@@ -20,14 +24,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime/pprof"
+	"strconv"
 	"syscall"
+	"time"
 
 	"repro/internal/cdd"
 	"repro/internal/disk"
@@ -41,8 +50,28 @@ func main() {
 	bs := flag.Int("bs", 32<<10, "block size (bytes)")
 	name := flag.String("name", "node", "node name (disk id prefix)")
 	dir := flag.String("dir", "", "directory for persistent disk images (empty: in-memory)")
-	httpAddr := flag.String("http", "", "HTTP listen address for the JSON /stats endpoint (empty: disabled)")
+	httpAddr := flag.String("http", "", "HTTP listen address for /stats, /metrics, /trace and pprof (empty: disabled)")
+	pprofOut := flag.String("pprof", "", "write a CPU profile of the whole run to this file")
+	traceSlow := flag.Duration("trace-slow", 0, "slow-log promotion threshold for server-side traces (0: default, negative: disabled)")
+	traceSample := flag.Int("trace-sample", 0, "record 1 in N server-side root traces (0: default)")
 	flag.Parse()
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			log.Fatalf("raidxnode: -pprof: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("raidxnode: -pprof: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Printf("raidxnode: -pprof: %v", err)
+			}
+			log.Printf("raidxnode: CPU profile written to %s", *pprofOut)
+		}()
+	}
 
 	disks := make([]*disk.Disk, *nDisks)
 	for i := range disks {
@@ -69,6 +98,14 @@ func main() {
 	log.Printf("raidxnode %s: exporting %d disk(s) x %d blocks x %d B on %s",
 		*name, *nDisks, *blocks, *bs, node.Addr())
 
+	tracer := node.Manager.Tracer()
+	if *traceSlow != 0 {
+		tracer.SetSlowThreshold(*traceSlow)
+	}
+	if *traceSample > 0 {
+		tracer.SetSampleEvery(*traceSample)
+	}
+
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
@@ -77,9 +114,35 @@ func main() {
 				log.Printf("raidxnode: /stats: %v", err)
 			}
 		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := node.Manager.Obs().WriteProm(w); err != nil {
+				log.Printf("raidxnode: /metrics: %v", err)
+			}
+		})
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			limit := 10
+			if q := r.URL.Query().Get("n"); q != "" {
+				if n, err := strconv.Atoi(q); err == nil {
+					limit = n
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(tracer.Snapshot(limit)); err != nil {
+				log.Printf("raidxnode: /trace: %v", err)
+			}
+		})
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		srv := &http.Server{Addr: *httpAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
-			log.Printf("raidxnode %s: serving stats on http://%s/stats", *name, *httpAddr)
-			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+			log.Printf("raidxnode %s: serving /stats /metrics /trace /debug/pprof on http://%s", *name, *httpAddr)
+			if err := srv.ListenAndServe(); err != nil {
 				log.Printf("raidxnode: http: %v", err)
 			}
 		}()

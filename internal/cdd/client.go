@@ -9,8 +9,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"encoding/json"
+
 	"repro/internal/obs"
 	"repro/internal/raid"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -87,7 +90,8 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 func retryableOp(op uint8) bool {
 	switch op {
 	case OpInfo, OpRead, OpWrite, OpFlush, OpHealth, OpStats,
-		OpLockSnapshot, OpUnlock, OpUnlockAll, OpFail, OpReplace, OpObsSnapshot:
+		OpLockSnapshot, OpUnlock, OpUnlockAll, OpFail, OpReplace,
+		OpObsSnapshot, OpTraceSpans:
 		return true
 	}
 	return false
@@ -234,7 +238,12 @@ func (n *NodeClient) callBulk(ctx context.Context, op uint8, payload []byte, res
 		if timeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, timeout)
 		}
+		// One span per attempt: retries show up as sibling spans with
+		// the attempt number, so backoff gaps are visible in waterfalls.
+		actx, ah := trace.Start(actx, "cdd.attempt", n.addr)
+		ah.Val = int64(a + 1)
 		resp, err := n.c.Call(actx, op, payload)
+		ah.End(err)
 		cancel()
 		if err == nil {
 			return resp, nil
@@ -409,6 +418,21 @@ func (n *NodeClient) ObsSnapshot(ctx context.Context) (obs.Snapshot, error) {
 	return obs.DecodeSnapshot(raw)
 }
 
+// TraceSpans fetches the remote node's recent trace spans — the
+// server-side legs (manager handlers, disk ops) of traces this client
+// originated, ready to Merge into locally-assembled traces.
+func (n *NodeClient) TraceSpans(ctx context.Context) ([]trace.Span, error) {
+	raw, err := n.call(ctx, OpTraceSpans, nil)
+	if err != nil {
+		return nil, err
+	}
+	var spans []trace.Span
+	if err := json.Unmarshal(raw, &spans); err != nil {
+		return nil, fmt.Errorf("cdd: bad trace spans from %s: %w", n.addr, err)
+	}
+	return spans, nil
+}
+
 // LockSnapshot fetches the node's replica of the lock-group table.
 func (n *NodeClient) LockSnapshot() (uint64, []Record, error) {
 	raw, err := n.call(context.Background(), OpLockSnapshot, nil)
@@ -454,10 +478,13 @@ func (d *RemoteDev) BlockSize() int { return d.bs }
 func (d *RemoteDev) NumBlocks() int64 { return d.blocks }
 
 // ReadBlocks implements raid.Dev.
-func (d *RemoteDev) ReadBlocks(ctx context.Context, b int64, buf []byte) error {
+func (d *RemoteDev) ReadBlocks(ctx context.Context, b int64, buf []byte) (err error) {
 	if len(buf)%d.bs != 0 {
 		return fmt.Errorf("cdd: buffer length %d not a multiple of %d", len(buf), d.bs)
 	}
+	ctx, h := trace.Start(ctx, "cdd.read", d.subject)
+	h.Val = int64(len(buf))
+	defer func() { h.End(err) }()
 	start := time.Now()
 	resp, err := d.n.callBulk(ctx, OpRead, encodeIOHeader(ioHeader{
 		Disk: d.disk, Block: b, Count: uint32(len(buf) / d.bs),
@@ -481,9 +508,12 @@ func (d *RemoteDev) ReadBlocks(ctx context.Context, b int64, buf []byte) error {
 
 // WriteBlocks implements raid.Dev.
 func (d *RemoteDev) WriteBlocks(ctx context.Context, b int64, data []byte) error {
+	ctx, h := trace.Start(ctx, "cdd.write", d.subject)
+	h.Val = int64(len(data))
 	start := time.Now()
 	_, err := d.n.call(ctx, OpWrite, encodeIOHeader(ioHeader{Disk: d.disk, Block: b}, data))
 	d.n.met.writeLat.Observe(time.Since(start))
+	h.End(err)
 	d.noteOutcome(err)
 	return err
 }
@@ -491,17 +521,22 @@ func (d *RemoteDev) WriteBlocks(ctx context.Context, b int64, data []byte) error
 // WriteBlocksBackground implements raid.Dev: the write travels as a
 // notification, so the caller does not wait for the remote disk. A
 // later Flush or Call on the same connection orders after it.
-func (d *RemoteDev) WriteBlocksBackground(_ context.Context, b int64, data []byte) error {
-	err := d.n.c.Notify(OpWriteBG, encodeIOHeader(ioHeader{Disk: d.disk, Block: b}, data))
+func (d *RemoteDev) WriteBlocksBackground(ctx context.Context, b int64, data []byte) error {
+	ctx, h := trace.Start(ctx, "cdd.bg-write", d.subject)
+	h.Val = int64(len(data))
+	err := d.n.c.Notify(ctx, OpWriteBG, encodeIOHeader(ioHeader{Disk: d.disk, Block: b}, data))
+	h.End(err)
 	d.noteOutcome(err)
 	return err
 }
 
 // Flush implements raid.Dev.
 func (d *RemoteDev) Flush(ctx context.Context) error {
+	ctx, h := trace.Start(ctx, "cdd.flush", d.subject)
 	start := time.Now()
 	_, err := d.n.call(ctx, OpFlush, encodeIOHeader(ioHeader{Disk: d.disk}, nil))
 	d.n.met.flushLat.Observe(time.Since(start))
+	h.End(err)
 	d.noteOutcome(err)
 	return err
 }

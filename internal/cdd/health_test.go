@@ -184,8 +184,8 @@ func TestShortReadMarksSuspect(t *testing.T) {
 	m := NewManager([]*disk.Disk{d})
 	var truncate atomic.Bool
 	truncate.Store(true)
-	srv, err := transport.Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
-		resp, err := m.Handle(op, payload)
+	srv, err := transport.Serve("127.0.0.1:0", func(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
+		resp, err := m.Handle(ctx, op, payload)
 		if op == OpRead && err == nil && truncate.Load() && len(resp) > 0 {
 			resp = resp[:len(resp)-1]
 		}

@@ -2,6 +2,7 @@ package cdd
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/obs"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -17,10 +19,11 @@ import (
 // replica of the lock-group table. A node that also mounts arrays acts
 // as client and manager simultaneously — the "both" state of Section 4.
 type Manager struct {
-	disks []*disk.Disk
-	locks *Table
-	reg   *obs.Registry
-	met   managerMetrics
+	disks  []*disk.Disk
+	locks  *Table
+	reg    *obs.Registry
+	tracer *trace.Tracer
+	met    managerMetrics
 
 	mu    sync.Mutex
 	peers []*transport.Client // for lock-table replication
@@ -38,9 +41,10 @@ type managerMetrics struct {
 func NewManager(disks []*disk.Disk) *Manager {
 	reg := obs.NewRegistry()
 	m := &Manager{
-		disks: disks,
-		locks: NewTable(),
-		reg:   reg,
+		disks:  disks,
+		locks:  NewTable(),
+		reg:    reg,
+		tracer: trace.New(trace.Config{}),
 		met: managerMetrics{
 			reads:    reg.Counter("mgr.read_ops"),
 			writes:   reg.Counter("mgr.write_ops"),
@@ -73,6 +77,11 @@ func NewManager(disks []*disk.Disk) *Manager {
 // Obs exposes the manager's observability registry (the /stats source).
 func (m *Manager) Obs() *obs.Registry { return m.reg }
 
+// Tracer exposes the manager's span ring (the /trace source). Incoming
+// traced requests resume into it; its spans are served over
+// OpTraceSpans for cross-node waterfall assembly.
+func (m *Manager) Tracer() *trace.Tracer { return m.tracer }
+
 // Locks exposes the node's lock-group table replica.
 func (m *Manager) Locks() *Table { return m.locks }
 
@@ -85,13 +94,13 @@ func (m *Manager) AddPeer(c *transport.Client) {
 
 // replicate pushes the current lock table to all peers (best-effort
 // notifications, matching the paper's asynchronous replica updates).
-func (m *Manager) replicate() {
+func (m *Manager) replicate(ctx context.Context) {
 	snap := encodeSnapshot(m.locks.Version(), m.locks.Snapshot())
 	m.mu.Lock()
 	peers := append([]*transport.Client(nil), m.peers...)
 	m.mu.Unlock()
 	for _, p := range peers {
-		_ = p.Notify(OpLockReplica, snap) // best effort
+		_ = p.Notify(ctx, OpLockReplica, snap) // best effort
 	}
 }
 
@@ -124,10 +133,42 @@ func errCode(err error) uint8 {
 	return transport.CodeGeneric
 }
 
+// opSpanNames labels the manager span of each opcode; static strings
+// keep span recording allocation-free.
+var opSpanNames = [...]string{
+	OpInfo:         "mgr.info",
+	OpRead:         "mgr.read",
+	OpWrite:        "mgr.write",
+	OpWriteBG:      "mgr.bg-write",
+	OpFlush:        "mgr.flush",
+	OpHealth:       "mgr.health",
+	OpFail:         "mgr.fail",
+	OpReplace:      "mgr.replace",
+	OpLock:         "mgr.lock",
+	OpUnlock:       "mgr.unlock",
+	OpUnlockAll:    "mgr.unlock-all",
+	OpLockSnapshot: "mgr.lock-snapshot",
+	OpLockReplica:  "mgr.lock-replica",
+	OpStats:        "mgr.stats",
+	OpObsSnapshot:  "mgr.obs-snapshot",
+	OpTraceSpans:   "mgr.trace-spans",
+}
+
+func opSpanName(op uint8) string {
+	if int(op) < len(opSpanNames) && opSpanNames[op] != "" {
+		return opSpanNames[op]
+	}
+	return "mgr.op"
+}
+
 // Handle implements transport.Handler: it dispatches the request and
-// stamps any error with its wire code.
-func (m *Manager) Handle(op uint8, payload []byte) ([]byte, error) {
-	resp, err := m.handle(op, payload)
+// stamps any error with its wire code. ctx carries the caller's
+// resumed trace (when the frame had one), so the per-op manager span
+// and the disk spans below it land in the caller's trace.
+func (m *Manager) Handle(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
+	ctx, h := trace.Start(ctx, opSpanName(op), "")
+	resp, err := m.handle(ctx, op, payload)
+	h.End(err)
 	if err != nil {
 		m.met.failed.Inc()
 		return nil, transport.WithCode(errCode(err), err)
@@ -135,8 +176,7 @@ func (m *Manager) Handle(op uint8, payload []byte) ([]byte, error) {
 	return resp, nil
 }
 
-func (m *Manager) handle(op uint8, payload []byte) ([]byte, error) {
-	ctx := context.Background()
+func (m *Manager) handle(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
 	switch op {
 	case OpInfo:
 		if len(m.disks) == 0 {
@@ -237,7 +277,7 @@ func (m *Manager) handle(op uint8, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		if m.locks.TryAcquire(msg.Owner, msg.Ranges) {
-			m.replicate()
+			m.replicate(ctx)
 			return []byte{1}, nil
 		}
 		return []byte{0}, nil
@@ -248,7 +288,7 @@ func (m *Manager) handle(op uint8, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		m.locks.Release(msg.Owner, msg.Ranges)
-		m.replicate()
+		m.replicate(ctx)
 		return nil, nil
 
 	case OpUnlockAll:
@@ -257,7 +297,7 @@ func (m *Manager) handle(op uint8, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		m.locks.ReleaseAll(msg.Owner)
-		m.replicate()
+		m.replicate(ctx)
 		return nil, nil
 
 	case OpLockSnapshot:
@@ -288,6 +328,9 @@ func (m *Manager) handle(op uint8, payload []byte) ([]byte, error) {
 
 	case OpObsSnapshot:
 		return m.reg.MarshalJSON()
+
+	case OpTraceSpans:
+		return json.Marshal(m.tracer.Spans())
 	}
 	return nil, fmt.Errorf("cdd: op %d: %w", op, errUnknownOp)
 }
@@ -302,7 +345,7 @@ type Node struct {
 // ("127.0.0.1:0" picks a free port).
 func ListenAndServe(addr string, disks []*disk.Disk) (*Node, error) {
 	m := NewManager(disks)
-	s, err := transport.Serve(addr, m.Handle)
+	s, err := transport.ServeWith(addr, m.Handle, transport.ServerOptions{Tracer: m.tracer})
 	if err != nil {
 		return nil, err
 	}

@@ -40,6 +40,10 @@ const (
 	// OpObsSnapshot returns the node's observability registry as JSON:
 	// counters, gauges, latency histograms, and the degraded-event log.
 	OpObsSnapshot
+	// OpTraceSpans returns the node's recent trace spans as JSON, so a
+	// client can merge the server-side legs into its own traces
+	// (raidxctl trace waterfalls).
+	OpTraceSpans
 )
 
 // errBadRequest marks protocol decode failures so the server can answer

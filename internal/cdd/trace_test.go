@@ -1,0 +1,131 @@
+package cdd_test
+
+// End-to-end tracing: a degraded read over real TCP, assembled into one
+// waterfall spanning the client engine and every CDD node it touched.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestTraceDegradedReadWaterfall drives the acceptance scenario: fail a
+// disk behind the engine's back, run a traced read, and assert the
+// assembled waterfall attributes time to the mirror-failover hop and to
+// the remote nodes that served it.
+func TestTraceDegradedReadWaterfall(t *testing.T) {
+	devs, clients := cluster(t, 4, 1, 64)
+
+	// Seed the array untraced, so the only trace anywhere afterwards is
+	// the degraded read's.
+	setup, err := core.New(devs, 4, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	data := make([]byte, int(setup.Blocks())*setup.BlockSize())
+	rand.New(rand.NewSource(40)).Read(data)
+	if err := setup.WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail node 1's disk out-of-band: the engine's health cache still
+	// says healthy, so the traced read hits the primary, takes the
+	// error, and fails over to mirror images mid-operation.
+	if err := clients[1].FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := trace.New(trace.Config{})
+	a, err := core.New(devs, 4, 1, core.Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := a.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatalf("degraded read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read returned wrong data")
+	}
+
+	traces := tr.Traces(0)
+	if len(traces) != 1 {
+		t.Fatalf("assembled %d traces, want exactly the read", len(traces))
+	}
+	wf := traces[0]
+	if wf.Root.Name != "raidx.read" {
+		t.Fatalf("root span = %s", wf.Root.Name)
+	}
+	var failover trace.Span
+	for _, sp := range wf.Spans {
+		if sp.Name == "raidx.failover" {
+			failover = sp
+		}
+	}
+	if failover.Name == "" {
+		t.Fatalf("no raidx.failover span in the degraded read: %+v", spanNames(wf.Spans))
+	}
+	if failover.Dur <= 0 {
+		t.Fatal("failover span carries no duration")
+	}
+
+	// Fold in each node's server-side spans, as raidxctl trace does.
+	for i, c := range clients {
+		remote, err := c.TraceSpans(ctx)
+		if err != nil {
+			t.Fatalf("node %d trace spans: %v", i, err)
+		}
+		wf.Merge(remote, fmt.Sprintf("n%d", i))
+	}
+	var mgr, dsk, serve int
+	origins := map[string]bool{}
+	for _, sp := range wf.Spans {
+		if sp.Origin != "" {
+			origins[sp.Origin] = true
+		}
+		switch sp.Name {
+		case "mgr.read":
+			mgr++
+		case "disk.read":
+			dsk++
+		case "transport.serve":
+			serve++
+		}
+	}
+	if mgr == 0 || dsk == 0 || serve == 0 {
+		t.Fatalf("merged trace missing remote spans: mgr.read=%d disk.read=%d transport.serve=%d", mgr, dsk, serve)
+	}
+	// The failover read touched mirror images on nodes other than the
+	// failed one, so more than one origin must appear.
+	if len(origins) < 2 {
+		t.Fatalf("merged spans from %d origins, want the failover to reach several nodes: %v", len(origins), origins)
+	}
+
+	var sb strings.Builder
+	trace.WriteWaterfall(&sb, wf)
+	out := sb.String()
+	for _, want := range []string{"raidx.read", "raidx.failover", "transport.serve", "mgr.read", "disk.read", "@n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("degraded-read waterfall:\n%s", out)
+}
+
+func spanNames(sps []trace.Span) []string {
+	names := make([]string, len(sps))
+	for i, sp := range sps {
+		names[i] = sp.Name
+	}
+	return names
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/raid"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // benchArray builds a pure-data 12-disk RAID-x (no timing), so the
@@ -81,6 +82,63 @@ func BenchmarkReadDegraded(b *testing.B) {
 		b.Fatal(err)
 	}
 	raw[3].Fail()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.ReadBlocks(ctx, 0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// benchMixed drives the tracing-overhead workload: alternating stripe
+// reads and small writes, the mix the <3% tracing budget is quoted
+// against. opt selects traced vs untraced engines; everything else is
+// identical.
+func benchMixed(b *testing.B, opt Options) {
+	a, _ := benchArray(b, opt)
+	ctx := context.Background()
+	stripe := make([]byte, 12*a.BlockSize())
+	small := make([]byte, a.BlockSize())
+	if err := a.WriteBlocks(ctx, 0, stripe); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			if err := a.ReadBlocks(ctx, 0, stripe); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if err := a.WriteBlocks(ctx, int64(i)%a.Blocks(), small); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(int64(len(stripe)+len(small)) / 2)
+}
+
+func BenchmarkMixed(b *testing.B) {
+	benchMixed(b, Options{})
+}
+
+func BenchmarkMixedTraced(b *testing.B) {
+	benchMixed(b, Options{Trace: trace.New(trace.Config{SlowThreshold: -1})})
+}
+
+// BenchmarkMixedTracedSampled is the production-shaped configuration:
+// 1-in-64 operations recorded, the rest paying only the sampling tick.
+func BenchmarkMixedTracedSampled(b *testing.B) {
+	benchMixed(b, Options{Trace: trace.New(trace.Config{SampleEvery: 64, SlowThreshold: -1})})
+}
+
+func BenchmarkReadStripeTraced(b *testing.B) {
+	a, _ := benchArray(b, Options{Trace: trace.New(trace.Config{SlowThreshold: -1})})
+	ctx := context.Background()
+	buf := make([]byte, 12*a.BlockSize())
+	if err := a.WriteBlocks(ctx, 0, buf); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := a.ReadBlocks(ctx, 0, buf); err != nil {

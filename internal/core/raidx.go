@@ -37,6 +37,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/raid"
+	"repro/internal/trace"
 )
 
 // Options tune the engine; the zero value is the paper's design. The
@@ -57,6 +58,10 @@ type Options struct {
 	// balanced-read counters, per-op latency histograms, queue-depth
 	// gauges, and swap/rebuild/degraded-mount events.
 	Obs *obs.Registry
+	// Trace, when non-nil, records per-request spans: every array op
+	// starts a trace that follows the request down through the striped
+	// fan-out, CDD calls, and (over the wire) remote disk ops.
+	Trace *trace.Tracer
 }
 
 // coreMetrics are the engine's instruments, resolved once at New;
@@ -101,6 +106,10 @@ type RAIDx struct {
 	bs     int
 	opt    Options
 	met    coreMetrics
+	tracer *trace.Tracer
+	// colName holds pre-formatted per-column span subjects ("d3"), so
+	// hot-path span recording never formats strings.
+	colName []string
 	// flip alternates the preferred copy for balanced reads so that
 	// simultaneous readers split between data and image instead of
 	// herding onto whichever side momentarily reports less backlog.
@@ -125,10 +134,15 @@ func New(devs []raid.Dev, nodes, disksPerNode int, opt Options) (*RAIDx, error) 
 		return nil, fmt.Errorf("core: disks too small (%d blocks) for mirror groups of %d", per, nodes-1)
 	}
 	a := &RAIDx{
-		lay: layout.NewOSM(nodes, disksPerNode, per),
-		bs:  bs,
-		opt: opt,
-		met: newCoreMetrics(opt.Obs),
+		lay:    layout.NewOSM(nodes, disksPerNode, per),
+		bs:     bs,
+		opt:    opt,
+		met:    newCoreMetrics(opt.Obs),
+		tracer: opt.Trace,
+	}
+	a.colName = make([]string, len(devs))
+	for i := range a.colName {
+		a.colName[i] = fmt.Sprintf("d%d", i)
 	}
 	owned := append([]raid.Dev(nil), devs...)
 	a.table.Store(&owned)
@@ -212,6 +226,9 @@ func (a *RAIDx) SwapDev(idx int, dev raid.Dev) (raid.Dev, error) {
 	return old, nil
 }
 
+// Tracer exposes the engine's tracer (nil when tracing is off).
+func (a *RAIDx) Tracer() *trace.Tracer { return a.tracer }
+
 // Name implements raid.Array.
 func (a *RAIDx) Name() string { return "raidx" }
 
@@ -224,11 +241,14 @@ func (a *RAIDx) Blocks() int64 { return a.lay.DataBlocks() }
 // ReadBlocks implements raid.Array: a parallel RAID-0-style read over
 // the data halves, with per-block fallback to mirror images for blocks
 // on failed disks.
-func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
+func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) (err error) {
 	n, err := a.checkRange(b, p)
 	if err != nil {
 		return err
 	}
+	ctx, root := a.tracer.StartRoot(ctx, "raidx.read", "raidx")
+	root.Val = int64(len(p))
+	defer func() { root.End(err) }()
 	start := time.Now()
 	defer func() { a.met.readLat.Observe(time.Since(start)) }()
 	devs := a.devices()
@@ -260,7 +280,10 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 							}
 							// Failover to the data copy.
 							a.noteFailover(fmt.Sprintf("raidx/d%d", m.Disk), err)
-							if derr := dev.ReadBlocks(ctx, first/int64(width), dst); derr == nil {
+							fctx, fh := trace.Start(ctx, "raidx.failover", a.colName[m.Disk])
+							derr := dev.ReadBlocks(fctx, first/int64(width), dst)
+							fh.End(derr)
+							if derr == nil {
 								return nil
 							}
 							return err
@@ -271,7 +294,10 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 				}
 			}
 			col := col
-			fns = append(fns, func(ctx context.Context) error {
+			fns = append(fns, func(ctx context.Context) (err error) {
+				ctx, ch := trace.Start(ctx, "raidx.col-read", a.colName[col])
+				ch.Val = int64(count * a.bs)
+				defer func() { ch.End(err) }()
 				buf := make([]byte, count*a.bs)
 				if err := dev.ReadBlocks(ctx, first/int64(width), buf); err != nil {
 					if ctx.Err() != nil {
@@ -283,7 +309,10 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 					// image on the orthogonal stripe group; the failed
 					// operation has already marked the node suspect.
 					a.noteFailover(fmt.Sprintf("raidx/d%d", col), err)
-					return a.readRunViaMirrors(ctx, devs, first, count, b, p, err)
+					fctx, fh := trace.Start(ctx, "raidx.failover", a.colName[col])
+					ferr := a.readRunViaMirrors(fctx, devs, first, count, b, p, err)
+					fh.End(ferr)
+					return ferr
 				}
 				for t := 0; t < count; t++ {
 					lb := first + int64(t)*int64(width)
@@ -297,9 +326,11 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 		// one column scatter over many mirror groups.
 		for t := 0; t < count; t++ {
 			lb := first + int64(t)*int64(width)
-			fns = append(fns, func(ctx context.Context) error {
+			fns = append(fns, func(ctx context.Context) (err error) {
 				a.met.degradedReads.Inc()
 				m := a.lay.MirrorLoc(lb)
+				ctx, dh := trace.Start(ctx, "raidx.degraded-read", a.colName[m.Disk])
+				defer func() { dh.End(err) }()
 				mdev := devs[m.Disk]
 				if !mdev.Healthy() {
 					return fmt.Errorf("core: block %d and its image both unavailable: %w", lb, raid.ErrDataLoss)
@@ -341,11 +372,14 @@ func (a *RAIDx) readRunViaMirrors(ctx context.Context, devs []raid.Dev, first in
 // WriteBlocks implements raid.Array: data blocks stripe to all disks in
 // the foreground; the covered portion of each mirror group is gathered
 // and written to its single mirror disk in the background.
-func (a *RAIDx) WriteBlocks(ctx context.Context, b int64, p []byte) error {
+func (a *RAIDx) WriteBlocks(ctx context.Context, b int64, p []byte) (err error) {
 	n, err := a.checkRange(b, p)
 	if err != nil {
 		return err
 	}
+	ctx, root := a.tracer.StartRoot(ctx, "raidx.write", "raidx")
+	root.Val = int64(len(p))
+	defer func() { root.End(err) }()
 	start := time.Now()
 	defer func() { a.met.writeLat.Observe(time.Since(start)) }()
 	devs := a.devices()
@@ -372,7 +406,11 @@ func (a *RAIDx) dataWriteFns(devs []raid.Dev, b int64, n int, p []byte) []func(c
 		if !dev.Healthy() {
 			continue // image carries the data
 		}
-		fns = append(fns, func(ctx context.Context) error {
+		col := col
+		fns = append(fns, func(ctx context.Context) (err error) {
+			ctx, ch := trace.Start(ctx, "raidx.col-write", a.colName[col])
+			ch.Val = int64(count * a.bs)
+			defer func() { ch.End(err) }()
 			buf := make([]byte, count*a.bs)
 			for t := 0; t < count; t++ {
 				lb := first + int64(t)*int64(width)
@@ -420,7 +458,10 @@ func (a *RAIDx) mirrorWriteFns(devs []raid.Dev, b int64, n int, p []byte) []func
 			}
 			continue
 		}
-		fns = append(fns, func(ctx context.Context) error {
+		fns = append(fns, func(ctx context.Context) (err error) {
+			ctx, mh := trace.Start(ctx, "raidx.mirror-write", a.colName[mdisk])
+			mh.Val = (hi - lo) * int64(a.bs)
+			defer func() { mh.End(err) }()
 			chunk := p[(lo-b)*int64(a.bs) : (hi-b)*int64(a.bs)]
 			if a.opt.ForegroundMirror {
 				return dev.WriteBlocks(ctx, phys, chunk)
@@ -457,7 +498,9 @@ func (a *RAIDx) checkRange(b int64, p []byte) (int, error) {
 
 // Flush implements raid.Array: waits for all deferred image writes, so
 // the array is fully redundant on return.
-func (a *RAIDx) Flush(ctx context.Context) error {
+func (a *RAIDx) Flush(ctx context.Context) (err error) {
+	ctx, root := a.tracer.StartRoot(ctx, "raidx.flush", "raidx")
+	defer func() { root.End(err) }()
 	devs := a.devices()
 	return par.ForEach(ctx, len(devs), func(ctx context.Context, i int) error {
 		if !devs[i].Healthy() {
@@ -478,6 +521,8 @@ func (a *RAIDx) Rebuild(ctx context.Context, idx int) (err error) {
 	if !devs[idx].Healthy() {
 		return fmt.Errorf("core: rebuild target %d is not healthy (replace it first)", idx)
 	}
+	ctx, root := a.tracer.StartRoot(ctx, "raidx.rebuild", a.colName[idx])
+	defer func() { root.End(err) }()
 	subject := fmt.Sprintf("raidx/d%d", idx)
 	a.met.events.Append(obs.EventRebuildStart, subject, "")
 	defer func() {
@@ -554,7 +599,9 @@ func (a *RAIDx) Rebuild(ctx context.Context, idx int) (err error) {
 
 // Verify implements raid.Verifier: every data block must equal its
 // image. Call Flush first if background writes may be pending.
-func (a *RAIDx) Verify(ctx context.Context) error {
+func (a *RAIDx) Verify(ctx context.Context) (err error) {
+	ctx, root := a.tracer.StartRoot(ctx, "raidx.verify", "raidx")
+	defer func() { root.End(err) }()
 	devs := a.devices()
 	data := make([]byte, a.bs)
 	image := make([]byte, a.bs)

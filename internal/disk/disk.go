@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
@@ -274,7 +275,10 @@ func (d *Disk) charge(ctx context.Context, b int64, n int, background bool) {
 }
 
 // ReadBlocks reads len(buf)/BlockSize consecutive blocks starting at b.
-func (d *Disk) ReadBlocks(ctx context.Context, b int64, buf []byte) error {
+func (d *Disk) ReadBlocks(ctx context.Context, b int64, buf []byte) (err error) {
+	h := trace.StartLeaf(ctx, "disk.read", d.id)
+	h.Val = int64(len(buf))
+	defer func() { h.End(err) }()
 	if err := d.checkUp(); err != nil {
 		return err
 	}
@@ -311,7 +315,14 @@ func (d *Disk) WriteBlocksBackground(ctx context.Context, b int64, data []byte) 
 	return d.write(ctx, b, data, true)
 }
 
-func (d *Disk) write(ctx context.Context, b int64, data []byte, background bool) error {
+func (d *Disk) write(ctx context.Context, b int64, data []byte, background bool) (err error) {
+	name := "disk.write"
+	if background {
+		name = "disk.bg-write"
+	}
+	h := trace.StartLeaf(ctx, name, d.id)
+	h.Val = int64(len(data))
+	defer func() { h.End(err) }()
 	if err := d.checkUp(); err != nil {
 		return err
 	}
@@ -335,7 +346,9 @@ func (d *Disk) write(ctx context.Context, b int64, data []byte, background bool)
 
 // Flush blocks until all background (reserved) work on the disk has
 // drained.
-func (d *Disk) Flush(ctx context.Context) error {
+func (d *Disk) Flush(ctx context.Context) (err error) {
+	h := trace.StartLeaf(ctx, "disk.flush", d.id)
+	defer func() { h.End(err) }()
 	d.mu.Lock()
 	failed := d.failed
 	d.mu.Unlock()

@@ -11,7 +11,7 @@ import (
 
 func echoServer(t *testing.T) *transport.Server {
 	t.Helper()
-	s, err := transport.Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+	s, err := transport.Serve("127.0.0.1:0", func(_ context.Context, op uint8, payload []byte) ([]byte, error) {
 		return payload, nil
 	})
 	if err != nil {

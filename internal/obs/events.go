@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,10 +44,18 @@ const (
 	EventSwap EventKind = "swap"
 )
 
+// eventSeq is the process-wide event sequence: one atomic counter
+// shared by every EventLog, so events recorded by different components
+// (engine, cdd client, manager) carry comparable sequence numbers and a
+// merged view (raidxctl stats over several registries) can be put in
+// true append order. Seq starts at 1.
+var eventSeq atomic.Uint64
+
 // Event is one logged state transition.
 type Event struct {
-	// Seq is the global append sequence number (monotonic, never
-	// recycled); gaps after Events() indicate ring overwrite.
+	// Seq is the process-wide append sequence number (monotonic across
+	// all logs, never recycled), so events from different logs merge
+	// into one total order.
 	Seq  uint64    `json:"seq"`
 	Time time.Time `json:"time"`
 	Kind EventKind `json:"kind"`
@@ -80,8 +89,8 @@ func (l *EventLog) Append(kind EventKind, subject, detail string) {
 	if l == nil {
 		return
 	}
+	e := Event{Seq: eventSeq.Add(1), Time: time.Now(), Kind: kind, Subject: subject, Detail: detail}
 	l.mu.Lock()
-	e := Event{Seq: l.next, Time: time.Now(), Kind: kind, Subject: subject, Detail: detail}
 	if len(l.ring) < cap(l.ring) {
 		l.ring = append(l.ring, e)
 	} else {
@@ -92,20 +101,24 @@ func (l *EventLog) Append(kind EventKind, subject, detail string) {
 	l.mu.Unlock()
 }
 
-// Events returns the retained events, oldest first.
+// Events returns the retained events, oldest first (sorted by Seq:
+// concurrent appenders may land in the ring slightly out of sequence
+// order, since the sequence number is taken before the ring slot).
 func (l *EventLog) Events() []Event {
 	if l == nil {
 		return nil
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	out := make([]Event, 0, len(l.ring))
 	if len(l.ring) < cap(l.ring) {
-		return append(out, l.ring...)
+		out = append(out, l.ring...)
+	} else {
+		start := l.next % uint64(cap(l.ring))
+		out = append(out, l.ring[start:]...)
+		out = append(out, l.ring[:start]...)
 	}
-	start := l.next % uint64(cap(l.ring))
-	out = append(out, l.ring[start:]...)
-	out = append(out, l.ring[:start]...)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
 }
 

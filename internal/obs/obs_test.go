@@ -97,10 +97,11 @@ func TestEventLogRing(t *testing.T) {
 	if len(evs) != 4 {
 		t.Fatalf("retained %d events, want 4", len(evs))
 	}
-	// Oldest-first, contiguous tail of the sequence.
+	// Oldest-first, contiguous tail of the process-wide sequence (serial
+	// appends to one log get consecutive numbers).
 	for i, e := range evs {
-		if e.Seq != uint64(6+i) {
-			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, 6+i)
+		if e.Seq != evs[0].Seq+uint64(i) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, evs[0].Seq+uint64(i))
 		}
 	}
 	if l.Total() != 10 || l.Dropped() != 6 {

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format (the /metrics endpoint body):
+//
+//   - counters as `counter` samples with a `_total` suffix;
+//   - gauges as `gauge` samples;
+//   - histograms as `histogram` families — cumulative `_bucket{le="..."}`
+//     samples over the power-of-two-microsecond edges (converted to
+//     seconds, the Prometheus base unit for time), plus `_sum` and
+//     `_count`;
+//   - the event log's totals as two counters
+//     (`obs_events_total`, `obs_events_dropped_total`).
+//
+// Instrument names are sanitized to the metric-name grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): every other rune becomes '_', so
+// "cdd.read_latency" exports as "cdd_read_latency".
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	hists := make(map[string]HistogramSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h.Snapshot()
+	}
+	gauges := make(map[string]Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	events := r.events
+	r.mu.RUnlock()
+
+	for _, name := range SortedKeys(counters) {
+		pn := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name]); err != nil {
+			return err
+		}
+	}
+	// Gauge callbacks run outside the registry lock (they may take
+	// component locks of their own).
+	for _, name := range SortedKeys(gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, gauges[name]()); err != nil {
+			return err
+		}
+	}
+	for _, name := range SortedKeys(hists) {
+		if err := writePromHist(w, promName(name)+"_seconds", hists[name]); err != nil {
+			return err
+		}
+	}
+	if events != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE obs_events_total counter\nobs_events_total %d\n", events.Total()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE obs_events_dropped_total counter\nobs_events_dropped_total %d\n", events.Dropped()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHist renders one histogram family: cumulative buckets in
+// seconds, then sum and count.
+func writePromHist(w io.Writer, pn string, s HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	var cum int64
+	// The last internal bucket absorbs everything above its lower edge,
+	// so it has no finite upper bound: it is represented by +Inf alone.
+	for b := 0; b < histBuckets-1; b++ {
+		cum += s.Buckets[b]
+		le := strconv.FormatFloat(bucketUpper(b).Seconds(), 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, s.Count); err != nil {
+		return err
+	}
+	sum := strconv.FormatFloat(time.Duration(s.Sum).Seconds(), 'g', -1, 64)
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, sum, pn, s.Count); err != nil {
+		return err
+	}
+	return nil
+}
+
+// promName maps an instrument name onto the Prometheus metric-name
+// grammar: runes outside [a-zA-Z0-9_:] become '_', and a leading digit
+// gets a '_' prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	promMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]*)"\})? (\S+)$`)
+	promTypeLine   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+)
+
+// checkPromGrammar validates body against the text exposition format:
+// every line is a `# TYPE` declaration or a sample, names match the
+// metric-name grammar, every sample belongs to a declared family,
+// histogram buckets are cumulative with a final +Inf equal to _count,
+// and no family is declared twice.
+func checkPromGrammar(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	types := make(map[string]string)
+	family := "" // the most recent TYPE declaration
+	var lastBucket float64
+	sawInf := false
+
+	flushHist := func() {
+		if family != "" && types[family] == "histogram" && !sawInf {
+			t.Errorf("histogram %s has no +Inf bucket", family)
+		}
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			m := promTypeLine.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed comment %q", n, line)
+			}
+			if _, dup := types[m[1]]; dup {
+				t.Fatalf("line %d: family %s declared twice", n, m[1])
+			}
+			flushHist()
+			family, lastBucket, sawInf = m[1], 0, false
+			types[m[1]] = m[2]
+			continue
+		}
+		m := promSampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", n, line)
+		}
+		name, le, raw := m[1], m[3], m[4]
+		if !promMetricName.MatchString(name) {
+			t.Fatalf("line %d: bad metric name %q", n, name)
+		}
+		val, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			t.Fatalf("line %d: unparseable value %q: %v", n, raw, err)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if types[family] == "histogram" && name == family+suf {
+				base = family
+			}
+		}
+		if types[base] == "" {
+			t.Fatalf("line %d: sample %s has no TYPE declaration", n, name)
+		}
+		if base != family {
+			t.Fatalf("line %d: sample %s outside its family block (current family %s)", n, name, family)
+		}
+		if m[2] != "" { // a {le=...} labelled bucket sample
+			if types[family] != "histogram" || name != family+"_bucket" {
+				t.Fatalf("line %d: le label on non-bucket sample %s", n, name)
+			}
+			if val < lastBucket {
+				t.Fatalf("line %d: bucket le=%q not cumulative (%v < %v)", n, le, val, lastBucket)
+			}
+			lastBucket = val
+			if le == "+Inf" {
+				sawInf = true
+			} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+				t.Fatalf("line %d: unparseable le bound %q", n, le)
+			}
+		}
+		key := name
+		if le != "" {
+			key = name + "{le=" + le + "}"
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("line %d: duplicate sample %s", n, key)
+		}
+		samples[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	flushHist()
+	return samples
+}
+
+func TestWritePromGrammar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("disk.d0.reads").Add(7)
+	r.Counter("cdd.retries").Add(2)
+	r.RegisterGauge("disk.d0.backlog_us", func() int64 { return -5 })
+	h := r.Histogram("cdd.read_latency")
+	h.Observe(100 * time.Microsecond)
+	h.Observe(100 * time.Microsecond)
+	h.Observe(80 * time.Millisecond)
+	h.Observe(365 * 24 * time.Hour) // lands in the top (+Inf-only) bucket
+	r.Event(EventRetry, "d0", "")
+	r.Event(EventSwap, "d1", "")
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := checkPromGrammar(t, sb.String())
+
+	if got := samples["disk_d0_reads_total"]; got != 7 {
+		t.Errorf("disk_d0_reads_total = %v, want 7", got)
+	}
+	if got := samples["disk_d0_backlog_us"]; got != -5 {
+		t.Errorf("gauge = %v, want -5", got)
+	}
+	if got := samples["cdd_read_latency_seconds_count"]; got != 4 {
+		t.Errorf("_count = %v, want 4", got)
+	}
+	if got := samples[`cdd_read_latency_seconds_bucket{le=+Inf}`]; got != 4 {
+		t.Errorf("+Inf bucket = %v, want 4 (== count)", got)
+	}
+	// The two 100µs observations land at or below the 128µs edge; the
+	// year-long one must be beyond every finite bucket.
+	le128 := fmt.Sprintf("cdd_read_latency_seconds_bucket{le=%s}",
+		strconv.FormatFloat((128*time.Microsecond).Seconds(), 'g', -1, 64))
+	if got := samples[le128]; got != 2 {
+		t.Errorf("128µs bucket = %v, want 2", got)
+	}
+	var maxFinite float64
+	for k, v := range samples {
+		if strings.HasPrefix(k, "cdd_read_latency_seconds_bucket{") && !strings.Contains(k, "+Inf") {
+			if v > maxFinite {
+				maxFinite = v
+			}
+		}
+	}
+	if maxFinite != 3 {
+		t.Errorf("largest finite bucket = %v, want 3 (the year-long observation is +Inf-only)", maxFinite)
+	}
+	sum := samples["cdd_read_latency_seconds_sum"]
+	if sum < (365 * 24 * time.Hour).Seconds() {
+		t.Errorf("_sum = %v, too small", sum)
+	}
+	if got := samples["obs_events_total"]; got != 2 {
+		t.Errorf("obs_events_total = %v, want 2", got)
+	}
+	if got, ok := samples["obs_events_dropped_total"]; !ok || got != 0 {
+		t.Errorf("obs_events_dropped_total = %v (present=%v), want 0", got, ok)
+	}
+}
+
+func TestWritePromNilAndEmpty(t *testing.T) {
+	var nilR *Registry
+	var sb strings.Builder
+	if err := nilR.WriteProm(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry: err=%v, wrote %q", err, sb.String())
+	}
+	// An empty registry still exports the event-log totals, and the
+	// output must satisfy the grammar.
+	r := NewRegistry()
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkPromGrammar(t, sb.String())
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"disk.d0.reads":    "disk_d0_reads",
+		"cdd.read_latency": "cdd_read_latency",
+		"9lives":           "_9lives",
+		"ok_name:x":        "ok_name:x",
+		"sp ace-dash":      "sp_ace_dash",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+		if !promMetricName.MatchString(promName(in)) {
+			t.Errorf("promName(%q) = %q violates metric-name grammar", in, promName(in))
+		}
+	}
+}
+
+// TestEventSeqConcurrent pins the process-wide sequence contract:
+// events appended concurrently across several logs carry unique
+// sequence numbers, and each log's snapshot comes back sorted so a
+// merged view is a true total order.
+func TestEventSeqConcurrent(t *testing.T) {
+	const logs, writers, per = 4, 8, 200
+	ls := make([]*EventLog, logs)
+	for i := range ls {
+		ls[i] = NewEventLog(logs * writers * per) // big enough: nothing dropped
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				ls[(w+j)%logs].Append(EventRetry, "dev", "")
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var merged []Event
+	for _, l := range ls {
+		evs := l.Events()
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Seq <= evs[i-1].Seq {
+				t.Fatalf("log snapshot not sorted: seq %d after %d", evs[i].Seq, evs[i-1].Seq)
+			}
+		}
+		merged = append(merged, evs...)
+	}
+	if len(merged) != writers*per {
+		t.Fatalf("merged %d events, want %d", len(merged), writers*per)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Seq < merged[j].Seq })
+	seen := make(map[uint64]bool, len(merged))
+	for _, e := range merged {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate sequence number %d across logs", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}

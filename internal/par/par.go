@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
@@ -30,7 +31,11 @@ import (
 // reported as the operation's error: the root cause wins, chosen
 // deterministically as the first non-cancellation error in argument
 // order.
-func Do(ctx context.Context, fns ...func(context.Context) error) error {
+//
+// Under a traced context the whole fan-out is one "par.do" span (Val =
+// branch count), so a waterfall shows the fan-out's wall time as the
+// max of its branches, with every branch a child span.
+func Do(ctx context.Context, fns ...func(context.Context) error) (err error) {
 	live := fns[:0]
 	for _, fn := range fns {
 		if fn != nil {
@@ -43,6 +48,9 @@ func Do(ctx context.Context, fns ...func(context.Context) error) error {
 	case 1:
 		return live[0](ctx)
 	}
+	ctx, h := trace.Start(ctx, "par.do", "")
+	h.Val = int64(len(live))
+	defer func() { h.End(err) }()
 	if p, ok := vclock.From(ctx); ok {
 		return doSim(ctx, p, live)
 	}

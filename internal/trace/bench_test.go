@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkLeafRecord measures the hot-path cost of one recorded leaf
+// span (StartLeaf + End) under an active trace.
+func BenchmarkLeafRecord(b *testing.B) {
+	tr := New(Config{SlowThreshold: -1})
+	ctx, root := tr.StartRoot(context.Background(), "bench", "")
+	defer root.End(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := StartLeaf(ctx, "disk.read", "d0")
+		h.Val = 4096
+		h.End(nil)
+	}
+}
+
+// BenchmarkLeafUntraced measures the same call sequence against an
+// untraced context — the cost every unsampled operation pays.
+func BenchmarkLeafUntraced(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := StartLeaf(ctx, "disk.read", "d0")
+		h.Val = 4096
+		h.End(nil)
+	}
+}
+
+// BenchmarkRootSampledOut measures an operation skipped by sampling:
+// one atomic tick, no recording, no context derivation.
+func BenchmarkRootSampledOut(b *testing.B) {
+	tr := New(Config{SampleEvery: 1 << 30, SlowThreshold: -1})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, h := tr.StartRoot(ctx, "raidx.read", "raidx")
+		h.End(nil)
+	}
+}
+
+// BenchmarkRootRecorded measures a fully recorded root span including
+// its context derivation.
+func BenchmarkRootRecorded(b *testing.B) {
+	tr := New(Config{SlowThreshold: -1})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, h := tr.StartRoot(ctx, "raidx.read", "raidx")
+		h.End(nil)
+	}
+}

@@ -1,0 +1,57 @@
+package trace
+
+import "context"
+
+// spanCtx is the trace state carried through a context: which tracer
+// records, which trace this is, and the current span (parent of the
+// next Start). fromWire marks a context resumed from a frame's trace
+// extension — the first span started under it is a local subtree top,
+// so server-side slow-log promotion and trace assembly have a root to
+// anchor on.
+type spanCtx struct {
+	t        *Tracer
+	trace    TraceID
+	span     SpanID
+	fromWire bool
+}
+
+type ctxKey struct{}
+
+func withSpan(ctx context.Context, sc spanCtx) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+func fromContext(ctx context.Context) (spanCtx, bool) {
+	if ctx == nil {
+		return spanCtx{}, false
+	}
+	sc, ok := ctx.Value(ctxKey{}).(spanCtx)
+	return sc, ok
+}
+
+// SpanContext is the wire-visible identity of the current span,
+// exposed so the transport can stamp outgoing frames.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// FromContext reports the trace identity carried by ctx, if any.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := fromContext(ctx)
+	if !ok || sc.t == nil {
+		return SpanContext{}, false
+	}
+	return SpanContext{Trace: sc.trace, Span: sc.span}, true
+}
+
+// Resume re-attaches a trace that arrived over the wire: spans started
+// under the returned context record into t as children of the remote
+// span id. The first such span is marked as a local subtree top. A nil
+// tracer returns ctx unchanged.
+func Resume(ctx context.Context, t *Tracer, id TraceID, parent SpanID) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return withSpan(ctx, spanCtx{t: t, trace: id, span: parent, fromWire: true})
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Merge folds spans recorded by another process (fetched from its
+// tracer via the wire) into tr. Only spans of tr's TraceID are taken;
+// each is stamped with origin so the waterfall shows which node
+// recorded it.
+//
+// The two processes have unrelated clocks, so remote subtrees are
+// re-based: for each remote top span whose parent is a local span (the
+// client-side transport.call that carried it), the remote subtree is
+// shifted so the top span sits centered inside its local parent — the
+// span's halves of (parentDur - topDur) approximate the request and
+// response network legs. Remote spans with no local parent in tr are
+// attached as-is under the root by the renderer.
+func (tr *Trace) Merge(remote []Span, origin string) {
+	local := make(map[SpanID]Span, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		local[sp.ID] = sp
+	}
+	var add []Span
+	for _, sp := range remote {
+		if sp.Trace != tr.ID {
+			continue
+		}
+		if _, dup := local[sp.ID]; dup {
+			continue
+		}
+		sp.Origin = origin
+		add = append(add, sp)
+	}
+	if len(add) == 0 {
+		return
+	}
+	// Children index over the incoming remote spans, for subtree shifts.
+	kids := map[SpanID][]int{}
+	byID := map[SpanID]int{}
+	for i, sp := range add {
+		byID[sp.ID] = i
+		kids[sp.Parent] = append(kids[sp.Parent], i)
+	}
+	var shift func(i int, d time.Duration)
+	shift = func(i int, d time.Duration) {
+		add[i].Start = add[i].Start.Add(d)
+		for _, c := range kids[add[i].ID] {
+			shift(c, d)
+		}
+	}
+	for i, sp := range add {
+		if _, remoteParent := byID[sp.Parent]; remoteParent {
+			continue // interior span; shifted with its subtree top
+		}
+		parent, ok := local[sp.Parent]
+		if !ok {
+			continue // no local anchor; leave the remote clock alone
+		}
+		want := parent.Start.Add((parent.Dur - sp.Dur) / 2)
+		shift(i, want.Sub(sp.Start))
+	}
+	tr.Spans = append(tr.Spans, add...)
+	sort.Slice(tr.Spans, func(i, j int) bool { return tr.Spans[i].Start.Before(tr.Spans[j].Start) })
+}
+
+// WriteWaterfall renders tr as an indented span tree: one line per
+// span, offset from the root and duration up front, children indented
+// under their parents in start order. Spans whose parent is missing
+// from the trace (overwritten in the ring, or a remote fragment) hang
+// off the root.
+func WriteWaterfall(w io.Writer, tr Trace) {
+	fmt.Fprintf(w, "trace %016x  %s  %s  (%d spans)\n",
+		uint64(tr.ID), tr.Root.Name, fmtDur(tr.Root.Dur), len(tr.Spans))
+	have := make(map[SpanID]bool, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		have[sp.ID] = true
+	}
+	kids := map[SpanID][]Span{}
+	for _, sp := range tr.Spans {
+		if sp.ID == tr.Root.ID {
+			continue
+		}
+		p := sp.Parent
+		if !have[p] {
+			p = tr.Root.ID
+		}
+		kids[p] = append(kids[p], sp)
+	}
+	for _, c := range kids {
+		sort.Slice(c, func(i, j int) bool { return c[i].Start.Before(c[j].Start) })
+	}
+	seen := make(map[SpanID]bool, len(tr.Spans))
+	var walk func(sp Span, depth int)
+	walk = func(sp Span, depth int) {
+		if seen[sp.ID] {
+			return
+		}
+		seen[sp.ID] = true
+		fmt.Fprintf(w, "%10s %10s  %s%s", fmtDur(sp.Start.Sub(tr.Root.Start)), fmtDur(sp.Dur),
+			strings.Repeat("  ", depth), sp.Name)
+		if sp.Subject != "" {
+			fmt.Fprintf(w, " %s", sp.Subject)
+		}
+		if sp.Val != 0 {
+			fmt.Fprintf(w, " [%d]", sp.Val)
+		}
+		if sp.Origin != "" {
+			fmt.Fprintf(w, " @%s", sp.Origin)
+		}
+		if sp.Err != "" {
+			fmt.Fprintf(w, "  ERR: %s", sp.Err)
+		}
+		fmt.Fprintln(w)
+		for _, c := range kids[sp.ID] {
+			walk(c, depth+1)
+		}
+	}
+	walk(tr.Root, 0)
+}
+
+// fmtDur prints a duration with µs resolution below 1 ms and ms
+// resolution above, keeping waterfall columns narrow.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < 0:
+		return "-" + fmtDur(-d)
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1e3)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

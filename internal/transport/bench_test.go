@@ -10,7 +10,7 @@ var bgBench = context.Background()
 
 func benchPair(b *testing.B) *Client {
 	b.Helper()
-	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+	s, err := Serve("127.0.0.1:0", func(_ context.Context, op uint8, payload []byte) ([]byte, error) {
 		return payload, nil
 	})
 	if err != nil {
@@ -68,7 +68,7 @@ func BenchmarkNotify(b *testing.B) {
 	payload := make([]byte, 32<<10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := c.Notify(2, payload); err != nil {
+		if err := c.Notify(context.Background(), 2, payload); err != nil {
 			b.Fatal(err)
 		}
 	}

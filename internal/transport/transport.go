@@ -22,9 +22,20 @@
 //
 //	uint32 frame length (bytes after this field)
 //	uint64 request id   (0 = notification)
-//	uint8  type         (0 request, 1 response-ok, 2 response-error)
+//	uint8  type         (0 request, 1 response-ok, 2 response-error;
+//	                     bit 7 set = a flags byte follows the op)
 //	uint8  op           (application opcode; echoed in responses)
+//	[uint8 flags]       (only when type bit 7 is set)
+//	[16 B  trace ext]   (only when flags bit 0 is set: trace id, span id)
 //	...    payload
+//
+// The flags byte is the frame format's extension point. A frame without
+// bit 7 in its type byte is byte-identical to the original format, so a
+// peer that omits the flag (an older build, or simply an untraced
+// request) interoperates unchanged; frames carrying unknown flag bits
+// are rejected as malformed rather than misparsed. The only extension
+// so far is the 16-byte trace context (internal/trace) that lets a
+// server record its handler spans into the caller's trace.
 package transport
 
 import (
@@ -39,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 const (
@@ -46,6 +58,12 @@ const (
 	frameOK      = 1
 	frameError   = 2
 	headerLen    = 8 + 1 + 1
+	// typExt flags that an extension flags byte follows the op byte.
+	typExt = 0x80
+	// flagTrace flags a 16-byte trace context after the flags byte.
+	flagTrace = 0x01
+	// traceExtLen is the flags byte plus the trace context.
+	traceExtLen = 1 + 16
 	// MaxFrame bounds a frame's size (16 MiB) to stop a corrupt length
 	// prefix from exhausting memory.
 	MaxFrame = 16 << 20
@@ -55,11 +73,21 @@ const (
 	DefaultDialTimeout = 5 * time.Second
 )
 
-// Handler processes one request and returns the response payload.
-// Returning an error sends a response-error frame; the error text
-// travels to the caller, prefixed by a one-byte error code (CodeGeneric
-// unless the error carries one via WithCode).
-type Handler func(op uint8, payload []byte) ([]byte, error)
+// Handler processes one request and returns the response payload. ctx
+// carries the request's resumed trace context when the frame had one
+// (and the server a tracer); it is not otherwise used for cancellation
+// today. Returning an error sends a response-error frame; the error
+// text travels to the caller, prefixed by a one-byte error code
+// (CodeGeneric unless the error carries one via WithCode).
+type Handler func(ctx context.Context, op uint8, payload []byte) ([]byte, error)
+
+// TraceExt is a frame's optional trace extension: the caller's trace
+// and the span that issued the request (the parent of any spans the
+// server records).
+type TraceExt struct {
+	Trace trace.TraceID
+	Span  trace.SpanID
+}
 
 // Error codes carried in the first byte of a response-error frame, so
 // clients classify remote failures structurally instead of matching
@@ -146,15 +174,30 @@ func decodeRemoteError(op uint8, payload []byte) *RemoteError {
 	return &RemoteError{Op: op, Code: payload[0], Msg: string(payload[1:])}
 }
 
-func writeFrame(w io.Writer, id uint64, typ, op uint8, payload []byte) error {
-	if len(payload) > MaxPayload {
-		return fmt.Errorf("%w: payload %d bytes exceeds %d", ErrFrameTooLarge, len(payload), MaxPayload)
+// writeFrame emits one frame. A nil ext produces bytes identical to
+// the pre-extension frame format, so untraced traffic is indistinguishable
+// from an older peer's. No bytes are written when the frame would
+// exceed MaxFrame, so an ErrFrameTooLarge does not desynchronize the
+// stream.
+func writeFrame(w io.Writer, id uint64, typ, op uint8, ext *TraceExt, payload []byte) error {
+	extLen := 0
+	if ext != nil {
+		extLen = traceExtLen
 	}
-	hdr := make([]byte, 4+headerLen)
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(headerLen+len(payload)))
+	if extLen+len(payload) > MaxPayload {
+		return fmt.Errorf("%w: payload %d bytes exceeds %d", ErrFrameTooLarge, len(payload), MaxPayload-extLen)
+	}
+	hdr := make([]byte, 4+headerLen+extLen)
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(headerLen+extLen+len(payload)))
 	binary.BigEndian.PutUint64(hdr[4:12], id)
 	hdr[12] = typ
 	hdr[13] = op
+	if ext != nil {
+		hdr[12] |= typExt
+		hdr[14] = flagTrace
+		binary.BigEndian.PutUint64(hdr[15:23], uint64(ext.Trace))
+		binary.BigEndian.PutUint64(hdr[23:31], uint64(ext.Span))
+	}
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
@@ -166,7 +209,10 @@ func writeFrame(w io.Writer, id uint64, typ, op uint8, payload []byte) error {
 	return nil
 }
 
-func readFrame(r io.Reader) (id uint64, typ, op uint8, payload []byte, err error) {
+// readFrame parses one frame, accepting both the original format and
+// the flags-byte extension. The returned typ has the extension bit
+// stripped; ext is nil unless the frame carried a trace context.
+func readFrame(r io.Reader) (id uint64, typ, op uint8, ext *TraceExt, payload []byte, err error) {
 	var lenBuf [4]byte
 	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
 		return
@@ -184,6 +230,31 @@ func readFrame(r io.Reader) (id uint64, typ, op uint8, payload []byte, err error
 	typ = buf[8]
 	op = buf[9]
 	payload = buf[headerLen:]
+	if typ&typExt == 0 {
+		return
+	}
+	typ &^= typExt
+	if len(payload) < 1 {
+		err = fmt.Errorf("transport: frame advertises flags but is truncated")
+		return
+	}
+	flags := payload[0]
+	payload = payload[1:]
+	if flags&^uint8(flagTrace) != 0 {
+		err = fmt.Errorf("transport: unknown frame flags %#02x", flags)
+		return
+	}
+	if flags&flagTrace != 0 {
+		if len(payload) < 16 {
+			err = fmt.Errorf("transport: truncated trace extension (%d bytes)", len(payload))
+			return
+		}
+		ext = &TraceExt{
+			Trace: trace.TraceID(binary.BigEndian.Uint64(payload[0:8])),
+			Span:  trace.SpanID(binary.BigEndian.Uint64(payload[8:16])),
+		}
+		payload = payload[16:]
+	}
 	return
 }
 
@@ -191,20 +262,34 @@ func readFrame(r io.Reader) (id uint64, typ, op uint8, payload []byte, err error
 type Server struct {
 	ln      net.Listener
 	handler Handler
+	tracer  *trace.Tracer
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 }
 
+// ServerOptions tune a server. The zero value serves without tracing.
+type ServerOptions struct {
+	// Tracer, when non-nil, resumes the trace context of incoming
+	// frames: each traced request is handled under a "transport.serve"
+	// span recorded into this tracer as a child of the caller's span.
+	Tracer *trace.Tracer
+}
+
 // Serve starts a server on addr (e.g. "127.0.0.1:0") and begins
 // accepting connections in the background.
 func Serve(addr string, h Handler) (*Server, error) {
+	return ServeWith(addr, h, ServerOptions{})
+}
+
+// ServeWith starts a server with explicit options.
+func ServeWith(addr string, h Handler, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, handler: h, conns: map[net.Conn]struct{}{}}
+	s := &Server{ln: ln, handler: h, tracer: opts.Tracer, conns: map[net.Conn]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -241,9 +326,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	remote := conn.RemoteAddr().String()
 	var wmu sync.Mutex
 	for {
-		id, typ, op, payload, err := readFrame(conn)
+		id, typ, op, ext, payload, err := readFrame(conn)
 		if err != nil {
 			return
 		}
@@ -252,19 +338,30 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		// Requests are handled in order; responses are written under a
 		// lock because a handler could in principle respond late.
-		resp, herr := s.handler(op, payload)
+		ctx := context.Background()
+		var h trace.Handle
+		if ext != nil && s.tracer != nil {
+			// Resume the caller's trace: the serve span (and everything
+			// the handler records under ctx) becomes a child of the span
+			// that stamped the frame, assembled across nodes later.
+			ctx = trace.Resume(ctx, s.tracer, ext.Trace, ext.Span)
+			ctx, h = trace.Start(ctx, "transport.serve", remote)
+			h.Val = int64(len(payload))
+		}
+		resp, herr := s.handler(ctx, op, payload)
+		h.End(herr)
 		if id == 0 {
 			continue // notification: no response even on error
 		}
 		wmu.Lock()
 		if herr != nil {
-			err = writeFrame(conn, id, frameError, op, encodeErrorPayload(codeOf(herr), herr.Error()))
+			err = writeFrame(conn, id, frameError, op, nil, encodeErrorPayload(codeOf(herr), herr.Error()))
 		} else {
-			err = writeFrame(conn, id, frameOK, op, resp)
+			err = writeFrame(conn, id, frameOK, op, nil, resp)
 			if errors.Is(err, ErrFrameTooLarge) {
 				// An oversized handler result must not kill the
 				// connection: deliver it as an error response instead.
-				err = writeFrame(conn, id, frameError, op, encodeErrorPayload(CodeOversized, err.Error()))
+				err = writeFrame(conn, id, frameError, op, nil, encodeErrorPayload(CodeOversized, err.Error()))
 			}
 		}
 		wmu.Unlock()
@@ -469,7 +566,7 @@ func (c *Client) ensureConn(ctx context.Context) (net.Conn, uint64, error) {
 
 func (c *Client) readLoop(conn net.Conn, gen uint64) {
 	for {
-		id, typ, op, payload, err := readFrame(conn)
+		id, typ, op, _, payload, err := readFrame(conn)
 		if err != nil {
 			conn.Close()
 			c.mu.Lock()
@@ -515,8 +612,33 @@ func (c *Client) brokenErr() error {
 // Call sends a request and waits for its response payload. The context
 // bounds the whole exchange: on expiry or cancellation the call
 // returns ctx.Err() immediately (closing the connection only if the
-// request frame was still in flight).
+// request frame was still in flight). A traced context (internal/trace)
+// records the exchange as a "transport.call" span and stamps the frame
+// with the trace extension so the server can continue the trace.
 func (c *Client) Call(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
+	ext, h := c.startWire(ctx, "transport.call", payload)
+	resp, err := c.call(ctx, op, ext, payload)
+	h.End(err)
+	return resp, err
+}
+
+// startWire opens the client-side span for one frame exchange and
+// builds the trace extension that carries it; both are zero for an
+// untraced context.
+func (c *Client) startWire(ctx context.Context, name string, payload []byte) (*TraceExt, trace.Handle) {
+	if _, ok := trace.FromContext(ctx); !ok {
+		return nil, trace.Handle{}
+	}
+	tctx, h := trace.Start(ctx, name, c.addr)
+	h.Val = int64(len(payload))
+	sc, ok := trace.FromContext(tctx)
+	if !ok {
+		return nil, h
+	}
+	return &TraceExt{Trace: sc.Trace, Span: sc.Span}, h
+}
+
+func (c *Client) call(ctx context.Context, op uint8, ext *TraceExt, payload []byte) ([]byte, error) {
 	if len(payload) > MaxPayload {
 		return nil, fmt.Errorf("%w: payload %d bytes exceeds %d", ErrFrameTooLarge, len(payload), MaxPayload)
 	}
@@ -553,9 +675,14 @@ func (c *Client) Call(ctx context.Context, op uint8, payload []byte) ([]byte, er
 	if ctx.Done() == nil {
 		// Fast path: nothing to race the write against.
 		c.wmu.Lock()
-		err = writeFrame(conn, id, frameRequest, op, payload)
+		err = writeFrame(conn, id, frameRequest, op, ext, payload)
 		c.wmu.Unlock()
 		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				// Nothing was written; the session is still good.
+				unregister()
+				return nil, err
+			}
 			c.dropConn(conn, err) // a partial frame desynchronizes the stream
 			unregister()
 			return nil, err
@@ -564,14 +691,16 @@ func (c *Client) Call(ctx context.Context, op uint8, payload []byte) ([]byte, er
 		written := make(chan error, 1)
 		go func() {
 			c.wmu.Lock()
-			werr := writeFrame(conn, id, frameRequest, op, payload)
+			werr := writeFrame(conn, id, frameRequest, op, ext, payload)
 			c.wmu.Unlock()
 			written <- werr
 		}()
 		select {
 		case err = <-written:
 			if err != nil {
-				c.dropConn(conn, err)
+				if !errors.Is(err, ErrFrameTooLarge) {
+					c.dropConn(conn, err)
+				}
 				unregister()
 				return nil, err
 			}
@@ -605,8 +734,17 @@ func (c *Client) Call(ctx context.Context, op uint8, payload []byte) ([]byte, er
 
 // Notify sends a fire-and-forget request (no response, errors on the
 // server are dropped) — used for deferred mirror pushes. It shares the
-// session with Call and re-dials a broken one.
-func (c *Client) Notify(op uint8, payload []byte) error {
+// session with Call and re-dials a broken one. ctx supplies only the
+// trace context (recorded as a "transport.notify" span); the send
+// itself is not cancellable.
+func (c *Client) Notify(ctx context.Context, op uint8, payload []byte) error {
+	ext, h := c.startWire(ctx, "transport.notify", payload)
+	err := c.notify(op, ext, payload)
+	h.End(err)
+	return err
+}
+
+func (c *Client) notify(op uint8, ext *TraceExt, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("%w: payload %d bytes exceeds %d", ErrFrameTooLarge, len(payload), MaxPayload)
 	}
@@ -615,9 +753,12 @@ func (c *Client) Notify(op uint8, payload []byte) error {
 		return err
 	}
 	c.wmu.Lock()
-	err = writeFrame(conn, 0, frameRequest, op, payload)
+	err = writeFrame(conn, 0, frameRequest, op, ext, payload)
 	c.wmu.Unlock()
 	if err != nil {
+		if errors.Is(err, ErrFrameTooLarge) {
+			return err
+		}
 		c.dropConn(conn, err)
 		return err
 	}

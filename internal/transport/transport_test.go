@@ -17,7 +17,7 @@ var bg = context.Background()
 
 func echoServer(t *testing.T) (*Server, *Client) {
 	t.Helper()
-	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+	s, err := Serve("127.0.0.1:0", func(_ context.Context, op uint8, payload []byte) ([]byte, error) {
 		switch op {
 		case 1: // echo
 			return payload, nil
@@ -158,7 +158,7 @@ func TestLargePayload(t *testing.T) {
 func TestNotifyIsProcessedInOrder(t *testing.T) {
 	var mu sync.Mutex
 	var log []byte
-	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+	s, err := Serve("127.0.0.1:0", func(_ context.Context, op uint8, payload []byte) ([]byte, error) {
 		mu.Lock()
 		log = append(log, op)
 		mu.Unlock()
@@ -174,7 +174,7 @@ func TestNotifyIsProcessedInOrder(t *testing.T) {
 	}
 	defer c.Close()
 	for i := 0; i < 5; i++ {
-		if err := c.Notify(10, nil); err != nil {
+		if err := c.Notify(context.Background(), 10, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -302,7 +302,7 @@ func TestOversizedPayloadRejectedAtSend(t *testing.T) {
 	if _, err := c.Call(bg, 1, big); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("Call: got %v, want ErrFrameTooLarge", err)
 	}
-	if err := c.Notify(1, big); !errors.Is(err, ErrFrameTooLarge) {
+	if err := c.Notify(context.Background(), 1, big); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("Notify: got %v, want ErrFrameTooLarge", err)
 	}
 	// The connection must still be usable.
@@ -315,7 +315,7 @@ func TestOversizedPayloadRejectedAtSend(t *testing.T) {
 // TestOversizedHandlerResultBecomesError: a handler result that cannot
 // fit in a frame travels back as a response-error, not a dead socket.
 func TestOversizedHandlerResultBecomesError(t *testing.T) {
-	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+	s, err := Serve("127.0.0.1:0", func(_ context.Context, op uint8, payload []byte) ([]byte, error) {
 		return make([]byte, MaxPayload+1), nil
 	})
 	if err != nil {
@@ -342,7 +342,7 @@ func TestOversizedHandlerResultBecomesError(t *testing.T) {
 // ErrClosed immediately, not leave them waiting on the read loop.
 func TestCloseFailsOutstandingCalls(t *testing.T) {
 	stall := make(chan struct{})
-	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+	s, err := Serve("127.0.0.1:0", func(_ context.Context, op uint8, payload []byte) ([]byte, error) {
 		<-stall // never answer until the test ends
 		return nil, nil
 	})
@@ -376,7 +376,7 @@ func TestCloseFailsOutstandingCalls(t *testing.T) {
 // responds must not hang a call with a deadline.
 func TestCallDeadlineAgainstHungServer(t *testing.T) {
 	stall := make(chan struct{})
-	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+	s, err := Serve("127.0.0.1:0", func(_ context.Context, op uint8, payload []byte) ([]byte, error) {
 		<-stall
 		return nil, nil
 	})
@@ -404,7 +404,7 @@ func TestCallDeadlineAgainstHungServer(t *testing.T) {
 // TestCallCancellation: cancelling the context abandons the call.
 func TestCallCancellation(t *testing.T) {
 	stall := make(chan struct{})
-	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) {
+	s, err := Serve("127.0.0.1:0", func(_ context.Context, op uint8, payload []byte) ([]byte, error) {
 		<-stall
 		return nil, nil
 	})
@@ -439,7 +439,7 @@ func TestCallCancellation(t *testing.T) {
 // back on the same address must reach it again without re-dialing by
 // hand.
 func TestReconnectAfterServerRestart(t *testing.T) {
-	handler := func(op uint8, payload []byte) ([]byte, error) { return payload, nil }
+	handler := func(_ context.Context, op uint8, payload []byte) ([]byte, error) { return payload, nil }
 	s, err := Serve("127.0.0.1:0", handler)
 	if err != nil {
 		t.Fatal(err)
@@ -483,7 +483,7 @@ func TestReconnectAfterServerRestart(t *testing.T) {
 // TestNoReconnect: with reconnection disabled, a broken connection
 // stays broken.
 func TestNoReconnect(t *testing.T) {
-	s, err := Serve("127.0.0.1:0", func(op uint8, payload []byte) ([]byte, error) { return payload, nil })
+	s, err := Serve("127.0.0.1:0", func(_ context.Context, op uint8, payload []byte) ([]byte, error) { return payload, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -497,7 +497,7 @@ func TestNoReconnect(t *testing.T) {
 	if _, err := c.Call(bg, 1, nil); err == nil {
 		t.Fatal("call against dead server succeeded")
 	}
-	s2, err := Serve(addr, func(op uint8, payload []byte) ([]byte, error) { return payload, nil })
+	s2, err := Serve(addr, func(_ context.Context, op uint8, payload []byte) ([]byte, error) { return payload, nil })
 	if err != nil {
 		t.Skipf("could not rebind %s: %v", addr, err)
 	}

@@ -28,6 +28,7 @@ package raidx
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/andrew"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/raid"
 	"repro/internal/reliab"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/vclock"
 	"repro/internal/workload"
@@ -233,6 +235,25 @@ type NFSServer = nfssim.Server
 func NewNFSServer(c *Cluster, node int) (*NFSServer, error) {
 	return nfssim.NewServer(c, node)
 }
+
+// Request tracing (Options.Trace wires a Tracer into the engine; CDD
+// nodes carry their own, reachable via NodeClient.TraceSpans).
+type (
+	// Tracer records sampled per-request spans into a fixed ring.
+	Tracer = trace.Tracer
+	// TraceConfig sizes a Tracer (ring, sampling, slow log).
+	TraceConfig = trace.Config
+	// TraceSpan is one timed section of a traced operation.
+	TraceSpan = trace.Span
+	// TraceRecord is one assembled trace (root plus spans).
+	TraceRecord = trace.Trace
+)
+
+// NewTracer creates a Tracer; zero cfg fields take the defaults.
+func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
+
+// WriteTraceWaterfall renders one assembled trace as an indented tree.
+func WriteTraceWaterfall(w io.Writer, tr TraceRecord) { trace.WriteWaterfall(w, tr) }
 
 // Byte-granular access and integrity tooling.
 
