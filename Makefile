@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck promtest check bench
+.PHONY: build test race vet staticcheck promtest check bench benchcheck
 
 build:
 	$(GO) build ./...
@@ -35,3 +35,11 @@ check: vet staticcheck promtest race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# benchcheck runs the allocation-pinned regression tests: AllocsPerRun
+# limits on the hot paths (transport round trips, remote device I/O, the
+# engine's stripe fan-out). A hot-path allocation regression fails here
+# before it shows up in the benchmarks. Must run without -race — the
+# race runtime allocates on its own account.
+benchcheck:
+	$(GO) test -run 'TestAllocs' -count=1 -v ./internal/transport/ ./internal/cdd/ ./internal/core/

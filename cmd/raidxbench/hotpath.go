@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"testing"
+
+	"repro/internal/cdd"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/raid"
+	"repro/internal/store"
+)
+
+// runHotpath measures the real I/O stack — core engine over TCP loopback
+// to CDD nodes — with the testing package's benchmark driver: ns/op,
+// allocs/op, and MB/s for the transfer shapes the zero-copy path is
+// tuned for. These are the live counterparts of the `go test -bench`
+// numbers recorded in BENCH_*.json; run with the global -json flag to
+// emit them machine-readably.
+func runHotpath(args []string) error {
+	fs := flag.NewFlagSet("hotpath", flag.ExitOnError)
+	nodes := fs.Int("nodes", 4, "loopback CDD nodes (one disk each)")
+	bs := fs.Int("bs", 4096, "block size (bytes)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nodes < 2 {
+		return fmt.Errorf("hotpath needs >= 2 nodes for OSM mirror groups")
+	}
+
+	var devs []raid.Dev
+	var closers []func()
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	for i := 0; i < *nodes; i++ {
+		d := disk.New(nil, fmt.Sprintf("n%d.d0", i), store.NewMem(*bs, 4096), disk.DefaultModel())
+		n, err := cdd.ListenAndServe("127.0.0.1:0", []*disk.Disk{d})
+		if err != nil {
+			return err
+		}
+		c, err := cdd.Connect(n.Addr())
+		if err != nil {
+			n.Close()
+			return err
+		}
+		closers = append(closers, func() { c.Close(); n.Close() })
+		devs = append(devs, c.Devs()...)
+	}
+	a, err := core.New(devs, *nodes, 1, core.Options{})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	big := make([]byte, 64<<10)
+	small := make([]byte, a.BlockSize())
+	bigBlocks := int64(len(big) / a.BlockSize())
+	cases := []struct {
+		name  string
+		bytes int64
+		fn    func(b *testing.B)
+	}{
+		{"write-64k", int64(len(big)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := a.WriteBlocks(ctx, (int64(i)*bigBlocks)%(a.Blocks()-bigBlocks), big); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"read-64k", int64(len(big)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := a.ReadBlocks(ctx, 0, big); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"write-small", int64(len(small)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := a.WriteBlocks(ctx, int64(i)%a.Blocks(), small); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"dev-write-64k", int64(len(big)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := devs[0].WriteBlocks(ctx, 0, big); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"dev-read-64k", int64(len(big)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := devs[0].ReadBlocks(ctx, 0, big); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	// Prime the array so reads have data and connections are warm.
+	if err := a.WriteBlocks(ctx, 0, big); err != nil {
+		return err
+	}
+
+	fmt.Printf("Hot path, %d loopback nodes, %d-byte blocks (real TCP + real engine):\n\n", *nodes, *bs)
+	fmt.Printf("%-16s %12s %12s %12s\n", "benchmark", "MB/s", "ns/op", "allocs/op")
+	for _, c := range cases {
+		bytes := c.bytes
+		fn := c.fn
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(bytes)
+			b.ResetTimer()
+			fn(b)
+		})
+		mbps := float64(bytes) * float64(r.N) / r.T.Seconds() / 1e6
+		fmt.Printf("%-16s %12.2f %12d %12d\n", c.name, mbps, r.NsPerOp(), r.AllocsPerOp())
+		record(benchResult{
+			Name:        "hotpath/" + c.name,
+			MBps:        mbps,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  bytes,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// benchResult is one row of the machine-readable results file the global
+// -json flag emits. Simulated experiments fill MBps only; the hotpath
+// command (real loopback I/O) also reports ns/op and allocs/op, the
+// numbers BENCH_*.json tracks across PRs.
+type benchResult struct {
+	Name        string  `json:"name"`
+	MBps        float64 `json:"mb_per_s,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+}
+
+// jsonResults collects every benchmark row the executed command records;
+// main writes them out when -json is set.
+var jsonResults []benchResult
+
+func record(r benchResult) { jsonResults = append(jsonResults, r) }
+
+func writeJSON(path string) error {
+	out, err := json.MarshalIndent(jsonResults, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "raidxbench: %d results written to %s\n", len(jsonResults), path)
+	return nil
+}

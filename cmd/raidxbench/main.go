@@ -34,6 +34,7 @@ func main() {
 	global := flag.NewFlagSet("raidxbench", flag.ExitOnError)
 	global.Usage = usage
 	pprofOut := global.String("pprof", "", "write a CPU profile of the whole run to this file")
+	jsonOut := global.String("json", "", "write machine-readable results (MB/s, allocs/op, ns/op) to this file")
 	global.Parse(os.Args[1:])
 	if global.NArg() < 1 {
 		usage()
@@ -83,6 +84,8 @@ func main() {
 		err = runReliability(args)
 	case "ablate":
 		err = runAblate(args)
+	case "hotpath":
+		err = runHotpath(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -95,11 +98,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "raidxbench:", err)
 		os.Exit(1)
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "raidxbench: -json:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: raidxbench <all|scale|table2|fig5|table3|fig6|fig7|summary|txn|degraded|reliability|ablate> [flags]
-Run 'raidxbench <cmd> -h' for per-command flags.`)
+	fmt.Fprintln(os.Stderr, `usage: raidxbench <all|scale|hotpath|table2|fig5|table3|fig6|fig7|summary|txn|degraded|reliability|ablate> [flags]
+Run 'raidxbench <cmd> -h' for per-command flags.
+Global flags (before the command): -pprof <file>, -json <file>.`)
 }
 
 // clusterFlags registers the shared testbed flags.

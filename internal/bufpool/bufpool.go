@@ -1,0 +1,145 @@
+// Package bufpool recycles byte slices for the SIOS hot path.
+//
+// The data path moves block payloads (4 KiB to a few MiB) between the
+// core engine, the CDD client, the wire, and the manager. Allocating a
+// fresh slice per hop makes the garbage collector the bandwidth
+// ceiling; this package keeps a size-classed free list (powers of two,
+// 512 B to 16 MiB, one sync.Pool per class) so steady-state traffic
+// reuses a handful of buffers per class.
+//
+// # Ownership rules
+//
+// Get transfers ownership of the returned slice to the caller. Put
+// transfers it back: after Put the caller must not read, write, or
+// retain the slice (or any alias of it) — the pool will hand the same
+// backing array to another goroutine. Passing a buffer to a function
+// does NOT transfer ownership unless that function's contract says so;
+// see DESIGN.md §10 for the per-layer contracts.
+//
+// Put is safe on any slice: buffers whose capacity is not an exact
+// class size (including subslices not taken from the start, and plain
+// make()d slices) are dropped for the collector rather than pooled, so
+// a stray Put can never corrupt a class. Put(nil) is a no-op.
+//
+// # Leak checking
+//
+// Stats counts Gets and Puts with atomics; tests snapshot it around a
+// workload and assert the Outstanding delta returns to zero, which
+// catches forgotten Puts (leaks) without any per-buffer bookkeeping.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	minShift = 9
+	maxShift = 24
+
+	// MinClass is the smallest pooled capacity; requests below it are
+	// rounded up (the waste is bounded and the pool stays shallow).
+	MinClass = 1 << minShift
+	// MaxClass is the largest pooled capacity — sized to MaxFrame so a
+	// whole transport frame fits in one pooled buffer. Larger requests
+	// fall through to plain make and are never pooled.
+	MaxClass = 1 << maxShift
+
+	numClasses = maxShift - minShift + 1
+)
+
+var classes [numClasses]sync.Pool
+
+// item wraps a slice so that cycling buffers through sync.Pool does not
+// allocate: storing a []byte in an interface boxes the header on every
+// Put, but storing a reused *item does not. Spent wrappers go back to
+// itemPool, so steady state allocates neither buffers nor wrappers.
+type item struct{ buf []byte }
+
+var itemPool = sync.Pool{New: func() any { return new(item) }}
+
+var stats struct {
+	gets  atomic.Int64
+	puts  atomic.Int64
+	mints atomic.Int64
+	drops atomic.Int64
+}
+
+// classIndex returns the index of the smallest class holding n bytes,
+// or -1 when n exceeds MaxClass.
+func classIndex(n int) int {
+	if n > MaxClass {
+		return -1
+	}
+	k := bits.Len(uint(n - 1)) // ceil(log2 n); n >= 1
+	if k < minShift {
+		k = minShift
+	}
+	return k - minShift
+}
+
+// Get returns a slice with len n, recycled when a pooled buffer is
+// available. Contents are unspecified — callers that need zeroed memory
+// must clear it. n <= 0 returns nil; n > MaxClass falls through to a
+// plain allocation (still owned by the caller; Put will drop it).
+func Get(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	stats.gets.Add(1)
+	idx := classIndex(n)
+	if idx < 0 {
+		return make([]byte, n)
+	}
+	if v := classes[idx].Get(); v != nil {
+		it := v.(*item)
+		b := it.buf
+		it.buf = nil
+		itemPool.Put(it)
+		return b[:n]
+	}
+	stats.mints.Add(1)
+	return make([]byte, n, 1<<(idx+minShift))
+}
+
+// Put returns b to its size class. Ownership transfers to the pool: the
+// caller must not touch b afterwards. Slices whose capacity is not an
+// exact class size are dropped (counted in Stats.Drops); nil is ignored.
+func Put(b []byte) {
+	if b == nil {
+		return
+	}
+	stats.puts.Add(1)
+	c := cap(b)
+	if c < MinClass || c > MaxClass || c&(c-1) != 0 {
+		stats.drops.Add(1)
+		return
+	}
+	it := itemPool.Get().(*item)
+	it.buf = b[:0]
+	classes[bits.Len(uint(c))-1-minShift].Put(it)
+}
+
+// Stats is a point-in-time snapshot of pool traffic.
+type Stats struct {
+	Gets  int64 // Get calls that returned a non-nil slice
+	Puts  int64 // Put calls with a non-nil slice (pooled or dropped)
+	Mints int64 // Gets that had to allocate a class-sized buffer
+	Drops int64 // Puts dropped because cap(b) was not a class size
+}
+
+// Outstanding is the number of buffers currently owned by callers:
+// every Get that has not been matched by a Put. A workload that leaks
+// pooled buffers shows a growing Outstanding.
+func (s Stats) Outstanding() int64 { return s.Gets - s.Puts }
+
+// Snapshot returns current pool counters.
+func Snapshot() Stats {
+	return Stats{
+		Gets:  stats.gets.Load(),
+		Puts:  stats.puts.Load(),
+		Mints: stats.mints.Load(),
+		Drops: stats.drops.Load(),
+	}
+}

@@ -1,0 +1,149 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassIndex(t *testing.T) {
+	cases := []struct {
+		n, want int
+	}{
+		{1, 0},
+		{511, 0},
+		{512, 0},
+		{513, 1},
+		{1024, 1},
+		{4096, 3},
+		{4097, 4},
+		{64 << 10, 7},
+		{16 << 20, numClasses - 1},
+		{16<<20 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classIndex(c.n); got != c.want {
+			t.Errorf("classIndex(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	b := Get(4096)
+	if len(b) != 4096 || cap(b) != 4096 {
+		t.Fatalf("Get(4096): len %d cap %d", len(b), cap(b))
+	}
+	b[0], b[4095] = 0xAB, 0xCD
+	Put(b)
+
+	// A short request from the same class reuses the backing array but
+	// must not assume contents.
+	c := Get(3000)
+	if len(c) != 3000 || cap(c) != 4096 {
+		t.Fatalf("Get(3000): len %d cap %d, want 3000/4096", len(c), cap(c))
+	}
+	Put(c)
+}
+
+func TestGetEdgeCases(t *testing.T) {
+	if b := Get(0); b != nil {
+		t.Fatalf("Get(0) = %v, want nil", b)
+	}
+	if b := Get(-5); b != nil {
+		t.Fatalf("Get(-5) = %v, want nil", b)
+	}
+	b := Get(100)
+	if len(b) != 100 || cap(b) != MinClass {
+		t.Fatalf("Get(100): len %d cap %d, want 100/%d", len(b), cap(b), MinClass)
+	}
+	Put(b)
+
+	big := Get(MaxClass + 1)
+	if len(big) != MaxClass+1 {
+		t.Fatalf("oversize Get: len %d", len(big))
+	}
+	before := Snapshot()
+	Put(big) // not a class size: dropped, never pooled
+	after := Snapshot()
+	if after.Drops != before.Drops+1 {
+		t.Fatalf("oversize Put not counted as drop: %+v -> %+v", before, after)
+	}
+}
+
+func TestPutRejectsForeignCaps(t *testing.T) {
+	before := Snapshot()
+	Put(make([]byte, 100))          // cap 100: not a class
+	Put(make([]byte, 768))          // not a power of two
+	Put(Get(4096)[1:])              // subslice not from start: cap 4095
+	Put(nil)                        // no-op, not counted
+	Put(make([]byte, 0, MinClass/2)) // below MinClass
+	after := Snapshot()
+	if got := after.Drops - before.Drops; got != 4 {
+		t.Fatalf("drops = %d, want 4", got)
+	}
+	if got := after.Puts - before.Puts; got != 4 {
+		t.Fatalf("puts = %d, want 4 (nil not counted)", got)
+	}
+}
+
+func TestOutstandingBalance(t *testing.T) {
+	before := Snapshot()
+	var held [][]byte
+	for i := 0; i < 64; i++ {
+		held = append(held, Get(1<<uint(9+i%8)))
+	}
+	mid := Snapshot()
+	if got := mid.Outstanding() - before.Outstanding(); got != 64 {
+		t.Fatalf("outstanding delta while holding = %d, want 64", got)
+	}
+	for _, b := range held {
+		Put(b)
+	}
+	after := Snapshot()
+	if got := after.Outstanding() - before.Outstanding(); got != 0 {
+		t.Fatalf("outstanding delta after release = %d, want 0", got)
+	}
+}
+
+// TestStressNoAliasing hammers the pool from many goroutines, each
+// writing a unique pattern into its buffer and verifying it before Put.
+// If the pool ever handed the same backing array to two owners, the
+// concurrent writes are a data race (caught by -race) and the pattern
+// check fails; if a buffer were recycled while still referenced, the
+// verify step would observe another goroutine's pattern.
+func TestStressNoAliasing(t *testing.T) {
+	const (
+		workers = 16
+		rounds  = 500
+	)
+	sizes := []int{64, 512, 4096, 5000, 64 << 10, 1 << 20}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tag byte) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				b := Get(sizes[r%len(sizes)])
+				pat := tag ^ byte(r)
+				for i := range b {
+					b[i] = pat
+				}
+				for i := range b {
+					if b[i] != pat {
+						t.Errorf("worker %d round %d: buffer mutated while owned: b[%d]=%#x want %#x",
+							tag, r, i, b[i], pat)
+						return
+					}
+				}
+				Put(b)
+			}
+		}(byte(w))
+	}
+	wg.Wait()
+}
+
+func BenchmarkGetPut64K(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Put(Get(64 << 10))
+	}
+}

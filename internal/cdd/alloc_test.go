@@ -1,0 +1,53 @@
+package cdd_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/race"
+)
+
+// allocLimit runs f and fails if it averages more than limit heap
+// allocations per run. The counter is process-wide — the loopback
+// cluster's server goroutines count too, so these limits pin the entire
+// client + server pipeline of a remote operation.
+func allocLimit(t *testing.T, limit float64, f func()) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	got := testing.AllocsPerRun(100, f)
+	t.Logf("%.1f allocs/op (limit %.0f)", got, limit)
+	if got > limit {
+		t.Errorf("%.1f allocs/op, want <= %.0f", got, limit)
+	}
+}
+
+// TestAllocsRemoteDevWrite pins the single-device remote write path:
+// cdd client → transport → manager → disk for one 64 KiB transfer.
+func TestAllocsRemoteDevWrite(t *testing.T) {
+	_, devs := benchCluster(t, 1, 4096, 16<<10)
+	ctx := context.Background()
+	buf := make([]byte, 64<<10)
+	allocLimit(t, 6, func() {
+		if err := devs[0].WriteBlocks(ctx, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAllocsRemoteDevRead pins the single-device remote read path: the
+// response must land in buf (scatter), not in a fresh allocation.
+func TestAllocsRemoteDevRead(t *testing.T) {
+	_, devs := benchCluster(t, 1, 4096, 16<<10)
+	ctx := context.Background()
+	buf := make([]byte, 64<<10)
+	if err := devs[0].WriteBlocks(ctx, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	allocLimit(t, 6, func() {
+		if err := devs[0].ReadBlocks(ctx, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -99,16 +99,49 @@ func retryableOp(op uint8) bool {
 
 // retryableErr reports whether an error is worth retrying: transport
 // breakage, timeouts, and injected faults are; remote application
-// errors and caller cancellation are not.
+// errors, response-size mismatches (the peer answered — just wrongly),
+// and caller cancellation are not.
 func retryableErr(err error) bool {
 	var re *transport.RemoteError
 	if errors.As(err, &re) {
+		return false
+	}
+	var rse *transport.RespSizeError
+	if errors.As(err, &rse) {
 		return false
 	}
 	if errors.Is(err, transport.ErrClosed) || errors.Is(err, transport.ErrFrameTooLarge) {
 		return false
 	}
 	return true
+}
+
+// ioScratch is the per-call assembly area of one remote block
+// operation: the wire-encoded I/O header plus reusable gather/scatter
+// lists. Pooled so the hot path allocates nothing for framing; release
+// drops payload references before returning it to the pool.
+type ioScratch struct {
+	hdr [ioHeaderLen]byte
+	req [][]byte
+	dst [][]byte
+}
+
+var ioScratchPool = sync.Pool{New: func() any { return new(ioScratch) }}
+
+// getIOScratch returns a scratch with the header encoded and installed
+// as the request's first gather segment.
+func getIOScratch(h ioHeader) *ioScratch {
+	s := ioScratchPool.Get().(*ioScratch)
+	putIOHeader(&s.hdr, h)
+	s.req = append(s.req[:0], s.hdr[:])
+	s.dst = s.dst[:0]
+	return s
+}
+
+func (s *ioScratch) release() {
+	clear(s.req)
+	clear(s.dst)
+	ioScratchPool.Put(s)
 }
 
 // Options tune a node connection.
@@ -207,19 +240,27 @@ func ConnectWith(ctx context.Context, addr string, opts Options) (*NodeClient, e
 // attempts, and retries only for idempotent opcodes on transport-level
 // failures.
 func (n *NodeClient) call(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
-	return n.callBulk(ctx, op, payload, 0)
+	return n.doCall(ctx, op, [][]byte{payload}, nil, 0)
 }
 
-// callBulk is call with an expected-response-size hint so the
-// per-attempt deadline scales with the bytes moved in either direction.
-func (n *NodeClient) callBulk(ctx context.Context, op uint8, payload []byte, respBytes int) ([]byte, error) {
+// doCall performs one remote operation under the retry policy. req is
+// the request's gather list (written vectored, owned by the caller
+// throughout). When scatter is non-empty the response lands directly in
+// its segments — the bulk-read path — and the returned payload is nil;
+// the per-attempt deadline then scales with respBytes, the expected
+// response size, in addition to the request bytes.
+func (n *NodeClient) doCall(ctx context.Context, op uint8, req [][]byte, scatter [][]byte, respBytes int) ([]byte, error) {
 	pol := n.policy
 	attempts := pol.MaxAttempts
 	if !retryableOp(op) {
 		attempts = 1
 	}
+	reqBytes := 0
+	for _, s := range req {
+		reqBytes += len(s)
+	}
 	timeout := pol.CallTimeout
-	if xfer := int64(len(payload) + respBytes); timeout > 0 && xfer > 0 && pol.MinBandwidth > 0 {
+	if xfer := int64(reqBytes + respBytes); timeout > 0 && xfer > 0 && pol.MinBandwidth > 0 {
 		timeout += time.Duration(xfer * int64(time.Second) / pol.MinBandwidth)
 	}
 	var lastErr error
@@ -233,18 +274,26 @@ func (n *NodeClient) callBulk(ctx context.Context, op uint8, payload []byte, res
 				return nil, err
 			}
 		}
-		actx := ctx
-		cancel := func() {}
+		// The per-attempt deadline travels as a plain time.Time instead
+		// of a context.WithTimeout wrapper: the transport arms it as a
+		// socket deadline plus a pooled timer, so a timed attempt costs
+		// zero heap allocations (DESIGN.md §10).
+		var dl time.Time
 		if timeout > 0 {
-			actx, cancel = context.WithTimeout(ctx, timeout)
+			dl = time.Now().Add(timeout)
 		}
 		// One span per attempt: retries show up as sibling spans with
 		// the attempt number, so backoff gaps are visible in waterfalls.
-		actx, ah := trace.Start(actx, "cdd.attempt", n.addr)
+		actx, ah := trace.Start(ctx, "cdd.attempt", n.addr)
 		ah.Val = int64(a + 1)
-		resp, err := n.c.Call(actx, op, payload)
+		var resp []byte
+		var err error
+		if len(scatter) > 0 {
+			err = n.c.CallScatterDeadline(actx, op, req, scatter, dl)
+		} else {
+			resp, err = n.c.CallVecDeadline(actx, op, req, dl)
+		}
 		ah.End(err)
-		cancel()
 		if err == nil {
 			return resp, nil
 		}
@@ -469,7 +518,10 @@ type RemoteDev struct {
 	refresh chan struct{}
 }
 
-var _ raid.Dev = (*RemoteDev)(nil)
+var (
+	_ raid.Dev    = (*RemoteDev)(nil)
+	_ raid.VecDev = (*RemoteDev)(nil)
+)
 
 // BlockSize implements raid.Dev.
 func (d *RemoteDev) BlockSize() int { return d.bs }
@@ -477,7 +529,9 @@ func (d *RemoteDev) BlockSize() int { return d.bs }
 // NumBlocks implements raid.Dev.
 func (d *RemoteDev) NumBlocks() int64 { return d.blocks }
 
-// ReadBlocks implements raid.Dev.
+// ReadBlocks implements raid.Dev. The response scatters off the socket
+// directly into buf — no intermediate allocation or copy on the way
+// back (the zero-copy read path of DESIGN.md §10).
 func (d *RemoteDev) ReadBlocks(ctx context.Context, b int64, buf []byte) (err error) {
 	if len(buf)%d.bs != 0 {
 		return fmt.Errorf("cdd: buffer length %d not a multiple of %d", len(buf), d.bs)
@@ -486,32 +540,96 @@ func (d *RemoteDev) ReadBlocks(ctx context.Context, b int64, buf []byte) (err er
 	h.Val = int64(len(buf))
 	defer func() { h.End(err) }()
 	start := time.Now()
-	resp, err := d.n.callBulk(ctx, OpRead, encodeIOHeader(ioHeader{
-		Disk: d.disk, Block: b, Count: uint32(len(buf) / d.bs),
-	}, nil), len(buf))
+	s := getIOScratch(ioHeader{Disk: d.disk, Block: b, Count: uint32(len(buf) / d.bs)})
+	if len(buf) > 0 {
+		s.dst = append(s.dst, buf)
+	}
+	_, err = d.n.doCall(ctx, OpRead, s.req, s.dst, len(buf))
+	s.release()
 	d.n.met.readLat.Observe(time.Since(start))
 	if err != nil {
+		err = d.mapReadErr(err)
 		d.noteOutcome(err)
 		return err
 	}
-	if len(resp) != len(buf) {
-		// A short read is a protocol-level fault from this peer: it must
-		// feed health tracking like any other failure, or a node that
-		// truncates responses keeps being treated as a good copy.
-		err := fmt.Errorf("cdd: short read: %d of %d bytes", len(resp), len(buf))
-		d.noteOutcome(err)
-		return err
-	}
-	copy(buf, resp)
 	return nil
 }
 
-// WriteBlocks implements raid.Dev.
+// ReadBlocksVec implements raid.VecDev: one remote read whose response
+// scatters into the given segments (consecutive blocks on this disk,
+// each segment a positive multiple of the block size).
+func (d *RemoteDev) ReadBlocksVec(ctx context.Context, b int64, segs [][]byte) (err error) {
+	total := 0
+	for _, sg := range segs {
+		total += len(sg)
+	}
+	if total == 0 || total%d.bs != 0 {
+		return fmt.Errorf("cdd: scatter length %d not a positive multiple of %d", total, d.bs)
+	}
+	ctx, h := trace.Start(ctx, "cdd.read", d.subject)
+	h.Val = int64(total)
+	defer func() { h.End(err) }()
+	start := time.Now()
+	s := getIOScratch(ioHeader{Disk: d.disk, Block: b, Count: uint32(total / d.bs)})
+	s.dst = append(s.dst, segs...)
+	_, err = d.n.doCall(ctx, OpRead, s.req, s.dst, total)
+	s.release()
+	d.n.met.readLat.Observe(time.Since(start))
+	if err != nil {
+		err = d.mapReadErr(err)
+		d.noteOutcome(err)
+		return err
+	}
+	return nil
+}
+
+// mapReadErr rewrites a response-size mismatch as the short-read
+// protocol fault health tracking knows; other errors pass through.
+func (d *RemoteDev) mapReadErr(err error) error {
+	var rse *transport.RespSizeError
+	if errors.As(err, &rse) {
+		// A short read is a protocol-level fault from this peer: it must
+		// feed health tracking like any other failure, or a node that
+		// truncates responses keeps being treated as a good copy.
+		return fmt.Errorf("cdd: short read: %d of %d bytes", rse.Got, rse.Want)
+	}
+	return err
+}
+
+// WriteBlocks implements raid.Dev. The I/O header and the caller's data
+// travel as separate gather segments of one vectored frame write — the
+// payload is never copied into a staging buffer.
 func (d *RemoteDev) WriteBlocks(ctx context.Context, b int64, data []byte) error {
 	ctx, h := trace.Start(ctx, "cdd.write", d.subject)
 	h.Val = int64(len(data))
 	start := time.Now()
-	_, err := d.n.call(ctx, OpWrite, encodeIOHeader(ioHeader{Disk: d.disk, Block: b}, data))
+	s := getIOScratch(ioHeader{Disk: d.disk, Block: b})
+	if len(data) > 0 {
+		s.req = append(s.req, data)
+	}
+	_, err := d.n.doCall(ctx, OpWrite, s.req, nil, 0)
+	s.release()
+	d.n.met.writeLat.Observe(time.Since(start))
+	h.End(err)
+	d.noteOutcome(err)
+	return err
+}
+
+// WriteBlocksVec implements raid.VecDev: one remote write gathered from
+// the given segments (consecutive blocks on this disk), all segments
+// going to the wire as one vectored frame.
+func (d *RemoteDev) WriteBlocksVec(ctx context.Context, b int64, segs [][]byte) error {
+	total := 0
+	for _, sg := range segs {
+		total += len(sg)
+	}
+	ctx, h := trace.Start(ctx, "cdd.write", d.subject)
+	h.Val = int64(total)
+	start := time.Now()
+	s := getIOScratch(ioHeader{Disk: d.disk, Block: b})
+	s.req = append(s.req, segs...)
+	_, err := d.n.doCall(ctx, OpWrite, s.req, nil, 0)
+	s.release()
 	d.n.met.writeLat.Observe(time.Since(start))
 	h.End(err)
 	d.noteOutcome(err)
@@ -524,7 +642,12 @@ func (d *RemoteDev) WriteBlocks(ctx context.Context, b int64, data []byte) error
 func (d *RemoteDev) WriteBlocksBackground(ctx context.Context, b int64, data []byte) error {
 	ctx, h := trace.Start(ctx, "cdd.bg-write", d.subject)
 	h.Val = int64(len(data))
-	err := d.n.c.Notify(ctx, OpWriteBG, encodeIOHeader(ioHeader{Disk: d.disk, Block: b}, data))
+	s := getIOScratch(ioHeader{Disk: d.disk, Block: b})
+	if len(data) > 0 {
+		s.req = append(s.req, data)
+	}
+	err := d.n.c.NotifyVec(ctx, OpWriteBG, s.req)
+	s.release()
 	h.End(err)
 	d.noteOutcome(err)
 	return err

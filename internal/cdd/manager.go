@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/disk"
 	"repro/internal/obs"
 	"repro/internal/store"
@@ -198,8 +199,15 @@ func (m *Manager) handle(ctx context.Context, op uint8, payload []byte) ([]byte,
 		if err != nil {
 			return nil, err
 		}
-		buf := make([]byte, int(h.Count)*d.BlockSize())
+		nbytes := int64(h.Count) * int64(d.BlockSize())
+		if nbytes > transport.MaxPayload {
+			return nil, fmt.Errorf("cdd: read of %d bytes exceeds frame limit: %w", nbytes, errBadRequest)
+		}
+		// Pooled response: the server releases it once the frame is on
+		// the wire (RecycleResponses), closing the buffer's cycle.
+		buf := bufpool.Get(int(nbytes))
 		if err := d.ReadBlocks(ctx, h.Block, buf); err != nil {
+			bufpool.Put(buf)
 			return nil, err
 		}
 		return buf, nil
@@ -342,10 +350,16 @@ type Node struct {
 }
 
 // ListenAndServe starts a CDD node exporting disks on addr
-// ("127.0.0.1:0" picks a free port).
+// ("127.0.0.1:0" picks a free port). Responses are recycled to the
+// buffer pool after sending — safe because every manager handler
+// returns either a fresh encoding or a pooled read buffer, never a
+// slice of the request payload.
 func ListenAndServe(addr string, disks []*disk.Disk) (*Node, error) {
 	m := NewManager(disks)
-	s, err := transport.ServeWith(addr, m.Handle, transport.ServerOptions{Tracer: m.tracer})
+	s, err := transport.ServeWith(addr, m.Handle, transport.ServerOptions{
+		Tracer:           m.tracer,
+		RecycleResponses: true,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -116,6 +116,16 @@ type ioHeader struct {
 
 const ioHeaderLen = 16
 
+// putIOHeader encodes h into a caller-owned 16-byte array — the
+// allocation-free alternative to encodeIOHeader for the hot path, where
+// the header travels as its own gather segment instead of being copied
+// in front of the payload.
+func putIOHeader(b *[ioHeaderLen]byte, h ioHeader) {
+	binary.BigEndian.PutUint32(b[0:4], h.Disk)
+	binary.BigEndian.PutUint64(b[4:12], uint64(h.Block))
+	binary.BigEndian.PutUint32(b[12:16], h.Count)
+}
+
 func encodeIOHeader(h ioHeader, payload []byte) []byte {
 	b := make([]byte, ioHeaderLen+len(payload))
 	binary.BigEndian.PutUint32(b[0:4], h.Disk)

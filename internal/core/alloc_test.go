@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/race"
+	"repro/internal/raid"
+	"repro/internal/store"
+)
+
+// allocLimit runs f and fails if it averages more than limit heap
+// allocations per run. The devices are local in-memory disks, so these
+// limits pin the engine's own bookkeeping: closure fan-out and gather
+// lists, with no staging copies of the data itself.
+func allocLimit(t *testing.T, limit float64, f func()) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	got := testing.AllocsPerRun(100, f)
+	t.Logf("%.1f allocs/op (limit %.0f)", got, limit)
+	if got > limit {
+		t.Errorf("%.1f allocs/op, want <= %.0f", got, limit)
+	}
+}
+
+func allocArray(t *testing.T) *RAIDx {
+	t.Helper()
+	devs := make([]raid.Dev, 12)
+	for i := range devs {
+		devs[i] = disk.New(nil, fmt.Sprintf("d%d", i), store.NewMem(32<<10, 512), disk.DefaultModel())
+	}
+	a, err := New(devs, 12, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestAllocsWriteStripe pins a full-stripe write: per-column gather
+// lists come from the pool, so the per-op cost is the closure fan-out
+// and par.Do bookkeeping — independent of the stripe's byte size.
+func TestAllocsWriteStripe(t *testing.T) {
+	a := allocArray(t)
+	ctx := context.Background()
+	buf := make([]byte, 12*a.BlockSize())
+	allocLimit(t, 60, func() {
+		if err := a.WriteBlocks(ctx, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAllocsReadStripe pins a full-stripe read: blocks scatter straight
+// into the caller's buffer, no staging buffer per column.
+func TestAllocsReadStripe(t *testing.T) {
+	a := allocArray(t)
+	ctx := context.Background()
+	buf := make([]byte, 12*a.BlockSize())
+	if err := a.WriteBlocks(ctx, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	allocLimit(t, 50, func() {
+		if err := a.ReadBlocks(ctx, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAllocsWriteSmall pins the paper's small-write case: one block,
+// one data write plus one deferred image write.
+func TestAllocsWriteSmall(t *testing.T) {
+	a := allocArray(t)
+	ctx := context.Background()
+	buf := make([]byte, a.BlockSize())
+	allocLimit(t, 20, func() {
+		if err := a.WriteBlocks(ctx, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -27,18 +27,48 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/layout"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/raid"
 	"repro/internal/trace"
 )
+
+// segPool recycles the scatter/gather lists the hot read and write paths
+// build per column run. Lists are cleared before pooling so a pooled
+// list never pins caller buffers.
+var segPool = sync.Pool{New: func() any { return new([][]byte) }}
+
+// colSegs builds the gather list addressing the blocks of one column run
+// inside p: one segment per logical block first, first+width, ... The
+// segments alias p — no bytes are copied; vector-aware devices carry
+// them to the wire as-is, and raid.ReadBlocksVec/WriteBlocksVec coalesce
+// through one pooled buffer for devices that need a flat transfer.
+func (a *RAIDx) colSegs(b, first int64, count int, p []byte) *[][]byte {
+	width := int64(a.lay.TotalDisks())
+	sp := segPool.Get().(*[][]byte)
+	segs := (*sp)[:0]
+	for t := 0; t < count; t++ {
+		lb := first + int64(t)*width
+		segs = append(segs, p[(lb-b)*int64(a.bs):(lb-b+1)*int64(a.bs)])
+	}
+	*sp = segs
+	return sp
+}
+
+func putSegs(sp *[][]byte) {
+	clear(*sp)
+	*sp = (*sp)[:0]
+	segPool.Put(sp)
+}
 
 // Options tune the engine; the zero value is the paper's design. The
 // other settings exist for the ablation benchmarks in DESIGN.md.
@@ -298,25 +328,29 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) (err error) {
 				ctx, ch := trace.Start(ctx, "raidx.col-read", a.colName[col])
 				ch.Val = int64(count * a.bs)
 				defer func() { ch.End(err) }()
-				buf := make([]byte, count*a.bs)
-				if err := dev.ReadBlocks(ctx, first/int64(width), buf); err != nil {
+				// Scatter the column run straight into p — no staging
+				// buffer, no copy-out loop. Vector-aware devices land
+				// each block in place; others coalesce through one
+				// pooled buffer inside ReadBlocksVec.
+				segs := a.colSegs(b, first, count, p)
+				rerr := raid.ReadBlocksVec(ctx, dev, first/int64(width), *segs)
+				putSegs(segs)
+				if rerr != nil {
 					if ctx.Err() != nil {
-						return err
+						return rerr
 					}
 					// Read-failover: the primary errored or timed out
 					// mid-run (a flaky/partitioned node, not a known-dead
 					// disk). Redirect every block of the run to its mirror
 					// image on the orthogonal stripe group; the failed
-					// operation has already marked the node suspect.
-					a.noteFailover(fmt.Sprintf("raidx/d%d", col), err)
+					// operation has already marked the node suspect. The
+					// mirrors rewrite every block of the run, so bytes a
+					// partial scatter may have landed in p are overwritten.
+					a.noteFailover(fmt.Sprintf("raidx/d%d", col), rerr)
 					fctx, fh := trace.Start(ctx, "raidx.failover", a.colName[col])
-					ferr := a.readRunViaMirrors(fctx, devs, first, count, b, p, err)
+					ferr := a.readRunViaMirrors(fctx, devs, first, count, b, p, rerr)
 					fh.End(ferr)
 					return ferr
-				}
-				for t := 0; t < count; t++ {
-					lb := first + int64(t)*int64(width)
-					copy(p[(lb-b)*int64(a.bs):(lb-b+1)*int64(a.bs)], buf[t*a.bs:(t+1)*a.bs])
 				}
 				return nil
 			})
@@ -411,12 +445,14 @@ func (a *RAIDx) dataWriteFns(devs []raid.Dev, b int64, n int, p []byte) []func(c
 			ctx, ch := trace.Start(ctx, "raidx.col-write", a.colName[col])
 			ch.Val = int64(count * a.bs)
 			defer func() { ch.End(err) }()
-			buf := make([]byte, count*a.bs)
-			for t := 0; t < count; t++ {
-				lb := first + int64(t)*int64(width)
-				copy(buf[t*a.bs:(t+1)*a.bs], p[(lb-b)*int64(a.bs):])
-			}
-			return dev.WriteBlocks(ctx, first/int64(width), buf)
+			// Gather the column run from p — no staging buffer, no
+			// copy-in loop. Vector-aware devices put the segments on the
+			// wire as one vectored frame; others coalesce through one
+			// pooled buffer inside WriteBlocksVec.
+			segs := a.colSegs(b, first, count, p)
+			err = raid.WriteBlocksVec(ctx, dev, first/int64(width), *segs)
+			putSegs(segs)
+			return err
 		})
 	}
 	return fns
@@ -545,7 +581,9 @@ func (a *RAIDx) Rebuild(ctx context.Context, idx int) (err error) {
 		if n > rebuildChunk {
 			n = rebuildChunk
 		}
-		buf := make([]byte, n*int64(a.bs))
+		// One pooled scratch buffer serves every chunk of the column.
+		buf := bufpool.Get(int(n) * a.bs)
+		defer bufpool.Put(buf)
 		for c := int64(0); c < colBlocks; c += rebuildChunk {
 			n := colBlocks - c
 			if n > rebuildChunk {
@@ -569,15 +607,18 @@ func (a *RAIDx) Rebuild(ctx context.Context, idx int) (err error) {
 			}
 		}
 	}
-	// Recover the mirror half: every group whose slot lives on idx.
+	// Recover the mirror half: every group whose slot lives on idx. One
+	// pooled scratch buffer is reused across all the groups — each
+	// gathered group write lands before the next group's reads refill it.
 	gs := int64(a.lay.GroupSize())
 	groups := a.Blocks() / gs
+	chunk := bufpool.Get(int(gs) * a.bs)
+	defer bufpool.Put(chunk)
 	for g := int64(0); g < groups; g++ {
 		if a.lay.MirrorDisk(g) != idx {
 			continue
 		}
 		start := a.lay.GroupLoc(g)
-		chunk := make([]byte, gs*int64(a.bs))
 		err := par.ForEach(ctx, int(gs), func(ctx context.Context, j int) error {
 			lb := g*gs + int64(j)
 			d := a.lay.DataLoc(lb)
@@ -603,8 +644,10 @@ func (a *RAIDx) Verify(ctx context.Context) (err error) {
 	ctx, root := a.tracer.StartRoot(ctx, "raidx.verify", "raidx")
 	defer func() { root.End(err) }()
 	devs := a.devices()
-	data := make([]byte, a.bs)
-	image := make([]byte, a.bs)
+	data := bufpool.Get(a.bs)
+	image := bufpool.Get(a.bs)
+	defer bufpool.Put(data)
+	defer bufpool.Put(image)
 	for lb := int64(0); lb < a.Blocks(); lb++ {
 		d, m := a.lay.DataLoc(lb), a.lay.MirrorLoc(lb)
 		if err := devs[d.Disk].ReadBlocks(ctx, d.Block, data); err != nil {
@@ -613,9 +656,11 @@ func (a *RAIDx) Verify(ctx context.Context) (err error) {
 		if err := devs[m.Disk].ReadBlocks(ctx, m.Block, image); err != nil {
 			return err
 		}
-		for i := range data {
-			if data[i] != image[i] {
-				return fmt.Errorf("core: block %d differs from its image at byte %d", lb, i)
+		if !bytes.Equal(data, image) {
+			for i := range data {
+				if data[i] != image[i] {
+					return fmt.Errorf("core: block %d differs from its image at byte %d", lb, i)
+				}
 			}
 		}
 	}

@@ -1,0 +1,91 @@
+package disk
+
+import (
+	"context"
+
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// vecLen validates a scatter/gather list (each segment a positive
+// multiple of the block size) and returns its total byte length.
+func (d *Disk) vecLen(b int64, segs [][]byte) (int, error) {
+	bs := d.st.BlockSize()
+	total := 0
+	for _, s := range segs {
+		if len(s) == 0 || len(s)%bs != 0 {
+			return 0, &store.SizeError{Got: len(s), Want: bs}
+		}
+		total += len(s)
+	}
+	if total == 0 {
+		return 0, &store.SizeError{Got: 0, Want: bs}
+	}
+	n := int64(total / bs)
+	if b < 0 || b+n > d.st.NumBlocks() {
+		return 0, &store.RangeError{Block: b + n - 1, Max: d.st.NumBlocks()}
+	}
+	return total, nil
+}
+
+// ReadBlocksVec implements raid.VecDev: one disk access (one seek, one
+// sequential transfer for timing purposes) scattered into segs.
+func (d *Disk) ReadBlocksVec(ctx context.Context, b int64, segs [][]byte) (err error) {
+	h := trace.StartLeaf(ctx, "disk.read", d.id)
+	defer func() { h.End(err) }()
+	if err := d.checkUp(); err != nil {
+		return err
+	}
+	total, err := d.vecLen(b, segs)
+	if err != nil {
+		return err
+	}
+	h.Val = int64(total)
+	d.charge(ctx, b, total, false)
+	bs := d.st.BlockSize()
+	blk := b
+	for _, s := range segs {
+		for off := 0; off < len(s); off += bs {
+			if err := d.st.ReadBlock(blk, s[off:off+bs]); err != nil {
+				return err
+			}
+			blk++
+		}
+	}
+	d.mu.Lock()
+	d.reads++
+	d.bytesRead += int64(total)
+	d.mu.Unlock()
+	return nil
+}
+
+// WriteBlocksVec implements raid.VecDev: one disk access gathered from
+// segs.
+func (d *Disk) WriteBlocksVec(ctx context.Context, b int64, segs [][]byte) (err error) {
+	h := trace.StartLeaf(ctx, "disk.write", d.id)
+	defer func() { h.End(err) }()
+	if err := d.checkUp(); err != nil {
+		return err
+	}
+	total, err := d.vecLen(b, segs)
+	if err != nil {
+		return err
+	}
+	h.Val = int64(total)
+	d.charge(ctx, b, total, false)
+	bs := d.st.BlockSize()
+	blk := b
+	for _, s := range segs {
+		for off := 0; off < len(s); off += bs {
+			if err := d.st.WriteBlock(blk, s[off:off+bs]); err != nil {
+				return err
+			}
+			blk++
+		}
+	}
+	d.mu.Lock()
+	d.writes++
+	d.bytesWritten += int64(total)
+	d.mu.Unlock()
+	return nil
+}

@@ -50,9 +50,11 @@ func TestLatencyInjection(t *testing.T) {
 	if _, err := c.Call(context.Background(), 1, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	// At least the write and one read each pay the latency.
-	if took := time.Since(start); took < 50*time.Millisecond {
-		t.Fatalf("call took %v, want >= 50ms of injected latency", took)
+	// The request goes out as one vectored write, so the frame pays the
+	// latency at least once (reads pipelined behind the read loop may
+	// overlap the write's charge).
+	if took := time.Since(start); took < 25*time.Millisecond {
+		t.Fatalf("call took %v, want >= 25ms of injected latency", took)
 	}
 	n.Heal(s.Addr())
 	// One warm-up call absorbs the read loop's already-gated sleep.

@@ -1,0 +1,12 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in.
+//
+// Allocation-pinned tests (testing.AllocsPerRun) use this to skip
+// themselves under `go test -race`: the detector instruments memory
+// operations and changes allocation counts, so the pins only hold in
+// normal builds.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

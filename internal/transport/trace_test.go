@@ -305,6 +305,18 @@ func FuzzReadFrame(f *testing.F) {
 		if werr := writeFrame(&buf, id, typ, op, ext, payload); werr != nil {
 			t.Fatalf("re-encode of a parsed frame failed: %v", werr)
 		}
+		// The gather writer must emit the same bytes however the payload
+		// is segmented.
+		if len(payload) > 1 {
+			mid := len(payload) / 2
+			var vbuf bytes.Buffer
+			if werr := writeFrame(&vbuf, id, typ, op, ext, payload[:mid], payload[mid:]); werr != nil {
+				t.Fatalf("segmented re-encode failed: %v", werr)
+			}
+			if !bytes.Equal(vbuf.Bytes(), buf.Bytes()) {
+				t.Fatalf("segmented encoding differs:\n got %x\nwant %x", vbuf.Bytes(), buf.Bytes())
+			}
+		}
 		id2, typ2, op2, ext2, payload2, err2 := readFrame(&buf)
 		if err2 != nil {
 			t.Fatalf("re-parse failed: %v", err2)
@@ -319,4 +331,85 @@ func FuzzReadFrame(f *testing.F) {
 			t.Fatal("frame round trip changed the trace extension")
 		}
 	})
+}
+
+// TestVectoredWriteBytesIdentical pins the zero-copy write path at the
+// byte level: the same frame written over a real TCP connection — where
+// writeFrame takes the net.Buffers (writev) branch — must be identical
+// to the coalesced single-buffer encoding, however the payload is
+// segmented, and identical to the original pre-extension format when
+// untraced.
+func TestVectoredWriteBytesIdentical(t *testing.T) {
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	segmentings := [][][]byte{
+		{payload},
+		{payload[:16], payload[16:]},
+		{payload[:1], payload[1:2048], payload[2048:]},
+		{payload[:0], payload, nil}, // empty segments are legal
+	}
+	for _, ext := range []*TraceExt{nil, {Trace: 0xfeed, Span: 0x0b0e}} {
+		var want bytes.Buffer
+		if err := writeFrame(&want, 11, frameRequest, 9, ext, payload); err != nil {
+			t.Fatal(err)
+		}
+		if ext == nil {
+			if old := oldFrame(11, frameRequest, 9, payload); !bytes.Equal(want.Bytes(), old) {
+				t.Fatalf("coalesced untraced frame differs from the old format:\n got %x\nwant %x", want.Bytes(), old)
+			}
+		}
+		for i, segs := range segmentings {
+			got := captureTCPWrite(t, func(conn net.Conn) error {
+				return writeFrame(conn, 11, frameRequest, 9, ext, segs...)
+			}, want.Len())
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Fatalf("ext=%v segmenting %d: vectored TCP bytes differ:\n got %x\nwant %x", ext, i, got, want.Bytes())
+			}
+		}
+	}
+}
+
+// captureTCPWrite runs write against one end of a loopback TCP pair and
+// returns exactly n bytes read from the other end.
+func captureTCPWrite(t *testing.T, write func(net.Conn) error, n int) []byte {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		buf []byte
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- res{nil, err}
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, n)
+		_, err = io.ReadFull(conn, buf)
+		done <- res{buf, err}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, ok := conn.(*net.TCPConn); !ok {
+		t.Fatalf("loopback dial returned %T, want *net.TCPConn", conn)
+	}
+	if err := write(conn); err != nil {
+		t.Fatal(err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return r.buf
 }

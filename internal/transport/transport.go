@@ -18,6 +18,14 @@
 // so a crashed-and-restarted peer is reached again without rebuilding
 // the client.
 //
+// The data path is zero-copy in both directions (DESIGN.md §10): a
+// request assembled as a gather list (CallVec) goes to a TCP session as
+// one writev — header, trace extension, and payload segments are never
+// coalesced into a staging buffer — and a bulk response (CallScatter)
+// is read off the socket directly into caller-provided memory. Frame
+// headers come from a pool; server-side request payloads are pooled
+// per-frame and released after the response is written.
+//
 // Frame layout (big endian):
 //
 //	uint32 frame length (bytes after this field)
@@ -39,16 +47,19 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -71,14 +82,21 @@ const (
 	MaxPayload = MaxFrame - headerLen
 	// DefaultDialTimeout bounds each connection attempt.
 	DefaultDialTimeout = 5 * time.Second
+	// connBufSize sizes the per-connection read buffer: big enough that
+	// a frame header never costs its own syscall, small enough to be
+	// cheap per connection.
+	connBufSize = 64 << 10
 )
 
 // Handler processes one request and returns the response payload. ctx
 // carries the request's resumed trace context when the frame had one
 // (and the server a tracer); it is not otherwise used for cancellation
-// today. Returning an error sends a response-error frame; the error
-// text travels to the caller, prefixed by a one-byte error code
-// (CodeGeneric unless the error carries one via WithCode).
+// today. The payload is only valid for the duration of the call — the
+// server recycles it once the handler returns, so a handler that needs
+// the bytes later must copy them. Returning an error sends a
+// response-error frame; the error text travels to the caller, prefixed
+// by a one-byte error code (CodeGeneric unless the error carries one
+// via WithCode).
 type Handler func(ctx context.Context, op uint8, payload []byte) ([]byte, error)
 
 // TraceExt is a frame's optional trace extension: the caller's trace
@@ -156,6 +174,19 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("transport: remote error (op %d, code %d): %s", e.Op, e.Code, e.Msg)
 }
 
+// RespSizeError is returned by CallScatter when the peer's response
+// does not exactly fill the caller's landing buffers. The frame was
+// still consumed (the stream stays in sync) but none of the payload is
+// delivered. It proves the peer processed the request, so — like
+// RemoteError — it is not a transport-level failure worth retrying.
+type RespSizeError struct {
+	Got, Want int
+}
+
+func (e *RespSizeError) Error() string {
+	return fmt.Sprintf("transport: response size %d bytes, want %d", e.Got, e.Want)
+}
+
 // encodeErrorPayload renders a handler error as a response-error frame
 // payload: one code byte followed by the message text.
 func encodeErrorPayload(code uint8, msg string) []byte {
@@ -165,30 +196,57 @@ func encodeErrorPayload(code uint8, msg string) []byte {
 	return b
 }
 
-// decodeRemoteError parses a response-error payload. An empty payload
-// (a pre-code peer, or a truncating one) degrades to CodeGeneric.
+// decodeRemoteError parses a response-error payload. Only ever invoked
+// for frameError responses, so the success path builds no error state.
+// An empty payload (a pre-code peer, or a truncating one) degrades to
+// CodeGeneric.
 func decodeRemoteError(op uint8, payload []byte) *RemoteError {
-	if len(payload) == 0 {
-		return &RemoteError{Op: op, Code: CodeGeneric}
+	re := &RemoteError{Op: op}
+	if len(payload) > 0 {
+		re.Code = payload[0]
+		if len(payload) > 1 {
+			re.Msg = string(payload[1:])
+		}
 	}
-	return &RemoteError{Op: op, Code: payload[0], Msg: string(payload[1:])}
+	return re
 }
 
-// writeFrame emits one frame. A nil ext produces bytes identical to
-// the pre-extension frame format, so untraced traffic is indistinguishable
-// from an older peer's. No bytes are written when the frame would
-// exceed MaxFrame, so an ErrFrameTooLarge does not desynchronize the
-// stream.
-func writeFrame(w io.Writer, id uint64, typ, op uint8, ext *TraceExt, payload []byte) error {
+// frameScratch holds the per-write transient state of one frame: the
+// encoded header bytes and the reusable gather list. Pooled so the hot
+// path allocates neither.
+type frameScratch struct {
+	hdr  [4 + headerLen + traceExtLen]byte
+	vecs net.Buffers
+}
+
+var framePool = sync.Pool{New: func() any { return new(frameScratch) }}
+
+// writeFrame emits one frame whose payload is the concatenation of
+// segs. A nil ext produces bytes identical to the pre-extension frame
+// format, so untraced traffic is indistinguishable from an older
+// peer's. No bytes are written when the frame would exceed MaxFrame, so
+// an ErrFrameTooLarge does not desynchronize the stream.
+//
+// On a TCP session the header and segments go out as one vectored
+// write (writev) with no coalescing copy. Other writers (pipes, fault
+// injectors, in-memory buffers) get the frame as a single Write from a
+// pooled staging buffer — one Write per frame either way, so
+// per-write fault injection charges frames, not segments.
+func writeFrame(w io.Writer, id uint64, typ, op uint8, ext *TraceExt, segs ...[]byte) error {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
 	extLen := 0
 	if ext != nil {
 		extLen = traceExtLen
 	}
-	if extLen+len(payload) > MaxPayload {
-		return fmt.Errorf("%w: payload %d bytes exceeds %d", ErrFrameTooLarge, len(payload), MaxPayload-extLen)
+	if extLen+total > MaxPayload {
+		return fmt.Errorf("%w: payload %d bytes exceeds %d", ErrFrameTooLarge, total, MaxPayload-extLen)
 	}
-	hdr := make([]byte, 4+headerLen+extLen)
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(headerLen+extLen+len(payload)))
+	scr := framePool.Get().(*frameScratch)
+	hdr := scr.hdr[:4+headerLen+extLen]
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(headerLen+extLen+total))
 	binary.BigEndian.PutUint64(hdr[4:12], id)
 	hdr[12] = typ
 	hdr[13] = op
@@ -198,64 +256,126 @@ func writeFrame(w io.Writer, id uint64, typ, op uint8, ext *TraceExt, payload []
 		binary.BigEndian.PutUint64(hdr[15:23], uint64(ext.Trace))
 		binary.BigEndian.PutUint64(hdr[23:31], uint64(ext.Span))
 	}
-	if _, err := w.Write(hdr); err != nil {
-		return err
-	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return err
+	var err error
+	if tc, ok := w.(*net.TCPConn); ok {
+		scr.vecs = append(scr.vecs[:0], hdr)
+		for _, s := range segs {
+			if len(s) > 0 {
+				scr.vecs = append(scr.vecs, s)
+			}
 		}
+		// WriteTo advances its receiver, so keep the full view aside to
+		// restore the backing array afterwards. Calling through the
+		// pooled scratch's field (not a local copy) keeps the slice
+		// header off the heap — a local would escape into the pointer
+		// receiver and cost an allocation per frame.
+		full := scr.vecs
+		_, err = scr.vecs.WriteTo(tc)
+		clear(full) // drop payload references before pooling
+		scr.vecs = full[:0]
+	} else {
+		buf := bufpool.Get(len(hdr) + total)
+		n := copy(buf, hdr)
+		for _, s := range segs {
+			n += copy(buf[n:], s)
+		}
+		_, err = w.Write(buf)
+		bufpool.Put(buf)
 	}
-	return nil
+	framePool.Put(scr)
+	return err
 }
 
-// readFrame parses one frame, accepting both the original format and
-// the flags-byte extension. The returned typ has the extension bit
-// stripped; ext is nil unless the frame carried a trace context.
-func readFrame(r io.Reader) (id uint64, typ, op uint8, ext *TraceExt, payload []byte, err error) {
-	var lenBuf [4]byte
-	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+// frameHeader is the parsed fixed part of a frame (everything but the
+// payload). typ has the extension bit stripped; ext is valid only when
+// hasExt is set.
+type frameHeader struct {
+	id     uint64
+	typ    uint8
+	op     uint8
+	ext    TraceExt
+	hasExt bool
+}
+
+// headerScratch is the caller-owned read buffer for readFrameHeader:
+// one per connection, so parsing a frame header allocates nothing (a
+// function-local array would escape into io.ReadFull's interface
+// argument and cost a heap allocation per frame).
+type headerScratch [4 + headerLen + 16]byte
+
+// readFrameHeader parses a frame's length prefix, fixed header, and
+// optional extension, leaving exactly the returned payload length
+// unread on r. Splitting the header from the payload is what lets
+// readers choose where the payload lands (a pooled buffer, the caller's
+// own memory, or /dev/null for an unclaimed response) without an
+// intermediate copy.
+func readFrameHeader(r io.Reader, scratch *headerScratch) (fh frameHeader, payloadLen int, err error) {
+	buf := scratch[:4+headerLen]
+	if _, err = io.ReadFull(r, buf); err != nil {
 		return
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
+	n := binary.BigEndian.Uint32(buf[0:4])
 	if n < headerLen || n > MaxFrame {
 		err = fmt.Errorf("transport: bad frame length %d", n)
 		return
 	}
-	buf := make([]byte, n)
-	if _, err = io.ReadFull(r, buf); err != nil {
-		return
+	fh.id = binary.BigEndian.Uint64(buf[4:12])
+	fh.typ = buf[12]
+	fh.op = buf[13]
+	rem := int(n) - headerLen
+	if fh.typ&typExt == 0 {
+		return fh, rem, nil
 	}
-	id = binary.BigEndian.Uint64(buf[0:8])
-	typ = buf[8]
-	op = buf[9]
-	payload = buf[headerLen:]
-	if typ&typExt == 0 {
-		return
-	}
-	typ &^= typExt
-	if len(payload) < 1 {
+	fh.typ &^= typExt
+	if rem < 1 {
 		err = fmt.Errorf("transport: frame advertises flags but is truncated")
 		return
 	}
-	flags := payload[0]
-	payload = payload[1:]
+	if _, err = io.ReadFull(r, scratch[:1]); err != nil {
+		return
+	}
+	rem--
+	flags := scratch[0]
 	if flags&^uint8(flagTrace) != 0 {
 		err = fmt.Errorf("transport: unknown frame flags %#02x", flags)
 		return
 	}
 	if flags&flagTrace != 0 {
-		if len(payload) < 16 {
-			err = fmt.Errorf("transport: truncated trace extension (%d bytes)", len(payload))
+		if rem < 16 {
+			err = fmt.Errorf("transport: truncated trace extension (%d bytes)", rem)
 			return
 		}
-		ext = &TraceExt{
-			Trace: trace.TraceID(binary.BigEndian.Uint64(payload[0:8])),
-			Span:  trace.SpanID(binary.BigEndian.Uint64(payload[8:16])),
+		tb := scratch[:16]
+		if _, err = io.ReadFull(r, tb); err != nil {
+			return
 		}
-		payload = payload[16:]
+		rem -= 16
+		fh.ext = TraceExt{
+			Trace: trace.TraceID(binary.BigEndian.Uint64(tb[0:8])),
+			Span:  trace.SpanID(binary.BigEndian.Uint64(tb[8:16])),
+		}
+		fh.hasExt = true
 	}
-	return
+	return fh, rem, nil
+}
+
+// readFrame parses one whole frame, accepting both the original format
+// and the flags-byte extension. The returned typ has the extension bit
+// stripped; ext is nil unless the frame carried a trace context.
+func readFrame(r io.Reader) (id uint64, typ, op uint8, ext *TraceExt, payload []byte, err error) {
+	var scratch headerScratch
+	fh, n, err := readFrameHeader(r, &scratch)
+	if err != nil {
+		return
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return
+	}
+	if fh.hasExt {
+		ext = &fh.ext
+	}
+	return fh.id, fh.typ, fh.op, ext, payload, nil
 }
 
 // Server accepts CDD connections and dispatches requests to a Handler.
@@ -263,6 +383,7 @@ type Server struct {
 	ln      net.Listener
 	handler Handler
 	tracer  *trace.Tracer
+	recycle bool
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
 	wg      sync.WaitGroup
@@ -275,6 +396,12 @@ type ServerOptions struct {
 	// frames: each traced request is handled under a "transport.serve"
 	// span recorded into this tracer as a child of the caller's span.
 	Tracer *trace.Tracer
+	// RecycleResponses releases each handler's response slice to the
+	// buffer pool once its frame is on the wire, completing the pool
+	// cycle for read-heavy handlers. Enable only when every handler
+	// returns a buffer it owns outright and does not retain — never a
+	// sub-slice of the request payload it was passed.
+	RecycleResponses bool
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") and begins
@@ -289,7 +416,7 @@ func ServeWith(addr string, h Handler, opts ServerOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, handler: h, tracer: opts.Tracer, conns: map[net.Conn]struct{}{}}
+	s := &Server{ln: ln, handler: h, tracer: opts.Tracer, recycle: opts.RecycleResponses, conns: map[net.Conn]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -327,48 +454,74 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	remote := conn.RemoteAddr().String()
+	br := bufio.NewReaderSize(conn, connBufSize)
 	var wmu sync.Mutex
+	var scratch headerScratch
 	for {
-		id, typ, op, ext, payload, err := readFrame(conn)
+		fh, plen, err := readFrameHeader(br, &scratch)
 		if err != nil {
 			return
 		}
-		if typ != frameRequest {
+		// The request payload lives in a pooled buffer owned by the
+		// server; the handler may use it only until it returns.
+		var payload []byte
+		if plen > 0 {
+			payload = bufpool.Get(plen)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				bufpool.Put(payload)
+				return
+			}
+		}
+		if fh.typ != frameRequest {
+			bufpool.Put(payload)
 			continue // ignore stray frames
 		}
 		// Requests are handled in order; responses are written under a
 		// lock because a handler could in principle respond late.
 		ctx := context.Background()
 		var h trace.Handle
-		if ext != nil && s.tracer != nil {
+		if fh.hasExt && s.tracer != nil {
 			// Resume the caller's trace: the serve span (and everything
 			// the handler records under ctx) becomes a child of the span
 			// that stamped the frame, assembled across nodes later.
-			ctx = trace.Resume(ctx, s.tracer, ext.Trace, ext.Span)
+			ctx = trace.Resume(ctx, s.tracer, fh.ext.Trace, fh.ext.Span)
 			ctx, h = trace.Start(ctx, "transport.serve", remote)
-			h.Val = int64(len(payload))
+			h.Val = int64(plen)
 		}
-		resp, herr := s.handler(ctx, op, payload)
+		resp, herr := s.handler(ctx, fh.op, payload)
 		h.End(herr)
-		if id == 0 {
+		if fh.id == 0 {
+			s.release(resp, payload)
 			continue // notification: no response even on error
 		}
 		wmu.Lock()
 		if herr != nil {
-			err = writeFrame(conn, id, frameError, op, nil, encodeErrorPayload(codeOf(herr), herr.Error()))
+			err = writeFrame(conn, fh.id, frameError, fh.op, nil, encodeErrorPayload(codeOf(herr), herr.Error()))
 		} else {
-			err = writeFrame(conn, id, frameOK, op, nil, resp)
+			err = writeFrame(conn, fh.id, frameOK, fh.op, nil, resp)
 			if errors.Is(err, ErrFrameTooLarge) {
 				// An oversized handler result must not kill the
 				// connection: deliver it as an error response instead.
-				err = writeFrame(conn, id, frameError, op, nil, encodeErrorPayload(CodeOversized, err.Error()))
+				err = writeFrame(conn, fh.id, frameError, fh.op, nil, encodeErrorPayload(CodeOversized, err.Error()))
 			}
 		}
 		wmu.Unlock()
+		s.release(resp, payload)
 		if err != nil {
 			return
 		}
 	}
+}
+
+// release recycles a frame's buffers after its response is written: the
+// request payload always (the server owns it), the handler's response
+// only under the RecycleResponses contract. A response that is the
+// payload itself (an echoing handler) must not be pooled twice.
+func (s *Server) release(resp, payload []byte) {
+	if s.recycle && len(resp) > 0 && (len(payload) == 0 || &resp[0] != &payload[0]) {
+		bufpool.Put(resp)
+	}
+	bufpool.Put(payload)
 }
 
 // Close stops accepting and tears down all connections, waiting for
@@ -458,15 +611,29 @@ type Client struct {
 	closed  bool
 }
 
+// pendingCall tracks one in-flight request. dst, when non-empty, is the
+// caller's landing area for a bulk response: the read loop claims it
+// via dstState and scatters the payload straight off the socket into
+// it, so cancellation must coordinate (see the dstState states) before
+// the caller may reuse the memory.
 type pendingCall struct {
-	ch  chan response
-	gen uint64
+	ch     chan response
+	gen    uint64
+	dst    [][]byte
+	dstLen int
+	// dstState: 0 = free, 1 = claimed by the read loop (bytes are
+	// landing in dst), 2 = abandoned by the caller (the read loop must
+	// not touch dst).
+	dstState atomic.Int32
 }
+
+func (p *pendingCall) claimDst() bool { return p.dstState.CompareAndSwap(0, 1) }
 
 type response struct {
 	typ     uint8
 	op      uint8
 	payload []byte
+	inDst   bool // payload landed in the caller's dst; payload is nil
 }
 
 // Dial connects to a CDD server with default options.
@@ -565,8 +732,41 @@ func (c *Client) ensureConn(ctx context.Context) (net.Conn, uint64, error) {
 }
 
 func (c *Client) readLoop(conn net.Conn, gen uint64) {
+	br := bufio.NewReaderSize(conn, connBufSize)
+	var scratch headerScratch
 	for {
-		id, typ, op, _, payload, err := readFrame(conn)
+		fh, plen, err := readFrameHeader(br, &scratch)
+		var p *pendingCall
+		var resp response
+		if err == nil {
+			if fh.id != 0 {
+				c.mu.Lock()
+				p = c.pending[fh.id]
+				c.mu.Unlock()
+			}
+			switch {
+			case p == nil:
+				// Unclaimed (abandoned call, stray frame): consume the
+				// payload to keep the stream in sync, allocating nothing.
+				if plen > 0 {
+					_, err = io.CopyN(io.Discard, br, int64(plen))
+				}
+			case fh.typ == frameOK && plen == p.dstLen && p.dstLen > 0 && p.claimDst():
+				// Bulk response: scatter the socket bytes straight into
+				// the caller's buffers. The claim blocks the caller from
+				// reusing them mid-read if it gives up (see call).
+				resp.inDst = true
+				for _, d := range p.dst {
+					if _, err = io.ReadFull(br, d); err != nil {
+						break
+					}
+				}
+			default:
+				buf := make([]byte, plen)
+				_, err = io.ReadFull(br, buf)
+				resp.payload = buf
+			}
+		}
 		if err != nil {
 			conn.Close()
 			c.mu.Lock()
@@ -574,24 +774,28 @@ func (c *Client) readLoop(conn net.Conn, gen uint64) {
 				c.conn = nil
 				c.connErr = err
 			}
-			for pid, p := range c.pending {
-				if p.gen == gen {
+			for pid, pc := range c.pending {
+				if pc.gen == gen {
 					delete(c.pending, pid)
-					close(p.ch)
+					close(pc.ch)
 				}
 			}
 			c.mu.Unlock()
 			return
 		}
 		c.met.framesRecv.Inc()
+		if p == nil {
+			continue
+		}
+		resp.typ, resp.op = fh.typ, fh.op
 		c.mu.Lock()
-		p, ok := c.pending[id]
+		_, ok := c.pending[fh.id]
 		if ok {
-			delete(c.pending, id)
+			delete(c.pending, fh.id)
 		}
 		c.mu.Unlock()
 		if ok {
-			p.ch <- response{typ: typ, op: op, payload: payload}
+			p.ch <- resp
 		}
 	}
 }
@@ -609,6 +813,15 @@ func (c *Client) brokenErr() error {
 	return ErrClosed
 }
 
+// payloadLen sums a gather/scatter list's bytes.
+func payloadLen(segs [][]byte) int {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	return n
+}
+
 // Call sends a request and waits for its response payload. The context
 // bounds the whole exchange: on expiry or cancellation the call
 // returns ctx.Err() immediately (closing the connection only if the
@@ -616,21 +829,65 @@ func (c *Client) brokenErr() error {
 // records the exchange as a "transport.call" span and stamps the frame
 // with the trace extension so the server can continue the trace.
 func (c *Client) Call(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
-	ext, h := c.startWire(ctx, "transport.call", payload)
-	resp, err := c.call(ctx, op, ext, payload)
+	ext, h := c.startWire(ctx, "transport.call", len(payload))
+	resp, _, err := c.call(ctx, op, ext, [][]byte{payload}, nil, time.Time{})
 	h.End(err)
 	return resp, err
+}
+
+// CallVec is Call with a gathered request: the segments are written to
+// the wire back-to-back (one vectored write, no coalescing copy) and
+// arrive at the peer as a single contiguous payload. The transport only
+// reads the segments during the call; they stay owned by the caller.
+func (c *Client) CallVec(ctx context.Context, op uint8, req [][]byte) ([]byte, error) {
+	return c.CallVecDeadline(ctx, op, req, time.Time{})
+}
+
+// CallVecDeadline is CallVec with an explicit per-call deadline (zero =
+// none), merged with any deadline already on ctx. Passing the deadline
+// here instead of wrapping ctx in context.WithTimeout keeps the hot
+// path allocation-free: the transport arms it as a socket write
+// deadline plus one pooled timer, where a context wrap costs several
+// heap objects per call. Expiry returns context.DeadlineExceeded.
+func (c *Client) CallVecDeadline(ctx context.Context, op uint8, req [][]byte, dl time.Time) ([]byte, error) {
+	ext, h := c.startWire(ctx, "transport.call", payloadLen(req))
+	resp, _, err := c.call(ctx, op, ext, req, nil, dl)
+	h.End(err)
+	return resp, err
+}
+
+// CallScatter is CallVec for bulk reads: a successful response payload
+// is scattered off the socket directly into resp's segments — caller
+// memory, no intermediate buffer. The response must exactly fill the
+// segments (which must total at least one byte); any other size
+// consumes the frame but fails with *RespSizeError. The caller must not
+// read, write, or reuse the segments until the call returns.
+func (c *Client) CallScatter(ctx context.Context, op uint8, req [][]byte, resp [][]byte) error {
+	return c.CallScatterDeadline(ctx, op, req, resp, time.Time{})
+}
+
+// CallScatterDeadline is CallScatter with an explicit per-call deadline
+// (zero = none); see CallVecDeadline for the rationale.
+func (c *Client) CallScatterDeadline(ctx context.Context, op uint8, req [][]byte, resp [][]byte, dl time.Time) error {
+	want := payloadLen(resp)
+	ext, h := c.startWire(ctx, "transport.call", payloadLen(req))
+	payload, landed, err := c.call(ctx, op, ext, req, resp, dl)
+	if err == nil && !landed {
+		err = &RespSizeError{Got: len(payload), Want: want}
+	}
+	h.End(err)
+	return err
 }
 
 // startWire opens the client-side span for one frame exchange and
 // builds the trace extension that carries it; both are zero for an
 // untraced context.
-func (c *Client) startWire(ctx context.Context, name string, payload []byte) (*TraceExt, trace.Handle) {
+func (c *Client) startWire(ctx context.Context, name string, payloadBytes int) (*TraceExt, trace.Handle) {
 	if _, ok := trace.FromContext(ctx); !ok {
 		return nil, trace.Handle{}
 	}
 	tctx, h := trace.Start(ctx, name, c.addr)
-	h.Val = int64(len(payload))
+	h.Val = int64(payloadBytes)
 	sc, ok := trace.FromContext(tctx)
 	if !ok {
 		return nil, h
@@ -638,20 +895,47 @@ func (c *Client) startWire(ctx context.Context, name string, payload []byte) (*T
 	return &TraceExt{Trace: sc.Trace, Span: sc.Span}, h
 }
 
-func (c *Client) call(ctx context.Context, op uint8, ext *TraceExt, payload []byte) ([]byte, error) {
-	if len(payload) > MaxPayload {
-		return nil, fmt.Errorf("%w: payload %d bytes exceeds %d", ErrFrameTooLarge, len(payload), MaxPayload)
+// timerPool recycles the per-call deadline timers; they are always
+// returned stopped and drained, so Reset on a pooled timer is safe
+// under the pre-1.23 timer semantics this module builds with.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+func (c *Client) call(ctx context.Context, op uint8, ext *TraceExt, req [][]byte, dst [][]byte, dl time.Time) ([]byte, bool, error) {
+	if n := payloadLen(req); n > MaxPayload {
+		return nil, false, fmt.Errorf("%w: payload %d bytes exceeds %d", ErrFrameTooLarge, n, MaxPayload)
 	}
 	conn, gen, err := c.ensureConn(ctx)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	id := c.nextID.Add(1)
 	pc := &pendingCall{ch: make(chan response, 1), gen: gen}
+	if len(dst) > 0 {
+		pc.dst = dst
+		pc.dstLen = payloadLen(dst)
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
 	if c.conn != conn || c.gen != gen {
 		// The session died between ensureConn and registration; its
@@ -661,7 +945,7 @@ func (c *Client) call(ctx context.Context, op uint8, ext *TraceExt, payload []by
 		if err == nil {
 			err = ErrClosed
 		}
-		return nil, err
+		return nil, false, err
 	}
 	c.pending[id] = pc
 	c.mu.Unlock()
@@ -672,64 +956,160 @@ func (c *Client) call(ctx context.Context, op uint8, ext *TraceExt, payload []by
 		c.mu.Unlock()
 	}
 
-	if ctx.Done() == nil {
-		// Fast path: nothing to race the write against.
-		c.wmu.Lock()
-		err = writeFrame(conn, id, frameRequest, op, ext, payload)
-		c.wmu.Unlock()
+	// The effective deadline is the earlier of the explicit per-call
+	// deadline and any deadline already carried by ctx.
+	hasDL := !dl.IsZero()
+	if cdl, ok := ctx.Deadline(); ok && (!hasDL || cdl.Before(dl)) {
+		dl = cdl
+		hasDL = true
+	}
+
+	// Three write strategies, cheapest first: with nothing to interrupt
+	// the call it writes inline; a deadline on a raw TCP session writes
+	// inline under a socket write deadline (the runtime's netpoll
+	// interrupts a blocked write, no goroutine needed); anything else —
+	// cancel-only contexts, injected test conns whose Write does not
+	// honor deadlines — keeps the goroutine race from the original
+	// design.
+	inline := ctx.Done() == nil && !hasDL
+	var wdl time.Time
+	if !inline && hasDL {
+		if _, isTCP := conn.(*net.TCPConn); isTCP {
+			wdl = dl
+			inline = true
+		}
+	}
+	if inline {
+		err = c.writeReq(conn, id, op, ext, wdl, req)
 		if err != nil {
+			if ctx.Err() != nil {
+				// The socket deadline fired (or the write failed) after
+				// the context expired: report the caller's own deadline.
+				c.dropConn(conn, ctx.Err())
+				unregister()
+				c.met.deadlineExpired.Inc()
+				return nil, false, ctx.Err()
+			}
+			if hasDL && errors.Is(err, os.ErrDeadlineExceeded) {
+				// The per-call deadline fired as a socket timeout;
+				// report it the way a context deadline would.
+				c.dropConn(conn, context.DeadlineExceeded)
+				unregister()
+				c.met.deadlineExpired.Inc()
+				return nil, false, context.DeadlineExceeded
+			}
 			if errors.Is(err, ErrFrameTooLarge) {
 				// Nothing was written; the session is still good.
 				unregister()
-				return nil, err
+				return nil, false, err
 			}
 			c.dropConn(conn, err) // a partial frame desynchronizes the stream
 			unregister()
-			return nil, err
+			return nil, false, err
 		}
 	} else {
 		written := make(chan error, 1)
 		go func() {
-			c.wmu.Lock()
-			werr := writeFrame(conn, id, frameRequest, op, ext, payload)
-			c.wmu.Unlock()
-			written <- werr
+			written <- c.writeReq(conn, id, op, ext, time.Time{}, req)
 		}()
+		var tm *time.Timer
+		var timerC <-chan time.Time
+		if hasDL {
+			tm = getTimer(time.Until(dl))
+			timerC = tm.C
+		}
+		var abort error
 		select {
 		case err = <-written:
-			if err != nil {
-				if !errors.Is(err, ErrFrameTooLarge) {
-					c.dropConn(conn, err)
-				}
-				unregister()
-				return nil, err
-			}
 		case <-ctx.Done():
+			abort = ctx.Err()
+		case <-timerC:
+			abort = context.DeadlineExceeded
+		}
+		if tm != nil {
+			putTimer(tm)
+		}
+		if abort != nil {
 			// Abandon mid-write: the frame may be half on the wire, so
-			// the session cannot be reused.
-			c.dropConn(conn, ctx.Err())
+			// the session cannot be reused. Closing it also unblocks the
+			// writer; wait for it so the caller regains exclusive
+			// ownership of req before the call returns — retry paths
+			// (cdd) recycle pooled request headers aliased by req, and
+			// handing those back while the writer still reads them
+			// would be a use-after-release.
+			c.dropConn(conn, abort)
+			<-written
 			unregister()
 			c.met.deadlineExpired.Inc()
-			return nil, ctx.Err()
+			return nil, false, abort
+		}
+		if err != nil {
+			if !errors.Is(err, ErrFrameTooLarge) {
+				c.dropConn(conn, err)
+			}
+			unregister()
+			return nil, false, err
 		}
 	}
 	c.met.framesSent.Inc()
 
+	var tm *time.Timer
+	var timerC <-chan time.Time
+	if hasDL {
+		tm = getTimer(time.Until(dl))
+		timerC = tm.C
+	}
+	var resp response
+	var respOK bool
+	var abort error
 	select {
-	case resp, ok := <-pc.ch:
-		if !ok {
-			return nil, c.brokenErr()
-		}
-		if resp.typ == frameError {
-			c.met.remoteErrors.Inc()
-			return nil, decodeRemoteError(resp.op, resp.payload)
-		}
-		return resp.payload, nil
+	case resp, respOK = <-pc.ch:
 	case <-ctx.Done():
+		abort = ctx.Err()
+	case <-timerC:
+		abort = context.DeadlineExceeded
+	}
+	if tm != nil {
+		putTimer(tm)
+	}
+	if abort != nil {
+		if pc.dstLen > 0 && !pc.dstState.CompareAndSwap(0, 2) {
+			// The read loop claimed dst: bytes may be landing in the
+			// caller's buffers right now, so returning would hand the
+			// caller memory the socket is still writing. Kill the
+			// session to bound the read and wait for it to finish
+			// (the channel gets a response or is closed by teardown).
+			select {
+			case <-pc.ch: // already fully landed and delivered
+			default:
+				c.dropConn(conn, abort)
+				<-pc.ch
+			}
+		}
 		unregister()
 		c.met.deadlineExpired.Inc()
-		return nil, ctx.Err()
+		return nil, false, abort
 	}
+	if !respOK {
+		return nil, false, c.brokenErr()
+	}
+	if resp.typ == frameError {
+		c.met.remoteErrors.Inc()
+		return nil, false, decodeRemoteError(resp.op, resp.payload)
+	}
+	return resp.payload, resp.inDst, nil
+}
+
+// writeReq emits one request frame under the write lock. On a TCP
+// session the given deadline (zero = none) is armed as the socket write
+// deadline; other conns get plain writes.
+func (c *Client) writeReq(conn net.Conn, id uint64, op uint8, ext *TraceExt, deadline time.Time, req [][]byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetWriteDeadline(deadline) //nolint:errcheck // zero clears; best-effort
+	}
+	return writeFrame(conn, id, frameRequest, op, ext, req...)
 }
 
 // Notify sends a fire-and-forget request (no response, errors on the
@@ -738,23 +1118,30 @@ func (c *Client) call(ctx context.Context, op uint8, ext *TraceExt, payload []by
 // trace context (recorded as a "transport.notify" span); the send
 // itself is not cancellable.
 func (c *Client) Notify(ctx context.Context, op uint8, payload []byte) error {
-	ext, h := c.startWire(ctx, "transport.notify", payload)
-	err := c.notify(op, ext, payload)
+	ext, h := c.startWire(ctx, "transport.notify", len(payload))
+	err := c.notify(op, ext, [][]byte{payload})
 	h.End(err)
 	return err
 }
 
-func (c *Client) notify(op uint8, ext *TraceExt, payload []byte) error {
-	if len(payload) > MaxPayload {
-		return fmt.Errorf("%w: payload %d bytes exceeds %d", ErrFrameTooLarge, len(payload), MaxPayload)
+// NotifyVec is Notify with a gathered payload, written vectored like
+// CallVec. The segments are only read during the call.
+func (c *Client) NotifyVec(ctx context.Context, op uint8, req [][]byte) error {
+	ext, h := c.startWire(ctx, "transport.notify", payloadLen(req))
+	err := c.notify(op, ext, req)
+	h.End(err)
+	return err
+}
+
+func (c *Client) notify(op uint8, ext *TraceExt, req [][]byte) error {
+	if n := payloadLen(req); n > MaxPayload {
+		return fmt.Errorf("%w: payload %d bytes exceeds %d", ErrFrameTooLarge, n, MaxPayload)
 	}
 	conn, _, err := c.ensureConn(context.Background())
 	if err != nil {
 		return err
 	}
-	c.wmu.Lock()
-	err = writeFrame(conn, 0, frameRequest, op, ext, payload)
-	c.wmu.Unlock()
+	err = c.writeReq(conn, 0, op, ext, time.Time{}, req)
 	if err != nil {
 		if errors.Is(err, ErrFrameTooLarge) {
 			return err
