@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck promtest check bench benchcheck
+.PHONY: build test race vet staticcheck promtest check bench benchcheck chaoscheck
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ race:
 # the whole suite (including the transport/cdd fault-injection tests)
 # under the race detector.
 check: vet staticcheck promtest race
+
+# chaoscheck runs the self-healing chaos suite (CI job `repair`): the
+# repair-supervisor and delta-resync tests — including the faultnet
+# kill/partition/readmit scenarios in internal/cdd — under the race
+# detector.
+chaoscheck:
+	$(GO) test -run 'TestRepair|TestResync' -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

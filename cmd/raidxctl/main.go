@@ -9,7 +9,12 @@
 //	raidxctl fail -addrs ... -node 2 -disk 0     inject a disk failure
 //	raidxctl replace -addrs ... -node 2 -disk 0  install a blank disk
 //	raidxctl rebuild -addrs ... -node 2 -disk 0  rebuild it from redundancy
+//	                                             (refused while the repair
+//	                                             supervisor owns the disk)
 //	raidxctl verify -addrs ...                   check all images match
+//	raidxctl repair status -addrs ...            self-healing supervisor
+//	raidxctl repair pause -addrs ...             state, and pause/resume
+//	raidxctl repair resume -addrs ...            of background repair
 //	raidxctl trace -addrs ... -ops 8 -slowest 3  run traced probe reads and
 //	                                             render waterfalls of the
 //	                                             slowest, with each node's
@@ -21,6 +26,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/layout"
 	"repro/internal/raid"
+	"repro/internal/repair"
 	"repro/internal/trace"
 )
 
@@ -55,6 +62,8 @@ func main() {
 		err = withCluster(os.Args[2:], runRebuild)
 	case "verify":
 		err = withCluster(os.Args[2:], runVerify)
+	case "repair":
+		err = runRepair(os.Args[2:])
 	case "trace":
 		// Record every probe op; assemble traces from the ring (no slow
 		// log needed — the probe picks its own slowest).
@@ -74,7 +83,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: raidxctl <layout|status|stats|fail|replace|rebuild|verify|trace> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: raidxctl <layout|status|stats|fail|replace|rebuild|verify|repair|trace> [flags]")
 }
 
 func runLayout(args []string) error {
@@ -291,12 +300,132 @@ func runRebuild(fs *flag.FlagSet, r *rig) error {
 	if !ok {
 		return fmt.Errorf("node %d (%s) is offline; bring it back before rebuilding", node, r.addrs[node])
 	}
+	// A manual rebuild racing the repair supervisor's own copy would
+	// interleave two writers over the same device: refuse while any
+	// reachable supervisor owns it.
+	if owner, state := repairOwner(r, global); owner != "" {
+		return fmt.Errorf("repair supervisor on %s owns D%d (state %s); wait for it to finish or run 'raidxctl repair pause' first", owner, global, state)
+	}
 	rd.InvalidateHealth()
 	if err := r.arr.Rebuild(context.Background(), global); err != nil {
 		return err
 	}
 	fmt.Printf("rebuilt global disk D%d (node %d disk %d)\n", global, node, disk)
 	return nil
+}
+
+// repairOwner reports which node's repair supervisor (if any) currently
+// owns recovery of global device idx — degraded, rebuilding, or
+// resyncing. Nodes without a supervisor answer RepairStatus with an
+// error and are skipped.
+func repairOwner(r *rig, idx int) (addr string, state repair.State) {
+	ctx := context.Background()
+	for i, c := range r.clients {
+		if c == nil {
+			continue
+		}
+		raw, err := c.RepairStatus(ctx)
+		if err != nil {
+			continue
+		}
+		var st repair.Status
+		if err := json.Unmarshal(raw, &st); err != nil || idx >= len(st.Devices) {
+			continue
+		}
+		switch st.Devices[idx].State {
+		case repair.StateDegraded, repair.StateRebuilding, repair.StateResyncing:
+			return r.addrs[i], st.Devices[idx].State
+		}
+	}
+	return "", ""
+}
+
+// runRepair drives the self-healing supervisor over the CDD wire:
+// status, pause, resume. It probes every node and acts on whichever
+// ones host a supervisor.
+func runRepair(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: raidxctl repair <status|pause|resume> -addrs host:port,...")
+	}
+	action := args[0]
+	switch action {
+	case "status", "pause", "resume":
+	default:
+		return fmt.Errorf("unknown repair action %q (want status, pause, or resume)", action)
+	}
+	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	addrs := fs.String("addrs", "", "comma-separated node addresses (required)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *addrs == "" {
+		return fmt.Errorf("-addrs is required")
+	}
+	ctx := context.Background()
+	found := 0
+	for _, a := range strings.Split(*addrs, ",") {
+		a = strings.TrimSpace(a)
+		c, err := cdd.Connect(a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "raidxctl: warning: node %s unreachable (%v)\n", a, err)
+			continue
+		}
+		switch action {
+		case "status":
+			raw, err := c.RepairStatus(ctx)
+			if err == nil {
+				found++
+				printRepairStatus(a, raw)
+			}
+		case "pause":
+			if err := c.RepairPause(ctx); err == nil {
+				found++
+				fmt.Printf("paused repair supervisor on %s\n", a)
+			}
+		case "resume":
+			if err := c.RepairResume(ctx); err == nil {
+				found++
+				fmt.Printf("resumed repair supervisor on %s\n", a)
+			}
+		}
+		c.Close()
+	}
+	if found == 0 {
+		return fmt.Errorf("no repair supervisor reachable (start a node with -repair-cluster)")
+	}
+	return nil
+}
+
+func printRepairStatus(addr string, raw []byte) {
+	var st repair.Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		fmt.Printf("repair supervisor on %s: undecodable status: %v\n", addr, err)
+		return
+	}
+	run := "running"
+	if st.Paused {
+		run = "PAUSED"
+	}
+	spares := "no spare pool"
+	if st.Spares >= 0 {
+		spares = fmt.Sprintf("%d spare(s) left", st.Spares)
+	}
+	fmt.Printf("repair supervisor on %s: %s, %s\n", addr, run, spares)
+	for i, d := range st.Devices {
+		line := fmt.Sprintf("  D%-3d %-10s since %s  rebuilds %d  resyncs %d",
+			i, d.State, d.Since.Format("15:04:05"), d.Rebuilds, d.Resyncs)
+		if d.ResyncBytes > 0 {
+			line += fmt.Sprintf("  resynced %d KB", d.ResyncBytes>>10)
+		}
+		if st.Active == i && d.Prog.Total(1) > 0 {
+			line += fmt.Sprintf("  [rebuild %d/%d data blocks, %d/%d groups]",
+				d.Prog.DataDone, d.Prog.DataTotal, d.Prog.GroupsDone, d.Prog.GroupsTotal)
+		}
+		if d.LastErr != "" {
+			line += "  last error: " + d.LastErr
+		}
+		fmt.Println(line)
+	}
 }
 
 func runVerify(fs *flag.FlagSet, r *rig) error {

@@ -18,12 +18,27 @@
 // -pprof writes a CPU profile of the whole run to a file (stopped and
 // flushed on shutdown), for profiling without the HTTP listener.
 //
+// With -repair-cluster the node also runs the self-healing repair
+// supervisor over the whole array (run it on exactly one node — the
+// repair host). The host mounts the cluster as a client, watches member
+// health, swaps local hot spares for members that stay dead past the
+// failure budget, rebuilds them in the background, and delta-resyncs
+// members that return after a blip. Its write-intent log is replicated
+// to every node through the CDD protocol, so a restarted host recovers
+// the dirty map from any survivor:
+//
+//	raidxnode -addr :7000 -repair-cluster :7000,:7001,:7002,:7003 \
+//	          -repair-spares 1 -repair-budget 5s
+//	curl http://localhost:7080/repair         # supervisor status, JSON
+//	raidxctl repair status -addrs :7000,...   # same, over the CDD wire
+//
 // Disks are in-memory by default (this reproduction's substitute for
 // the Trojans cluster's SCSI drives); with -dir they become persistent
 // file-backed images that survive restarts.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,11 +50,16 @@ import (
 	"path/filepath"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cdd"
+	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/intent"
+	"repro/internal/raid"
+	"repro/internal/repair"
 	"repro/internal/store"
 )
 
@@ -54,6 +74,13 @@ func main() {
 	pprofOut := flag.String("pprof", "", "write a CPU profile of the whole run to this file")
 	traceSlow := flag.Duration("trace-slow", 0, "slow-log promotion threshold for server-side traces (0: default, negative: disabled)")
 	traceSample := flag.Int("trace-sample", 0, "record 1 in N server-side root traces (0: default)")
+	repairCluster := flag.String("repair-cluster", "", "comma-separated addresses of ALL cluster nodes in SIOS order; enables the self-healing repair supervisor on this node (run on exactly one node)")
+	repairSpares := flag.Int("repair-spares", 1, "local hot-spare disks the supervisor may swap in")
+	repairBudget := flag.Duration("repair-budget", 5*time.Second, "how long a member may stay dead before a spare is swapped in")
+	repairRate := flag.Int64("repair-rate", 0, "background repair bandwidth cap in bytes/sec (0: unlimited)")
+	repairPoll := flag.Duration("repair-poll", 250*time.Millisecond, "health-scan interval of the repair supervisor")
+	intentRegion := flag.Int64("intent-region", intent.DefaultRegionBlocks, "write-intent dirty-region granularity in blocks")
+	arrayName := flag.String("array", "raidx", "array name, the replication key for write-intent snapshots")
 	flag.Parse()
 
 	if *pprofOut != "" {
@@ -106,6 +133,29 @@ func main() {
 		tracer.SetSampleEvery(*traceSample)
 	}
 
+	var sup *repair.Supervisor
+	if *repairCluster != "" {
+		var stop func()
+		var err error
+		sup, stop, err = startRepair(node, repairOpts{
+			cluster:      *repairCluster,
+			spares:       *repairSpares,
+			budget:       *repairBudget,
+			rate:         *repairRate,
+			poll:         *repairPoll,
+			regionBlocks: *intentRegion,
+			array:        *arrayName,
+			blockSize:    *bs,
+			blocks:       *blocks,
+		})
+		if err != nil {
+			log.Fatalf("raidxnode: repair supervisor: %v", err)
+		}
+		defer stop()
+		log.Printf("raidxnode %s: repair supervisor running over %s (%d spare(s), budget %v)",
+			*name, *repairCluster, *repairSpares, *repairBudget)
+	}
+
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
@@ -134,6 +184,19 @@ func main() {
 				log.Printf("raidxnode: /trace: %v", err)
 			}
 		})
+		mux.HandleFunc("/repair", func(w http.ResponseWriter, _ *http.Request) {
+			if sup == nil {
+				http.Error(w, "no repair supervisor on this node (start with -repair-cluster)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			raw, err := sup.StatusJSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Write(raw)
+		})
 		mux.HandleFunc("/debug/pprof/", httppprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
@@ -155,4 +218,97 @@ func main() {
 	if err := node.Close(); err != nil {
 		log.Printf("raidxnode: close: %v", err)
 	}
+}
+
+type repairOpts struct {
+	cluster      string
+	spares       int
+	budget       time.Duration
+	rate         int64
+	poll         time.Duration
+	regionBlocks int64
+	array        string
+	blockSize    int
+	blocks       int64
+}
+
+// startRepair mounts the whole cluster as a client, recovers any
+// replicated write-intent snapshot, and runs the self-healing
+// supervisor over the assembled array. The returned stop function
+// halts the supervisor and closes the client connections.
+func startRepair(node *cdd.Node, o repairOpts) (*repair.Supervisor, func(), error) {
+	list := strings.Split(o.cluster, ",")
+	clients := make([]*cdd.NodeClient, 0, len(list))
+	closeAll := func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}
+	for _, a := range list {
+		c, err := cdd.Connect(strings.TrimSpace(a))
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("dial %s: %w", a, err)
+		}
+		clients = append(clients, c)
+	}
+	perNode := clients[0].NumDisks()
+	devs := make([]raid.Dev, len(clients)*perNode)
+	for local := 0; local < perNode; local++ {
+		for n := range clients {
+			devs[n+local*len(clients)] = clients[n].Dev(local)
+		}
+	}
+	il := intent.NewLog(len(devs), o.blocks, o.regionBlocks)
+	// Crash recovery: merge whatever intent snapshot the peers kept for
+	// us, so regions dirtied before a supervisor restart still resync.
+	recoverCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	for _, c := range clients {
+		snap, err := c.GetIntent(recoverCtx, o.array)
+		if err != nil || len(snap) == 0 {
+			continue
+		}
+		if err := il.Merge(snap); err != nil {
+			log.Printf("raidxnode: stale intent snapshot from %s ignored: %v", c.Addr(), err)
+		}
+	}
+	cancel()
+	arr, err := core.New(devs, len(clients), perNode, core.Options{
+		Obs:    node.Manager.Obs(),
+		Trace:  node.Manager.Tracer(),
+		Intent: il,
+	})
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	var sp *raid.Sparer
+	if o.spares > 0 {
+		spareDevs := make([]raid.Dev, o.spares)
+		for i := range spareDevs {
+			spareDevs[i] = disk.New(nil, fmt.Sprintf("spare-%d", i),
+				store.NewMem(o.blockSize, o.blocks), disk.DefaultModel())
+		}
+		sp = raid.NewSparer(arr, spareDevs)
+	}
+	sup := repair.New(arr, sp, repair.Config{
+		Poll:            o.poll,
+		FailureBudget:   o.budget,
+		RateBytesPerSec: o.rate,
+		Obs:             node.Manager.Obs(),
+		Persist: func(snap []byte) {
+			// Replicate the dirty map to every node, best effort; any one
+			// surviving copy is enough for recovery.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			for _, c := range clients {
+				if err := c.PutIntent(ctx, o.array, snap); err != nil {
+					log.Printf("raidxnode: intent replication to %s: %v", c.Addr(), err)
+				}
+			}
+		},
+	})
+	node.Manager.SetRepair(sup)
+	sup.Start(context.Background())
+	return sup, func() { sup.Stop(); closeAll() }, nil
 }

@@ -91,7 +91,8 @@ func retryableOp(op uint8) bool {
 	switch op {
 	case OpInfo, OpRead, OpWrite, OpFlush, OpHealth, OpStats,
 		OpLockSnapshot, OpUnlock, OpUnlockAll, OpFail, OpReplace,
-		OpObsSnapshot, OpTraceSpans:
+		OpObsSnapshot, OpTraceSpans,
+		OpIntentPut, OpIntentGet, OpRepairStatus, OpRepairCtl:
 		return true
 	}
 	return false
@@ -480,6 +481,44 @@ func (n *NodeClient) TraceSpans(ctx context.Context) ([]trace.Span, error) {
 		return nil, fmt.Errorf("cdd: bad trace spans from %s: %w", n.addr, err)
 	}
 	return spans, nil
+}
+
+// PutIntent replicates a write-intent snapshot to the node under key
+// (the array name). Idempotent: re-sending the same snapshot is a
+// no-op, so it retries like any other write.
+func (n *NodeClient) PutIntent(ctx context.Context, key string, snap []byte) error {
+	_, err := n.call(ctx, OpIntentPut, encodeKeyed(key, snap))
+	return err
+}
+
+// GetIntent fetches the write-intent snapshot the node holds under key
+// (nil when it has none) — the crash-recovery read on array startup.
+func (n *NodeClient) GetIntent(ctx context.Context, key string) ([]byte, error) {
+	raw, err := n.call(ctx, OpIntentGet, encodeKeyed(key, nil))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	return raw, nil
+}
+
+// RepairStatus fetches the node's repair-supervisor status as JSON.
+func (n *NodeClient) RepairStatus(ctx context.Context) ([]byte, error) {
+	return n.call(ctx, OpRepairStatus, nil)
+}
+
+// RepairPause pauses the node's repair supervisor.
+func (n *NodeClient) RepairPause(ctx context.Context) error {
+	_, err := n.call(ctx, OpRepairCtl, []byte{repairCtlPause})
+	return err
+}
+
+// RepairResume resumes the node's repair supervisor.
+func (n *NodeClient) RepairResume(ctx context.Context) error {
+	_, err := n.call(ctx, OpRepairCtl, []byte{repairCtlResume})
+	return err
 }
 
 // LockSnapshot fetches the node's replica of the lock-group table.

@@ -28,6 +28,29 @@ type Manager struct {
 
 	mu    sync.Mutex
 	peers []*transport.Client // for lock-table replication
+	// intents holds replicated write-intent snapshots keyed by array
+	// name: the repair host pushes its dirty map here so it survives a
+	// host crash.
+	intents map[string][]byte
+	repair  RepairController
+}
+
+// RepairController is the slice of a repair supervisor the manager can
+// drive remotely (raidxctl repair status|pause|resume). Declared here
+// rather than importing internal/repair so cdd stays below repair in
+// the dependency order.
+type RepairController interface {
+	StatusJSON() ([]byte, error)
+	Pause()
+	Resume()
+}
+
+// SetRepair attaches the node's repair supervisor, enabling
+// OpRepairStatus and OpRepairCtl.
+func (m *Manager) SetRepair(rc RepairController) {
+	m.mu.Lock()
+	m.repair = rc
+	m.mu.Unlock()
 }
 
 // managerMetrics count the node's served operations.
@@ -42,10 +65,11 @@ type managerMetrics struct {
 func NewManager(disks []*disk.Disk) *Manager {
 	reg := obs.NewRegistry()
 	m := &Manager{
-		disks:  disks,
-		locks:  NewTable(),
-		reg:    reg,
-		tracer: trace.New(trace.Config{}),
+		disks:   disks,
+		locks:   NewTable(),
+		reg:     reg,
+		tracer:  trace.New(trace.Config{}),
+		intents: make(map[string][]byte),
 		met: managerMetrics{
 			reads:    reg.Counter("mgr.read_ops"),
 			writes:   reg.Counter("mgr.write_ops"),
@@ -153,6 +177,10 @@ var opSpanNames = [...]string{
 	OpStats:        "mgr.stats",
 	OpObsSnapshot:  "mgr.obs-snapshot",
 	OpTraceSpans:   "mgr.trace-spans",
+	OpIntentPut:    "mgr.intent-put",
+	OpIntentGet:    "mgr.intent-get",
+	OpRepairStatus: "mgr.repair-status",
+	OpRepairCtl:    "mgr.repair-ctl",
 }
 
 func opSpanName(op uint8) string {
@@ -339,6 +367,57 @@ func (m *Manager) handle(ctx context.Context, op uint8, payload []byte) ([]byte,
 
 	case OpTraceSpans:
 		return json.Marshal(m.tracer.Spans())
+
+	case OpIntentPut:
+		key, body, err := decodeKeyed(payload)
+		if err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
+		m.intents[key] = append([]byte(nil), body...)
+		m.mu.Unlock()
+		return nil, nil
+
+	case OpIntentGet:
+		key, _, err := decodeKeyed(payload)
+		if err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
+		snap := m.intents[key]
+		m.mu.Unlock()
+		// Copy: responses are recycled to the buffer pool after sending,
+		// which would scribble over the stored snapshot.
+		return append([]byte(nil), snap...), nil
+
+	case OpRepairStatus:
+		m.mu.Lock()
+		rc := m.repair
+		m.mu.Unlock()
+		if rc == nil {
+			return nil, errors.New("cdd: no repair supervisor on this node")
+		}
+		return rc.StatusJSON()
+
+	case OpRepairCtl:
+		m.mu.Lock()
+		rc := m.repair
+		m.mu.Unlock()
+		if rc == nil {
+			return nil, errors.New("cdd: no repair supervisor on this node")
+		}
+		if len(payload) != 1 {
+			return nil, fmt.Errorf("cdd: bad repair-ctl payload: %w", errBadRequest)
+		}
+		switch payload[0] {
+		case repairCtlPause:
+			rc.Pause()
+		case repairCtlResume:
+			rc.Resume()
+		default:
+			return nil, fmt.Errorf("cdd: unknown repair-ctl %d: %w", payload[0], errBadRequest)
+		}
+		return nil, nil
 	}
 	return nil, fmt.Errorf("cdd: op %d: %w", op, errUnknownOp)
 }

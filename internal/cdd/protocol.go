@@ -44,7 +44,49 @@ const (
 	// client can merge the server-side legs into its own traces
 	// (raidxctl trace waterfalls).
 	OpTraceSpans
+	// OpIntentPut stores a write-intent snapshot under a key. The repair
+	// host replicates its dirty map to every node, so a host that
+	// crashes recovers the map from any survivor instead of forgetting
+	// which regions were stale.
+	OpIntentPut
+	// OpIntentGet returns the snapshot stored under a key (empty
+	// response when the node holds none).
+	OpIntentGet
+	// OpRepairStatus returns the node's repair-supervisor status as
+	// JSON; answered with an error when no supervisor runs here.
+	OpRepairStatus
+	// OpRepairCtl pauses or resumes the node's repair supervisor
+	// (payload: one byte, 0 = pause, 1 = resume).
+	OpRepairCtl
 )
+
+// repairCtl payload bytes.
+const (
+	repairCtlPause  = 0
+	repairCtlResume = 1
+)
+
+// encodeKeyed frames a string key followed by an opaque body — the
+// OpIntentPut/OpIntentGet payload.
+func encodeKeyed(key string, body []byte) []byte {
+	b := make([]byte, 0, 4+len(key)+len(body))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(key)))
+	b = append(b, key...)
+	b = append(b, body...)
+	return b
+}
+
+func decodeKeyed(b []byte) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, fmt.Errorf("cdd: short keyed message: %w", errBadRequest)
+	}
+	klen := binary.BigEndian.Uint32(b[0:4])
+	b = b[4:]
+	if uint32(len(b)) < klen {
+		return "", nil, fmt.Errorf("cdd: truncated key: %w", errBadRequest)
+	}
+	return string(b[:klen]), b[klen:], nil
+}
 
 // errBadRequest marks protocol decode failures so the server can answer
 // with transport.CodeBadRequest instead of a generic error.

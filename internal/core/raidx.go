@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/bufpool"
+	"repro/internal/intent"
 	"repro/internal/layout"
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -92,6 +93,13 @@ type Options struct {
 	// starts a trace that follows the request down through the striped
 	// fan-out, CDD calls, and (over the wire) remote disk ops.
 	Trace *trace.Tracer
+	// Intent, when non-nil, is the array's write-intent log: the write
+	// path marks a member's physical regions dirty whenever a copy
+	// write is skipped (device suspect/failed) or errors out, so a
+	// returning device can be delta-resynced (Resync) instead of fully
+	// rebuilt. The log must be sized NewIntentLog-style for this
+	// array's geometry (len(devs) devices of Layout().DiskBlocks).
+	Intent *intent.Log
 }
 
 // coreMetrics are the engine's instruments, resolved once at New;
@@ -144,6 +152,21 @@ type RAIDx struct {
 	// simultaneous readers split between data and image instead of
 	// herding onto whichever side momentarily reports less backlog.
 	flip atomic.Uint32
+	// intLog is the optional write-intent log (nil: marks are no-ops).
+	intLog *intent.Log
+	// blankCols is a bitmask of columns whose device answers health
+	// probes but holds no trustworthy content: a freshly swapped-in
+	// spare is blank until its rebuild completes, so reads of its
+	// blocks must route through the mirror images even though the
+	// device itself is "up". Writes still land on it — they only make
+	// the rebuild's job smaller. Operations load the mask once at
+	// entry, like the device table, so one operation's copy choices
+	// stay consistent while a rebuild finishes concurrently. Columns
+	// >= 64 are never flagged (such arrays keep health-only routing).
+	blankCols atomic.Uint64
+	// rebuildDone/rebuildTotal expose background-repair progress (in
+	// physical blocks of the device under repair) through obs gauges.
+	rebuildDone, rebuildTotal atomic.Int64
 }
 
 // New builds a RAID-x array over an n-by-k grid of devices: devs[j] is
@@ -169,6 +192,7 @@ func New(devs []raid.Dev, nodes, disksPerNode int, opt Options) (*RAIDx, error) 
 		opt:    opt,
 		met:    newCoreMetrics(opt.Obs),
 		tracer: opt.Trace,
+		intLog: opt.Intent,
 	}
 	a.colName = make([]string, len(devs))
 	for i := range a.colName {
@@ -191,6 +215,8 @@ func New(devs []raid.Dev, nodes, disksPerNode int, opt Options) (*RAIDx, error) 
 			}
 			return int64(sum / time.Microsecond)
 		})
+		opt.Obs.RegisterGauge("raidx.rebuild_done_blocks", a.rebuildDone.Load)
+		opt.Obs.RegisterGauge("raidx.rebuild_total_blocks", a.rebuildTotal.Load)
 	}
 	// A degraded mount — building the array over members that are
 	// already unhealthy — is a state worth flagging on the event log.
@@ -221,10 +247,42 @@ func checkDevs(devs []raid.Dev) (int, int64, error) {
 	return bs, per, nil
 }
 
+// readable reports whether column col may serve reads under the given
+// blank-column mask: the device must answer and must not be a blank
+// spare whose rebuild has not completed.
+func readable(devs []raid.Dev, blank uint64, col int) bool {
+	return (col >= 64 || blank&(1<<uint(col)) == 0) && devs[col].Healthy()
+}
+
+// setBlank marks or clears column col in the blank mask.
+func (a *RAIDx) setBlank(col int, blank bool) {
+	if col >= 64 {
+		return
+	}
+	for {
+		old := a.blankCols.Load()
+		next := old &^ (1 << uint(col))
+		if blank {
+			next = old | 1<<uint(col)
+		}
+		if a.blankCols.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // devices returns the current device table snapshot. Operations load it
 // once at entry and pass it down, so a concurrent SwapDev cannot change
 // the set of devices an operation addresses mid-flight.
 func (a *RAIDx) devices() []raid.Dev { return *a.table.Load() }
+
+// Devices returns the current device-table snapshot. The slice is the
+// engine's own copy-on-write table: treat it as read-only. The repair
+// supervisor polls it for member health.
+func (a *RAIDx) Devices() []raid.Dev { return a.devices() }
+
+// Intent exposes the array's write-intent log (nil when not configured).
+func (a *RAIDx) Intent() *intent.Log { return a.intLog }
 
 // Layout exposes the OSM address arithmetic (used by the checkpointing
 // module and the layout-printing tool).
@@ -251,6 +309,9 @@ func (a *RAIDx) SwapDev(idx int, dev raid.Dev) (raid.Dev, error) {
 	next := append([]raid.Dev(nil), cur...)
 	old := next[idx]
 	next[idx] = dev
+	// Flag the column blank BEFORE publishing the table: no reader may
+	// ever observe the spare as a valid read source before its rebuild.
+	a.setBlank(idx, true)
 	a.table.Store(&next)
 	a.met.events.Append(obs.EventSwap, fmt.Sprintf("raidx/d%d", idx), "hot spare installed")
 	return old, nil
@@ -282,6 +343,7 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) (err error) {
 	start := time.Now()
 	defer func() { a.met.readLat.Observe(time.Since(start)) }()
 	devs := a.devices()
+	blank := a.blankCols.Load()
 	width := a.lay.TotalDisks()
 	var fns []func(context.Context) error
 	for col := 0; col < width; col++ {
@@ -291,13 +353,13 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) (err error) {
 		}
 		count := int((b+int64(n)-1-first)/int64(width)) + 1
 		dev := devs[col]
-		if dev.Healthy() {
+		if readable(devs, blank, col) {
 			// Load-balanced single-block read: alternate the preferred
 			// copy, then defer to whichever disk has less queued work.
 			if a.opt.BalanceReads && count == 1 {
 				m := a.lay.MirrorLoc(first)
 				mdev := devs[m.Disk]
-				if mdev.Healthy() {
+				if readable(devs, blank, m.Disk) {
 					db, mb := raid.BacklogOf(dev), raid.BacklogOf(mdev)
 					useMirror := mb < db || (mb == db && a.flip.Add(1)%2 == 0)
 					if useMirror {
@@ -348,7 +410,7 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) (err error) {
 					// partial scatter may have landed in p are overwritten.
 					a.noteFailover(fmt.Sprintf("raidx/d%d", col), rerr)
 					fctx, fh := trace.Start(ctx, "raidx.failover", a.colName[col])
-					ferr := a.readRunViaMirrors(fctx, devs, first, count, b, p, rerr)
+					ferr := a.readRunViaMirrors(fctx, devs, blank, first, count, b, p, rerr)
 					fh.End(ferr)
 					return ferr
 				}
@@ -366,7 +428,7 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) (err error) {
 				ctx, dh := trace.Start(ctx, "raidx.degraded-read", a.colName[m.Disk])
 				defer func() { dh.End(err) }()
 				mdev := devs[m.Disk]
-				if !mdev.Healthy() {
+				if !readable(devs, blank, m.Disk) {
 					return fmt.Errorf("core: block %d and its image both unavailable: %w", lb, raid.ErrDataLoss)
 				}
 				return mdev.ReadBlocks(ctx, m.Block, p[(lb-b)*int64(a.bs):(lb-b+1)*int64(a.bs)])
@@ -386,13 +448,13 @@ func (a *RAIDx) noteFailover(subject string, cause error) {
 // primary read failed with cause. Images of one column scatter over
 // many mirror groups, so each block is fetched individually. A block
 // whose image is also unavailable fails the whole run with both errors.
-func (a *RAIDx) readRunViaMirrors(ctx context.Context, devs []raid.Dev, first int64, count int, b int64, p []byte, cause error) error {
+func (a *RAIDx) readRunViaMirrors(ctx context.Context, devs []raid.Dev, blank uint64, first int64, count int, b int64, p []byte, cause error) error {
 	width := int64(a.lay.TotalDisks())
 	for t := 0; t < count; t++ {
 		lb := first + int64(t)*width
 		m := a.lay.MirrorLoc(lb)
 		mdev := devs[m.Disk]
-		if !mdev.Healthy() {
+		if !readable(devs, blank, m.Disk) {
 			return fmt.Errorf("core: block %d primary failed (%v) and image unavailable: %w", lb, cause, raid.ErrDataLoss)
 		}
 		dst := p[(lb-b)*int64(a.bs) : (lb-b+1)*int64(a.bs)]
@@ -437,8 +499,13 @@ func (a *RAIDx) dataWriteFns(devs []raid.Dev, b int64, n int, p []byte) []func(c
 		}
 		count := int((b+int64(n)-1-first)/int64(width)) + 1
 		dev := devs[col]
+		phys := first / int64(width)
 		if !dev.Healthy() {
-			continue // image carries the data
+			// The image carries the data; log the intent so a delta
+			// resync can replay just these blocks when the device
+			// returns.
+			a.intLog.MarkRange(col, phys, int64(count))
+			continue
 		}
 		col := col
 		fns = append(fns, func(ctx context.Context) (err error) {
@@ -450,8 +517,14 @@ func (a *RAIDx) dataWriteFns(devs []raid.Dev, b int64, n int, p []byte) []func(c
 			// wire as one vectored frame; others coalesce through one
 			// pooled buffer inside WriteBlocksVec.
 			segs := a.colSegs(b, first, count, p)
-			err = raid.WriteBlocksVec(ctx, dev, first/int64(width), *segs)
+			err = raid.WriteBlocksVec(ctx, dev, phys, *segs)
 			putSegs(segs)
+			if err != nil {
+				// The run's on-disk state is unknown (partial landing,
+				// cancelled sibling, device died mid-write): mark it
+				// dirty so repair replays it from the surviving copy.
+				a.intLog.MarkRange(col, phys, int64(count))
+			}
 			return err
 		})
 	}
@@ -475,21 +548,30 @@ func (a *RAIDx) mirrorWriteFns(devs []raid.Dev, b int64, n int, p []byte) []func
 		}
 		mdisk := a.lay.MirrorDisk(g)
 		dev := devs[mdisk]
-		if !dev.Healthy() {
-			continue // data copy carries the blocks
-		}
 		start := a.lay.GroupLoc(g)
 		phys := start.Block + (lo - g*gs)
+		if !dev.Healthy() {
+			// The data copy carries the blocks; log the skipped image
+			// region so a returning mirror is delta-resynced.
+			a.intLog.MarkRange(mdisk, phys, hi-lo)
+			continue
+		}
 		if a.opt.ScatterMirror {
 			for lb := lo; lb < hi; lb++ {
 				lb := lb
 				fns = append(fns, func(ctx context.Context) error {
 					data := p[(lb-b)*int64(a.bs) : (lb-b+1)*int64(a.bs)]
 					mphys := phys + (lb - lo)
+					var err error
 					if a.opt.ForegroundMirror {
-						return dev.WriteBlocks(ctx, mphys, data)
+						err = dev.WriteBlocks(ctx, mphys, data)
+					} else {
+						err = dev.WriteBlocksBackground(ctx, mphys, data)
 					}
-					return dev.WriteBlocksBackground(ctx, mphys, data)
+					if err != nil {
+						a.intLog.MarkRange(mdisk, mphys, 1)
+					}
+					return err
 				})
 			}
 			continue
@@ -500,9 +582,16 @@ func (a *RAIDx) mirrorWriteFns(devs []raid.Dev, b int64, n int, p []byte) []func
 			defer func() { mh.End(err) }()
 			chunk := p[(lo-b)*int64(a.bs) : (hi-b)*int64(a.bs)]
 			if a.opt.ForegroundMirror {
-				return dev.WriteBlocks(ctx, phys, chunk)
+				err = dev.WriteBlocks(ctx, phys, chunk)
+			} else {
+				err = dev.WriteBlocksBackground(ctx, phys, chunk)
 			}
-			return dev.WriteBlocksBackground(ctx, phys, chunk)
+			if err != nil {
+				// The image may be missing or torn: record the intent so
+				// repair re-copies it from the data blocks.
+				a.intLog.MarkRange(mdisk, phys, hi-lo)
+			}
+			return err
 		})
 	}
 	return fns
@@ -546,10 +635,29 @@ func (a *RAIDx) Flush(ctx context.Context) (err error) {
 	})
 }
 
+// rebuildChunk bounds repair I/O: blocks per recovered write. A whole
+// column written in one call is tens of megabytes at realistic disk
+// sizes, which overflows the transport frame limit when the target is a
+// remote device (and holds the entire column in memory).
+const rebuildChunk = 128
+
 // Rebuild implements raid.Rebuilder: the replaced disk's data half is
 // recovered from images on other nodes; its mirror half is regenerated
-// from the corresponding data blocks.
-func (a *RAIDx) Rebuild(ctx context.Context, idx int) (err error) {
+// from the corresponding data blocks. Equivalent to RebuildFrom with no
+// checkpoint and no pacing.
+func (a *RAIDx) Rebuild(ctx context.Context, idx int) error {
+	return a.RebuildFrom(ctx, idx, nil, nil)
+}
+
+// RebuildFrom is Rebuild with a resumable checkpoint and optional
+// pacing. prog, when non-nil, is read to skip work already done by an
+// interrupted run and updated after every landed chunk, so a caller
+// that keeps the same RebuildProgress across attempts resumes instead
+// of restarting; pass a zeroed RebuildProgress (or nil) for a fresh
+// rebuild. pace, when non-nil, is called after each chunk with the
+// bytes just copied — returning an error aborts the rebuild with the
+// checkpoint intact.
+func (a *RAIDx) RebuildFrom(ctx context.Context, idx int, prog *RebuildProgress, pace PaceFunc) (err error) {
 	devs := a.devices()
 	if idx < 0 || idx >= len(devs) {
 		return fmt.Errorf("core: rebuild of device %d out of range", idx)
@@ -557,10 +665,18 @@ func (a *RAIDx) Rebuild(ctx context.Context, idx int) (err error) {
 	if !devs[idx].Healthy() {
 		return fmt.Errorf("core: rebuild target %d is not healthy (replace it first)", idx)
 	}
+	if prog == nil {
+		prog = &RebuildProgress{}
+	}
+	blank := a.blankCols.Load()
 	ctx, root := a.tracer.StartRoot(ctx, "raidx.rebuild", a.colName[idx])
 	defer func() { root.End(err) }()
 	subject := fmt.Sprintf("raidx/d%d", idx)
-	a.met.events.Append(obs.EventRebuildStart, subject, "")
+	detail := ""
+	if prog.DataDone > 0 || prog.GroupsDone > 0 {
+		detail = fmt.Sprintf("resume data=%d groups=%d", prog.DataDone, prog.GroupsDone)
+	}
+	a.met.events.Append(obs.EventRebuildStart, subject, detail)
 	defer func() {
 		detail := "ok"
 		if err != nil {
@@ -569,14 +685,30 @@ func (a *RAIDx) Rebuild(ctx context.Context, idx int) (err error) {
 		a.met.events.Append(obs.EventRebuildEnd, subject, detail)
 	}()
 	width := int64(a.lay.TotalDisks())
-	// Recover the data half: blocks lb ≡ idx (mod width). Work in
-	// bounded chunks — a whole column written in one call is tens of
-	// megabytes at realistic disk sizes, which overflows the transport
-	// frame limit when the target is a remote device (and holds the
-	// entire column in memory).
-	const rebuildChunk = 128 // blocks per recovered write
+	gs := int64(a.lay.GroupSize())
 	colBlocks := (a.Blocks() - int64(idx) + width - 1) / width
+	if colBlocks < 0 {
+		colBlocks = 0
+	}
+	prog.DataTotal = colBlocks
+	prog.GroupsTotal = 0
+	for g := int64(0); g < a.Blocks()/gs; g++ {
+		if a.lay.MirrorDisk(g) == idx {
+			prog.GroupsTotal++
+		}
+	}
+	a.rebuildTotal.Store(prog.DataTotal + prog.GroupsTotal*gs)
+	a.rebuildDone.Store(prog.done(gs))
+	// Recover the data half: blocks lb ≡ idx (mod width), in bounded
+	// chunks. A checkpointed DataDone is rounded down to a chunk
+	// boundary — re-copying a partial chunk is idempotent, trusting it
+	// is not.
 	if colBlocks > 0 {
+		start := prog.DataDone
+		if start > colBlocks {
+			start = colBlocks
+		}
+		start -= start % rebuildChunk
 		n := colBlocks
 		if n > rebuildChunk {
 			n = rebuildChunk
@@ -584,7 +716,7 @@ func (a *RAIDx) Rebuild(ctx context.Context, idx int) (err error) {
 		// One pooled scratch buffer serves every chunk of the column.
 		buf := bufpool.Get(int(n) * a.bs)
 		defer bufpool.Put(buf)
-		for c := int64(0); c < colBlocks; c += rebuildChunk {
+		for c := start; c < colBlocks; c += rebuildChunk {
 			n := colBlocks - c
 			if n > rebuildChunk {
 				n = rebuildChunk
@@ -594,7 +726,7 @@ func (a *RAIDx) Rebuild(ctx context.Context, idx int) (err error) {
 				lb := int64(idx) + (c+int64(t))*width
 				m := a.lay.MirrorLoc(lb)
 				src := devs[m.Disk]
-				if !src.Healthy() {
+				if !readable(devs, blank, m.Disk) {
 					return fmt.Errorf("core: image of block %d unavailable during rebuild: %w", lb, raid.ErrDataLoss)
 				}
 				return src.ReadBlocks(ctx, m.Block, part[t*a.bs:(t+1)*a.bs])
@@ -605,25 +737,39 @@ func (a *RAIDx) Rebuild(ctx context.Context, idx int) (err error) {
 			if err := devs[idx].WriteBlocks(ctx, c, part); err != nil {
 				return err
 			}
+			prog.DataDone = c + n
+			a.rebuildDone.Store(prog.done(gs))
+			if pace != nil {
+				if err := pace(ctx, int(n)*a.bs); err != nil {
+					return err
+				}
+			}
 		}
+		prog.DataDone = colBlocks
 	}
 	// Recover the mirror half: every group whose slot lives on idx. One
 	// pooled scratch buffer is reused across all the groups — each
 	// gathered group write lands before the next group's reads refill it.
-	gs := int64(a.lay.GroupSize())
+	// A checkpoint skips the first GroupsDone owned groups (group order
+	// is deterministic).
 	groups := a.Blocks() / gs
 	chunk := bufpool.Get(int(gs) * a.bs)
 	defer bufpool.Put(chunk)
+	owned := int64(0)
 	for g := int64(0); g < groups; g++ {
 		if a.lay.MirrorDisk(g) != idx {
 			continue
+		}
+		owned++
+		if owned <= prog.GroupsDone {
+			continue // an interrupted run already landed this group
 		}
 		start := a.lay.GroupLoc(g)
 		err := par.ForEach(ctx, int(gs), func(ctx context.Context, j int) error {
 			lb := g*gs + int64(j)
 			d := a.lay.DataLoc(lb)
 			src := devs[d.Disk]
-			if !src.Healthy() {
+			if !readable(devs, blank, d.Disk) {
 				return fmt.Errorf("core: data copy of block %d unavailable during rebuild: %w", lb, raid.ErrDataLoss)
 			}
 			return src.ReadBlocks(ctx, d.Block, chunk[j*a.bs:(j+1)*a.bs])
@@ -634,7 +780,18 @@ func (a *RAIDx) Rebuild(ctx context.Context, idx int) (err error) {
 		if err := devs[idx].WriteBlocks(ctx, start.Block, chunk); err != nil {
 			return err
 		}
+		prog.GroupsDone = owned
+		a.rebuildDone.Store(prog.done(gs))
+		if pace != nil {
+			if err := pace(ctx, int(gs)*a.bs); err != nil {
+				return err
+			}
+		}
 	}
+	// A fresh, complete copy supersedes any intents logged against the
+	// device while it was down, and the column is a read source again.
+	a.intLog.ClearDev(idx)
+	a.setBlank(idx, false)
 	return nil
 }
 

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"repro/internal/bufpool"
+	"repro/internal/intent"
+	"repro/internal/layout"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/raid"
+)
+
+// PaceFunc throttles background repair I/O. The repair loops call it
+// after each landed chunk with the bytes just copied; the function
+// sleeps (or waits on a token bucket) to keep repair bandwidth under a
+// budget so foreground I/O keeps priority. Returning an error aborts
+// the repair job with its checkpoint intact — the supervisor uses that
+// for pause.
+type PaceFunc func(ctx context.Context, bytes int) error
+
+// RebuildProgress is a rebuild checkpoint: how much of the device's
+// data half (column blocks) and mirror half (owned groups) has landed.
+// RebuildFrom updates it after every chunk, so a caller that persists
+// it across an interruption resumes where the last run stopped instead
+// of recopying the whole disk.
+type RebuildProgress struct {
+	DataDone    int64 `json:"data_done"`
+	DataTotal   int64 `json:"data_total"`
+	GroupsDone  int64 `json:"groups_done"`
+	GroupsTotal int64 `json:"groups_total"`
+}
+
+// done reports progress in physical blocks, the unit of the obs gauges.
+func (p *RebuildProgress) done(gs int64) int64 {
+	return p.DataDone + p.GroupsDone*gs
+}
+
+// Total reports the job size in physical blocks.
+func (p *RebuildProgress) Total(gs int64) int64 {
+	return p.DataTotal + p.GroupsTotal*gs
+}
+
+// ResyncStats reports what a delta resync moved.
+type ResyncStats struct {
+	Regions      int   `json:"regions"`
+	BlocksCopied int64 `json:"blocks_copied"`
+	BytesCopied  int64 `json:"bytes_copied"`
+}
+
+// ScrubStats reports what a sampled scrub checked and repaired.
+type ScrubStats struct {
+	BlocksChecked  int64 `json:"blocks_checked"`
+	Mismatches     int64 `json:"mismatches"`
+	BlocksRepaired int64 `json:"blocks_repaired"`
+}
+
+// resyncSource maps physical block pb of device idx back to the logical
+// block stored there. ok is false for blocks no logical block maps to
+// (capacity truncation, unused mirror slots) — those need no resync.
+//
+// The data half is the inverse of DataLoc: disk idx, block pb holds
+// lb = pb·width + idx. The mirror half is the inverse of GroupLoc:
+// pb-mirrorBase falls in group slot (pb-base)/gs at offset (pb-base)%gs,
+// and the group in that slot whose MirrorDisk is idx — each disk owns
+// exactly one group out of every width consecutive groups, so the scan
+// is bounded by width.
+func (a *RAIDx) resyncSource(pb int64, idx int) (int64, bool) {
+	width := int64(a.lay.TotalDisks())
+	gs := int64(a.lay.GroupSize())
+	base := a.lay.DiskBlocks / 2
+	if pb < 0 {
+		return 0, false
+	}
+	if pb < base {
+		lb := pb*width + int64(idx)
+		if lb >= a.Blocks() {
+			return 0, false
+		}
+		return lb, true
+	}
+	off := pb - base
+	slot := off / gs
+	j := off % gs
+	for g := slot * width; g < (slot+1)*width; g++ {
+		if a.lay.MirrorDisk(g) != idx {
+			continue
+		}
+		lb := g*gs + j
+		if lb >= a.Blocks() {
+			return 0, false
+		}
+		return lb, true
+	}
+	return 0, false
+}
+
+// peerLoc reports where the live copy of logical block lb lives, given
+// that device idx is the stale one: the mirror image when idx holds the
+// data block, the data block when idx holds the image. OSM orthogonality
+// guarantees the peer is on a different node.
+func (a *RAIDx) peerLoc(lb int64, idx int) layout.Loc {
+	if d := a.lay.DataLoc(lb); d.Disk != idx {
+		return d
+	}
+	return a.lay.MirrorLoc(lb)
+}
+
+// Resync replays dirty physical regions of device idx from the live
+// peer copies — the delta alternative to a full Rebuild when a device
+// returns stale rather than blank. Regions normally come from
+// intent.Log.TakeDirty; on error the caller must re-mark the regions it
+// passed in (replaying a region twice is idempotent, losing one is
+// not). pace, when non-nil, throttles the copy like RebuildFrom.
+func (a *RAIDx) Resync(ctx context.Context, idx int, regions []intent.Region, pace PaceFunc) (st ResyncStats, err error) {
+	devs := a.devices()
+	if idx < 0 || idx >= len(devs) {
+		return st, fmt.Errorf("core: resync of device %d out of range", idx)
+	}
+	if !devs[idx].Healthy() {
+		return st, fmt.Errorf("core: resync target %d is not healthy", idx)
+	}
+	blank := a.blankCols.Load()
+	ctx, root := a.tracer.StartRoot(ctx, "raidx.resync", a.colName[idx])
+	defer func() { root.End(err) }()
+	subject := fmt.Sprintf("raidx/d%d", idx)
+	a.met.events.Append(obs.EventResyncStart, subject,
+		fmt.Sprintf("%d regions", len(regions)))
+	defer func() {
+		detail := fmt.Sprintf("copied %d blocks (%d bytes) over %d regions",
+			st.BlocksCopied, st.BytesCopied, st.Regions)
+		if err != nil {
+			detail += ": " + err.Error()
+		}
+		a.met.events.Append(obs.EventResyncEnd, subject, detail)
+	}()
+	buf := bufpool.Get(rebuildChunk * a.bs)
+	defer bufpool.Put(buf)
+	srcs := make([]layout.Loc, rebuildChunk)
+	valid := make([]bool, rebuildChunk)
+	for _, reg := range regions {
+		st.Regions++
+		for lo := reg.Start; lo < reg.Start+reg.Count; lo += rebuildChunk {
+			hi := reg.Start + reg.Count
+			if hi > lo+rebuildChunk {
+				hi = lo + rebuildChunk
+			}
+			n := int(hi - lo)
+			for t := 0; t < n; t++ {
+				lb, ok := a.resyncSource(lo+int64(t), idx)
+				valid[t] = ok
+				if ok {
+					srcs[t] = a.peerLoc(lb, idx)
+				}
+			}
+			err := par.ForEach(ctx, n, func(ctx context.Context, t int) error {
+				if !valid[t] {
+					return nil
+				}
+				src := devs[srcs[t].Disk]
+				if !readable(devs, blank, srcs[t].Disk) {
+					return fmt.Errorf("core: live copy of physical block %d/%d unavailable during resync: %w",
+						idx, lo+int64(t), raid.ErrDataLoss)
+				}
+				return src.ReadBlocks(ctx, srcs[t].Block, buf[t*a.bs:(t+1)*a.bs])
+			})
+			if err != nil {
+				return st, err
+			}
+			// Write the chunk as contiguous valid runs: capacity-truncated
+			// tails and unused mirror slots are skipped, everything else
+			// lands in as few device writes as possible.
+			for t := 0; t < n; {
+				if !valid[t] {
+					t++
+					continue
+				}
+				run := t
+				for run < n && valid[run] {
+					run++
+				}
+				part := buf[t*a.bs : run*a.bs]
+				if err := devs[idx].WriteBlocks(ctx, lo+int64(t), part); err != nil {
+					return st, err
+				}
+				st.BlocksCopied += int64(run - t)
+				st.BytesCopied += int64(len(part))
+				t = run
+			}
+			if pace != nil {
+				if err := pace(ctx, n*a.bs); err != nil {
+					return st, err
+				}
+			}
+		}
+	}
+	return st, nil
+}
+
+// ScrubSample spot-checks device idx after a resync: every stride-th
+// physical block (stride <= 0 takes rebuildChunk) is compared against
+// its live peer copy and repaired from the peer on mismatch. The
+// sampled scrub is the cheap confidence check that the intent log
+// really covered everything the device missed — a mismatch here means
+// dirty-region tracking lost a write, so the caller should escalate to
+// a full rebuild.
+func (a *RAIDx) ScrubSample(ctx context.Context, idx int, stride int64, pace PaceFunc) (st ScrubStats, err error) {
+	devs := a.devices()
+	if idx < 0 || idx >= len(devs) {
+		return st, fmt.Errorf("core: scrub of device %d out of range", idx)
+	}
+	if !devs[idx].Healthy() {
+		return st, fmt.Errorf("core: scrub target %d is not healthy", idx)
+	}
+	blank := a.blankCols.Load()
+	if stride <= 0 {
+		stride = rebuildChunk
+	}
+	ctx, root := a.tracer.StartRoot(ctx, "raidx.scrub", a.colName[idx])
+	defer func() { root.End(err) }()
+	have := bufpool.Get(a.bs)
+	want := bufpool.Get(a.bs)
+	defer bufpool.Put(have)
+	defer bufpool.Put(want)
+	for pb := int64(0); pb < a.lay.DiskBlocks; pb += stride {
+		lb, ok := a.resyncSource(pb, idx)
+		if !ok {
+			continue
+		}
+		src := a.peerLoc(lb, idx)
+		peer := devs[src.Disk]
+		if !readable(devs, blank, src.Disk) {
+			return st, fmt.Errorf("core: live copy of physical block %d/%d unavailable during scrub: %w",
+				idx, pb, raid.ErrDataLoss)
+		}
+		if err := peer.ReadBlocks(ctx, src.Block, want); err != nil {
+			return st, err
+		}
+		if err := devs[idx].ReadBlocks(ctx, pb, have); err != nil {
+			return st, err
+		}
+		st.BlocksChecked++
+		if !bytes.Equal(have, want) {
+			st.Mismatches++
+			if err := devs[idx].WriteBlocks(ctx, pb, want); err != nil {
+				return st, err
+			}
+			st.BlocksRepaired++
+		}
+		if pace != nil {
+			if err := pace(ctx, 2*a.bs); err != nil {
+				return st, err
+			}
+		}
+	}
+	return st, nil
+}

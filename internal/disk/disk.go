@@ -148,6 +148,17 @@ func (d *Disk) FailAfter(n int64) {
 	d.mu.Unlock()
 }
 
+// Readmit clears the failure while keeping the store, modelling a disk
+// whose node blipped offline (partition, restart) and came back with
+// its data intact but possibly stale — the delta-resync case, as
+// opposed to the blank-replacement rebuild case of Replace.
+func (d *Disk) Readmit() {
+	d.mu.Lock()
+	d.failed = false
+	d.failCountdown = 0
+	d.mu.Unlock()
+}
+
 // Replace installs a fresh zeroed store of the same geometry and clears
 // the failure, modelling a hot-swapped replacement disk awaiting rebuild.
 func (d *Disk) Replace() {

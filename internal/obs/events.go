@@ -42,6 +42,15 @@ const (
 	EventRebuildEnd   EventKind = "rebuild-end"
 	// EventSwap: a member device was hot-swapped.
 	EventSwap EventKind = "swap"
+	// EventResyncStart / EventResyncEnd bracket a delta resync: dirty
+	// regions replayed to a readmitted stale mirror (detail carries the
+	// region and byte counts — the evidence that a blip cost a delta,
+	// not a whole-disk rebuild).
+	EventResyncStart EventKind = "resync-start"
+	EventResyncEnd   EventKind = "resync-end"
+	// EventRepairState: the repair supervisor moved a device through its
+	// state machine (detail is "from -> to" plus the trigger).
+	EventRepairState EventKind = "repair-state"
 )
 
 // eventSeq is the process-wide event sequence: one atomic counter

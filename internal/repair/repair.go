@@ -1,0 +1,587 @@
+// Package repair implements the self-healing supervisor: a per-device
+// state machine that watches array-member health and runs recovery as
+// rate-limited, checkpointed background jobs, so the array heals from
+// failure churn without an operator.
+//
+// Each member moves through
+//
+//	healthy → suspect → degraded → rebuilding → healthy
+//	healthy → suspect → resyncing → healthy
+//
+// A member that stops answering becomes suspect. If it returns before
+// the failure budget expires, the supervisor replays only the write
+// intents logged while it was away (delta resync, then a sampled scrub)
+// — a two-second blip costs seconds of copying, not a whole disk. If
+// the budget expires, the member is degraded: the supervisor claims a
+// hot spare from the Sparer, swaps it in, and rebuilds it from the
+// array's orthogonal copies. Jobs checkpoint their progress, pause and
+// resume on demand, survive interruption (a crash-mid-rebuild resumes
+// from the last landed chunk), and pace themselves through a byte-rate
+// throttle so foreground I/O keeps priority.
+//
+// The decision rule between the two recovery paths is the device's
+// content state, not its health state: a device that kept its data
+// (readmitted after a partition or restart) is resynced from the intent
+// log; a device that lost it (replaced by a blank spare) is rebuilt in
+// full. A scrub mismatch after resync means intent tracking lost a
+// write, and the supervisor escalates that device to a full
+// rebuild-in-place.
+package repair
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/intent"
+	"repro/internal/obs"
+	"repro/internal/raid"
+)
+
+// State is one node of the per-device repair state machine.
+type State string
+
+const (
+	// StateHealthy: the device answers and no intents are outstanding.
+	StateHealthy State = "healthy"
+	// StateSuspect: the device stopped answering; the failure budget is
+	// running.
+	StateSuspect State = "suspect"
+	// StateDegraded: the budget expired; the supervisor is waiting to
+	// claim a spare (or has none).
+	StateDegraded State = "degraded"
+	// StateRebuilding: a full background copy onto the device is in
+	// progress (fresh spare, or escalated after a failed scrub).
+	StateRebuilding State = "rebuilding"
+	// StateResyncing: dirty regions are being replayed onto a readmitted
+	// device.
+	StateResyncing State = "resyncing"
+)
+
+// Array is the slice of core.RAIDx the supervisor drives.
+type Array interface {
+	Devices() []raid.Dev
+	Intent() *intent.Log
+	BlockSize() int
+	RebuildFrom(ctx context.Context, idx int, prog *core.RebuildProgress, pace core.PaceFunc) error
+	Resync(ctx context.Context, idx int, regions []intent.Region, pace core.PaceFunc) (core.ResyncStats, error)
+	ScrubSample(ctx context.Context, idx int, stride int64, pace core.PaceFunc) (core.ScrubStats, error)
+}
+
+// Config tunes the supervisor.
+type Config struct {
+	// Poll is the health-scan interval (default 250ms).
+	Poll time.Duration
+	// FailureBudget is how long a member may stay unresponsive before
+	// the supervisor gives up on readmission and swaps a spare (default
+	// 5s). A budget of 0 escalates on the first poll.
+	FailureBudget time.Duration
+	// RateBytesPerSec caps background repair bandwidth; 0 is unlimited.
+	RateBytesPerSec int64
+	// ScrubStride samples every stride-th block after a resync
+	// (0 takes the core default). Negative disables the scrub.
+	ScrubStride int64
+	// Persist, when set, receives intent-log snapshots whenever the log
+	// changed since the last call (at poll cadence). raidxnode wires it
+	// to replicate the snapshot through the CDD managers.
+	Persist func(snapshot []byte)
+	// Obs receives repair events and gauges (nil: no instrumentation).
+	Obs *obs.Registry
+}
+
+// DevStatus is the supervisor's view of one member (exported for the
+// wire status raidxctl decodes).
+type DevStatus struct {
+	State State `json:"state"`
+	// Since is when the device entered its current state.
+	Since time.Time `json:"since"`
+	// Prog checkpoints an interrupted rebuild for resume.
+	Prog core.RebuildProgress `json:"rebuild,omitempty"`
+	// ResyncBytes accumulates delta-resync traffic for the device.
+	ResyncBytes int64 `json:"resync_bytes"`
+	// Rebuilds / Resyncs count completed recoveries.
+	Rebuilds int `json:"rebuilds"`
+	Resyncs  int `json:"resyncs"`
+	// LastErr is the most recent job failure (cleared on success).
+	LastErr string `json:"last_err,omitempty"`
+
+	unhealthySince time.Time
+	// swapped: a spare has been claimed and installed for the current
+	// rebuild (Release on completion).
+	swapped bool
+	// escalated: a scrub mismatch forced rebuild-in-place (no swap).
+	escalated bool
+}
+
+// Status is the supervisor's queryable state (the JSON raidxctl shows).
+type Status struct {
+	Paused  bool        `json:"paused"`
+	Active  int         `json:"active"` // device index of the running job, -1 when idle
+	Spares  int         `json:"spares"` // -1 when no sparer is attached
+	Devices []DevStatus `json:"devices"`
+}
+
+// Supervisor runs the repair state machine over an array.
+type Supervisor struct {
+	arr Array
+	sp  *raid.Sparer // optional: nil disables auto-failover
+	cfg Config
+
+	events *obs.EventLog
+
+	mu        sync.Mutex
+	devs      []DevStatus
+	paused    bool
+	active    int // index of the device whose job is running, -1 idle
+	jobCancel context.CancelFunc
+	lastGen   uint64 // intent-log generation last persisted
+
+	stop context.CancelFunc
+	done chan struct{}
+}
+
+// ErrPaused aborts a running job when the supervisor is paused or
+// stopped; the job's checkpoint survives for the next resume.
+var ErrPaused = fmt.Errorf("repair: paused")
+
+// New builds a supervisor over the array. sp may be nil (no hot-spare
+// pool: degraded members wait for an operator).
+func New(arr Array, sp *raid.Sparer, cfg Config) *Supervisor {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 250 * time.Millisecond
+	}
+	if cfg.FailureBudget < 0 {
+		cfg.FailureBudget = 0
+	}
+	n := len(arr.Devices())
+	s := &Supervisor{
+		arr:    arr,
+		sp:     sp,
+		cfg:    cfg,
+		events: cfg.Obs.Events(),
+		devs:   make([]DevStatus, n),
+		active: -1,
+	}
+	now := time.Now()
+	for i := range s.devs {
+		s.devs[i] = DevStatus{State: StateHealthy, Since: now}
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.RegisterGauge("repair.paused", func() int64 {
+			if s.Paused() {
+				return 1
+			}
+			return 0
+		})
+		cfg.Obs.RegisterGauge("repair.active", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(s.active)
+		})
+		cfg.Obs.RegisterGauge("repair.resync_bytes", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			var n int64
+			for i := range s.devs {
+				n += s.devs[i].ResyncBytes
+			}
+			return n
+		})
+	}
+	return s
+}
+
+// Start launches the supervision loop. Stop (or ctx cancellation) ends it.
+func (s *Supervisor) Start(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	s.mu.Lock()
+	s.stop = cancel
+	s.done = make(chan struct{})
+	done := s.done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(s.cfg.Poll)
+		defer t.Stop()
+		for {
+			s.tick(ctx)
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and cancels any running job (its checkpoint
+// survives; a later Start resumes it).
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	cancel, done := s.stop, s.done
+	if s.jobCancel != nil {
+		s.jobCancel()
+	}
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+}
+
+// Pause suspends repair: the running job is cancelled at its next pace
+// point (checkpoint intact) and no new jobs start until Resume.
+func (s *Supervisor) Pause() {
+	s.mu.Lock()
+	s.paused = true
+	if s.jobCancel != nil {
+		s.jobCancel()
+	}
+	s.mu.Unlock()
+	s.events.Append(obs.EventRepairState, "repair", "paused")
+}
+
+// Resume lifts a Pause.
+func (s *Supervisor) Resume() {
+	s.mu.Lock()
+	s.paused = false
+	s.mu.Unlock()
+	s.events.Append(obs.EventRepairState, "repair", "resumed")
+}
+
+// Paused reports whether repair is suspended.
+func (s *Supervisor) Paused() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.paused
+}
+
+// DevState reports the repair state of member idx.
+func (s *Supervisor) DevState(idx int) State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx < 0 || idx >= len(s.devs) {
+		return ""
+	}
+	return s.devs[idx].State
+}
+
+// Owns reports whether the supervisor currently owns recovery of member
+// idx — a manual rebuild would run a second conflicting copy.
+func (s *Supervisor) Owns(idx int) bool {
+	switch s.DevState(idx) {
+	case StateDegraded, StateRebuilding, StateResyncing:
+		return true
+	}
+	return false
+}
+
+// Status snapshots the supervisor for display.
+func (s *Supervisor) Status() Status {
+	spares := -1
+	if s.sp != nil {
+		spares = s.sp.SparesLeft()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Status{
+		Paused:  s.paused,
+		Active:  s.active,
+		Spares:  spares,
+		Devices: append([]DevStatus(nil), s.devs...),
+	}
+}
+
+// StatusJSON is Status marshalled for the wire (the cdd RepairStatus op
+// and the /repair HTTP endpoint).
+func (s *Supervisor) StatusJSON() ([]byte, error) {
+	return json.Marshal(s.Status())
+}
+
+// setState moves member idx to next and logs the transition.
+func (s *Supervisor) setState(idx int, next State, why string) {
+	s.mu.Lock()
+	prev := s.devs[idx].State
+	if prev == next {
+		s.mu.Unlock()
+		return
+	}
+	s.devs[idx].State = next
+	s.devs[idx].Since = time.Now()
+	s.mu.Unlock()
+	s.events.Append(obs.EventRepairState, fmt.Sprintf("repair/d%d", idx),
+		fmt.Sprintf("%s -> %s: %s", prev, next, why))
+}
+
+// pace is the PaceFunc of every supervised job: it aborts on pause or
+// cancellation and throttles to the configured byte rate.
+func (s *Supervisor) pace(ctx context.Context, bytes int) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrPaused, err)
+	}
+	if s.Paused() {
+		return ErrPaused
+	}
+	if s.cfg.RateBytesPerSec > 0 {
+		d := time.Duration(float64(bytes) / float64(s.cfg.RateBytesPerSec) * float64(time.Second))
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return fmt.Errorf("%w: %v", ErrPaused, ctx.Err())
+		}
+	}
+	return nil
+}
+
+// tick is one pass of the state machine: advance every member's state,
+// then run at most one recovery job synchronously.
+func (s *Supervisor) tick(ctx context.Context) {
+	devs := s.arr.Devices()
+	il := s.arr.Intent()
+	now := time.Now()
+	job := -1
+	s.mu.Lock()
+	paused := s.paused
+	for i := range s.devs {
+		if i >= len(devs) {
+			break
+		}
+		st := &s.devs[i]
+		healthy := devs[i].Healthy()
+		switch st.State {
+		case StateHealthy:
+			if !healthy {
+				st.unhealthySince = now
+				s.transitionLocked(i, StateSuspect, "stopped answering")
+			} else if il.DirtyRegions(i) > 0 {
+				// A healthy member with outstanding intents: a supervisor
+				// restarted after a crash and recovered its dirty map, or
+				// a write error left intents without a health transition.
+				s.transitionLocked(i, StateResyncing, "outstanding intents on a healthy member")
+			}
+		case StateSuspect:
+			if healthy {
+				if il.DirtyRegions(i) > 0 {
+					s.transitionLocked(i, StateResyncing, "readmitted with outstanding intents")
+				} else {
+					s.transitionLocked(i, StateHealthy, "readmitted clean")
+				}
+			} else if now.Sub(st.unhealthySince) >= s.cfg.FailureBudget {
+				s.transitionLocked(i, StateDegraded, "failure budget exhausted")
+			}
+		case StateDegraded:
+			if healthy {
+				// Came back after the budget but before a swap landed:
+				// still cheaper to resync than to consume a spare.
+				if il.DirtyRegions(i) > 0 {
+					s.transitionLocked(i, StateResyncing, "late readmission")
+				} else {
+					s.transitionLocked(i, StateHealthy, "late readmission, no intents")
+				}
+			} else if !paused && job < 0 && s.sp != nil && s.sp.SparesLeft() > 0 {
+				job = i
+			}
+		case StateRebuilding, StateResyncing:
+			if !paused && job < 0 {
+				job = i
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	if job >= 0 {
+		s.runJob(ctx, job)
+	}
+	s.persist()
+}
+
+// transitionLocked is setState for callers already holding s.mu.
+func (s *Supervisor) transitionLocked(idx int, next State, why string) {
+	prev := s.devs[idx].State
+	if prev == next {
+		return
+	}
+	s.devs[idx].State = next
+	s.devs[idx].Since = time.Now()
+	// The event log does its own locking and never calls back into the
+	// supervisor, so appending under s.mu is safe.
+	s.events.Append(obs.EventRepairState, fmt.Sprintf("repair/d%d", idx),
+		fmt.Sprintf("%s -> %s: %s", prev, next, why))
+}
+
+// runJob executes the recovery owed to member idx: the spare swap (for
+// a degraded member), then the rebuild or resync, synchronously. One
+// job runs at a time; everything else waits for later ticks.
+func (s *Supervisor) runJob(ctx context.Context, idx int) {
+	jobCtx, cancel := context.WithCancel(ctx)
+	s.mu.Lock()
+	s.active = idx
+	s.jobCancel = cancel
+	state := s.devs[idx].State
+	s.mu.Unlock()
+	defer func() {
+		cancel()
+		s.mu.Lock()
+		s.active = -1
+		s.jobCancel = nil
+		s.mu.Unlock()
+	}()
+
+	var err error
+	switch state {
+	case StateDegraded:
+		err = s.startFailover(jobCtx, idx)
+	case StateRebuilding:
+		err = s.runRebuild(jobCtx, idx)
+	case StateResyncing:
+		err = s.runResync(jobCtx, idx)
+	}
+	s.mu.Lock()
+	if err != nil {
+		s.devs[idx].LastErr = err.Error()
+	} else {
+		s.devs[idx].LastErr = ""
+	}
+	s.mu.Unlock()
+}
+
+// startFailover claims and installs a spare for degraded member idx,
+// then runs the rebuild.
+func (s *Supervisor) startFailover(ctx context.Context, idx int) error {
+	if err := s.sp.Swap(idx); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.devs[idx].swapped = true
+	s.devs[idx].Prog = core.RebuildProgress{}
+	s.mu.Unlock()
+	s.setState(idx, StateRebuilding, "hot spare installed")
+	return s.runRebuild(ctx, idx)
+}
+
+// runRebuild runs (or resumes) the full background copy onto member idx.
+func (s *Supervisor) runRebuild(ctx context.Context, idx int) error {
+	s.mu.Lock()
+	prog := s.devs[idx].Prog
+	s.mu.Unlock()
+	err := s.arr.RebuildFrom(ctx, idx, &prog, func(ctx context.Context, b int) error {
+		s.mu.Lock()
+		s.devs[idx].Prog = prog
+		s.mu.Unlock()
+		return s.pace(ctx, b)
+	})
+	s.mu.Lock()
+	s.devs[idx].Prog = prog
+	swapped := s.devs[idx].swapped
+	s.mu.Unlock()
+	if err != nil {
+		if !s.arr.Devices()[idx].Healthy() {
+			// The rebuild target itself died: release the claim so the
+			// degraded path can swap the next spare.
+			if swapped && s.sp != nil {
+				s.sp.Release(idx)
+			}
+			s.mu.Lock()
+			s.devs[idx].swapped = false
+			s.devs[idx].unhealthySince = time.Now()
+			s.devs[idx].Prog = core.RebuildProgress{}
+			s.mu.Unlock()
+			s.setState(idx, StateSuspect, "rebuild target failed: "+err.Error())
+		}
+		return err
+	}
+	if swapped && s.sp != nil {
+		s.sp.Release(idx)
+	}
+	s.mu.Lock()
+	s.devs[idx].swapped = false
+	s.devs[idx].escalated = false
+	s.devs[idx].Rebuilds++
+	s.devs[idx].Prog = core.RebuildProgress{}
+	s.mu.Unlock()
+	s.setState(idx, StateHealthy, "rebuild complete")
+	return nil
+}
+
+// runResync drains the intent log onto readmitted member idx, then
+// spot-checks it with a sampled scrub.
+func (s *Supervisor) runResync(ctx context.Context, idx int) error {
+	il := s.arr.Intent()
+	for {
+		regions := il.TakeDirty(idx)
+		if len(regions) == 0 {
+			break
+		}
+		st, err := s.arr.Resync(ctx, idx, regions, s.pace)
+		s.mu.Lock()
+		s.devs[idx].ResyncBytes += st.BytesCopied
+		s.mu.Unlock()
+		if err != nil {
+			// The untaken intents are lost unless restored: re-mark
+			// everything we took (replays are idempotent).
+			for _, r := range regions {
+				il.MarkRange(idx, r.Start, r.Count)
+			}
+			if !s.arr.Devices()[idx].Healthy() {
+				s.mu.Lock()
+				s.devs[idx].unhealthySince = time.Now()
+				s.mu.Unlock()
+				s.setState(idx, StateSuspect, "resync target failed: "+err.Error())
+			}
+			return err
+		}
+	}
+	if s.cfg.ScrubStride >= 0 {
+		sc, err := s.arr.ScrubSample(ctx, idx, s.cfg.ScrubStride, s.pace)
+		if err != nil {
+			if !s.arr.Devices()[idx].Healthy() {
+				s.mu.Lock()
+				s.devs[idx].unhealthySince = time.Now()
+				s.mu.Unlock()
+				s.setState(idx, StateSuspect, "scrub target failed: "+err.Error())
+			}
+			return err
+		}
+		if sc.Mismatches > 0 {
+			// Intent tracking missed a write: the delta can't be
+			// trusted, escalate to a full rebuild-in-place.
+			s.mu.Lock()
+			s.devs[idx].escalated = true
+			s.devs[idx].Prog = core.RebuildProgress{}
+			s.mu.Unlock()
+			s.setState(idx, StateRebuilding,
+				fmt.Sprintf("scrub found %d mismatches, escalating to full rebuild", sc.Mismatches))
+			return s.runRebuild(ctx, idx)
+		}
+	}
+	s.mu.Lock()
+	s.devs[idx].Resyncs++
+	s.mu.Unlock()
+	s.setState(idx, StateHealthy, "delta resync complete")
+	return nil
+}
+
+// persist pushes an intent-log snapshot through cfg.Persist when the
+// log changed since the last push.
+func (s *Supervisor) persist() {
+	if s.cfg.Persist == nil {
+		return
+	}
+	il := s.arr.Intent()
+	gen := il.Gen()
+	s.mu.Lock()
+	changed := gen != s.lastGen
+	s.lastGen = gen
+	s.mu.Unlock()
+	if !changed {
+		return
+	}
+	snap, err := il.MarshalBinary()
+	if err != nil {
+		return
+	}
+	s.cfg.Persist(snap)
+}

@@ -1,0 +1,354 @@
+package repair_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/intent"
+	"repro/internal/obs"
+	"repro/internal/raid"
+	"repro/internal/repair"
+	"repro/internal/store"
+)
+
+const bs = 1024
+
+// harness is a supervised test array over instant mem disks.
+type harness struct {
+	arr *core.RAIDx
+	raw []*disk.Disk
+	il  *intent.Log
+	sp  *raid.Sparer
+	reg *obs.Registry
+	sup *repair.Supervisor
+}
+
+func newHarness(t *testing.T, nodes int, blocks int64, spares int, cfg repair.Config) *harness {
+	t.Helper()
+	devs := make([]raid.Dev, nodes)
+	raw := make([]*disk.Disk, nodes)
+	for i := range devs {
+		d := disk.New(nil, fmt.Sprintf("d%d", i), store.NewMem(bs, blocks), disk.DefaultModel())
+		devs[i] = d
+		raw[i] = d
+	}
+	il := intent.NewLog(nodes, blocks, 8)
+	reg := obs.NewRegistry()
+	arr, err := core.New(devs, nodes, 1, core.Options{Intent: il, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sp *raid.Sparer
+	if spares > 0 {
+		pool := make([]raid.Dev, spares)
+		for i := range pool {
+			pool[i] = disk.New(nil, fmt.Sprintf("spare%d", i), store.NewMem(bs, blocks), disk.DefaultModel())
+		}
+		sp = raid.NewSparer(arr, pool)
+	}
+	cfg.Obs = reg
+	return &harness{arr: arr, raw: raw, il: il, sp: sp, reg: reg, sup: repair.New(arr, sp, cfg)}
+}
+
+func (h *harness) fillRandom(t *testing.T, seed int64) []byte {
+	t.Helper()
+	ctx := context.Background()
+	data := make([]byte, h.arr.Blocks()*int64(bs))
+	rand.New(rand.NewSource(seed)).Read(data)
+	if err := h.arr.WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.arr.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// waitState polls until member idx reaches want (or the deadline).
+func (h *harness) waitState(t *testing.T, idx int, want repair.State, d time.Duration) {
+	t.Helper()
+	h.waitFor(t, d, fmt.Sprintf("member %d to reach %q", idx, want), func() bool {
+		return h.sup.DevState(idx) == want
+	})
+}
+
+// waitFor polls cond until true or the deadline.
+func (h *harness) waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func countEvents(reg *obs.Registry, kind obs.EventKind) int {
+	n := 0
+	for _, e := range reg.Events().Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRepairSupervisorAutoSpareRebuild: a member that dies past the
+// failure budget is replaced by a hot spare and rebuilt, hands-off, and
+// the array verifies clean afterwards.
+func TestRepairSupervisorAutoSpareRebuild(t *testing.T) {
+	h := newHarness(t, 4, 400, 1, repair.Config{
+		Poll:          2 * time.Millisecond,
+		FailureBudget: 10 * time.Millisecond,
+	})
+	data := h.fillRandom(t, 41)
+	ctx := context.Background()
+	h.sup.Start(ctx)
+	defer h.sup.Stop()
+
+	const victim = 2
+	h.raw[victim].Fail()
+	h.waitFor(t, 5*time.Second, "auto spare rebuild", func() bool {
+		st := h.sup.Status()
+		return st.Devices[victim].Rebuilds == 1 && st.Devices[victim].State == repair.StateHealthy
+	})
+
+	if h.sp.SparesLeft() != 0 {
+		t.Fatalf("%d spares left, want 0", h.sp.SparesLeft())
+	}
+	if len(h.sp.Retired()) != 1 {
+		t.Fatalf("%d retired, want 1", len(h.sp.Retired()))
+	}
+	st := h.sup.Status()
+	if st.Devices[victim].Rebuilds != 1 {
+		t.Fatalf("rebuilds = %d, want 1", st.Devices[victim].Rebuilds)
+	}
+	if err := h.arr.Verify(ctx); err != nil {
+		t.Fatalf("verify after auto failover: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := h.arr.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data wrong after auto failover")
+	}
+	if countEvents(h.reg, obs.EventRepairState) < 3 {
+		t.Fatal("state transitions not recorded in the event log")
+	}
+}
+
+// TestRepairSupervisorDeltaResync: a member that blips and returns with
+// stale data inside the failure budget is delta-resynced from the
+// intent log — no spare consumed, traffic a small fraction of the disk.
+func TestRepairSupervisorDeltaResync(t *testing.T) {
+	const blocks = 400
+	h := newHarness(t, 4, blocks, 1, repair.Config{
+		Poll:          2 * time.Millisecond,
+		FailureBudget: 10 * time.Second, // blip well inside the budget
+	})
+	data := h.fillRandom(t, 42)
+	ctx := context.Background()
+	h.sup.Start(ctx)
+	defer h.sup.Stop()
+
+	const victim = 1
+	h.raw[victim].Fail()
+	h.waitState(t, victim, repair.StateSuspect, 5*time.Second)
+	// Degraded writes while the member is away leave intents behind.
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 8; i++ {
+		lb := rng.Int63n(h.arr.Blocks())
+		buf := make([]byte, bs)
+		rng.Read(buf)
+		if err := h.arr.WriteBlocks(ctx, lb, buf); err != nil {
+			t.Fatal(err)
+		}
+		copy(data[lb*int64(bs):], buf)
+	}
+	if err := h.arr.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h.raw[victim].Readmit() // back with stale contents
+	h.waitFor(t, 5*time.Second, "delta resync", func() bool {
+		st := h.sup.Status()
+		return st.Devices[victim].Resyncs >= 1 && st.Devices[victim].State == repair.StateHealthy
+	})
+
+	st := h.sup.Status()
+	if st.Devices[victim].Resyncs != 1 || st.Devices[victim].Rebuilds != 0 {
+		t.Fatalf("resyncs=%d rebuilds=%d, want 1 resync and no rebuild",
+			st.Devices[victim].Resyncs, st.Devices[victim].Rebuilds)
+	}
+	deviceBytes := int64(blocks) * bs
+	if rb := st.Devices[victim].ResyncBytes; rb == 0 || rb >= deviceBytes/4 {
+		t.Fatalf("resync moved %d bytes, want a small nonzero fraction of %d", rb, deviceBytes)
+	}
+	if h.sp.SparesLeft() != 1 {
+		t.Fatal("resync consumed a spare")
+	}
+	if err := h.arr.Verify(ctx); err != nil {
+		t.Fatalf("verify after delta resync: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := h.arr.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data wrong after delta resync")
+	}
+}
+
+// TestRepairPauseResumeMidRebuild: pausing cancels the running rebuild
+// at its next pace point with the checkpoint intact; resuming finishes
+// the job instead of restarting it.
+func TestRepairPauseResumeMidRebuild(t *testing.T) {
+	h := newHarness(t, 4, 800, 2, repair.Config{
+		Poll:          2 * time.Millisecond,
+		FailureBudget: 5 * time.Millisecond,
+		// ~130 KiB/s against a ~400 KiB job: slow enough to pause
+		// mid-flight, fast enough to finish the test promptly.
+		RateBytesPerSec: 128 * rebuildChunkBytes() / 10,
+	})
+	h.fillRandom(t, 44)
+	ctx := context.Background()
+	h.sup.Start(ctx)
+	defer h.sup.Stop()
+
+	const victim = 0
+	h.raw[victim].Fail()
+	h.waitState(t, victim, repair.StateRebuilding, 5*time.Second)
+	h.sup.Pause()
+	// Give the cancel time to land, then note the frozen checkpoint.
+	time.Sleep(50 * time.Millisecond)
+	if st := h.sup.DevState(victim); st != repair.StateRebuilding {
+		t.Fatalf("paused mid-rebuild state = %q, want rebuilding", st)
+	}
+	frozen := h.sup.Status().Devices[victim].Prog
+	time.Sleep(50 * time.Millisecond)
+	if now := h.sup.Status().Devices[victim].Prog; now != frozen {
+		t.Fatalf("checkpoint advanced while paused: %+v -> %+v", frozen, now)
+	}
+	if !h.sup.Paused() {
+		t.Fatal("supervisor does not report paused")
+	}
+	h.sup.Resume()
+	h.waitFor(t, 10*time.Second, "resumed rebuild", func() bool {
+		st := h.sup.Status()
+		return st.Devices[victim].Rebuilds == 1 && st.Devices[victim].State == repair.StateHealthy
+	})
+	st := h.sup.Status()
+	if st.Devices[victim].Rebuilds != 1 {
+		t.Fatalf("rebuilds = %d, want 1", st.Devices[victim].Rebuilds)
+	}
+	if err := h.arr.Verify(ctx); err != nil {
+		t.Fatalf("verify after pause/resume rebuild: %v", err)
+	}
+}
+
+// rebuildChunkBytes mirrors core's repair chunk size in bytes for rate
+// arithmetic (128 blocks × 1 KiB test blocks).
+func rebuildChunkBytes() int64 { return 128 * bs }
+
+// TestRepairScrubEscalatesToRebuild: corruption the intent log never
+// saw (a lost write) is caught by the post-resync sampled scrub, which
+// escalates the member to a full rebuild-in-place — no spare consumed.
+func TestRepairScrubEscalatesToRebuild(t *testing.T) {
+	h := newHarness(t, 4, 400, 1, repair.Config{
+		Poll:          2 * time.Millisecond,
+		FailureBudget: 10 * time.Second,
+		ScrubStride:   1, // exhaustive scrub so the corruption is always sampled
+	})
+	data := h.fillRandom(t, 45)
+	ctx := context.Background()
+
+	const victim = 3
+	h.raw[victim].Fail()
+	// One degraded write so readmission takes the resync path at all.
+	buf := bytes.Repeat([]byte{0xAB}, bs)
+	target := int64(0)
+	for lb := int64(0); lb < h.arr.Blocks(); lb++ {
+		if h.arr.Layout().DataLoc(lb).Disk == victim {
+			target = lb
+			break
+		}
+	}
+	if err := h.arr.WriteBlocks(ctx, target, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[target*int64(bs):], buf)
+	if err := h.arr.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h.raw[victim].Readmit()
+	// Corrupt a block on the readmitted device behind the intent log's
+	// back — the write the log "lost".
+	m := h.arr.Layout().MirrorLoc(5)
+	corrupt := m
+	if m.Disk != victim {
+		// Find any physical block of victim holding live data.
+		for lb := int64(0); lb < h.arr.Blocks(); lb++ {
+			if loc := h.arr.Layout().MirrorLoc(lb); loc.Disk == victim {
+				corrupt = loc
+				break
+			}
+		}
+	}
+	if err := h.raw[victim].WriteBlocks(ctx, corrupt.Block, bytes.Repeat([]byte{0xEE}, bs)); err != nil {
+		t.Fatal(err)
+	}
+
+	h.sup.Start(ctx)
+	defer h.sup.Stop()
+	h.waitFor(t, 10*time.Second, "scrub escalation to full rebuild", func() bool {
+		st := h.sup.Status()
+		return st.Devices[victim].Rebuilds == 1 && st.Devices[victim].State == repair.StateHealthy
+	})
+	if st := h.sup.Status(); st.Devices[victim].Resyncs != 0 {
+		t.Fatalf("resyncs = %d, want 0 (the resync must not count as completed)", st.Devices[victim].Resyncs)
+	}
+	if h.sp.SparesLeft() != 1 {
+		t.Fatal("escalated rebuild-in-place consumed a spare")
+	}
+	if err := h.arr.Verify(ctx); err != nil {
+		t.Fatalf("verify after escalated rebuild: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := h.arr.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data wrong after escalated rebuild")
+	}
+}
+
+// TestRepairStatusJSON: the wire status decodes and carries the device
+// states.
+func TestRepairStatusJSON(t *testing.T) {
+	h := newHarness(t, 4, 400, 0, repair.Config{Poll: time.Hour})
+	b, err := h.sup.StatusJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st repair.Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Devices) != 4 || st.Active != -1 || st.Spares != -1 {
+		t.Fatalf("status = %+v", st)
+	}
+	for _, d := range st.Devices {
+		if d.State != repair.StateHealthy {
+			t.Fatalf("fresh supervisor reports %q", d.State)
+		}
+	}
+}

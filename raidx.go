@@ -40,10 +40,12 @@ import (
 	"repro/internal/disk"
 	"repro/internal/faultnet"
 	"repro/internal/fsim"
+	"repro/internal/intent"
 	"repro/internal/layout"
 	"repro/internal/nfssim"
 	"repro/internal/raid"
 	"repro/internal/reliab"
+	"repro/internal/repair"
 	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -297,6 +299,61 @@ type Sparer = raid.Sparer
 
 // NewSparer creates a hot-spare pool for a RAID-x array.
 func NewSparer(arr *RAIDx, spares []Dev) *Sparer { return raid.NewSparer(arr, spares) }
+
+// Self-healing: write-intent logging, delta resync, and the automatic
+// repair supervisor (DESIGN.md section 11).
+type (
+	// IntentLog is the per-device, region-granular dirty bitmap the
+	// engine marks when a mirror write misses a device (Options.Intent
+	// wires one into the engine).
+	IntentLog = intent.Log
+	// IntentRegion is one contiguous dirty range of physical blocks.
+	IntentRegion = intent.Region
+	// RepairSupervisor drives array members through the repair state
+	// machine: hot-spare failover, rate-limited resumable rebuilds,
+	// and delta resyncs from the intent log.
+	RepairSupervisor = repair.Supervisor
+	// RepairConfig tunes the supervisor.
+	RepairConfig = repair.Config
+	// RepairState is one node of the per-device repair state machine.
+	RepairState = repair.State
+	// RepairStatus is the supervisor's queryable status snapshot.
+	RepairStatus = repair.Status
+	// RepairDevStatus is the supervisor's view of one member.
+	RepairDevStatus = repair.DevStatus
+	// RebuildProgress checkpoints an interrupted rebuild for resume.
+	RebuildProgress = core.RebuildProgress
+	// ResyncStats reports what a delta resync moved.
+	ResyncStats = core.ResyncStats
+	// ScrubStats reports what a sampled scrub checked and repaired.
+	ScrubStats = core.ScrubStats
+)
+
+// Repair state machine nodes (see DESIGN.md section 11).
+const (
+	RepairHealthy    = repair.StateHealthy
+	RepairSuspect    = repair.StateSuspect
+	RepairDegraded   = repair.StateDegraded
+	RepairRebuilding = repair.StateRebuilding
+	RepairResyncing  = repair.StateResyncing
+)
+
+// DefaultIntentRegionBlocks is the default dirty-region granularity.
+const DefaultIntentRegionBlocks = intent.DefaultRegionBlocks
+
+// NewIntentLog creates a dirty-region log covering devices members of
+// deviceBlocks physical blocks each; regionBlocks <= 0 takes
+// DefaultIntentRegionBlocks.
+func NewIntentLog(devices int, deviceBlocks, regionBlocks int64) *IntentLog {
+	return intent.NewLog(devices, deviceBlocks, regionBlocks)
+}
+
+// NewRepairSupervisor builds (but does not start) a repair supervisor
+// over the array. sp may be nil: failed members then wait for manual
+// repair while readmitted ones still get automatic delta resyncs.
+func NewRepairSupervisor(arr *RAIDx, sp *Sparer, cfg RepairConfig) *RepairSupervisor {
+	return repair.New(arr, sp, cfg)
+}
 
 // CopyArray migrates the contents of src onto dst (array
 // reconfiguration, e.g. 4x3 -> 6x2 as in the paper's Section 6).
