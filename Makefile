@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck promtest check bench benchcheck chaoscheck
+.PHONY: build test race vet staticcheck promtest check bench benchcheck chaoscheck crashcheck fuzz
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,20 @@ check: vet staticcheck promtest race
 # detector.
 chaoscheck:
 	$(GO) test -run 'TestRepair|TestResync' -race ./...
+
+# crashcheck runs the crash-consistency suite (CI job `crash`): the
+# fault-injection VFS tests, superblock/reopen edge cases, intent and
+# checkpoint persistence, the in-process power-cut recovery harness
+# (torn writes, lying fsync), and the real SIGKILL/restart drill over
+# raidxnode processes — all under the race detector, twice.
+crashcheck:
+	$(GO) test -run 'TestCrash|TestFaultFS|TestSuperblock|TestInspect|TestFileReopen|TestFileWasClean|TestFileBlank|TestFileConcurrent|TestLogSave|TestLogLoad|TestRepairLocal|TestRepairCheckpoint|TestRepairStateDir' -race -count=2 ./...
+
+# fuzz gives each parser fuzzer a short budget: snapshot merging and
+# superblock decoding must never panic on arbitrary bytes.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzLogMerge -fuzztime 20s ./internal/intent/
+	$(GO) test -run '^$$' -fuzz FuzzSuperblockDecode -fuzztime 20s ./internal/store/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -81,6 +81,8 @@ func main() {
 	repairPoll := flag.Duration("repair-poll", 250*time.Millisecond, "health-scan interval of the repair supervisor")
 	intentRegion := flag.Int64("intent-region", intent.DefaultRegionBlocks, "write-intent dirty-region granularity in blocks")
 	arrayName := flag.String("array", "raidx", "array name, the replication key for write-intent snapshots")
+	addrFile := flag.String("addr-file", "", "write the actual listen address to this file once serving (for :0 ports)")
+	repairState := flag.String("repair-state", "", "directory for the repair supervisor's local crash-recovery state (default <dir>/repair when -dir is set)")
 	flag.Parse()
 
 	if *pprofOut != "" {
@@ -101,6 +103,7 @@ func main() {
 	}
 
 	disks := make([]*disk.Disk, *nDisks)
+	var fileStores []*store.File
 	for i := range disks {
 		var st store.BlockStore
 		if *dir == "" {
@@ -109,11 +112,16 @@ func main() {
 			if err := os.MkdirAll(*dir, 0o755); err != nil {
 				log.Fatalf("raidxnode: %v", err)
 			}
-			fst, err := store.OpenFile(filepath.Join(*dir, fmt.Sprintf("%s-d%d.img", *name, i)), *bs, *blocks)
+			img := filepath.Join(*dir, fmt.Sprintf("%s-d%d.img", *name, i))
+			fst, err := store.OpenFile(img, *bs, *blocks)
 			if err != nil {
 				log.Fatalf("raidxnode: %v", err)
 			}
-			defer fst.Close()
+			if !fst.WasClean() {
+				log.Printf("raidxnode %s: %s was not shut down cleanly (device %s); contents may lag the mirrors until resync",
+					*name, img, store.UUIDString(fst.DeviceUUID()))
+			}
+			fileStores = append(fileStores, fst)
 			st = fst
 		}
 		disks[i] = disk.New(nil, fmt.Sprintf("%s-d%d", *name, i), st, disk.DefaultModel())
@@ -124,6 +132,13 @@ func main() {
 	}
 	log.Printf("raidxnode %s: exporting %d disk(s) x %d blocks x %d B on %s",
 		*name, *nDisks, *blocks, *bs, node.Addr())
+	if *addrFile != "" {
+		// Written atomically so a harness polling the file never reads a
+		// half-written address.
+		if err := store.WriteFileAtomic(store.OS, *addrFile, []byte(fmt.Sprintf("%s\n", node.Addr()))); err != nil {
+			log.Fatalf("raidxnode: -addr-file: %v", err)
+		}
+	}
 
 	tracer := node.Manager.Tracer()
 	if *traceSlow != 0 {
@@ -134,10 +149,14 @@ func main() {
 	}
 
 	var sup *repair.Supervisor
+	var stopRepair func()
 	if *repairCluster != "" {
-		var stop func()
+		stateDir := *repairState
+		if stateDir == "" && *dir != "" {
+			stateDir = filepath.Join(*dir, "repair")
+		}
 		var err error
-		sup, stop, err = startRepair(node, repairOpts{
+		sup, stopRepair, err = startRepair(node, repairOpts{
 			cluster:      *repairCluster,
 			spares:       *repairSpares,
 			budget:       *repairBudget,
@@ -147,11 +166,11 @@ func main() {
 			array:        *arrayName,
 			blockSize:    *bs,
 			blocks:       *blocks,
+			stateDir:     stateDir,
 		})
 		if err != nil {
 			log.Fatalf("raidxnode: repair supervisor: %v", err)
 		}
-		defer stop()
 		log.Printf("raidxnode %s: repair supervisor running over %s (%d spare(s), budget %v)",
 			*name, *repairCluster, *repairSpares, *repairBudget)
 	}
@@ -215,8 +234,22 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("raidxnode %s: shutting down", *name)
+	// Orderly teardown for crash consistency: stop the supervisor (its
+	// checkpoint survives for the next start), drain and close the
+	// server, and only THEN sync the file stores and mark their
+	// superblocks clean — the clean flag must never get ahead of the last
+	// client write. A crash skips all of this; that is exactly what the
+	// unclean flag records.
+	if stopRepair != nil {
+		stopRepair()
+	}
 	if err := node.Close(); err != nil {
 		log.Printf("raidxnode: close: %v", err)
+	}
+	for _, fst := range fileStores {
+		if err := fst.CloseClean(); err != nil {
+			log.Printf("raidxnode: close disk image: %v", err)
+		}
 	}
 }
 
@@ -230,6 +263,7 @@ type repairOpts struct {
 	array        string
 	blockSize    int
 	blocks       int64
+	stateDir     string
 }
 
 // startRepair mounts the whole cluster as a client, recovers any
@@ -260,8 +294,20 @@ func startRepair(node *cdd.Node, o repairOpts) (*repair.Supervisor, func(), erro
 		}
 	}
 	il := intent.NewLog(len(devs), o.blocks, o.regionBlocks)
-	// Crash recovery: merge whatever intent snapshot the peers kept for
-	// us, so regions dirtied before a supervisor restart still resync.
+	// Crash recovery, local first: our own StateDir snapshot is the
+	// freshest record of what this host dirtied before it died. Peer
+	// copies merge on top (snapshots union, so order only matters for
+	// the log line).
+	if o.stateDir != "" {
+		if err := il.LoadFrom(store.OS, filepath.Join(o.stateDir, "intent.snap")); err != nil {
+			log.Printf("raidxnode: stale local intent snapshot ignored: %v", err)
+		} else if il.AnyDirty() {
+			log.Printf("raidxnode: recovered local intent snapshot from %s", o.stateDir)
+		}
+	}
+	// Then merge whatever intent snapshot the peers kept for us, so
+	// regions dirtied before a supervisor restart still resync even when
+	// the local state died with the machine.
 	recoverCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	for _, c := range clients {
 		snap, err := c.GetIntent(recoverCtx, o.array)
@@ -291,10 +337,17 @@ func startRepair(node *cdd.Node, o repairOpts) (*repair.Supervisor, func(), erro
 		}
 		sp = raid.NewSparer(arr, spareDevs)
 	}
+	if o.stateDir != "" {
+		if err := os.MkdirAll(o.stateDir, 0o755); err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+	}
 	sup := repair.New(arr, sp, repair.Config{
 		Poll:            o.poll,
 		FailureBudget:   o.budget,
 		RateBytesPerSec: o.rate,
+		StateDir:        o.stateDir,
 		Obs:             node.Manager.Obs(),
 		Persist: func(snap []byte) {
 			// Replicate the dirty map to every node, best effort; any one

@@ -72,7 +72,9 @@ func main() {
 	fmt.Println("degraded write OK")
 
 	// Replace the disk and rebuild it from the surviving copies.
-	devs[2].(*raidx.Disk).Replace()
+	if err := devs[2].(*raidx.Disk).Replace(); err != nil {
+		log.Fatal(err)
+	}
 	if err := arr.Rebuild(ctx, 2); err != nil {
 		log.Fatal(err)
 	}

@@ -69,7 +69,9 @@ func runDegraded(p cluster.Params, sys System, clients int, cfg Config, state Ar
 		rig.C.Disks[victim].Fail()
 	case StateRebuilding:
 		rig.C.Disks[victim].Fail()
-		rig.C.Disks[victim].Replace()
+		if err := rig.C.Disks[victim].Replace(); err != nil {
+			return DegradedResult{}, err
+		}
 	}
 
 	var rebuildTook time.Duration

@@ -304,7 +304,9 @@ func (m *Manager) handle(ctx context.Context, op uint8, payload []byte) ([]byte,
 		if err != nil {
 			return nil, err
 		}
-		d.Replace()
+		if err := d.Replace(); err != nil {
+			return nil, err
+		}
 		return nil, nil
 
 	case OpLock:

@@ -158,7 +158,9 @@ func BenchmarkRebuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		raw[5].Fail()
-		raw[5].Replace()
+		if err := raw[5].Replace(); err != nil {
+			b.Fatal(err)
+		}
 		if err := a.Rebuild(ctx, 5); err != nil {
 			b.Fatal(err)
 		}

@@ -100,6 +100,16 @@ type Options struct {
 	// rebuilt. The log must be sized NewIntentLog-style for this
 	// array's geometry (len(devs) devices of Layout().DiskBlocks).
 	Intent *intent.Log
+	// IntentAhead additionally marks every copy location dirty BEFORE
+	// its write is issued (md-style write-ahead intent bitmap), not just
+	// on skip/error. With the supervisor persisting intent snapshots,
+	// the regions a crash might have left torn or unsynced on ANY copy
+	// are recorded on durable storage ahead of the data, so a restarted
+	// node knows exactly what to resync without trusting the crashed
+	// process to have observed its own failure. Marks are cleared by the
+	// repair layer's resync (replaying a clean region is idempotent), so
+	// over-marking costs a little replay bandwidth, never correctness.
+	IntentAhead bool
 }
 
 // coreMetrics are the engine's instruments, resolved once at New;
@@ -500,6 +510,11 @@ func (a *RAIDx) dataWriteFns(devs []raid.Dev, b int64, n int, p []byte) []func(c
 		count := int((b+int64(n)-1-first)/int64(width)) + 1
 		dev := devs[col]
 		phys := first / int64(width)
+		if a.opt.IntentAhead {
+			// Write-ahead mark: the region is in flight, so a crash here
+			// must treat it as possibly torn until a resync confirms it.
+			a.intLog.MarkRange(col, phys, int64(count))
+		}
 		if !dev.Healthy() {
 			// The image carries the data; log the intent so a delta
 			// resync can replay just these blocks when the device
@@ -550,6 +565,9 @@ func (a *RAIDx) mirrorWriteFns(devs []raid.Dev, b int64, n int, p []byte) []func
 		dev := devs[mdisk]
 		start := a.lay.GroupLoc(g)
 		phys := start.Block + (lo - g*gs)
+		if a.opt.IntentAhead {
+			a.intLog.MarkRange(mdisk, phys, hi-lo)
+		}
 		if !dev.Healthy() {
 			// The data copy carries the blocks; log the skipped image
 			// region so a returning mirror is delta-resynced.

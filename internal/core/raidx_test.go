@@ -396,7 +396,9 @@ func TestRandomGeometriesWithFailures(t *testing.T) {
 		if !bytes.Equal(got, data) {
 			t.Fatalf("trial %d (%dx%d): degraded data mismatch", trial, n, k)
 		}
-		raw[victim].Replace()
+		if err := raw[victim].Replace(); err != nil {
+			t.Fatalf("replace: %v", err)
+		}
 		if err := a.Rebuild(ctx, victim); err != nil {
 			t.Fatalf("trial %d: rebuild: %v", trial, err)
 		}

@@ -110,7 +110,9 @@ func TestRepairRebuildResume(t *testing.T) {
 	const victim = 2
 	// Baseline: count the device writes of an uninterrupted rebuild.
 	raw[victim].Fail()
-	raw[victim].Replace()
+	if err := raw[victim].Replace(); err != nil {
+		t.Fatal(err)
+	}
 	_, w0, _, _ := raw[victim].Stats()
 	if err := a.Rebuild(ctx, victim); err != nil {
 		t.Fatal(err)
@@ -124,7 +126,9 @@ func TestRepairRebuildResume(t *testing.T) {
 	// Interrupted run: the pace hook aborts after abortAfter landed
 	// chunks (RebuildFrom paces once per landed write).
 	raw[victim].Fail()
-	raw[victim].Replace()
+	if err := raw[victim].Replace(); err != nil {
+		t.Fatal(err)
+	}
 	errPaused := errors.New("paused")
 	abortAfter := int(fullWrites) / 2
 	calls := 0

@@ -159,16 +159,30 @@ func (d *Disk) Readmit() {
 	d.mu.Unlock()
 }
 
-// Replace installs a fresh zeroed store of the same geometry and clears
+// Replace presents a fresh zeroed store of the same geometry and clears
 // the failure, modelling a hot-swapped replacement disk awaiting rebuild.
-func (d *Disk) Replace() {
+//
+// A store that can erase itself (store.Blanker — file-backed images,
+// Mem) is blanked in place, so the old contents are destroyed on the
+// backing medium too; swapping in a fresh in-memory store over a
+// file-backed one would only forget the data until the next restart,
+// and the "blank" disk's old blocks would resurrect. Only a store that
+// cannot blank itself is swapped for a fresh Mem.
+func (d *Disk) Replace() error {
 	d.mu.Lock()
-	d.st = store.NewMem(d.st.BlockSize(), d.st.NumBlocks())
+	defer d.mu.Unlock()
+	if b, ok := d.st.(store.Blanker); ok {
+		if err := b.Blank(); err != nil {
+			return fmt.Errorf("disk %s: blank: %w", d.id, err)
+		}
+	} else {
+		d.st = store.NewMem(d.st.BlockSize(), d.st.NumBlocks())
+	}
 	d.failed = false
 	d.failCountdown = 0
 	d.nextBlock = -1
 	d.bgNextBlock = -1
-	d.mu.Unlock()
+	return nil
 }
 
 // Stats reports cumulative operation counts.

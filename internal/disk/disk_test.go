@@ -89,7 +89,9 @@ func TestReplaceClearsDataAndFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.Fail()
-	d.Replace()
+	if err := d.Replace(); err != nil {
+		t.Fatal(err)
+	}
 	if !d.Healthy() {
 		t.Fatal("replaced disk not healthy")
 	}

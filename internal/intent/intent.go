@@ -30,9 +30,13 @@ package intent
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/bits"
+	"os"
 	"sync"
+
+	"repro/internal/store"
 )
 
 // DefaultRegionBlocks is the default dirty-tracking granularity: one bit
@@ -285,6 +289,39 @@ func (l *Log) MarshalBinary() ([]byte, error) {
 		}
 	}
 	return b, nil
+}
+
+// SaveTo durably writes the log's snapshot to path through fs (nil fs
+// takes the real file system) with the full atomic discipline — temp
+// file, fsync, rename, directory fsync — so a crash mid-save leaves the
+// previous snapshot intact, never a torn one. This is how a node
+// remembers its own dirty regions across a restart without asking the
+// cluster.
+func (l *Log) SaveTo(fs store.FS, path string) error {
+	if fs == nil {
+		fs = store.OS
+	}
+	snap, err := l.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return store.WriteFileAtomic(fs, path, snap)
+}
+
+// LoadFrom merges the snapshot at path into the log. A missing file is
+// not an error — there is simply nothing to recover.
+func (l *Log) LoadFrom(fs store.FS, path string) error {
+	if fs == nil {
+		fs = store.OS
+	}
+	snap, err := store.ReadFileFS(fs, path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	return l.Merge(snap)
 }
 
 // Merge unions a snapshot produced by MarshalBinary into the log:

@@ -29,7 +29,7 @@ type diskHandle struct{ d failer }
 
 type failer interface {
 	Fail()
-	Replace()
+	Replace() error
 }
 
 func TestAFRAIDRoundTripAndWindow(t *testing.T) {
@@ -99,7 +99,9 @@ func TestAFRAIDWindowIsHonest(t *testing.T) {
 		t.Fatalf("window read: got %v, want ErrDataLoss", err)
 	}
 	// Rebuild must refuse too.
-	hs[2].d.Replace()
+	if err := hs[2].d.Replace(); err != nil {
+		t.Fatal(err)
+	}
 	if err := a.Rebuild(ctx, 2); !errors.Is(err, raid.ErrDataLoss) {
 		t.Fatalf("rebuild in window: got %v, want ErrDataLoss", err)
 	}
@@ -117,7 +119,9 @@ func TestAFRAIDRebuildAfterFlush(t *testing.T) {
 		t.Fatal(err)
 	}
 	hs[0].d.Fail()
-	hs[0].d.Replace()
+	if err := hs[0].d.Replace(); err != nil {
+		t.Fatal(err)
+	}
 	if err := a.Rebuild(ctx, 0); err != nil {
 		t.Fatal(err)
 	}

@@ -331,7 +331,9 @@ func TestEnginesRebuild(t *testing.T) {
 			}
 			victim := 1
 			raw[victim].Fail()
-			raw[victim].Replace()
+			if err := raw[victim].Replace(); err != nil {
+				t.Fatalf("replace: %v", err)
+			}
 			if err := rb.Rebuild(ctx, victim); err != nil {
 				t.Fatalf("rebuild: %v", err)
 			}

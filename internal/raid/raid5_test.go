@@ -169,7 +169,9 @@ func TestRAID5RebuildParityDisk(t *testing.T) {
 	// others.
 	victim := lay.ParityDisk(0)
 	raw[victim].Fail()
-	raw[victim].Replace()
+	if err := raw[victim].Replace(); err != nil {
+		t.Fatal(err)
+	}
 	if err := a.Rebuild(ctx, victim); err != nil {
 		t.Fatal(err)
 	}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/intent"
 	"repro/internal/obs"
 	"repro/internal/raid"
+	"repro/internal/store"
 )
 
 // State is one node of the per-device repair state machine.
@@ -88,6 +89,17 @@ type Config struct {
 	// changed since the last call (at poll cadence). raidxnode wires it
 	// to replicate the snapshot through the CDD managers.
 	Persist func(snapshot []byte)
+	// StateDir, when set, persists supervisor state locally: the intent
+	// snapshot and the per-device job checkpoints are written there with
+	// the atomic tmp+rename+dir-fsync discipline at poll cadence, and
+	// loaded back — before any peer recovery — when a supervisor is
+	// constructed over the same directory. A restarted repair host then
+	// knows its own dirty regions and resumes interrupted jobs without
+	// asking the cluster.
+	StateDir string
+	// FS is the file system StateDir lives on (nil: the real one).
+	// Tests inject a store.FaultFS here to exercise crash recovery.
+	FS store.FS
 	// Obs receives repair events and gauges (nil: no instrumentation).
 	Obs *obs.Registry
 }
@@ -137,7 +149,9 @@ type Supervisor struct {
 	paused    bool
 	active    int // index of the device whose job is running, -1 idle
 	jobCancel context.CancelFunc
-	lastGen   uint64 // intent-log generation last persisted
+	lastGen   uint64  // intent-log generation last persisted
+	lastCkpt  string  // last checkpoint JSON written to StateDir
+	prevDirty []int64 // per-device dirty count at the previous poll
 
 	stop context.CancelFunc
 	done chan struct{}
@@ -168,6 +182,10 @@ func New(arr Array, sp *raid.Sparer, cfg Config) *Supervisor {
 	now := time.Now()
 	for i := range s.devs {
 		s.devs[i] = DevStatus{State: StateHealthy, Since: now}
+	}
+	s.prevDirty = make([]int64, n)
+	if cfg.StateDir != "" {
+		s.recoverLocal()
 	}
 	if cfg.Obs != nil {
 		cfg.Obs.RegisterGauge("repair.paused", func() int64 {
@@ -351,20 +369,25 @@ func (s *Supervisor) tick(ctx context.Context) {
 		}
 		st := &s.devs[i]
 		healthy := devs[i].Healthy()
+		dirty := il.DirtyRegions(i)
 		switch st.State {
 		case StateHealthy:
 			if !healthy {
 				st.unhealthySince = now
 				s.transitionLocked(i, StateSuspect, "stopped answering")
-			} else if il.DirtyRegions(i) > 0 {
+			} else if dirty > 0 && dirty == s.prevDirty[i] {
 				// A healthy member with outstanding intents: a supervisor
 				// restarted after a crash and recovered its dirty map, or
 				// a write error left intents without a health transition.
+				// With write-ahead marking (core Options.IntentAhead) a
+				// member under load is dirty by design, so require the
+				// count to hold still across two polls — resyncing a
+				// member mid-storm would race foreground writes forever.
 				s.transitionLocked(i, StateResyncing, "outstanding intents on a healthy member")
 			}
 		case StateSuspect:
 			if healthy {
-				if il.DirtyRegions(i) > 0 {
+				if dirty > 0 {
 					s.transitionLocked(i, StateResyncing, "readmitted with outstanding intents")
 				} else {
 					s.transitionLocked(i, StateHealthy, "readmitted clean")
@@ -376,7 +399,7 @@ func (s *Supervisor) tick(ctx context.Context) {
 			if healthy {
 				// Came back after the budget but before a swap landed:
 				// still cheaper to resync than to consume a spare.
-				if il.DirtyRegions(i) > 0 {
+				if dirty > 0 {
 					s.transitionLocked(i, StateResyncing, "late readmission")
 				} else {
 					s.transitionLocked(i, StateHealthy, "late readmission, no intents")
@@ -389,6 +412,7 @@ func (s *Supervisor) tick(ctx context.Context) {
 				job = i
 			}
 		}
+		s.prevDirty[i] = dirty
 	}
 	s.mu.Unlock()
 
@@ -564,24 +588,20 @@ func (s *Supervisor) runResync(ctx context.Context, idx int) error {
 	return nil
 }
 
-// persist pushes an intent-log snapshot through cfg.Persist when the
-// log changed since the last push.
+// persist pushes an intent-log snapshot through cfg.Persist and saves
+// the local StateDir copy when the log changed since the last push, and
+// refreshes the local job checkpoint.
 func (s *Supervisor) persist() {
-	if s.cfg.Persist == nil {
-		return
-	}
 	il := s.arr.Intent()
 	gen := il.Gen()
 	s.mu.Lock()
 	changed := gen != s.lastGen
 	s.lastGen = gen
 	s.mu.Unlock()
-	if !changed {
-		return
+	if changed && s.cfg.Persist != nil {
+		if snap, err := il.MarshalBinary(); err == nil {
+			s.cfg.Persist(snap)
+		}
 	}
-	snap, err := il.MarshalBinary()
-	if err != nil {
-		return
-	}
-	s.cfg.Persist(snap)
+	s.saveLocal(changed)
 }

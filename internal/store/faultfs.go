@@ -1,0 +1,567 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FaultFS is a deterministic fault-injection FS, modeled on the layered
+// VFS injectors of log-structured stores (rockyardkv's FaultInjectionFS
+// is the direct exemplar). It wraps any base FS and enforces the real
+// durability contract the OS only enforces when the power actually
+// fails:
+//
+//   - Writes land in a volatile overlay (the "page cache") and reach
+//     the base FS only at Sync. Crash drops everything unsynced.
+//   - A crash can tear the most recent in-flight write: a prefix
+//     becomes durable, the rest vanishes (CrashTorn).
+//   - Sync can lie (SetSyncLies): it reports success while leaving the
+//     data volatile — the firmware/VM-cache pathology.
+//   - File creates and renames are volatile until SyncDir on the parent
+//     directory, and SyncDir can lie too (SetDirSyncLies). Fsyncing a
+//     file does NOT make its directory entry durable.
+//   - Any operation kind can be made to fail persistently (SetOpError)
+//     or exactly on its nth next call (FailNthOp), and short writes can
+//     be injected (SetShortWrites).
+//
+// After Crash/CrashTorn every open handle is dead (ErrCrashed); reopen
+// through the same FaultFS to see the surviving durable state, exactly
+// as a restarted process would.
+//
+// All methods are safe for concurrent use; one mutex serializes the
+// file system, which is plenty for tests.
+type FaultFS struct {
+	base FS
+
+	mu       sync.Mutex
+	gen      uint64
+	overlays map[string][]writeRec
+	creates  map[string]bool
+	renames  []renameRec
+	lastPath string // path holding the most recent unsynced write
+
+	syncLies    bool
+	dirSyncLies bool
+	shortWrites bool
+	errs        map[FaultOp]*inject
+	counts      map[FaultOp]int64
+}
+
+// FaultOp names an operation kind for injection and counting.
+type FaultOp uint8
+
+const (
+	FaultOpen FaultOp = iota
+	FaultRead
+	FaultWrite
+	FaultSync
+	FaultRename
+	FaultRemove
+	FaultSyncDir
+	FaultTruncate
+)
+
+// ErrCrashed is returned by every operation on a handle that was open
+// across a simulated crash.
+var ErrCrashed = errors.New("store: file handle lost in simulated crash")
+
+type writeRec struct {
+	off  int64
+	data []byte
+}
+
+type renameRec struct {
+	oldPath, newPath string
+	savedTarget      []byte // durable content newPath had (nil: none)
+	targetExisted    bool
+}
+
+type inject struct {
+	err     error
+	after   int64 // >0: countdown to a one-shot failure; 0: every call
+	oneShot bool
+}
+
+// NewFaultFS wraps base in a fault injector with no faults armed.
+func NewFaultFS(base FS) *FaultFS {
+	return &FaultFS{
+		base:     base,
+		overlays: make(map[string][]writeRec),
+		creates:  make(map[string]bool),
+		errs:     make(map[FaultOp]*inject),
+		counts:   make(map[FaultOp]int64),
+	}
+}
+
+// SetOpError arranges for every subsequent op of the given kind to fail
+// with err; nil disarms it.
+func (fs *FaultFS) SetOpError(op FaultOp, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err == nil {
+		delete(fs.errs, op)
+		return
+	}
+	fs.errs[op] = &inject{err: err}
+}
+
+// FailNthOp arranges for exactly the nth next op of the given kind
+// (1 = the very next) to fail with err, then disarms itself.
+func (fs *FaultFS) FailNthOp(op FaultOp, n int64, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.errs[op] = &inject{err: err, after: n, oneShot: true}
+}
+
+// SetSyncLies makes VFile.Sync report success without flushing: data
+// stays volatile and a later crash loses it even though the caller was
+// told it was durable.
+func (fs *FaultFS) SetSyncLies(v bool) {
+	fs.mu.Lock()
+	fs.syncLies = v
+	fs.mu.Unlock()
+}
+
+// SetDirSyncLies makes SyncDir report success without committing the
+// directory's pending creates and renames.
+func (fs *FaultFS) SetDirSyncLies(v bool) {
+	fs.mu.Lock()
+	fs.dirSyncLies = v
+	fs.mu.Unlock()
+}
+
+// SetShortWrites makes every WriteAt record only the first half of its
+// data and return io.ErrShortWrite — the torn-write anomaly observed at
+// the op itself rather than at a crash.
+func (fs *FaultFS) SetShortWrites(v bool) {
+	fs.mu.Lock()
+	fs.shortWrites = v
+	fs.mu.Unlock()
+}
+
+// Counts reports how many operations of the given kind have been issued.
+func (fs *FaultFS) Counts(op FaultOp) int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.counts[op]
+}
+
+// UnsyncedBytes reports how much written data is currently volatile —
+// what a crash right now would lose.
+func (fs *FaultFS) UnsyncedBytes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var n int64
+	for _, recs := range fs.overlays {
+		for _, r := range recs {
+			n += int64(len(r.data))
+		}
+	}
+	return n
+}
+
+// PendingRenames reports how many renames are not yet made durable by a
+// directory sync.
+func (fs *FaultFS) PendingRenames() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.renames)
+}
+
+// Crash simulates a power cut: all unsynced writes vanish, un-dir-synced
+// creates disappear, un-dir-synced renames revert, and every open handle
+// dies. The durable state remains for subsequent reopens.
+func (fs *FaultFS) Crash() { fs.crash(false) }
+
+// CrashTorn is Crash, except the most recent unsynced write is torn: its
+// first half becomes durable, the rest is lost — the partial-write
+// anomaly recovery code must survive.
+func (fs *FaultFS) CrashTorn() { fs.crash(true) }
+
+// opErr counts op and returns the injected error, if one fires. Caller
+// holds fs.mu.
+func (fs *FaultFS) opErr(op FaultOp) error {
+	fs.counts[op]++
+	inj := fs.errs[op]
+	if inj == nil {
+		return nil
+	}
+	if inj.after > 0 {
+		inj.after--
+		if inj.after > 0 {
+			return nil
+		}
+		err := inj.err
+		if inj.oneShot {
+			delete(fs.errs, op)
+		}
+		return err
+	}
+	return inj.err
+}
+
+// OpenFile implements FS. A file created here is volatile until its
+// parent directory is synced.
+func (fs *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (VFile, error) {
+	name = filepath.Clean(name)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.opErr(FaultOpen); err != nil {
+		return nil, err
+	}
+	existed := true
+	if probe, err := fs.base.OpenFile(name, os.O_RDONLY, 0); err == nil {
+		probe.Close()
+	} else {
+		existed = false
+	}
+	f, err := fs.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if !existed && flag&os.O_CREATE != 0 {
+		fs.creates[name] = true
+	}
+	if flag&os.O_TRUNC != 0 {
+		// Truncation discards the volatile overlay along with the bytes.
+		delete(fs.overlays, name)
+		if fs.lastPath == name {
+			fs.lastPath = ""
+		}
+	}
+	return &faultFile{fs: fs, base: f, path: name, gen: fs.gen}, nil
+}
+
+// Rename implements FS: effective immediately, durable only after
+// SyncDir on the parent of newpath. The overlay (page cache) follows
+// the file.
+func (fs *FaultFS) Rename(oldpath, newpath string) error {
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.opErr(FaultRename); err != nil {
+		return err
+	}
+	rec := renameRec{oldPath: oldpath, newPath: newpath}
+	if saved, err := readBaseFile(fs.base, newpath); err == nil {
+		rec.savedTarget = saved
+		rec.targetExisted = true
+	}
+	if err := fs.base.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	// The replaced target's cache dies with it; the source's moves along.
+	delete(fs.overlays, newpath)
+	if recs, ok := fs.overlays[oldpath]; ok {
+		fs.overlays[newpath] = recs
+		delete(fs.overlays, oldpath)
+	}
+	if fs.lastPath == oldpath {
+		fs.lastPath = newpath
+	}
+	if fs.creates[oldpath] {
+		delete(fs.creates, oldpath)
+		fs.creates[newpath] = true
+	}
+	fs.renames = append(fs.renames, rec)
+	return nil
+}
+
+// Remove implements FS.
+func (fs *FaultFS) Remove(name string) error {
+	name = filepath.Clean(name)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.opErr(FaultRemove); err != nil {
+		return err
+	}
+	if err := fs.base.Remove(name); err != nil {
+		return err
+	}
+	delete(fs.overlays, name)
+	delete(fs.creates, name)
+	if fs.lastPath == name {
+		fs.lastPath = ""
+	}
+	return nil
+}
+
+// MkdirAll implements FS.
+func (fs *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return fs.base.MkdirAll(path, perm)
+}
+
+// SyncDir implements FS: commits the directory's pending creates and
+// renames — unless it is lying.
+func (fs *FaultFS) SyncDir(dir string) error {
+	dir = filepath.Clean(dir)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.opErr(FaultSyncDir); err != nil {
+		return err
+	}
+	if fs.dirSyncLies {
+		return nil
+	}
+	for name := range fs.creates {
+		if filepath.Dir(name) == dir {
+			delete(fs.creates, name)
+		}
+	}
+	kept := fs.renames[:0]
+	for _, r := range fs.renames {
+		if filepath.Dir(r.newPath) != dir {
+			kept = append(kept, r)
+		}
+	}
+	fs.renames = kept
+	return fs.base.SyncDir(dir)
+}
+
+// crash implements Crash/CrashTorn. Everything here mutates only the
+// durable (base) state; the volatile state is simply discarded.
+func (fs *FaultFS) crash(torn bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.gen++
+	if torn && fs.lastPath != "" {
+		if recs := fs.overlays[fs.lastPath]; len(recs) > 0 {
+			last := recs[len(recs)-1]
+			half := last.data[:len(last.data)/2]
+			if len(half) > 0 {
+				writeBaseFile(fs.base, fs.lastPath, last.off, half)
+			}
+		}
+	}
+	// Revert un-dir-synced renames newest-first, tracking pending
+	// creates back to the names they will wear after the revert.
+	for i := len(fs.renames) - 1; i >= 0; i-- {
+		r := fs.renames[i]
+		fs.base.Rename(r.newPath, r.oldPath)
+		if fs.creates[r.newPath] {
+			delete(fs.creates, r.newPath)
+			fs.creates[r.oldPath] = true
+		}
+		if r.targetExisted {
+			restoreBaseFile(fs.base, r.newPath, r.savedTarget)
+		}
+	}
+	// Un-dir-synced creates never had a durable directory entry.
+	for name := range fs.creates {
+		fs.base.Remove(name)
+	}
+	fs.renames = nil
+	fs.creates = make(map[string]bool)
+	fs.overlays = make(map[string][]writeRec)
+	fs.lastPath = ""
+}
+
+// readBaseFile snapshots a base file's full content (for rename-undo).
+func readBaseFile(base FS, path string) ([]byte, error) {
+	return ReadFileFS(base, path)
+}
+
+// writeBaseFile applies bytes directly to the durable image.
+func writeBaseFile(base FS, path string, off int64, data []byte) {
+	f, err := base.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return
+	}
+	f.WriteAt(data, off)
+	f.Sync()
+	f.Close()
+}
+
+// restoreBaseFile recreates a file with the given durable content.
+func restoreBaseFile(base FS, path string, content []byte) {
+	f, err := base.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return
+	}
+	if len(content) > 0 {
+		f.WriteAt(content, 0)
+	}
+	f.Sync()
+	f.Close()
+}
+
+// faultFile is one open handle through the injector.
+type faultFile struct {
+	fs   *FaultFS
+	base VFile
+	path string
+	gen  uint64
+}
+
+func (f *faultFile) dead() bool { return f.gen != f.fs.gen }
+
+// overlaySize reports the volatile logical size of f. fs.mu held.
+func (f *faultFile) logicalSize() (int64, error) {
+	size, err := f.base.Size()
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range f.fs.overlays[f.path] {
+		if end := r.off + int64(len(r.data)); end > size {
+			size = end
+		}
+	}
+	return size, nil
+}
+
+// ReadAt merges the durable bytes with the volatile overlay — a process
+// that wrote without syncing still reads its own writes back.
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.dead() {
+		return 0, ErrCrashed
+	}
+	if err := f.fs.opErr(FaultRead); err != nil {
+		return 0, err
+	}
+	n, err := f.base.ReadAt(p, off)
+	if err != nil && err != io.EOF {
+		return n, err
+	}
+	for i := n; i < len(p); i++ {
+		p[i] = 0
+	}
+	for _, r := range f.fs.overlays[f.path] {
+		lo, hi := r.off, r.off+int64(len(r.data))
+		if hi <= off || lo >= off+int64(len(p)) {
+			continue
+		}
+		s, d := int64(0), lo-off
+		if d < 0 {
+			s, d = -d, 0
+		}
+		copy(p[d:], r.data[s:min64(int64(len(r.data)), s+int64(len(p))-d)])
+	}
+	size, serr := f.logicalSize()
+	if serr != nil {
+		return 0, serr
+	}
+	if off >= size {
+		return 0, io.EOF
+	}
+	if size-off < int64(len(p)) {
+		return int(size - off), io.EOF
+	}
+	return len(p), nil
+}
+
+// WriteAt records the write in the volatile overlay. With short writes
+// armed, only the first half is recorded and io.ErrShortWrite returned.
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.dead() {
+		return 0, ErrCrashed
+	}
+	if err := f.fs.opErr(FaultWrite); err != nil {
+		return 0, err
+	}
+	data := append([]byte(nil), p...)
+	short := false
+	if f.fs.shortWrites && len(p) > 1 {
+		data = data[:len(data)/2]
+		short = true
+	}
+	f.fs.overlays[f.path] = append(f.fs.overlays[f.path], writeRec{off: off, data: data})
+	f.fs.lastPath = f.path
+	if short {
+		return len(data), io.ErrShortWrite
+	}
+	return len(p), nil
+}
+
+// Truncate passes through to the durable image immediately (it is only
+// used at format time, before any data is at risk) and trims the
+// overlay to the new size.
+func (f *faultFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.dead() {
+		return ErrCrashed
+	}
+	if err := f.fs.opErr(FaultTruncate); err != nil {
+		return err
+	}
+	if err := f.base.Truncate(size); err != nil {
+		return err
+	}
+	recs := f.fs.overlays[f.path][:0]
+	for _, r := range f.fs.overlays[f.path] {
+		if r.off >= size {
+			continue
+		}
+		if end := r.off + int64(len(r.data)); end > size {
+			r.data = r.data[:size-r.off]
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) == 0 {
+		delete(f.fs.overlays, f.path)
+	} else {
+		f.fs.overlays[f.path] = recs
+	}
+	return nil
+}
+
+func (f *faultFile) Size() (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.dead() {
+		return 0, ErrCrashed
+	}
+	return f.logicalSize()
+}
+
+// Sync flushes f's overlay to the durable image — unless the sync has
+// been armed to fail or to lie.
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.dead() {
+		return ErrCrashed
+	}
+	if err := f.fs.opErr(FaultSync); err != nil {
+		return err
+	}
+	if f.fs.syncLies {
+		return nil
+	}
+	for _, r := range f.fs.overlays[f.path] {
+		if _, err := f.base.WriteAt(r.data, r.off); err != nil {
+			return err
+		}
+	}
+	delete(f.fs.overlays, f.path)
+	if f.fs.lastPath == f.path {
+		f.fs.lastPath = ""
+	}
+	return f.base.Sync()
+}
+
+// Close closes the handle. The overlay survives — the page cache does
+// not drop dirty data when a process closes a file.
+func (f *faultFile) Close() error {
+	f.fs.mu.Lock()
+	dead := f.dead()
+	f.fs.mu.Unlock()
+	if dead {
+		return nil
+	}
+	return f.base.Close()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

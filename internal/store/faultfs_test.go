@@ -1,0 +1,234 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// openFault opens a File store at path through a fresh FaultFS over the
+// real file system rooted in a temp dir.
+func openFault(t *testing.T, blocks int64) (*FaultFS, *File, string) {
+	t.Helper()
+	ffs := NewFaultFS(OS)
+	path := filepath.Join(t.TempDir(), "disk.img")
+	s, err := OpenFileFS(ffs, path, 512, blocks, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ffs, s, path
+}
+
+func TestFaultFSCrashDropsUnsyncedWrites(t *testing.T) {
+	ffs, s, path := openFault(t, 16)
+	durable := bytes.Repeat([]byte{0xAA}, 512)
+	volatile := bytes.Repeat([]byte{0xBB}, 512)
+	if err := s.WriteBlock(1, durable); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBlock(2, volatile); err != nil {
+		t.Fatal(err)
+	}
+	// Before the crash the process reads its own unsynced writes back.
+	got := make([]byte, 512)
+	if err := s.ReadBlock(2, got); err != nil || !bytes.Equal(got, volatile) {
+		t.Fatalf("read-own-write: %v", err)
+	}
+	if ffs.UnsyncedBytes() == 0 {
+		t.Fatal("volatile write not tracked")
+	}
+
+	ffs.Crash()
+	if err := s.ReadBlock(1, got); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle: err = %v, want ErrCrashed", err)
+	}
+
+	s2, err := OpenFileFS(ffs, path, 512, 16, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.WasClean() {
+		t.Fatal("crashed image reopened clean")
+	}
+	if err := s2.ReadBlock(1, got); err != nil || !bytes.Equal(got, durable) {
+		t.Fatalf("synced block lost: %v", err)
+	}
+	if err := s2.ReadBlock(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 512)) {
+		t.Fatal("unsynced block survived the crash")
+	}
+}
+
+func TestFaultFSSyncLies(t *testing.T) {
+	ffs, s, path := openFault(t, 16)
+	ffs.SetSyncLies(true)
+	data := bytes.Repeat([]byte{0xCC}, 512)
+	if err := s.WriteBlock(5, data); err != nil {
+		t.Fatal(err)
+	}
+	// The lying sync reports success; the caller believes it is durable.
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Crash()
+	ffs.SetSyncLies(false)
+	s2, err := OpenFileFS(ffs, path, 512, 16, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := make([]byte, 512)
+	if err := s2.ReadBlock(5, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 512)) {
+		t.Fatal("data synced through a lying fsync survived the crash")
+	}
+}
+
+func TestFaultFSCrashTorn(t *testing.T) {
+	ffs := NewFaultFS(OS)
+	path := filepath.Join(t.TempDir(), "torn.dat")
+	f, err := ffs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xEE}, 100)
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Make the create durable but not the write, then tear.
+	if err := ffs.SyncDir(filepath.Dir(path)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.CrashTorn()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 50 || !bytes.Equal(raw, payload[:50]) {
+		t.Fatalf("torn write left %d durable bytes, want the 50-byte prefix", len(raw))
+	}
+}
+
+func TestFaultFSRenameNeedsDirSync(t *testing.T) {
+	base := t.TempDir()
+	ffs := NewFaultFS(OS)
+	target := filepath.Join(base, "state.json")
+
+	// First generation, fully durable via the atomic-write discipline.
+	if err := WriteFileAtomic(ffs, target, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if ffs.PendingRenames() != 0 {
+		t.Fatal("dir-synced rename still pending")
+	}
+	ffs.Crash()
+	if raw, err := ReadFileFS(ffs, target); err != nil || string(raw) != "v1" {
+		t.Fatalf("durable v1 lost: %q %v", raw, err)
+	}
+
+	// Second generation with a lying directory sync: the rename must
+	// revert and the previous content must reappear intact.
+	ffs.SetDirSyncLies(true)
+	if err := WriteFileAtomic(ffs, target, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if ffs.PendingRenames() == 0 {
+		t.Fatal("un-dir-synced rename not tracked")
+	}
+	ffs.Crash()
+	ffs.SetDirSyncLies(false)
+	raw, err := ReadFileFS(ffs, target)
+	if err != nil || string(raw) != "v1" {
+		t.Fatalf("after crashed replace: %q %v, want the old v1 back", raw, err)
+	}
+}
+
+func TestFaultFSShortWrites(t *testing.T) {
+	ffs, s, _ := openFault(t, 16)
+	ffs.SetShortWrites(true)
+	err := s.WriteBlock(0, bytes.Repeat([]byte{0x11}, 512))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want io.ErrShortWrite", err)
+	}
+	ffs.SetShortWrites(false)
+	// Only the first half landed in the cache; the tail reads as zero.
+	got := make([]byte, 512)
+	if err := s.ReadBlock(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x11 || got[511] != 0 {
+		t.Fatalf("short write recorded wrong: head %#x tail %#x", got[0], got[511])
+	}
+}
+
+func TestFaultFSOpErrorInjection(t *testing.T) {
+	ffs, s, _ := openFault(t, 16)
+	boom := fmt.Errorf("injected EIO")
+	ffs.SetOpError(FaultWrite, boom)
+	if err := s.WriteBlock(0, make([]byte, 512)); !errors.Is(err, boom) {
+		t.Fatalf("persistent injection: %v", err)
+	}
+	ffs.SetOpError(FaultWrite, nil)
+	if err := s.WriteBlock(0, make([]byte, 512)); err != nil {
+		t.Fatalf("disarmed injection still fires: %v", err)
+	}
+
+	// One-shot: exactly the 2nd next sync fails, then everything heals.
+	ffs.FailNthOp(FaultSync, 2, boom)
+	if err := s.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := s.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sync 2: %v, want injected error", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("sync 3: %v", err)
+	}
+	if n := ffs.Counts(FaultSync); n < 3 {
+		t.Fatalf("sync count = %d", n)
+	}
+}
+
+// TestFaultFSAtomicSnapshotAlwaysWholeFile: under repeated crashes at
+// every injection point, a reader after recovery sees either the old
+// snapshot or the new one, never a torn mix — the property the intent
+// log and repair checkpoints rely on.
+func TestFaultFSAtomicSnapshotAlwaysWholeFile(t *testing.T) {
+	base := t.TempDir()
+	target := filepath.Join(base, "snap")
+	old := bytes.Repeat([]byte{0xA0}, 100)
+	new_ := bytes.Repeat([]byte{0xB1}, 300)
+
+	for failAt := int64(1); failAt <= 8; failAt++ {
+		for _, op := range []FaultOp{FaultWrite, FaultSync, FaultRename, FaultSyncDir} {
+			ffs := NewFaultFS(OS)
+			if err := WriteFileAtomic(ffs, target, old); err != nil {
+				t.Fatal(err)
+			}
+			boom := fmt.Errorf("injected at %v/%d", op, failAt)
+			ffs.FailNthOp(op, failAt, boom)
+			err := WriteFileAtomic(ffs, target, new_)
+			ffs.Crash()
+			got, rerr := ReadFileFS(ffs, target)
+			if rerr != nil {
+				t.Fatalf("%v/%d: snapshot unreadable after crash: %v", op, failAt, rerr)
+			}
+			if !bytes.Equal(got, old) && !bytes.Equal(got, new_) {
+				t.Fatalf("%v/%d (write err %v): torn snapshot, %d bytes", op, failAt, err, len(got))
+			}
+			os.Remove(target)
+		}
+	}
+}

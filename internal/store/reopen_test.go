@@ -1,0 +1,250 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// The reopen edge cases: every way an image on disk can fail to be the
+// image the caller thinks it is opening must be detected at OpenFile,
+// before a single data block is trusted.
+
+func TestFileReopenForeignImage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notours.img")
+	// A legacy headerless image: raw data from byte 0, no magic.
+	if err := os.WriteFile(path, bytes.Repeat([]byte{0x55}, 512*16), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenFile(path, 512, 16)
+	if !errors.Is(err, ErrForeignImage) {
+		t.Fatalf("err = %v, want ErrForeignImage", err)
+	}
+}
+
+func TestFileReopenTornSuperblock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	s, err := OpenFile(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseClean(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit inside the checksummed header region.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[20] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenFile(path, 512, 16)
+	if !errors.Is(err, ErrCorruptSuperblock) {
+		t.Fatalf("err = %v, want ErrCorruptSuperblock", err)
+	}
+}
+
+func TestFileReopenGeometryMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	s, err := OpenFile(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseClean(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][2]int64{{512, 32}, {1024, 16}, {256, 8}} {
+		_, err := OpenFile(path, int(bad[0]), bad[1])
+		if !errors.Is(err, ErrGeometryMismatch) {
+			t.Fatalf("open %dx%d: err = %v, want ErrGeometryMismatch", bad[0], bad[1], err)
+		}
+	}
+	// The true geometry still opens.
+	s, err = OpenFile(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+}
+
+func TestFileReopenTruncatedImage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	s, err := OpenFile(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseClean(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, SuperSize+512*8); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenFile(path, 512, 16)
+	if !errors.Is(err, ErrTruncatedImage) {
+		t.Fatalf("err = %v, want ErrTruncatedImage", err)
+	}
+	// Shorter than the header itself is also a truncation, not foreign.
+	if err := os.Truncate(path, 10); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenFile(path, 512, 16)
+	if !errors.Is(err, ErrTruncatedImage) {
+		t.Fatalf("10-byte file: err = %v, want ErrTruncatedImage", err)
+	}
+}
+
+func TestFileReopenForeignArray(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	a1, a2 := newUUID(), newUUID()
+	s, err := OpenFileFS(OS, path, 512, 16, FileOptions{ArrayUUID: a1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ArrayUUID() != a1 {
+		t.Fatal("array UUID not stamped at format")
+	}
+	if err := s.CloseClean(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileFS(OS, path, 512, 16, FileOptions{ArrayUUID: a2}); err == nil {
+		t.Fatal("image from another array mounted silently")
+	}
+	// Opening without claiming an array identity still works.
+	s, err = OpenFile(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+}
+
+func TestFileWasCleanLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	s, err := OpenFile(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.WasClean() {
+		t.Fatal("fresh image reports unclean")
+	}
+	dev := s.DeviceUUID()
+	// Plain Close is crash-equivalent: the in-use mark stays on disk.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = OpenFile(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.WasClean() {
+		t.Fatal("reopen after crash-close reports clean")
+	}
+	if s.DeviceUUID() != dev {
+		t.Fatal("device identity changed across reopen")
+	}
+	if err := s.CloseClean(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = OpenFile(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.WasClean() {
+		t.Fatal("reopen after CloseClean reports unclean")
+	}
+}
+
+func TestFileBlankDiscardsDataDurably(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	s, err := OpenFile(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldDev := s.DeviceUUID()
+	data := bytes.Repeat([]byte{0xCD}, 512)
+	if err := s.WriteBlock(3, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Blank(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if err := s.ReadBlock(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 512)) {
+		t.Fatal("blanked store still holds data")
+	}
+	if s.DeviceUUID() == oldDev {
+		t.Fatal("blank kept the old device identity")
+	}
+	if err := s.CloseClean(); err != nil {
+		t.Fatal(err)
+	}
+	// The satellite bug this guards: a "replaced" file-backed disk whose
+	// old contents resurrect on restart.
+	s, err = OpenFile(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.ReadBlock(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 512)) {
+		t.Fatal("blanked contents resurrected across reopen")
+	}
+}
+
+// TestFileConcurrentWriteSync drives WriteBlock, ReadBlock, and Sync
+// from many goroutines under -race: block I/O must not race the
+// superblock lock or each other.
+func TestFileConcurrentWriteSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	const blocks = 64
+	s, err := OpenFile(path, 512, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := bytes.Repeat([]byte{byte(g + 1)}, 512)
+			got := make([]byte, 512)
+			for i := 0; i < 50; i++ {
+				b := int64((g*50 + i) % blocks)
+				if err := s.WriteBlock(b, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.ReadBlock(b, got); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 0 {
+					if err := s.Sync(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.CloseClean(); err != nil {
+		t.Fatal(err)
+	}
+	if sb, _, err := InspectSuperblock(OS, path); err != nil || !sb.Clean {
+		t.Fatalf("after concurrent storm: clean=%v err=%v", sb.Clean, err)
+	}
+}

@@ -23,6 +23,16 @@ type BlockStore interface {
 	WriteBlock(b int64, data []byte) error
 }
 
+// Blanker is implemented by stores that can erase themselves in place.
+// disk.Replace blanks through it so that "install a fresh zeroed disk"
+// actually destroys the old contents on the backing medium — replacing
+// a file-backed store with a fresh in-memory one would only forget the
+// data until the next restart.
+type Blanker interface {
+	// Blank zeroes the store's contents durably.
+	Blank() error
+}
+
 // RangeError reports an out-of-range block access.
 type RangeError struct {
 	Block int64
@@ -105,6 +115,14 @@ func (m *Mem) WriteBlock(b int64, data []byte) error {
 	}
 	copy(dst, data)
 	m.mu.Unlock()
+	return nil
+}
+
+// Blank implements Blanker: every block reverts to reading as zeros.
+func (m *Mem) Blank() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	clear(m.blocks)
 	return nil
 }
 

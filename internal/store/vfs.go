@@ -1,0 +1,152 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the small virtual file system the durable stores are built on.
+// It exists so every durability claim in this repository is testable:
+// the OS implementation talks to the real kernel, while FaultFS wraps
+// any FS and injects torn writes, lying fsyncs, crash-lost data, and
+// rename-durability anomalies deterministically.
+//
+// Durability contract (matching POSIX, and enforced by FaultFS):
+//
+//   - WriteAt data is volatile until VFile.Sync returns.
+//   - A created file or a Rename is volatile until SyncDir on the
+//     parent directory returns — fsyncing the file alone does not make
+//     its directory entry durable.
+//   - A crash may tear the most recent in-flight write (a prefix lands,
+//     the rest does not).
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (VFile, error)
+	// Rename atomically replaces newpath with oldpath. Durable only
+	// after SyncDir on the parent.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// MkdirAll creates the directory path and its parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir flushes the directory entries of dir — the barrier that
+	// makes prior creates and renames in dir durable.
+	SyncDir(dir string) error
+}
+
+// VFile is one open file: positional I/O plus the sync barrier.
+type VFile interface {
+	io.ReaderAt
+	io.WriterAt
+	// Truncate changes the file size (extensions read as zeros).
+	Truncate(size int64) error
+	// Size reports the current file size.
+	Size() (int64, error)
+	// Sync flushes all buffered writes to stable storage.
+	Sync() error
+	Close() error
+}
+
+// OS is the real file system.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (VFile, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Directory fsync is unsupported on some file systems; a sync error
+	// on a directory handle is still worth surfacing — the atomic-write
+	// discipline depends on it.
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+type osFile struct{ f *os.File }
+
+func (o osFile) ReadAt(p []byte, off int64) (int, error)  { return o.f.ReadAt(p, off) }
+func (o osFile) WriteAt(p []byte, off int64) (int, error) { return o.f.WriteAt(p, off) }
+func (o osFile) Truncate(size int64) error                { return o.f.Truncate(size) }
+func (o osFile) Sync() error                              { return o.f.Sync() }
+func (o osFile) Close() error                             { return o.f.Close() }
+
+func (o osFile) Size() (int64, error) {
+	info, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// ReadFileFS reads the whole of path through fs. A missing file returns
+// os.ErrNotExist (wrapped by the FS implementation).
+func ReadFileFS(fs FS, path string) ([]byte, error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	if size == 0 {
+		return buf, nil
+	}
+	n, err := f.ReadAt(buf, 0)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// WriteFileAtomic durably replaces path with data using the full
+// crash-safe discipline: write to a temp file, fsync it, rename over
+// path, fsync the directory. After a crash, readers see either the old
+// contents or the new contents, never a mixture or a torn tail.
+func WriteFileAtomic(fs FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	// A stale temp file from a previous crash is garbage; drop it.
+	_ = fs.Remove(tmp)
+	f, err := fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fs.SyncDir(filepath.Dir(path))
+}

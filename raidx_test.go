@@ -36,7 +36,9 @@ func TestPublicAPILifecycle(t *testing.T) {
 	if !bytes.Equal(got, data) {
 		t.Fatal("degraded read mismatch")
 	}
-	devs[1].(*Disk).Replace()
+	if err := devs[1].(*Disk).Replace(); err != nil {
+		t.Fatal(err)
+	}
 	if err := arr.Rebuild(ctx, 1); err != nil {
 		t.Fatal(err)
 	}
