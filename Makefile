@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck promtest check bench benchcheck chaoscheck crashcheck fuzz
+.PHONY: build test race vet staticcheck promtest check bench benchcheck chaoscheck crashcheck fuzz scalecheck
 
 build:
 	$(GO) build ./...
@@ -36,9 +36,12 @@ check: vet staticcheck promtest race
 # chaoscheck runs the self-healing chaos suite (CI job `repair`): the
 # repair-supervisor and delta-resync tests — including the faultnet
 # kill/partition/readmit scenarios in internal/cdd — under the race
-# detector.
+# detector, plus the coherence chaos suite (partitioned writers and
+# caching readers on overlapping lock groups: zero stale reads,
+# lease auto-release of dead holders) run twice.
 chaoscheck:
 	$(GO) test -run 'TestRepair|TestResync' -race ./...
+	$(GO) test -run 'TestCoherence' -race -count=2 ./internal/cdd/
 
 # crashcheck runs the crash-consistency suite (CI job `crash`): the
 # fault-injection VFS tests, superblock/reopen edge cases, intent and
@@ -59,8 +62,17 @@ bench:
 
 # benchcheck runs the allocation-pinned regression tests: AllocsPerRun
 # limits on the hot paths (transport round trips, remote device I/O, the
-# engine's stripe fan-out). A hot-path allocation regression fails here
-# before it shows up in the benchmarks. Must run without -race — the
-# race runtime allocates on its own account.
+# engine's stripe fan-out, and coherent cache-hit reads — which must
+# stay at 0 remote calls and <= 2 allocs). A hot-path allocation
+# regression fails here before it shows up in the benchmarks. Must run
+# without -race — the race runtime allocates on its own account.
 benchcheck:
 	$(GO) test -run 'TestAllocs' -count=1 -v ./internal/transport/ ./internal/cdd/ ./internal/core/
+
+# scalecheck runs the serving-at-scale shard (CI job `scale`): the
+# coherence protocol and session tests, the QoS scheduler, the workload
+# runner, and a reduced `raidxbench scale` sweep over real TCP.
+scalecheck:
+	$(GO) test -run 'TestLockModes|TestLease|TestRevocation|TestBeatReset|TestSession|TestCoherence' -race ./internal/cdd/
+	$(GO) test -race ./internal/qos/ ./internal/workload/
+	$(GO) run ./cmd/raidxbench scale -clients 50,200 -totalops 20000

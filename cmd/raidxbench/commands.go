@@ -496,11 +496,13 @@ func runAll(args []string) error {
 	return nil
 }
 
-// runScale sweeps the cluster size — the paper's closing claim that the
-// design is "highly scalable with distributed control" and its plan for
-// "an enlarged prototype of several hundreds of disks".
-func runScale(args []string) error {
-	fs := flag.NewFlagSet("scale", flag.ExitOnError)
+// runScaleSim sweeps the simulated cluster size — the paper's closing
+// claim that the design is "highly scalable with distributed control"
+// and its plan for "an enlarged prototype of several hundreds of
+// disks". The `scale` command (scale.go) is its real-TCP counterpart:
+// coherent client sessions at thousands of connections.
+func runScaleSim(args []string) error {
+	fs := flag.NewFlagSet("scale-sim", flag.ExitOnError)
 	nodesFlag := fs.String("sizes", "12,24,48,96", "cluster sizes (nodes, 1 disk each)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -521,7 +523,7 @@ func runScale(args []string) error {
 		}
 		fmt.Printf("%-8d %12.2f %14.2f %12s\n", n, r.MBps, r.MBps/float64(n),
 			fmt.Sprintf("%s@%.0f%%", r.Bottleneck, r.BottleneckUtil*100))
-		record(benchResult{Name: fmt.Sprintf("scale/%d", n), MBps: r.MBps})
+		record(benchResult{Name: fmt.Sprintf("scale-sim/%d", n), MBps: r.MBps})
 	}
 	return nil
 }

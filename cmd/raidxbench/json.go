@@ -8,14 +8,21 @@ import (
 
 // benchResult is one row of the machine-readable results file the global
 // -json flag emits. Simulated experiments fill MBps only; the hotpath
-// command (real loopback I/O) also reports ns/op and allocs/op, the
-// numbers BENCH_*.json tracks across PRs.
+// and scale commands (real loopback I/O) also report ns/op and
+// allocs/op — the same schema for both, so BENCH_*.json consumers can
+// diff rows across PRs without per-command parsing. Scale rows
+// additionally carry the client count, the per-tenant breakdown
+// (Tenant set on per-tenant rows), and the Jain fairness index on the
+// aggregate row.
 type benchResult struct {
 	Name        string  `json:"name"`
 	MBps        float64 `json:"mb_per_s,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	Clients     int     `json:"clients,omitempty"`
+	Tenant      string  `json:"tenant,omitempty"`
+	Fairness    float64 `json:"fairness,omitempty"`
 }
 
 // jsonResults collects every benchmark row the executed command records;

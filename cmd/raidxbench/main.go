@@ -62,6 +62,8 @@ func main() {
 	switch cmd {
 	case "scale":
 		err = runScale(args)
+	case "scale-sim":
+		err = runScaleSim(args)
 	case "all":
 		err = runAll(args)
 	case "table2":
@@ -107,9 +109,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: raidxbench <all|scale|hotpath|table2|fig5|table3|fig6|fig7|summary|txn|degraded|reliability|ablate> [flags]
+	fmt.Fprintln(os.Stderr, `usage: raidxbench <all|scale|scale-sim|hotpath|table2|fig5|table3|fig6|fig7|summary|txn|degraded|reliability|ablate> [flags]
 Run 'raidxbench <cmd> -h' for per-command flags.
-Global flags (before the command): -pprof <file>, -json <file>.`)
+Global flags (before the command): -pprof <file>, -json <file>.
+The scale command drives coherent client sessions over real TCP:
+  raidxbench -json BENCH_PR7.json scale -clients 100,500,1000,2000 -tenants 4`)
 }
 
 // clusterFlags registers the shared testbed flags.

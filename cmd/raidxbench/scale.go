@@ -1,0 +1,392 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/cdd"
+	"repro/internal/disk"
+	"repro/internal/qos"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// runScale is the serving-at-scale story over real TCP: coherent
+// client sessions (lock-group-guarded caching + group-commit
+// write-back) driven by hundreds to thousands of concurrent clients
+// against a loopback CDD node, plus the QoS demonstration that a
+// background repair-class stream stays at its configured share while
+// foreground traffic storms.
+//
+// Three phases, all recorded in the -json results (BENCH_PR7.json):
+//
+//  1. latency probe — remote-read vs cache-hit-read ns/op and
+//     allocs/op for one client (rows scale/read-remote,
+//     scale/read-cached);
+//  2. client sweep — aggregate throughput, allocs/op, and per-tenant
+//     fairness as the client count grows (rows scale/clients=N and
+//     scale/clients=N/tenant=tK);
+//  3. QoS — achieved background bandwidth under a foreground storm
+//     vs the configured cap (rows scale/qos-*).
+func runScale(args []string) error {
+	fs := flag.NewFlagSet("scale", flag.ExitOnError)
+	clientsFlag := fs.String("clients", "100,500,1000,2000", "client counts to sweep")
+	tenants := fs.Int("tenants", 4, "tenant identities the clients are spread over")
+	bs := fs.Int("bs", 1024, "block size (bytes)")
+	totalOps := fs.Int("totalops", 400000, "total workload ops per sweep point (split across clients, so every point measures the same work and spans several write-back flush cycles)")
+	region := fs.Int64("region", 8, "private blocks each client locks exclusively")
+	bgCap := fs.Int64("qos-bg-rate", 2<<20, "background QoS cap for phase 3 (bytes/sec)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	counts, err := parseInts(*clientsFlag)
+	if err != nil {
+		return err
+	}
+
+	if err := scaleLatencyProbe(*bs); err != nil {
+		return err
+	}
+	if err := scaleClientSweep(counts, *tenants, *bs, *totalOps, *region); err != nil {
+		return err
+	}
+	return scaleQoS(*bs, *bgCap)
+}
+
+// scaleNode starts one loopback node with a single disk and a short
+// coherence lease.
+func scaleNode(bs int, blocks int64) (*cdd.Node, error) {
+	d := disk.New(nil, "scale-d0", store.NewMem(bs, blocks), disk.DefaultModel())
+	node, err := cdd.ListenAndServe("127.0.0.1:0", []*disk.Disk{d})
+	if err != nil {
+		return nil, err
+	}
+	node.Manager.Locks().SetLease(2*time.Second, nil)
+	return node, nil
+}
+
+// scaleLatencyProbe measures one client's remote read vs coherent
+// cache-hit read and records (and prints) the gap.
+func scaleLatencyProbe(bs int) error {
+	node, err := scaleNode(bs, 4096)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	c, err := cdd.Connect(node.Addr())
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	s := cdd.NewSession(c, "probe", cdd.SessionConfig{})
+	defer s.Close()
+	if err := s.AcquireBlocks(ctx, cdd.Shared, 0, 0, 64); err != nil {
+		return err
+	}
+	dev := s.Dev(0)
+	buf := make([]byte, bs)
+
+	// Remote path: the raw RemoteDev, no cache in the way.
+	remote := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(bs))
+		for i := 0; i < b.N; i++ {
+			if err := c.Dev(0).ReadBlocks(ctx, 0, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Cached path: populate once, then hit.
+	if err := dev.ReadBlocks(ctx, 0, buf); err != nil {
+		return err
+	}
+	cached := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(bs))
+		for i := 0; i < b.N; i++ {
+			if err := dev.ReadBlocks(ctx, 0, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	rNs := float64(remote.NsPerOp())
+	cNs := float64(cached.NsPerOp())
+	ratio := rNs / cNs
+	fmt.Printf("Latency probe (block %d B):\n", bs)
+	fmt.Printf("  %-14s %10.0f ns/op %8.1f allocs/op\n", "remote read", rNs, float64(remote.AllocsPerOp()))
+	fmt.Printf("  %-14s %10.0f ns/op %8.1f allocs/op\n", "cached read", cNs, float64(cached.AllocsPerOp()))
+	fmt.Printf("  %-14s %10.1fx\n", "speedup", ratio)
+	record(benchResult{Name: "scale/read-remote", NsPerOp: rNs,
+		AllocsPerOp: float64(remote.AllocsPerOp()), BytesPerOp: int64(bs),
+		MBps: float64(bs) / 1e6 / (rNs / 1e9)})
+	record(benchResult{Name: "scale/read-cached", NsPerOp: cNs,
+		AllocsPerOp: float64(cached.AllocsPerOp()), BytesPerOp: int64(bs),
+		MBps: float64(bs) / 1e6 / (cNs / 1e9)})
+	if ratio < 10 {
+		fmt.Printf("  WARNING: cache-hit speedup %.1fx below the 10x target\n", ratio)
+	}
+	return nil
+}
+
+// scaleClientSweep drives count concurrent coherent sessions per sweep
+// point, each over its own TCP connection, and records aggregate
+// throughput plus per-tenant shares.
+func scaleClientSweep(counts []int, tenants, bs, totalOps int, region int64) error {
+	fmt.Printf("\nClient sweep (%d tenants, %d total ops/point, %d-block exclusive regions):\n", tenants, totalOps, region)
+	fmt.Printf("%-10s %12s %12s %12s %10s\n", "clients", "MB/s", "ops/s", "allocs/op", "fairness")
+	var prevMBps float64
+	for idx, count := range counts {
+		node, err := scaleNode(bs, int64(count)*region+64)
+		if err != nil {
+			return err
+		}
+		// A long lease keeps heartbeat chatter from thousands of sessions
+		// well below the foreground op rate: a 1 s beat against a 10 s
+		// lease stays comfortably inside the client's ttl/2 freshness rule.
+		node.Manager.Locks().SetLease(10*time.Second, nil)
+		// A generous per-attempt deadline: bringing up thousands of
+		// connections on a small box makes individual setup RPCs stall
+		// behind GC and the accept storm, and a spurious 2 s cutoff there
+		// aborts the sweep without measuring anything.
+		pol := cdd.DefaultRetryPolicy()
+		pol.CallTimeout = 15 * time.Second
+		clients := make([]*cdd.NodeClient, count)
+		sessions := make([]*cdd.Session, count)
+		for i := 0; i < count; i++ {
+			c, err := cdd.ConnectWith(context.Background(), node.Addr(), cdd.Options{Retry: pol})
+			if err != nil {
+				return fmt.Errorf("client %d: %w", i, err)
+			}
+			clients[i] = c
+			sessions[i] = cdd.NewSession(c, fmt.Sprintf("scale-%d", i), cdd.SessionConfig{
+				CacheBytes:   32 << 10,
+				Beat:         time.Second,
+				WriteBackAge: 250 * time.Millisecond,
+			})
+		}
+		ctx := context.Background()
+
+		runner := workload.Runner{
+			Clients:    count,
+			Tenants:    tenants,
+			Cfg:        workload.Config{ReadFraction: 0.7, WorkingSetBlocks: region, HotSkew: 0.9, MaxOpBlocks: 1, Ops: opsFor(totalOps, count)},
+			Seed:       42,
+			BlockBytes: bs,
+		}
+		// Per-client op buffers and cached dev handles, allocated outside
+		// the measured window so the sweep reports steady-state allocs.
+		devs := make([]*cdd.CachedDev, count)
+		bufs := make([][]byte, count)
+		for i := range devs {
+			devs[i] = sessions[i].Dev(0)
+			bufs[i] = make([]byte, bs)
+		}
+		// Acquire each client's exclusive grant and warm its cache and
+		// write-back structures, then flush, so each sweep point measures
+		// steady-state serving. Without the warmup, points with fewer ops
+		// per client spend a larger fraction of the window on first-touch
+		// remote reads and the sweep conflates miss ratio with client
+		// count. Setup runs concurrently with a retry: a single lock RPC
+		// can exceed its call deadline when thousands of connections are
+		// being brought up on a loaded box, and setup hiccups must not
+		// abort the sweep.
+		warmErr := make(chan error, count)
+		for i := 0; i < count; i++ {
+			go func(i int) {
+				base := int64(i) * region
+				var err error
+				for attempt := 0; attempt < 3; attempt++ {
+					if err = sessions[i].AcquireBlocks(ctx, cdd.Exclusive, 0, base, region); err == nil {
+						break
+					}
+				}
+				if err != nil {
+					warmErr <- fmt.Errorf("client %d grant: %w", i, err)
+					return
+				}
+				buf := make([]byte, int(region)*bs)
+				if err := devs[i].ReadBlocks(ctx, base, buf); err != nil {
+					warmErr <- fmt.Errorf("client %d warm read: %w", i, err)
+					return
+				}
+				if err := devs[i].WriteBlocks(ctx, base, buf); err != nil {
+					warmErr <- fmt.Errorf("client %d warm write: %w", i, err)
+					return
+				}
+				warmErr <- sessions[i].Flush(ctx)
+			}(i)
+		}
+		var warmFail error
+		for i := 0; i < count; i++ {
+			if err := <-warmErr; err != nil && warmFail == nil {
+				warmFail = err
+			}
+		}
+		if warmFail != nil {
+			return warmFail
+		}
+		runtime.GC() // drain setup garbage before the measured run
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		res := runner.Run(ctx, func(ctx context.Context, client int, _ string, op workload.Op) error {
+			base := int64(client) * region
+			buf := bufs[client][:int(op.Blocks)*bs]
+			if op.Read {
+				return devs[client].ReadBlocks(ctx, base+op.Block, buf)
+			}
+			return devs[client].WriteBlocks(ctx, base+op.Block, buf)
+		})
+		runtime.ReadMemStats(&ms1)
+		for _, s := range sessions {
+			s.Close()
+		}
+		for _, c := range clients {
+			c.Close()
+		}
+		node.Close()
+
+		if res.Errs > 0 {
+			return fmt.Errorf("clients=%d: %d workload errors", count, res.Errs)
+		}
+		allocsPerOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Ops)
+		var names []string
+		for tn := range res.Tenants {
+			names = append(names, tn)
+		}
+		sort.Strings(names)
+		shares := make([]float64, 0, len(names))
+		for _, tn := range names {
+			shares = append(shares, float64(res.Tenants[tn].Bytes))
+		}
+		jain := workload.JainIndex(shares)
+		opsPerSec := float64(res.Ops) / res.Elapsed.Seconds()
+		fmt.Printf("%-10d %12.2f %12.0f %12.1f %10.3f\n", count, res.MBps(), opsPerSec, allocsPerOp, jain)
+		record(benchResult{
+			Name:        fmt.Sprintf("scale/clients=%d", count),
+			Clients:     count,
+			MBps:        res.MBps(),
+			NsPerOp:     res.Elapsed.Seconds() / float64(res.Ops) * 1e9,
+			AllocsPerOp: allocsPerOp,
+			BytesPerOp:  res.Bytes / res.Ops,
+			Fairness:    jain,
+		})
+		for _, tn := range names {
+			ts := res.Tenants[tn]
+			record(benchResult{
+				Name:    fmt.Sprintf("scale/clients=%d/tenant=%s", count, tn),
+				Clients: count,
+				Tenant:  tn,
+				MBps:    float64(ts.Bytes) / 1e6 / res.Elapsed.Seconds(),
+			})
+		}
+		if idx > 0 && res.MBps() < 0.5*prevMBps {
+			fmt.Printf("  WARNING: throughput collapsed at %d clients (%.2f -> %.2f MB/s)\n",
+				count, prevMBps, res.MBps())
+		}
+		prevMBps = res.MBps()
+		// Drain the point's connections and caches from the heap so the
+		// next point's setup does not fight the collector for the CPU.
+		runtime.GC()
+	}
+	return nil
+}
+
+// scaleQoS storms the node with foreground readers while a
+// background repair-class stream runs through the admission scheduler,
+// and reports the background share against its cap.
+func scaleQoS(bs int, bgCap int64) error {
+	node, err := scaleNode(bs, 8192)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	sched := qos.New(qos.Config{BackgroundBytesPerSec: bgCap, BurstWindow: 20 * time.Millisecond})
+	pace := sched.Pace(qos.Background, "repair")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+
+	const fgWorkers = 8
+	type tally struct{ bytes int64 }
+	fg := make([]tally, fgWorkers)
+	var bg tally
+	done := make(chan struct{})
+	start := time.Now()
+	// Foreground storm: unthrottled readers.
+	for w := 0; w < fgWorkers; w++ {
+		go func(w int) {
+			c, err := cdd.Connect(node.Addr())
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			buf := make([]byte, 16*bs)
+			for ctx.Err() == nil {
+				if c.Dev(0).ReadBlocks(ctx, int64(w)*64, buf) != nil {
+					return
+				}
+				fg[w].bytes += int64(len(buf))
+			}
+		}(w)
+	}
+	// Background "repair" stream: bulk reads paced through the
+	// scheduler — exactly what repair.Config.Pace does in raidxnode.
+	go func() {
+		defer close(done)
+		c, err := cdd.Connect(node.Addr())
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 64*bs)
+		var blk int64
+		for ctx.Err() == nil {
+			if pace(ctx, len(buf)) != nil {
+				return
+			}
+			if c.Dev(0).ReadBlocks(ctx, blk%4096, buf) != nil {
+				return
+			}
+			bg.bytes += int64(len(buf))
+			blk += 64
+		}
+	}()
+	<-done
+	elapsed := time.Since(start).Seconds()
+
+	var fgBytes int64
+	for w := range fg {
+		fgBytes += fg[w].bytes
+	}
+	fgMBps := float64(fgBytes) / 1e6 / elapsed
+	bgMBps := float64(bg.bytes) / 1e6 / elapsed
+	capMBps := float64(bgCap) / 1e6
+	fmt.Printf("\nQoS under foreground storm (%d workers, background cap %.2f MB/s):\n", fgWorkers, capMBps)
+	fmt.Printf("  %-18s %10.2f MB/s\n", "foreground", fgMBps)
+	fmt.Printf("  %-18s %10.2f MB/s (cap %.2f)\n", "background", bgMBps, capMBps)
+	record(benchResult{Name: "scale/qos-foreground", MBps: fgMBps})
+	record(benchResult{Name: "scale/qos-background", MBps: bgMBps})
+	record(benchResult{Name: "scale/qos-background-cap", MBps: capMBps})
+	if bgMBps > 1.3*capMBps {
+		fmt.Printf("  WARNING: background exceeded its cap (%.2f > %.2f MB/s)\n", bgMBps, capMBps)
+	}
+	return nil
+}
+
+// opsFor splits the per-point op budget across clients (at least one
+// op each).
+func opsFor(total, clients int) int {
+	per := total / clients
+	if per < 1 {
+		per = 1
+	}
+	return per
+}

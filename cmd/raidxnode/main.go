@@ -58,6 +58,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/intent"
+	"repro/internal/qos"
 	"repro/internal/raid"
 	"repro/internal/repair"
 	"repro/internal/store"
@@ -83,6 +84,8 @@ func main() {
 	arrayName := flag.String("array", "raidx", "array name, the replication key for write-intent snapshots")
 	addrFile := flag.String("addr-file", "", "write the actual listen address to this file once serving (for :0 ports)")
 	repairState := flag.String("repair-state", "", "directory for the repair supervisor's local crash-recovery state (default <dir>/repair when -dir is set)")
+	qosFG := flag.Int64("qos-fg-rate", 0, "QoS foreground (client I/O) admission rate in bytes/sec (0: unlimited)")
+	qosBG := flag.Int64("qos-bg-rate", 0, "QoS background (repair/resync/scrub) admission rate in bytes/sec (0: unlimited)")
 	flag.Parse()
 
 	if *pprofOut != "" {
@@ -148,6 +151,17 @@ func main() {
 		tracer.SetSampleEvery(*traceSample)
 	}
 
+	var sched *qos.Scheduler
+	if *qosFG > 0 || *qosBG > 0 {
+		sched = qos.New(qos.Config{
+			ForegroundBytesPerSec: *qosFG,
+			BackgroundBytesPerSec: *qosBG,
+			Obs:                   node.Manager.Obs(),
+		})
+		log.Printf("raidxnode %s: QoS admission control: foreground %d B/s, background %d B/s (0 = unlimited)",
+			*name, *qosFG, *qosBG)
+	}
+
 	var sup *repair.Supervisor
 	var stopRepair func()
 	if *repairCluster != "" {
@@ -167,6 +181,7 @@ func main() {
 			blockSize:    *bs,
 			blocks:       *blocks,
 			stateDir:     stateDir,
+			sched:        sched,
 		})
 		if err != nil {
 			log.Fatalf("raidxnode: repair supervisor: %v", err)
@@ -264,6 +279,7 @@ type repairOpts struct {
 	blockSize    int
 	blocks       int64
 	stateDir     string
+	sched        *qos.Scheduler
 }
 
 // startRepair mounts the whole cluster as a client, recovers any
@@ -343,10 +359,17 @@ func startRepair(node *cdd.Node, o repairOpts) (*repair.Supervisor, func(), erro
 			return nil, nil, err
 		}
 	}
+	var pace core.PaceFunc
+	if o.sched != nil {
+		// Maintenance traffic yields to foreground serving under the
+		// background admission rate.
+		pace = o.sched.Pace(qos.Background, "repair")
+	}
 	sup := repair.New(arr, sp, repair.Config{
 		Poll:            o.poll,
 		FailureBudget:   o.budget,
 		RateBytesPerSec: o.rate,
+		Pace:            pace,
 		StateDir:        o.stateDir,
 		Obs:             node.Manager.Obs(),
 		Persist: func(snap []byte) {

@@ -71,10 +71,10 @@ func TestGetEdgeCases(t *testing.T) {
 
 func TestPutRejectsForeignCaps(t *testing.T) {
 	before := Snapshot()
-	Put(make([]byte, 100))          // cap 100: not a class
-	Put(make([]byte, 768))          // not a power of two
-	Put(Get(4096)[1:])              // subslice not from start: cap 4095
-	Put(nil)                        // no-op, not counted
+	Put(make([]byte, 100))           // cap 100: not a class
+	Put(make([]byte, 768))           // not a power of two
+	Put(Get(4096)[1:])               // subslice not from start: cap 4095
+	Put(nil)                         // no-op, not counted
 	Put(make([]byte, 0, MinClass/2)) // below MinClass
 	after := Snapshot()
 	if got := after.Drops - before.Drops; got != 4 {

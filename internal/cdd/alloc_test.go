@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/cdd"
 	"repro/internal/race"
 )
 
@@ -50,4 +51,33 @@ func TestAllocsRemoteDevRead(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
+}
+
+// TestAllocsCachedRead pins the coherent cache-hit read path: a block
+// under a live shared grant must be served with ZERO remote calls and
+// at most 2 heap allocations per read (the context timer machinery of
+// the caller is not involved — this is mutex + map lookup + copy).
+func TestAllocsCachedRead(t *testing.T) {
+	node, c, reg := coherenceNode(t, 256)
+	s := cdd.NewSession(c, "alloc-cache", cdd.SessionConfig{Obs: reg})
+	t.Cleanup(func() { s.Close() })
+	ctx := context.Background()
+
+	if err := s.AcquireBlocks(ctx, cdd.Shared, 0, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	dev := s.Dev(0)
+	buf := make([]byte, dev.BlockSize())
+	if err := dev.ReadBlocks(ctx, 0, buf); err != nil {
+		t.Fatal(err) // populate the cache
+	}
+	remoteBefore := node.Manager.Obs().Counter("mgr.read_ops").Value()
+	allocLimit(t, 2, func() {
+		if err := dev.ReadBlocks(ctx, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if remoteAfter := node.Manager.Obs().Counter("mgr.read_ops").Value(); remoteAfter != remoteBefore {
+		t.Fatalf("cache-hit reads made %d remote calls, want 0", remoteAfter-remoteBefore)
+	}
 }

@@ -1,0 +1,211 @@
+package cdd
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/bufpool"
+	"repro/internal/obs"
+)
+
+// BlockCache is a per-client read cache over remote blocks: a bounded
+// LRU keyed by (disk, block), with bufpool-backed entries so cache
+// churn recycles buffers instead of allocating. It holds bytes only —
+// coherence (when an entry may be *served*) is the Session's job: a hit
+// is valid only under a live lock-group grant within the lease safety
+// window (DESIGN.md §13).
+type BlockCache struct {
+	mu   sync.Mutex
+	max  int64
+	size int64
+	m    map[cacheKey]*list.Element
+	lru  *list.List // front = most recent
+
+	hits, misses, evicts, invals *obs.Counter
+}
+
+type cacheKey struct {
+	disk  uint32
+	block int64
+}
+
+type cacheEntry struct {
+	key cacheKey
+	buf []byte // bufpool-owned, exactly one block
+}
+
+// NewBlockCache creates a cache bounded to maxBytes of block payloads
+// (<= 0 takes 4 MiB). reg, when non-nil, receives hit/miss/eviction/
+// invalidation counters and a size gauge.
+func NewBlockCache(maxBytes int64, reg *obs.Registry) *BlockCache {
+	if maxBytes <= 0 {
+		maxBytes = 4 << 20
+	}
+	c := &BlockCache{
+		max: maxBytes,
+		m:   make(map[cacheKey]*list.Element),
+		lru: list.New(),
+	}
+	if reg != nil {
+		c.hits = reg.Counter("cache.hits")
+		c.misses = reg.Counter("cache.misses")
+		c.evicts = reg.Counter("cache.evictions")
+		c.invals = reg.Counter("cache.invalidations")
+		reg.RegisterGauge("cache.bytes", func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return c.size
+		})
+	}
+	return c
+}
+
+// Get copies the cached block (disk, block) into dst and reports
+// whether it was present. dst must be exactly one block.
+func (c *BlockCache) Get(disk uint32, block int64, dst []byte) bool {
+	c.mu.Lock()
+	el, ok := c.m[cacheKey{disk: disk, block: block}]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Inc()
+		return false
+	}
+	ent := el.Value.(*cacheEntry)
+	if len(ent.buf) != len(dst) {
+		c.mu.Unlock()
+		c.misses.Inc()
+		return false
+	}
+	copy(dst, ent.buf)
+	c.lru.MoveToFront(el)
+	c.mu.Unlock()
+	c.hits.Inc()
+	return true
+}
+
+// Put stores a copy of data (exactly one block) under (disk, block),
+// evicting LRU entries to stay within the byte bound.
+func (c *BlockCache) Put(disk uint32, block int64, data []byte) {
+	if int64(len(data)) > c.max {
+		return
+	}
+	c.mu.Lock()
+	key := cacheKey{disk: disk, block: block}
+	if el, ok := c.m[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		if len(ent.buf) == len(data) {
+			copy(ent.buf, data)
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
+			return
+		}
+		c.removeLocked(el)
+	}
+	for c.size+int64(len(data)) > c.max {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evicts.Inc()
+	}
+	buf := bufpool.Get(len(data))
+	copy(buf, data)
+	ent := &cacheEntry{key: key, buf: buf}
+	c.m[key] = c.lru.PushFront(ent)
+	c.size += int64(len(buf))
+	c.mu.Unlock()
+}
+
+// PutOwned is Put with buffer handoff: the cache takes ownership of
+// buf (a bufpool buffer holding exactly one block) instead of copying.
+// The write-back flusher uses it to move committed blocks straight
+// into the cache.
+func (c *BlockCache) PutOwned(disk uint32, block int64, buf []byte) {
+	if int64(len(buf)) > c.max {
+		bufpool.Put(buf)
+		return
+	}
+	c.mu.Lock()
+	key := cacheKey{disk: disk, block: block}
+	if el, ok := c.m[key]; ok {
+		c.removeLocked(el)
+	}
+	for c.size+int64(len(buf)) > c.max {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evicts.Inc()
+	}
+	ent := &cacheEntry{key: key, buf: buf}
+	c.m[key] = c.lru.PushFront(ent)
+	c.size += int64(len(buf))
+	c.mu.Unlock()
+}
+
+// removeLocked unlinks el and returns its buffer to the pool.
+func (c *BlockCache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.m, ent.key)
+	c.size -= int64(len(ent.buf))
+	bufpool.Put(ent.buf)
+	ent.buf = nil
+}
+
+// InvalidateBlocks drops the cached blocks [start, start+count) of one
+// disk.
+func (c *BlockCache) InvalidateBlocks(disk uint32, start, count int64) {
+	c.mu.Lock()
+	n := 0
+	if count > int64(len(c.m)) {
+		// Wide invalidation (e.g. a whole-disk range): scan entries, not
+		// blocks.
+		var doomed []*list.Element
+		for key, el := range c.m {
+			if key.disk == disk && key.block >= start && key.block < start+count {
+				doomed = append(doomed, el)
+			}
+		}
+		for _, el := range doomed {
+			c.removeLocked(el)
+			n++
+		}
+	} else {
+		for b := start; b < start+count; b++ {
+			if el, ok := c.m[cacheKey{disk: disk, block: b}]; ok {
+				c.removeLocked(el)
+				n++
+			}
+		}
+	}
+	c.mu.Unlock()
+	c.invals.Add(int64(n))
+}
+
+// InvalidateAll empties the cache (lease loss, event-ring reset).
+func (c *BlockCache) InvalidateAll() {
+	c.mu.Lock()
+	n := len(c.m)
+	for c.lru.Back() != nil {
+		c.removeLocked(c.lru.Back())
+	}
+	c.mu.Unlock()
+	c.invals.Add(int64(n))
+}
+
+// Len reports the number of cached blocks.
+func (c *BlockCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Bytes reports the cached payload size.
+func (c *BlockCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}

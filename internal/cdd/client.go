@@ -92,16 +92,19 @@ func retryableOp(op uint8) bool {
 	case OpInfo, OpRead, OpWrite, OpFlush, OpHealth, OpStats,
 		OpLockSnapshot, OpUnlock, OpUnlockAll, OpFail, OpReplace,
 		OpObsSnapshot, OpTraceSpans,
-		OpIntentPut, OpIntentGet, OpRepairStatus, OpRepairCtl:
+		OpIntentPut, OpIntentGet, OpRepairStatus, OpRepairCtl,
+		OpCoherence:
 		return true
 	}
 	return false
 }
 
 // retryableErr reports whether an error is worth retrying: transport
-// breakage, timeouts, and injected faults are; remote application
-// errors, response-size mismatches (the peer answered — just wrongly),
-// and caller cancellation are not.
+// breakage, per-attempt deadline expiry (surfacing as
+// context.DeadlineExceeded while the caller's own context is still
+// live — doCall checks ctx.Err() first), and injected faults are;
+// remote application errors, response-size mismatches (the peer
+// answered — just wrongly), and caller cancellation are not.
 func retryableErr(err error) bool {
 	var re *transport.RemoteError
 	if errors.As(err, &re) {
@@ -112,6 +115,12 @@ func retryableErr(err error) bool {
 		return false
 	}
 	if errors.Is(err, transport.ErrClosed) || errors.Is(err, transport.ErrFrameTooLarge) {
+		return false
+	}
+	// Cancellation is the caller's decision, never a transient fault —
+	// even when it arrives wrapped by an injected dialer rather than
+	// through the ctx.Err() check in doCall.
+	if errors.Is(err, context.Canceled) {
 		return false
 	}
 	return true
@@ -413,22 +422,35 @@ func (n *NodeClient) Stats(i int) (DiskStats, error) {
 	return DiskStats(r), nil
 }
 
-// TryLock atomically try-acquires a range group on this node's lock
-// service.
+// TryLock atomically try-acquires an exclusive range group on this
+// node's lock service.
 func (n *NodeClient) TryLock(owner string, rs []Range) (bool, error) {
-	resp, err := n.call(context.Background(), OpLock, encodeLockMsg(lockMsg{Owner: owner, Ranges: rs}))
+	return n.TryLockMode(context.Background(), owner, Exclusive, rs)
+}
+
+// TryLockMode atomically try-acquires a range group in the given mode.
+func (n *NodeClient) TryLockMode(ctx context.Context, owner string, mode Mode, rs []Range) (bool, error) {
+	resp, err := n.call(ctx, OpLock, encodeLockMsg(lockMsg{Owner: owner, Mode: mode, Ranges: rs}))
 	if err != nil {
 		return false, err
 	}
 	return len(resp) == 1 && resp[0] == 1, nil
 }
 
-// Lock acquires a range group, retrying with backoff until granted or
-// the context is cancelled.
+// Lock acquires an exclusive range group, retrying with backoff until
+// granted or the context is cancelled.
 func (n *NodeClient) Lock(ctx context.Context, owner string, rs []Range) error {
+	return n.LockMode(ctx, owner, Exclusive, rs)
+}
+
+// LockMode acquires a range group in the given mode, retrying with
+// backoff until granted or the context is cancelled. An exclusive
+// request blocked by shared holders keeps retrying while the service
+// revokes and drains them.
+func (n *NodeClient) LockMode(ctx context.Context, owner string, mode Mode, rs []Range) error {
 	backoff := time.Millisecond
 	for {
-		ok, err := n.TryLock(owner, rs)
+		ok, err := n.TryLockMode(ctx, owner, mode, rs)
 		if err != nil {
 			return err
 		}
@@ -444,6 +466,18 @@ func (n *NodeClient) Lock(ctx context.Context, owner string, rs []Range) error {
 			backoff *= 2
 		}
 	}
+}
+
+// Beat sends one coherence heartbeat: it renews owner's lease on the
+// node's lock service, acks invalidations up to lastSeq, and returns
+// the events the client has not processed yet. Sessions drive this
+// automatically; it is exported for hand-rolled coherence loops.
+func (n *NodeClient) Beat(ctx context.Context, owner string, lastSeq uint64) (BeatResult, error) {
+	raw, err := n.call(ctx, OpCoherence, encodeBeat(beatMsg{Owner: owner, LastSeq: lastSeq}))
+	if err != nil {
+		return BeatResult{}, err
+	}
+	return decodeBeatResult(raw)
 }
 
 // Unlock releases a range group.
@@ -801,6 +835,12 @@ func (d *RemoteDev) InvalidateHealth() {
 // starts the heartbeat that re-admits the node when it recovers.
 func (d *RemoteDev) noteOutcome(err error) {
 	if err == nil {
+		return
+	}
+	// The caller abandoning its own request says nothing about the
+	// peer's health: a cancelled read must not mark the device suspect
+	// (and from there burn the repair failure budget).
+	if errors.Is(err, context.Canceled) {
 		return
 	}
 	var re *transport.RemoteError

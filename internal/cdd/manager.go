@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/bufpool"
 	"repro/internal/disk"
@@ -56,7 +57,13 @@ func (m *Manager) SetRepair(rc RepairController) {
 // managerMetrics count the node's served operations.
 type managerMetrics struct {
 	reads, writes, bgWrites, flushes, probes, failed *obs.Counter
+	beats, lockOps                                   *obs.Counter
 }
+
+// DefaultLeaseTTL is the lock service's grant lease: a client that
+// stops heartbeating for this long has its grants auto-released, so a
+// dead or partitioned holder cannot wedge its ranges forever.
+const DefaultLeaseTTL = 5 * time.Second
 
 // NewManager creates a manager exporting the given local disks. Every
 // manager owns an observability registry: per-disk gauges (op counts,
@@ -77,8 +84,14 @@ func NewManager(disks []*disk.Disk) *Manager {
 			flushes:  reg.Counter("mgr.flush_ops"),
 			probes:   reg.Counter("mgr.health_ops"),
 			failed:   reg.Counter("mgr.op_errors"),
+			beats:    reg.Counter("mgr.beats"),
+			lockOps:  reg.Counter("mgr.lock_ops"),
 		},
 	}
+	m.locks.SetLease(DefaultLeaseTTL, nil)
+	reg.RegisterGauge("locks.owners", func() int64 { o, _, _ := m.locks.Stats(); return int64(o) })
+	reg.RegisterGauge("locks.ranges", func() int64 { _, r, _ := m.locks.Stats(); return int64(r) })
+	reg.RegisterGauge("locks.expired", func() int64 { _, _, e := m.locks.Stats(); return int64(e) })
 	for _, d := range disks {
 		d := d
 		name := "disk." + d.ID()
@@ -181,6 +194,7 @@ var opSpanNames = [...]string{
 	OpIntentGet:    "mgr.intent-get",
 	OpRepairStatus: "mgr.repair-status",
 	OpRepairCtl:    "mgr.repair-ctl",
+	OpCoherence:    "mgr.beat",
 }
 
 func opSpanName(op uint8) string {
@@ -310,15 +324,29 @@ func (m *Manager) handle(ctx context.Context, op uint8, payload []byte) ([]byte,
 		return nil, nil
 
 	case OpLock:
+		m.met.lockOps.Inc()
 		msg, err := decodeLockMsg(payload)
 		if err != nil {
 			return nil, err
 		}
-		if m.locks.TryAcquire(msg.Owner, msg.Ranges) {
+		if m.locks.Acquire(msg.Owner, msg.Mode, msg.Ranges) {
 			m.replicate(ctx)
 			return []byte{1}, nil
 		}
 		return []byte{0}, nil
+
+	case OpCoherence:
+		m.met.beats.Inc()
+		msg, err := decodeBeat(payload)
+		if err != nil {
+			return nil, err
+		}
+		br := m.locks.Beat(msg.Owner, msg.LastSeq)
+		if br.Released {
+			// The ack released revoked grants; push the new table state.
+			m.replicate(ctx)
+		}
+		return encodeBeatResult(br), nil
 
 	case OpUnlock:
 		msg, err := decodeLockMsg(payload)

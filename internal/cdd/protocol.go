@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Opcodes of the CDD wire protocol.
@@ -58,6 +59,11 @@ const (
 	// OpRepairCtl pauses or resumes the node's repair supervisor
 	// (payload: one byte, 0 = pause, 1 = resume).
 	OpRepairCtl
+	// OpCoherence is the client-cache heartbeat: it renews the owner's
+	// lease on the lock service, acks processed invalidations, and
+	// carries pending invalidation events back — the piggybacked
+	// coherence channel of DESIGN.md §13.
+	OpCoherence
 )
 
 // repairCtl payload bytes.
@@ -188,16 +194,18 @@ func decodeIOHeader(b []byte) (ioHeader, []byte, error) {
 	}, b[ioHeaderLen:], nil
 }
 
-// lockMsg carries an owner plus a range group.
+// lockMsg carries an owner, a grant mode, and a range group.
 type lockMsg struct {
 	Owner  string
+	Mode   Mode
 	Ranges []Range
 }
 
 func encodeLockMsg(m lockMsg) []byte {
-	b := make([]byte, 0, 4+len(m.Owner)+4+16*len(m.Ranges))
+	b := make([]byte, 0, 4+len(m.Owner)+1+4+16*len(m.Ranges))
 	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Owner)))
 	b = append(b, m.Owner...)
+	b = append(b, byte(m.Mode))
 	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Ranges)))
 	for _, r := range m.Ranges {
 		b = binary.BigEndian.AppendUint64(b, r.Start)
@@ -213,11 +221,16 @@ func decodeLockMsg(b []byte) (lockMsg, error) {
 	}
 	olen := binary.BigEndian.Uint32(b[0:4])
 	b = b[4:]
-	if uint32(len(b)) < olen+4 {
+	if uint32(len(b)) < olen+5 {
 		return m, fmt.Errorf("cdd: truncated lock owner: %w", errBadRequest)
 	}
 	m.Owner = string(b[:olen])
 	b = b[olen:]
+	if b[0] > byte(Exclusive) {
+		return m, fmt.Errorf("cdd: unknown lock mode %d: %w", b[0], errBadRequest)
+	}
+	m.Mode = Mode(b[0])
+	b = b[1:]
 	n := binary.BigEndian.Uint32(b[0:4])
 	b = b[4:]
 	if uint32(len(b)) != 16*n {
@@ -232,12 +245,117 @@ func decodeLockMsg(b []byte) (lockMsg, error) {
 	return m, nil
 }
 
+// beatMsg is the OpCoherence request: the owner's identity plus its
+// invalidation ack cursor (the newest event sequence it has processed).
+type beatMsg struct {
+	Owner   string
+	LastSeq uint64
+}
+
+func encodeBeat(m beatMsg) []byte {
+	b := make([]byte, 0, 4+len(m.Owner)+8)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Owner)))
+	b = append(b, m.Owner...)
+	b = binary.BigEndian.AppendUint64(b, m.LastSeq)
+	return b
+}
+
+func decodeBeat(b []byte) (beatMsg, error) {
+	var m beatMsg
+	if len(b) < 4 {
+		return m, fmt.Errorf("cdd: short beat message: %w", errBadRequest)
+	}
+	olen := binary.BigEndian.Uint32(b[0:4])
+	b = b[4:]
+	if uint32(len(b)) != olen+8 {
+		return m, fmt.Errorf("cdd: truncated beat message: %w", errBadRequest)
+	}
+	m.Owner = string(b[:olen])
+	m.LastSeq = binary.BigEndian.Uint64(b[olen:])
+	return m, nil
+}
+
+// OpCoherence response flag bits.
+const (
+	beatFlagKnown = 1 << 0
+	beatFlagReset = 1 << 1
+)
+
+func encodeBeatResult(br BeatResult) []byte {
+	b := make([]byte, 0, 1+4+8+4)
+	var flags byte
+	if br.Known {
+		flags |= beatFlagKnown
+	}
+	if br.Reset {
+		flags |= beatFlagReset
+	}
+	b = append(b, flags)
+	b = binary.BigEndian.AppendUint32(b, uint32(br.TTL/time.Millisecond))
+	b = binary.BigEndian.AppendUint64(b, br.Seq)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(br.Events)))
+	for _, ev := range br.Events {
+		b = binary.BigEndian.AppendUint64(b, ev.Seq)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(ev.Owner)))
+		b = append(b, ev.Owner...)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(ev.Ranges)))
+		for _, r := range ev.Ranges {
+			b = binary.BigEndian.AppendUint64(b, r.Start)
+			b = binary.BigEndian.AppendUint64(b, r.End)
+		}
+	}
+	return b
+}
+
+func decodeBeatResult(b []byte) (BeatResult, error) {
+	var br BeatResult
+	if len(b) < 17 {
+		return br, fmt.Errorf("cdd: short beat response: %w", errBadRequest)
+	}
+	br.Known = b[0]&beatFlagKnown != 0
+	br.Reset = b[0]&beatFlagReset != 0
+	br.TTL = time.Duration(binary.BigEndian.Uint32(b[1:5])) * time.Millisecond
+	br.Seq = binary.BigEndian.Uint64(b[5:13])
+	n := binary.BigEndian.Uint32(b[13:17])
+	b = b[17:]
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 12 {
+			return br, fmt.Errorf("cdd: truncated beat events: %w", errBadRequest)
+		}
+		var ev Invalidation
+		ev.Seq = binary.BigEndian.Uint64(b[0:8])
+		olen := binary.BigEndian.Uint32(b[8:12])
+		b = b[12:]
+		if uint32(len(b)) < olen+4 {
+			return br, fmt.Errorf("cdd: truncated beat event owner: %w", errBadRequest)
+		}
+		ev.Owner = string(b[:olen])
+		b = b[olen:]
+		rn := binary.BigEndian.Uint32(b[0:4])
+		b = b[4:]
+		if uint32(len(b)) < 16*rn {
+			return br, fmt.Errorf("cdd: truncated beat event ranges: %w", errBadRequest)
+		}
+		ev.Ranges = make([]Range, rn)
+		for j := range ev.Ranges {
+			ev.Ranges[j].Start = binary.BigEndian.Uint64(b[0:8])
+			ev.Ranges[j].End = binary.BigEndian.Uint64(b[8:16])
+			b = b[16:]
+		}
+		br.Events = append(br.Events, ev)
+	}
+	if len(b) != 0 {
+		return br, fmt.Errorf("cdd: trailing beat response bytes: %w", errBadRequest)
+	}
+	return br, nil
+}
+
 // encodeSnapshot serializes a table version plus records.
 func encodeSnapshot(version uint64, recs []Record) []byte {
 	b := binary.BigEndian.AppendUint64(nil, version)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(recs)))
 	for _, rec := range recs {
-		sub := encodeLockMsg(lockMsg{Owner: rec.Owner, Ranges: rec.Ranges})
+		sub := encodeLockMsg(lockMsg{Owner: rec.Owner, Mode: rec.Mode, Ranges: rec.Ranges})
 		b = binary.BigEndian.AppendUint32(b, uint32(len(sub)))
 		b = append(b, sub...)
 	}
@@ -264,7 +382,7 @@ func decodeSnapshot(b []byte) (version uint64, recs []Record, err error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		recs = append(recs, Record{Owner: m.Owner, Ranges: m.Ranges})
+		recs = append(recs, Record{Owner: m.Owner, Mode: m.Mode, Ranges: m.Ranges})
 		b = b[sz:]
 	}
 	return version, recs, nil

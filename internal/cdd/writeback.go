@@ -1,0 +1,281 @@
+package cdd
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bufpool"
+)
+
+// CachedDev wraps a RemoteDev with the session's coherent read cache
+// and a write-back buffer with group commit. It implements raid.Dev,
+// so a client array can be assembled from cached devices unchanged.
+//
+// Read path, per block: a dirty write-back block is served first
+// (read-your-writes); then the cache, but only under a covering grant
+// inside the lease safety window; contiguous misses go remote in one
+// vectored call and are admitted to the cache when cacheable.
+//
+// Write path: blocks covered by a live exclusive grant are absorbed
+// into the write-back buffer and group-committed as contiguous runs in
+// single vectored RPCs — bounded by bytes (SessionConfig.WriteBackBytes,
+// flushed inline), age (WriteBackAge, flushed by the heartbeat loop),
+// and lock handoff (Session.Release flushes before the grant drops).
+// Uncovered writes pass straight through.
+type CachedDev struct {
+	s    *Session
+	d    *RemoteDev
+	disk uint32
+	bs   int
+
+	mu         sync.Mutex
+	dirty      map[int64][]byte // bufpool-owned, one block each
+	dirtyBytes int
+	oldest     time.Time // arrival of the oldest unflushed block
+
+	// flush scratch, reused across group commits
+	blocksScratch []int64
+	segsScratch   [][]byte
+}
+
+// Remote exposes the underlying RemoteDev.
+func (c *CachedDev) Remote() *RemoteDev { return c.d }
+
+// BlockSize reports the device block size in bytes.
+func (c *CachedDev) BlockSize() int { return c.bs }
+
+// NumBlocks reports the device capacity in blocks.
+func (c *CachedDev) NumBlocks() int64 { return c.d.NumBlocks() }
+
+// Healthy mirrors the remote device's health view.
+func (c *CachedDev) Healthy() bool { return c.d.Healthy() }
+
+// maxStackBlocks bounds the per-call hit mask kept on the stack; ops
+// wider than this fall back to one heap mask allocation.
+const maxStackBlocks = 64
+
+// ReadBlocks fills buf from block b, serving write-back and cache hits
+// locally and fetching contiguous miss runs in single remote calls.
+func (c *CachedDev) ReadBlocks(ctx context.Context, b int64, buf []byte) error {
+	if len(buf)%c.bs != 0 {
+		return fmt.Errorf("cdd: read buffer %d not a multiple of block size %d", len(buf), c.bs)
+	}
+	n := len(buf) / c.bs
+	if n == 0 {
+		return nil
+	}
+
+	var maskArr [maxStackBlocks]bool
+	var miss []bool
+	if n <= maxStackBlocks {
+		miss = maskArr[:n]
+	} else {
+		miss = make([]bool, n)
+	}
+
+	fresh := c.s.leaseFresh()
+	anyMiss := false
+	for i := 0; i < n; i++ {
+		blk := b + int64(i)
+		dst := buf[i*c.bs : (i+1)*c.bs]
+		if fresh && c.getDirty(blk, dst) {
+			continue
+		}
+		if fresh && c.s.holdsBlocks(c.disk, blk, 1, false) && c.s.cache.Get(c.disk, blk, dst) {
+			continue
+		}
+		miss[i] = true
+		anyMiss = true
+	}
+	if !anyMiss {
+		return nil
+	}
+
+	for i := 0; i < n; {
+		if !miss[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n && miss[j] {
+			j++
+		}
+		seg := buf[i*c.bs : j*c.bs]
+		if err := c.d.ReadBlocks(ctx, b+int64(i), seg); err != nil {
+			return err
+		}
+		if fresh {
+			for k := i; k < j; k++ {
+				blk := b + int64(k)
+				if c.s.holdsBlocks(c.disk, blk, 1, false) {
+					c.s.cache.Put(c.disk, blk, buf[k*c.bs:(k+1)*c.bs])
+				}
+			}
+		}
+		i = j
+	}
+	return nil
+}
+
+// getDirty serves block blk from the write-back buffer if dirty.
+func (c *CachedDev) getDirty(blk int64, dst []byte) bool {
+	c.mu.Lock()
+	src, ok := c.dirty[blk]
+	if ok {
+		copy(dst, src)
+	}
+	c.mu.Unlock()
+	return ok
+}
+
+// WriteBlocks writes data at block b: absorbed into write-back when an
+// exclusive grant covers the span, written through otherwise.
+func (c *CachedDev) WriteBlocks(ctx context.Context, b int64, data []byte) error {
+	if len(data)%c.bs != 0 {
+		return fmt.Errorf("cdd: write buffer %d not a multiple of block size %d", len(data), c.bs)
+	}
+	n := int64(len(data) / c.bs)
+	if n == 0 {
+		return nil
+	}
+	if !c.s.leaseFresh() || !c.s.holdsBlocks(c.disk, b, n, true) {
+		return c.d.WriteBlocks(ctx, b, data)
+	}
+
+	c.mu.Lock()
+	now := time.Now()
+	for i := int64(0); i < n; i++ {
+		blk := b + i
+		src := data[i*int64(c.bs) : (i+1)*int64(c.bs)]
+		if buf, ok := c.dirty[blk]; ok {
+			copy(buf, src)
+			continue
+		}
+		buf := bufpool.Get(c.bs)
+		copy(buf, src)
+		c.dirty[blk] = buf
+		c.dirtyBytes += c.bs
+	}
+	if c.oldest.IsZero() {
+		c.oldest = now
+	}
+	var err error
+	if c.dirtyBytes >= c.s.cfg.WriteBackBytes {
+		err = c.flushLocked(ctx)
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// WriteBlocksBackground routes through WriteBlocks: write-back *is*
+// the background batching layer, and uncovered writes keep the remote
+// fire-and-forget path.
+func (c *CachedDev) WriteBlocksBackground(ctx context.Context, b int64, data []byte) error {
+	if len(data)%c.bs == 0 && len(data) > 0 {
+		n := int64(len(data) / c.bs)
+		if c.s.leaseFresh() && c.s.holdsBlocks(c.disk, b, n, true) {
+			return c.WriteBlocks(ctx, b, data)
+		}
+	}
+	return c.d.WriteBlocksBackground(ctx, b, data)
+}
+
+// Flush group-commits the write-back buffer, then flushes the remote
+// device.
+func (c *CachedDev) Flush(ctx context.Context) error {
+	if err := c.FlushWriteBack(ctx); err != nil {
+		return err
+	}
+	return c.d.Flush(ctx)
+}
+
+// FlushWriteBack group-commits every dirty block without issuing a
+// device-level flush.
+func (c *CachedDev) FlushWriteBack(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked(ctx)
+}
+
+// flushIfOlder group-commits when the oldest dirty block predates cut.
+func (c *CachedDev) flushIfOlder(cut time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.oldest.IsZero() || c.oldest.After(cut) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.s.n.policy.CallTimeout*4)
+	_ = c.flushLocked(ctx) // kept dirty on error; retried next tick
+	cancel()
+}
+
+// DirtyBlocks reports the number of unflushed write-back blocks.
+func (c *CachedDev) DirtyBlocks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.dirty)
+}
+
+// flushLocked is the group commit: dirty blocks are sorted, coalesced
+// into contiguous runs, and each run written in one vectored call. On
+// success the committed buffers move into the read cache (still under
+// our exclusive grant); on error everything stays dirty for retry.
+func (c *CachedDev) flushLocked(ctx context.Context) error {
+	if len(c.dirty) == 0 {
+		return nil
+	}
+	blocks := c.blocksScratch[:0]
+	for blk := range c.dirty {
+		blocks = append(blocks, blk)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	c.blocksScratch = blocks
+
+	for i := 0; i < len(blocks); {
+		j := i + 1
+		for j < len(blocks) && blocks[j] == blocks[j-1]+1 {
+			j++
+		}
+		segs := c.segsScratch[:0]
+		for k := i; k < j; k++ {
+			segs = append(segs, c.dirty[blocks[k]])
+		}
+		c.segsScratch = segs
+		if err := c.d.WriteBlocksVec(ctx, blocks[i], segs); err != nil {
+			c.s.met.wbErrors.Inc()
+			return err
+		}
+		c.s.met.wbFlushes.Inc()
+		c.s.met.wbBlocks.Add(int64(j - i))
+		for k := i; k < j; k++ {
+			blk := blocks[k]
+			buf := c.dirty[blk]
+			delete(c.dirty, blk)
+			c.dirtyBytes -= c.bs
+			if c.s.leaseFresh() && c.s.holdsBlocks(c.disk, blk, 1, false) {
+				c.s.cache.PutOwned(c.disk, blk, buf)
+			} else {
+				bufpool.Put(buf)
+			}
+		}
+		i = j
+	}
+	c.oldest = time.Time{}
+	return nil
+}
+
+// discardWriteBack drops all dirty blocks without writing them — used
+// on lease loss, when their ranges may already belong to a new owner.
+func (c *CachedDev) discardWriteBack() {
+	c.mu.Lock()
+	for blk, buf := range c.dirty {
+		bufpool.Put(buf)
+		delete(c.dirty, blk)
+	}
+	c.dirtyBytes = 0
+	c.oldest = time.Time{}
+	c.mu.Unlock()
+}

@@ -1,0 +1,275 @@
+// Package qos provides token-bucket admission control for the array's
+// I/O classes. It generalizes the fixed-rate pacing scattered through
+// resync and repair into one scheduler with two classes — Foreground
+// (client reads/writes) and Background (repair, resync, scrub) — plus
+// per-tenant fair shares inside the foreground class, so one hot
+// tenant cannot starve the rest and a rebuild cannot collapse serving
+// throughput.
+//
+// The bucket uses a debt model: an admission larger than the burst
+// window waits until the bucket is as full as it can usefully get,
+// then drives the balance negative; later admissions pay the debt
+// down. That admits arbitrarily large single I/Os while keeping the
+// long-run rate exact.
+package qos
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Class labels an admission stream.
+type Class int
+
+const (
+	// Foreground is client-facing I/O.
+	Foreground Class = iota
+	// Background is maintenance I/O: repair, resync, scrub.
+	Background
+)
+
+// String names the class for metrics and logs.
+func (c Class) String() string {
+	if c == Background {
+		return "background"
+	}
+	return "foreground"
+}
+
+// Config sets the scheduler's rates.
+type Config struct {
+	// ForegroundBytesPerSec caps client I/O (0 = unlimited).
+	ForegroundBytesPerSec int64
+	// BackgroundBytesPerSec caps maintenance I/O (0 = unlimited).
+	BackgroundBytesPerSec int64
+	// BurstWindow is how much of the rate a bucket may accumulate while
+	// idle (<= 0: 100 ms of the rate).
+	BurstWindow time.Duration
+	// Obs receives per-class and per-tenant counters (nil: none).
+	Obs *obs.Registry
+}
+
+// bucket is one token bucket with the debt model.
+type bucket struct {
+	mu     sync.Mutex
+	rate   int64 // tokens (bytes) per second; 0 = unlimited
+	burst  int64
+	tokens int64 // may go negative (debt)
+	last   time.Time
+}
+
+func newBucket(rate int64, window time.Duration) *bucket {
+	if window <= 0 {
+		window = 100 * time.Millisecond
+	}
+	burst := int64(float64(rate) * window.Seconds())
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// setRate retunes the bucket in place.
+func (b *bucket) setRate(rate int64, window time.Duration) {
+	if window <= 0 {
+		window = 100 * time.Millisecond
+	}
+	b.mu.Lock()
+	b.refillLocked(time.Now())
+	b.rate = rate
+	b.burst = int64(float64(rate) * window.Seconds())
+	if b.burst < 1 {
+		b.burst = 1
+	}
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+func (b *bucket) refillLocked(now time.Time) {
+	if b.rate <= 0 {
+		return
+	}
+	dt := now.Sub(b.last)
+	if dt <= 0 {
+		return
+	}
+	b.last = now
+	b.tokens += int64(float64(b.rate) * dt.Seconds())
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// wait blocks until n bytes are admitted or ctx is done. Admissions
+// larger than the burst window wait for min(n, burst) and take the
+// rest as debt.
+func (b *bucket) wait(ctx context.Context, n int64) error {
+	if b.rate <= 0 || n <= 0 {
+		return ctx.Err()
+	}
+	for {
+		b.mu.Lock()
+		now := time.Now()
+		b.refillLocked(now)
+		need := n
+		if need > b.burst {
+			need = b.burst
+		}
+		if b.tokens >= need {
+			b.tokens -= n // may go negative: debt for oversized admissions
+			b.mu.Unlock()
+			return nil
+		}
+		deficit := need - b.tokens
+		b.mu.Unlock()
+		d := time.Duration(float64(deficit) / float64(b.rate) * float64(time.Second))
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+type tenantState struct {
+	b     *bucket
+	bytes int64
+}
+
+// Scheduler admits I/O by class and, within the foreground class, by
+// tenant fair share: each active tenant gets an equal slice of the
+// foreground rate, recomputed as tenants come and go.
+type Scheduler struct {
+	cfg Config
+	fg  *bucket
+	bg  *bucket
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+
+	admittedFG, admittedBG *obs.Counter
+	waitsFG, waitsBG       *obs.Counter
+}
+
+// New creates a scheduler from cfg and registers its gauges.
+func New(cfg Config) *Scheduler {
+	s := &Scheduler{
+		cfg:     cfg,
+		fg:      newBucket(cfg.ForegroundBytesPerSec, cfg.BurstWindow),
+		bg:      newBucket(cfg.BackgroundBytesPerSec, cfg.BurstWindow),
+		tenants: map[string]*tenantState{},
+	}
+	if r := cfg.Obs; r != nil {
+		s.admittedFG = r.Counter("qos.fg_bytes")
+		s.admittedBG = r.Counter("qos.bg_bytes")
+		s.waitsFG = r.Counter("qos.fg_waits")
+		s.waitsBG = r.Counter("qos.bg_waits")
+		r.RegisterGauge("qos.fg_rate_bps", func() int64 { return cfg.ForegroundBytesPerSec })
+		r.RegisterGauge("qos.bg_rate_bps", func() int64 { return cfg.BackgroundBytesPerSec })
+		r.RegisterGauge("qos.tenants", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(len(s.tenants))
+		})
+	}
+	return s
+}
+
+// tenant returns (creating if needed) the per-tenant bucket, resizing
+// every tenant's slice to rate/len(tenants) when the set changes.
+func (s *Scheduler) tenant(name string) *tenantState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ts, ok := s.tenants[name]; ok {
+		return ts
+	}
+	ts := &tenantState{}
+	s.tenants[name] = ts
+	share := int64(0)
+	if s.cfg.ForegroundBytesPerSec > 0 {
+		share = s.cfg.ForegroundBytesPerSec / int64(len(s.tenants))
+	}
+	ts.b = newBucket(share, s.cfg.BurstWindow)
+	for n, t := range s.tenants {
+		if n != name {
+			t.b.setRate(share, s.cfg.BurstWindow)
+		}
+	}
+	return ts
+}
+
+// Wait blocks until n bytes of class-c I/O are admitted. tenant may be
+// empty (class-level admission only; background I/O typically is).
+func (s *Scheduler) Wait(ctx context.Context, c Class, tenant string, n int) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if c == Background {
+		if s.bg.rate > 0 {
+			s.waitsBG.Inc()
+		}
+		if err := s.bg.wait(ctx, int64(n)); err != nil {
+			return err
+		}
+		s.admittedBG.Add(int64(n))
+		return nil
+	}
+	if tenant != "" && s.cfg.ForegroundBytesPerSec > 0 {
+		ts := s.tenant(tenant)
+		if err := ts.b.wait(ctx, int64(n)); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		ts.bytes += int64(n)
+		s.mu.Unlock()
+	}
+	if s.fg.rate > 0 {
+		s.waitsFG.Inc()
+	}
+	if err := s.fg.wait(ctx, int64(n)); err != nil {
+		return err
+	}
+	s.admittedFG.Add(int64(n))
+	if tenant != "" && s.cfg.ForegroundBytesPerSec <= 0 {
+		s.mu.Lock()
+		ts, ok := s.tenants[tenant]
+		if !ok {
+			ts = &tenantState{b: newBucket(0, s.cfg.BurstWindow)}
+			s.tenants[tenant] = ts
+		}
+		ts.bytes += int64(n)
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Pace adapts one (class, tenant) stream to the core.PaceFunc shape —
+// func(ctx, bytes) error — so repair, resync, and scrub route through
+// admission control without importing this package.
+func (s *Scheduler) Pace(c Class, tenant string) func(ctx context.Context, bytes int) error {
+	return func(ctx context.Context, bytes int) error {
+		return s.Wait(ctx, c, tenant, bytes)
+	}
+}
+
+// TenantBytes snapshots cumulative admitted bytes per tenant — the
+// input to fairness measurement (e.g. Jain's index).
+func (s *Scheduler) TenantBytes() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.tenants))
+	for n, t := range s.tenants {
+		out[n] = t.bytes
+	}
+	return out
+}

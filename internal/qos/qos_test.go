@@ -1,0 +1,139 @@
+package qos
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestBackgroundRateCap drives background admissions and checks the
+// achieved rate stays near the configured cap.
+func TestBackgroundRateCap(t *testing.T) {
+	s := New(Config{BackgroundBytesPerSec: 1 << 20, BurstWindow: 10 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	const chunk = 64 << 10
+	start := time.Now()
+	var total int64
+	for time.Since(start) < 400*time.Millisecond {
+		if err := s.Wait(ctx, Background, "", chunk); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		total += chunk
+	}
+	rate := float64(total) / time.Since(start).Seconds()
+	if rate > 2.0*(1<<20) {
+		t.Fatalf("background rate %.0f B/s blew past the 1 MiB/s cap", rate)
+	}
+	if rate < 0.3*(1<<20) {
+		t.Fatalf("background rate %.0f B/s fell far below the 1 MiB/s cap", rate)
+	}
+}
+
+// TestUnlimitedClassNeverBlocks checks rate 0 admits instantly.
+func TestUnlimitedClassNeverBlocks(t *testing.T) {
+	s := New(Config{})
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		if err := s.Wait(ctx, Foreground, "t1", 1<<20); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("unlimited admissions took %v", d)
+	}
+	if got := s.TenantBytes()["t1"]; got != 1000<<20 {
+		t.Fatalf("tenant bytes = %d, want %d", got, int64(1000)<<20)
+	}
+}
+
+// TestOversizedAdmission checks an I/O larger than the burst window is
+// admitted (via debt) rather than deadlocking.
+func TestOversizedAdmission(t *testing.T) {
+	s := New(Config{BackgroundBytesPerSec: 1 << 20, BurstWindow: 10 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Wait(ctx, Background, "", 1<<20); err != nil {
+		t.Fatalf("oversized admission: %v", err)
+	}
+}
+
+// TestWaitHonorsContext checks cancellation unblocks a waiter.
+func TestWaitHonorsContext(t *testing.T) {
+	s := New(Config{ForegroundBytesPerSec: 1024, BurstWindow: time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	// An oversized admission lands immediately but leaves the bucket in
+	// deep debt; the next admission must block until the debt is paid —
+	// far longer than the 50 ms deadline.
+	if err := s.Wait(context.Background(), Foreground, "", 1<<20); err != nil {
+		t.Fatalf("debt admission: %v", err)
+	}
+	err := s.Wait(ctx, Foreground, "", 1)
+	if err == nil {
+		t.Fatal("expected context error while bucket is in debt")
+	}
+}
+
+// TestTenantFairShares runs greedy tenants concurrently and checks
+// admitted bytes stay near-equal (Jain's index close to 1).
+func TestTenantFairShares(t *testing.T) {
+	s := New(Config{ForegroundBytesPerSec: 4 << 20, BurstWindow: 5 * time.Millisecond, Obs: obs.NewRegistry()})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	tenants := []string{"a", "b", "c", "d"}
+	// Register everyone up front so shares are equal from the start.
+	for _, tn := range tenants {
+		if err := s.Wait(ctx, Foreground, tn, 1); err != nil {
+			t.Fatalf("prime %s: %v", tn, err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := time.Now().Add(300 * time.Millisecond)
+	for _, tn := range tenants {
+		wg.Add(1)
+		go func(tn string) {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				if s.Wait(ctx, Foreground, tn, 16<<10) != nil {
+					return
+				}
+			}
+		}(tn)
+	}
+	wg.Wait()
+
+	got := s.TenantBytes()
+	var sum, sumSq float64
+	for _, tn := range tenants {
+		v := float64(got[tn])
+		if v == 0 {
+			t.Fatalf("tenant %s admitted nothing: %v", tn, got)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	jain := sum * sum / (float64(len(tenants)) * sumSq)
+	if jain < 0.8 {
+		t.Fatalf("Jain fairness %.3f < 0.8 across %v", jain, got)
+	}
+}
+
+// TestPaceShape checks the Pace adapter admits through the scheduler.
+func TestPaceShape(t *testing.T) {
+	s := New(Config{BackgroundBytesPerSec: 8 << 20})
+	pace := s.Pace(Background, "repair")
+	if err := pace(context.Background(), 4096); err != nil {
+		t.Fatalf("pace: %v", err)
+	}
+	if v := s.admittedBG.Value(); v != 0 {
+		// no registry: counter is nil and Value() is 0 — just ensure no panic
+		t.Fatalf("unexpected counter value %d", v)
+	}
+}

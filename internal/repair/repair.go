@@ -82,6 +82,12 @@ type Config struct {
 	FailureBudget time.Duration
 	// RateBytesPerSec caps background repair bandwidth; 0 is unlimited.
 	RateBytesPerSec int64
+	// Pace, when set, is consulted before the fixed-rate throttle for
+	// every supervised transfer — the hook that routes repair, resync,
+	// and scrub traffic through a QoS admission scheduler (e.g.
+	// qos.Scheduler.Pace(qos.Background, "repair")) so maintenance I/O
+	// shares bandwidth with foreground serving instead of racing it.
+	Pace core.PaceFunc
 	// ScrubStride samples every stride-th block after a resync
 	// (0 takes the core default). Negative disables the scrub.
 	ScrubStride int64
@@ -342,6 +348,11 @@ func (s *Supervisor) pace(ctx context.Context, bytes int) error {
 	}
 	if s.Paused() {
 		return ErrPaused
+	}
+	if s.cfg.Pace != nil {
+		if err := s.cfg.Pace(ctx, bytes); err != nil {
+			return fmt.Errorf("%w: %v", ErrPaused, err)
+		}
 	}
 	if s.cfg.RateBytesPerSec > 0 {
 		d := time.Duration(float64(bytes) / float64(s.cfg.RateBytesPerSec) * float64(time.Second))

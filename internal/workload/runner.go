@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Runner drives many concurrent synthetic clients, grouped into
+// tenants, against a caller-supplied op executor. It is the load side
+// of the scale story: raidxbench points it at coherent sessions over
+// real TCP, tests point it at in-process arrays.
+type Runner struct {
+	// Clients is the number of concurrent workers (<= 0: 1).
+	Clients int
+	// Tenants spreads the clients round-robin over this many tenant
+	// identities (<= 0: 1).
+	Tenants int
+	// Cfg shapes each client's op stream.
+	Cfg Config
+	// Seed disambiguates runs; client i uses Seed+i.
+	Seed int64
+	// BlockBytes converts op block counts to bytes for the totals.
+	BlockBytes int
+}
+
+// TenantStats aggregates one tenant's completed work.
+type TenantStats struct {
+	Ops   int64
+	Bytes int64
+	Errs  int64
+}
+
+// RunResult aggregates a Run.
+type RunResult struct {
+	Ops     int64
+	Bytes   int64
+	Errs    int64
+	Elapsed time.Duration
+	Tenants map[string]TenantStats
+}
+
+// MBps reports the aggregate throughput in MB/s (1e6 bytes).
+func (r RunResult) MBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / r.Elapsed.Seconds()
+}
+
+// TenantName labels tenant i ("t0", "t1", ...).
+func TenantName(i int) string { return fmt.Sprintf("t%d", i) }
+
+// Run starts Clients workers, each generating Cfg.Ops ops and calling
+// do for every one. An op error is counted, not fatal; ctx
+// cancellation stops all workers. do must be safe for concurrent use.
+func (r Runner) Run(ctx context.Context, do func(ctx context.Context, client int, tenant string, op Op) error) RunResult {
+	clients := r.Clients
+	if clients <= 0 {
+		clients = 1
+	}
+	tenants := r.Tenants
+	if tenants <= 0 {
+		tenants = 1
+	}
+
+	type acct struct {
+		ops, bytes, errs int64
+	}
+	perClient := make([]acct, clients)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			g := NewGen(r.Cfg, uint64(r.Seed)+uint64(c))
+			tenant := TenantName(c % tenants)
+			a := &perClient[c]
+			for i := 0; i < r.Cfg.Ops; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				op := g.Op()
+				if err := do(ctx, c, tenant, op); err != nil {
+					a.errs++
+					continue
+				}
+				a.ops++
+				a.bytes += op.Blocks * int64(r.BlockBytes)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	res := RunResult{Elapsed: time.Since(start), Tenants: map[string]TenantStats{}}
+	for c := range perClient {
+		a := perClient[c]
+		res.Ops += a.ops
+		res.Bytes += a.bytes
+		res.Errs += a.errs
+		tn := TenantName(c % tenants)
+		ts := res.Tenants[tn]
+		ts.Ops += a.ops
+		ts.Bytes += a.bytes
+		ts.Errs += a.errs
+		res.Tenants[tn] = ts
+	}
+	return res
+}
+
+// JainIndex is Jain's fairness index over the shares: 1.0 is perfectly
+// fair, 1/n is maximally unfair. Empty or all-zero input reports 0.
+func JainIndex(shares []float64) float64 {
+	var sum, sumSq float64
+	for _, v := range shares {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(shares)) * sumSq)
+}

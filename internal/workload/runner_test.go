@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunnerAggregates(t *testing.T) {
+	r := Runner{
+		Clients:    8,
+		Tenants:    4,
+		Cfg:        Config{ReadFraction: 0.5, WorkingSetBlocks: 1024, MaxOpBlocks: 1, Ops: 50},
+		Seed:       1,
+		BlockBytes: 4096,
+	}
+	var calls atomic.Int64
+	res := r.Run(context.Background(), func(_ context.Context, _ int, _ string, _ Op) error {
+		calls.Add(1)
+		return nil
+	})
+	if want := int64(8 * 50); calls.Load() != want || res.Ops != want {
+		t.Fatalf("calls=%d ops=%d, want %d", calls.Load(), res.Ops, want)
+	}
+	if res.Bytes != res.Ops*4096 {
+		t.Fatalf("bytes=%d, want %d", res.Bytes, res.Ops*4096)
+	}
+	if len(res.Tenants) != 4 {
+		t.Fatalf("tenants=%d, want 4", len(res.Tenants))
+	}
+	var shares []float64
+	for _, ts := range res.Tenants {
+		if ts.Ops != 100 {
+			t.Fatalf("tenant ops=%d, want 100 each", ts.Ops)
+		}
+		shares = append(shares, float64(ts.Bytes))
+	}
+	if j := JainIndex(shares); math.Abs(j-1.0) > 1e-9 {
+		t.Fatalf("Jain index %v, want 1.0 for equal shares", j)
+	}
+}
+
+func TestRunnerCountsErrors(t *testing.T) {
+	r := Runner{Clients: 2, Cfg: Config{WorkingSetBlocks: 16, Ops: 10}, BlockBytes: 512}
+	boom := errors.New("boom")
+	res := r.Run(context.Background(), func(_ context.Context, c int, _ string, _ Op) error {
+		if c == 0 {
+			return boom
+		}
+		return nil
+	})
+	if res.Errs != 10 || res.Ops != 10 {
+		t.Fatalf("errs=%d ops=%d, want 10/10", res.Errs, res.Ops)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if j := JainIndex([]float64{1, 1, 1, 1}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal shares: %v", j)
+	}
+	if j := JainIndex([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("one-taker shares: %v", j)
+	}
+	if j := JainIndex(nil); j != 0 {
+		t.Fatalf("empty: %v", j)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/intent"
 	"repro/internal/layout"
 	"repro/internal/nfssim"
+	"repro/internal/qos"
 	"repro/internal/raid"
 	"repro/internal/reliab"
 	"repro/internal/repair"
@@ -151,7 +152,36 @@ type (
 	LockRange = cdd.Range
 	// LockTable is the consistency module's lock-group table.
 	LockTable = cdd.Table
+	// LockMode selects shared or exclusive lock-group grants.
+	LockMode = cdd.Mode
+	// Session is a coherent client session: lock-group grants, a
+	// grant-guarded read cache, and group-commit write-back.
+	Session = cdd.Session
+	// SessionConfig tunes a session's cache, write-back, and heartbeat.
+	SessionConfig = cdd.SessionConfig
+	// CachedDev is a session's coherently cached view of a remote disk.
+	CachedDev = cdd.CachedDev
 )
+
+// Lock-group grant modes.
+const (
+	// LockShared grants concurrent read access to a lock group.
+	LockShared = cdd.Shared
+	// LockExclusive grants sole read/write access to a lock group.
+	LockExclusive = cdd.Exclusive
+)
+
+// NewSession opens a coherent session on a connected node. The owner
+// string identifies the client in the server's lock-group table.
+func NewSession(c *NodeClient, owner string, cfg SessionConfig) *Session {
+	return cdd.NewSession(c, owner, cfg)
+}
+
+// BlockLockRange maps a block extent of one disk to its lock-group
+// table range.
+func BlockLockRange(disk uint32, block, count int64) LockRange {
+	return cdd.BlockLockRange(disk, block, count)
+}
 
 // ListenAndServe starts a CDD node exporting disks on addr.
 func ListenAndServe(addr string, disks []*Disk) (*Node, error) {
@@ -284,6 +314,28 @@ func OLTPWorkload(workingSetBlocks int64) WorkloadConfig { return workload.OLTP(
 
 // MiningWorkload returns a data-mining-like mix.
 func MiningWorkload(workingSetBlocks int64) WorkloadConfig { return workload.Mining(workingSetBlocks) }
+
+// QoS admission control: token-bucket scheduling with service classes
+// and per-tenant fair shares (DESIGN.md section 13).
+type (
+	// QoSClass is a service class (Foreground or Background).
+	QoSClass = qos.Class
+	// QoSConfig sets per-class rates and the burst window.
+	QoSConfig = qos.Config
+	// QoSScheduler admits I/O against class and tenant token buckets.
+	QoSScheduler = qos.Scheduler
+)
+
+// QoS service classes.
+const (
+	// Foreground is latency-sensitive client traffic.
+	Foreground = qos.Foreground
+	// Background is bulk maintenance traffic (repair, resync).
+	Background = qos.Background
+)
+
+// NewQoS creates a QoS admission scheduler.
+func NewQoS(cfg QoSConfig) *QoSScheduler { return qos.New(cfg) }
 
 // CompareReliability builds the MTTDL table for an n-by-k cluster.
 func CompareReliability(nodes, disksPerNode int, diskBlocks int64, mttf, mttr time.Duration, trials int) []ReliabilityRow {
