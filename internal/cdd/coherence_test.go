@@ -8,6 +8,7 @@ package cdd_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -355,6 +356,137 @@ func TestSessionInvalidation(t *testing.T) {
 	if !bytes.Equal(got, fresh) {
 		t.Fatalf("stale read after invalidation: got %x, want %x", got[0], fresh[0])
 	}
+}
+
+// TestWriteBackHeldOnStaleLease pins the flush guard: once the lease
+// safety window closes, dirty write-back blocks are HELD, not
+// committed — a partitioned client healing after its ranges were
+// re-granted must not clobber the new owner's writes — while the
+// client's own dirty reads still serve (read-your-writes survives
+// heartbeat loss).
+func TestWriteBackHeldOnStaleLease(t *testing.T) {
+	node, c, reg := coherenceNode(t, 128) // 1 s server lease
+	s := cdd.NewSession(c, "stale1", cdd.SessionConfig{
+		Obs:            reg,
+		Beat:           time.Hour, // after the initial beat, no renewals
+		WriteBackBytes: 64 << 20,
+		WriteBackAge:   time.Hour,
+	})
+	defer s.Close()
+	ctx := context.Background()
+	t0 := time.Now()
+
+	if err := s.AcquireBlocks(ctx, cdd.Exclusive, 0, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	dev := s.Dev(0)
+	bs := dev.BlockSize()
+	dirty := bytes.Repeat([]byte{0xEE}, bs)
+	if err := dev.WriteBlocks(ctx, 3, dirty); err != nil {
+		t.Fatal(err)
+	}
+	if dev.DirtyBlocks() != 1 {
+		t.Fatal("write did not land in the write-back buffer")
+	}
+
+	// Let the lease safety window (TTL/2 = 500 ms) close with no beats.
+	time.Sleep(time.Until(t0.Add(700 * time.Millisecond)))
+
+	if err := dev.FlushWriteBack(ctx); !errors.Is(err, cdd.ErrStaleLease) {
+		t.Fatalf("stale-lease flush: err = %v, want ErrStaleLease", err)
+	}
+	if dev.DirtyBlocks() != 1 {
+		t.Fatal("stale-lease flush did not hold the dirty block")
+	}
+	got := make([]byte, bs)
+	if err := dev.ReadBlocks(ctx, 3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, dirty) {
+		t.Fatal("dirty read lost the buffered write during heartbeat loss")
+	}
+
+	// The server lease lapses; a new owner takes the range and commits.
+	c2, err := cdd.ConnectWith(ctx, node.Addr(), cdd.Options{Retry: fastPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	lctx, lcancel := context.WithTimeout(ctx, 5*time.Second)
+	defer lcancel()
+	if err := c2.LockMode(lctx, "usurper", cdd.Exclusive, []cdd.Range{cdd.BlockLockRange(0, 0, 8)}); err != nil {
+		t.Fatalf("usurper never acquired after lease expiry: %v", err)
+	}
+	theirs := bytes.Repeat([]byte{0x44}, bs)
+	if err := c2.Dev(0).WriteBlocks(ctx, 3, theirs); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stale holder's flush must still refuse: healing the partition
+	// must not replay stale dirty blocks over the new owner's data.
+	if err := s.Flush(ctx); !errors.Is(err, cdd.ErrStaleLease) {
+		t.Fatalf("post-usurp flush: err = %v, want ErrStaleLease", err)
+	}
+	after := make([]byte, bs)
+	if err := c2.Dev(0).ReadBlocks(ctx, 3, after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, theirs) {
+		t.Fatal("stale write-back clobbered the new owner's committed data")
+	}
+}
+
+// TestWriteBackRecoversAfterRenewal pins the beat-then-flush ordering
+// in the heartbeat loop: a dirty batch held through a stale window is
+// committed by the loop as soon as a heartbeat renews the lease —
+// never before.
+func TestWriteBackRecoversAfterRenewal(t *testing.T) {
+	node, c, reg := coherenceNode(t, 128)
+	node.Manager.Locks().SetLease(2*time.Second, nil)
+	s := cdd.NewSession(c, "renew1", cdd.SessionConfig{
+		Obs:            reg,
+		Beat:           1400 * time.Millisecond,
+		WriteBackBytes: 64 << 20,
+		WriteBackAge:   time.Millisecond,
+	})
+	defer s.Close()
+	ctx := context.Background()
+	t0 := time.Now()
+
+	if err := s.AcquireBlocks(ctx, cdd.Exclusive, 0, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	dev := s.Dev(0)
+	bs := dev.BlockSize()
+	data := bytes.Repeat([]byte{0x77}, bs)
+	if err := dev.WriteBlocks(ctx, 2, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stale window: [TTL/2, Beat) = [1.0 s, 1.4 s) after the initial
+	// beat. Probe in the middle — the flush must hold.
+	time.Sleep(time.Until(t0.Add(1200 * time.Millisecond)))
+	if err := dev.FlushWriteBack(ctx); !errors.Is(err, cdd.ErrStaleLease) {
+		t.Fatalf("mid-window flush: err = %v, want ErrStaleLease", err)
+	}
+
+	// The next beat (1.4 s, inside the server's 2 s lease) renews, and
+	// the loop's aged-flush pass commits the held batch.
+	deadline := time.Now().Add(5 * time.Second)
+	for dev.DirtyBlocks() > 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if dev.DirtyBlocks() != 0 {
+		t.Fatal("held batch never flushed after lease renewal")
+	}
+	got := make([]byte, bs)
+	if err := c.Dev(0).ReadBlocks(ctx, 2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("renewed flush lost the dirty block")
+	}
+	_ = node
 }
 
 // TestCoherenceGrantAutoRelease kills a grant holder (no release, no

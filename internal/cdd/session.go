@@ -90,6 +90,7 @@ type Session struct {
 
 	lastBeat atomic.Int64 // unix-nano of the last successful heartbeat
 	ttl      atomic.Int64 // server lease term (ns); 0 = leases disabled
+	ttlKnown atomic.Bool  // set once a Beat has reported the lease term
 
 	stop    chan struct{}
 	done    chan struct{}
@@ -122,6 +123,12 @@ func NewSession(n *NodeClient, owner string, cfg SessionConfig) *Session {
 		}
 	}
 	s.lastBeat.Store(time.Now().UnixNano())
+	// Synchronous first beat: learn the server's lease term before any
+	// grant is acquired. Until a beat succeeds the lease term is unknown
+	// and leaseFresh() refuses to serve cached state, so a client that
+	// partitions before ever hearing a TTL never serves unbounded-stale
+	// hits. A failure here is tolerated — the loop below keeps trying.
+	s.beatOnce()
 	go s.beatLoop()
 	return s
 }
@@ -243,10 +250,17 @@ func (s *Session) cachedDevs() []*CachedDev {
 // successful heartbeat must be younger than half the server lease TTL
 // (the safety window — strictly inside the server's expiry, so an
 // expired-and-auto-released holder has already stopped serving hits).
+// Until the first successful beat reports the lease term the answer is
+// false — assuming "no lease" before hearing otherwise would let a
+// client that partitions immediately after acquiring grants serve hits
+// with no staleness bound.
 func (s *Session) leaseFresh() bool {
+	if !s.ttlKnown.Load() {
+		return false
+	}
 	ttl := s.ttl.Load()
 	if ttl == 0 {
-		return true
+		return true // server runs with leases disabled
 	}
 	return time.Now().UnixNano()-s.lastBeat.Load() < ttl/2
 }
@@ -273,8 +287,10 @@ func (s *Session) holdsBlocks(disk uint32, block, count int64, wantWrite bool) b
 	return false
 }
 
-// beatLoop is the session's background heartbeat: it flushes aged
-// write-back batches and exchanges one coherence beat per interval.
+// beatLoop is the session's background heartbeat: one coherence beat
+// per interval, then aged write-back batches are flushed. The beat runs
+// FIRST so lease loss is discovered before any flush — flushing stale
+// dirty blocks after a partition would clobber a new owner's writes.
 func (s *Session) beatLoop() {
 	defer close(s.done)
 	t := time.NewTicker(s.cfg.Beat)
@@ -285,8 +301,8 @@ func (s *Session) beatLoop() {
 			return
 		case <-t.C:
 		}
-		s.flushAged()
 		s.beatOnce()
+		s.flushAged()
 	}
 }
 
@@ -350,6 +366,7 @@ func (s *Session) beatOnce() {
 	}
 	s.mu.Unlock()
 	s.ttl.Store(int64(br.TTL))
+	s.ttlKnown.Store(true)
 	// Published last: a hit is only served once the events above are
 	// fully applied.
 	s.lastBeat.Store(time.Now().UnixNano())

@@ -2,6 +2,7 @@ package cdd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,13 @@ import (
 
 	"repro/internal/bufpool"
 )
+
+// ErrStaleLease is returned by flush paths when the session's lease
+// safety window has closed: committing the write-back buffer remotely
+// could clobber a new owner's writes, so dirty blocks are held until
+// the next successful heartbeat either renews the lease (flush
+// proceeds) or reports it lost (dirty blocks are discarded).
+var ErrStaleLease = errors.New("cdd: lease stale; write-back held")
 
 // CachedDev wraps a RemoteDev with the session's coherent read cache
 // and a write-back buffer with group commit. It implements raid.Dev,
@@ -81,7 +89,10 @@ func (c *CachedDev) ReadBlocks(ctx context.Context, b int64, buf []byte) error {
 	for i := 0; i < n; i++ {
 		blk := b + int64(i)
 		dst := buf[i*c.bs : (i+1)*c.bs]
-		if fresh && c.getDirty(blk, dst) {
+		// The dirty buffer is served regardless of lease freshness: these
+		// are this client's own buffered writes (read-your-writes), and a
+		// confirmed lease loss discards them before this point.
+		if c.getDirty(blk, dst) {
 			continue
 		}
 		if fresh && c.s.holdsBlocks(c.disk, blk, 1, false) && c.s.cache.Get(c.disk, blk, dst) {
@@ -223,9 +234,19 @@ func (c *CachedDev) DirtyBlocks() int {
 // into contiguous runs, and each run written in one vectored call. On
 // success the committed buffers move into the read cache (still under
 // our exclusive grant); on error everything stays dirty for retry.
+//
+// Safety: a flush commits remotely only inside the lease safety window
+// and only for runs still covered by a live exclusive grant. Outside
+// the window the buffer is held (ErrStaleLease) — the ranges may have
+// been re-granted to a new owner during a partition, and writing them
+// on heal would be a lost update. Runs whose grant is gone are
+// discarded, matching the lease-loss path.
 func (c *CachedDev) flushLocked(ctx context.Context) error {
 	if len(c.dirty) == 0 {
 		return nil
+	}
+	if !c.s.leaseFresh() {
+		return ErrStaleLease
 	}
 	blocks := c.blocksScratch[:0]
 	for blk := range c.dirty {
@@ -238,6 +259,19 @@ func (c *CachedDev) flushLocked(ctx context.Context) error {
 		j := i + 1
 		for j < len(blocks) && blocks[j] == blocks[j-1]+1 {
 			j++
+		}
+		if !c.s.holdsBlocks(c.disk, blocks[i], int64(j-i), true) {
+			// Exclusive coverage lost since these blocks were buffered: a
+			// new owner may hold the range, so the run must not be written.
+			for k := i; k < j; k++ {
+				blk := blocks[k]
+				bufpool.Put(c.dirty[blk])
+				delete(c.dirty, blk)
+				c.dirtyBytes -= c.bs
+			}
+			c.s.met.wbErrors.Inc()
+			i = j
+			continue
 		}
 		segs := c.segsScratch[:0]
 		for k := i; k < j; k++ {

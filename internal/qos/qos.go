@@ -48,6 +48,11 @@ type Config struct {
 	// BurstWindow is how much of the rate a bucket may accumulate while
 	// idle (<= 0: 100 ms of the rate).
 	BurstWindow time.Duration
+	// TenantIdle is how long a tenant may go without an admission before
+	// its share is reclaimed and redistributed (<= 0: 10 s). Expired
+	// tenants keep their cumulative byte counts; a returning tenant
+	// resumes from them.
+	TenantIdle time.Duration
 	// Obs receives per-class and per-tenant counters (nil: none).
 	Obs *obs.Registry
 }
@@ -105,15 +110,27 @@ func (b *bucket) refillLocked(now time.Time) {
 	}
 }
 
+// limited reports whether the bucket currently enforces a rate.
+func (b *bucket) limited() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rate > 0
+}
+
 // wait blocks until n bytes are admitted or ctx is done. Admissions
 // larger than the burst window wait for min(n, burst) and take the
-// rest as debt.
+// rest as debt. rate and burst are only ever read under b.mu — setRate
+// may retune the bucket concurrently.
 func (b *bucket) wait(ctx context.Context, n int64) error {
-	if b.rate <= 0 || n <= 0 {
+	if n <= 0 {
 		return ctx.Err()
 	}
 	for {
 		b.mu.Lock()
+		if b.rate <= 0 {
+			b.mu.Unlock()
+			return ctx.Err()
+		}
 		now := time.Now()
 		b.refillLocked(now)
 		need := n
@@ -126,8 +143,9 @@ func (b *bucket) wait(ctx context.Context, n int64) error {
 			return nil
 		}
 		deficit := need - b.tokens
+		rate := b.rate
 		b.mu.Unlock()
-		d := time.Duration(float64(deficit) / float64(b.rate) * float64(time.Second))
+		d := time.Duration(float64(deficit) / float64(rate) * float64(time.Second))
 		if d < time.Millisecond {
 			d = time.Millisecond
 		}
@@ -144,11 +162,15 @@ func (b *bucket) wait(ctx context.Context, n int64) error {
 type tenantState struct {
 	b     *bucket
 	bytes int64
+	last  time.Time // most recent admission attempt
 }
 
 // Scheduler admits I/O by class and, within the foreground class, by
 // tenant fair share: each active tenant gets an equal slice of the
-// foreground rate, recomputed as tenants come and go.
+// foreground rate, recomputed as tenants come and go. Tenants idle
+// longer than TenantIdle are expired so departed tenants stop diluting
+// the shares of the ones still running (their cumulative byte counts
+// are retained in retired).
 type Scheduler struct {
 	cfg Config
 	fg  *bucket
@@ -156,6 +178,7 @@ type Scheduler struct {
 
 	mu      sync.Mutex
 	tenants map[string]*tenantState
+	retired map[string]int64 // admitted bytes of expired tenants
 
 	admittedFG, admittedBG *obs.Counter
 	waitsFG, waitsBG       *obs.Counter
@@ -163,11 +186,15 @@ type Scheduler struct {
 
 // New creates a scheduler from cfg and registers its gauges.
 func New(cfg Config) *Scheduler {
+	if cfg.TenantIdle <= 0 {
+		cfg.TenantIdle = 10 * time.Second
+	}
 	s := &Scheduler{
 		cfg:     cfg,
 		fg:      newBucket(cfg.ForegroundBytesPerSec, cfg.BurstWindow),
 		bg:      newBucket(cfg.BackgroundBytesPerSec, cfg.BurstWindow),
 		tenants: map[string]*tenantState{},
+		retired: map[string]int64{},
 	}
 	if r := cfg.Obs; r != nil {
 		s.admittedFG = r.Counter("qos.fg_bytes")
@@ -185,27 +212,54 @@ func New(cfg Config) *Scheduler {
 	return s
 }
 
-// tenant returns (creating if needed) the per-tenant bucket, resizing
-// every tenant's slice to rate/len(tenants) when the set changes.
+// tenant returns (creating if needed) the per-tenant bucket, expiring
+// idle tenants and resizing every remaining slice to rate/len(tenants)
+// when the set changes.
 func (s *Scheduler) tenant(name string) *tenantState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if ts, ok := s.tenants[name]; ok {
-		return ts
+	now := time.Now()
+	changed := s.sweepLocked(now, name)
+	ts, ok := s.tenants[name]
+	if !ok {
+		ts = &tenantState{b: newBucket(0, s.cfg.BurstWindow), bytes: s.retired[name]}
+		delete(s.retired, name)
+		s.tenants[name] = ts
+		changed = true
 	}
-	ts := &tenantState{}
-	s.tenants[name] = ts
-	share := int64(0)
-	if s.cfg.ForegroundBytesPerSec > 0 {
-		share = s.cfg.ForegroundBytesPerSec / int64(len(s.tenants))
-	}
-	ts.b = newBucket(share, s.cfg.BurstWindow)
-	for n, t := range s.tenants {
-		if n != name {
-			t.b.setRate(share, s.cfg.BurstWindow)
-		}
+	ts.last = now
+	if changed {
+		s.retuneLocked()
 	}
 	return ts
+}
+
+// sweepLocked expires tenants whose last admission predates TenantIdle
+// (keep is never expired), moving their byte counts to retired. It
+// reports whether the tenant set changed.
+func (s *Scheduler) sweepLocked(now time.Time, keep string) bool {
+	cut := now.Add(-s.cfg.TenantIdle)
+	changed := false
+	for n, t := range s.tenants {
+		if n != keep && t.last.Before(cut) {
+			s.retired[n] += t.bytes
+			delete(s.tenants, n)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// retuneLocked resizes every active tenant's slice to an equal share of
+// the foreground rate.
+func (s *Scheduler) retuneLocked() {
+	if s.cfg.ForegroundBytesPerSec <= 0 || len(s.tenants) == 0 {
+		return
+	}
+	share := s.cfg.ForegroundBytesPerSec / int64(len(s.tenants))
+	for _, t := range s.tenants {
+		t.b.setRate(share, s.cfg.BurstWindow)
+	}
 }
 
 // Wait blocks until n bytes of class-c I/O are admitted. tenant may be
@@ -215,7 +269,7 @@ func (s *Scheduler) Wait(ctx context.Context, c Class, tenant string, n int) err
 		return ctx.Err()
 	}
 	if c == Background {
-		if s.bg.rate > 0 {
+		if s.bg.limited() {
 			s.waitsBG.Inc()
 		}
 		if err := s.bg.wait(ctx, int64(n)); err != nil {
@@ -224,30 +278,24 @@ func (s *Scheduler) Wait(ctx context.Context, c Class, tenant string, n int) err
 		s.admittedBG.Add(int64(n))
 		return nil
 	}
-	if tenant != "" && s.cfg.ForegroundBytesPerSec > 0 {
-		ts := s.tenant(tenant)
+	var ts *tenantState
+	if tenant != "" {
+		ts = s.tenant(tenant)
 		if err := ts.b.wait(ctx, int64(n)); err != nil {
 			return err
 		}
-		s.mu.Lock()
-		ts.bytes += int64(n)
-		s.mu.Unlock()
 	}
-	if s.fg.rate > 0 {
+	if s.fg.limited() {
 		s.waitsFG.Inc()
 	}
 	if err := s.fg.wait(ctx, int64(n)); err != nil {
 		return err
 	}
 	s.admittedFG.Add(int64(n))
-	if tenant != "" && s.cfg.ForegroundBytesPerSec <= 0 {
+	if ts != nil {
 		s.mu.Lock()
-		ts, ok := s.tenants[tenant]
-		if !ok {
-			ts = &tenantState{b: newBucket(0, s.cfg.BurstWindow)}
-			s.tenants[tenant] = ts
-		}
 		ts.bytes += int64(n)
+		ts.last = time.Now()
 		s.mu.Unlock()
 	}
 	return nil
@@ -263,11 +311,15 @@ func (s *Scheduler) Pace(c Class, tenant string) func(ctx context.Context, bytes
 }
 
 // TenantBytes snapshots cumulative admitted bytes per tenant — the
-// input to fairness measurement (e.g. Jain's index).
+// input to fairness measurement (e.g. Jain's index). Expired tenants
+// are included from their retained counts.
 func (s *Scheduler) TenantBytes() map[string]int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[string]int64, len(s.tenants))
+	out := make(map[string]int64, len(s.tenants)+len(s.retired))
+	for n, v := range s.retired {
+		out[n] = v
+	}
 	for n, t := range s.tenants {
 		out[n] = t.bytes
 	}

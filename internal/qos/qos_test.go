@@ -2,12 +2,26 @@ package qos
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/obs"
 )
+
+// tenantRate reads a tenant bucket's current rate (test helper).
+func tenantRate(s *Scheduler, name string) int64 {
+	s.mu.Lock()
+	ts := s.tenants[name]
+	s.mu.Unlock()
+	if ts == nil {
+		return -1
+	}
+	ts.b.mu.Lock()
+	defer ts.b.mu.Unlock()
+	return ts.b.rate
+}
 
 // TestBackgroundRateCap drives background admissions and checks the
 // achieved rate stays near the configured cap.
@@ -123,6 +137,85 @@ func TestTenantFairShares(t *testing.T) {
 	if jain < 0.8 {
 		t.Fatalf("Jain fairness %.3f < 0.8 across %v", jain, got)
 	}
+}
+
+// TestTenantExpiryRestoresShares checks idle tenants are expired —
+// their slice returns to the active tenants instead of shrinking every
+// share forever — while their cumulative byte counts survive and a
+// returning tenant resumes from them.
+func TestTenantExpiryRestoresShares(t *testing.T) {
+	s := New(Config{ForegroundBytesPerSec: 8 << 20, BurstWindow: time.Millisecond, TenantIdle: 50 * time.Millisecond})
+	ctx := context.Background()
+	for _, tn := range []string{"a", "b"} {
+		if err := s.Wait(ctx, Foreground, tn, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tenantRate(s, "a"); got != 4<<20 {
+		t.Fatalf("share with 2 tenants = %d, want %d", got, 4<<20)
+	}
+
+	// b goes idle past TenantIdle; a's next admission sweeps it out.
+	time.Sleep(120 * time.Millisecond)
+	if err := s.Wait(ctx, Foreground, "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	_, bAlive := s.tenants["b"]
+	retired := s.retired["b"]
+	s.mu.Unlock()
+	if bAlive || retired != 1 {
+		t.Fatalf("idle tenant not expired: alive=%v retiredBytes=%d", bAlive, retired)
+	}
+	if got := tenantRate(s, "a"); got != 8<<20 {
+		t.Fatalf("share after expiry = %d, want full rate %d", got, 8<<20)
+	}
+	if got := s.TenantBytes(); got["a"] != 2 || got["b"] != 1 {
+		t.Fatalf("TenantBytes = %v, want a:2 b:1", got)
+	}
+
+	// b returns: its count resumes and the shares split again.
+	if err := s.Wait(ctx, Foreground, "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TenantBytes()["b"]; got != 2 {
+		t.Fatalf("returning tenant bytes = %d, want 2", got)
+	}
+	if got := tenantRate(s, "b"); got != 4<<20 {
+		t.Fatalf("share after return = %d, want %d", got, 4<<20)
+	}
+}
+
+// TestRetuneRaceUnderWaiters drives concurrent admissions against one
+// tenant while tenant churn retunes shares via setRate — a -race
+// canary for the bucket's rate/burst access discipline.
+func TestRetuneRaceUnderWaiters(t *testing.T) {
+	s := New(Config{ForegroundBytesPerSec: 64 << 20, BurstWindow: time.Millisecond, TenantIdle: 20 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	stop := time.Now().Add(200 * time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				if s.Wait(ctx, Foreground, "steady", 4<<10) != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(stop); i++ {
+			if s.Wait(ctx, Foreground, fmt.Sprintf("churn-%d", i%8), 1) != nil {
+				return
+			}
+		}
+	}()
+	wg.Wait()
 }
 
 // TestPaceShape checks the Pace adapter admits through the scheduler.

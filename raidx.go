@@ -171,6 +171,11 @@ const (
 	LockExclusive = cdd.Exclusive
 )
 
+// ErrStaleLease reports a write-back flush refused because the
+// session's lease safety window closed: the dirty batch is held until
+// a heartbeat renews the lease or confirms it lost.
+var ErrStaleLease = cdd.ErrStaleLease
+
 // NewSession opens a coherent session on a connected node. The owner
 // string identifies the client in the server's lock-group table.
 func NewSession(c *NodeClient, owner string, cfg SessionConfig) *Session {
