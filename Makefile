@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck promtest check bench benchcheck chaoscheck crashcheck fuzz scalecheck
+.PHONY: build test race vet staticcheck promtest check bench benchcheck chaoscheck crashcheck fuzz scalecheck obscheck
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,17 @@ bench:
 # without -race — the race runtime allocates on its own account.
 benchcheck:
 	$(GO) test -run 'TestAllocs' -count=1 -v ./internal/transport/ ./internal/cdd/ ./internal/core/
+
+# obscheck runs the observability-plane shard (CI job `obs`): the
+# whole obs package (labeled instruments, time-series sampler, cluster
+# merge, SLO burn tracker, exporter grammar) under the race detector,
+# the QoS live-gauge tests, and the end-to-end SLO feedback chaos
+# drill — a background storm over real TCP whose burn feedback must
+# step the Background QoS rate down until the foreground p99 recovers.
+obscheck:
+	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -race -count=1 -run 'TestLiveRateGauges|TestTenantLabeledGauges' ./internal/qos/
+	$(GO) test -race -count=1 -run 'TestSLOChaos' -v ./internal/cdd/
 
 # scalecheck runs the serving-at-scale shard (CI job `scale`): the
 # coherence protocol and session tests, the QoS scheduler, the workload

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cdd"
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/raid"
 	"repro/internal/store"
 )
@@ -23,6 +24,7 @@ func runHotpath(args []string) error {
 	fs := flag.NewFlagSet("hotpath", flag.ExitOnError)
 	nodes := fs.Int("nodes", 4, "loopback CDD nodes (one disk each)")
 	bs := fs.Int("bs", 4096, "block size (bytes)")
+	withObs := fs.Bool("obs", false, "attach a client-side obs registry (labeled instruments) and a running 1s time-series sampler, to measure observability overhead")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,7 +53,22 @@ func runHotpath(args []string) error {
 		closers = append(closers, func() { c.Close(); n.Close() })
 		devs = append(devs, c.Devs()...)
 	}
-	a, err := core.New(devs, *nodes, 1, core.Options{})
+	// With -obs, the client engine carries a live registry and a running
+	// sampler — the overhead configuration. The node side always carries
+	// its manager registry (now including the per-op labeled histograms),
+	// so the server-side instrument cost is in both configurations and
+	// the A/B delta isolates the client-side + sampler cost.
+	var opts core.Options
+	suffix := ""
+	if *withObs {
+		reg := obs.NewRegistry()
+		opts.Obs = reg
+		sampler := obs.NewSampler(reg, obs.SamplerConfig{})
+		sampler.Start()
+		defer sampler.Stop()
+		suffix = "+obs"
+	}
+	a, err := core.New(devs, *nodes, 1, opts)
 	if err != nil {
 		return err
 	}
@@ -119,9 +136,9 @@ func runHotpath(args []string) error {
 			fn(b)
 		})
 		mbps := float64(bytes) * float64(r.N) / r.T.Seconds() / 1e6
-		fmt.Printf("%-16s %12.2f %12d %12d\n", c.name, mbps, r.NsPerOp(), r.AllocsPerOp())
+		fmt.Printf("%-16s %12.2f %12d %12d\n", c.name+suffix, mbps, r.NsPerOp(), r.AllocsPerOp())
 		record(benchResult{
-			Name:        "hotpath/" + c.name,
+			Name:        "hotpath/" + c.name + suffix,
 			MBps:        mbps,
 			NsPerOp:     float64(r.NsPerOp()),
 			AllocsPerOp: float64(r.AllocsPerOp()),

@@ -36,6 +36,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/cdd"
 	"repro/internal/core"
@@ -59,6 +60,8 @@ func main() {
 		err = withCluster(os.Args[2:], runStatus)
 	case "stats":
 		err = withCluster(os.Args[2:], runStats)
+	case "top":
+		err = withCluster(os.Args[2:], runTop)
 	case "fail":
 		err = withCluster(os.Args[2:], runFail)
 	case "replace":
@@ -90,7 +93,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: raidxctl <layout|status|stats|fail|replace|rebuild|verify|super|repair|trace> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: raidxctl <layout|status|stats|top|fail|replace|rebuild|verify|super|repair|trace> [flags]")
 }
 
 func runLayout(args []string) error {
@@ -164,6 +167,10 @@ func withClusterOpts(args []string, opts core.Options, fn func(fs *flag.FlagSet,
 	fs.Int("ops", 8, "probe reads to run (trace)")
 	fs.Int("slowest", 3, "waterfalls to render, slowest first (trace)")
 	fs.Int("chunk", 256, "probe read size in KB (trace)")
+	fs.String("id", "", "hex trace ID: assemble this trace from the node span rings instead of probing (trace)")
+	fs.Duration("interval", time.Second, "refresh interval (top)")
+	fs.Int("n", 0, "refresh iterations, 0 = until interrupted (top)")
+	fs.Bool("plain", false, "do not clear the screen between refreshes (top)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -495,6 +502,9 @@ func runVerify(fs *flag.FlagSet, r *rig) error {
 // read error plus mirror-image reads — shows up as a raidx.failover
 // subtree with the time it cost.
 func runTrace(fs *flag.FlagSet, r *rig) error {
+	if id := fs.Lookup("id").Value.String(); id != "" {
+		return runTraceByID(r, id)
+	}
 	tracer := r.arr.Tracer()
 	ops := atoi(fs.Lookup("ops").Value.String())
 	slowest := atoi(fs.Lookup("slowest").Value.String())

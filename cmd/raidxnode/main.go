@@ -58,6 +58,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/intent"
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/raid"
 	"repro/internal/repair"
@@ -86,6 +87,13 @@ func main() {
 	repairState := flag.String("repair-state", "", "directory for the repair supervisor's local crash-recovery state (default <dir>/repair when -dir is set)")
 	qosFG := flag.Int64("qos-fg-rate", 0, "QoS foreground (client I/O) admission rate in bytes/sec (0: unlimited)")
 	qosBG := flag.Int64("qos-bg-rate", 0, "QoS background (repair/resync/scrub) admission rate in bytes/sec (0: unlimited)")
+	sampleEvery := flag.Duration("sample", obs.DefaultSampleInterval, "time-series sampling interval for /stats/series (0: sampler disabled)")
+	sampleCap := flag.Int("sample-cap", obs.DefaultSampleCapacity, "time-series ring capacity (samples retained)")
+	sloP99 := flag.Duration("slo-p99", 0, "foreground latency objective: ops slower than this burn the SLO budget (0: SLO tracker disabled)")
+	sloBudget := flag.Float64("slo-err-budget", obs.DefaultSLOErrorBudget, "SLO error budget: allowed fraction of bad (slow or failed) foreground ops")
+	sloFast := flag.Duration("slo-fast", obs.DefaultSLOFastWindow, "SLO fast burn window")
+	sloSlow := flag.Duration("slo-slow", obs.DefaultSLOSlowWindow, "SLO slow burn window")
+	sloMinBG := flag.Int64("slo-min-bg", 0, "floor for SLO feedback stepping the background QoS rate down (0: baseline/16)")
 	flag.Parse()
 
 	if *pprofOut != "" {
@@ -162,6 +170,52 @@ func main() {
 			*name, *qosFG, *qosBG)
 	}
 
+	var sampler *obs.Sampler
+	if *sampleEvery > 0 {
+		sampler = obs.NewSampler(node.Manager.Obs(), obs.SamplerConfig{
+			Interval: *sampleEvery,
+			Capacity: *sampleCap,
+		})
+		sampler.Start()
+		defer sampler.Stop()
+	}
+
+	var slo *obs.SLOTracker
+	if *sloP99 > 0 {
+		var act obs.Actuator
+		if sched != nil && *qosBG > 0 {
+			act = sched
+		}
+		slo = obs.NewSLOTracker(obs.SLOConfig{
+			Name:              "fg",
+			Registry:          node.Manager.Obs(),
+			LatencyHist:       node.Manager.Obs().Histogram("mgr.fg_latency"),
+			LatencyObjective:  *sloP99,
+			ErrorCounter:      node.Manager.Obs().Counter("mgr.fg_errors"),
+			OpsCounter:        node.Manager.Obs().Counter("mgr.fg_ops"),
+			ErrorBudget:       *sloBudget,
+			FastWindow:        *sloFast,
+			SlowWindow:        *sloSlow,
+			Actuator:          act,
+			MinBackgroundRate: *sloMinBG,
+		})
+		// Evaluate a few times per fast window so a burn is caught and
+		// acted on before the window fully elapses.
+		evalEvery := *sloFast / 5
+		if evalEvery < 100*time.Millisecond {
+			evalEvery = 100 * time.Millisecond
+		}
+		slo.Start(evalEvery)
+		defer slo.Stop()
+		if act != nil {
+			log.Printf("raidxnode %s: SLO tracker: fg p99 objective %v, budget %.2g, feedback onto background QoS rate",
+				*name, *sloP99, *sloBudget)
+		} else {
+			log.Printf("raidxnode %s: SLO tracker: fg p99 objective %v, budget %.2g (observe-only: no -qos-bg-rate)",
+				*name, *sloP99, *sloBudget)
+		}
+	}
+
 	var sup *repair.Supervisor
 	var stopRepair func()
 	if *repairCluster != "" {
@@ -196,6 +250,16 @@ func main() {
 			w.Header().Set("Content-Type", "application/json")
 			if err := node.Manager.Obs().WriteJSON(w); err != nil {
 				log.Printf("raidxnode: /stats: %v", err)
+			}
+		})
+		mux.HandleFunc("/stats/series", func(w http.ResponseWriter, _ *http.Request) {
+			if sampler == nil {
+				http.Error(w, "time-series sampler disabled (-sample 0)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if err := sampler.WriteJSON(w); err != nil {
+				log.Printf("raidxnode: /stats/series: %v", err)
 			}
 		})
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {

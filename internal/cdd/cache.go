@@ -35,8 +35,9 @@ type cacheEntry struct {
 }
 
 // NewBlockCache creates a cache bounded to maxBytes of block payloads
-// (<= 0 takes 4 MiB). reg, when non-nil, receives hit/miss/eviction/
-// invalidation counters and a size gauge.
+// (<= 0 takes 4 MiB). reg, when non-nil, receives the sess.cache_*
+// hit/miss/eviction/invalidation counters, a size gauge, and a
+// sess.cache_hit_ratio_pct gauge (hits per hundred lookups, lifetime).
 func NewBlockCache(maxBytes int64, reg *obs.Registry) *BlockCache {
 	if maxBytes <= 0 {
 		maxBytes = 4 << 20
@@ -47,14 +48,21 @@ func NewBlockCache(maxBytes int64, reg *obs.Registry) *BlockCache {
 		lru: list.New(),
 	}
 	if reg != nil {
-		c.hits = reg.Counter("cache.hits")
-		c.misses = reg.Counter("cache.misses")
-		c.evicts = reg.Counter("cache.evictions")
-		c.invals = reg.Counter("cache.invalidations")
-		reg.RegisterGauge("cache.bytes", func() int64 {
+		c.hits = reg.Counter("sess.cache_hits")
+		c.misses = reg.Counter("sess.cache_misses")
+		c.evicts = reg.Counter("sess.cache_evictions")
+		c.invals = reg.Counter("sess.cache_invalidations")
+		reg.RegisterGauge("sess.cache_bytes", func() int64 {
 			c.mu.Lock()
 			defer c.mu.Unlock()
 			return c.size
+		})
+		reg.RegisterGauge("sess.cache_hit_ratio_pct", func() int64 {
+			h, m := c.hits.Value(), c.misses.Value()
+			if h+m == 0 {
+				return 0
+			}
+			return h * 100 / (h + m)
 		})
 	}
 	return c

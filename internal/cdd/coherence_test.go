@@ -182,7 +182,7 @@ func TestSessionCachedReads(t *testing.T) {
 	if after := node.Manager.Obs().Counter("mgr.read_ops").Value(); after != remoteReads {
 		t.Fatalf("cache-hit reads went remote: %d -> %d server read ops", remoteReads, after)
 	}
-	if hits := reg.Counter("cache.hits").Value(); hits < 40 {
+	if hits := reg.Counter("sess.cache_hits").Value(); hits < 40 {
 		t.Fatalf("cache hits = %d, want >= 40", hits)
 	}
 

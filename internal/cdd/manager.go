@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -54,10 +55,17 @@ func (m *Manager) SetRepair(rc RepairController) {
 	m.mu.Unlock()
 }
 
-// managerMetrics count the node's served operations.
+// managerMetrics count the node's served operations. fgOps/fgErrors and
+// fgLat cover only the foreground data path (read/write/flush) — they
+// are the inputs to the node's foreground SLO tracker; latByOp carries
+// one labeled histogram per opcode, resolved once so the dispatch path
+// indexes a static array.
 type managerMetrics struct {
 	reads, writes, bgWrites, flushes, probes, failed *obs.Counter
 	beats, lockOps                                   *obs.Counter
+	fgOps, fgErrors                                  *obs.Counter
+	fgLat                                            *obs.Histogram
+	latByOp                                          [len(opSpanNames)]*obs.Histogram
 }
 
 // DefaultLeaseTTL is the lock service's grant lease: a client that
@@ -86,7 +94,16 @@ func NewManager(disks []*disk.Disk) *Manager {
 			failed:   reg.Counter("mgr.op_errors"),
 			beats:    reg.Counter("mgr.beats"),
 			lockOps:  reg.Counter("mgr.lock_ops"),
+			fgOps:    reg.Counter("mgr.fg_ops"),
+			fgErrors: reg.Counter("mgr.fg_errors"),
+			fgLat:    reg.Histogram("mgr.fg_latency"),
 		},
+	}
+	latVec := reg.HistogramVec("mgr.op_latency", "op")
+	for op, name := range opSpanNames {
+		if name != "" {
+			m.met.latByOp[op] = latVec.With(strings.TrimPrefix(name, "mgr."))
+		}
 	}
 	m.locks.SetLease(DefaultLeaseTTL, nil)
 	reg.RegisterGauge("locks.owners", func() int64 { o, _, _ := m.locks.Stats(); return int64(o) })
@@ -210,8 +227,28 @@ func opSpanName(op uint8) string {
 // and the disk spans below it land in the caller's trace.
 func (m *Manager) Handle(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
 	ctx, h := trace.Start(ctx, opSpanName(op), "")
+	start := time.Now()
 	resp, err := m.handle(ctx, op, payload)
 	h.End(err)
+	d := time.Since(start)
+	// Latency lands in the per-op labeled histogram and, for the
+	// foreground data path, the flat SLO input histogram. The trace ID
+	// rides along as an exemplar, so a dashboard p99 links to a trace.
+	var tid uint64
+	if sc, ok := trace.FromContext(ctx); ok {
+		tid = uint64(sc.Trace)
+	}
+	if int(op) < len(m.met.latByOp) {
+		m.met.latByOp[op].ObserveTraced(d, tid)
+	}
+	switch op {
+	case OpRead, OpWrite, OpFlush:
+		m.met.fgOps.Inc()
+		m.met.fgLat.ObserveTraced(d, tid)
+		if err != nil {
+			m.met.fgErrors.Inc()
+		}
+	}
 	if err != nil {
 		m.met.failed.Inc()
 		return nil, transport.WithCode(errCode(err), err)

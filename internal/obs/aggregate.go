@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// MergeSnapshots folds per-node registry snapshots into one cluster
+// view (raidxctl top polling every node's /stats surface):
+//
+//   - counters and gauges merge by sum, keyed on the full (possibly
+//     labeled) instrument name — so per-tenant children from different
+//     nodes line up and flat totals add;
+//   - histograms merge bucket-wise: the power-of-two-microsecond edges
+//     are shared by construction, so bucket addition is exact and the
+//     merged percentiles honestly describe the cluster distribution.
+//     Snapshots from nodes too old to ship raw buckets degrade to a
+//     conservative merge (counts and sums add, percentiles take the
+//     worst input);
+//   - the slower exemplar wins, so the dashboard links to the trace
+//     that best explains the aggregate tail;
+//   - events interleave in sequence order (the process-wide sequence
+//     makes them comparable), capped at DefaultEventCap newest.
+//
+// The merged Time is the latest input time.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	for _, s := range snaps {
+		if s.Time.After(out.Time) {
+			out.Time = s.Time
+		}
+		for name, v := range s.Counters {
+			if out.Counters == nil {
+				out.Counters = map[string]int64{}
+			}
+			out.Counters[name] += v
+		}
+		for name, v := range s.Gauges {
+			if out.Gauges == nil {
+				out.Gauges = map[string]int64{}
+			}
+			out.Gauges[name] += v
+		}
+		for name, st := range s.Histograms {
+			if out.Histograms == nil {
+				out.Histograms = map[string]HistogramStats{}
+			}
+			have, ok := out.Histograms[name]
+			if !ok {
+				out.Histograms[name] = st
+				continue
+			}
+			out.Histograms[name] = mergeStats(have, st)
+		}
+		out.Events = append(out.Events, s.Events...)
+	}
+	if len(out.Events) > 1 {
+		sort.Slice(out.Events, func(i, j int) bool { return out.Events[i].Seq < out.Events[j].Seq })
+		if len(out.Events) > DefaultEventCap {
+			out.Events = out.Events[len(out.Events)-DefaultEventCap:]
+		}
+	}
+	return out
+}
+
+// mergeStats combines two histogram summaries. When both carry raw
+// buckets the merge is exact (bucket-wise addition, re-summarized);
+// otherwise it degrades conservatively: counts and sums add, each
+// percentile takes the worse input.
+func mergeStats(a, b HistogramStats) HistogramStats {
+	sa, oka := a.Snapshot()
+	sb, okb := b.Snapshot()
+	if oka && okb {
+		return sa.Merge(sb).Summary()
+	}
+	out := HistogramStats{
+		Count: a.Count + b.Count,
+		Sum:   a.Sum + b.Sum,
+		P50:   maxDur(a.P50, b.P50),
+		P95:   maxDur(a.P95, b.P95),
+		P99:   maxDur(a.P99, b.P99),
+		Max:   maxDur(a.Max, b.Max),
+	}
+	if out.Count > 0 {
+		out.Mean = out.Sum / time.Duration(out.Count)
+	}
+	out.Exemplar = slowerExemplar(a.Exemplar, b.Exemplar)
+	return out
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func slowerExemplar(a, b *Exemplar) *Exemplar {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case b.Dur > a.Dur:
+		return b
+	default:
+		return a
+	}
+}

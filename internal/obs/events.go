@@ -51,6 +51,14 @@ const (
 	// EventRepairState: the repair supervisor moved a device through its
 	// state machine (detail is "from -> to" plus the trigger).
 	EventRepairState EventKind = "repair-state"
+	// EventSLOBurn: an SLO's burn rate crossed its threshold in both the
+	// fast and slow windows (detail carries the windows and burn rates).
+	EventSLOBurn EventKind = "slo-burn"
+	// EventSLORecover: a burning SLO returned below threshold.
+	EventSLORecover EventKind = "slo-recover"
+	// EventQoSStep: SLO feedback re-tuned a QoS class rate (detail is
+	// "old -> new bps" plus the direction and reason).
+	EventQoSStep EventKind = "qos-step"
 )
 
 // eventSeq is the process-wide event sequence: one atomic counter

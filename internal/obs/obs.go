@@ -64,11 +64,24 @@ const histBuckets = 32
 // (power-of-two microsecond) buckets. Observe is a pair of atomic adds;
 // percentiles are computed from snapshots with ~2x resolution, ample
 // for p50/p95/p99 monitoring. A nil *Histogram discards observations.
+//
+// A histogram optionally carries one exemplar: the trace ID of a recent
+// slow observation (ObserveTraced), so a dashboard showing a p99 can
+// link straight to the trace that explains it.
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64 // nanoseconds
 	buckets [histBuckets]atomic.Int64
+
+	exDur atomic.Int64  // duration of the current exemplar (ns)
+	exAt  atomic.Int64  // unix-nano when it was recorded
+	exID  atomic.Uint64 // its trace ID (0 = no exemplar)
 }
+
+// exemplarTTL bounds how long an exemplar is defended by its duration:
+// after this long even a faster traced observation replaces it, so the
+// exemplar tracks *recent* slowness rather than the all-time maximum.
+const exemplarTTL = 60 * time.Second
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
@@ -87,6 +100,39 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[b].Add(1)
 }
 
+// ObserveTraced records one duration and offers traceID as an
+// exemplar. The exemplar slot keeps the slowest traced observation of
+// the last exemplarTTL; a zero traceID degrades to plain Observe. The
+// fast path (observation not slower than the current exemplar, which is
+// still fresh) adds two atomic loads over Observe.
+func (h *Histogram) ObserveTraced(d time.Duration, traceID uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(d)
+	if traceID == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	if int64(d) <= h.exDur.Load() && now-h.exAt.Load() < int64(exemplarTTL) {
+		return
+	}
+	// Composite store: dur first (it defends the slot), ID last. A racing
+	// slower observation may interleave, leaving a mixed (dur, id) pair
+	// for one snapshot — exemplars are diagnostics, not accounting, and
+	// the next slow op repairs it.
+	h.exDur.Store(int64(d))
+	h.exAt.Store(now)
+	h.exID.Store(traceID)
+}
+
+// Exemplar links a histogram to one recent slow traced operation.
+type Exemplar struct {
+	TraceID uint64        `json:"trace_id,omitempty"`
+	Dur     time.Duration `json:"dur_ns,omitempty"`
+	At      int64         `json:"at_unix_ns,omitempty"`
+}
+
 // Snapshot captures the histogram's current state.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	var s HistogramSnapshot
@@ -98,14 +144,74 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.buckets {
 		s.Buckets[i] = h.buckets[i].Load()
 	}
+	s.Exemplar = Exemplar{
+		TraceID: h.exID.Load(),
+		Dur:     time.Duration(h.exDur.Load()),
+		At:      h.exAt.Load(),
+	}
 	return s
 }
 
 // HistogramSnapshot is a point-in-time copy of a Histogram.
 type HistogramSnapshot struct {
-	Count   int64
-	Sum     time.Duration
-	Buckets [histBuckets]int64
+	Count    int64
+	Sum      time.Duration
+	Buckets  [histBuckets]int64
+	Exemplar Exemplar
+}
+
+// Sub reports the histogram delta s - prev: the observations that
+// landed between the two snapshots. Counters are monotonic, so the
+// difference is itself a valid snapshot — this is how windowed
+// percentiles are derived from the time-series rings. The exemplar of
+// the newer snapshot is kept.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := s
+	out.Count -= prev.Count
+	out.Sum -= prev.Sum
+	for i := range out.Buckets {
+		out.Buckets[i] -= prev.Buckets[i]
+	}
+	return out
+}
+
+// Merge adds another snapshot bucket-wise (cross-node aggregation: the
+// power-of-two edges are shared by construction). The slower exemplar
+// wins.
+func (s HistogramSnapshot) Merge(other HistogramSnapshot) HistogramSnapshot {
+	out := s
+	out.Count += other.Count
+	out.Sum += other.Sum
+	for i := range out.Buckets {
+		out.Buckets[i] += other.Buckets[i]
+	}
+	if other.Exemplar.Dur > out.Exemplar.Dur {
+		out.Exemplar = other.Exemplar
+	}
+	return out
+}
+
+// CountAbove reports how many observations fell in buckets strictly
+// above d — buckets whose full range exceeds d. With power-of-two
+// edges this is exact when d is an edge and conservative (over-counts)
+// otherwise, the safe direction for SLO burn detection.
+func (s HistogramSnapshot) CountAbove(d time.Duration) int64 {
+	var below int64
+	for b := 0; b < histBuckets; b++ {
+		if bucketUpper(b) > d {
+			break
+		}
+		below += s.Buckets[b]
+	}
+	return s.Count - below
+}
+
+// FractionAbove is CountAbove over Count (0 for an empty snapshot).
+func (s HistogramSnapshot) FractionAbove(d time.Duration) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.CountAbove(d)) / float64(s.Count)
 }
 
 // bucketUpper is the (exclusive) upper edge of bucket b.
@@ -231,6 +337,17 @@ func (r *Registry) RegisterGauge(name string, g Gauge) {
 	}
 	r.mu.Lock()
 	r.gauges[name] = g
+	r.mu.Unlock()
+}
+
+// UnregisterGauge removes the named gauge (labeled gauges of departed
+// tenants). Unknown names are ignored.
+func (r *Registry) UnregisterGauge(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.gauges, name)
 	r.mu.Unlock()
 }
 

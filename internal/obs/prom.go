@@ -3,10 +3,50 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 )
+
+// promSample is one exportable sample: the label pairs rendered inside
+// the braces ("" for an unlabeled instrument) and its value source.
+type promSample struct {
+	labels string
+	value  int64
+	hist   HistogramSnapshot
+}
+
+// promFamily groups the samples sharing one base instrument name.
+type promFamily struct {
+	base    string
+	samples []promSample
+}
+
+// groupFamilies folds a flat name→sample map into sorted families,
+// splitting the canonical `base{k="v"}` child names produced by the
+// labeled vecs.
+func groupFamilies(names []string, sample func(name string) promSample) []promFamily {
+	byBase := map[string]*promFamily{}
+	for _, name := range names {
+		base, labels := SplitLabeled(name)
+		f := byBase[base]
+		if f == nil {
+			f = &promFamily{base: base}
+			byBase[base] = f
+		}
+		s := sample(name)
+		s.labels = labels
+		f.samples = append(f.samples, s)
+	}
+	out := make([]promFamily, 0, len(byBase))
+	for _, f := range byBase {
+		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].labels < f.samples[j].labels })
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].base < out[j].base })
+	return out
+}
 
 // WriteProm renders the registry in the Prometheus text exposition
 // format (the /metrics endpoint body):
@@ -17,6 +57,9 @@ import (
 //     samples over the power-of-two-microsecond edges (converted to
 //     seconds, the Prometheus base unit for time), plus `_sum` and
 //     `_count`;
+//   - labeled children (`base{tenant="a"}` names from the vec
+//     instruments) as samples of one shared family, with their label
+//     pairs rendered inside the braces;
 //   - the event log's totals as two counters
 //     (`obs_events_total`, `obs_events_dropped_total`).
 //
@@ -43,23 +86,45 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	events := r.events
 	r.mu.RUnlock()
 
-	for _, name := range SortedKeys(counters) {
-		pn := promName(name) + "_total"
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name]); err != nil {
+	for _, f := range groupFamilies(SortedKeys(counters), func(n string) promSample {
+		return promSample{value: counters[n]}
+	}) {
+		pn := promName(f.base) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", pn); err != nil {
 			return err
+		}
+		for _, s := range f.samples {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", pn, promLabels(s.labels), s.value); err != nil {
+				return err
+			}
 		}
 	}
 	// Gauge callbacks run outside the registry lock (they may take
 	// component locks of their own).
-	for _, name := range SortedKeys(gauges) {
-		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, gauges[name]()); err != nil {
+	for _, f := range groupFamilies(SortedKeys(gauges), func(n string) promSample {
+		return promSample{value: gauges[n]()}
+	}) {
+		pn := promName(f.base)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", pn); err != nil {
 			return err
 		}
+		for _, s := range f.samples {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", pn, promLabels(s.labels), s.value); err != nil {
+				return err
+			}
+		}
 	}
-	for _, name := range SortedKeys(hists) {
-		if err := writePromHist(w, promName(name)+"_seconds", hists[name]); err != nil {
+	for _, f := range groupFamilies(SortedKeys(hists), func(n string) promSample {
+		return promSample{hist: hists[n]}
+	}) {
+		pn := promName(f.base) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
 			return err
+		}
+		for _, s := range f.samples {
+			if err := writePromHist(w, pn, s.labels, s.hist); err != nil {
+				return err
+			}
 		}
 	}
 	if events != nil {
@@ -73,27 +138,40 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	return nil
 }
 
-// writePromHist renders one histogram family: cumulative buckets in
-// seconds, then sum and count.
-func writePromHist(w io.Writer, pn string, s HistogramSnapshot) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
-		return err
+// promLabels renders stored label pairs as a brace block ("" for none).
+func promLabels(labels string) string {
+	if labels == "" {
+		return ""
 	}
+	return "{" + labels + "}"
+}
+
+// promLabelsWith appends one extra pair (le) to a stored label block.
+func promLabelsWith(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// writePromHist renders one histogram member: cumulative buckets in
+// seconds, then sum and count, each carrying the member's label pairs.
+func writePromHist(w io.Writer, pn, labels string, s HistogramSnapshot) error {
 	var cum int64
 	// The last internal bucket absorbs everything above its lower edge,
 	// so it has no finite upper bound: it is represented by +Inf alone.
 	for b := 0; b < histBuckets-1; b++ {
 		cum += s.Buckets[b]
 		le := strconv.FormatFloat(bucketUpper(b).Seconds(), 'g', -1, 64)
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", pn, promLabelsWith(labels, fmt.Sprintf("le=%q", le)), cum); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, s.Count); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", pn, promLabelsWith(labels, `le="+Inf"`), s.Count); err != nil {
 		return err
 	}
 	sum := strconv.FormatFloat(time.Duration(s.Sum).Seconds(), 'g', -1, 64)
-	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, sum, pn, s.Count); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", pn, promLabels(labels), sum, pn, promLabels(labels), s.Count); err != nil {
 		return err
 	}
 	return nil

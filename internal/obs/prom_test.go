@@ -14,9 +14,41 @@ import (
 
 var (
 	promMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-	promSampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]*)"\})? (\S+)$`)
+	promSampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+	promLabelPair  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(,|$)`)
 	promTypeLine   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
 )
+
+// parsePromLabels validates and splits a `{k="v",...}` label block
+// (braces included) into ordered key/value pairs. It returns the pairs
+// and a canonical unquoted rendering `{k=v,...}` used as a sample key.
+func parsePromLabels(t *testing.T, n int, block string) ([][2]string, string) {
+	t.Helper()
+	if block == "" {
+		return nil, ""
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	var pairs [][2]string
+	var canon []string
+	for body != "" {
+		m := promLabelPair.FindStringSubmatch(body)
+		if m == nil {
+			t.Fatalf("line %d: malformed label block %q at %q", n, block, body)
+		}
+		pairs = append(pairs, [2]string{m[1], m[2]})
+		canon = append(canon, m[1]+"="+m[2])
+		body = body[len(m[0]):]
+		if m[3] == "," && body == "" {
+			t.Fatalf("line %d: trailing comma in label block %q", n, block)
+		}
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i][0] == pairs[i-1][0] {
+			t.Fatalf("line %d: duplicate label name %q in %q", n, pairs[i][0], block)
+		}
+	}
+	return pairs, "{" + strings.Join(canon, ",") + "}"
+}
 
 // checkPromGrammar validates body against the text exposition format:
 // every line is a `# TYPE` declaration or a sample, names match the
@@ -28,12 +60,19 @@ func checkPromGrammar(t *testing.T, body string) map[string]float64 {
 	samples := make(map[string]float64)
 	types := make(map[string]string)
 	family := "" // the most recent TYPE declaration
-	var lastBucket float64
-	sawInf := false
+	// Bucket cumulativity and +Inf presence are tracked per series:
+	// a labeled histogram family interleaves one bucket ladder per
+	// child, keyed by the non-le labels.
+	lastBucket := make(map[string]float64)
+	sawInf := make(map[string]bool)
 
 	flushHist := func() {
-		if family != "" && types[family] == "histogram" && !sawInf {
-			t.Errorf("histogram %s has no +Inf bucket", family)
+		if family != "" && types[family] == "histogram" {
+			for series, ok := range sawInf {
+				if !ok {
+					t.Errorf("histogram %s%s has no +Inf bucket", family, series)
+				}
+			}
 		}
 	}
 
@@ -52,7 +91,9 @@ func checkPromGrammar(t *testing.T, body string) map[string]float64 {
 				t.Fatalf("line %d: family %s declared twice", n, m[1])
 			}
 			flushHist()
-			family, lastBucket, sawInf = m[1], 0, false
+			family = m[1]
+			lastBucket = make(map[string]float64)
+			sawInf = make(map[string]bool)
 			types[m[1]] = m[2]
 			continue
 		}
@@ -60,9 +101,25 @@ func checkPromGrammar(t *testing.T, body string) map[string]float64 {
 		if m == nil {
 			t.Fatalf("line %d: malformed sample %q", n, line)
 		}
-		name, le, raw := m[1], m[3], m[4]
+		name, raw := m[1], m[3]
 		if !promMetricName.MatchString(name) {
 			t.Fatalf("line %d: bad metric name %q", n, name)
+		}
+		pairs, canon := parsePromLabels(t, n, m[2])
+		le := ""
+		series := "" // canonical labels with le stripped
+		{
+			var rest []string
+			for _, p := range pairs {
+				if p[0] == "le" {
+					le = p[1]
+				} else {
+					rest = append(rest, p[0]+"="+p[1])
+				}
+			}
+			if len(rest) > 0 {
+				series = "{" + strings.Join(rest, ",") + "}"
+			}
 		}
 		val, err := strconv.ParseFloat(raw, 64)
 		if err != nil {
@@ -80,24 +137,26 @@ func checkPromGrammar(t *testing.T, body string) map[string]float64 {
 		if base != family {
 			t.Fatalf("line %d: sample %s outside its family block (current family %s)", n, name, family)
 		}
-		if m[2] != "" { // a {le=...} labelled bucket sample
+		if le != "" { // a {le=...} labelled bucket sample
 			if types[family] != "histogram" || name != family+"_bucket" {
 				t.Fatalf("line %d: le label on non-bucket sample %s", n, name)
 			}
-			if val < lastBucket {
-				t.Fatalf("line %d: bucket le=%q not cumulative (%v < %v)", n, le, val, lastBucket)
+			if val < lastBucket[series] {
+				t.Fatalf("line %d: bucket le=%q not cumulative (%v < %v)", n, le, val, lastBucket[series])
 			}
-			lastBucket = val
+			lastBucket[series] = val
 			if le == "+Inf" {
-				sawInf = true
+				sawInf[series] = true
 			} else if _, err := strconv.ParseFloat(le, 64); err != nil {
 				t.Fatalf("line %d: unparseable le bound %q", n, le)
 			}
+			if _, seen := sawInf[series]; !seen {
+				sawInf[series] = false
+			}
+		} else if types[family] == "histogram" && name == family+"_bucket" {
+			t.Fatalf("line %d: bucket sample %s without le label", n, name)
 		}
-		key := name
-		if le != "" {
-			key = name + "{le=" + le + "}"
-		}
+		key := name + canon
 		if _, dup := samples[key]; dup {
 			t.Fatalf("line %d: duplicate sample %s", n, key)
 		}
@@ -168,6 +227,69 @@ func TestWritePromGrammar(t *testing.T) {
 	}
 	if got, ok := samples["obs_events_dropped_total"]; !ok || got != 0 {
 		t.Errorf("obs_events_dropped_total = %v (present=%v), want 0", got, ok)
+	}
+}
+
+// TestWritePromLabeled pins the labeled exposition: all children of a
+// vec share one # TYPE declaration, label pairs survive round-trip
+// (including escaped values), and labeled histogram children each
+// carry a full cumulative bucket ladder.
+func TestWritePromLabeled(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("qos.tenant_bytes_in", "tenant")
+	cv.With("alice").Add(10)
+	cv.With("bob").Add(32)
+	cv.With(`ev"il\`).Add(1) // quote + backslash must be escaped
+	gv := r.GaugeVec("qos.tenant_share_bps", "tenant")
+	gv.With("alice").Set(1 << 20)
+	hv := r.HistogramVec("mgr.op_latency", "op")
+	hv.With("read").Observe(100 * time.Microsecond)
+	hv.With("read").Observe(3 * time.Millisecond)
+	hv.With("write").Observe(40 * time.Millisecond)
+	r.Counter("mgr.fg_ops").Add(5) // plain counter alongside the vecs
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	samples := checkPromGrammar(t, body)
+
+	if got := samples[`qos_tenant_bytes_in_total{tenant=alice}`]; got != 10 {
+		t.Errorf("alice counter = %v, want 10", got)
+	}
+	if got := samples[`qos_tenant_bytes_in_total{tenant=bob}`]; got != 32 {
+		t.Errorf("bob counter = %v, want 32", got)
+	}
+	if got := samples[`qos_tenant_bytes_in_total{tenant=ev\"il\\}`]; got != 1 {
+		keys := make([]string, 0, len(samples))
+		for k := range samples {
+			if strings.HasPrefix(k, "qos_tenant_bytes_in_total") {
+				keys = append(keys, k)
+			}
+		}
+		t.Errorf("escaped-tenant counter = %v, want 1 (have %v)", got, keys)
+	}
+	if got := samples[`qos_tenant_share_bps{tenant=alice}`]; got != 1<<20 {
+		t.Errorf("share gauge = %v, want %v", got, 1<<20)
+	}
+	if got := samples[`mgr_op_latency_seconds_count{op=read}`]; got != 2 {
+		t.Errorf("read _count = %v, want 2", got)
+	}
+	if got := samples[`mgr_op_latency_seconds_count{op=write}`]; got != 1 {
+		t.Errorf("write _count = %v, want 1", got)
+	}
+	if got := samples[`mgr_op_latency_seconds_bucket{op=read,le=+Inf}`]; got != 2 {
+		t.Errorf("read +Inf bucket = %v, want 2", got)
+	}
+	if got := samples["mgr_fg_ops_total"]; got != 5 {
+		t.Errorf("plain counter = %v, want 5", got)
+	}
+	// One TYPE declaration per family, shared by every child.
+	for _, family := range []string{"qos_tenant_bytes_in_total", "qos_tenant_share_bps", "mgr_op_latency_seconds"} {
+		if n := strings.Count(body, "# TYPE "+family+" "); n != 1 {
+			t.Errorf("family %s declared %d times, want 1", family, n)
+		}
 	}
 }
 

@@ -9,26 +9,54 @@ import (
 )
 
 // HistogramStats is the monitoring summary of one histogram, with
-// durations in nanoseconds for JSON transport.
+// durations in nanoseconds for JSON transport. Sum and Buckets carry
+// the raw state so consumers (raidxctl top, cluster aggregation) can
+// merge histograms bucket-wise across nodes and window them between
+// polls; old snapshots without them still decode (Buckets empty).
 type HistogramStats struct {
-	Count int64         `json:"count"`
-	Mean  time.Duration `json:"mean_ns"`
-	P50   time.Duration `json:"p50_ns"`
-	P95   time.Duration `json:"p95_ns"`
-	P99   time.Duration `json:"p99_ns"`
-	Max   time.Duration `json:"max_ns"`
+	Count    int64         `json:"count"`
+	Mean     time.Duration `json:"mean_ns"`
+	P50      time.Duration `json:"p50_ns"`
+	P95      time.Duration `json:"p95_ns"`
+	P99      time.Duration `json:"p99_ns"`
+	Max      time.Duration `json:"max_ns"`
+	Sum      time.Duration `json:"sum_ns,omitempty"`
+	Buckets  []int64       `json:"buckets,omitempty"`
+	Exemplar *Exemplar     `json:"exemplar,omitempty"`
 }
 
 // Summary condenses a snapshot into the monitoring quantities.
 func (s HistogramSnapshot) Summary() HistogramStats {
-	return HistogramStats{
-		Count: s.Count,
-		Mean:  s.Mean(),
-		P50:   s.Percentile(50),
-		P95:   s.Percentile(95),
-		P99:   s.Percentile(99),
-		Max:   s.Max(),
+	st := HistogramStats{
+		Count:   s.Count,
+		Mean:    s.Mean(),
+		P50:     s.Percentile(50),
+		P95:     s.Percentile(95),
+		P99:     s.Percentile(99),
+		Max:     s.Max(),
+		Sum:     s.Sum,
+		Buckets: append([]int64(nil), s.Buckets[:]...),
 	}
+	if s.Exemplar.TraceID != 0 {
+		ex := s.Exemplar
+		st.Exemplar = &ex
+	}
+	return st
+}
+
+// Snapshot reconstructs the raw histogram state from stats. The second
+// result is false when the stats were produced without buckets (an
+// old-format snapshot) — counts and sum are still filled in.
+func (st HistogramStats) Snapshot() (HistogramSnapshot, bool) {
+	s := HistogramSnapshot{Count: st.Count, Sum: st.Sum}
+	if st.Exemplar != nil {
+		s.Exemplar = *st.Exemplar
+	}
+	if len(st.Buckets) != histBuckets {
+		return s, false
+	}
+	copy(s.Buckets[:], st.Buckets)
+	return s, true
 }
 
 // Snapshot is a point-in-time copy of a registry, ready for JSON.

@@ -117,6 +117,15 @@ func (b *bucket) limited() bool {
 	return b.rate > 0
 }
 
+// limits reports the bucket's live rate and burst — the values the
+// qos.*_rate_bps gauges export. Read under the bucket lock so a
+// concurrent setRate (SLO feedback re-tuning) is never half-seen.
+func (b *bucket) limits() (rate, burst int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rate, b.burst
+}
+
 // wait blocks until n bytes are admitted or ctx is done. Admissions
 // larger than the burst window wait for min(n, burst) and take the
 // rest as debt. rate and burst are only ever read under b.mu — setRate
@@ -160,9 +169,10 @@ func (b *bucket) wait(ctx context.Context, n int64) error {
 }
 
 type tenantState struct {
-	b     *bucket
-	bytes int64
-	last  time.Time // most recent admission attempt
+	b      *bucket
+	bytes  int64
+	last   time.Time // most recent admission attempt
+	bytesG *obs.GaugeVal
 }
 
 // Scheduler admits I/O by class and, within the foreground class, by
@@ -177,14 +187,21 @@ type Scheduler struct {
 	bg  *bucket
 
 	mu      sync.Mutex
+	fgRate  int64 // live class rates: cfg seeds them, Set*Rate re-tunes
+	bgRate  int64
 	tenants map[string]*tenantState
 	retired map[string]int64 // admitted bytes of expired tenants
 
 	admittedFG, admittedBG *obs.Counter
 	waitsFG, waitsBG       *obs.Counter
+	shareG, bytesG         *obs.GaugeVec
 }
 
-// New creates a scheduler from cfg and registers its gauges.
+// New creates a scheduler from cfg and registers its gauges. The
+// qos.fg_rate_bps / qos.bg_rate_bps gauges (and their *_burst_bytes
+// companions) read the live bucket limits under the bucket lock, so
+// re-tuning (SetBackgroundRate from SLO feedback) is visible in /stats
+// immediately — they do NOT echo the construction-time config.
 func New(cfg Config) *Scheduler {
 	if cfg.TenantIdle <= 0 {
 		cfg.TenantIdle = 10 * time.Second
@@ -193,6 +210,8 @@ func New(cfg Config) *Scheduler {
 		cfg:     cfg,
 		fg:      newBucket(cfg.ForegroundBytesPerSec, cfg.BurstWindow),
 		bg:      newBucket(cfg.BackgroundBytesPerSec, cfg.BurstWindow),
+		fgRate:  cfg.ForegroundBytesPerSec,
+		bgRate:  cfg.BackgroundBytesPerSec,
 		tenants: map[string]*tenantState{},
 		retired: map[string]int64{},
 	}
@@ -201,8 +220,12 @@ func New(cfg Config) *Scheduler {
 		s.admittedBG = r.Counter("qos.bg_bytes")
 		s.waitsFG = r.Counter("qos.fg_waits")
 		s.waitsBG = r.Counter("qos.bg_waits")
-		r.RegisterGauge("qos.fg_rate_bps", func() int64 { return cfg.ForegroundBytesPerSec })
-		r.RegisterGauge("qos.bg_rate_bps", func() int64 { return cfg.BackgroundBytesPerSec })
+		s.shareG = r.GaugeVec("qos.tenant_share_bps", "tenant")
+		s.bytesG = r.GaugeVec("qos.tenant_bytes", "tenant")
+		r.RegisterGauge("qos.fg_rate_bps", func() int64 { rate, _ := s.fg.limits(); return rate })
+		r.RegisterGauge("qos.bg_rate_bps", func() int64 { rate, _ := s.bg.limits(); return rate })
+		r.RegisterGauge("qos.fg_burst_bytes", func() int64 { _, burst := s.fg.limits(); return burst })
+		r.RegisterGauge("qos.bg_burst_bytes", func() int64 { _, burst := s.bg.limits(); return burst })
 		r.RegisterGauge("qos.tenants", func() int64 {
 			s.mu.Lock()
 			defer s.mu.Unlock()
@@ -210,6 +233,41 @@ func New(cfg Config) *Scheduler {
 		})
 	}
 	return s
+}
+
+// BackgroundRate reports the live Background class rate in bytes/sec.
+// Together with SetBackgroundRate it satisfies obs.Actuator, the SLO
+// feedback surface.
+func (s *Scheduler) BackgroundRate() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bgRate
+}
+
+// SetBackgroundRate re-tunes the Background class rate in place (0 =
+// unlimited). In-flight waits observe the new rate on their next refill.
+func (s *Scheduler) SetBackgroundRate(bps int64) {
+	s.mu.Lock()
+	s.bgRate = bps
+	s.mu.Unlock()
+	s.bg.setRate(bps, s.cfg.BurstWindow)
+}
+
+// ForegroundRate reports the live Foreground class rate in bytes/sec.
+func (s *Scheduler) ForegroundRate() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fgRate
+}
+
+// SetForegroundRate re-tunes the Foreground class rate and every active
+// tenant's share of it.
+func (s *Scheduler) SetForegroundRate(bps int64) {
+	s.mu.Lock()
+	s.fgRate = bps
+	s.retuneLocked()
+	s.mu.Unlock()
+	s.fg.setRate(bps, s.cfg.BurstWindow)
 }
 
 // tenant returns (creating if needed) the per-tenant bucket, expiring
@@ -222,7 +280,12 @@ func (s *Scheduler) tenant(name string) *tenantState {
 	changed := s.sweepLocked(now, name)
 	ts, ok := s.tenants[name]
 	if !ok {
-		ts = &tenantState{b: newBucket(0, s.cfg.BurstWindow), bytes: s.retired[name]}
+		ts = &tenantState{
+			b:      newBucket(0, s.cfg.BurstWindow),
+			bytes:  s.retired[name],
+			bytesG: s.bytesG.With(name),
+		}
+		ts.bytesG.Set(ts.bytes)
 		delete(s.retired, name)
 		s.tenants[name] = ts
 		changed = true
@@ -244,6 +307,9 @@ func (s *Scheduler) sweepLocked(now time.Time, keep string) bool {
 		if n != keep && t.last.Before(cut) {
 			s.retired[n] += t.bytes
 			delete(s.tenants, n)
+			// The share gauge goes with the tenant; the cumulative byte
+			// gauge stays (it is still the tenant's true total).
+			s.shareG.Delete(n)
 			changed = true
 		}
 	}
@@ -251,14 +317,15 @@ func (s *Scheduler) sweepLocked(now time.Time, keep string) bool {
 }
 
 // retuneLocked resizes every active tenant's slice to an equal share of
-// the foreground rate.
+// the live foreground rate.
 func (s *Scheduler) retuneLocked() {
-	if s.cfg.ForegroundBytesPerSec <= 0 || len(s.tenants) == 0 {
+	if s.fgRate <= 0 || len(s.tenants) == 0 {
 		return
 	}
-	share := s.cfg.ForegroundBytesPerSec / int64(len(s.tenants))
-	for _, t := range s.tenants {
+	share := s.fgRate / int64(len(s.tenants))
+	for n, t := range s.tenants {
 		t.b.setRate(share, s.cfg.BurstWindow)
+		s.shareG.With(n).Set(share)
 	}
 }
 
@@ -295,6 +362,7 @@ func (s *Scheduler) Wait(ctx context.Context, c Class, tenant string, n int) err
 	if ts != nil {
 		s.mu.Lock()
 		ts.bytes += int64(n)
+		ts.bytesG.Set(ts.bytes)
 		ts.last = time.Now()
 		s.mu.Unlock()
 	}

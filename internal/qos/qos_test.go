@@ -230,3 +230,73 @@ func TestPaceShape(t *testing.T) {
 		t.Fatalf("unexpected counter value %d", v)
 	}
 }
+
+// TestLiveRateGauges pins the PR-8 fix: qos.fg_rate_bps / qos.bg_rate_bps
+// report the scheduler's *live* bucket rates (not the construction-time
+// config), so SLO feedback re-tuning is visible in snapshots.
+func TestLiveRateGauges(t *testing.T) {
+	r := obs.NewRegistry()
+	s := New(Config{ForegroundBytesPerSec: 32 << 20, BackgroundBytesPerSec: 8 << 20, Obs: r})
+
+	g := r.Snapshot().Gauges
+	if g["qos.fg_rate_bps"] != 32<<20 || g["qos.bg_rate_bps"] != 8<<20 {
+		t.Fatalf("initial gauges fg=%d bg=%d, want configured rates", g["qos.fg_rate_bps"], g["qos.bg_rate_bps"])
+	}
+
+	// The SLO actuator surface: rate changes land in the gauges.
+	s.SetBackgroundRate(2 << 20)
+	if got := s.BackgroundRate(); got != 2<<20 {
+		t.Fatalf("BackgroundRate = %d, want %d", got, 2<<20)
+	}
+	s.SetForegroundRate(16 << 20)
+	if got := s.ForegroundRate(); got != 16<<20 {
+		t.Fatalf("ForegroundRate = %d, want %d", got, 16<<20)
+	}
+	g = r.Snapshot().Gauges
+	if g["qos.bg_rate_bps"] != 2<<20 {
+		t.Errorf("bg gauge after SetBackgroundRate = %d, want %d", g["qos.bg_rate_bps"], 2<<20)
+	}
+	if g["qos.fg_rate_bps"] != 16<<20 {
+		t.Errorf("fg gauge after SetForegroundRate = %d, want %d", g["qos.fg_rate_bps"], 16<<20)
+	}
+}
+
+// TestTenantLabeledGauges checks the per-tenant labeled exports: each
+// active tenant gets qos.tenant_share_bps{tenant=...} and
+// qos.tenant_bytes{tenant=...}; expiry deletes the share gauge but the
+// cumulative byte gauge survives (it is still the true total).
+func TestTenantLabeledGauges(t *testing.T) {
+	r := obs.NewRegistry()
+	s := New(Config{ForegroundBytesPerSec: 8 << 20, BurstWindow: time.Millisecond, TenantIdle: 50 * time.Millisecond, Obs: r})
+	ctx := context.Background()
+	for _, tn := range []string{"a", "b"} {
+		if err := s.Wait(ctx, Foreground, tn, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := r.Snapshot().Gauges
+	shareA := obs.LabelName("qos.tenant_share_bps", "tenant", "a")
+	bytesB := obs.LabelName("qos.tenant_bytes", "tenant", "b")
+	if g[shareA] != 4<<20 {
+		t.Fatalf("share{a} = %d, want %d (half of fg)", g[shareA], 4<<20)
+	}
+	if g[bytesB] != 100 {
+		t.Fatalf("bytes{b} = %d, want 100", g[bytesB])
+	}
+
+	// b idles out; a's next admission sweeps it.
+	time.Sleep(120 * time.Millisecond)
+	if err := s.Wait(ctx, Foreground, "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	g = r.Snapshot().Gauges
+	if _, ok := g[obs.LabelName("qos.tenant_share_bps", "tenant", "b")]; ok {
+		t.Error("expired tenant's share gauge not deleted")
+	}
+	if g[shareA] != 8<<20 {
+		t.Errorf("share{a} after expiry = %d, want full rate", g[shareA])
+	}
+	if g[bytesB] != 100 {
+		t.Errorf("bytes{b} after expiry = %d, want cumulative 100 kept", g[bytesB])
+	}
+}

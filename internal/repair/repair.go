@@ -32,6 +32,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -61,6 +62,25 @@ const (
 	// device.
 	StateResyncing State = "resyncing"
 )
+
+// Code maps a state onto the numeric scale the repair.dev_state{dev=…}
+// gauge exports: 0 healthy rising to 4 mid-recovery, so a dashboard can
+// threshold on "anything above zero".
+func (st State) Code() int64 {
+	switch st {
+	case StateHealthy:
+		return 0
+	case StateSuspect:
+		return 1
+	case StateDegraded:
+		return 2
+	case StateRebuilding:
+		return 3
+	case StateResyncing:
+		return 4
+	}
+	return -1
+}
 
 // Array is the slice of core.RAIDx the supervisor drives.
 type Array interface {
@@ -149,6 +169,7 @@ type Supervisor struct {
 	cfg Config
 
 	events *obs.EventLog
+	stateG *obs.GaugeVec
 
 	mu        sync.Mutex
 	devs      []DevStatus
@@ -214,6 +235,10 @@ func New(arr Array, sp *raid.Sparer, cfg Config) *Supervisor {
 			}
 			return n
 		})
+		s.stateG = cfg.Obs.GaugeVec("repair.dev_state", "dev")
+		for i := range s.devs {
+			s.stateG.With(strconv.Itoa(i)).Set(s.devs[i].State.Code())
+		}
 	}
 	return s
 }
@@ -336,6 +361,7 @@ func (s *Supervisor) setState(idx int, next State, why string) {
 	s.devs[idx].State = next
 	s.devs[idx].Since = time.Now()
 	s.mu.Unlock()
+	s.stateG.With(strconv.Itoa(idx)).Set(next.Code())
 	s.events.Append(obs.EventRepairState, fmt.Sprintf("repair/d%d", idx),
 		fmt.Sprintf("%s -> %s: %s", prev, next, why))
 }
@@ -441,8 +467,9 @@ func (s *Supervisor) transitionLocked(idx int, next State, why string) {
 	}
 	s.devs[idx].State = next
 	s.devs[idx].Since = time.Now()
-	// The event log does its own locking and never calls back into the
-	// supervisor, so appending under s.mu is safe.
+	// The event log and the state gauge do their own locking and never
+	// call back into the supervisor, so updating under s.mu is safe.
+	s.stateG.With(strconv.Itoa(idx)).Set(next.Code())
 	s.events.Append(obs.EventRepairState, fmt.Sprintf("repair/d%d", idx),
 		fmt.Sprintf("%s -> %s: %s", prev, next, why))
 }

@@ -43,6 +43,7 @@ import (
 	"repro/internal/intent"
 	"repro/internal/layout"
 	"repro/internal/nfssim"
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/raid"
 	"repro/internal/reliab"
@@ -341,6 +342,43 @@ const (
 
 // NewQoS creates a QoS admission scheduler.
 func NewQoS(cfg QoSConfig) *QoSScheduler { return qos.New(cfg) }
+
+// Observability plane: time-series sampling, cluster aggregation, and
+// SLO burn-rate feedback into QoS (DESIGN.md section 14).
+type (
+	// MetricsRegistry holds a process's counters, gauges, histograms,
+	// and labeled instrument families.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time JSON-serializable registry dump.
+	MetricsSnapshot = obs.Snapshot
+	// Sampler snapshots a registry into fixed time-series rings.
+	Sampler = obs.Sampler
+	// SamplerConfig sets the sampling interval, ring capacity, and
+	// rate windows.
+	SamplerConfig = obs.SamplerConfig
+	// SLOTracker evaluates multi-window burn rates against a latency
+	// and error-budget objective and steps a QoS actuator.
+	SLOTracker = obs.SLOTracker
+	// SLOConfig names the instruments, objective, and actuator of an SLO.
+	SLOConfig = obs.SLOConfig
+	// SLOActuator is the feedback surface an SLO tracker drives; the
+	// QoS scheduler's background class implements it.
+	SLOActuator = obs.Actuator
+)
+
+// NewMetricsRegistry creates an empty instrument registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSampler attaches a background time-series sampler to a registry.
+func NewSampler(r *MetricsRegistry, cfg SamplerConfig) *Sampler { return obs.NewSampler(r, cfg) }
+
+// NewSLOTracker builds a burn-rate tracker; call Start to evaluate
+// periodically.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker { return obs.NewSLOTracker(cfg) }
+
+// MergeSnapshots aggregates per-node registry snapshots into one
+// cluster view: counters and gauges sum, histograms merge bucket-wise.
+func MergeSnapshots(snaps ...MetricsSnapshot) MetricsSnapshot { return obs.MergeSnapshots(snaps...) }
 
 // CompareReliability builds the MTTDL table for an n-by-k cluster.
 func CompareReliability(nodes, disksPerNode int, diskBlocks int64, mttf, mttr time.Duration, trials int) []ReliabilityRow {
