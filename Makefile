@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck promtest check bench benchcheck chaoscheck crashcheck fuzz scalecheck obscheck
+.PHONY: build test race vet staticcheck promtest check bench benchcheck chaoscheck crashcheck fuzz scalecheck obscheck paritycheck
 
 build:
 	$(GO) build ./...
@@ -52,10 +52,13 @@ crashcheck:
 	$(GO) test -run 'TestCrash|TestFaultFS|TestSuperblock|TestInspect|TestFileReopen|TestFileWasClean|TestFileBlank|TestFileConcurrent|TestLogSave|TestLogLoad|TestRepairLocal|TestRepairCheckpoint|TestRepairStateDir' -race -count=2 ./...
 
 # fuzz gives each parser fuzzer a short budget: snapshot merging and
-# superblock decoding must never panic on arbitrary bytes.
+# superblock decoding must never panic on arbitrary bytes, and
+# Reed-Solomon encode/reconstruct must round-trip every geometry and
+# erasure pattern the fuzzer can reach.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLogMerge -fuzztime 20s ./internal/intent/
 	$(GO) test -run '^$$' -fuzz FuzzSuperblockDecode -fuzztime 20s ./internal/store/
+	$(GO) test -run '^$$' -fuzz FuzzRSRoundTrip -fuzztime 20s ./internal/parity/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -67,7 +70,16 @@ bench:
 # regression fails here before it shows up in the benchmarks. Must run
 # without -race — the race runtime allocates on its own account.
 benchcheck:
-	$(GO) test -run 'TestAllocs' -count=1 -v ./internal/transport/ ./internal/cdd/ ./internal/core/
+	$(GO) test -run 'TestAllocs|TestFloor' -count=1 -v ./internal/transport/ ./internal/cdd/ ./internal/core/ ./internal/raid/ ./internal/parity/
+
+# paritycheck runs the parity-kernel shard (CI job `parity`): the full
+# kernel/RS suite under the race detector, the portable purego build of
+# the same tests (exercising the safe word path the asm replaces), and
+# the throughput floor + allocation pins without -race.
+paritycheck:
+	$(GO) test -race -count=1 ./internal/parity/
+	$(GO) test -tags purego -count=1 ./internal/parity/
+	$(GO) test -run 'TestAllocs|TestFloor' -count=1 -v ./internal/parity/ ./internal/raid/
 
 # obscheck runs the observability-plane shard (CI job `obs`): the
 # whole obs package (labeled instruments, time-series sampler, cluster

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"repro/internal/parity"
+)
+
+// runParity measures the internal/parity kernels in isolation: the
+// word-parallel XOR against the byte-at-a-time loop it replaced, the
+// GF(2^8) multiply-accumulate, and Reed-Solomon encode/reconstruct for
+// the stripe geometries the rs engine ships. Every number is best-of-N
+// (default 3) so a background scheduler blip can't understate a
+// kernel; the byte-loop row doubles as the recorded "before" baseline
+// in BENCH_PR9.json.
+func runParity(args []string) error {
+	fs := flag.NewFlagSet("parity", flag.ExitOnError)
+	size := fs.Int("size", 64<<10, "buffer/shard size in bytes")
+	best := fs.Int("best", 3, "take the best of this many runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *size < 1 || *best < 1 {
+		return fmt.Errorf("parity: -size and -best must be >= 1")
+	}
+
+	fmt.Printf("Parity kernels (%s path), %d-byte buffers, best of %d:\n\n",
+		parity.KernelName(), *size, *best)
+	fmt.Printf("%-22s %12s %12s %12s\n", "benchmark", "MB/s", "ns/op", "allocs/op")
+
+	dst := make([]byte, *size)
+	src := make([]byte, *size)
+	for i := range src {
+		src[i] = byte(i * 131)
+	}
+	cases := []struct {
+		name  string
+		bytes int64
+		fn    func(b *testing.B)
+	}{
+		{"xor-bytewise", int64(*size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				parity.XorIntoBytewise(dst, src)
+			}
+		}},
+		{"xor-kernel", int64(*size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				parity.XorInto(dst, src)
+			}
+		}},
+		{"galmulxor", int64(*size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				parity.GalMulXor(dst, src, 0x57)
+			}
+		}},
+	}
+	for _, g := range []struct{ k, m int }{{4, 1}, {8, 2}, {10, 4}} {
+		g := g
+		rs, err := parity.NewRS(g.k, g.m)
+		if err != nil {
+			return err
+		}
+		data := make([][]byte, g.k)
+		par := make([][]byte, g.m)
+		for i := range data {
+			data[i] = make([]byte, *size)
+			for j := range data[i] {
+				data[i][j] = byte(i + j*17)
+			}
+		}
+		for i := range par {
+			par[i] = make([]byte, *size)
+		}
+		cases = append(cases, struct {
+			name  string
+			bytes int64
+			fn    func(b *testing.B)
+		}{fmt.Sprintf("rs-encode-%dx%d", g.k, g.m), int64(g.k * *size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := rs.Encode(data, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+	}
+	// Reconstruct two missing data shards of rs(8,2) — the worst-case
+	// repair the engine performs on a double-degraded read.
+	{
+		rs, err := parity.NewRS(8, 2)
+		if err != nil {
+			return err
+		}
+		shards := make([][]byte, 10)
+		present := make([]bool, 10)
+		for i := range shards {
+			shards[i] = make([]byte, *size)
+			present[i] = true
+		}
+		for i := 0; i < 8; i++ {
+			for j := range shards[i] {
+				shards[i][j] = byte(i ^ j)
+			}
+		}
+		if err := rs.Encode(shards[:8], shards[8:]); err != nil {
+			return err
+		}
+		cases = append(cases, struct {
+			name  string
+			bytes int64
+			fn    func(b *testing.B)
+		}{"rs-reconstruct-8x2", int64(2 * *size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				present[1], present[5] = false, false
+				if err := rs.Reconstruct(shards, present); err != nil {
+					b.Fatal(err)
+				}
+				present[1], present[5] = true, true
+			}
+		}})
+	}
+
+	for _, c := range cases {
+		bytes := c.bytes
+		fn := c.fn
+		var bestRes testing.BenchmarkResult
+		var bestMBps float64
+		for run := 0; run < *best; run++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(bytes)
+				b.ResetTimer()
+				fn(b)
+			})
+			mbps := float64(bytes) * float64(r.N) / r.T.Seconds() / 1e6
+			if mbps > bestMBps {
+				bestMBps, bestRes = mbps, r
+			}
+		}
+		fmt.Printf("%-22s %12.0f %12d %12d\n", c.name, bestMBps, bestRes.NsPerOp(), bestRes.AllocsPerOp())
+		record(benchResult{
+			Name:        "parity/" + c.name,
+			MBps:        bestMBps,
+			NsPerOp:     float64(bestRes.NsPerOp()),
+			AllocsPerOp: float64(bestRes.AllocsPerOp()),
+			BytesPerOp:  bytes,
+		})
+	}
+	return nil
+}

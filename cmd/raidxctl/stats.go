@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -37,6 +38,7 @@ func runStats(fs *flag.FlagSet, r *rig) error {
 		}
 		fmt.Printf("node %d (%s):\n", node, c.Addr())
 		printCounters(snap)
+		renderVolumes(os.Stdout, snap, "  ")
 		printDisks(snap)
 		printHistograms(snap)
 		printEvents(snap, nEvents)

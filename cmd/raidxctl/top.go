@@ -141,6 +141,7 @@ func renderTop(w *strings.Builder, r *rig, cur obs.Snapshot, perNode []obs.Snaps
 
 	renderOps(w, cur, prev, dt, first)
 	renderCache(w, cur)
+	renderVolumes(w, cur, "")
 	renderQoS(w, cur, prev, dt, first)
 	renderSLO(w, perNode)
 	renderRepair(w, cur)

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// renderVolumes folds the vol.* labeled family into one row per
+// volume: policy (from the vol.info info-gauge's labels), logical
+// capacity, redundancy overhead, and the degraded-read counter the
+// engines bump once per block served by reconstruction. Shown by both
+// `raidxctl stats` (per node) and `raidxctl top` (cluster merge).
+func renderVolumes(w io.Writer, snap obs.Snapshot, indent string) {
+	type volRow struct {
+		name, policy     string
+		blocks, overhead int64
+		degraded         int64
+	}
+	rows := map[string]*volRow{}
+	get := func(name string) *volRow {
+		row := rows[name]
+		if row == nil {
+			row = &volRow{name: name}
+			rows[name] = row
+		}
+		return row
+	}
+	for name, v := range snap.Gauges {
+		base, _ := obs.SplitLabeled(name)
+		switch base {
+		case "vol.info":
+			if v != 0 {
+				get(obs.LabelValue(name, "volume")).policy = obs.LabelValue(name, "policy")
+			}
+		case "vol.blocks":
+			get(obs.LabelValue(name, "volume")).blocks = v
+		case "vol.capacity_overhead_pct":
+			get(obs.LabelValue(name, "volume")).overhead = v
+		}
+	}
+	for name, v := range snap.Counters {
+		if base, _ := obs.SplitLabeled(name); base == "vol.degraded_reads" {
+			get(obs.LabelValue(name, "volume")).degraded = v
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%svolumes:\n", indent)
+	fmt.Fprintf(w, "%s  %-16s %-10s %12s %10s %14s\n", indent,
+		"volume", "policy", "blocks", "overhead", "degraded-reads")
+	for _, n := range names {
+		row := rows[n]
+		fmt.Fprintf(w, "%s  %-16s %-10s %12d %9d%% %14d\n", indent,
+			row.name, row.policy, row.blocks, row.overhead, row.degraded)
+	}
+}

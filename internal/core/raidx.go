@@ -27,7 +27,6 @@
 package core
 
 import (
-	"bytes"
 	"context"
 	"fmt"
 	"sync"
@@ -39,6 +38,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/parity"
 	"repro/internal/raid"
 	"repro/internal/trace"
 )
@@ -177,6 +177,10 @@ type RAIDx struct {
 	// rebuildDone/rebuildTotal expose background-repair progress (in
 	// physical blocks of the device under repair) through obs gauges.
 	rebuildDone, rebuildTotal atomic.Int64
+	// degradedNotify, when set (raid.DegradedNotifier), is called with
+	// the number of blocks each degraded read served through a mirror
+	// image; the vol package wires it to a per-volume counter.
+	degradedNotify func(blocks int)
 }
 
 // New builds a RAID-x array over an n-by-k grid of devices: devs[j] is
@@ -434,6 +438,9 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) (err error) {
 			lb := first + int64(t)*int64(width)
 			fns = append(fns, func(ctx context.Context) (err error) {
 				a.met.degradedReads.Inc()
+				if a.degradedNotify != nil {
+					a.degradedNotify(1)
+				}
 				m := a.lay.MirrorLoc(lb)
 				ctx, dh := trace.Start(ctx, "raidx.degraded-read", a.colName[m.Disk])
 				defer func() { dh.End(err) }()
@@ -813,6 +820,12 @@ func (a *RAIDx) RebuildFrom(ctx context.Context, idx int, prog *RebuildProgress,
 	return nil
 }
 
+// SetDegradedNotify implements raid.DegradedNotifier: fn is called
+// with the number of blocks each degraded read served through mirror
+// images. Set it before the array takes I/O; fn must be safe for
+// concurrent calls.
+func (a *RAIDx) SetDegradedNotify(fn func(blocks int)) { a.degradedNotify = fn }
+
 // Verify implements raid.Verifier: every data block must equal its
 // image. Call Flush first if background writes may be pending.
 func (a *RAIDx) Verify(ctx context.Context) (err error) {
@@ -831,12 +844,8 @@ func (a *RAIDx) Verify(ctx context.Context) (err error) {
 		if err := devs[m.Disk].ReadBlocks(ctx, m.Block, image); err != nil {
 			return err
 		}
-		if !bytes.Equal(data, image) {
-			for i := range data {
-				if data[i] != image[i] {
-					return fmt.Errorf("core: block %d differs from its image at byte %d", lb, i)
-				}
-			}
+		if i := parity.FirstDiff(data, image); i >= 0 {
+			return fmt.Errorf("core: block %d differs from its image at byte %d", lb, i)
 		}
 	}
 	return nil

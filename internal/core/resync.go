@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"context"
 	"fmt"
 
@@ -10,6 +9,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/parity"
 	"repro/internal/raid"
 )
 
@@ -242,7 +242,7 @@ func (a *RAIDx) ScrubSample(ctx context.Context, idx int, stride int64, pace Pac
 			return st, err
 		}
 		st.BlocksChecked++
-		if !bytes.Equal(have, want) {
+		if parity.FirstDiff(have, want) >= 0 {
 			st.Mismatches++
 			if err := devs[idx].WriteBlocks(ctx, pb, want); err != nil {
 				return st, err

@@ -1,0 +1,133 @@
+// Package parity implements the redundancy kernels every parity scheme
+// in this repo is built from: word-parallel XOR, GF(2^8) multiply-
+// accumulate via split 4-bit lookup tables, and a systematic
+// Reed-Solomon code over those primitives (DESIGN.md §15).
+//
+// The kernels operate in place over caller-owned buffers — typically
+// pooled blocks from internal/bufpool — and never allocate. Memory
+// contract: destination and source slices must not overlap (the one
+// exception is dst == src element-aliasing in XorInto, which is well
+// defined and zeroes dst). No alignment is required: on targets that
+// tolerate unaligned word access an unsafe load/store fast path is
+// compiled in (word_unsafe.go); elsewhere, or under the `purego` build
+// tag, a portable encoding/binary path is used. Both process 8×8 bytes
+// per unrolled iteration with a byte tail, so throughput does not
+// depend on buffer alignment — only the fast path's constant factor
+// does.
+package parity
+
+// simdXor, when non-nil, XORs a positive multiple of simdChunk bytes
+// of src into dst using vector registers; XorInto hands it the bulk of
+// each buffer and finishes the tail with the word loops. Set by the
+// per-arch init in xor_amd64.go; nil on other targets and under
+// purego.
+var (
+	simdXor      func(dst, src *byte, n int)
+	simdChunk    int
+	kernelSuffix string
+)
+
+// KernelName identifies the compiled word-access path, for benchmark
+// output and bug reports: "unsafe64" when the unaligned fast path is
+// built in, "safe64" for the portable fallback, with a "+sse2"/"+avx2"
+// suffix when a SIMD bulk tier is active.
+func KernelName() string {
+	if fastPath {
+		return "unsafe64" + kernelSuffix
+	}
+	return "safe64" + kernelSuffix
+}
+
+// XorInto xors src into dst: dst[i] ^= src[i] for i < len(src).
+// len(dst) must be >= len(src). This is the hot kernel behind every
+// parity computation, delta update, and reconstruction in the repo —
+// 8 unrolled 64-bit lanes per iteration, then a word loop, then a
+// byte tail, so odd lengths and unaligned sub-slices pay only at the
+// edges.
+func XorInto(dst, src []byte) {
+	n := len(src)
+	if n == 0 {
+		return
+	}
+	_ = dst[n-1] // one bounds check for the whole kernel
+	i := 0
+	if simdXor != nil && n >= simdChunk {
+		i = n &^ (simdChunk - 1)
+		simdXor(&dst[0], &src[0], i)
+	}
+	for ; i+64 <= n; i += 64 {
+		store64(dst, i, load64(dst, i)^load64(src, i))
+		store64(dst, i+8, load64(dst, i+8)^load64(src, i+8))
+		store64(dst, i+16, load64(dst, i+16)^load64(src, i+16))
+		store64(dst, i+24, load64(dst, i+24)^load64(src, i+24))
+		store64(dst, i+32, load64(dst, i+32)^load64(src, i+32))
+		store64(dst, i+40, load64(dst, i+40)^load64(src, i+40))
+		store64(dst, i+48, load64(dst, i+48)^load64(src, i+48))
+		store64(dst, i+56, load64(dst, i+56)^load64(src, i+56))
+	}
+	for ; i+8 <= n; i += 8 {
+		store64(dst, i, load64(dst, i)^load64(src, i))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// XorIntoBytewise is the pre-kernel reference implementation: one byte
+// per iteration. It exists as the correctness oracle for the
+// equivalence tests and as the "before" row in the parity benchmarks;
+// production code must use XorInto.
+func XorIntoBytewise(dst, src []byte) {
+	_ = dst[len(src)-1]
+	for i, v := range src {
+		dst[i] ^= v
+	}
+}
+
+// mul2Into multiplies every byte of p by 2 in GF(2^8) (polynomial
+// 0x11d), in place, eight lanes per word. This is the Horner step that
+// makes the RAID-6-style Q parity row run at XOR-like speed: the
+// per-lane carry of the ·2 is computed SIMD-within-a-register —
+// extract each lane's top bit, shift, and conditionally fold the
+// reduction polynomial back in. Lane arithmetic never crosses byte
+// boundaries, so the trick is endian-agnostic.
+func mul2Into(p []byte) {
+	const hiBits = 0x8080808080808080
+	n := len(p)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		x := load64(p, i)
+		hi := x & hiBits
+		store64(p, i, ((x^hi)<<1)^((hi>>7)*0x1d))
+	}
+	for ; i < n; i++ {
+		p[i] = mulBy2(p[i])
+	}
+}
+
+// FirstDiff returns the index of the first byte where a and b differ,
+// comparing word-at-a-time, or -1 if they are equal. If one slice is a
+// prefix of the other the index of the first missing byte is returned.
+// Verify and scrub paths use it to locate a corruption without a second
+// byte-loop pass after bytes.Equal fails.
+func FirstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		if load64(a, i) != load64(b, i) {
+			break // differing byte is inside this word; byte scan finds it
+		}
+	}
+	for ; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
+}

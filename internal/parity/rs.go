@@ -1,0 +1,348 @@
+package parity
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RS is a systematic Reed-Solomon code over GF(2^8): k data shards, m
+// parity shards, any m erasures recoverable (MDS). The generator rows
+// depend on m:
+//
+//   - m == 1: the single parity row is all ones — plain XOR parity,
+//     identical to RAID-5's, so the whole encode is the XOR kernel.
+//   - m == 2: the RAID-6 P+Q construction — P row all ones, Q row
+//     [2^0, 2^1, ..., 2^(k-1)]. Any k×k submatrix of [I; P; Q] is
+//     invertible for k ≤ 255 (distinct powers of the generator), and Q
+//     evaluates Horner-style with the word-parallel mul2 kernel, so
+//     encode throughput stays XOR-class instead of table-lookup-class.
+//   - m >= 3: systematic Vandermonde — build the (k+m)×k Vandermonde
+//     matrix V over the distinct points α^0..α^(k+m-1) and normalize
+//     by the inverse of its top k×k block. Any k rows of the result
+//     are a product of two invertible matrices, which is the MDS
+//     property. (The naive [I ; V] stacking does NOT have it — this is
+//     Plank's classic correction.)
+//
+// All three agree on the API: rows[j][i] is the coefficient of data
+// shard i in parity shard j.
+type RS struct {
+	k, m int
+	rows [][]byte // m × k generator coefficients (parity part only)
+
+	// per-row fast-path classification, fixed at construction
+	rowKind []rowKind
+}
+
+type rowKind uint8
+
+const (
+	rowGeneric rowKind = iota
+	rowXOR             // all coefficients 1: parity is a plain XOR fold
+	rowPow2            // coefficients [2^0..2^(k-1)]: Horner with mul2Into
+)
+
+// ErrShortShards is returned by Reconstruct when fewer than k shards
+// are present — more than m erasures means data loss at this layer.
+var ErrShortShards = errors.New("parity: too few shards present to reconstruct")
+
+// NewRS builds a code with k data and m parity shards. k+m must be at
+// most 255 (the field has 255 distinct nonzero evaluation points).
+func NewRS(k, m int) (*RS, error) {
+	if k < 1 || m < 1 {
+		return nil, fmt.Errorf("parity: rs(%d,%d): k and m must be >= 1", k, m)
+	}
+	if k+m > 255 {
+		return nil, fmt.Errorf("parity: rs(%d,%d): k+m must be <= 255", k, m)
+	}
+	r := &RS{k: k, m: m}
+	switch {
+	case m == 1:
+		row := make([]byte, k)
+		for i := range row {
+			row[i] = 1
+		}
+		r.rows = [][]byte{row}
+	case m == 2:
+		p := make([]byte, k)
+		q := make([]byte, k)
+		for i := 0; i < k; i++ {
+			p[i] = 1
+			q[i] = gfExp[i]
+		}
+		r.rows = [][]byte{p, q}
+	default:
+		n := k + m
+		v := make([][]byte, n)
+		for row := 0; row < n; row++ {
+			v[row] = make([]byte, k)
+			for col := 0; col < k; col++ {
+				v[row][col] = gfExp[(row*col)%255]
+			}
+		}
+		topInv, err := matInvert(v[:k])
+		if err != nil {
+			return nil, fmt.Errorf("parity: rs(%d,%d): %w", k, m, err)
+		}
+		r.rows = make([][]byte, m)
+		for j := 0; j < m; j++ {
+			r.rows[j] = matMulRow(v[k+j], topInv)
+		}
+	}
+	r.rowKind = make([]rowKind, m)
+	for j, row := range r.rows {
+		r.rowKind[j] = classifyRow(row)
+	}
+	return r, nil
+}
+
+func classifyRow(row []byte) rowKind {
+	xor, pow2 := true, true
+	for i, c := range row {
+		if c != 1 {
+			xor = false
+		}
+		if c != gfExp[i%255] {
+			pow2 = false
+		}
+	}
+	switch {
+	case xor:
+		return rowXOR
+	case pow2:
+		return rowPow2
+	default:
+		return rowGeneric
+	}
+}
+
+// K and M report the code geometry.
+func (r *RS) K() int { return r.k }
+func (r *RS) M() int { return r.m }
+
+// Rows exposes the generator coefficients (parity rows only); callers
+// must not mutate the returned slices. The raid engine uses it for
+// delta parity updates on the small-write path.
+func (r *RS) Rows() [][]byte { return r.rows }
+
+// Encode computes the m parity shards from the k data shards, in
+// place: parity[j] is overwritten. All shards must be the same length.
+// data slices are read-only; nothing is allocated, so callers can pass
+// pooled bufpool blocks or sub-slices of the user's buffer (the
+// zero-copy write path does exactly that).
+func (r *RS) Encode(data, parity [][]byte) error {
+	if err := r.checkShards(data, parity); err != nil {
+		return err
+	}
+	for j, out := range parity {
+		r.encodeRow(j, out, data)
+	}
+	return nil
+}
+
+func (r *RS) encodeRow(j int, out []byte, data [][]byte) {
+	switch r.rowKind[j] {
+	case rowXOR:
+		copy(out, data[0])
+		for i := 1; i < r.k; i++ {
+			XorInto(out, data[i])
+		}
+	case rowPow2:
+		// Horner: Σ d_i·2^i = d_0 ^ 2·(d_1 ^ 2·(d_2 ^ ...)) — one
+		// word-parallel mul2 + one XOR per data shard.
+		copy(out, data[r.k-1])
+		for i := r.k - 2; i >= 0; i-- {
+			mul2Into(out)
+			XorInto(out, data[i])
+		}
+	default:
+		row := r.rows[j]
+		galMul(out, data[0], row[0])
+		for i := 1; i < r.k; i++ {
+			GalMulXor(out, data[i], row[i])
+		}
+	}
+}
+
+// Update applies a data-shard delta to all parity shards in place:
+// parity[j] ^= rows[j][shard]·delta. This is the read-modify-write
+// small-write path — the caller reads old data, XORs new data over it
+// to form delta, and avoids touching the other k-1 data shards.
+func (r *RS) Update(parity [][]byte, shard int, delta []byte) {
+	for j, out := range parity {
+		GalMulXor(out, delta, r.rows[j][shard])
+	}
+}
+
+// Reconstruct fills in the missing shards in place. shards holds all
+// k+m shards in order (data first, then parity); present[i] reports
+// whether shards[i] holds valid content. Missing shards must still be
+// backed by full-length scratch buffers — Reconstruct overwrites them.
+// At least k shards must be present or ErrShortShards is returned.
+func (r *RS) Reconstruct(shards [][]byte, present []bool) error {
+	n := r.k + r.m
+	if len(shards) != n || len(present) != n {
+		return fmt.Errorf("parity: rs(%d,%d): want %d shards, got %d (present %d)", r.k, r.m, n, len(shards), len(present))
+	}
+	size := -1
+	have := 0
+	for i, s := range shards {
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("parity: shard %d length %d != %d", i, len(s), size)
+		}
+		if present[i] {
+			have++
+		}
+	}
+	if have < r.k {
+		return fmt.Errorf("%w: %d of %d present, need %d", ErrShortShards, have, n, r.k)
+	}
+
+	dataMissing := false
+	for i := 0; i < r.k; i++ {
+		if !present[i] {
+			dataMissing = true
+			break
+		}
+	}
+	if dataMissing {
+		if err := r.decodeData(shards, present); err != nil {
+			return err
+		}
+	}
+	// All data is now valid; recompute any missing parity directly.
+	for j := 0; j < r.m; j++ {
+		if !present[r.k+j] {
+			r.encodeRow(j, shards[r.k+j], shards[:r.k])
+		}
+	}
+	return nil
+}
+
+// decodeData solves for the missing data shards from any k present
+// shards: invert the k×k matrix formed by the present shards' rows of
+// the systematic generator [I ; rows], then each missing data shard i
+// is the inverse's row i dotted with the chosen shards. Gaussian
+// elimination on a ≤255×255 byte matrix is microseconds — negligible
+// against the block I/O that surrounds a degraded read.
+func (r *RS) decodeData(shards [][]byte, present []bool) error {
+	chosen := make([]int, 0, r.k)
+	for i := 0; i < r.k+r.m && len(chosen) < r.k; i++ {
+		if present[i] {
+			chosen = append(chosen, i)
+		}
+	}
+	mat := make([][]byte, r.k)
+	for ri, idx := range chosen {
+		row := make([]byte, r.k)
+		if idx < r.k {
+			row[idx] = 1
+		} else {
+			copy(row, r.rows[idx-r.k])
+		}
+		mat[ri] = row
+	}
+	inv, err := matInvert(mat)
+	if err != nil {
+		return fmt.Errorf("parity: reconstruct: %w", err)
+	}
+	for i := 0; i < r.k; i++ {
+		if present[i] {
+			continue
+		}
+		out := shards[i]
+		galMul(out, shards[chosen[0]], inv[i][0])
+		for c := 1; c < r.k; c++ {
+			GalMulXor(out, shards[chosen[c]], inv[i][c])
+		}
+	}
+	return nil
+}
+
+// matInvert returns the inverse of a square matrix over GF(2^8) via
+// Gauss-Jordan elimination. The input is not modified.
+func matInvert(m [][]byte) ([][]byte, error) {
+	n := len(m)
+	// Augmented [work | inv], starting as [m | I].
+	work := make([][]byte, n)
+	inv := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		work[i] = append([]byte(nil), m[i]...)
+		inv[i] = make([]byte, n)
+		inv[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for row := col; row < n; row++ {
+			if work[row][col] != 0 {
+				pivot = row
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, errors.New("singular matrix")
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		if d := work[col][col]; d != 1 {
+			di := gfInv(d)
+			scaleRow(work[col], di)
+			scaleRow(inv[col], di)
+		}
+		for row := 0; row < n; row++ {
+			if row == col || work[row][col] == 0 {
+				continue
+			}
+			f := work[row][col]
+			addScaledRow(work[row], work[col], f)
+			addScaledRow(inv[row], inv[col], f)
+		}
+	}
+	return inv, nil
+}
+
+func scaleRow(row []byte, c byte) {
+	for i := range row {
+		row[i] = gfMul(row[i], c)
+	}
+}
+
+// addScaledRow computes dst ^= c·src element-wise.
+func addScaledRow(dst, src []byte, c byte) {
+	for i := range dst {
+		dst[i] ^= gfMul(src[i], c)
+	}
+}
+
+// matMulRow returns row·m for a 1×n row vector and n×n matrix.
+func matMulRow(row []byte, m [][]byte) []byte {
+	n := len(row)
+	out := make([]byte, len(m[0]))
+	for j := range out {
+		var acc byte
+		for i := 0; i < n; i++ {
+			acc ^= gfMul(row[i], m[i][j])
+		}
+		out[j] = acc
+	}
+	return out
+}
+
+func (r *RS) checkShards(data, parity [][]byte) error {
+	if len(data) != r.k || len(parity) != r.m {
+		return fmt.Errorf("parity: rs(%d,%d): got %d data + %d parity shards", r.k, r.m, len(data), len(parity))
+	}
+	size := len(data[0])
+	for i, s := range data {
+		if len(s) != size {
+			return fmt.Errorf("parity: data shard %d length %d != %d", i, len(s), size)
+		}
+	}
+	for j, s := range parity {
+		if len(s) != size {
+			return fmt.Errorf("parity: parity shard %d length %d != %d", j, len(s), size)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+//go:build !((amd64 || arm64 || ppc64 || ppc64le || s390x) && !purego)
+
+package parity
+
+import "encoding/binary"
+
+// fastPath reports whether the unsafe word-access kernels are compiled
+// in; this file is the portable fallback (strict-alignment targets, or
+// any target with the `purego` build tag). The kernels stay
+// word-parallel — binary.LittleEndian compiles to byte loads that the
+// compiler fuses where legal — they just never form an unaligned
+// pointer.
+const fastPath = false
+
+func load64(b []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(b[i:])
+}
+
+func store64(b []byte, i int, v uint64) {
+	binary.LittleEndian.PutUint64(b[i:], v)
+}

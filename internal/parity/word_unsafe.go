@@ -1,0 +1,26 @@
+//go:build (amd64 || arm64 || ppc64 || ppc64le || s390x) && !purego
+
+package parity
+
+import "unsafe"
+
+// fastPath reports whether the unsafe word-access kernels are compiled
+// in. Exported indirectly through KernelName for benchmarks and bug
+// reports.
+const fastPath = true
+
+// load64 and store64 move one 64-bit word at byte offset i of b,
+// without bounds checks and without alignment requirements. They are
+// only built on architectures where the hardware tolerates unaligned
+// word access (the same set the Go runtime itself relies on for
+// unaligned loads in package bytes/hash); everywhere else the safe
+// variants in word_safe.go are used. Callers must guarantee i+8 <=
+// len(b) — the exported kernels establish that with a single bounds
+// check up front, which is what makes the unrolled loops fast.
+func load64(b []byte, i int) uint64 {
+	return *(*uint64)(unsafe.Pointer(uintptr(unsafe.Pointer(unsafe.SliceData(b))) + uintptr(i)))
+}
+
+func store64(b []byte, i int, v uint64) {
+	*(*uint64)(unsafe.Pointer(uintptr(unsafe.Pointer(unsafe.SliceData(b))) + uintptr(i))) = v
+}

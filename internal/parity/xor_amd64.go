@@ -1,0 +1,37 @@
+//go:build !purego
+
+package parity
+
+// The amd64 SIMD tier sits above the word kernels: XorInto hands the
+// bulk of each buffer (rounded down to the lane-block size) to one of
+// these routines and finishes the tail with the portable word loop.
+// SSE2 is architectural baseline on amd64 so it needs no detection;
+// AVX2 is picked at init when the CPU has it and the OS saves YMM
+// state. The purego build tag drops this file (and the .s file)
+// entirely, leaving the portable kernels.
+
+// xorSSE2 XORs n bytes of src into dst, 64 bytes per iteration.
+// n must be a positive multiple of 64. dst == src is allowed; any
+// other overlap is not.
+//
+//go:noescape
+func xorSSE2(dst, src *byte, n int)
+
+// xorAVX2 XORs n bytes of src into dst, 128 bytes per iteration.
+// n must be a positive multiple of 128. Same aliasing contract.
+//
+//go:noescape
+func xorAVX2(dst, src *byte, n int)
+
+// x86HasAVX2 reports CPU AVX2 support with OS-enabled YMM state
+// (OSXSAVE + XGETBV), the full check — CPUID alone is not enough on a
+// kernel that doesn't save extended state.
+func x86HasAVX2() bool
+
+func init() {
+	if x86HasAVX2() {
+		simdXor, simdChunk, kernelSuffix = xorAVX2, 128, "+avx2"
+	} else {
+		simdXor, simdChunk, kernelSuffix = xorSSE2, 64, "+sse2"
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !amd64 || purego
+
+package parity
+
+// No SIMD tier on this build: simdXor stays nil and XorInto runs the
+// portable word kernels end to end.

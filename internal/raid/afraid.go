@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/layout"
 	"repro/internal/par"
+	"repro/internal/parity"
 )
 
 // AFRAID is the Savage–Wilkes "Frequently Redundant Array of
@@ -27,6 +29,8 @@ type AFRAID struct {
 
 	mu    sync.Mutex
 	dirty map[int64]bool // stripes with stale parity
+
+	degradedNotify func(blocks int)
 }
 
 // NewAFRAID builds an AFRAID array over at least three devices.
@@ -51,6 +55,11 @@ func (a *AFRAID) BlockSize() int { return a.bs }
 
 // Blocks implements Array.
 func (a *AFRAID) Blocks() int64 { return a.lay.DataBlocks() }
+
+// SetDegradedNotify implements DegradedNotifier: fn is called with the
+// number of logical blocks served through reconstruction. Must be set
+// before the array is used; not synchronized against I/O.
+func (a *AFRAID) SetDegradedNotify(fn func(blocks int)) { a.degradedNotify = fn }
 
 // DirtyStripes reports how many stripes currently lack valid parity —
 // the size of the redundancy window.
@@ -114,8 +123,11 @@ func (a *AFRAID) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 		if a.isDirty(s) {
 			return fmt.Errorf("afraid: block %d in redundancy window (stripe %d parity stale): %w", lb, s, ErrDataLoss)
 		}
-		acc := make([]byte, a.bs)
-		buf := make([]byte, a.bs)
+		// Reconstruct directly into the caller's buffer; one pooled
+		// scratch block carries the survivor reads.
+		clear(dst)
+		buf := bufpool.Get(a.bs)
+		defer bufpool.Put(buf)
 		for dd := range a.devs {
 			if dd == failed {
 				continue
@@ -123,9 +135,11 @@ func (a *AFRAID) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 			if err := a.devs[dd].ReadBlocks(ctx, s, buf); err != nil {
 				return err
 			}
-			xorInto(acc, buf)
+			parity.XorInto(dst, buf)
 		}
-		copy(dst, acc)
+		if a.degradedNotify != nil {
+			a.degradedNotify(1)
+		}
 		return nil
 	})
 }
@@ -199,8 +213,11 @@ func (a *AFRAID) syncStripe(ctx context.Context, s int64) error {
 		// No parity disk: the stripe stays dirty until rebuild.
 		return nil
 	}
-	parity := make([]byte, a.bs)
-	buf := make([]byte, a.bs)
+	pblk := bufpool.Get(a.bs)
+	buf := bufpool.Get(a.bs)
+	defer bufpool.Put(pblk)
+	defer bufpool.Put(buf)
+	clear(pblk)
 	for j := 0; j < len(a.devs)-1; j++ {
 		d := a.diskOfData(s, j)
 		if !a.devs[d].Healthy() {
@@ -209,9 +226,9 @@ func (a *AFRAID) syncStripe(ctx context.Context, s int64) error {
 		if err := a.devs[d].ReadBlocks(ctx, s, buf); err != nil {
 			return err
 		}
-		xorInto(parity, buf)
+		parity.XorInto(pblk, buf)
 	}
-	if err := a.devs[pd].WriteBlocksBackground(ctx, s, parity); err != nil {
+	if err := a.devs[pd].WriteBlocksBackground(ctx, s, pblk); err != nil {
 		return err
 	}
 	a.mu.Lock()
@@ -231,12 +248,12 @@ func (a *AFRAID) Rebuild(ctx context.Context, idx int) error {
 		return fmt.Errorf("afraid: %d stripes in the redundancy window: %w", a.DirtyStripes(), ErrDataLoss)
 	}
 	stripes := a.lay.Geo.DiskBlocks
-	acc := make([]byte, a.bs)
-	buf := make([]byte, a.bs)
+	acc := bufpool.Get(a.bs)
+	buf := bufpool.Get(a.bs)
+	defer bufpool.Put(acc)
+	defer bufpool.Put(buf)
 	for s := int64(0); s < stripes; s++ {
-		for i := range acc {
-			acc[i] = 0
-		}
+		clear(acc)
 		for d := range a.devs {
 			if d == idx {
 				continue
@@ -244,7 +261,7 @@ func (a *AFRAID) Rebuild(ctx context.Context, idx int) error {
 			if err := a.devs[d].ReadBlocks(ctx, s, buf); err != nil {
 				return err
 			}
-			xorInto(acc, buf)
+			parity.XorInto(acc, buf)
 		}
 		if err := a.devs[idx].WriteBlocks(ctx, s, acc); err != nil {
 			return err
@@ -256,25 +273,25 @@ func (a *AFRAID) Rebuild(ctx context.Context, idx int) error {
 // Verify implements Verifier: every clean stripe's XOR must be zero
 // (dirty stripes are exempt — that is the redundancy window).
 func (a *AFRAID) Verify(ctx context.Context) error {
-	acc := make([]byte, a.bs)
-	buf := make([]byte, a.bs)
+	acc := bufpool.Get(a.bs)
+	buf := bufpool.Get(a.bs)
+	defer bufpool.Put(acc)
+	defer bufpool.Put(buf)
+	zero := zeroBlock(a.bs)
+	defer bufpool.Put(zero)
 	for s := int64(0); s < a.lay.Geo.DiskBlocks; s++ {
 		if a.isDirty(s) {
 			continue
 		}
-		for i := range acc {
-			acc[i] = 0
-		}
+		clear(acc)
 		for d := range a.devs {
 			if err := a.devs[d].ReadBlocks(ctx, s, buf); err != nil {
 				return err
 			}
-			xorInto(acc, buf)
+			parity.XorInto(acc, buf)
 		}
-		for i, v := range acc {
-			if v != 0 {
-				return fmt.Errorf("afraid: clean stripe %d parity mismatch at byte %d", s, i)
-			}
+		if i := parity.FirstDiff(acc, zero); i >= 0 {
+			return fmt.Errorf("afraid: clean stripe %d parity mismatch at byte %d", s, i)
 		}
 	}
 	return nil

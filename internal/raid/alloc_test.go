@@ -1,0 +1,125 @@
+package raid_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/race"
+	"repro/internal/raid"
+	"repro/internal/store"
+)
+
+// allocLimit runs f and fails if it averages more than limit heap
+// allocations per run. All block-sized scratch on these paths comes
+// from internal/bufpool, so the limits pin only the engines' own
+// bookkeeping (closure fan-out, par.* machinery) — a regression that
+// reintroduces per-stripe make([]byte, bs) shows up here immediately.
+func allocLimit(t *testing.T, limit float64, f func()) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	got := testing.AllocsPerRun(100, f)
+	t.Logf("%.1f allocs/op (limit %.0f)", got, limit)
+	if got > limit {
+		t.Errorf("%.1f allocs/op, want <= %.0f", got, limit)
+	}
+}
+
+func allocDisks(t *testing.T, n int) ([]raid.Dev, []*disk.Disk) {
+	t.Helper()
+	devs := make([]raid.Dev, n)
+	raw := make([]*disk.Disk, n)
+	for i := range devs {
+		d := disk.New(nil, fmt.Sprintf("d%d", i), store.NewMem(4096, 256), disk.DefaultModel())
+		devs[i] = d
+		raw[i] = d
+	}
+	return devs, raw
+}
+
+// TestAllocsAfraidSync pins the lazy-parity sync path: one write that
+// dirties a stripe plus the Flush that recomputes its parity. The
+// parity and read scratch are pooled; what remains is the dirty-map
+// and flush fan-out bookkeeping.
+func TestAllocsAfraidSync(t *testing.T) {
+	devs, _ := allocDisks(t, 4)
+	a, err := raid.NewAFRAID(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	buf := make([]byte, a.BlockSize())
+	allocLimit(t, 40, func() {
+		if err := a.WriteBlocks(ctx, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAllocsAfraidDegradedRead pins the reconstruct path: with a
+// failed disk, reads of its blocks XOR the survivors into the caller's
+// buffer through one pooled scratch block.
+func TestAllocsAfraidDegradedRead(t *testing.T) {
+	devs, raw := allocDisks(t, 4)
+	a, err := raid.NewAFRAID(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	all := make([]byte, 9*a.BlockSize())
+	if err := a.WriteBlocks(ctx, 0, all); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	raw[1].Fail()
+	buf := make([]byte, a.BlockSize())
+	allocLimit(t, 8, func() {
+		if err := a.ReadBlocks(ctx, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAllocsRAID5SmallWrite pins the read-modify-write path: old data
+// and old parity land in pooled blocks.
+func TestAllocsRAID5SmallWrite(t *testing.T) {
+	devs, _ := allocDisks(t, 4)
+	a, err := raid.NewRAID5(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	buf := make([]byte, a.BlockSize())
+	allocLimit(t, 40, func() {
+		if err := a.WriteBlocks(ctx, 5, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAllocsRSFullStripeWrite pins the erasure-coded full-stripe
+// write: data shards go out as gather lists aliasing the caller's
+// buffer, parity staged in one pooled buffer per call.
+func TestAllocsRSFullStripeWrite(t *testing.T) {
+	devs, _ := allocDisks(t, 8)
+	a, err := raid.NewRS(devs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	k, _ := a.Shards()
+	buf := make([]byte, k*a.BlockSize())
+	allocLimit(t, 70, func() {
+		if err := a.WriteBlocks(ctx, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -36,6 +36,9 @@ type engineCase struct {
 	build func(t *testing.T) (raid.Array, []*disk.Disk)
 	// redundant marks architectures that survive one disk failure.
 	redundant bool
+	// tolerates is the number of simultaneous disk failures the
+	// architecture survives (0 means 1 for redundant arrays).
+	tolerates int
 }
 
 func engineCases() []engineCase {
@@ -47,7 +50,7 @@ func engineCases() []engineCase {
 				t.Fatal(err)
 			}
 			return a, raw
-		}, false},
+		}, false, 0},
 		{"raid5", func(t *testing.T) (raid.Array, []*disk.Disk) {
 			devs, raw := mkDisks(4, 64)
 			a, err := raid.NewRAID5(devs)
@@ -55,7 +58,7 @@ func engineCases() []engineCase {
 				t.Fatal(err)
 			}
 			return a, raw
-		}, true},
+		}, true, 1},
 		{"raid10", func(t *testing.T) (raid.Array, []*disk.Disk) {
 			devs, raw := mkDisks(4, 64)
 			a, err := raid.NewRAID10(devs)
@@ -63,7 +66,7 @@ func engineCases() []engineCase {
 				t.Fatal(err)
 			}
 			return a, raw
-		}, true},
+		}, true, 1},
 		{"chained", func(t *testing.T) (raid.Array, []*disk.Disk) {
 			devs, raw := mkDisks(4, 64)
 			a, err := raid.NewChained(devs)
@@ -71,7 +74,7 @@ func engineCases() []engineCase {
 				t.Fatal(err)
 			}
 			return a, raw
-		}, true},
+		}, true, 1},
 		{"raidx", func(t *testing.T) (raid.Array, []*disk.Disk) {
 			devs, raw := mkDisks(4, 64)
 			a, err := core.New(devs, 4, 1, core.Options{})
@@ -79,7 +82,7 @@ func engineCases() []engineCase {
 				t.Fatal(err)
 			}
 			return a, raw
-		}, true},
+		}, true, 1},
 		{"raidx-4x3", func(t *testing.T) (raid.Array, []*disk.Disk) {
 			devs, raw := mkDisks(12, 24)
 			a, err := core.New(devs, 4, 3, core.Options{})
@@ -87,7 +90,31 @@ func engineCases() []engineCase {
 				t.Fatal(err)
 			}
 			return a, raw
-		}, true},
+		}, true, 0},
+		{"rs-5+1", func(t *testing.T) (raid.Array, []*disk.Disk) {
+			devs, raw := mkDisks(6, 64)
+			a, err := raid.NewRS(devs, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a, raw
+		}, true, 1},
+		{"rs-6+2", func(t *testing.T) (raid.Array, []*disk.Disk) {
+			devs, raw := mkDisks(8, 64)
+			a, err := raid.NewRS(devs, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a, raw
+		}, true, 2},
+		{"rs-4+3", func(t *testing.T) (raid.Array, []*disk.Disk) {
+			devs, raw := mkDisks(7, 32)
+			a, err := raid.NewRS(devs, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a, raw
+		}, true, 3},
 	}
 }
 
@@ -360,7 +387,9 @@ func TestEnginesRebuild(t *testing.T) {
 // loss, not silently return wrong data, when two overlapping copies die.
 func TestEnginesDoubleFailureDetected(t *testing.T) {
 	for _, ec := range engineCases() {
-		if !ec.redundant || ec.name == "raidx-4x3" {
+		// Arrays tolerating more than one failure (or with layouts where
+		// disks 0 and 1 may not share a redundancy group) are exempt.
+		if !ec.redundant || ec.name == "raidx-4x3" || ec.tolerates > 1 {
 			continue
 		}
 		t.Run(ec.name, func(t *testing.T) {

@@ -149,10 +149,11 @@ func checkRange(a Array, b int64, p []byte) (blocks int, err error) {
 	return n, nil
 }
 
-// xorInto xors src into dst (dst ^= src). Lengths must match.
-func xorInto(dst, src []byte) {
-	_ = dst[len(src)-1]
-	for i, v := range src {
-		dst[i] ^= v
-	}
+// DegradedNotifier is optionally implemented by engines that can report
+// reads served through redundancy reconstruction instead of a direct
+// block read. The vol package wires it to a per-volume labeled counter;
+// fn must be cheap and safe to call concurrently. Set it before the
+// array takes I/O.
+type DegradedNotifier interface {
+	SetDegradedNotify(fn func(blocks int))
 }

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/layout"
 	"repro/internal/par"
+	"repro/internal/parity"
 )
 
 // RAID5 is block-interleaved distributed parity. Small writes pay the
@@ -14,10 +16,16 @@ import (
 // writes compute parity in memory and write all disks in parallel. The
 // array survives a single disk failure: degraded reads reconstruct from
 // the surviving blocks, and Rebuild regenerates a replaced disk.
+//
+// All parity math runs through the internal/parity kernels, and all
+// scratch comes from internal/bufpool, so the engine allocates only
+// small bookkeeping on the data path.
 type RAID5 struct {
 	devs []Dev
 	lay  layout.RAID5
 	bs   int
+
+	degradedNotify func(blocks int)
 }
 
 // NewRAID5 builds a RAID-5 array over at least three devices.
@@ -42,6 +50,11 @@ func (a *RAID5) BlockSize() int { return a.bs }
 // Blocks implements Array.
 func (a *RAID5) Blocks() int64 { return a.lay.DataBlocks() }
 
+// SetDegradedNotify implements DegradedNotifier: fn is called with the
+// number of logical blocks served through reconstruction. Must be set
+// before the array is used; not synchronized against I/O.
+func (a *RAID5) SetDegradedNotify(fn func(blocks int)) { a.degradedNotify = fn }
+
 // failedDisk returns the index of the single failed device, or -1 if
 // all are healthy. A second failure returns an error.
 func (a *RAID5) failedDisk() (int, error) {
@@ -60,67 +73,6 @@ func (a *RAID5) failedDisk() (int, error) {
 // diskOfData reports which disk holds data index j of stripe s.
 func (a *RAID5) diskOfData(s int64, j int) int {
 	return (a.lay.ParityDisk(s) + 1 + j) % len(a.devs)
-}
-
-// seg is a contiguous per-disk physical run plus the destinations of
-// each of its blocks in the caller's buffer (-1 marks a block that is
-// read for reconstruction only).
-type seg struct {
-	disk int
-	phys int64
-	dsts []int64 // logical block numbers, aligned with physical blocks
-}
-
-// addTo appends block (disk, phys)→logical to segments, merging with
-// the previous segment when physically contiguous.
-func addTo(segs map[int][]seg, disk int, phys, logical int64) {
-	list := segs[disk]
-	if n := len(list); n > 0 {
-		last := &list[n-1]
-		if last.phys+int64(len(last.dsts)) == phys {
-			last.dsts = append(last.dsts, logical)
-			return
-		}
-	}
-	segs[disk] = append(list, seg{disk: disk, phys: phys, dsts: []int64{logical}})
-}
-
-// runSegs executes per-disk segments in parallel, reading each segment
-// as one contiguous transfer and scattering blocks into p (offset by
-// logical block b0).
-func (a *RAID5) runSegs(ctx context.Context, segs map[int][]seg, p []byte, b0 int64) error {
-	disks := make([]int, 0, len(segs))
-	for d := range segs {
-		disks = append(disks, d)
-	}
-	return par.ForEach(ctx, len(disks), func(ctx context.Context, i int) error {
-		var disk int
-		// Iterate deterministically: pick the i-th smallest disk index.
-		disk = -1
-		rank := 0
-		for d := 0; d < len(a.devs); d++ {
-			if _, ok := segs[d]; ok {
-				if rank == i {
-					disk = d
-					break
-				}
-				rank++
-			}
-		}
-		for _, sg := range segs[disk] {
-			buf := make([]byte, len(sg.dsts)*a.bs)
-			if err := a.devs[disk].ReadBlocks(ctx, sg.phys, buf); err != nil {
-				return err
-			}
-			for t, lb := range sg.dsts {
-				if lb < 0 {
-					continue
-				}
-				copy(p[(lb-b0)*int64(a.bs):(lb-b0+1)*int64(a.bs)], buf[t*a.bs:(t+1)*a.bs])
-			}
-		}
-		return nil
-	})
 }
 
 // ReadBlocks implements Array.
@@ -146,7 +98,7 @@ func (a *RAID5) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 		}
 		addTo(segs, d, s, lb)
 	}
-	if err := a.runSegs(ctx, segs, p, b); err != nil {
+	if err := runSegs(ctx, a.devs, a.bs, segs, p, b); err != nil {
 		return err
 	}
 	// Reconstruct blocks that lived on the failed disk, stripe by
@@ -156,6 +108,9 @@ func (a *RAID5) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 			return err
 		}
 	}
+	if len(degradedStripes) > 0 && a.degradedNotify != nil {
+		a.degradedNotify(len(degradedStripes))
+	}
 	return nil
 }
 
@@ -163,23 +118,32 @@ func (a *RAID5) ReadBlocks(ctx context.Context, b int64, p []byte) error {
 // and stores it at its logical position within p (logical window
 // [b0, b0+n)).
 func (a *RAID5) reconstructInto(ctx context.Context, s int64, failed int, p []byte, b0 int64, n int) error {
-	acc := make([]byte, a.bs)
+	acc := bufpool.Get(a.bs)
+	defer bufpool.Put(acc)
+	clear(acc)
 	bufs := make([][]byte, len(a.devs))
 	err := par.ForEach(ctx, len(a.devs), func(ctx context.Context, d int) error {
 		if d == failed {
 			return nil
 		}
-		bufs[d] = make([]byte, a.bs)
+		bufs[d] = bufpool.Get(a.bs)
 		return a.devs[d].ReadBlocks(ctx, s, bufs[d])
 	})
+	if err == nil {
+		for d, buf := range bufs {
+			if d == failed || buf == nil {
+				continue
+			}
+			parity.XorInto(acc, buf)
+		}
+	}
+	for _, buf := range bufs {
+		if buf != nil {
+			bufpool.Put(buf)
+		}
+	}
 	if err != nil {
 		return err
-	}
-	for d, buf := range bufs {
-		if d == failed || buf == nil {
-			continue
-		}
-		xorInto(acc, buf)
 	}
 	// Locate the failed block's logical number.
 	pd := a.lay.ParityDisk(s)
@@ -247,33 +211,41 @@ func (a *RAID5) WriteBlocks(ctx context.Context, b int64, p []byte) error {
 	return nil
 }
 
-// writeFullStripes writes stripes [sa, sb), all fully covered, as one
-// contiguous per-disk transfer with in-memory parity.
+// writeFullStripes writes stripes [sa, sb), all fully covered. Data
+// blocks go out as gather lists aliasing the caller's buffer directly
+// (the PR-4 zero-copy path); only the parity column is staged, in one
+// pooled buffer.
 func (a *RAID5) writeFullStripes(ctx context.Context, sa, sb int64, p []byte, b0 int64, failed int) error {
 	nDisks := len(a.devs)
 	nd := int64(nDisks - 1)
 	rows := int(sb - sa)
-	perDisk := make([][]byte, nDisks)
-	for d := range perDisk {
-		perDisk[d] = make([]byte, rows*a.bs)
+	parityBuf := bufpool.Get(rows * a.bs)
+	defer bufpool.Put(parityBuf)
+	segsByDisk := make([][][]byte, nDisks)
+	for d := range segsByDisk {
+		segsByDisk[d] = make([][]byte, rows)
 	}
 	for s := sa; s < sb; s++ {
 		row := int(s - sa)
 		pd := a.lay.ParityDisk(s)
-		parity := perDisk[pd][row*a.bs : (row+1)*a.bs]
-		for j := 0; j < int(nd); j++ {
-			lb := s*nd + int64(j)
+		pblk := parityBuf[row*a.bs : (row+1)*a.bs]
+		segsByDisk[pd][row] = pblk
+		lb0 := s * nd
+		first := p[(lb0-b0)*int64(a.bs) : (lb0-b0+1)*int64(a.bs)]
+		copy(pblk, first)
+		segsByDisk[a.diskOfData(s, 0)][row] = first
+		for j := 1; j < int(nd); j++ {
+			lb := lb0 + int64(j)
 			src := p[(lb-b0)*int64(a.bs) : (lb-b0+1)*int64(a.bs)]
-			d := a.diskOfData(s, j)
-			copy(perDisk[d][row*a.bs:(row+1)*a.bs], src)
-			xorInto(parity, src)
+			segsByDisk[a.diskOfData(s, j)][row] = src
+			parity.XorInto(pblk, src)
 		}
 	}
 	return par.ForEach(ctx, nDisks, func(ctx context.Context, d int) error {
 		if d == failed {
 			return nil
 		}
-		return a.devs[d].WriteBlocks(ctx, sa, perDisk[d])
+		return WriteBlocksVec(ctx, a.devs[d], sa, segsByDisk[d])
 	})
 }
 
@@ -306,7 +278,9 @@ func (a *RAID5) writePartialStripe(ctx context.Context, s, lo, hi int64, p []byt
 		// Reconstruct-write: parity = XOR(new covered values,
 		// surviving uncovered values). The value destined for the
 		// failed disk exists only inside the parity.
-		parity := make([]byte, a.bs)
+		pblk := bufpool.Get(a.bs)
+		defer bufpool.Put(pblk)
+		clear(pblk)
 		type job struct {
 			disk int
 			lb   int64
@@ -315,24 +289,31 @@ func (a *RAID5) writePartialStripe(ctx context.Context, s, lo, hi int64, p []byt
 		for j := int64(0); j < nd; j++ {
 			lb := s*nd + j
 			if lb >= lo && lb < hi {
-				xorInto(parity, newData(lb))
+				parity.XorInto(pblk, newData(lb))
 				continue
 			}
 			uncovered = append(uncovered, job{disk: a.diskOfData(s, int(j)), lb: lb})
 		}
 		bufs := make([][]byte, len(uncovered))
 		err := par.ForEach(ctx, len(uncovered), func(ctx context.Context, i int) error {
-			bufs[i] = make([]byte, a.bs)
+			bufs[i] = bufpool.Get(a.bs)
 			return a.devs[uncovered[i].disk].ReadBlocks(ctx, s, bufs[i])
 		})
+		if err == nil {
+			for _, buf := range bufs {
+				parity.XorInto(pblk, buf)
+			}
+		}
+		for _, buf := range bufs {
+			if buf != nil {
+				bufpool.Put(buf)
+			}
+		}
 		if err != nil {
 			return err
 		}
-		for _, buf := range bufs {
-			xorInto(parity, buf)
-		}
 		fns := []func(context.Context) error{
-			func(ctx context.Context) error { return a.devs[pd].WriteBlocks(ctx, s, parity) },
+			func(ctx context.Context) error { return a.devs[pd].WriteBlocks(ctx, s, pblk) },
 		}
 		for lb := lo; lb < hi; lb++ {
 			lb := lb
@@ -353,7 +334,7 @@ func (a *RAID5) writePartialStripe(ctx context.Context, s, lo, hi int64, p []byt
 		// the source of RAID-5's poor small-write bandwidth.
 		count := int(hi - lo)
 		oldData := make([][]byte, count)
-		oldParity := make([]byte, a.bs)
+		oldParity := bufpool.Get(a.bs)
 		fns := []func(context.Context) error{
 			func(ctx context.Context) error { return a.devs[pd].ReadBlocks(ctx, s, oldParity) },
 		}
@@ -362,17 +343,26 @@ func (a *RAID5) writePartialStripe(ctx context.Context, s, lo, hi int64, p []byt
 			lb := lo + int64(i)
 			d := a.diskOfData(s, int(lb%nd))
 			fns = append(fns, func(ctx context.Context) error {
-				oldData[i] = make([]byte, a.bs)
+				oldData[i] = bufpool.Get(a.bs)
 				return a.devs[d].ReadBlocks(ctx, s, oldData[i])
 			})
 		}
-		if err := par.Do(ctx, fns...); err != nil {
-			return err
+		err := par.Do(ctx, fns...)
+		if err == nil {
+			for i := 0; i < count; i++ {
+				lb := lo + int64(i)
+				parity.XorInto(oldParity, oldData[i])
+				parity.XorInto(oldParity, newData(lb))
+			}
 		}
-		for i := 0; i < count; i++ {
-			lb := lo + int64(i)
-			xorInto(oldParity, oldData[i])
-			xorInto(oldParity, newData(lb))
+		for _, buf := range oldData {
+			if buf != nil {
+				bufpool.Put(buf)
+			}
+		}
+		if err != nil {
+			bufpool.Put(oldParity)
+			return err
 		}
 		fns = fns[:0]
 		fns = append(fns, func(ctx context.Context) error {
@@ -385,7 +375,9 @@ func (a *RAID5) writePartialStripe(ctx context.Context, s, lo, hi int64, p []byt
 				return a.devs[d].WriteBlocks(ctx, s, newData(lb))
 			})
 		}
-		return par.Do(ctx, fns...)
+		err = par.Do(ctx, fns...)
+		bufpool.Put(oldParity)
+		return err
 	}
 }
 
@@ -408,7 +400,8 @@ func (a *RAID5) Rebuild(ctx context.Context, idx int) error {
 		if s0+rows > stripes {
 			rows = stripes - s0
 		}
-		acc := make([]byte, rows*int64(a.bs))
+		acc := bufpool.Get(int(rows) * a.bs)
+		clear(acc)
 		bufs := make([][]byte, len(a.devs))
 		err := par.ForEach(ctx, len(a.devs), func(ctx context.Context, d int) error {
 			if d == idx {
@@ -417,19 +410,25 @@ func (a *RAID5) Rebuild(ctx context.Context, idx int) error {
 			if !a.devs[d].Healthy() {
 				return fmt.Errorf("raid5: rebuild source %d failed: %w", d, ErrDataLoss)
 			}
-			bufs[d] = make([]byte, rows*int64(a.bs))
+			bufs[d] = bufpool.Get(int(rows) * a.bs)
 			return a.devs[d].ReadBlocks(ctx, s0, bufs[d])
 		})
-		if err != nil {
-			return err
-		}
-		for d, buf := range bufs {
-			if d == idx || buf == nil {
-				continue
+		if err == nil {
+			for d, buf := range bufs {
+				if d == idx || buf == nil {
+					continue
+				}
+				parity.XorInto(acc, buf)
 			}
-			xorInto(acc, buf)
+			err = a.devs[idx].WriteBlocks(ctx, s0, acc)
 		}
-		if err := a.devs[idx].WriteBlocks(ctx, s0, acc); err != nil {
+		for _, buf := range bufs {
+			if buf != nil {
+				bufpool.Put(buf)
+			}
+		}
+		bufpool.Put(acc)
+		if err != nil {
 			return err
 		}
 	}
@@ -439,23 +438,31 @@ func (a *RAID5) Rebuild(ctx context.Context, idx int) error {
 // Verify implements Verifier: the XOR of every stripe (data blocks and
 // parity) must be zero.
 func (a *RAID5) Verify(ctx context.Context) error {
-	acc := make([]byte, a.bs)
-	buf := make([]byte, a.bs)
+	acc := bufpool.Get(a.bs)
+	buf := bufpool.Get(a.bs)
+	defer bufpool.Put(acc)
+	defer bufpool.Put(buf)
+	zero := zeroBlock(a.bs)
+	defer bufpool.Put(zero)
 	for s := int64(0); s < a.lay.Geo.DiskBlocks; s++ {
-		for i := range acc {
-			acc[i] = 0
-		}
+		clear(acc)
 		for d := range a.devs {
 			if err := a.devs[d].ReadBlocks(ctx, s, buf); err != nil {
 				return err
 			}
-			xorInto(acc, buf)
+			parity.XorInto(acc, buf)
 		}
-		for i, v := range acc {
-			if v != 0 {
-				return fmt.Errorf("raid5: stripe %d parity mismatch at byte %d", s, i)
-			}
+		if i := parity.FirstDiff(acc, zero); i >= 0 {
+			return fmt.Errorf("raid5: stripe %d parity mismatch at byte %d", s, i)
 		}
 	}
 	return nil
+}
+
+// zeroBlock returns a pooled all-zero block of n bytes; the caller must
+// Put it back.
+func zeroBlock(n int) []byte {
+	b := bufpool.Get(n)
+	clear(b)
+	return b
 }

@@ -1,0 +1,512 @@
+package raid
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bufpool"
+	"repro/internal/par"
+	"repro/internal/parity"
+)
+
+// RSArray is a Reed-Solomon erasure-coded array: each stripe holds k
+// data shards and m parity shards (k = len(devs) - m), and the array
+// tolerates any m device failures. Shard placement rotates by one
+// device per stripe — like RAID-5's rotating parity, so parity writes
+// and degraded-read load spread over all members instead of pinning m
+// dedicated parity disks.
+//
+// Stripe s places shard j (data for j < k, parity row j-k otherwise)
+// at physical block s of device (j + s) mod n. Logical block lb maps
+// to stripe lb/k, data shard lb%k.
+//
+// All parity math runs through the internal/parity kernels; degraded
+// reads reconstruct whole stripes via RS.Reconstruct over pooled
+// buffers, and full-stripe writes go out as gather lists aliasing the
+// caller's buffer (the PR-4 zero-copy path) with only the m parity
+// columns staged in pooled memory.
+type RSArray struct {
+	devs []Dev
+	bs   int
+	k, m int
+	code *parity.RS
+
+	stripes int64 // physical blocks per device
+
+	degradedNotify func(blocks int)
+}
+
+// NewRS builds an erasure-coded array with m parity shards per stripe
+// over the given devices; k is implied as len(devs) - m. At least two
+// data shards are required (use mirroring below that).
+func NewRS(devs []Dev, m int) (*RSArray, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("raid: rs: m must be >= 1, got %d", m)
+	}
+	bs, per, err := checkDevs(devs, m+2)
+	if err != nil {
+		return nil, err
+	}
+	k := len(devs) - m
+	code, err := parity.NewRS(k, m)
+	if err != nil {
+		return nil, fmt.Errorf("raid: rs: %w", err)
+	}
+	return &RSArray{devs: devs, bs: bs, k: k, m: m, code: code, stripes: per}, nil
+}
+
+// Name implements Array.
+func (a *RSArray) Name() string { return fmt.Sprintf("rs(%d,%d)", a.k, a.m) }
+
+// BlockSize implements Array.
+func (a *RSArray) BlockSize() int { return a.bs }
+
+// Blocks implements Array.
+func (a *RSArray) Blocks() int64 { return a.stripes * int64(a.k) }
+
+// Shards reports the code geometry (k data, m parity).
+func (a *RSArray) Shards() (k, m int) { return a.k, a.m }
+
+// SetDegradedNotify implements DegradedNotifier: fn is called with the
+// number of stripes served through reconstruction. Must be set before
+// the array is used; not synchronized against I/O.
+func (a *RSArray) SetDegradedNotify(fn func(blocks int)) { a.degradedNotify = fn }
+
+// devOf reports the device holding shard j of stripe s.
+func (a *RSArray) devOf(s int64, j int) int {
+	n := len(a.devs)
+	return (j + int(s%int64(n))) % n
+}
+
+// shardOf reports which shard of stripe s device d holds.
+func (a *RSArray) shardOf(s int64, d int) int {
+	n := len(a.devs)
+	return (d - int(s%int64(n)) + n) % n
+}
+
+// failedDevs returns the indices of failed devices; more than m is
+// data loss.
+func (a *RSArray) failedDevs() ([]int, error) {
+	var failed []int
+	for i, d := range a.devs {
+		if !d.Healthy() {
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) > a.m {
+		return nil, fmt.Errorf("rs(%d,%d): %d devices failed, tolerate %d: %w", a.k, a.m, len(failed), a.m, ErrDataLoss)
+	}
+	return failed, nil
+}
+
+func isFailed(failed []int, d int) bool {
+	for _, f := range failed {
+		if f == d {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadBlocks implements Array. Healthy shards are read as vectored
+// segments scattering straight into p; stripes with a needed shard on
+// a failed device are reconstructed through the kernel. A device that
+// reports healthy but errors at read time (remote health probes are
+// cached, so Healthy() can lag an actual failure) triggers one retry
+// with that device treated as failed, so its blocks are served through
+// reconstruction instead of surfacing the error.
+func (a *RSArray) ReadBlocks(ctx context.Context, b int64, p []byte) error {
+	n, err := checkRange(a, b, p)
+	if err != nil {
+		return err
+	}
+	failed, err := a.failedDevs()
+	if err != nil {
+		return err
+	}
+	for {
+		erred, err := a.readOnce(ctx, b, n, p, failed)
+		if err == nil {
+			return nil
+		}
+		// Each round adds at least one newly-erring device to the
+		// failed set (erred is always disjoint from failed, because
+		// failed devices are never read), so this terminates after at
+		// most m extra attempts before tripping the budget check.
+		if ctx.Err() != nil || len(erred) == 0 || len(failed)+len(erred) > a.m {
+			return err
+		}
+		failed = append(failed, erred...)
+	}
+}
+
+// readOnce plans and executes one read attempt treating the given
+// devices as failed. On error it also reports which devices errored at
+// read time, so the caller can fold them into the failed set and
+// retry.
+func (a *RSArray) readOnce(ctx context.Context, b int64, n int, p []byte, failed []int) ([]int, error) {
+	segs := map[int][]seg{}
+	var degradedStripes []int64
+	for lb := b; lb < b+int64(n); lb++ {
+		s, j := lb/int64(a.k), int(lb%int64(a.k))
+		d := a.devOf(s, j)
+		if isFailed(failed, d) {
+			if len(degradedStripes) == 0 || degradedStripes[len(degradedStripes)-1] != s {
+				degradedStripes = append(degradedStripes, s)
+			}
+			continue
+		}
+		addTo(segs, d, s, lb)
+	}
+	if erred, err := runSegsNoting(ctx, a.devs, a.bs, segs, p, b); err != nil {
+		return erred, err
+	}
+	for _, s := range degradedStripes {
+		if erred, err := a.reconstructStripeInto(ctx, s, failed, p, b, n); err != nil {
+			return erred, err
+		}
+	}
+	if len(degradedStripes) > 0 && a.degradedNotify != nil {
+		a.degradedNotify(len(degradedStripes))
+	}
+	return nil, nil
+}
+
+// readStripeShards reads every shard of stripe s from the healthy
+// devices into pooled buffers and reconstructs the missing ones. The
+// returned shards (k data + m parity, all valid) must be released with
+// putShards.
+func (a *RSArray) readStripeShards(ctx context.Context, s int64, failed []int) ([][]byte, error) {
+	shards, _, err := a.readStripeShardsNoting(ctx, s, failed)
+	return shards, err
+}
+
+// readStripeShardsNoting is readStripeShards, also reporting which
+// devices errored at read time (for the runtime failover loop in
+// readOnce — a reconstruction source can itself turn out to be dead
+// behind a stale health report).
+func (a *RSArray) readStripeShardsNoting(ctx context.Context, s int64, failed []int) ([][]byte, []int, error) {
+	nShards := a.k + a.m
+	shards := make([][]byte, nShards)
+	present := make([]bool, nShards)
+	for j := 0; j < nShards; j++ {
+		shards[j] = bufpool.Get(a.bs)
+		present[j] = !isFailed(failed, a.devOf(s, j))
+	}
+	errs := make([]error, nShards)
+	_ = par.ForEach(ctx, nShards, func(ctx context.Context, j int) error {
+		if !present[j] {
+			return nil
+		}
+		errs[j] = a.devs[a.devOf(s, j)].ReadBlocks(ctx, s, shards[j])
+		return nil
+	})
+	var erred []int
+	var err error
+	for j, e := range errs {
+		if e != nil {
+			erred = append(erred, a.devOf(s, j))
+			if err == nil {
+				err = e
+			}
+		}
+	}
+	if err == nil && len(failed) > 0 {
+		err = a.code.Reconstruct(shards, present)
+	}
+	if err != nil {
+		putShards(shards)
+		return nil, erred, err
+	}
+	return shards, nil, nil
+}
+
+func putShards(shards [][]byte) {
+	for _, sh := range shards {
+		if sh != nil {
+			bufpool.Put(sh)
+		}
+	}
+}
+
+// reconstructStripeInto rebuilds stripe s and copies the blocks that
+// fall inside the logical window [b0, b0+n) into p. On error it also
+// reports the devices that errored at read time.
+func (a *RSArray) reconstructStripeInto(ctx context.Context, s int64, failed []int, p []byte, b0 int64, n int) ([]int, error) {
+	shards, erred, err := a.readStripeShardsNoting(ctx, s, failed)
+	if err != nil {
+		return erred, err
+	}
+	defer putShards(shards)
+	for j := 0; j < a.k; j++ {
+		lb := s*int64(a.k) + int64(j)
+		if lb >= b0 && lb < b0+int64(n) {
+			copy(p[(lb-b0)*int64(a.bs):(lb-b0+1)*int64(a.bs)], shards[j])
+		}
+	}
+	return nil, nil
+}
+
+// WriteBlocks implements Array.
+func (a *RSArray) WriteBlocks(ctx context.Context, b int64, p []byte) error {
+	n, err := checkRange(a, b, p)
+	if err != nil {
+		return err
+	}
+	failed, err := a.failedDevs()
+	if err != nil {
+		return err
+	}
+	k := int64(a.k)
+	end := b + int64(n)
+	s0 := b / k
+	s1 := (end - 1) / k
+	fullStart, fullEnd := s0, s1+1
+	if b%k != 0 {
+		fullStart = s0 + 1
+	}
+	if end%k != 0 {
+		fullEnd = s1
+	}
+	if fullStart > fullEnd {
+		fullStart, fullEnd = 0, 0 // no full stripes
+	}
+	for s := s0; s <= s1; s++ {
+		if s >= fullStart && s < fullEnd {
+			continue
+		}
+		lo, hi := s*k, (s+1)*k
+		if lo < b {
+			lo = b
+		}
+		if hi > end {
+			hi = end
+		}
+		if err := a.writePartialStripe(ctx, s, lo, hi, p, b, failed); err != nil {
+			return err
+		}
+	}
+	if fullStart < fullEnd {
+		if err := a.writeFullStripes(ctx, fullStart, fullEnd, p, b, failed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFullStripes writes stripes [sa, sb), all fully covered: data
+// shards go out as gather lists aliasing p (zero-copy), parity shards
+// are encoded into one pooled staging buffer.
+func (a *RSArray) writeFullStripes(ctx context.Context, sa, sb int64, p []byte, b0 int64, failed []int) error {
+	nDevs := len(a.devs)
+	rows := int(sb - sa)
+	parityBuf := bufpool.Get(rows * a.m * a.bs)
+	defer bufpool.Put(parityBuf)
+	segsByDev := make([][][]byte, nDevs)
+	for d := range segsByDev {
+		segsByDev[d] = make([][]byte, rows)
+	}
+	data := make([][]byte, a.k)
+	pshards := make([][]byte, a.m)
+	for s := sa; s < sb; s++ {
+		row := int(s - sa)
+		lb0 := s * int64(a.k)
+		for j := 0; j < a.k; j++ {
+			lb := lb0 + int64(j)
+			data[j] = p[(lb-b0)*int64(a.bs) : (lb-b0+1)*int64(a.bs)]
+			segsByDev[a.devOf(s, j)][row] = data[j]
+		}
+		for j := 0; j < a.m; j++ {
+			off := (row*a.m + j) * a.bs
+			pshards[j] = parityBuf[off : off+a.bs]
+			segsByDev[a.devOf(s, a.k+j)][row] = pshards[j]
+		}
+		if err := a.code.Encode(data, pshards); err != nil {
+			return err
+		}
+	}
+	return par.ForEach(ctx, nDevs, func(ctx context.Context, d int) error {
+		if isFailed(failed, d) {
+			return nil
+		}
+		return WriteBlocksVec(ctx, a.devs[d], sa, segsByDev[d])
+	})
+}
+
+// writePartialStripe updates logical blocks [lo, hi) of stripe s.
+// With no failures it is the RS small-write: read old covered data and
+// all parity, apply per-shard deltas through RS.Update, write back.
+// With failures it degenerates to reconstruct-write: rebuild the whole
+// old stripe, overlay the new data, re-encode, and write the healthy
+// members.
+func (a *RSArray) writePartialStripe(ctx context.Context, s, lo, hi int64, p []byte, b0 int64, failed []int) error {
+	newData := func(lb int64) []byte {
+		return p[(lb-b0)*int64(a.bs) : (lb-b0+1)*int64(a.bs)]
+	}
+
+	if len(failed) == 0 {
+		// Read-modify-write via parity deltas.
+		count := int(hi - lo)
+		old := make([][]byte, count)
+		pshards := make([][]byte, a.m)
+		release := func() {
+			putShards(old)
+			putShards(pshards)
+		}
+		fns := make([]func(context.Context) error, 0, count+a.m)
+		for i := 0; i < count; i++ {
+			i := i
+			lb := lo + int64(i)
+			d := a.devOf(s, int(lb%int64(a.k)))
+			fns = append(fns, func(ctx context.Context) error {
+				old[i] = bufpool.Get(a.bs)
+				return a.devs[d].ReadBlocks(ctx, s, old[i])
+			})
+		}
+		for j := 0; j < a.m; j++ {
+			j := j
+			d := a.devOf(s, a.k+j)
+			fns = append(fns, func(ctx context.Context) error {
+				pshards[j] = bufpool.Get(a.bs)
+				return a.devs[d].ReadBlocks(ctx, s, pshards[j])
+			})
+		}
+		if err := par.Do(ctx, fns...); err != nil {
+			release()
+			return err
+		}
+		for i := 0; i < count; i++ {
+			lb := lo + int64(i)
+			// delta = old ^ new, formed in place in the old buffer.
+			parity.XorInto(old[i], newData(lb))
+			a.code.Update(pshards, int(lb%int64(a.k)), old[i])
+		}
+		fns = fns[:0]
+		for lb := lo; lb < hi; lb++ {
+			lb := lb
+			d := a.devOf(s, int(lb%int64(a.k)))
+			fns = append(fns, func(ctx context.Context) error {
+				return a.devs[d].WriteBlocks(ctx, s, newData(lb))
+			})
+		}
+		for j := 0; j < a.m; j++ {
+			j := j
+			d := a.devOf(s, a.k+j)
+			fns = append(fns, func(ctx context.Context) error {
+				return a.devs[d].WriteBlocks(ctx, s, pshards[j])
+			})
+		}
+		err := par.Do(ctx, fns...)
+		release()
+		return err
+	}
+
+	// Degraded: reconstruct-write the whole stripe.
+	shards, err := a.readStripeShards(ctx, s, failed)
+	if err != nil {
+		return err
+	}
+	defer putShards(shards)
+	for lb := lo; lb < hi; lb++ {
+		copy(shards[int(lb%int64(a.k))], newData(lb))
+	}
+	if err := a.code.Encode(shards[:a.k], shards[a.k:]); err != nil {
+		return err
+	}
+	return par.ForEach(ctx, a.k+a.m, func(ctx context.Context, j int) error {
+		d := a.devOf(s, j)
+		if isFailed(failed, d) {
+			return nil
+		}
+		// Data shards outside [lo, hi) are unchanged on disk; only
+		// covered data and all parity need writing.
+		if j < a.k {
+			lb := s*int64(a.k) + int64(j)
+			if lb < lo || lb >= hi {
+				return nil
+			}
+		}
+		return a.devs[d].WriteBlocks(ctx, s, shards[j])
+	})
+}
+
+// Flush implements Array.
+func (a *RSArray) Flush(ctx context.Context) error { return flushAll(ctx, a.devs) }
+
+// Rebuild implements Rebuilder: reconstruct every block of (replaced)
+// device idx from the survivors. Up to m-1 other devices may be down.
+func (a *RSArray) Rebuild(ctx context.Context, idx int) error {
+	if idx < 0 || idx >= len(a.devs) {
+		return fmt.Errorf("rs: rebuild of device %d out of range", idx)
+	}
+	if !a.devs[idx].Healthy() {
+		return fmt.Errorf("rs: rebuild target %d is not healthy (replace it first)", idx)
+	}
+	var failed []int
+	for i, d := range a.devs {
+		if i == idx || !d.Healthy() {
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) > a.m {
+		return fmt.Errorf("rs(%d,%d): %d members unavailable during rebuild, tolerate %d: %w", a.k, a.m, len(failed), a.m, ErrDataLoss)
+	}
+	const batch = 64
+	for s0 := int64(0); s0 < a.stripes; s0 += batch {
+		rows := int64(batch)
+		if s0+rows > a.stripes {
+			rows = a.stripes - s0
+		}
+		out := bufpool.Get(int(rows) * a.bs)
+		err := func() error {
+			for s := s0; s < s0+rows; s++ {
+				shards, err := a.readStripeShards(ctx, s, failed)
+				if err != nil {
+					return err
+				}
+				copy(out[int(s-s0)*a.bs:], shards[a.shardOf(s, idx)])
+				putShards(shards)
+			}
+			return a.devs[idx].WriteBlocks(ctx, s0, out)
+		}()
+		bufpool.Put(out)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify implements Verifier: re-encode every stripe's data and
+// compare against the stored parity shards.
+func (a *RSArray) Verify(ctx context.Context) error {
+	nShards := a.k + a.m
+	shards := make([][]byte, nShards)
+	for j := range shards {
+		shards[j] = bufpool.Get(a.bs)
+	}
+	defer putShards(shards)
+	want := make([][]byte, a.m)
+	for j := range want {
+		want[j] = bufpool.Get(a.bs)
+	}
+	defer putShards(want)
+	for s := int64(0); s < a.stripes; s++ {
+		err := par.ForEach(ctx, nShards, func(ctx context.Context, j int) error {
+			return a.devs[a.devOf(s, j)].ReadBlocks(ctx, s, shards[j])
+		})
+		if err != nil {
+			return err
+		}
+		if err := a.code.Encode(shards[:a.k], want); err != nil {
+			return err
+		}
+		for j := 0; j < a.m; j++ {
+			if i := parity.FirstDiff(shards[a.k+j], want[j]); i >= 0 {
+				return fmt.Errorf("rs(%d,%d): stripe %d parity shard %d mismatch at byte %d (device %d)",
+					a.k, a.m, s, j, i, a.devOf(s, a.k+j))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package raid
+
+import (
+	"context"
+
+	"repro/internal/bufpool"
+	"repro/internal/par"
+)
+
+// seg is a contiguous per-disk physical run plus the destinations of
+// each of its blocks in the caller's buffer (-1 marks a block that is
+// read for reconstruction only and lands in pooled scratch).
+type seg struct {
+	disk int
+	phys int64
+	dsts []int64 // logical block numbers, aligned with physical blocks
+}
+
+// addTo appends block (disk, phys)→logical to segments, merging with
+// the previous segment when physically contiguous.
+func addTo(segs map[int][]seg, disk int, phys, logical int64) {
+	list := segs[disk]
+	if n := len(list); n > 0 {
+		last := &list[n-1]
+		if last.phys+int64(len(last.dsts)) == phys {
+			last.dsts = append(last.dsts, logical)
+			return
+		}
+	}
+	segs[disk] = append(list, seg{disk: disk, phys: phys, dsts: []int64{logical}})
+}
+
+// runSegs executes per-disk segments in parallel. Each segment goes out
+// as one vectored read whose scatter list aliases p directly (offset by
+// logical block b0) — the PR-4 zero-copy path — so blocks land in the
+// caller's buffer without an intermediate copy. Blocks marked -1 are
+// read into a shared pooled scratch block (content discarded).
+func runSegs(ctx context.Context, devs []Dev, bs int, segs map[int][]seg, p []byte, b0 int64) error {
+	_, err := runSegsNoting(ctx, devs, bs, segs, p, b0)
+	return err
+}
+
+// runSegsNoting is runSegs, also reporting WHICH disks failed: every
+// disk's segments are attempted (one disk's error does not cancel the
+// others'), and the erring disk indexes come back alongside the first
+// error. Engines with redundancy to spare use the list for runtime
+// read-failover — a device whose Healthy() report lags an actual
+// failure (a remote disk behind a cached health probe) errors at read
+// time, not at planning time.
+func runSegsNoting(ctx context.Context, devs []Dev, bs int, segs map[int][]seg, p []byte, b0 int64) ([]int, error) {
+	disks := make([]int, 0, len(segs))
+	for d := 0; d < len(devs); d++ {
+		if _, ok := segs[d]; ok {
+			disks = append(disks, d)
+		}
+	}
+	errs := make([]error, len(disks))
+	_ = par.ForEach(ctx, len(disks), func(ctx context.Context, i int) error {
+		disk := disks[i]
+		var scratch []byte
+		defer func() {
+			if scratch != nil {
+				bufpool.Put(scratch)
+			}
+		}()
+		for _, sg := range segs[disk] {
+			vec := make([][]byte, len(sg.dsts))
+			for t, lb := range sg.dsts {
+				if lb < 0 {
+					if scratch == nil {
+						scratch = bufpool.Get(bs)
+					}
+					vec[t] = scratch
+					continue
+				}
+				vec[t] = p[(lb-b0)*int64(bs) : (lb-b0+1)*int64(bs)]
+			}
+			if err := ReadBlocksVec(ctx, devs[disk], sg.phys, vec); err != nil {
+				errs[i] = err
+				return nil
+			}
+		}
+		return nil
+	})
+	var erred []int
+	var first error
+	for i, e := range errs {
+		if e != nil {
+			erred = append(erred, disks[i])
+			if first == nil {
+				first = e
+			}
+		}
+	}
+	return erred, first
+}

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/parity"
 )
 
 // TestRunsCoverRangeExactly: the per-column runs of any request
@@ -61,7 +63,8 @@ func TestGatherScatterInverse(t *testing.T) {
 	}
 }
 
-// TestXorIntoProperties: XOR algebra used by RAID-5.
+// TestXorIntoProperties: XOR algebra used by RAID-5, on the shared
+// parity kernel the engines now call.
 func TestXorIntoProperties(t *testing.T) {
 	f := func(a, b []byte) bool {
 		if len(a) == 0 {
@@ -74,8 +77,8 @@ func TestXorIntoProperties(t *testing.T) {
 			return true
 		}
 		orig := append([]byte(nil), a...)
-		xorInto(a, b)
-		xorInto(a, b) // involution
+		parity.XorInto(a, b)
+		parity.XorInto(a, b) // involution
 		return bytes.Equal(a, orig)
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -1,0 +1,298 @@
+// Package vol implements per-volume redundancy policy over one shared
+// device pool (DESIGN.md §15): the pool carves each member device into
+// stacked physical windows, and every volume runs its own array engine
+// — OSM mirroring for hot data, RAID-5 or rs(k,m) erasure coding for
+// capacity-efficient cold data — over its windows of the same disks.
+// This is the heterogeneous-redundancy arrangement of Thomasian's HDA:
+// multiple RAID levels sharing one pool of spindles, so placement
+// (which disks) is decided once and redundancy cost (how many copies)
+// is decided per volume.
+package vol
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/raid"
+)
+
+// Policy names a volume's redundancy scheme.
+type Policy struct {
+	// Kind is "mirror" (OSM, RAID-x engine), "raid5", or "rs".
+	Kind string
+	// K, M are the rs(k,m) shard counts; zero for other kinds. K+M
+	// must equal the pool width (every volume spans all members).
+	K, M int
+}
+
+// ParsePolicy parses "mirror", "raid5", or "rs(k,m)".
+func ParsePolicy(s string) (Policy, error) {
+	switch {
+	case s == "mirror":
+		return Policy{Kind: "mirror"}, nil
+	case s == "raid5":
+		return Policy{Kind: "raid5"}, nil
+	case strings.HasPrefix(s, "rs(") && strings.HasSuffix(s, ")"):
+		var k, m int
+		if _, err := fmt.Sscanf(s, "rs(%d,%d)", &k, &m); err != nil || k < 1 || m < 1 {
+			return Policy{}, fmt.Errorf("vol: bad rs policy %q (want rs(k,m))", s)
+		}
+		return Policy{Kind: "rs", K: k, M: m}, nil
+	default:
+		return Policy{}, fmt.Errorf("vol: unknown policy %q (want mirror | raid5 | rs(k,m))", s)
+	}
+}
+
+// String renders the canonical policy spelling.
+func (p Policy) String() string {
+	if p.Kind == "rs" {
+		return fmt.Sprintf("rs(%d,%d)", p.K, p.M)
+	}
+	return p.Kind
+}
+
+// OverheadPct reports the capacity overhead of the policy on a pool of
+// n devices: bytes of redundancy per 100 bytes of data.
+func (p Policy) OverheadPct(n int) float64 {
+	switch p.Kind {
+	case "mirror":
+		return 100
+	case "raid5":
+		if n > 1 {
+			return 100 / float64(n-1)
+		}
+		return 0
+	case "rs":
+		if p.K > 0 {
+			return 100 * float64(p.M) / float64(p.K)
+		}
+	}
+	return 0
+}
+
+// Pool carves a shared set of devices into per-volume physical windows
+// and builds each volume's engine per its policy. All volumes span all
+// members — heterogeneous redundancy, homogeneous placement.
+type Pool struct {
+	devs   []raid.Dev
+	bs     int
+	perDev int64
+
+	mu   sync.Mutex
+	next int64 // next free physical block on every member
+	vols []*Volume
+
+	// Labeled instruments (nil registry: all no-ops). vol.info carries
+	// the policy as a label (value pinned to 1, the Prometheus info
+	// idiom); the others are per-volume series keyed by volume name.
+	info     *obs.GaugeVec
+	blocks   *obs.GaugeVec
+	overhead *obs.GaugeVec
+	degraded *obs.CounterVec
+}
+
+// NewPool builds a pool over the shared devices. reg, when non-nil,
+// receives the per-volume labeled instruments (vol.info{volume,policy},
+// vol.blocks{volume}, vol.capacity_overhead_pct{volume},
+// vol.degraded_reads{volume}).
+func NewPool(devs []raid.Dev, reg *obs.Registry) (*Pool, error) {
+	if len(devs) < 2 {
+		return nil, fmt.Errorf("vol: pool needs at least 2 devices, got %d", len(devs))
+	}
+	bs := devs[0].BlockSize()
+	per := devs[0].NumBlocks()
+	for i, d := range devs {
+		if d.BlockSize() != bs {
+			return nil, fmt.Errorf("vol: device %d block size %d != %d", i, d.BlockSize(), bs)
+		}
+		if d.NumBlocks() < per {
+			per = d.NumBlocks()
+		}
+	}
+	return &Pool{
+		devs:     devs,
+		bs:       bs,
+		perDev:   per,
+		info:     reg.GaugeVec("vol.info", "volume", "policy"),
+		blocks:   reg.GaugeVec("vol.blocks", "volume"),
+		overhead: reg.GaugeVec("vol.capacity_overhead_pct", "volume"),
+		degraded: reg.CounterVec("vol.degraded_reads", "volume"),
+	}, nil
+}
+
+// Width reports the number of pool members.
+func (p *Pool) Width() int { return len(p.devs) }
+
+// FreePerDev reports the unallocated physical blocks on each member.
+func (p *Pool) FreePerDev() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.perDev - p.next
+}
+
+// Volumes lists the created volumes in creation order.
+func (p *Pool) Volumes() []*Volume {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Volume(nil), p.vols...)
+}
+
+// Volume is one policy-carrying array over the pool: it embeds the
+// engine (raid.Array and, per policy, Rebuilder/Verifier behavior)
+// built over this volume's window of every pool member.
+type Volume struct {
+	raid.Array
+	name   string
+	policy Policy
+	base   int64 // first physical block of the window on every member
+	span   int64 // physical blocks per member
+}
+
+// VolumeName reports the volume's pool-unique name. (Name() is the
+// embedded engine's architecture name, e.g. "rs(8,2)".)
+func (v *Volume) VolumeName() string { return v.name }
+
+// Policy reports the volume's redundancy policy.
+func (v *Volume) Policy() Policy { return v.policy }
+
+// Window reports the volume's physical window on every pool member.
+func (v *Volume) Window() (base, span int64) { return v.base, v.span }
+
+// Create carves blocksPerDev physical blocks off every member and
+// builds a volume with the given policy over the window. Mirror
+// volumes need an even blocksPerDev of at least 2·(width-1) (OSM
+// mirror-group geometry); rs volumes require pol.K+pol.M == pool
+// width.
+func (p *Pool) Create(name string, pol Policy, blocksPerDev int64) (*Volume, error) {
+	if name == "" {
+		return nil, fmt.Errorf("vol: empty volume name")
+	}
+	if blocksPerDev < 1 {
+		return nil, fmt.Errorf("vol: volume %q: blocksPerDev must be >= 1", name)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, v := range p.vols {
+		if v.name == name {
+			return nil, fmt.Errorf("vol: volume %q already exists", name)
+		}
+	}
+	if p.next+blocksPerDev > p.perDev {
+		return nil, fmt.Errorf("vol: volume %q wants %d blocks/dev, %d free", name, blocksPerDev, p.perDev-p.next)
+	}
+	wdevs := make([]raid.Dev, len(p.devs))
+	for i, d := range p.devs {
+		wdevs[i] = &windowDev{d: d, base: p.next, blocks: blocksPerDev}
+	}
+	var arr raid.Array
+	var err error
+	switch pol.Kind {
+	case "mirror":
+		// One OSM node per member: orthogonal striping and mirroring
+		// across the pool, the paper's hot-data arrangement. No
+		// registry is passed — the pool's own labeled instruments
+		// cover per-volume observability, and unlabeled raidx.*
+		// metrics would collide across volumes.
+		arr, err = core.New(wdevs, len(wdevs), 1, core.Options{})
+	case "raid5":
+		arr, err = raid.NewRAID5(wdevs)
+	case "rs":
+		if pol.K+pol.M != len(p.devs) {
+			return nil, fmt.Errorf("vol: volume %q: rs(%d,%d) needs %d devices, pool has %d",
+				name, pol.K, pol.M, pol.K+pol.M, len(p.devs))
+		}
+		arr, err = raid.NewRS(wdevs, pol.M)
+	default:
+		return nil, fmt.Errorf("vol: volume %q: unknown policy kind %q", name, pol.Kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("vol: volume %q: %w", name, err)
+	}
+	v := &Volume{Array: arr, name: name, policy: pol, base: p.next, span: blocksPerDev}
+	p.next += blocksPerDev
+	p.vols = append(p.vols, v)
+
+	p.info.With(name, pol.String()).Set(1)
+	p.blocks.With(name).Set(arr.Blocks())
+	p.overhead.With(name).Set(int64(pol.OverheadPct(len(p.devs)) + 0.5))
+	if dn, ok := arr.(raid.DegradedNotifier); ok {
+		c := p.degraded.With(name)
+		dn.SetDegradedNotify(func(blocks int) { c.Add(int64(blocks)) })
+	}
+	return v, nil
+}
+
+// windowDev exposes a contiguous physical window [base, base+blocks)
+// of a pool member as a standalone device. Vectored I/O passes through
+// raid.ReadBlocksVec/WriteBlocksVec, so the zero-copy path survives
+// the windowing; queue-backlog probes delegate so balanced reads keep
+// working inside mirror volumes.
+type windowDev struct {
+	d      raid.Dev
+	base   int64
+	blocks int64
+}
+
+func (w *windowDev) BlockSize() int   { return w.d.BlockSize() }
+func (w *windowDev) NumBlocks() int64 { return w.blocks }
+func (w *windowDev) Healthy() bool    { return w.d.Healthy() }
+
+func (w *windowDev) check(b int64, n int) error {
+	if b < 0 || b+int64(n) > w.blocks {
+		return fmt.Errorf("vol: window access [%d,+%d) outside %d blocks", b, n, w.blocks)
+	}
+	return nil
+}
+
+func (w *windowDev) ReadBlocks(ctx context.Context, b int64, p []byte) error {
+	if err := w.check(b, len(p)/w.d.BlockSize()); err != nil {
+		return err
+	}
+	return w.d.ReadBlocks(ctx, w.base+b, p)
+}
+
+func (w *windowDev) WriteBlocks(ctx context.Context, b int64, p []byte) error {
+	if err := w.check(b, len(p)/w.d.BlockSize()); err != nil {
+		return err
+	}
+	return w.d.WriteBlocks(ctx, w.base+b, p)
+}
+
+func (w *windowDev) WriteBlocksBackground(ctx context.Context, b int64, p []byte) error {
+	if err := w.check(b, len(p)/w.d.BlockSize()); err != nil {
+		return err
+	}
+	return w.d.WriteBlocksBackground(ctx, w.base+b, p)
+}
+
+func (w *windowDev) Flush(ctx context.Context) error { return w.d.Flush(ctx) }
+
+func (w *windowDev) ReadBlocksVec(ctx context.Context, b int64, segs [][]byte) error {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	if err := w.check(b, n/w.d.BlockSize()); err != nil {
+		return err
+	}
+	return raid.ReadBlocksVec(ctx, w.d, w.base+b, segs)
+}
+
+func (w *windowDev) WriteBlocksVec(ctx context.Context, b int64, segs [][]byte) error {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	if err := w.check(b, n/w.d.BlockSize()); err != nil {
+		return err
+	}
+	return raid.WriteBlocksVec(ctx, w.d, w.base+b, segs)
+}
+
+func (w *windowDev) QueueBacklog() time.Duration   { return raid.BacklogOf(w.d) }
+func (w *windowDev) BgQueueBacklog() time.Duration { return raid.BgBacklogOf(w.d) }

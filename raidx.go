@@ -44,6 +44,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/nfssim"
 	"repro/internal/obs"
+	"repro/internal/parity"
 	"repro/internal/qos"
 	"repro/internal/raid"
 	"repro/internal/reliab"
@@ -52,6 +53,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/vclock"
+	"repro/internal/vol"
 	"repro/internal/workload"
 )
 
@@ -388,6 +390,50 @@ func CompareReliability(nodes, disksPerNode int, diskBlocks int64, mttf, mttr ti
 // NewAFRAID builds the lazily-redundant RAID-5 variant (Savage &
 // Wilkes), a design-space baseline the paper cites.
 func NewAFRAID(devs []Dev) (*raid.AFRAID, error) { return raid.NewAFRAID(devs) }
+
+// Parity kernels and the erasure-coded tier (DESIGN.md section 15).
+type (
+	// RSArray is the Reed-Solomon erasure-coded engine: k data + m
+	// parity shards per stripe over k+m devices, tolerating any m
+	// simultaneous failures.
+	RSArray = raid.RSArray
+	// RSCode is the raw GF(2^8) Reed-Solomon encoder the engine is
+	// built on, usable standalone over caller-owned shard buffers.
+	RSCode = parity.RS
+	// VolumePool carves one shared set of devices into per-volume
+	// windows, each volume running its own redundancy policy.
+	VolumePool = vol.Pool
+	// Volume is one policy-carrying array over a VolumePool.
+	Volume = vol.Volume
+	// VolumePolicy names a volume's redundancy scheme:
+	// mirror | raid5 | rs(k,m).
+	VolumePolicy = vol.Policy
+)
+
+// NewRS builds an erasure-coded array over len(devs) devices with m
+// parity shards per stripe (k = len(devs)-m data shards).
+func NewRS(devs []Dev, m int) (*RSArray, error) { return raid.NewRS(devs, m) }
+
+// NewRSCode builds a systematic Reed-Solomon code with k data and m
+// parity shards (k+m <= 255).
+func NewRSCode(k, m int) (*RSCode, error) { return parity.NewRS(k, m) }
+
+// NewVolumePool builds a per-volume-policy pool over shared devices;
+// reg may be nil.
+func NewVolumePool(devs []Dev, reg *MetricsRegistry) (*VolumePool, error) {
+	return vol.NewPool(devs, reg)
+}
+
+// ParseVolumePolicy parses "mirror", "raid5", or "rs(k,m)".
+func ParseVolumePolicy(s string) (VolumePolicy, error) { return vol.ParsePolicy(s) }
+
+// XorParity xors src into dst (dst[i] ^= src[i]) with the compiled
+// word/SIMD kernel — the primitive behind every parity scheme here.
+func XorParity(dst, src []byte) { parity.XorInto(dst, src) }
+
+// ParityKernelName identifies the compiled kernel path, e.g.
+// "unsafe64+avx2".
+func ParityKernelName() string { return parity.KernelName() }
 
 // Sparer manages hot-spare disks with automatic failover + rebuild.
 type Sparer = raid.Sparer
