@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck promtest check bench benchcheck chaoscheck crashcheck fuzz scalecheck obscheck paritycheck
+.PHONY: build test race vet staticcheck promtest check bench benchcheck chaoscheck crashcheck fuzz scalecheck obscheck paritycheck growcheck
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,18 @@ obscheck:
 	$(GO) test -race -count=1 ./internal/obs/
 	$(GO) test -race -count=1 -run 'TestLiveRateGauges|TestTenantLabeledGauges' ./internal/qos/
 	$(GO) test -race -count=1 -run 'TestSLOChaos' -v ./internal/cdd/
+
+# growcheck runs the online-membership shard (CI job `grow`): the
+# epoch/remap property tests (every geometry pair up to 64 nodes), the
+# migration engine drills (live traffic, pause/resume, crash resume,
+# shrink, source failover, the deterministic vclock schedule), the
+# supervisor rebalance jobs and their mutual exclusion with recovery, the
+# epoch fence over the wire, and the TCP grow chaos drills with
+# partitions and node kills — all under the race detector, twice. The
+# real-process SIGKILL resume drill runs once (it builds binaries).
+growcheck:
+	$(GO) test -run 'TestEpoch|TestOSM|TestMigration|TestSupervisedGrow|TestRebalance|TestGrowChaos|TestFileEpoch' -race -count=2 ./internal/layout/ ./internal/core/ ./internal/repair/ ./internal/cdd/ ./internal/store/
+	$(GO) test -run 'TestGrowCrash' -race -count=1 ./cmd/raidxnode/
 
 # scalecheck runs the serving-at-scale shard (CI job `scale`): the
 # coherence protocol and session tests, the QoS scheduler, the workload

@@ -88,6 +88,8 @@ func main() {
 		err = runAblate(args)
 	case "hotpath":
 		err = runHotpath(args)
+	case "rebalance":
+		err = runRebalance(args)
 	case "parity":
 		err = runParity(args)
 	case "help", "-h", "--help":
@@ -111,7 +113,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: raidxbench <all|scale|scale-sim|hotpath|parity|table2|fig5|table3|fig6|fig7|summary|txn|degraded|reliability|ablate> [flags]
+	fmt.Fprintln(os.Stderr, `usage: raidxbench <all|scale|scale-sim|hotpath|parity|rebalance|table2|fig5|table3|fig6|fig7|summary|txn|degraded|reliability|ablate> [flags]
 Run 'raidxbench <cmd> -h' for per-command flags.
 Global flags (before the command): -pprof <file>, -json <file>.
 The scale command drives coherent client sessions over real TCP:

@@ -19,6 +19,12 @@
 //	raidxctl repair status -addrs ...            self-healing supervisor
 //	raidxctl repair pause -addrs ...             state, and pause/resume
 //	raidxctl repair resume -addrs ...            of background repair
+//	raidxctl grow -addrs ... -new-addrs ...      add whole nodes online:
+//	                                             minimal-movement rebalance
+//	                                             migrates under live I/O
+//	raidxctl shrink -addrs ... -nodes 1          retire tail nodes online
+//	raidxctl rebalance status -addrs ...         layout epoch per node and
+//	                                             migration progress
 //	raidxctl trace -addrs ... -ops 8 -slowest 3  run traced probe reads and
 //	                                             render waterfalls of the
 //	                                             slowest, with each node's
@@ -74,6 +80,12 @@ func main() {
 		err = runSuper(os.Args[2:])
 	case "repair":
 		err = runRepair(os.Args[2:])
+	case "grow":
+		err = runGrow(os.Args[2:])
+	case "shrink":
+		err = runShrink(os.Args[2:])
+	case "rebalance":
+		err = runRebalance(os.Args[2:])
 	case "trace":
 		// Record every probe op; assemble traces from the ring (no slow
 		// log needed — the probe picks its own slowest).
@@ -93,7 +105,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: raidxctl <layout|status|stats|top|fail|replace|rebuild|verify|super|repair|trace> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: raidxctl <layout|status|stats|top|fail|replace|rebuild|verify|super|repair|grow|shrink|rebalance|trace> [flags]")
 }
 
 func runLayout(args []string) error {
@@ -148,6 +160,23 @@ type rig struct {
 	arr     *core.RAIDx
 	nodes   int
 	perNode int
+	ep      *layout.Epoch // non-nil once the cluster has rebalanced
+}
+
+// globalOf maps (node, local disk) to the global column index. At
+// generation zero this is the SIOS interleave; after a rebalance the
+// epoch's column order applies (grown columns are appended, so the
+// interleave formula no longer holds).
+func (r *rig) globalOf(node, local int) int {
+	if r.ep == nil {
+		return node + local*r.nodes
+	}
+	for d := 0; d < r.ep.Width(); d++ {
+		if r.ep.NodeOf(d) == node && r.ep.LocalOf(d) == local {
+			return d
+		}
+	}
+	return -1
 }
 
 func withCluster(args []string, fn func(fs *flag.FlagSet, r *rig) error) error {
@@ -212,6 +241,64 @@ func withClusterOpts(args []string, opts core.Options, fn func(fs *flag.FlagSet,
 			return fmt.Errorf("nodes export different disk counts")
 		}
 	}
+	// Learn the cluster's layout epoch: the rebalance coordinator answers
+	// OpLayout with the full descriptor; plain nodes answer with their
+	// bare enforced generation. Tag all block I/O at the generation in
+	// force and install the stale-epoch recovery hook either way.
+	ctx := context.Background()
+	li := probeLayout(ctx, r.clients)
+	for _, c := range r.clients {
+		if c == nil {
+			continue
+		}
+		c := c
+		if li.Gen > 0 {
+			c.SetArrayEpoch(li.Gen)
+		}
+		c.SetEpochRefresh(func(ctx context.Context) (uint64, error) {
+			l, err := c.Layout(ctx)
+			if err != nil {
+				return 0, err
+			}
+			return l.Gen, nil
+		})
+	}
+	if li.Migrating {
+		fmt.Fprintf(os.Stderr, "raidxctl: warning: rebalance in flight (epoch %d -> %d, cursor %d); array views may lag\n",
+			li.Gen, li.TargetGen, li.Cursor)
+	}
+	if li.Desc != nil && li.Desc.Gen() > 0 {
+		ep, err := layout.EpochFromDesc(*li.Desc)
+		if err != nil {
+			return fmt.Errorf("cluster layout descriptor: %w", err)
+		}
+		if ep.Nodes() > r.nodes {
+			return fmt.Errorf("cluster is at epoch %d spanning %d nodes; -addrs lists %d", ep.Gen(), ep.Nodes(), r.nodes)
+		}
+		r.ep = ep
+		model := ref.Dev(0)
+		r.devs = make([]raid.Dev, ep.Width())
+		for d := range r.devs {
+			node, local := ep.NodeOf(d), ep.LocalOf(d)
+			if node >= r.nodes || local >= r.perNode {
+				if !ep.Active(d) {
+					continue // retired column; core tolerates a nil device
+				}
+				return fmt.Errorf("epoch column %d is local disk %d of node %d, outside the assembled cluster", d, local, node)
+			}
+			if r.clients[node] == nil {
+				r.devs[d] = cdd.Offline(r.addrs[node], model.BlockSize(), model.NumBlocks())
+			} else {
+				r.devs[d] = r.clients[node].Dev(local)
+			}
+		}
+		arr, err := core.NewAtEpoch(r.devs, ep, opts)
+		if err != nil {
+			return err
+		}
+		r.arr = arr
+		return fn(fs, r)
+	}
 	r.devs = make([]raid.Dev, r.nodes*r.perNode)
 	for local := 0; local < r.perNode; local++ {
 		model := ref.Dev(local)
@@ -229,6 +316,29 @@ func withClusterOpts(args []string, opts core.Options, fn func(fs *flag.FlagSet,
 	}
 	r.arr = arr
 	return fn(fs, r)
+}
+
+// probeLayout asks each reachable node for its layout view and returns
+// the most informative answer: a full descriptor if any node serves
+// one (the coordinator), otherwise the highest bare generation seen.
+func probeLayout(ctx context.Context, clients []*cdd.NodeClient) cdd.LayoutInfo {
+	var best cdd.LayoutInfo
+	for _, c := range clients {
+		if c == nil {
+			continue
+		}
+		li, err := c.Layout(ctx)
+		if err != nil {
+			continue
+		}
+		if li.Desc != nil {
+			return li
+		}
+		if li.Gen > best.Gen {
+			best = li
+		}
+	}
+	return best
 }
 
 func target(fs *flag.FlagSet, r *rig) (node, disk int, err error) {
@@ -249,6 +359,9 @@ func atoi(s string) int {
 func runStatus(fs *flag.FlagSet, r *rig) error {
 	fmt.Printf("RAID-x over %d node(s) x %d disk(s); capacity %d blocks x %d B\n",
 		r.nodes, r.perNode, r.arr.Blocks(), r.arr.BlockSize())
+	if r.ep != nil {
+		fmt.Printf("layout epoch %d: base %d node(s), %d active\n", r.ep.Gen(), r.ep.Base().Nodes, r.ep.Nodes())
+	}
 	for node, c := range r.clients {
 		if c == nil {
 			fmt.Printf("node %d (%s): OFFLINE (unreachable)\n", node, r.addrs[node])
@@ -263,7 +376,7 @@ func runStatus(fs *flag.FlagSet, r *rig) error {
 				state = "FAILED"
 			}
 			line := fmt.Sprintf("  disk %d (global D%d): %d blocks, %s",
-				local, node+local*r.nodes, d.NumBlocks(), state)
+				local, r.globalOf(node, local), d.NumBlocks(), state)
 			if st, err := c.Stats(local); err == nil {
 				line += fmt.Sprintf("  [%d reads / %d writes, %d MB in / %d MB out]",
 					st.Reads, st.Writes, st.BytesWritten>>20, st.BytesRead>>20)
@@ -309,7 +422,10 @@ func runRebuild(fs *flag.FlagSet, r *rig) error {
 	if err != nil {
 		return err
 	}
-	global := node + disk*r.nodes
+	global := r.globalOf(node, disk)
+	if global < 0 {
+		return fmt.Errorf("node %d disk %d holds no column in epoch %d", node, disk, r.ep.Gen())
+	}
 	rd, ok := r.devs[global].(*cdd.RemoteDev)
 	if !ok {
 		return fmt.Errorf("node %d (%s) is offline; bring it back before rebuilding", node, r.addrs[node])
@@ -442,6 +558,129 @@ func printRepairStatus(addr string, raw []byte) {
 	}
 }
 
+// withCoordinator runs fn against the first node hosting a rebalance
+// coordinator (the repair host). Nodes without one answer OpRebalanceCtl
+// and the probe with a typed refusal and are skipped.
+func withCoordinator(addrs string, fn func(ctx context.Context, c *cdd.NodeClient) error) error {
+	ctx := context.Background()
+	probed := 0
+	for _, a := range strings.Split(addrs, ",") {
+		a = strings.TrimSpace(a)
+		c, err := cdd.Connect(a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "raidxctl: warning: node %s unreachable (%v)\n", a, err)
+			continue
+		}
+		li, err := c.Layout(ctx)
+		if err != nil || li.Desc == nil {
+			c.Close()
+			continue // not the coordinator
+		}
+		probed++
+		err = fn(ctx, c)
+		c.Close()
+		return err
+	}
+	if probed == 0 {
+		return fmt.Errorf("no rebalance coordinator reachable (start a node with -repair-cluster)")
+	}
+	return nil
+}
+
+// runGrow adds whole nodes to a live cluster: the coordinator dials the
+// joining nodes, derives the next layout epoch, and migrates the
+// minimal block set in the background while foreground I/O continues.
+func runGrow(args []string) error {
+	fs := flag.NewFlagSet("grow", flag.ExitOnError)
+	addrs := fs.String("addrs", "", "comma-separated addresses of the CURRENT cluster nodes (required)")
+	newAddrs := fs.String("new-addrs", "", "comma-separated addresses of the JOINING nodes, in join order (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addrs == "" || *newAddrs == "" {
+		return fmt.Errorf("-addrs and -new-addrs are required")
+	}
+	join := strings.Split(*newAddrs, ",")
+	for i := range join {
+		join[i] = strings.TrimSpace(join[i])
+	}
+	return withCoordinator(*addrs, func(ctx context.Context, c *cdd.NodeClient) error {
+		if err := c.RebalanceCtl(ctx, "grow", len(join), join); err != nil {
+			return err
+		}
+		fmt.Printf("grow by %d node(s) started; watch with: raidxctl rebalance status -addrs %s\n",
+			len(join), *addrs)
+		return nil
+	})
+}
+
+// runShrink retires tail nodes from a live cluster.
+func runShrink(args []string) error {
+	fs := flag.NewFlagSet("shrink", flag.ExitOnError)
+	addrs := fs.String("addrs", "", "comma-separated node addresses (required)")
+	nodes := fs.Int("nodes", 1, "tail nodes to retire")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addrs == "" {
+		return fmt.Errorf("-addrs is required")
+	}
+	return withCoordinator(*addrs, func(ctx context.Context, c *cdd.NodeClient) error {
+		if err := c.RebalanceCtl(ctx, "shrink", *nodes, nil); err != nil {
+			return err
+		}
+		fmt.Printf("shrink by %d node(s) started; watch with: raidxctl rebalance status -addrs %s\n",
+			*nodes, *addrs)
+		return nil
+	})
+}
+
+// runRebalance reports the layout epoch each node enforces and, from
+// the coordinator, migration progress.
+func runRebalance(args []string) error {
+	if len(args) < 1 || args[0] != "status" {
+		return fmt.Errorf("usage: raidxctl rebalance status -addrs host:port,...")
+	}
+	fs := flag.NewFlagSet("rebalance", flag.ExitOnError)
+	addrs := fs.String("addrs", "", "comma-separated node addresses (required)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *addrs == "" {
+		return fmt.Errorf("-addrs is required")
+	}
+	ctx := context.Background()
+	reached := 0
+	for _, a := range strings.Split(*addrs, ",") {
+		a = strings.TrimSpace(a)
+		c, err := cdd.Connect(a)
+		if err != nil {
+			fmt.Printf("%s: unreachable (%v)\n", a, err)
+			continue
+		}
+		li, err := c.Layout(ctx)
+		c.Close()
+		if err != nil {
+			fmt.Printf("%s: layout query failed: %v\n", a, err)
+			continue
+		}
+		reached++
+		line := fmt.Sprintf("%s: epoch %d", a, li.Gen)
+		if li.Desc != nil {
+			d := li.Desc
+			line += fmt.Sprintf(" [coordinator: base %dx%d, %d membership step(s)]", d.Nodes, d.DisksPerNode, len(d.Steps))
+			if li.Migrating {
+				line += fmt.Sprintf("  MIGRATING to epoch %d, cursor %d", li.TargetGen, li.Cursor)
+			}
+		}
+		fmt.Println(line)
+	}
+	if reached == 0 {
+		return fmt.Errorf("no node reachable")
+	}
+	return nil
+}
+
 // runSuper decodes the checksummed superblock of on-disk image files
 // without opening them as stores (and so without marking them in use):
 // geometry, format version, array/device identity, and whether the last
@@ -481,6 +720,9 @@ func runSuper(args []string) error {
 			sb.Version, sb.Blocks, sb.BlockSize, want>>20, short)
 		fmt.Printf("  array  %s\n", store.UUIDString(sb.ArrayUUID))
 		fmt.Printf("  device %s\n", store.UUIDString(sb.DeviceUUID))
+		if sb.Version >= 2 {
+			fmt.Printf("  epoch  %d\n", sb.ArrayEpoch)
+		}
 	}
 	if bad > 0 {
 		return fmt.Errorf("%d of %d image(s) not clean", bad, fs.NArg())

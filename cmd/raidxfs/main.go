@@ -30,6 +30,7 @@ import (
 	"repro/internal/cdd"
 	"repro/internal/core"
 	"repro/internal/fsim"
+	"repro/internal/layout"
 	"repro/internal/raid"
 )
 
@@ -80,22 +81,97 @@ func run(addrs, owner string, args []string) error {
 	}
 	perNode := ref.NumDisks()
 	nodes := len(clients)
-	devs := make([]raid.Dev, nodes*perNode)
-	for local := 0; local < perNode; local++ {
-		model := ref.Dev(local)
-		for node := 0; node < nodes; node++ {
-			if clients[node] == nil {
-				devs[node+local*nodes] = cdd.Offline(list[node], model.BlockSize(), model.NumBlocks())
-			} else {
-				devs[node+local*nodes] = clients[node].Dev(local)
-			}
+	ctx := context.Background()
+	// Learn the cluster's layout epoch (the rebalance coordinator serves
+	// the full descriptor; plain nodes their bare enforced generation),
+	// tag all block I/O at the generation in force, and install the
+	// stale-epoch recovery hook so a grow that lands mid-invocation is a
+	// refetch-and-retry, not an error.
+	var li cdd.LayoutInfo
+	for _, c := range clients {
+		if c == nil {
+			continue
+		}
+		l, err := c.Layout(ctx)
+		if err != nil {
+			continue
+		}
+		if l.Desc != nil {
+			li = l
+			break
+		}
+		if l.Gen > li.Gen {
+			li = l
 		}
 	}
-	arr, err := core.New(devs, nodes, perNode, core.Options{})
-	if err != nil {
-		return err
+	for _, c := range clients {
+		if c == nil {
+			continue
+		}
+		c := c
+		if li.Gen > 0 {
+			c.SetArrayEpoch(li.Gen)
+		}
+		c.SetEpochRefresh(func(ctx context.Context) (uint64, error) {
+			l, err := c.Layout(ctx)
+			if err != nil {
+				return 0, err
+			}
+			return l.Gen, nil
+		})
 	}
-	ctx := context.Background()
+	if li.Migrating {
+		fmt.Fprintf(os.Stderr, "raidxfs: warning: rebalance in flight (epoch %d -> %d, cursor %d); views may lag\n",
+			li.Gen, li.TargetGen, li.Cursor)
+	}
+	var arr *core.RAIDx
+	if li.Desc != nil && li.Desc.Gen() > 0 {
+		// The cluster has rebalanced: build the device table in the
+		// epoch's canonical column order (grown columns are appended, so
+		// the node-major interleave below no longer holds).
+		ep, err := layout.EpochFromDesc(*li.Desc)
+		if err != nil {
+			return fmt.Errorf("cluster layout descriptor: %w", err)
+		}
+		if ep.Nodes() > nodes {
+			return fmt.Errorf("cluster is at epoch %d spanning %d nodes; -addrs lists %d", ep.Gen(), ep.Nodes(), nodes)
+		}
+		model := ref.Dev(0)
+		devs := make([]raid.Dev, ep.Width())
+		for d := range devs {
+			node, local := ep.NodeOf(d), ep.LocalOf(d)
+			if node >= nodes || local >= perNode {
+				if !ep.Active(d) {
+					continue // retired column; core tolerates a nil device
+				}
+				return fmt.Errorf("epoch column %d is local disk %d of node %d, outside the assembled cluster", d, local, node)
+			}
+			if clients[node] == nil {
+				devs[d] = cdd.Offline(list[node], model.BlockSize(), model.NumBlocks())
+			} else {
+				devs[d] = clients[node].Dev(local)
+			}
+		}
+		if arr, err = core.NewAtEpoch(devs, ep, core.Options{}); err != nil {
+			return err
+		}
+	} else {
+		devs := make([]raid.Dev, nodes*perNode)
+		for local := 0; local < perNode; local++ {
+			model := ref.Dev(local)
+			for node := 0; node < nodes; node++ {
+				if clients[node] == nil {
+					devs[node+local*nodes] = cdd.Offline(list[node], model.BlockSize(), model.NumBlocks())
+				} else {
+					devs[node+local*nodes] = clients[node].Dev(local)
+				}
+			}
+		}
+		var err error
+		if arr, err = core.New(devs, nodes, perNode, core.Options{}); err != nil {
+			return err
+		}
+	}
 	lk := fsim.NewTableLocker(cdd.NewTable())
 
 	cmd, rest := args[0], args[1:]
@@ -104,7 +180,7 @@ func run(addrs, owner string, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("formatted: %d blocks x %d B over %d disks\n", arr.Blocks(), arr.BlockSize(), len(devs))
+		fmt.Printf("formatted: %d blocks x %d B over %d disks\n", arr.Blocks(), arr.BlockSize(), len(arr.Devices()))
 		return nil
 	}
 

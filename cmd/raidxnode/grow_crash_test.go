@@ -1,0 +1,227 @@
+package main
+
+// The real-process grow crash drill: a 4-node cluster of raidxnode
+// binaries grows to 12 via the wire control plane, the coordinator is
+// SIGKILLed mid-rebalance, and its restart must resume the migration
+// from the persisted epoch checkpoint (delta only, never from zero),
+// finish it, broadcast the new generation to every member, and leave
+// all twelve superblocks recording the adopted epoch after an orderly
+// shutdown.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cdd"
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/raid"
+	"repro/internal/repair"
+	"repro/internal/store"
+)
+
+const growBlocks = 2048 // per disk; 4 nodes => 4096 logical blocks
+
+func TestGrowCrashSIGKILLResumeFromCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real processes")
+	}
+	bin := buildNode(t)
+
+	// The coordinator needs a stable address across its restart, so its
+	// port is reserved up front. The other eleven use ephemeral ports.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostAddr := l.Addr().String()
+	l.Close()
+
+	const total = 12
+	procs := make([]*nodeProc, total)
+	for i := 1; i < total; i++ {
+		procs[i] = startNode(t, bin, fmt.Sprintf("g%d", i), "127.0.0.1:0", t.TempDir(),
+			"-blocks", fmt.Sprint(growBlocks))
+	}
+	baseAddrs := []string{hostAddr, procs[1].addr, procs[2].addr, procs[3].addr}
+	hostDir := t.TempDir()
+	hostArgs := func(cluster []string, rate int64) []string {
+		return []string{
+			"-blocks", fmt.Sprint(growBlocks),
+			"-repair-cluster", strings.Join(cluster, ","),
+			"-repair-spares", "0", "-repair-poll", "5ms",
+			"-repair-rate", fmt.Sprint(rate),
+		}
+	}
+	// The copy rate is capped so the kill lands mid-flight, well past
+	// the first durable cursor checkpoint (every 1024 logical blocks).
+	procs[0] = startNode(t, bin, "g0", hostAddr, hostDir, hostArgs(baseAddrs, 1<<20)...)
+
+	ctx := context.Background()
+	clients := make([]*cdd.NodeClient, total)
+	for i, p := range procs {
+		c, err := cdd.Connect(p.addr)
+		if err != nil {
+			t.Fatalf("dial %s: %v", p.addr, err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	// Golden prefill through a client-side mount of the 4-node array.
+	devs := make([]raid.Dev, 4)
+	for i := 0; i < 4; i++ {
+		devs[i] = clients[i].Dev(0)
+	}
+	arr, err := core.New(devs, 4, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := make([]byte, arr.Blocks()*int64(nBS))
+	rand.New(rand.NewSource(67)).Read(golden)
+	if err := arr.WriteBlocks(ctx, 0, golden); err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Start the grow over the wire and let it pass the first durable
+	// checkpoint before the kill.
+	joinAddrs := make([]string, 0, 8)
+	for _, p := range procs[4:] {
+		joinAddrs = append(joinAddrs, p.addr)
+	}
+	growDeadline := time.Now().Add(30 * time.Second)
+	for {
+		err := clients[0].RebalanceCtl(ctx, "grow", 8, joinAddrs)
+		if err == nil || strings.Contains(err.Error(), "rebalance in progress") {
+			// "in progress" means an earlier attempt started it and only
+			// the response was lost.
+			break
+		}
+		if time.Now().After(growDeadline) {
+			t.Fatalf("grow never started: %v\nstderr:\n%s", err, procs[0].stderr)
+		}
+		time.Sleep(20 * time.Millisecond) // supervisor may still be attaching
+	}
+	waitLayout(t, clients[0], 60*time.Second, "mid-flight cursor past a checkpoint", func(li cdd.LayoutInfo) bool {
+		return li.Migrating && li.Cursor >= 1536
+	})
+	procs[0].sigkill(t)
+
+	// The durable record: an in-flight grow with a non-zero cursor.
+	ck, err := repair.LoadRebalance(store.OS, hostDir+"/repair")
+	if err != nil || ck == nil {
+		t.Fatalf("epoch checkpoint after SIGKILL: %+v, %v", ck, err)
+	}
+	if ck.Done || ck.Action != "grow" || ck.Nodes != 8 || ck.Cursor < 1024 {
+		t.Fatalf("checkpoint %+v, want an in-flight grow by 8 with cursor >= 1024", ck)
+	}
+
+	// Restart against the same images and address, now listing the full
+	// target membership. The binary must reopen the array at the source
+	// epoch over the widened table and resume from the recorded cursor —
+	// a cursor observed below it would mean the migration restarted from
+	// zero.
+	allAddrs := append(append([]string{}, baseAddrs...), joinAddrs...)
+	procs[0] = startNode(t, bin, "g0", hostAddr, hostDir, hostArgs(allAddrs, 1<<20)...)
+	sawResume := false
+	waitLayout(t, clients[0], 120*time.Second, "resumed grow to finish", func(li cdd.LayoutInfo) bool {
+		if li.Migrating {
+			if li.Cursor < ck.Cursor {
+				t.Fatalf("resumed migration cursor %d below checkpoint %d: restarted from zero", li.Cursor, ck.Cursor)
+			}
+			sawResume = true
+		}
+		return !li.Migrating && li.Gen == 1
+	})
+	if !sawResume {
+		t.Log("resumed migration finished between polls; cursor floor unobserved")
+	}
+
+	// Completion broadcast reached every member.
+	for i, c := range clients {
+		waitLayout(t, c, 30*time.Second, fmt.Sprintf("node %d to adopt epoch 1", i), func(li cdd.LayoutInfo) bool {
+			return li.Gen == 1
+		})
+	}
+
+	// Audit through a fresh mount at the grown epoch: the device table
+	// is rebuilt in epoch column order from the coordinator's layout.
+	li, err := clients[0].Layout(ctx)
+	if err != nil || li.Desc == nil {
+		t.Fatalf("coordinator layout after resume: %+v, %v", li, err)
+	}
+	ep, err := layout.EpochFromDesc(*li.Desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Nodes() != total {
+		t.Fatalf("grown epoch spans %d nodes, want %d", ep.Nodes(), total)
+	}
+	gdevs := make([]raid.Dev, ep.Width())
+	for d := range gdevs {
+		gdevs[d] = clients[ep.NodeOf(d)].Dev(ep.LocalOf(d))
+	}
+	grown, err := core.NewAtEpoch(gdevs, ep, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(golden))
+	if err := grown.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatalf("read after resumed grow: %v", err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Fatal("data wrong after SIGKILL + resumed grow")
+	}
+	if err := grown.Verify(ctx); err != nil {
+		t.Fatalf("verify after resumed grow: %v", err)
+	}
+
+	// Orderly shutdown: every image inspects clean AND records the
+	// adopted epoch, so a future restart re-enforces the fence on its
+	// own.
+	for _, c := range clients {
+		c.Close()
+	}
+	for _, p := range procs {
+		p.sigterm(t)
+	}
+	for i, p := range procs {
+		sb, _, err := store.InspectSuperblock(store.OS, p.image())
+		if err != nil {
+			t.Fatalf("%s: %v", p.image(), err)
+		}
+		if !sb.Clean {
+			t.Fatalf("node %d image not clean after SIGTERM; stderr:\n%s", i, p.stderr)
+		}
+		if sb.ArrayEpoch != 1 {
+			t.Fatalf("node %d image records epoch %d, want 1; stderr:\n%s", i, sb.ArrayEpoch, p.stderr)
+		}
+	}
+}
+
+// waitLayout polls a node's layout view until cond holds.
+func waitLayout(t *testing.T, c *cdd.NodeClient, within time.Duration, what string, cond func(cdd.LayoutInfo) bool) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		li, err := c.Layout(ctx)
+		cancel()
+		if err == nil && cond(li) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s (last: %+v, err %v)", what, li, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

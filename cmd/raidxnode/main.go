@@ -51,6 +51,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -58,6 +59,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/intent"
+	"repro/internal/layout"
 	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/raid"
@@ -94,6 +96,7 @@ func main() {
 	sloFast := flag.Duration("slo-fast", obs.DefaultSLOFastWindow, "SLO fast burn window")
 	sloSlow := flag.Duration("slo-slow", obs.DefaultSLOSlowWindow, "SLO slow burn window")
 	sloMinBG := flag.Int64("slo-min-bg", 0, "floor for SLO feedback stepping the background QoS rate down (0: baseline/16)")
+	epochGen := flag.Uint64("epoch", 0, "asserted cluster array epoch: disk images recording a NEWER epoch are refused at open (0: skip the check)")
 	flag.Parse()
 
 	if *pprofOut != "" {
@@ -124,7 +127,7 @@ func main() {
 				log.Fatalf("raidxnode: %v", err)
 			}
 			img := filepath.Join(*dir, fmt.Sprintf("%s-d%d.img", *name, i))
-			fst, err := store.OpenFile(img, *bs, *blocks)
+			fst, err := store.OpenFileFS(store.OS, img, *bs, *blocks, store.FileOptions{Epoch: *epochGen})
 			if err != nil {
 				log.Fatalf("raidxnode: %v", err)
 			}
@@ -149,6 +152,30 @@ func main() {
 		if err := store.WriteFileAtomic(store.OS, *addrFile, []byte(fmt.Sprintf("%s\n", node.Addr()))); err != nil {
 			log.Fatalf("raidxnode: -addr-file: %v", err)
 		}
+	}
+
+	// Epoch fence bootstrap: persist every adopted generation into the
+	// images' superblocks, and seed the fence from what they recorded —
+	// a restarted node re-enforces the last generation it witnessed
+	// without waiting for a coordinator broadcast.
+	if len(fileStores) > 0 {
+		node.Manager.SetEpochNotify(func(gen uint64) {
+			for _, fst := range fileStores {
+				if err := fst.SetEpoch(gen); err != nil {
+					log.Printf("raidxnode: persist epoch %d: %v", gen, err)
+				}
+			}
+		})
+		var seed uint64
+		for _, fst := range fileStores {
+			if e := fst.Epoch(); e > seed {
+				seed = e
+			}
+		}
+		node.Manager.AdoptEpoch(seed)
+	}
+	if *epochGen > 0 {
+		node.Manager.AdoptEpoch(*epochGen)
 	}
 
 	tracer := node.Manager.Tracer()
@@ -367,10 +394,65 @@ func startRepair(node *cdd.Node, o repairOpts) (*repair.Supervisor, func(), erro
 		clients = append(clients, c)
 	}
 	perNode := clients[0].NumDisks()
-	devs := make([]raid.Dev, len(clients)*perNode)
-	for local := 0; local < perNode; local++ {
-		for n := range clients {
-			devs[n+local*len(clients)] = clients[n].Dev(local)
+
+	// Layout position: the epoch checkpoint (StateDir/epoch.json) records
+	// the generation the array reached and any migration cut short by a
+	// crash. With no checkpoint the array mounts at generation zero and
+	// the device table is the fresh SIOS interleave; with one, the table
+	// is rebuilt in EPOCH column order — base columns interleave at the
+	// BASE node count and grown columns are appended — which is not the
+	// interleave at the current node count.
+	var ck *repair.RebalanceCkpt
+	if o.stateDir != "" {
+		var err error
+		if ck, err = repair.LoadRebalance(store.OS, o.stateDir); err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+	}
+	var (
+		devs  []raid.Dev
+		srcEp *layout.Epoch
+	)
+	if ck == nil {
+		devs = make([]raid.Dev, len(clients)*perNode)
+		for local := 0; local < perNode; local++ {
+			for n := range clients {
+				devs[n+local*len(clients)] = clients[n].Dev(local)
+			}
+		}
+	} else {
+		var err error
+		if srcEp, err = layout.EpochFromDesc(ck.Source); err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("epoch checkpoint: %w", err)
+		}
+		// A grow interrupted mid-migration needs the table to already span
+		// the target width (BeginGrow resumes with no new devices).
+		tableEp := srcEp
+		if !ck.Done && ck.Action == "grow" {
+			if tableEp, err = srcEp.Grow(ck.Nodes); err != nil {
+				closeAll()
+				return nil, nil, fmt.Errorf("epoch checkpoint: %w", err)
+			}
+		}
+		if tableEp.Nodes() > len(clients) {
+			closeAll()
+			return nil, nil, fmt.Errorf("-repair-cluster lists %d node(s); epoch %d spans %d",
+				len(clients), tableEp.Gen(), tableEp.Nodes())
+		}
+		devs = make([]raid.Dev, tableEp.Width())
+		for d := range devs {
+			n, local := tableEp.NodeOf(d), tableEp.LocalOf(d)
+			if !tableEp.Active(d) && n >= len(clients) {
+				continue // retired node no longer listed; column stays nil
+			}
+			if local >= perNode {
+				closeAll()
+				return nil, nil, fmt.Errorf("epoch column %d is local disk %d of node %d, but nodes export %d disk(s)",
+					d, local, n, perNode)
+			}
+			devs[d] = clients[n].Dev(local)
 		}
 	}
 	il := intent.NewLog(len(devs), o.blocks, o.regionBlocks)
@@ -399,11 +481,20 @@ func startRepair(node *cdd.Node, o repairOpts) (*repair.Supervisor, func(), erro
 		}
 	}
 	cancel()
-	arr, err := core.New(devs, len(clients), perNode, core.Options{
+	copts := core.Options{
 		Obs:    node.Manager.Obs(),
 		Trace:  node.Manager.Tracer(),
 		Intent: il,
-	})
+	}
+	var (
+		arr *core.RAIDx
+		err error
+	)
+	if srcEp != nil {
+		arr, err = core.NewAtEpoch(devs, srcEp, copts)
+	} else {
+		arr, err = core.New(devs, len(clients), perNode, copts)
+	}
 	if err != nil {
 		closeAll()
 		return nil, nil, err
@@ -449,6 +540,185 @@ func startRepair(node *cdd.Node, o repairOpts) (*repair.Supervisor, func(), erro
 		},
 	})
 	node.Manager.SetRepair(sup)
+	coord := &rebalanceCoord{sup: sup, arr: arr, node: node, perNode: perNode, clients: clients}
+	node.Manager.SetRebalance(coord)
+	// Seed the fence and the mount's I/O tags at the mounted generation,
+	// and give every client the stale-epoch recovery hook.
+	if srcEp != nil && srcEp.Gen() > 0 {
+		node.Manager.AdoptEpoch(srcEp.Gen())
+		for _, c := range clients {
+			c.SetArrayEpoch(srcEp.Gen())
+		}
+	}
+	for _, c := range clients {
+		c := c
+		c.SetEpochRefresh(func(ctx context.Context) (uint64, error) {
+			li, err := c.Layout(ctx)
+			if err != nil {
+				return 0, err
+			}
+			return li.Gen, nil
+		})
+	}
+	// Resume an interrupted migration BEFORE background jobs run: blocks
+	// below the checkpointed cursor already live at their target homes,
+	// and only the restored migration state routes reads there. The
+	// resumed copy re-covers at most the window lost after the last
+	// checkpoint — a delta, not a restart.
+	if ck != nil && !ck.Done {
+		var rerr error
+		switch ck.Action {
+		case "grow":
+			rerr = sup.StartGrow(ck.Nodes, nil, ck.Cursor)
+		case "shrink":
+			rerr = sup.StartShrink(ck.Nodes, ck.Cursor)
+		default:
+			rerr = fmt.Errorf("unknown action %q", ck.Action)
+		}
+		if rerr != nil {
+			sup.Stop()
+			closeAll()
+			return nil, nil, fmt.Errorf("resume epoch checkpoint: %w", rerr)
+		}
+		log.Printf("raidxnode: resuming %s by %d node(s) at block %d (epoch %d)",
+			ck.Action, ck.Nodes, ck.Cursor, srcEp.Gen())
+		go coord.watchCompletion()
+	}
 	sup.Start(context.Background())
-	return sup, func() { sup.Stop(); closeAll() }, nil
+	return sup, func() { sup.Stop(); coord.closeJoined(); closeAll() }, nil
+}
+
+// rebalanceCoord implements cdd.RebalanceController over the repair
+// supervisor: raidxctl grow|shrink land here via OpRebalanceCtl, and
+// OpLayout serves the full epoch descriptor clients rebuild their
+// placement maps from.
+type rebalanceCoord struct {
+	sup     *repair.Supervisor
+	arr     *core.RAIDx
+	node    *cdd.Node
+	perNode int
+
+	mu       sync.Mutex
+	clients  []*cdd.NodeClient // every member node, for the completion broadcast
+	joined   []*cdd.NodeClient // clients this coordinator dialed for grows
+	watching bool
+}
+
+// LayoutJSON serves the coordinator's layout view: stable epoch
+// descriptor plus migration progress while one is in flight.
+func (g *rebalanceCoord) LayoutJSON() ([]byte, error) {
+	ep := g.arr.Epoch()
+	desc := ep.Desc()
+	li := cdd.LayoutInfo{Gen: ep.Gen(), Desc: &desc}
+	if cursor, tgen, active := g.arr.Migrating(); active {
+		li.Migrating, li.Cursor, li.TargetGen = true, cursor, tgen
+	}
+	return json.Marshal(li)
+}
+
+// Rebalance starts a membership change. Refusals (a rebalance already
+// in flight, recovery busy, bad geometry) come back typed from the
+// supervisor and travel to raidxctl as remote errors.
+func (g *rebalanceCoord) Rebalance(action string, nodes int, addrs []string) error {
+	switch action {
+	case "grow":
+		if len(addrs) != nodes {
+			return fmt.Errorf("grow by %d node(s) needs %d address(es), got %d", nodes, nodes, len(addrs))
+		}
+		joined := make([]*cdd.NodeClient, 0, nodes)
+		fail := func(err error) error {
+			for _, c := range joined {
+				c.Close()
+			}
+			return err
+		}
+		for _, a := range addrs {
+			c, err := cdd.Connect(strings.TrimSpace(a))
+			if err != nil {
+				return fail(fmt.Errorf("dial joining node %s: %w", a, err))
+			}
+			joined = append(joined, c)
+			if c.NumDisks() < g.perNode {
+				return fail(fmt.Errorf("joining node %s exports %d disk(s), need %d", a, c.NumDisks(), g.perNode))
+			}
+		}
+		// BeginGrow column order: appended column w + l·add + m is local
+		// disk l of joining node m — outer loop locals, inner loop nodes.
+		newDevs := make([]raid.Dev, 0, nodes*g.perNode)
+		for l := 0; l < g.perNode; l++ {
+			for m := 0; m < nodes; m++ {
+				newDevs = append(newDevs, joined[m].Dev(l))
+			}
+		}
+		if err := g.sup.StartGrow(nodes, newDevs, 0); err != nil {
+			return fail(err)
+		}
+		g.mu.Lock()
+		g.clients = append(g.clients, joined...)
+		g.joined = append(g.joined, joined...)
+		g.mu.Unlock()
+	case "shrink":
+		if err := g.sup.StartShrink(nodes, 0); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown rebalance action %q (want grow or shrink)", action)
+	}
+	go g.watchCompletion()
+	return nil
+}
+
+// watchCompletion waits out the in-flight migration and then broadcasts
+// the new epoch generation to every member node — the wire fence that
+// bounces clients still placing I/O with the retired map. (An errored
+// migration stays active and is retried by the supervisor's tick, so
+// the watcher keeps waiting.)
+func (g *rebalanceCoord) watchCompletion() {
+	g.mu.Lock()
+	if g.watching {
+		g.mu.Unlock()
+		return
+	}
+	g.watching = true
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.watching = false
+		g.mu.Unlock()
+	}()
+	for {
+		if _, _, active := g.arr.Migrating(); !active {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	st := g.sup.RebalanceStatus()
+	if st == nil || !st.Done {
+		return
+	}
+	gen := g.arr.Epoch().Gen()
+	g.node.Manager.AdoptEpoch(gen)
+	g.mu.Lock()
+	cs := append([]*cdd.NodeClient(nil), g.clients...)
+	g.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, c := range cs {
+		c.SetArrayEpoch(gen)
+		if _, err := c.EpochSet(ctx, gen); err != nil {
+			log.Printf("raidxnode: epoch %d broadcast to %s: %v", gen, c.Addr(), err)
+		}
+	}
+	log.Printf("raidxnode: rebalance complete, epoch %d in force", gen)
+}
+
+// closeJoined closes the clients the coordinator dialed for grows.
+func (g *rebalanceCoord) closeJoined() {
+	g.mu.Lock()
+	joined := g.joined
+	g.joined = nil
+	g.mu.Unlock()
+	for _, c := range joined {
+		c.Close()
+	}
 }

@@ -2,6 +2,7 @@ package cdd
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -93,7 +94,10 @@ func retryableOp(op uint8) bool {
 		OpLockSnapshot, OpUnlock, OpUnlockAll, OpFail, OpReplace,
 		OpObsSnapshot, OpTraceSpans,
 		OpIntentPut, OpIntentGet, OpRepairStatus, OpRepairCtl,
-		OpCoherence:
+		OpCoherence,
+		OpReadEpoch, OpWriteEpoch, OpLayout, OpEpochSet:
+		// OpRebalanceCtl is excluded like OpLock: a start whose response
+		// was lost would double-begin and bounce off ErrRebalanceActive.
 		return true
 	}
 	return false
@@ -132,6 +136,7 @@ func retryableErr(err error) bool {
 // drops payload references before returning it to the pool.
 type ioScratch struct {
 	hdr [ioHeaderLen]byte
+	tag [epochTagLen]byte
 	req [][]byte
 	dst [][]byte
 }
@@ -146,6 +151,16 @@ func getIOScratch(h ioHeader) *ioScratch {
 	s.req = append(s.req[:0], s.hdr[:])
 	s.dst = s.dst[:0]
 	return s
+}
+
+// tagEpoch prepends the epoch generation as the request's first gather
+// segment. The segment aliases s.tag, so a stale-epoch retry can
+// rewrite the generation in place without rebuilding the gather list.
+func (s *ioScratch) tagEpoch(gen uint64) {
+	binary.BigEndian.PutUint64(s.tag[:], gen)
+	s.req = append(s.req, nil)
+	copy(s.req[1:], s.req)
+	s.req[0] = s.tag[:]
 }
 
 func (s *ioScratch) release() {
@@ -211,6 +226,13 @@ type NodeClient struct {
 	policy RetryPolicy
 	met    clientMetrics
 	closed atomic.Bool
+
+	// arrayEpoch, when non-zero, tags every block I/O with the layout
+	// epoch generation the client's placement map was built from (see
+	// epoch.go); epochRefresh recovers from stale-epoch rejections.
+	arrayEpoch   atomic.Uint64
+	epochMu      sync.Mutex
+	epochRefresh func(context.Context) (uint64, error)
 }
 
 // Connect dials a CDD node with default options and fetches its disk
@@ -314,6 +336,17 @@ func (n *NodeClient) doCall(ctx context.Context, op uint8, req [][]byte, scatter
 			return nil, err
 		}
 		if !retryableErr(err) {
+			// A stale-epoch rejection is recoverable within the attempt
+			// budget: refresh the layout through the registered hook and
+			// rewrite the tag segment in place with the adopted
+			// generation. Without a hook (or without progress) the typed
+			// error surfaces to the caller.
+			if epochTagged(op) && IsStaleEpoch(err) {
+				if gen, ok := n.refreshEpoch(ctx); ok {
+					binary.BigEndian.PutUint64(req[0], gen)
+					continue
+				}
+			}
 			return nil, err
 		}
 	}
@@ -613,11 +646,16 @@ func (d *RemoteDev) ReadBlocks(ctx context.Context, b int64, buf []byte) (err er
 	h.Val = int64(len(buf))
 	defer func() { h.End(err) }()
 	start := time.Now()
+	op := OpRead
 	s := getIOScratch(ioHeader{Disk: d.disk, Block: b, Count: uint32(len(buf) / d.bs)})
+	if gen := d.n.arrayEpoch.Load(); gen > 0 {
+		op = OpReadEpoch
+		s.tagEpoch(gen)
+	}
 	if len(buf) > 0 {
 		s.dst = append(s.dst, buf)
 	}
-	_, err = d.n.doCall(ctx, OpRead, s.req, s.dst, len(buf))
+	_, err = d.n.doCall(ctx, op, s.req, s.dst, len(buf))
 	s.release()
 	d.n.met.readLat.Observe(time.Since(start))
 	if err != nil {
@@ -643,9 +681,14 @@ func (d *RemoteDev) ReadBlocksVec(ctx context.Context, b int64, segs [][]byte) (
 	h.Val = int64(total)
 	defer func() { h.End(err) }()
 	start := time.Now()
+	op := OpRead
 	s := getIOScratch(ioHeader{Disk: d.disk, Block: b, Count: uint32(total / d.bs)})
+	if gen := d.n.arrayEpoch.Load(); gen > 0 {
+		op = OpReadEpoch
+		s.tagEpoch(gen)
+	}
 	s.dst = append(s.dst, segs...)
-	_, err = d.n.doCall(ctx, OpRead, s.req, s.dst, total)
+	_, err = d.n.doCall(ctx, op, s.req, s.dst, total)
 	s.release()
 	d.n.met.readLat.Observe(time.Since(start))
 	if err != nil {
@@ -676,11 +719,16 @@ func (d *RemoteDev) WriteBlocks(ctx context.Context, b int64, data []byte) error
 	ctx, h := trace.Start(ctx, "cdd.write", d.subject)
 	h.Val = int64(len(data))
 	start := time.Now()
+	op := OpWrite
 	s := getIOScratch(ioHeader{Disk: d.disk, Block: b})
 	if len(data) > 0 {
 		s.req = append(s.req, data)
 	}
-	_, err := d.n.doCall(ctx, OpWrite, s.req, nil, 0)
+	if gen := d.n.arrayEpoch.Load(); gen > 0 {
+		op = OpWriteEpoch
+		s.tagEpoch(gen)
+	}
+	_, err := d.n.doCall(ctx, op, s.req, nil, 0)
 	s.release()
 	d.n.met.writeLat.Observe(time.Since(start))
 	h.End(err)
@@ -699,9 +747,14 @@ func (d *RemoteDev) WriteBlocksVec(ctx context.Context, b int64, segs [][]byte) 
 	ctx, h := trace.Start(ctx, "cdd.write", d.subject)
 	h.Val = int64(total)
 	start := time.Now()
+	op := OpWrite
 	s := getIOScratch(ioHeader{Disk: d.disk, Block: b})
 	s.req = append(s.req, segs...)
-	_, err := d.n.doCall(ctx, OpWrite, s.req, nil, 0)
+	if gen := d.n.arrayEpoch.Load(); gen > 0 {
+		op = OpWriteEpoch
+		s.tagEpoch(gen)
+	}
+	_, err := d.n.doCall(ctx, op, s.req, nil, 0)
 	s.release()
 	d.n.met.writeLat.Observe(time.Since(start))
 	h.End(err)
@@ -715,11 +768,18 @@ func (d *RemoteDev) WriteBlocksVec(ctx context.Context, b int64, segs [][]byte) 
 func (d *RemoteDev) WriteBlocksBackground(ctx context.Context, b int64, data []byte) error {
 	ctx, h := trace.Start(ctx, "cdd.bg-write", d.subject)
 	h.Val = int64(len(data))
+	op := OpWriteBG
 	s := getIOScratch(ioHeader{Disk: d.disk, Block: b})
 	if len(data) > 0 {
 		s.req = append(s.req, data)
 	}
-	err := d.n.c.NotifyVec(ctx, OpWriteBG, s.req)
+	if gen := d.n.arrayEpoch.Load(); gen > 0 {
+		// Tagged notification: a stale background mirror push is dropped
+		// by the node (fail-safe) instead of landing at a retired home.
+		op = OpWriteBGEpoch
+		s.tagEpoch(gen)
+	}
+	err := d.n.c.NotifyVec(ctx, op, s.req)
 	s.release()
 	h.End(err)
 	d.noteOutcome(err)

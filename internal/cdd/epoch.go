@@ -1,0 +1,293 @@
+package cdd
+
+// Array-epoch fencing and membership control over the CDD wire. After
+// an online rebalance completes, blocks live at homes computed from a
+// newer layout epoch; a client that missed the transition would keep
+// placing I/O with the retired map. The fence: clients tag block I/O
+// with the epoch generation their map was built from, nodes reject
+// tags older than the generation the rebalance coordinator broadcast
+// (CodeStaleEpoch), and the client refreshes its layout and retries —
+// a typed, recoverable protocol step, never silent corruption.
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/transport"
+)
+
+// ErrStaleEpoch is the client-side classification of a CodeStaleEpoch
+// rejection: the node enforces a newer array epoch than this client's
+// placement map. Refresh the layout (OpLayout against the rebalance
+// coordinator) and retry.
+var ErrStaleEpoch = errors.New("cdd: stale array epoch")
+
+// errStaleEpoch marks server-side rejections so errCode maps them to
+// the wire code.
+var errStaleEpoch = ErrStaleEpoch
+
+// IsStaleEpoch reports whether err is a stale-epoch rejection — either
+// the local sentinel or the remote error code.
+func IsStaleEpoch(err error) bool {
+	if errors.Is(err, ErrStaleEpoch) {
+		return true
+	}
+	var re *transport.RemoteError
+	return errors.As(err, &re) && re.Code == transport.CodeStaleEpoch
+}
+
+// epochTagLen is the epoch generation prefix of tagged I/O payloads.
+const epochTagLen = 8
+
+// epochTagged reports whether op carries an epoch tag as its first
+// payload segment.
+func epochTagged(op uint8) bool {
+	return op == OpReadEpoch || op == OpWriteEpoch || op == OpWriteBGEpoch
+}
+
+// baseOp maps an epoch-tagged opcode to the op it wraps.
+func baseOp(op uint8) uint8 {
+	switch op {
+	case OpReadEpoch:
+		return OpRead
+	case OpWriteEpoch:
+		return OpWrite
+	case OpWriteBGEpoch:
+		return OpWriteBG
+	}
+	return op
+}
+
+// LayoutInfo is the OpLayout response: the epoch generation a node
+// enforces and, when answered by the rebalance coordinator, the full
+// layout descriptor plus migration progress.
+type LayoutInfo struct {
+	Gen       uint64            `json:"gen"`
+	Desc      *layout.EpochDesc `json:"desc,omitempty"`
+	Migrating bool              `json:"migrating,omitempty"`
+	Cursor    int64             `json:"cursor,omitempty"`
+	TargetGen uint64            `json:"target_gen,omitempty"`
+}
+
+// rebalanceReq is the OpRebalanceCtl payload.
+type rebalanceReq struct {
+	// Action is "grow" or "shrink".
+	Action string `json:"action"`
+	// Nodes is how many nodes join (grow) or leave (shrink).
+	Nodes int `json:"nodes"`
+	// Addrs are the joining nodes' CDD addresses, in node order (grow
+	// only).
+	Addrs []string `json:"addrs,omitempty"`
+}
+
+// RebalanceController is the slice of a rebalance coordinator the
+// manager can drive remotely (raidxctl grow|shrink|rebalance status).
+// Declared as an interface so cdd stays below repair in the dependency
+// order; raidxnode implements it over its repair supervisor.
+type RebalanceController interface {
+	// LayoutJSON returns the coordinator's LayoutInfo as JSON.
+	LayoutJSON() ([]byte, error)
+	// Rebalance starts a membership change: "grow" dials addrs and adds
+	// nodes new nodes, "shrink" retires the nodes tail nodes.
+	Rebalance(action string, nodes int, addrs []string) error
+}
+
+// SetRebalance attaches the node's rebalance coordinator, enabling
+// OpRebalanceCtl and the full OpLayout answer.
+func (m *Manager) SetRebalance(rc RebalanceController) {
+	m.mu.Lock()
+	m.rebalance = rc
+	m.mu.Unlock()
+}
+
+// EpochGen reports the array-epoch generation this node enforces on
+// tagged I/O.
+func (m *Manager) EpochGen() uint64 { return m.epochGen.Load() }
+
+// AdoptEpoch raises the node's enforced array epoch to gen; lower or
+// equal generations are ignored (broadcasts are idempotent and may
+// arrive out of order). Returns the generation now in force.
+func (m *Manager) AdoptEpoch(gen uint64) uint64 {
+	for {
+		cur := m.epochGen.Load()
+		if gen <= cur {
+			return cur
+		}
+		if m.epochGen.CompareAndSwap(cur, gen) {
+			m.mu.Lock()
+			f := m.onEpoch
+			m.mu.Unlock()
+			if f != nil {
+				f(gen)
+			}
+			return gen
+		}
+	}
+}
+
+// SetEpochNotify installs a hook called whenever AdoptEpoch raises the
+// enforced generation. raidxnode uses it to persist the adopted epoch
+// into its disk images' superblocks, so a restarted node re-enforces
+// the fence before any broadcast reaches it. Epoch raises are rare
+// (one per membership change), so a hook that syncs to disk is fine.
+func (m *Manager) SetEpochNotify(f func(gen uint64)) {
+	m.mu.Lock()
+	m.onEpoch = f
+	m.mu.Unlock()
+}
+
+// checkEpoch gates one epoch-tagged request: tags behind the node's
+// generation are rejected typed; tags ahead of it are adopted — the
+// client learned of a newer epoch before this node's broadcast landed,
+// and either way the node must stop honoring the older map.
+func (m *Manager) checkEpoch(gen uint64) error {
+	if cur := m.AdoptEpoch(gen); gen < cur {
+		return fmt.Errorf("cdd: request epoch %d behind node epoch %d: %w", gen, cur, errStaleEpoch)
+	}
+	return nil
+}
+
+// decodeEpochTag splits an epoch-tagged payload into the generation and
+// the wrapped payload.
+func decodeEpochTag(b []byte) (uint64, []byte, error) {
+	if len(b) < epochTagLen {
+		return 0, nil, fmt.Errorf("cdd: short epoch tag: %w", errBadRequest)
+	}
+	return binary.BigEndian.Uint64(b[:epochTagLen]), b[epochTagLen:], nil
+}
+
+// handleEpoch serves the epoch/membership opcodes (dispatched from
+// handle).
+func (m *Manager) handleEpoch(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
+	switch op {
+	case OpReadEpoch, OpWriteEpoch, OpWriteBGEpoch:
+		gen, rest, err := decodeEpochTag(payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.checkEpoch(gen); err != nil {
+			return nil, err
+		}
+		return m.handle(ctx, baseOp(op), rest)
+
+	case OpEpochSet:
+		if len(payload) != epochTagLen {
+			return nil, fmt.Errorf("cdd: bad epoch-set payload: %w", errBadRequest)
+		}
+		cur := m.AdoptEpoch(binary.BigEndian.Uint64(payload))
+		return binary.BigEndian.AppendUint64(nil, cur), nil
+
+	case OpLayout:
+		m.mu.Lock()
+		rc := m.rebalance
+		m.mu.Unlock()
+		if rc != nil {
+			return rc.LayoutJSON()
+		}
+		return json.Marshal(LayoutInfo{Gen: m.epochGen.Load()})
+
+	case OpRebalanceCtl:
+		m.mu.Lock()
+		rc := m.rebalance
+		m.mu.Unlock()
+		if rc == nil {
+			return nil, errors.New("cdd: no rebalance coordinator on this node")
+		}
+		var req rebalanceReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("cdd: bad rebalance request: %v: %w", err, errBadRequest)
+		}
+		return nil, rc.Rebalance(req.Action, req.Nodes, req.Addrs)
+	}
+	return nil, fmt.Errorf("cdd: op %d: %w", op, errUnknownOp)
+}
+
+// ArrayEpoch reports the epoch generation this client tags block I/O
+// with (0: untagged legacy I/O).
+func (n *NodeClient) ArrayEpoch() uint64 { return n.arrayEpoch.Load() }
+
+// SetArrayEpoch raises the epoch generation the client tags block I/O
+// with. Lower generations are ignored — an epoch never rolls back.
+func (n *NodeClient) SetArrayEpoch(gen uint64) {
+	for {
+		cur := n.arrayEpoch.Load()
+		if gen <= cur || n.arrayEpoch.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
+
+// SetEpochRefresh installs the stale-epoch recovery hook: when a tagged
+// operation bounces with CodeStaleEpoch, the hook is called to learn
+// the current generation (typically by refreshing the client's layout
+// from the rebalance coordinator); the operation then retries with the
+// new tag. Without a hook, stale-epoch rejections surface to the
+// caller.
+func (n *NodeClient) SetEpochRefresh(f func(context.Context) (uint64, error)) {
+	n.epochMu.Lock()
+	n.epochRefresh = f
+	n.epochMu.Unlock()
+}
+
+// refreshEpoch runs the registered refresh hook and adopts its answer.
+// It reports whether the client's epoch actually advanced — the retry
+// is pointless otherwise.
+func (n *NodeClient) refreshEpoch(ctx context.Context) (uint64, bool) {
+	n.epochMu.Lock()
+	f := n.epochRefresh
+	n.epochMu.Unlock()
+	if f == nil {
+		return 0, false
+	}
+	before := n.arrayEpoch.Load()
+	gen, err := f(ctx)
+	if err != nil || gen <= before {
+		return 0, false
+	}
+	n.SetArrayEpoch(gen)
+	return gen, true
+}
+
+// Layout fetches the node's layout view: its enforced epoch generation
+// and, from a rebalance coordinator, the full epoch descriptor and
+// migration progress.
+func (n *NodeClient) Layout(ctx context.Context) (LayoutInfo, error) {
+	raw, err := n.call(ctx, OpLayout, nil)
+	if err != nil {
+		return LayoutInfo{}, err
+	}
+	var li LayoutInfo
+	if err := json.Unmarshal(raw, &li); err != nil {
+		return LayoutInfo{}, fmt.Errorf("cdd: bad layout from %s: %w", n.addr, err)
+	}
+	return li, nil
+}
+
+// EpochSet broadcasts an array-epoch generation to the node; the node
+// adopts it if higher and answers with the generation now in force.
+func (n *NodeClient) EpochSet(ctx context.Context, gen uint64) (uint64, error) {
+	raw, err := n.call(ctx, OpEpochSet, binary.BigEndian.AppendUint64(nil, gen))
+	if err != nil {
+		return 0, err
+	}
+	if len(raw) != epochTagLen {
+		return 0, fmt.Errorf("cdd: bad epoch-set response length %d", len(raw))
+	}
+	return binary.BigEndian.Uint64(raw), nil
+}
+
+// RebalanceCtl asks the node's rebalance coordinator to start a
+// membership change. Not blindly retried: a lost response would
+// double-start and bounce off ErrRebalanceActive.
+func (n *NodeClient) RebalanceCtl(ctx context.Context, action string, nodes int, addrs []string) error {
+	raw, err := json.Marshal(rebalanceReq{Action: action, Nodes: nodes, Addrs: addrs})
+	if err != nil {
+		return err
+	}
+	_, err = n.call(ctx, OpRebalanceCtl, raw)
+	return err
+}

@@ -1,0 +1,205 @@
+package cdd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/transport"
+)
+
+// TestEpochTaggedIO: tagged I/O at the node's generation round-trips;
+// a stale tag bounces with the typed wire code; the refresh hook
+// recovers and the retried operation lands.
+func TestEpochTaggedIO(t *testing.T) {
+	n := startNode(t, 1, 32)
+	n.Manager.AdoptEpoch(3)
+	c, err := Connect(n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	dev := c.Dev(0)
+	data := make([]byte, 2*512)
+	rand.New(rand.NewSource(7)).Read(data)
+
+	// In-date tag: served like untagged I/O.
+	c.SetArrayEpoch(3)
+	if err := dev.WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatalf("write at current epoch: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := dev.ReadBlocks(ctx, 0, got); err != nil {
+		t.Fatalf("read at current epoch: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("tagged round trip corrupted data")
+	}
+
+	// Stale tag, no refresh hook: the typed error surfaces.
+	n.Manager.AdoptEpoch(5)
+	c2, err := Connect(n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.SetArrayEpoch(3)
+	dev2 := c2.Dev(0)
+	err = dev2.WriteBlocks(ctx, 0, data)
+	if !IsStaleEpoch(err) {
+		t.Fatalf("stale write error = %v, want stale-epoch", err)
+	}
+	var re *transport.RemoteError
+	if !errors.As(err, &re) || re.Code != transport.CodeStaleEpoch {
+		t.Fatalf("stale write error not CodeStaleEpoch: %v", err)
+	}
+	// A wire rejection proves the node answered: the device must not be
+	// marked suspect for it.
+	if !dev2.Healthy() {
+		t.Fatal("stale-epoch rejection marked device unhealthy")
+	}
+
+	// With the refresh hook: one bounce, then the retry lands.
+	var refreshes atomic.Int64
+	c2.SetEpochRefresh(func(ctx context.Context) (uint64, error) {
+		refreshes.Add(1)
+		li, err := c2.Layout(ctx)
+		if err != nil {
+			return 0, err
+		}
+		return li.Gen, nil
+	})
+	if err := dev2.WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatalf("write after refresh: %v", err)
+	}
+	if refreshes.Load() != 1 {
+		t.Fatalf("refresh hook ran %d times, want 1", refreshes.Load())
+	}
+	if got := c2.ArrayEpoch(); got != 5 {
+		t.Fatalf("client epoch after refresh = %d, want 5", got)
+	}
+	if err := dev2.ReadBlocks(ctx, 0, got[:512]); err != nil {
+		t.Fatalf("read after refresh: %v", err)
+	}
+
+	// A tag AHEAD of the node: adopted, so the fence tightens before the
+	// coordinator's broadcast arrives.
+	c2.SetArrayEpoch(8)
+	if err := dev2.WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatalf("write ahead of node epoch: %v", err)
+	}
+	if got := n.Manager.EpochGen(); got != 8 {
+		t.Fatalf("node epoch after ahead tag = %d, want 8", got)
+	}
+}
+
+// TestEpochSetBroadcast: OpEpochSet raises monotonically and answers
+// the generation in force.
+func TestEpochSetBroadcast(t *testing.T) {
+	n := startNode(t, 1, 16)
+	c, err := Connect(n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if got, err := c.EpochSet(ctx, 4); err != nil || got != 4 {
+		t.Fatalf("EpochSet(4) = %d, %v", got, err)
+	}
+	// Out-of-order lower broadcast: ignored, current generation answered.
+	if got, err := c.EpochSet(ctx, 2); err != nil || got != 4 {
+		t.Fatalf("EpochSet(2) = %d, %v, want 4", got, err)
+	}
+	li, err := c.Layout(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if li.Gen != 4 || li.Desc != nil || li.Migrating {
+		t.Fatalf("layout = %+v, want bare gen 4", li)
+	}
+}
+
+// fakeCoordinator implements RebalanceController for wire tests. Its
+// fields are written from the server goroutine and read by the test,
+// so every access locks.
+type fakeCoordinator struct {
+	mu    sync.Mutex
+	gen   uint64
+	calls []string
+	err   error
+}
+
+func (f *fakeCoordinator) LayoutJSON() ([]byte, error) {
+	f.mu.Lock()
+	gen := f.gen
+	f.mu.Unlock()
+	desc := layout.NewEpoch(layout.NewOSM(4, 1, 64)).Desc()
+	return json.Marshal(LayoutInfo{Gen: gen, Desc: &desc})
+}
+
+func (f *fakeCoordinator) Rebalance(action string, nodes int, addrs []string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls = append(f.calls, fmt.Sprintf("%s/%d/%d", action, nodes, len(addrs)))
+	return f.err
+}
+
+func (f *fakeCoordinator) snapshotCalls() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.calls...)
+}
+
+func (f *fakeCoordinator) setErr(err error) {
+	f.mu.Lock()
+	f.err = err
+	f.mu.Unlock()
+}
+
+// TestRebalanceCtl: the control op reaches the coordinator; its typed
+// refusals travel back as remote errors; nodes without a coordinator
+// refuse.
+func TestRebalanceCtl(t *testing.T) {
+	n := startNode(t, 1, 16)
+	c, err := Connect(n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.RebalanceCtl(ctx, "grow", 2, []string{"a", "b"}); err == nil {
+		t.Fatal("rebalance against a node without a coordinator succeeded")
+	}
+	fc := &fakeCoordinator{gen: 7}
+	n.Manager.SetRebalance(fc)
+	if err := c.RebalanceCtl(ctx, "grow", 2, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if calls := fc.snapshotCalls(); len(calls) != 1 || calls[0] != "grow/2/2" {
+		t.Fatalf("coordinator calls = %v", calls)
+	}
+	fc.setErr(errors.New("repair: rebalance in progress"))
+	err = c.RebalanceCtl(ctx, "shrink", 1, nil)
+	var re *transport.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("refusal did not travel as a remote error: %v", err)
+	}
+	li, err := c.Layout(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if li.Gen != 7 || li.Desc == nil {
+		t.Fatalf("coordinator layout = %+v, want gen 7 with desc", li)
+	}
+	if _, err := layout.EpochFromDesc(*li.Desc); err != nil {
+		t.Fatalf("served desc does not rebuild: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bufpool"
@@ -28,13 +29,20 @@ type Manager struct {
 	tracer *trace.Tracer
 	met    managerMetrics
 
+	// epochGen is the array-layout epoch generation this node enforces
+	// on epoch-tagged I/O (see epoch.go); raised by OpEpochSet
+	// broadcasts and by tags ahead of it, never lowered.
+	epochGen atomic.Uint64
+
 	mu    sync.Mutex
 	peers []*transport.Client // for lock-table replication
 	// intents holds replicated write-intent snapshots keyed by array
 	// name: the repair host pushes its dirty map here so it survives a
 	// host crash.
-	intents map[string][]byte
-	repair  RepairController
+	intents   map[string][]byte
+	repair    RepairController
+	rebalance RebalanceController
+	onEpoch   func(gen uint64) // called after AdoptEpoch raises the generation
 }
 
 // RepairController is the slice of a repair supervisor the manager can
@@ -175,6 +183,8 @@ func errCode(err error) uint8 {
 	switch {
 	case errors.Is(err, disk.ErrFailed):
 		return transport.CodeDiskFailed
+	case errors.Is(err, errStaleEpoch):
+		return transport.CodeStaleEpoch
 	case errors.Is(err, errBadRequest):
 		return transport.CodeBadRequest
 	case errors.Is(err, errUnknownOp):
@@ -212,6 +222,12 @@ var opSpanNames = [...]string{
 	OpRepairStatus: "mgr.repair-status",
 	OpRepairCtl:    "mgr.repair-ctl",
 	OpCoherence:    "mgr.beat",
+	OpReadEpoch:    "mgr.read-epoch",
+	OpWriteEpoch:   "mgr.write-epoch",
+	OpWriteBGEpoch: "mgr.bg-write-epoch",
+	OpLayout:       "mgr.layout",
+	OpEpochSet:     "mgr.epoch-set",
+	OpRebalanceCtl: "mgr.rebalance-ctl",
 }
 
 func opSpanName(op uint8) string {
@@ -242,7 +258,7 @@ func (m *Manager) Handle(ctx context.Context, op uint8, payload []byte) ([]byte,
 		m.met.latByOp[op].ObserveTraced(d, tid)
 	}
 	switch op {
-	case OpRead, OpWrite, OpFlush:
+	case OpRead, OpWrite, OpFlush, OpReadEpoch, OpWriteEpoch:
 		m.met.fgOps.Inc()
 		m.met.fgLat.ObserveTraced(d, tid)
 		if err != nil {
@@ -485,6 +501,9 @@ func (m *Manager) handle(ctx context.Context, op uint8, payload []byte) ([]byte,
 			return nil, fmt.Errorf("cdd: unknown repair-ctl %d: %w", payload[0], errBadRequest)
 		}
 		return nil, nil
+
+	case OpReadEpoch, OpWriteEpoch, OpWriteBGEpoch, OpLayout, OpEpochSet, OpRebalanceCtl:
+		return m.handleEpoch(ctx, op, payload)
 	}
 	return nil, fmt.Errorf("cdd: op %d: %w", op, errUnknownOp)
 }

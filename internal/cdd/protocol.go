@@ -64,6 +64,29 @@ const (
 	// carries pending invalidation events back — the piggybacked
 	// coherence channel of DESIGN.md §13.
 	OpCoherence
+	// OpReadEpoch / OpWriteEpoch / OpWriteBGEpoch are OpRead / OpWrite /
+	// OpWriteBG with an 8-byte array-epoch generation prefixed to the
+	// payload. A node whose recorded generation is newer answers
+	// CodeStaleEpoch instead of serving a placement computed from a
+	// retired layout — the fence that keeps clients with pre-rebalance
+	// maps from corrupting moved blocks.
+	OpReadEpoch
+	OpWriteEpoch
+	OpWriteBGEpoch
+	// OpLayout returns the node's layout view as JSON (LayoutInfo): the
+	// epoch generation it enforces and, when a rebalance coordinator
+	// runs here, the full epoch descriptor plus migration progress —
+	// what a stale client fetches to rebuild its placement map.
+	OpLayout
+	// OpEpochSet installs a new array-epoch generation (8-byte payload).
+	// The node adopts it only if higher than its current one and answers
+	// with the generation now in force — idempotent, so the rebalance
+	// coordinator broadcasts it with retries.
+	OpEpochSet
+	// OpRebalanceCtl asks the node's rebalance coordinator to start a
+	// membership change (JSON rebalanceReq payload). Answered with an
+	// error when no coordinator runs here.
+	OpRebalanceCtl
 )
 
 // repairCtl payload bytes.

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bufpool"
+	"repro/internal/layout"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/raid"
+)
+
+// migChunk is the copy-window size in logical blocks: the granularity
+// at which the migration cursor advances, foreground writes are gated,
+// and checkpoints are cut. Small enough that a gated write waits one
+// window's worth of copying at most.
+const migChunk = 64
+
+// blkRange is a half-open range of logical blocks.
+type blkRange struct{ lo, hi int64 }
+
+func overlaps(a, b blkRange) bool { return a.lo < b.hi && b.lo < a.hi }
+
+// MigrateStatus is a point-in-time snapshot of a migration.
+type MigrateStatus struct {
+	FromGen     uint64           `json:"from_gen"`
+	ToGen       uint64           `json:"to_gen"`
+	Cursor      int64            `json:"cursor"`
+	Blocks      int64            `json:"blocks"`
+	MovedBlocks int64            `json:"moved_blocks"`
+	MovedBytes  int64            `json:"moved_bytes"`
+	Done        bool             `json:"done"`
+	Target      layout.EpochDesc `json:"target"`
+}
+
+// Migration is one in-flight layout-epoch transition. It is created by
+// BeginGrow/BeginShrink and driven by Run — typically from the repair
+// supervisor as a paced, checkpointed background job. Run may be
+// interrupted (context cancel, pace error) and called again: the
+// cursor persists in the engine's published epoch state, so a resumed
+// run re-copies at most the uncommitted window.
+type Migration struct {
+	a        *RAIDx
+	from, to *layout.Epoch
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	winLo, winHi int64 // active copy window (logical blocks); equal = none
+	inflight     []blkRange
+	finished     bool
+	running      bool
+
+	movedBlocks atomic.Int64
+	movedBytes  atomic.Int64
+}
+
+// Status snapshots the migration.
+func (m *Migration) Status() MigrateStatus {
+	cursor, _, active := m.a.Migrating()
+	m.mu.Lock()
+	done := m.finished
+	m.mu.Unlock()
+	if !active && done {
+		cursor = m.a.Blocks()
+	}
+	return MigrateStatus{
+		FromGen:     m.from.Gen(),
+		ToGen:       m.to.Gen(),
+		Cursor:      cursor,
+		Blocks:      m.a.Blocks(),
+		MovedBlocks: m.movedBlocks.Load(),
+		MovedBytes:  m.movedBytes.Load(),
+		Done:        done,
+		Target:      m.to.Desc(),
+	}
+}
+
+// TargetEpoch returns the layout this migration is moving to.
+func (m *Migration) TargetEpoch() *layout.Epoch { return m.to }
+
+// enterWrite blocks while the copy window overlaps [b, b+n), then
+// registers the write so the copier cannot open such a window until
+// exitWrite. Returns false (without registering) once the migration
+// has finished — the caller just proceeds on the final layout.
+func (m *Migration) enterWrite(b, n int64) bool {
+	r := blkRange{b, b + n}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.finished {
+			return false
+		}
+		if !overlaps(r, blkRange{m.winLo, m.winHi}) {
+			m.inflight = append(m.inflight, r)
+			return true
+		}
+		m.cond.Wait()
+	}
+}
+
+// exitWrite deregisters a foreground write.
+func (m *Migration) exitWrite(b, n int64) {
+	r := blkRange{b, b + n}
+	m.mu.Lock()
+	for i, f := range m.inflight {
+		if f == r {
+			m.inflight[i] = m.inflight[len(m.inflight)-1]
+			m.inflight = m.inflight[:len(m.inflight)-1]
+			break
+		}
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// openWindow claims [lo, hi) for copying. The window is published
+// first — gating any NEW overlapping write — and then the copier waits
+// for writes already in flight to drain. Claim-then-drain cannot
+// starve: the pre-existing overlap set is finite and new arrivals
+// block on the window, while drain-then-claim would wait forever under
+// a steady write load.
+func (m *Migration) openWindow(lo, hi int64) {
+	w := blkRange{lo, hi}
+	m.mu.Lock()
+	m.winLo, m.winHi = lo, hi
+	for {
+		clear := true
+		for _, f := range m.inflight {
+			if overlaps(f, w) {
+				clear = false
+				break
+			}
+		}
+		if clear {
+			break
+		}
+		m.cond.Wait()
+	}
+	m.mu.Unlock()
+}
+
+// commitWindow publishes cursor = hi, then releases the window. The
+// publish happens before gated writers wake, so a writer that waited
+// on this window reloads a view that already routes its blocks to
+// their new homes.
+func (m *Migration) commitWindow(hi int64) {
+	m.a.epoch.Store(&epochState{cur: m.from, next: m.to, cursor: hi, mig: m})
+	m.mu.Lock()
+	m.winLo, m.winHi = 0, 0
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// abortWindow releases the window without advancing the cursor (copy
+// error or pause mid-chunk; the committed state is untouched).
+func (m *Migration) abortWindow() {
+	m.mu.Lock()
+	m.winLo, m.winHi = 0, 0
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Run drives the migration to completion: for each window of migChunk
+// logical blocks it copies every block whose data or image home
+// changes, commits the cursor, reports it to checkpoint (the repair
+// supervisor persists it), and yields to pace. On error or pace abort
+// the cursor keeps its last committed value and Run can be called
+// again; a crash loses at most the in-flight window, which the resumed
+// run re-copies — old homes stay authoritative until the commit, so
+// torn new-home writes are invisible.
+func (m *Migration) Run(ctx context.Context, pace PaceFunc, checkpoint func(cursor int64)) (err error) {
+	m.mu.Lock()
+	if m.running {
+		m.mu.Unlock()
+		return fmt.Errorf("core: migration already running")
+	}
+	if m.finished {
+		m.mu.Unlock()
+		return nil
+	}
+	m.running = true
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.running = false
+		m.mu.Unlock()
+	}()
+
+	total := m.a.Blocks()
+	for {
+		es := m.a.epoch.Load()
+		if es.mig != m {
+			return fmt.Errorf("core: migration superseded")
+		}
+		lo := es.cursor
+		if lo >= total {
+			break
+		}
+		hi := lo + migChunk
+		if hi > total {
+			hi = total
+		}
+		moved, err := m.copyWindow(ctx, lo, hi)
+		if err != nil {
+			return err
+		}
+		if checkpoint != nil {
+			checkpoint(hi)
+		}
+		if pace != nil && moved > 0 {
+			if err := pace(ctx, int(moved)*m.a.bs); err != nil {
+				return err
+			}
+		}
+	}
+	m.a.finishMigration(m)
+	return nil
+}
+
+// copyWindow migrates [lo, hi) and commits the cursor. It returns how
+// many physical block copies it performed.
+func (m *Migration) copyWindow(ctx context.Context, lo, hi int64) (int64, error) {
+	type move struct {
+		lb       int64
+		from, to layout.Loc
+		image    bool
+	}
+	var moves []move
+	for lb := lo; lb < hi; lb++ {
+		if df, dt := m.from.DataLoc(lb), m.to.DataLoc(lb); df != dt {
+			moves = append(moves, move{lb: lb, from: df, to: dt})
+		}
+		if mf, mt := m.from.MirrorLoc(lb), m.to.MirrorLoc(lb); mf != mt {
+			moves = append(moves, move{lb: lb, from: mf, to: mt, image: true})
+		}
+	}
+	if len(moves) == 0 {
+		m.commitWindow(hi)
+		return 0, nil
+	}
+	m.openWindow(lo, hi)
+	devs := m.a.devices()
+	blank := m.a.blankCols.Load()
+	buf := bufpool.Get(len(moves) * m.a.bs)
+	defer bufpool.Put(buf)
+	err := par.ForEach(ctx, len(moves), func(ctx context.Context, i int) error {
+		mv := moves[i]
+		dst := buf[i*m.a.bs : (i+1)*m.a.bs]
+		// Read the authoritative old copy, falling back to the block's
+		// other old copy if the primary source is down — a node kill
+		// mid-rebalance must not stall the migration.
+		src, alt := mv.from, m.from.MirrorLoc(mv.lb)
+		if mv.image {
+			alt = m.from.DataLoc(mv.lb)
+		}
+		rerr := errSourceDown
+		if readable(devs, blank, src.Disk) {
+			rerr = devs[src.Disk].ReadBlocks(ctx, src.Block, dst)
+		}
+		if rerr != nil && ctx.Err() == nil {
+			if !readable(devs, blank, alt.Disk) {
+				return fmt.Errorf("core: migrating block %d: both copies unavailable (%v): %w", mv.lb, rerr, raid.ErrDataLoss)
+			}
+			if aerr := devs[alt.Disk].ReadBlocks(ctx, alt.Block, dst); aerr != nil {
+				return fmt.Errorf("core: migrating block %d: %v; fallback: %w", mv.lb, rerr, aerr)
+			}
+		} else if rerr != nil {
+			return rerr
+		}
+		if !devs[mv.to.Disk].Healthy() {
+			return fmt.Errorf("core: migration target disk %d unhealthy for block %d", mv.to.Disk, mv.lb)
+		}
+		return devs[mv.to.Disk].WriteBlocks(ctx, mv.to.Block, dst)
+	})
+	if err != nil {
+		m.abortWindow()
+		return 0, err
+	}
+	m.commitWindow(hi)
+	m.movedBlocks.Add(int64(len(moves)))
+	m.movedBytes.Add(int64(len(moves) * m.a.bs))
+	return int64(len(moves)), nil
+}
+
+var errSourceDown = fmt.Errorf("source unavailable")
+
+// finishMigration installs the target epoch as current and wakes every
+// gated writer into the final layout.
+func (a *RAIDx) finishMigration(m *Migration) {
+	a.epoch.Store(&epochState{cur: m.to})
+	m.mu.Lock()
+	m.finished = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+	a.met.events.Append(obs.EventRebalanceEnd, "raidx",
+		fmt.Sprintf("epoch %d -> %d: moved %d blocks (%d bytes)",
+			m.from.Gen(), m.to.Gen(), m.movedBlocks.Load(), m.movedBytes.Load()))
+}
+
+// CurrentMigration returns the in-flight migration, or nil.
+func (a *RAIDx) CurrentMigration() *Migration { return a.epoch.Load().mig }
+
+// beginMigration validates and installs a migration toward next,
+// resuming at cursor (0 for a fresh start). Callers hold no locks.
+func (a *RAIDx) beginMigration(next *layout.Epoch, cursor int64) (*Migration, error) {
+	if cursor < 0 || cursor > a.Blocks() {
+		return nil, fmt.Errorf("core: resume cursor %d outside [0,%d]", cursor, a.Blocks())
+	}
+	a.swapMu.Lock()
+	defer a.swapMu.Unlock()
+	es := a.epoch.Load()
+	if es.next != nil {
+		return nil, ErrMigrationActive
+	}
+	m := &Migration{a: a, from: es.cur, to: next}
+	m.cond = sync.NewCond(&m.mu)
+	// Quiesce in-flight writers that loaded a pre-migration view, then
+	// publish: every write starting after this sees the migration and
+	// gates against its copy windows.
+	a.ioGate.Lock()
+	a.epoch.Store(&epochState{cur: es.cur, next: next, cursor: cursor, mig: m})
+	a.ioGate.Unlock()
+	a.met.events.Append(obs.EventRebalanceStart, "raidx",
+		fmt.Sprintf("epoch %d -> %d (%d nodes -> %d), resume at %d",
+			es.cur.Gen(), next.Gen(), es.cur.Nodes(), next.Nodes(), cursor))
+	return m, nil
+}
+
+// BeginGrow starts (or, with cursor > 0, resumes) a live expansion by
+// addNodes whole nodes. newDevs are the new nodes' disks in SIOS order
+// — for local disk l, then new node order — and may be nil when the
+// device table already spans the target width (the restart-resume
+// path). The returned Migration must be driven by Run; until it
+// completes, reads and writes follow the migration cursor.
+func (a *RAIDx) BeginGrow(addNodes int, newDevs []raid.Dev, cursor int64) (*Migration, error) {
+	if _, _, active := a.Migrating(); active {
+		return nil, ErrMigrationActive
+	}
+	cur := a.Epoch()
+	next, err := cur.Grow(addNodes)
+	if err != nil {
+		return nil, err
+	}
+	devs := a.devices()
+	need := next.Width() - len(devs)
+	if need > 0 {
+		if len(newDevs) != need {
+			return nil, fmt.Errorf("core: grow by %d nodes needs %d devices, got %d", addNodes, need, len(newDevs))
+		}
+		for i, d := range newDevs {
+			if d.BlockSize() != a.bs || d.NumBlocks() < a.lay.DiskBlocks {
+				return nil, fmt.Errorf("core: new device %d geometry %dx%d does not match %dx%d",
+					i, d.BlockSize(), d.NumBlocks(), a.bs, a.lay.DiskBlocks)
+			}
+		}
+		a.swapMu.Lock()
+		table := append(append([]raid.Dev(nil), a.devices()...), newDevs...)
+		a.table.Store(&table)
+		a.setColNames(len(table))
+		a.swapMu.Unlock()
+		a.intLog.Grow(len(table))
+	} else if len(newDevs) != 0 {
+		return nil, fmt.Errorf("core: device table already spans width %d; pass no new devices", len(devs))
+	}
+	return a.beginMigration(next, cursor)
+}
+
+// BeginShrink starts (or resumes) a live contraction by removeNodes
+// tail nodes. The retired columns' devices stay in the table but no
+// block maps to them once the migration completes.
+func (a *RAIDx) BeginShrink(removeNodes int, cursor int64) (*Migration, error) {
+	if _, _, active := a.Migrating(); active {
+		return nil, ErrMigrationActive
+	}
+	cur := a.Epoch()
+	next, err := cur.Shrink(removeNodes)
+	if err != nil {
+		return nil, err
+	}
+	return a.beginMigration(next, cursor)
+}

@@ -150,14 +150,26 @@ type RAIDx struct {
 	// operation sees the spare.
 	table  atomic.Pointer[[]raid.Dev]
 	swapMu sync.Mutex
+	// epoch is the copy-on-write layout view (see epochState). The zero
+	// generation delegates to lay's pure arithmetic; grows and shrinks
+	// publish override generations here, and an in-flight migration
+	// carries both layouts plus its cursor.
+	epoch atomic.Pointer[epochState]
+	// ioGate closes the migration-start race: writes hold it shared for
+	// their duration, Begin{Grow,Shrink} takes it exclusively for the
+	// instant it publishes the migrating view, so no write that placed
+	// blocks under the pre-migration view is still in flight when the
+	// copier starts.
+	ioGate sync.RWMutex
 	lay    layout.OSM
 	bs     int
 	opt    Options
 	met    coreMetrics
 	tracer *trace.Tracer
 	// colName holds pre-formatted per-column span subjects ("d3"), so
-	// hot-path span recording never formats strings.
-	colName []string
+	// hot-path span recording never formats strings. Copy-on-write like
+	// the device table: BeginGrow publishes an extended copy.
+	colName atomic.Pointer[[]string]
 	// flip alternates the preferred copy for balanced reads so that
 	// simultaneous readers split between data and image instead of
 	// herding onto whichever side momentarily reports less backlog.
@@ -208,35 +220,45 @@ func New(devs []raid.Dev, nodes, disksPerNode int, opt Options) (*RAIDx, error) 
 		tracer: opt.Trace,
 		intLog: opt.Intent,
 	}
-	a.colName = make([]string, len(devs))
-	for i := range a.colName {
-		a.colName[i] = fmt.Sprintf("d%d", i)
-	}
+	a.setColNames(len(devs))
 	owned := append([]raid.Dev(nil), devs...)
 	a.table.Store(&owned)
-	if opt.Obs != nil {
-		opt.Obs.RegisterGauge("raidx.backlog_us", func() int64 {
+	a.epoch.Store(&epochState{cur: layout.NewEpoch(a.lay)})
+	a.finishInit(devs)
+	return a, nil
+}
+
+// finishInit registers the obs gauges and flags a degraded mount; the
+// construction tail shared by New and NewAtEpoch. Retired or spare
+// slots in devs may be nil.
+func (a *RAIDx) finishInit(devs []raid.Dev) {
+	if a.opt.Obs != nil {
+		a.opt.Obs.RegisterGauge("raidx.backlog_us", func() int64 {
 			var sum time.Duration
 			for _, d := range a.devices() {
-				sum += raid.BacklogOf(d)
+				if d != nil {
+					sum += raid.BacklogOf(d)
+				}
 			}
 			return int64(sum / time.Microsecond)
 		})
-		opt.Obs.RegisterGauge("raidx.bg_backlog_us", func() int64 {
+		a.opt.Obs.RegisterGauge("raidx.bg_backlog_us", func() int64 {
 			var sum time.Duration
 			for _, d := range a.devices() {
-				sum += raid.BgBacklogOf(d)
+				if d != nil {
+					sum += raid.BgBacklogOf(d)
+				}
 			}
 			return int64(sum / time.Microsecond)
 		})
-		opt.Obs.RegisterGauge("raidx.rebuild_done_blocks", a.rebuildDone.Load)
-		opt.Obs.RegisterGauge("raidx.rebuild_total_blocks", a.rebuildTotal.Load)
+		a.opt.Obs.RegisterGauge("raidx.rebuild_done_blocks", a.rebuildDone.Load)
+		a.opt.Obs.RegisterGauge("raidx.rebuild_total_blocks", a.rebuildTotal.Load)
 	}
 	// A degraded mount — building the array over members that are
 	// already unhealthy — is a state worth flagging on the event log.
 	down := 0
 	for _, d := range devs {
-		if !d.Healthy() {
+		if d != nil && !d.Healthy() {
 			down++
 		}
 	}
@@ -244,7 +266,6 @@ func New(devs []raid.Dev, nodes, disksPerNode int, opt Options) (*RAIDx, error) 
 		a.met.events.Append(obs.EventDegradedMount, "raidx",
 			fmt.Sprintf("%d of %d devices unhealthy at mount", down, len(devs)))
 	}
-	return a, nil
 }
 
 func checkDevs(devs []raid.Dev) (int, int64, error) {
@@ -261,11 +282,30 @@ func checkDevs(devs []raid.Dev) (int, int64, error) {
 	return bs, per, nil
 }
 
+// setColNames publishes a fresh pre-formatted name table covering n
+// columns.
+func (a *RAIDx) setColNames(n int) {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("d%d", i)
+	}
+	a.colName.Store(&names)
+}
+
+// col returns the pre-formatted span subject for column i.
+func (a *RAIDx) col(i int) string {
+	names := *a.colName.Load()
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("d%d", i)
+}
+
 // readable reports whether column col may serve reads under the given
 // blank-column mask: the device must answer and must not be a blank
 // spare whose rebuild has not completed.
 func readable(devs []raid.Dev, blank uint64, col int) bool {
-	return (col >= 64 || blank&(1<<uint(col)) == 0) && devs[col].Healthy()
+	return (col >= 64 || blank&(1<<uint(col)) == 0) && devs[col] != nil && devs[col].Healthy()
 }
 
 // setBlank marks or clears column col in the blank mask.
@@ -356,6 +396,11 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) (err error) {
 	defer func() { root.End(err) }()
 	start := time.Now()
 	defer func() { a.met.readLat.Observe(time.Since(start)) }()
+	if es := a.epoch.Load(); !es.plain() {
+		// Overridden placements or an in-flight migration: take the
+		// general epoch-aware path.
+		return a.readEpoch(ctx, es, b, n, p)
+	}
 	devs := a.devices()
 	blank := a.blankCols.Load()
 	width := a.lay.TotalDisks()
@@ -386,7 +431,7 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) (err error) {
 							}
 							// Failover to the data copy.
 							a.noteFailover(fmt.Sprintf("raidx/d%d", m.Disk), err)
-							fctx, fh := trace.Start(ctx, "raidx.failover", a.colName[m.Disk])
+							fctx, fh := trace.Start(ctx, "raidx.failover", a.col(m.Disk))
 							derr := dev.ReadBlocks(fctx, first/int64(width), dst)
 							fh.End(derr)
 							if derr == nil {
@@ -401,7 +446,7 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) (err error) {
 			}
 			col := col
 			fns = append(fns, func(ctx context.Context) (err error) {
-				ctx, ch := trace.Start(ctx, "raidx.col-read", a.colName[col])
+				ctx, ch := trace.Start(ctx, "raidx.col-read", a.col(col))
 				ch.Val = int64(count * a.bs)
 				defer func() { ch.End(err) }()
 				// Scatter the column run straight into p — no staging
@@ -423,7 +468,7 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) (err error) {
 					// mirrors rewrite every block of the run, so bytes a
 					// partial scatter may have landed in p are overwritten.
 					a.noteFailover(fmt.Sprintf("raidx/d%d", col), rerr)
-					fctx, fh := trace.Start(ctx, "raidx.failover", a.colName[col])
+					fctx, fh := trace.Start(ctx, "raidx.failover", a.col(col))
 					ferr := a.readRunViaMirrors(fctx, devs, blank, first, count, b, p, rerr)
 					fh.End(ferr)
 					return ferr
@@ -442,7 +487,7 @@ func (a *RAIDx) ReadBlocks(ctx context.Context, b int64, p []byte) (err error) {
 					a.degradedNotify(1)
 				}
 				m := a.lay.MirrorLoc(lb)
-				ctx, dh := trace.Start(ctx, "raidx.degraded-read", a.colName[m.Disk])
+				ctx, dh := trace.Start(ctx, "raidx.degraded-read", a.col(m.Disk))
 				defer func() { dh.End(err) }()
 				mdev := devs[m.Disk]
 				if !readable(devs, blank, m.Disk) {
@@ -495,6 +540,13 @@ func (a *RAIDx) WriteBlocks(ctx context.Context, b int64, p []byte) (err error) 
 	defer func() { root.End(err) }()
 	start := time.Now()
 	defer func() { a.met.writeLat.Observe(time.Since(start)) }()
+	// Shared-mode gate: a migration publishes its view only after every
+	// write that loaded the pre-migration layout has drained.
+	a.ioGate.RLock()
+	defer a.ioGate.RUnlock()
+	if es := a.epoch.Load(); !es.plain() {
+		return a.writeEpoch(ctx, b, n, p)
+	}
 	devs := a.devices()
 	if err := a.checkWritable(devs, b, n); err != nil {
 		return err
@@ -531,7 +583,7 @@ func (a *RAIDx) dataWriteFns(devs []raid.Dev, b int64, n int, p []byte) []func(c
 		}
 		col := col
 		fns = append(fns, func(ctx context.Context) (err error) {
-			ctx, ch := trace.Start(ctx, "raidx.col-write", a.colName[col])
+			ctx, ch := trace.Start(ctx, "raidx.col-write", a.col(col))
 			ch.Val = int64(count * a.bs)
 			defer func() { ch.End(err) }()
 			// Gather the column run from p — no staging buffer, no
@@ -602,7 +654,7 @@ func (a *RAIDx) mirrorWriteFns(devs []raid.Dev, b int64, n int, p []byte) []func
 			continue
 		}
 		fns = append(fns, func(ctx context.Context) (err error) {
-			ctx, mh := trace.Start(ctx, "raidx.mirror-write", a.colName[mdisk])
+			ctx, mh := trace.Start(ctx, "raidx.mirror-write", a.col(mdisk))
 			mh.Val = (hi - lo) * int64(a.bs)
 			defer func() { mh.End(err) }()
 			chunk := p[(lo-b)*int64(a.bs) : (hi-b)*int64(a.bs)]
@@ -653,7 +705,7 @@ func (a *RAIDx) Flush(ctx context.Context) (err error) {
 	defer func() { root.End(err) }()
 	devs := a.devices()
 	return par.ForEach(ctx, len(devs), func(ctx context.Context, i int) error {
-		if !devs[i].Healthy() {
+		if devs[i] == nil || !devs[i].Healthy() {
 			return nil
 		}
 		return devs[i].Flush(ctx)
@@ -687,14 +739,28 @@ func (a *RAIDx) RebuildFrom(ctx context.Context, idx int, prog *RebuildProgress,
 	if idx < 0 || idx >= len(devs) {
 		return fmt.Errorf("core: rebuild of device %d out of range", idx)
 	}
+	if _, _, active := a.Migrating(); active {
+		return ErrMigrationActive
+	}
+	if a.ColumnRetired(idx) {
+		return ErrRetiredColumn
+	}
 	if !devs[idx].Healthy() {
 		return fmt.Errorf("core: rebuild target %d is not healthy (replace it first)", idx)
 	}
 	if prog == nil {
 		prog = &RebuildProgress{}
 	}
+	if ep := a.Epoch(); !ep.Trivial() {
+		return a.rebuildEpochFrom(ctx, idx, ep, prog, pace)
+	}
+	if prog.Epoch != 0 {
+		// Checkpoint cut under a different layout generation: placements
+		// moved, so the recorded progress no longer names the same blocks.
+		*prog = RebuildProgress{}
+	}
 	blank := a.blankCols.Load()
-	ctx, root := a.tracer.StartRoot(ctx, "raidx.rebuild", a.colName[idx])
+	ctx, root := a.tracer.StartRoot(ctx, "raidx.rebuild", a.col(idx))
 	defer func() { root.End(err) }()
 	subject := fmt.Sprintf("raidx/d%d", idx)
 	detail := ""
@@ -832,12 +898,13 @@ func (a *RAIDx) Verify(ctx context.Context) (err error) {
 	ctx, root := a.tracer.StartRoot(ctx, "raidx.verify", "raidx")
 	defer func() { root.End(err) }()
 	devs := a.devices()
+	es := a.epoch.Load()
 	data := bufpool.Get(a.bs)
 	image := bufpool.Get(a.bs)
 	defer bufpool.Put(data)
 	defer bufpool.Put(image)
 	for lb := int64(0); lb < a.Blocks(); lb++ {
-		d, m := a.lay.DataLoc(lb), a.lay.MirrorLoc(lb)
+		d, m := es.dataLoc(lb), es.mirrorLoc(lb)
 		if err := devs[d.Disk].ReadBlocks(ctx, d.Block, data); err != nil {
 			return err
 		}

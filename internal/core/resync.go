@@ -31,6 +31,10 @@ type RebuildProgress struct {
 	DataTotal   int64 `json:"data_total"`
 	GroupsDone  int64 `json:"groups_done"`
 	GroupsTotal int64 `json:"groups_total"`
+	// Epoch is the layout generation the checkpoint was cut under. A
+	// rebalance between runs moves placements, so a resumed rebuild
+	// restarts from zero when the generations differ.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // done reports progress in physical blocks, the unit of the obs gauges.
@@ -68,6 +72,18 @@ type ScrubStats struct {
 // exactly one group out of every width consecutive groups, so the scan
 // is bounded by width.
 func (a *RAIDx) resyncSource(pb int64, idx int) (int64, bool) {
+	if ep := a.Epoch(); !ep.Trivial() {
+		// Overridden placements: the epoch keeps exact inverse maps. The
+		// data half stays a contiguous prefix, the mirror half is the
+		// base slot window plus relocated images.
+		if pb < 0 || pb >= a.lay.DiskBlocks {
+			return 0, false
+		}
+		if pb < a.lay.DiskBlocks/2 {
+			return ep.DataSource(idx, pb)
+		}
+		return ep.MirrorSource(idx, pb)
+	}
 	width := int64(a.lay.TotalDisks())
 	gs := int64(a.lay.GroupSize())
 	base := a.lay.DiskBlocks / 2
@@ -102,10 +118,11 @@ func (a *RAIDx) resyncSource(pb int64, idx int) (int64, bool) {
 // data block, the data block when idx holds the image. OSM orthogonality
 // guarantees the peer is on a different node.
 func (a *RAIDx) peerLoc(lb int64, idx int) layout.Loc {
-	if d := a.lay.DataLoc(lb); d.Disk != idx {
+	es := a.epoch.Load()
+	if d := es.dataLoc(lb); d.Disk != idx {
 		return d
 	}
-	return a.lay.MirrorLoc(lb)
+	return es.mirrorLoc(lb)
 }
 
 // Resync replays dirty physical regions of device idx from the live
@@ -119,11 +136,17 @@ func (a *RAIDx) Resync(ctx context.Context, idx int, regions []intent.Region, pa
 	if idx < 0 || idx >= len(devs) {
 		return st, fmt.Errorf("core: resync of device %d out of range", idx)
 	}
+	if _, _, active := a.Migrating(); active {
+		return st, ErrMigrationActive
+	}
+	if a.ColumnRetired(idx) {
+		return st, ErrRetiredColumn
+	}
 	if !devs[idx].Healthy() {
 		return st, fmt.Errorf("core: resync target %d is not healthy", idx)
 	}
 	blank := a.blankCols.Load()
-	ctx, root := a.tracer.StartRoot(ctx, "raidx.resync", a.colName[idx])
+	ctx, root := a.tracer.StartRoot(ctx, "raidx.resync", a.col(idx))
 	defer func() { root.End(err) }()
 	subject := fmt.Sprintf("raidx/d%d", idx)
 	a.met.events.Append(obs.EventResyncStart, subject,
@@ -211,6 +234,12 @@ func (a *RAIDx) ScrubSample(ctx context.Context, idx int, stride int64, pace Pac
 	if idx < 0 || idx >= len(devs) {
 		return st, fmt.Errorf("core: scrub of device %d out of range", idx)
 	}
+	if _, _, active := a.Migrating(); active {
+		return st, ErrMigrationActive
+	}
+	if a.ColumnRetired(idx) {
+		return st, ErrRetiredColumn
+	}
 	if !devs[idx].Healthy() {
 		return st, fmt.Errorf("core: scrub target %d is not healthy", idx)
 	}
@@ -218,7 +247,7 @@ func (a *RAIDx) ScrubSample(ctx context.Context, idx int, stride int64, pace Pac
 	if stride <= 0 {
 		stride = rebuildChunk
 	}
-	ctx, root := a.tracer.StartRoot(ctx, "raidx.scrub", a.colName[idx])
+	ctx, root := a.tracer.StartRoot(ctx, "raidx.scrub", a.col(idx))
 	defer func() { root.End(err) }()
 	have := bufpool.Get(a.bs)
 	want := bufpool.Get(a.bs)

@@ -85,6 +85,25 @@ func NewLog(devices int, deviceBlocks, regionBlocks int64) *Log {
 	return l
 }
 
+// Grow extends the log to track devices members, preserving existing
+// bitsets: new devices start clean. Indices are stable — an online grow
+// appends devices, never renumbers them. Shrinking is not supported
+// (retired members keep their slot; their bits simply stay clean), and
+// a nil log stays nil-safe.
+func (l *Log) Grow(devices int) {
+	if l == nil || devices <= len(l.bits) {
+		return
+	}
+	words := (l.regions() + 63) / 64
+	l.mu.Lock()
+	for len(l.bits) < devices {
+		l.bits = append(l.bits, make([]uint64, words))
+		l.dirty = append(l.dirty, 0)
+	}
+	l.gen++
+	l.mu.Unlock()
+}
+
 // RegionBlocks reports the tracking granularity in blocks.
 func (l *Log) RegionBlocks() int64 {
 	if l == nil {
@@ -326,7 +345,10 @@ func (l *Log) LoadFrom(fs store.FS, path string) error {
 
 // Merge unions a snapshot produced by MarshalBinary into the log:
 // regions dirty in either become dirty. Used at repair-host recovery to
-// fold persisted intents back in; geometry must match.
+// fold persisted intents back in; per-device geometry must match. A
+// snapshot tracking FEWER devices than the log merges as a prefix —
+// that is a snapshot taken before an online grow, and device indices
+// are stable across grows.
 func (l *Log) Merge(snap []byte) error {
 	if l == nil {
 		return fmt.Errorf("intent: merge into nil log")
@@ -342,7 +364,7 @@ func (l *Log) Merge(snap []byte) error {
 	regionBlocks := int64(binary.BigEndian.Uint64(snap[16:24]))
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if devices != len(l.bits) || deviceBlocks != l.deviceBlocks || regionBlocks != l.regionBlocks {
+	if devices > len(l.bits) || deviceBlocks != l.deviceBlocks || regionBlocks != l.regionBlocks {
 		return fmt.Errorf("intent: snapshot geometry %dx%d/%d does not match log %dx%d/%d",
 			devices, deviceBlocks, regionBlocks, len(l.bits), l.deviceBlocks, l.regionBlocks)
 	}

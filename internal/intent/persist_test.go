@@ -54,8 +54,21 @@ func TestLogLoadGeometryMismatch(t *testing.T) {
 	if err := l.SaveTo(store.OS, path); err != nil {
 		t.Fatal(err)
 	}
-	if err := NewLog(5, 1000, 8).LoadFrom(store.OS, path); err == nil {
-		t.Fatal("device-count mismatch loaded silently")
+	// A snapshot tracking FEWER devices than the log is a snapshot taken
+	// before an online grow: device indices are stable across grows, so
+	// it merges as a prefix rather than refusing.
+	wide := NewLog(5, 1000, 8)
+	if err := wide.LoadFrom(store.OS, path); err != nil {
+		t.Fatalf("pre-grow snapshot refused: %v", err)
+	}
+	if wide.DirtyRegions(0) == 0 {
+		t.Fatal("pre-grow snapshot dirty bits lost in prefix merge")
+	}
+	if wide.DirtyRegions(4) != 0 {
+		t.Fatal("grown device dirtied by a snapshot that predates it")
+	}
+	if err := NewLog(3, 1000, 8).LoadFrom(store.OS, path); err == nil {
+		t.Fatal("snapshot tracking MORE devices than the log loaded silently")
 	}
 	if err := NewLog(4, 999, 8).LoadFrom(store.OS, path); err == nil {
 		t.Fatal("device-size mismatch loaded silently")

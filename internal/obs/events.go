@@ -59,6 +59,11 @@ const (
 	// EventQoSStep: SLO feedback re-tuned a QoS class rate (detail is
 	// "old -> new bps" plus the direction and reason).
 	EventQoSStep EventKind = "qos-step"
+	// EventRebalanceStart / EventRebalanceEnd bracket an online
+	// membership change: a layout-epoch migration moving the minimal
+	// block set to the new geometry.
+	EventRebalanceStart EventKind = "rebalance-start"
+	EventRebalanceEnd   EventKind = "rebalance-end"
 )
 
 // eventSeq is the process-wide event sequence: one atomic counter

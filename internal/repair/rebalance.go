@@ -1,0 +1,296 @@
+package repair
+
+// Online membership changes ride the repair supervisor's machinery: a
+// grow or shrink is a checkpointed, paced background job exactly like a
+// rebuild — it shares the QoS pace hook, persists its cursor into
+// StateDir with the same atomic discipline, survives restarts, and is
+// mutually exclusive with device-recovery jobs (moving blocks while
+// re-deriving them from their copies would race).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/obs"
+	"repro/internal/raid"
+	"repro/internal/store"
+)
+
+// ErrRebalanceActive: a membership change is in flight; rebuilds,
+// resyncs, and further membership changes must wait for it.
+var ErrRebalanceActive = errors.New("repair: rebalance in progress")
+
+// ErrRepairBusy: a recovery job is running (or a member is mid-recovery),
+// so a membership change may not start — heal first, then rebalance.
+var ErrRepairBusy = errors.New("repair: recovery in progress")
+
+// Rebalancer is the slice of core.RAIDx the membership driver needs;
+// asserted at runtime so arrays without epoch support (and the tests'
+// fakes) keep working.
+type Rebalancer interface {
+	BeginGrow(addNodes int, newDevs []raid.Dev, cursor int64) (*core.Migration, error)
+	BeginShrink(removeNodes int, cursor int64) (*core.Migration, error)
+	CurrentMigration() *core.Migration
+	Migrating() (cursor int64, targetGen uint64, active bool)
+	Epoch() *layout.Epoch
+	Blocks() int64
+}
+
+// RebalanceCkpt is the durable record of the array's layout epoch and
+// any in-flight migration, written to StateDir/epoch.json. The reopen
+// path reads it before building the array: Source is the stable epoch
+// to position at, and when Done is false the recorded action resumes
+// from Cursor — a delta resync of the uncopied remainder, not a
+// restart.
+type RebalanceCkpt struct {
+	Source layout.EpochDesc `json:"source"`
+	Action string           `json:"action,omitempty"` // "grow" | "shrink"
+	Nodes  int              `json:"nodes,omitempty"`
+	Cursor int64            `json:"cursor"`
+	Done   bool             `json:"done"`
+}
+
+// rebalanceFile names the epoch checkpoint inside a state directory.
+func rebalanceFile(dir string) string { return filepath.Join(dir, "epoch.json") }
+
+// LoadRebalance reads a state directory's epoch checkpoint. A missing
+// file returns (nil, nil): the array has only ever had its seed layout.
+func LoadRebalance(fs store.FS, dir string) (*RebalanceCkpt, error) {
+	raw, err := store.ReadFileFS(fs, rebalanceFile(dir))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var ck RebalanceCkpt
+	if err := json.Unmarshal(raw, &ck); err != nil {
+		return nil, fmt.Errorf("repair: corrupt epoch checkpoint: %w", err)
+	}
+	return &ck, nil
+}
+
+// SaveRebalance atomically writes a state directory's epoch checkpoint.
+func SaveRebalance(fs store.FS, dir string, ck *RebalanceCkpt) error {
+	raw, err := json.Marshal(ck)
+	if err != nil {
+		return err
+	}
+	return store.WriteFileAtomic(fs, rebalanceFile(dir), raw)
+}
+
+// rebalanceCkptEvery throttles cursor persistence to one write per this
+// many migrated blocks (the final cursor always lands).
+const rebalanceCkptEvery = 1024
+
+// RebalanceStatus is the supervisor's view of the membership job.
+type RebalanceStatus struct {
+	core.MigrateStatus
+	Action  string `json:"action"`
+	Running bool   `json:"running"`
+	LastErr string `json:"last_err,omitempty"`
+}
+
+// rebalancer returns the array's membership interface, or nil.
+func (s *Supervisor) rebalancer() Rebalancer {
+	r, _ := s.arr.(Rebalancer)
+	return r
+}
+
+// rebalanceActive reports whether a migration is in flight on the
+// array (running or paused).
+func (s *Supervisor) rebalanceActive() bool {
+	r := s.rebalancer()
+	if r == nil {
+		return false
+	}
+	_, _, active := r.Migrating()
+	return active
+}
+
+// recoveryBusy reports whether any member is mid-recovery (a job is
+// running, or a member sits in a state that owes one).
+func (s *Supervisor) recoveryBusy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active >= 0 {
+		return true
+	}
+	for i := range s.devs {
+		switch s.devs[i].State {
+		case StateDegraded, StateRebuilding, StateResyncing:
+			return true
+		}
+	}
+	return false
+}
+
+// StartGrow begins (cursor 0) or resumes a live expansion by addNodes
+// nodes, driven as a paced background job. newDevs are the new nodes'
+// disks in layout order; nil on resume when the device table already
+// spans the target width.
+func (s *Supervisor) StartGrow(addNodes int, newDevs []raid.Dev, cursor int64) error {
+	return s.startRebalance("grow", addNodes, newDevs, cursor)
+}
+
+// StartShrink begins or resumes a live contraction by removeNodes tail
+// nodes.
+func (s *Supervisor) StartShrink(removeNodes int, cursor int64) error {
+	return s.startRebalance("shrink", removeNodes, nil, cursor)
+}
+
+func (s *Supervisor) startRebalance(action string, nodes int, newDevs []raid.Dev, cursor int64) error {
+	r := s.rebalancer()
+	if r == nil {
+		return fmt.Errorf("repair: array does not support membership changes")
+	}
+	if s.rebalanceActive() {
+		return ErrRebalanceActive
+	}
+	if s.recoveryBusy() {
+		return ErrRepairBusy
+	}
+	var (
+		m   *core.Migration
+		err error
+	)
+	source := r.Epoch().Desc()
+	switch action {
+	case "grow":
+		m, err = r.BeginGrow(nodes, newDevs, cursor)
+	case "shrink":
+		m, err = r.BeginShrink(nodes, cursor)
+	default:
+		return fmt.Errorf("repair: unknown rebalance action %q", action)
+	}
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.rebAction = action
+	s.rebSource = source
+	s.rebNodes = nodes
+	s.rebErr = ""
+	s.mu.Unlock()
+	s.saveRebalanceCkpt(cursor, false)
+	s.events.Append(obs.EventRebalanceStart, "repair",
+		fmt.Sprintf("%s by %d nodes, resume at block %d", action, nodes, cursor))
+	s.kickRebalance(m)
+	return nil
+}
+
+// kickRebalance launches the migration runner unless one is already
+// going. Called from startRebalance and from tick (which restarts the
+// runner after a pause or a transient copy error).
+func (s *Supervisor) kickRebalance(m *core.Migration) {
+	s.mu.Lock()
+	if s.rebRunning || s.paused {
+		s.mu.Unlock()
+		return
+	}
+	s.rebRunning = true
+	s.mu.Unlock()
+	go s.runRebalance(m)
+}
+
+// runRebalance drives the migration to completion (or to a pause/error
+// abort), persisting the cursor as it advances.
+func (s *Supervisor) runRebalance(m *core.Migration) {
+	defer func() {
+		s.mu.Lock()
+		s.rebRunning = false
+		s.mu.Unlock()
+	}()
+	ctx := context.Background()
+	var lastSaved int64
+	err := m.Run(ctx, s.pace, func(cursor int64) {
+		if cursor-lastSaved >= rebalanceCkptEvery {
+			lastSaved = cursor
+			s.saveRebalanceCkpt(cursor, false)
+		}
+	})
+	if err != nil {
+		if !errors.Is(err, ErrPaused) {
+			s.mu.Lock()
+			s.rebErr = err.Error()
+			s.mu.Unlock()
+			s.events.Append(obs.EventRepairState, "repair", "rebalance error: "+err.Error())
+		}
+		// Persist the last committed cursor so a crash right now loses
+		// nothing the pause already paid for.
+		if r := s.rebalancer(); r != nil {
+			if cursor, _, active := r.Migrating(); active {
+				s.saveRebalanceCkpt(cursor, false)
+			}
+		}
+		return
+	}
+	s.mu.Lock()
+	s.rebErr = ""
+	s.mu.Unlock()
+	s.saveRebalanceCkpt(0, true)
+	s.events.Append(obs.EventRebalanceEnd, "repair",
+		fmt.Sprintf("moved %d blocks (%d bytes)", m.Status().MovedBlocks, m.Status().MovedBytes))
+}
+
+// saveRebalanceCkpt writes the epoch checkpoint. On done the stable
+// epoch is the (new) current one and no action is pending.
+func (s *Supervisor) saveRebalanceCkpt(cursor int64, done bool) {
+	if s.cfg.StateDir == "" {
+		return
+	}
+	r := s.rebalancer()
+	if r == nil {
+		return
+	}
+	var ck RebalanceCkpt
+	if done {
+		ck = RebalanceCkpt{Source: r.Epoch().Desc(), Cursor: r.Blocks(), Done: true}
+	} else {
+		s.mu.Lock()
+		ck = RebalanceCkpt{Source: s.rebSource, Action: s.rebAction, Nodes: s.rebNodes, Cursor: cursor}
+		s.mu.Unlock()
+	}
+	if err := SaveRebalance(s.fsys(), s.cfg.StateDir, &ck); err != nil {
+		s.events.Append(obs.EventRepairState, "repair",
+			fmt.Sprintf("epoch checkpoint save failed: %v", err))
+	}
+}
+
+// RebalanceStatus snapshots the membership job; nil when the array has
+// no migration in flight and none has run.
+func (s *Supervisor) RebalanceStatus() *RebalanceStatus {
+	r := s.rebalancer()
+	if r == nil {
+		return nil
+	}
+	m := r.CurrentMigration()
+	s.mu.Lock()
+	action, running, lastErr := s.rebAction, s.rebRunning, s.rebErr
+	s.mu.Unlock()
+	if m == nil {
+		if action == "" {
+			return nil
+		}
+		// A completed (or never-started-this-process) job: report the
+		// stable epoch.
+		return &RebalanceStatus{
+			MigrateStatus: core.MigrateStatus{
+				ToGen:  r.Epoch().Gen(),
+				Cursor: r.Blocks(),
+				Blocks: r.Blocks(),
+				Done:   true,
+				Target: r.Epoch().Desc(),
+			},
+			Action:  action,
+			LastErr: lastErr,
+		}
+	}
+	return &RebalanceStatus{MigrateStatus: m.Status(), Action: action, Running: running, LastErr: lastErr}
+}

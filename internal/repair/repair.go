@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/intent"
+	"repro/internal/layout"
 	"repro/internal/obs"
 	"repro/internal/raid"
 	"repro/internal/store"
@@ -160,6 +161,9 @@ type Status struct {
 	Active  int         `json:"active"` // device index of the running job, -1 when idle
 	Spares  int         `json:"spares"` // -1 when no sparer is attached
 	Devices []DevStatus `json:"devices"`
+	// Rebalance reports the membership-change job, nil when the array
+	// has never had one (or does not support them).
+	Rebalance *RebalanceStatus `json:"rebalance,omitempty"`
 }
 
 // Supervisor runs the repair state machine over an array.
@@ -179,6 +183,13 @@ type Supervisor struct {
 	lastGen   uint64  // intent-log generation last persisted
 	lastCkpt  string  // last checkpoint JSON written to StateDir
 	prevDirty []int64 // per-device dirty count at the previous poll
+
+	// Membership-change (rebalance) job state; see rebalance.go.
+	rebAction  string // "grow" | "shrink", "" before any change
+	rebSource  layout.EpochDesc
+	rebNodes   int
+	rebErr     string
+	rebRunning bool
 
 	stop context.CancelFunc
 	done chan struct{}
@@ -334,13 +345,15 @@ func (s *Supervisor) Status() Status {
 	if s.sp != nil {
 		spares = s.sp.SparesLeft()
 	}
+	reb := s.RebalanceStatus()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Status{
-		Paused:  s.paused,
-		Active:  s.active,
-		Spares:  spares,
-		Devices: append([]DevStatus(nil), s.devs...),
+		Paused:    s.paused,
+		Active:    s.active,
+		Spares:    spares,
+		Devices:   append([]DevStatus(nil), s.devs...),
+		Rebalance: reb,
 	}
 }
 
@@ -398,14 +411,33 @@ func (s *Supervisor) tick(ctx context.Context) {
 	il := s.arr.Intent()
 	now := time.Now()
 	job := -1
+	// During a membership change no recovery job may start (the copier
+	// and a rebuild would each re-derive blocks the other is moving);
+	// state transitions still track health. A paused or error-aborted
+	// migration runner is restarted here once repair is resumed.
+	rebalancing := s.rebalanceActive()
+	retired := func(int) bool { return false }
+	if r, ok := s.arr.(interface{ ColumnRetired(int) bool }); ok {
+		retired = r.ColumnRetired
+	}
 	s.mu.Lock()
 	paused := s.paused
+	// A grow widened the device table: supervise the new members.
+	for len(s.devs) < len(devs) {
+		s.devs = append(s.devs, DevStatus{State: StateHealthy, Since: now})
+		s.prevDirty = append(s.prevDirty, 0)
+	}
 	for i := range s.devs {
 		if i >= len(devs) {
 			break
 		}
+		if retired(i) {
+			// A shrink removed this column's node: it holds no live
+			// blocks, is never rebuilt, and must not consume a spare.
+			continue
+		}
 		st := &s.devs[i]
-		healthy := devs[i].Healthy()
+		healthy := devs[i] != nil && devs[i].Healthy()
 		dirty := il.DirtyRegions(i)
 		switch st.State {
 		case StateHealthy:
@@ -453,7 +485,13 @@ func (s *Supervisor) tick(ctx context.Context) {
 	}
 	s.mu.Unlock()
 
-	if job >= 0 {
+	if rebalancing {
+		if !paused {
+			if m := s.rebalancer().CurrentMigration(); m != nil {
+				s.kickRebalance(m)
+			}
+		}
+	} else if job >= 0 {
 		s.runJob(ctx, job)
 	}
 	s.persist()

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFileEpochLifecycle: the epoch stamps at format, raises
+// monotonically via SetEpoch, persists across reopen, and gates the
+// ahead/behind cases the right way around.
+func TestFileEpochLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "disk.img")
+	s, err := OpenFileFS(OS, path, 512, 16, FileOptions{Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 1 {
+		t.Fatalf("formatted epoch = %d, want 1", got)
+	}
+	if err := s.SetEpoch(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetEpoch(2); err != nil { // rollback attempt: ignored
+		t.Fatal(err)
+	}
+	if err := s.CloseClean(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the cluster AHEAD of the image: the mid-migration /
+	// missed-rebalance case — must open, preserving the lagging record.
+	s, err = OpenFileFS(OS, path, 512, 16, FileOptions{Epoch: 7})
+	if err != nil {
+		t.Fatalf("lagging image refused: %v", err)
+	}
+	if got := s.Epoch(); got != 3 {
+		t.Fatalf("epoch after lagging reopen = %d, want 3", got)
+	}
+	if !s.WasClean() {
+		t.Fatal("clean close lost")
+	}
+	if err := s.CloseClean(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the cluster BEHIND the image: typed refusal.
+	if _, err := OpenFileFS(OS, path, 512, 16, FileOptions{Epoch: 2}); !errors.Is(err, ErrEpochAhead) {
+		t.Fatalf("epoch-ahead image opened: %v", err)
+	}
+	// Zero epoch skips the check (legacy callers).
+	s, err = OpenFileFS(OS, path, 512, 16, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 3 {
+		t.Fatalf("epoch after unchecked reopen = %d, want 3", got)
+	}
+	s.CloseClean()
+
+	sb, _, err := InspectSuperblock(OS, path)
+	if err != nil || sb.ArrayEpoch != 3 || sb.Version != SuperVersion {
+		t.Fatalf("inspect: %+v, %v", sb, err)
+	}
+}
+
+// TestFileEpochV1Upgrade: a version-1 image (no epoch field) opens,
+// reads as epoch 0, and upgrades to the current header version on the
+// open's in-use superblock write.
+func TestFileEpochV1Upgrade(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v1.img")
+	// Hand-build a version-1 image: legacy header plus full data region.
+	sb := Superblock{Version: 1, BlockSize: 512, Blocks: 16, DeviceUUID: newUUID(), Clean: true}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(sb.encode(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(SuperSize + 512*16); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenFileFS(OS, path, 512, 16, FileOptions{Epoch: 5})
+	if err != nil {
+		t.Fatalf("v1 image refused: %v", err)
+	}
+	if !s.WasClean() {
+		t.Fatal("v1 clean flag lost")
+	}
+	if got := s.Epoch(); got != 0 {
+		t.Fatalf("v1 epoch = %d, want 0", got)
+	}
+	if err := s.SetEpoch(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseClean(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := InspectSuperblock(OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != SuperVersion || got.ArrayEpoch != 5 || !got.Clean {
+		t.Fatalf("after upgrade: %+v", got)
+	}
+	if got.DeviceUUID != sb.DeviceUUID {
+		t.Fatal("upgrade changed the device identity")
+	}
+}

@@ -44,6 +44,15 @@ type FileOptions struct {
 	// and verified against an existing one, so a disk image from another
 	// array cannot be silently mounted into this one.
 	ArrayUUID [16]byte
+	// Epoch, when nonzero, is the cluster's array-layout epoch
+	// generation. A fresh image is stamped with it. An existing image
+	// whose recorded epoch LAGS it opens fine — a node reopening after
+	// missing a rebalance (or mid-migration) is expected to be behind,
+	// and the resume/resync path catches it up. An image whose recorded
+	// epoch is AHEAD fails with ErrEpochAhead: the caller's cluster
+	// description is stale and placements computed from it would be
+	// wrong. Zero skips the check (callers that do not track epochs).
+	Epoch uint64
 }
 
 // OpenFile creates (or reopens) a file-backed store at path on the real
@@ -87,6 +96,9 @@ func OpenFileFS(fs FS, path string, blockSize int, blocks int64, opts FileOption
 		return nil, err
 	}
 	// Mark in use: a crash from here on is detectable at the next open.
+	// Legacy headers upgrade to the current version here (the rewrite
+	// happens regardless), which also makes the epoch field recordable.
+	s.sb.Version = SuperVersion
 	s.sb.Clean = false
 	if err := writeSuper(s.f, &s.sb); err != nil {
 		f.Close()
@@ -104,6 +116,7 @@ func (s *File) format(path string, opts FileOptions) error {
 		Blocks:     s.blocks,
 		ArrayUUID:  opts.ArrayUUID,
 		DeviceUUID: newUUID(),
+		ArrayEpoch: opts.Epoch,
 		Clean:      false,
 	}
 	if _, err := s.f.WriteAt(s.sb.encode(), 0); err != nil {
@@ -152,6 +165,10 @@ func (s *File) validate(path string, size int64, opts FileOptions) error {
 		return fmt.Errorf("store: %s belongs to array %s, not %s",
 			path, UUIDString(sb.ArrayUUID), UUIDString(opts.ArrayUUID))
 	}
+	if opts.Epoch != 0 && sb.ArrayEpoch > opts.Epoch {
+		return fmt.Errorf("%w: %s records epoch %d, cluster at %d",
+			ErrEpochAhead, path, sb.ArrayEpoch, opts.Epoch)
+	}
 	s.sb = sb
 	s.wasClean = sb.Clean
 	return nil
@@ -183,6 +200,28 @@ func (s *File) ArrayUUID() [16]byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sb.ArrayUUID
+}
+
+// Epoch reports the array-layout epoch generation recorded on the
+// image. Note this is the epoch at the last superblock write, not the
+// cluster's — a reopened image may lag.
+func (s *File) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sb.ArrayEpoch
+}
+
+// SetEpoch durably raises the image's recorded array epoch — called
+// when the cluster's rebalance coordinator broadcasts a new generation.
+// Lower generations are ignored; the record never rolls back.
+func (s *File) SetEpoch(gen uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || gen <= s.sb.ArrayEpoch {
+		return nil
+	}
+	s.sb.ArrayEpoch = gen
+	return writeSuper(s.f, &s.sb)
 }
 
 func (s *File) check(b int64, buf []byte) error {

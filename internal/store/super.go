@@ -23,7 +23,13 @@ import (
 //	off 16  blocks  u64
 //	off 24  array UUID   [16]
 //	off 40  device UUID  [16]
-//	off 56  crc32c  u32
+//	off 56  array epoch u64  (version >= 2)
+//	off 64  crc32c  u32
+//
+// Version 1 headers lack the array-epoch field: their CRC sits at
+// offset 56 and the epoch decodes as 0. They are still read (and
+// re-encoded bit-identically), and upgrade to version 2 the next time
+// the holder rewrites the superblock.
 //
 // The rest of the SuperSize region is zero. The whole header fits in
 // one sector, so a torn superblock write is detected by the checksum
@@ -32,14 +38,18 @@ const (
 	// SuperMagic is "RXSB" (RAID-x superblock).
 	SuperMagic = 0x52585342
 	// SuperVersion is the current format version.
-	SuperVersion = 1
+	SuperVersion = 2
 	// SuperSize is the reserved superblock region at the head of an
 	// image file; block 0 lives at this offset.
 	SuperSize = 4096
 
-	superHeaderLen = 60
-	superCRCOff    = 56
+	superHeaderLen = 68
+	superCRCOff    = 64
 	superFlagClean = 1 << 0
+
+	// Version-1 layout, kept readable.
+	superV1HeaderLen = 60
+	superV1CRCOff    = 56
 )
 
 // Superblock errors, distinguishable by errors.Is for callers that want
@@ -56,6 +66,13 @@ var (
 	ErrGeometryMismatch = errors.New("store: geometry mismatch")
 	// ErrTruncatedImage: the file is shorter than its superblock says.
 	ErrTruncatedImage = errors.New("store: image truncated")
+	// ErrEpochAhead: the image's recorded array epoch is NEWER than the
+	// cluster epoch the caller opened with — the operator is assembling
+	// an array from a stale cluster description (or mixing images across
+	// rebalances). The reverse — an image whose epoch lags the cluster's
+	// — is accepted: that is exactly the reopen-mid-migration case, and
+	// the resume path delta-resyncs it.
+	ErrEpochAhead = errors.New("store: image array epoch ahead of cluster epoch")
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -67,14 +84,26 @@ type Superblock struct {
 	Blocks     int64
 	ArrayUUID  [16]byte
 	DeviceUUID [16]byte
+	// ArrayEpoch is the layout-epoch generation the array had reached
+	// when this image last had its superblock written (0 on version-1
+	// images and pre-rebalance arrays). An image may lag the cluster's
+	// epoch — a node that was down through a rebalance — but must never
+	// be ahead of it.
+	ArrayEpoch uint64
 	// Clean reports whether the image was closed through CloseClean:
 	// false on a freshly opened (in-use) image and after a crash.
 	Clean bool
 }
 
-// encode serializes the superblock header with its checksum.
+// encode serializes the superblock header with its checksum, in the
+// layout of sb.Version (so decode∘encode is the identity on both
+// current and legacy headers).
 func (sb *Superblock) encode() []byte {
-	b := make([]byte, superHeaderLen)
+	hlen, crcOff := superHeaderLen, superCRCOff
+	if sb.Version == 1 {
+		hlen, crcOff = superV1HeaderLen, superV1CRCOff
+	}
+	b := make([]byte, hlen)
 	binary.BigEndian.PutUint32(b[0:], SuperMagic)
 	binary.BigEndian.PutUint32(b[4:], sb.Version)
 	binary.BigEndian.PutUint32(b[8:], uint32(sb.BlockSize))
@@ -86,32 +115,48 @@ func (sb *Superblock) encode() []byte {
 	binary.BigEndian.PutUint64(b[16:], uint64(sb.Blocks))
 	copy(b[24:40], sb.ArrayUUID[:])
 	copy(b[40:56], sb.DeviceUUID[:])
-	binary.BigEndian.PutUint32(b[superCRCOff:], crc32.Checksum(b[:superCRCOff], castagnoli))
+	if sb.Version != 1 {
+		binary.BigEndian.PutUint64(b[56:64], sb.ArrayEpoch)
+	}
+	binary.BigEndian.PutUint32(b[crcOff:], crc32.Checksum(b[:crcOff], castagnoli))
 	return b
 }
 
-// decodeSuperblock validates and decodes a superblock header.
+// decodeSuperblock validates and decodes a superblock header (current
+// or version-1 layout).
 func decodeSuperblock(b []byte) (Superblock, error) {
-	if len(b) < superHeaderLen {
+	if len(b) < superV1HeaderLen {
 		return Superblock{}, fmt.Errorf("%w: %d-byte header", ErrForeignImage, len(b))
 	}
 	if binary.BigEndian.Uint32(b[0:4]) != SuperMagic {
 		return Superblock{}, ErrForeignImage
 	}
-	want := binary.BigEndian.Uint32(b[superCRCOff:])
-	if crc32.Checksum(b[:superCRCOff], castagnoli) != want {
+	version := binary.BigEndian.Uint32(b[4:8])
+	crcOff := superCRCOff
+	switch {
+	case version == 1:
+		crcOff = superV1CRCOff
+	case version == SuperVersion:
+		if len(b) < superHeaderLen {
+			return Superblock{}, fmt.Errorf("%w: %d-byte v%d header", ErrCorruptSuperblock, len(b), version)
+		}
+	default:
+		return Superblock{}, fmt.Errorf("store: superblock version %d not supported (max %d)", version, SuperVersion)
+	}
+	want := binary.BigEndian.Uint32(b[crcOff:])
+	if crc32.Checksum(b[:crcOff], castagnoli) != want {
 		return Superblock{}, ErrCorruptSuperblock
 	}
 	sb := Superblock{
-		Version:   binary.BigEndian.Uint32(b[4:8]),
+		Version:   version,
 		BlockSize: int(binary.BigEndian.Uint32(b[8:12])),
 		Blocks:    int64(binary.BigEndian.Uint64(b[16:24])),
 		Clean:     binary.BigEndian.Uint32(b[12:16])&superFlagClean != 0,
 	}
 	copy(sb.ArrayUUID[:], b[24:40])
 	copy(sb.DeviceUUID[:], b[40:56])
-	if sb.Version > SuperVersion {
-		return Superblock{}, fmt.Errorf("store: superblock version %d newer than supported %d", sb.Version, SuperVersion)
+	if version != 1 {
+		sb.ArrayEpoch = binary.BigEndian.Uint64(b[56:64])
 	}
 	if sb.BlockSize <= 0 || sb.Blocks < 0 {
 		return Superblock{}, fmt.Errorf("%w: superblock geometry %dx%d", ErrCorruptSuperblock, sb.BlockSize, sb.Blocks)

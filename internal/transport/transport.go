@@ -122,6 +122,11 @@ const (
 	CodeUnknownOp uint8 = 3
 	// CodeOversized: the handler's response exceeded MaxPayload.
 	CodeOversized uint8 = 4
+	// CodeStaleEpoch: the request was tagged with an array-layout epoch
+	// generation older than the node's — the client's placement map
+	// predates a completed rebalance. Retryable once the client
+	// refreshes its layout.
+	CodeStaleEpoch uint8 = 5
 )
 
 // codedError attaches a wire code to a handler error.
