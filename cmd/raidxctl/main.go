@@ -241,27 +241,43 @@ func withClusterOpts(args []string, opts core.Options, fn func(fs *flag.FlagSet,
 			return fmt.Errorf("nodes export different disk counts")
 		}
 	}
-	// Learn the cluster's layout epoch: the rebalance coordinator answers
-	// OpLayout with the full descriptor; plain nodes answer with their
-	// bare enforced generation. Tag all block I/O at the generation in
-	// force and install the stale-epoch recovery hook either way.
+	// A stale-epoch rejection from the command means the cluster
+	// rebalanced underneath this rig: refetch the layout, reassemble,
+	// and rerun once. Control commands (status, stats, top) never tag
+	// I/O and keep working during a migration; data commands bounce
+	// typed off the nodes' migration fence.
 	ctx := context.Background()
+	for attempt := 0; ; attempt++ {
+		li, err := assembleRig(ctx, r, ref, opts)
+		if err != nil {
+			return err
+		}
+		err = fn(fs, r)
+		if err != nil && cdd.IsStaleEpoch(err) {
+			if attempt == 0 {
+				fmt.Fprintln(os.Stderr, "raidxctl: layout epoch advanced mid-command; refetching the layout and retrying")
+				continue
+			}
+			if li.Migrating {
+				return fmt.Errorf("rebalance in flight (epoch %d -> %d): block I/O is fenced to the coordinator until it completes: %w",
+					li.Gen, li.TargetGen, err)
+			}
+		}
+		return err
+	}
+}
+
+// assembleRig probes the cluster's layout epoch (the rebalance
+// coordinator answers OpLayout with the full descriptor; plain nodes
+// with their bare enforced generation), tags all block I/O at the
+// generation in force, and builds the rig's device table and engine at
+// that epoch.
+func assembleRig(ctx context.Context, r *rig, ref *cdd.NodeClient, opts core.Options) (cdd.LayoutInfo, error) {
 	li := probeLayout(ctx, r.clients)
 	for _, c := range r.clients {
-		if c == nil {
-			continue
-		}
-		c := c
-		if li.Gen > 0 {
+		if c != nil && li.Gen > 0 {
 			c.SetArrayEpoch(li.Gen)
 		}
-		c.SetEpochRefresh(func(ctx context.Context) (uint64, error) {
-			l, err := c.Layout(ctx)
-			if err != nil {
-				return 0, err
-			}
-			return l.Gen, nil
-		})
 	}
 	if li.Migrating {
 		fmt.Fprintf(os.Stderr, "raidxctl: warning: rebalance in flight (epoch %d -> %d, cursor %d); array views may lag\n",
@@ -270,10 +286,10 @@ func withClusterOpts(args []string, opts core.Options, fn func(fs *flag.FlagSet,
 	if li.Desc != nil && li.Desc.Gen() > 0 {
 		ep, err := layout.EpochFromDesc(*li.Desc)
 		if err != nil {
-			return fmt.Errorf("cluster layout descriptor: %w", err)
+			return li, fmt.Errorf("cluster layout descriptor: %w", err)
 		}
 		if ep.Nodes() > r.nodes {
-			return fmt.Errorf("cluster is at epoch %d spanning %d nodes; -addrs lists %d", ep.Gen(), ep.Nodes(), r.nodes)
+			return li, fmt.Errorf("cluster is at epoch %d spanning %d nodes; -addrs lists %d", ep.Gen(), ep.Nodes(), r.nodes)
 		}
 		r.ep = ep
 		model := ref.Dev(0)
@@ -284,7 +300,7 @@ func withClusterOpts(args []string, opts core.Options, fn func(fs *flag.FlagSet,
 				if !ep.Active(d) {
 					continue // retired column; core tolerates a nil device
 				}
-				return fmt.Errorf("epoch column %d is local disk %d of node %d, outside the assembled cluster", d, local, node)
+				return li, fmt.Errorf("epoch column %d is local disk %d of node %d, outside the assembled cluster", d, local, node)
 			}
 			if r.clients[node] == nil {
 				r.devs[d] = cdd.Offline(r.addrs[node], model.BlockSize(), model.NumBlocks())
@@ -294,10 +310,10 @@ func withClusterOpts(args []string, opts core.Options, fn func(fs *flag.FlagSet,
 		}
 		arr, err := core.NewAtEpoch(r.devs, ep, opts)
 		if err != nil {
-			return err
+			return li, err
 		}
 		r.arr = arr
-		return fn(fs, r)
+		return li, nil
 	}
 	r.devs = make([]raid.Dev, r.nodes*r.perNode)
 	for local := 0; local < r.perNode; local++ {
@@ -312,10 +328,10 @@ func withClusterOpts(args []string, opts core.Options, fn func(fs *flag.FlagSet,
 	}
 	arr, err := core.New(r.devs, r.nodes, r.perNode, opts)
 	if err != nil {
-		return err
+		return li, err
 	}
 	r.arr = arr
-	return fn(fs, r)
+	return li, nil
 }
 
 // probeLayout asks each reachable node for its layout view and returns

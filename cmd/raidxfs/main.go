@@ -82,11 +82,30 @@ func run(addrs, owner string, args []string) error {
 	perNode := ref.NumDisks()
 	nodes := len(clients)
 	ctx := context.Background()
-	// Learn the cluster's layout epoch (the rebalance coordinator serves
-	// the full descriptor; plain nodes their bare enforced generation),
-	// tag all block I/O at the generation in force, and install the
-	// stale-epoch recovery hook so a grow that lands mid-invocation is a
-	// refetch-and-retry, not an error.
+	// A stale-epoch rejection mid-command means the cluster rebalanced
+	// underneath this mount: every placement this engine computed is
+	// suspect, so the only sound recovery is to refetch the layout,
+	// rebuild the engine, and rerun the command from scratch. One
+	// rebuild is allowed; a second rejection surfaces.
+	for attempt := 0; ; attempt++ {
+		arr, err := buildEngine(ctx, clients, list, ref, nodes, perNode)
+		if err != nil {
+			return err
+		}
+		err = runCmd(ctx, arr, owner, args, nodes, perNode)
+		if err != nil && cdd.IsStaleEpoch(err) && attempt == 0 {
+			fmt.Fprintln(os.Stderr, "raidxfs: layout epoch advanced mid-command; refetching the layout and retrying")
+			continue
+		}
+		return err
+	}
+}
+
+// buildEngine probes the cluster's layout epoch (the rebalance
+// coordinator serves the full descriptor; plain nodes their bare
+// enforced generation), tags all block I/O at the generation in force,
+// and assembles the engine at that epoch.
+func buildEngine(ctx context.Context, clients []*cdd.NodeClient, list []string, ref *cdd.NodeClient, nodes, perNode int) (*core.RAIDx, error) {
 	var li cdd.LayoutInfo
 	for _, c := range clients {
 		if c == nil {
@@ -104,37 +123,36 @@ func run(addrs, owner string, args []string) error {
 			li = l
 		}
 	}
-	for _, c := range clients {
-		if c == nil {
-			continue
-		}
-		c := c
-		if li.Gen > 0 {
-			c.SetArrayEpoch(li.Gen)
-		}
-		c.SetEpochRefresh(func(ctx context.Context) (uint64, error) {
-			l, err := c.Layout(ctx)
-			if err != nil {
-				return 0, err
-			}
-			return l.Gen, nil
-		})
-	}
 	if li.Migrating {
-		fmt.Fprintf(os.Stderr, "raidxfs: warning: rebalance in flight (epoch %d -> %d, cursor %d); views may lag\n",
+		// Blocks are moving: the coordinator routes its own I/O around
+		// the copy cursor, but this mount cannot, so below the cursor its
+		// writes would land at homes the migration is about to retire.
+		// The nodes are fenced against that; refuse up front with a
+		// better message than the fence's rejection.
+		return nil, fmt.Errorf("rebalance in flight (epoch %d -> %d, cursor %d): the coordinator is the only sanctioned writer while blocks move; retry when it completes",
 			li.Gen, li.TargetGen, li.Cursor)
 	}
-	var arr *core.RAIDx
+	if li.Gen > 0 && li.Desc == nil {
+		// Tagging I/O at li.Gen would make the nodes ACCEPT placements
+		// computed from the seed map — exactly the corruption the epoch
+		// fence exists to stop.
+		return nil, fmt.Errorf("cluster enforces layout epoch %d but no reachable node serves its descriptor (rebalance coordinator down?); refusing to place I/O with the seed map", li.Gen)
+	}
+	for _, c := range clients {
+		if c != nil && li.Gen > 0 {
+			c.SetArrayEpoch(li.Gen)
+		}
+	}
 	if li.Desc != nil && li.Desc.Gen() > 0 {
 		// The cluster has rebalanced: build the device table in the
 		// epoch's canonical column order (grown columns are appended, so
 		// the node-major interleave below no longer holds).
 		ep, err := layout.EpochFromDesc(*li.Desc)
 		if err != nil {
-			return fmt.Errorf("cluster layout descriptor: %w", err)
+			return nil, fmt.Errorf("cluster layout descriptor: %w", err)
 		}
 		if ep.Nodes() > nodes {
-			return fmt.Errorf("cluster is at epoch %d spanning %d nodes; -addrs lists %d", ep.Gen(), ep.Nodes(), nodes)
+			return nil, fmt.Errorf("cluster is at epoch %d spanning %d nodes; -addrs lists %d", ep.Gen(), ep.Nodes(), nodes)
 		}
 		model := ref.Dev(0)
 		devs := make([]raid.Dev, ep.Width())
@@ -144,7 +162,7 @@ func run(addrs, owner string, args []string) error {
 				if !ep.Active(d) {
 					continue // retired column; core tolerates a nil device
 				}
-				return fmt.Errorf("epoch column %d is local disk %d of node %d, outside the assembled cluster", d, local, node)
+				return nil, fmt.Errorf("epoch column %d is local disk %d of node %d, outside the assembled cluster", d, local, node)
 			}
 			if clients[node] == nil {
 				devs[d] = cdd.Offline(list[node], model.BlockSize(), model.NumBlocks())
@@ -152,26 +170,24 @@ func run(addrs, owner string, args []string) error {
 				devs[d] = clients[node].Dev(local)
 			}
 		}
-		if arr, err = core.NewAtEpoch(devs, ep, core.Options{}); err != nil {
-			return err
-		}
-	} else {
-		devs := make([]raid.Dev, nodes*perNode)
-		for local := 0; local < perNode; local++ {
-			model := ref.Dev(local)
-			for node := 0; node < nodes; node++ {
-				if clients[node] == nil {
-					devs[node+local*nodes] = cdd.Offline(list[node], model.BlockSize(), model.NumBlocks())
-				} else {
-					devs[node+local*nodes] = clients[node].Dev(local)
-				}
+		return core.NewAtEpoch(devs, ep, core.Options{})
+	}
+	devs := make([]raid.Dev, nodes*perNode)
+	for local := 0; local < perNode; local++ {
+		model := ref.Dev(local)
+		for node := 0; node < nodes; node++ {
+			if clients[node] == nil {
+				devs[node+local*nodes] = cdd.Offline(list[node], model.BlockSize(), model.NumBlocks())
+			} else {
+				devs[node+local*nodes] = clients[node].Dev(local)
 			}
 		}
-		var err error
-		if arr, err = core.New(devs, nodes, perNode, core.Options{}); err != nil {
-			return err
-		}
 	}
+	return core.New(devs, nodes, perNode, core.Options{})
+}
+
+// runCmd executes one shell command against an assembled engine.
+func runCmd(ctx context.Context, arr *core.RAIDx, owner string, args []string, nodes, perNode int) error {
 	lk := fsim.NewTableLocker(cdd.NewTable())
 
 	cmd, rest := args[0], args[1:]

@@ -60,7 +60,8 @@ func TestGrowCrashSIGKILLResumeFromCheckpoint(t *testing.T) {
 		}
 	}
 	// The copy rate is capped so the kill lands mid-flight, well past
-	// the first durable cursor checkpoint (every 1024 logical blocks).
+	// the first durable cursor checkpoint (the cursor persists on every
+	// committed copy window).
 	procs[0] = startNode(t, bin, "g0", hostAddr, hostDir, hostArgs(baseAddrs, 1<<20)...)
 
 	ctx := context.Background()
@@ -132,6 +133,10 @@ func TestGrowCrashSIGKILLResumeFromCheckpoint(t *testing.T) {
 	// zero.
 	allAddrs := append(append([]string{}, baseAddrs...), joinAddrs...)
 	procs[0] = startNode(t, bin, "g0", hostAddr, hostDir, hostArgs(allAddrs, 1<<20)...)
+	// Completion requires the stable descriptor, not just Gen == 1: the
+	// fence adopts the target generation at migration start and persists
+	// it, so the restarted coordinator reports Gen 1 with no descriptor
+	// during the window before the resume attaches.
 	sawResume := false
 	waitLayout(t, clients[0], 120*time.Second, "resumed grow to finish", func(li cdd.LayoutInfo) bool {
 		if li.Migrating {
@@ -140,13 +145,14 @@ func TestGrowCrashSIGKILLResumeFromCheckpoint(t *testing.T) {
 			}
 			sawResume = true
 		}
-		return !li.Migrating && li.Gen == 1
+		return !li.Migrating && li.Gen == 1 && li.Desc != nil
 	})
 	if !sawResume {
 		t.Log("resumed migration finished between polls; cursor floor unobserved")
 	}
 
-	// Completion broadcast reached every member.
+	// Every member reports the adopted generation (the fence adopts it
+	// at migration start; the stable broadcast keeps it).
 	for i, c := range clients {
 		waitLayout(t, c, 30*time.Second, fmt.Sprintf("node %d to adopt epoch 1", i), func(li cdd.LayoutInfo) bool {
 			return li.Gen == 1
@@ -154,10 +160,16 @@ func TestGrowCrashSIGKILLResumeFromCheckpoint(t *testing.T) {
 	}
 
 	// Audit through a fresh mount at the grown epoch: the device table
-	// is rebuilt in epoch column order from the coordinator's layout.
+	// is rebuilt in epoch column order from the coordinator's layout,
+	// and the mount tags its I/O at the adopted generation the way
+	// buildEngine does — members may still be fenced until the stable
+	// completion broadcast lands, and tagged requests pass the fence.
 	li, err := clients[0].Layout(ctx)
 	if err != nil || li.Desc == nil {
 		t.Fatalf("coordinator layout after resume: %+v, %v", li, err)
+	}
+	for _, c := range clients {
+		c.SetArrayEpoch(li.Gen)
 	}
 	ep, err := layout.EpochFromDesc(*li.Desc)
 	if err != nil {
@@ -183,6 +195,24 @@ func TestGrowCrashSIGKILLResumeFromCheckpoint(t *testing.T) {
 	}
 	if err := grown.Verify(ctx); err != nil {
 		t.Fatalf("verify after resumed grow: %v", err)
+	}
+
+	// The stable completion broadcast clears every member's fence:
+	// untagged block I/O must be accepted again once it lands.
+	probe := make([]byte, nBS)
+	for i, c := range clients {
+		c.SetArrayEpoch(0)
+		fenceDeadline := time.Now().Add(30 * time.Second)
+		for {
+			err := c.Dev(0).ReadBlocks(ctx, 0, probe)
+			if err == nil {
+				break
+			}
+			if time.Now().After(fenceDeadline) {
+				t.Fatalf("node %d still rejects untagged I/O 30s after completion: %v", i, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
 	}
 
 	// Orderly shutdown: every image inspects clean AND records the

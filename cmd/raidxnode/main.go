@@ -542,23 +542,15 @@ func startRepair(node *cdd.Node, o repairOpts) (*repair.Supervisor, func(), erro
 	node.Manager.SetRepair(sup)
 	coord := &rebalanceCoord{sup: sup, arr: arr, node: node, perNode: perNode, clients: clients}
 	node.Manager.SetRebalance(coord)
-	// Seed the fence and the mount's I/O tags at the mounted generation,
-	// and give every client the stale-epoch recovery hook.
+	// Seed the fence and the mount's I/O tags at the mounted generation.
+	// There is no transport-level stale-epoch recovery: this engine is
+	// migration-aware, so a stale rejection means a foreign coordinator
+	// moved the layout underneath it — fail typed rather than guess.
 	if srcEp != nil && srcEp.Gen() > 0 {
 		node.Manager.AdoptEpoch(srcEp.Gen())
 		for _, c := range clients {
 			c.SetArrayEpoch(srcEp.Gen())
 		}
-	}
-	for _, c := range clients {
-		c := c
-		c.SetEpochRefresh(func(ctx context.Context) (uint64, error) {
-			li, err := c.Layout(ctx)
-			if err != nil {
-				return 0, err
-			}
-			return li.Gen, nil
-		})
 	}
 	// Resume an interrupted migration BEFORE background jobs run: blocks
 	// below the checkpointed cursor already live at their target homes,
@@ -582,6 +574,9 @@ func startRepair(node *cdd.Node, o repairOpts) (*repair.Supervisor, func(), erro
 		}
 		log.Printf("raidxnode: resuming %s by %d node(s) at block %d (epoch %d)",
 			ck.Action, ck.Nodes, ck.Cursor, srcEp.Gen())
+		// Re-fence the members: the fence flag is volatile and every node
+		// that restarted with this coordinator has lost it.
+		coord.fenceMembers()
 		go coord.watchCompletion()
 	}
 	sup.Start(context.Background())
@@ -664,8 +659,41 @@ func (g *rebalanceCoord) Rebalance(action string, nodes int, addrs []string) err
 	default:
 		return fmt.Errorf("unknown rebalance action %q (want grow or shrink)", action)
 	}
+	// Fence the membership before blocks start moving in earnest: from
+	// here until completion the coordinator is the only sanctioned
+	// writer, and any other mount's untagged or stale-tagged I/O must
+	// bounce typed instead of landing at homes the copy will retire.
+	g.fenceMembers()
 	go g.watchCompletion()
 	return nil
+}
+
+// fenceMembers fences every member node for the in-flight migration:
+// each adopts the target generation and rejects untagged block I/O
+// until the completion broadcast clears the fence. The coordinator's
+// own clients are re-tagged at the target generation first, so its
+// foreground I/O — the one writer that routes around the copy cursor —
+// passes the fences it raises.
+func (g *rebalanceCoord) fenceMembers() {
+	_, tgen, active := g.arr.Migrating()
+	if !active {
+		return
+	}
+	g.node.Manager.AdoptEpoch(tgen)
+	g.node.Manager.SetEpochFence(true)
+	g.mu.Lock()
+	cs := append([]*cdd.NodeClient(nil), g.clients...)
+	g.mu.Unlock()
+	for _, c := range cs {
+		c.SetArrayEpoch(tgen)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, c := range cs {
+		if _, err := c.FenceEpoch(ctx, tgen); err != nil {
+			log.Printf("raidxnode: epoch %d fence to %s: %v", tgen, c.Addr(), err)
+		}
+	}
 }
 
 // watchCompletion waits out the in-flight migration and then broadcasts
@@ -686,9 +714,15 @@ func (g *rebalanceCoord) watchCompletion() {
 		g.watching = false
 		g.mu.Unlock()
 	}()
-	for {
+	for i := 0; ; i++ {
 		if _, _, active := g.arr.Migrating(); !active {
 			break
+		}
+		// Re-raise the fence every ~2s: the flag is volatile, so a member
+		// that restarted mid-migration comes back up unfenced (its adopted
+		// generation survives in the superblock, but the fence does not).
+		if i%20 == 19 {
+			g.fenceMembers()
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
@@ -698,6 +732,7 @@ func (g *rebalanceCoord) watchCompletion() {
 	}
 	gen := g.arr.Epoch().Gen()
 	g.node.Manager.AdoptEpoch(gen)
+	g.node.Manager.SetEpochFence(false)
 	g.mu.Lock()
 	cs := append([]*cdd.NodeClient(nil), g.clients...)
 	g.mu.Unlock()

@@ -154,8 +154,7 @@ func getIOScratch(h ioHeader) *ioScratch {
 }
 
 // tagEpoch prepends the epoch generation as the request's first gather
-// segment. The segment aliases s.tag, so a stale-epoch retry can
-// rewrite the generation in place without rebuilding the gather list.
+// segment. The segment aliases s.tag, so tagging costs no allocation.
 func (s *ioScratch) tagEpoch(gen uint64) {
 	binary.BigEndian.PutUint64(s.tag[:], gen)
 	s.req = append(s.req, nil)
@@ -229,10 +228,9 @@ type NodeClient struct {
 
 	// arrayEpoch, when non-zero, tags every block I/O with the layout
 	// epoch generation the client's placement map was built from (see
-	// epoch.go); epochRefresh recovers from stale-epoch rejections.
-	arrayEpoch   atomic.Uint64
-	epochMu      sync.Mutex
-	epochRefresh func(context.Context) (uint64, error)
+	// epoch.go). A stale-epoch rejection surfaces typed: recovery means
+	// rebuilding the placement map, never re-tagging the same request.
+	arrayEpoch atomic.Uint64
 }
 
 // Connect dials a CDD node with default options and fetches its disk
@@ -336,17 +334,13 @@ func (n *NodeClient) doCall(ctx context.Context, op uint8, req [][]byte, scatter
 			return nil, err
 		}
 		if !retryableErr(err) {
-			// A stale-epoch rejection is recoverable within the attempt
-			// budget: refresh the layout through the registered hook and
-			// rewrite the tag segment in place with the adopted
-			// generation. Without a hook (or without progress) the typed
-			// error surfaces to the caller.
-			if epochTagged(op) && IsStaleEpoch(err) {
-				if gen, ok := n.refreshEpoch(ctx); ok {
-					binary.BigEndian.PutUint64(req[0], gen)
-					continue
-				}
-			}
+			// A stale-epoch rejection is deliberately NOT retried here:
+			// the physical (disk, block) in this request was computed
+			// from the retired epoch's placement map, so re-tagging and
+			// resending the same bytes would read the wrong block — or
+			// write to a dead home with an accepted tag. The typed error
+			// surfaces to a layer that can rebuild the layout and
+			// recompute placements (see epoch.go).
 			return nil, err
 		}
 	}
@@ -775,7 +769,9 @@ func (d *RemoteDev) WriteBlocksBackground(ctx context.Context, b int64, data []b
 	}
 	if gen := d.n.arrayEpoch.Load(); gen > 0 {
 		// Tagged notification: a stale background mirror push is dropped
-		// by the node (fail-safe) instead of landing at a retired home.
+		// by the node instead of landing at a retired home. The node
+		// counts the drop (mgr.bg_stale_drops) and the writer's intent
+		// log keeps the block dirty, so resync re-mirrors it later.
 		op = OpWriteBGEpoch
 		s.tagEpoch(gen)
 	}

@@ -6,8 +6,12 @@ package cdd
 // placing I/O with the retired map. The fence: clients tag block I/O
 // with the epoch generation their map was built from, nodes reject
 // tags older than the generation the rebalance coordinator broadcast
-// (CodeStaleEpoch), and the client refreshes its layout and retries —
-// a typed, recoverable protocol step, never silent corruption.
+// (CodeStaleEpoch), and the rejection surfaces typed to the mount
+// layer, which refetches the layout, rebuilds its device table and
+// placement map, and re-issues the operation with recomputed homes.
+// The retry can never happen below that layer: a newer generation
+// implies moved homes, so resending the same physical (disk, block)
+// with a fresher tag would corrupt, not recover.
 
 import (
 	"context"
@@ -22,8 +26,9 @@ import (
 
 // ErrStaleEpoch is the client-side classification of a CodeStaleEpoch
 // rejection: the node enforces a newer array epoch than this client's
-// placement map. Refresh the layout (OpLayout against the rebalance
-// coordinator) and retry.
+// placement map. Recovery is a rebuild — refetch the layout (OpLayout
+// against the rebalance coordinator), rebuild the device table and
+// placement map, and re-issue with recomputed homes.
 var ErrStaleEpoch = errors.New("cdd: stale array epoch")
 
 // errStaleEpoch marks server-side rejections so errCode maps them to
@@ -42,6 +47,17 @@ func IsStaleEpoch(err error) bool {
 
 // epochTagLen is the epoch generation prefix of tagged I/O payloads.
 const epochTagLen = 8
+
+// OpEpochSet phase byte: a stable broadcast installs the generation
+// and returns the node to normal serving; a fence broadcast installs
+// it AND rejects untagged block I/O until the next stable broadcast.
+// The coordinator fences members at migration start — the window when
+// an unfenced second writer's blocks could land at homes the copy is
+// about to retire — and clears the fence at completion.
+const (
+	epochPhaseStable = 0
+	epochPhaseFence  = 1
+)
 
 // epochTagged reports whether op carries an epoch tag as its first
 // payload segment.
@@ -108,6 +124,15 @@ func (m *Manager) SetRebalance(rc RebalanceController) {
 // tagged I/O.
 func (m *Manager) EpochGen() uint64 { return m.epochGen.Load() }
 
+// EpochFence reports whether the node currently rejects untagged block
+// I/O (a migration is in flight and the coordinator fenced the node).
+func (m *Manager) EpochFence() bool { return m.epochFence.Load() }
+
+// SetEpochFence raises or clears the migration fence locally. The
+// coordinator's own node uses it directly; remote members are fenced
+// over the wire via a phase-1 OpEpochSet.
+func (m *Manager) SetEpochFence(on bool) { m.epochFence.Store(on) }
+
 // AdoptEpoch raises the node's enforced array epoch to gen; lower or
 // equal generations are ignored (broadcasts are idempotent and may
 // arrive out of order). Returns the generation now in force.
@@ -170,15 +195,34 @@ func (m *Manager) handleEpoch(ctx context.Context, op uint8, payload []byte) ([]
 			return nil, err
 		}
 		if err := m.checkEpoch(gen); err != nil {
+			if op == OpWriteBGEpoch {
+				// The client sent this as a notification and will never
+				// see the rejection; count the dropped mirror write so
+				// the redundancy loss is observable (mgr.bg_stale_drops).
+				m.met.bgStaleDrops.Inc()
+			}
 			return nil, err
 		}
 		return m.handle(ctx, baseOp(op), rest)
 
 	case OpEpochSet:
-		if len(payload) != epochTagLen {
+		// 8 bytes: legacy stable broadcast. 9 bytes: generation plus a
+		// phase byte (fence or stable). Either form adopts the
+		// generation; the phase decides whether untagged block I/O is
+		// rejected afterwards.
+		phase := byte(epochPhaseStable)
+		switch len(payload) {
+		case epochTagLen:
+		case epochTagLen + 1:
+			phase = payload[epochTagLen]
+			if phase > epochPhaseFence {
+				return nil, fmt.Errorf("cdd: unknown epoch-set phase %d: %w", phase, errBadRequest)
+			}
+		default:
 			return nil, fmt.Errorf("cdd: bad epoch-set payload: %w", errBadRequest)
 		}
-		cur := m.AdoptEpoch(binary.BigEndian.Uint64(payload))
+		cur := m.AdoptEpoch(binary.BigEndian.Uint64(payload[:epochTagLen]))
+		m.epochFence.Store(phase == epochPhaseFence)
 		return binary.BigEndian.AppendUint64(nil, cur), nil
 
 	case OpLayout:
@@ -221,37 +265,6 @@ func (n *NodeClient) SetArrayEpoch(gen uint64) {
 	}
 }
 
-// SetEpochRefresh installs the stale-epoch recovery hook: when a tagged
-// operation bounces with CodeStaleEpoch, the hook is called to learn
-// the current generation (typically by refreshing the client's layout
-// from the rebalance coordinator); the operation then retries with the
-// new tag. Without a hook, stale-epoch rejections surface to the
-// caller.
-func (n *NodeClient) SetEpochRefresh(f func(context.Context) (uint64, error)) {
-	n.epochMu.Lock()
-	n.epochRefresh = f
-	n.epochMu.Unlock()
-}
-
-// refreshEpoch runs the registered refresh hook and adopts its answer.
-// It reports whether the client's epoch actually advanced — the retry
-// is pointless otherwise.
-func (n *NodeClient) refreshEpoch(ctx context.Context) (uint64, bool) {
-	n.epochMu.Lock()
-	f := n.epochRefresh
-	n.epochMu.Unlock()
-	if f == nil {
-		return 0, false
-	}
-	before := n.arrayEpoch.Load()
-	gen, err := f(ctx)
-	if err != nil || gen <= before {
-		return 0, false
-	}
-	n.SetArrayEpoch(gen)
-	return gen, true
-}
-
 // Layout fetches the node's layout view: its enforced epoch generation
 // and, from a rebalance coordinator, the full epoch descriptor and
 // migration progress.
@@ -268,9 +281,27 @@ func (n *NodeClient) Layout(ctx context.Context) (LayoutInfo, error) {
 }
 
 // EpochSet broadcasts an array-epoch generation to the node; the node
-// adopts it if higher and answers with the generation now in force.
+// adopts it if higher, clears any migration fence, and answers with
+// the generation now in force.
 func (n *NodeClient) EpochSet(ctx context.Context, gen uint64) (uint64, error) {
-	raw, err := n.call(ctx, OpEpochSet, binary.BigEndian.AppendUint64(nil, gen))
+	return n.epochSet(ctx, gen, epochPhaseStable)
+}
+
+// FenceEpoch broadcasts gen with the fence phase: the node adopts gen
+// and rejects untagged block I/O until a stable EpochSet clears the
+// fence. The rebalance coordinator fences every member at migration
+// start, so a mount that never learned of the migration bounces typed
+// instead of writing to homes the copy is about to retire.
+func (n *NodeClient) FenceEpoch(ctx context.Context, gen uint64) (uint64, error) {
+	return n.epochSet(ctx, gen, epochPhaseFence)
+}
+
+func (n *NodeClient) epochSet(ctx context.Context, gen uint64, phase byte) (uint64, error) {
+	p := binary.BigEndian.AppendUint64(nil, gen)
+	if phase != epochPhaseStable {
+		p = append(p, phase)
+	}
+	raw, err := n.call(ctx, OpEpochSet, p)
 	if err != nil {
 		return 0, err
 	}

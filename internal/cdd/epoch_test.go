@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"testing"
 
 	"repro/internal/layout"
@@ -16,8 +15,9 @@ import (
 )
 
 // TestEpochTaggedIO: tagged I/O at the node's generation round-trips;
-// a stale tag bounces with the typed wire code; the refresh hook
-// recovers and the retried operation lands.
+// a stale tag bounces with the typed wire code; recovery is a mount-
+// layer rebuild (re-tag at the learned generation), never a transport
+// retry of the same physical placement.
 func TestEpochTaggedIO(t *testing.T) {
 	n := startNode(t, 1, 32)
 	n.Manager.AdoptEpoch(3)
@@ -44,7 +44,9 @@ func TestEpochTaggedIO(t *testing.T) {
 		t.Fatal("tagged round trip corrupted data")
 	}
 
-	// Stale tag, no refresh hook: the typed error surfaces.
+	// Stale tag: the typed error surfaces to the caller — the transport
+	// must NOT re-tag and resend, because the request's physical
+	// placement came from the retired map.
 	n.Manager.AdoptEpoch(5)
 	c2, err := Connect(n.Addr())
 	if err != nil {
@@ -67,27 +69,22 @@ func TestEpochTaggedIO(t *testing.T) {
 		t.Fatal("stale-epoch rejection marked device unhealthy")
 	}
 
-	// With the refresh hook: one bounce, then the retry lands.
-	var refreshes atomic.Int64
-	c2.SetEpochRefresh(func(ctx context.Context) (uint64, error) {
-		refreshes.Add(1)
-		li, err := c2.Layout(ctx)
-		if err != nil {
-			return 0, err
-		}
-		return li.Gen, nil
-	})
-	if err := dev2.WriteBlocks(ctx, 0, data); err != nil {
-		t.Fatalf("write after refresh: %v", err)
+	// The mount layer recovers by refetching the layout and rebuilding
+	// its placement map; with the client re-tagged at the learned
+	// generation, re-issued I/O lands.
+	li, err := c2.Layout(ctx)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if refreshes.Load() != 1 {
-		t.Fatalf("refresh hook ran %d times, want 1", refreshes.Load())
-	}
+	c2.SetArrayEpoch(li.Gen)
 	if got := c2.ArrayEpoch(); got != 5 {
-		t.Fatalf("client epoch after refresh = %d, want 5", got)
+		t.Fatalf("client epoch after rebuild = %d, want 5", got)
+	}
+	if err := dev2.WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatalf("write after rebuild: %v", err)
 	}
 	if err := dev2.ReadBlocks(ctx, 0, got[:512]); err != nil {
-		t.Fatalf("read after refresh: %v", err)
+		t.Fatalf("read after rebuild: %v", err)
 	}
 
 	// A tag AHEAD of the node: adopted, so the fence tightens before the
@@ -124,6 +121,104 @@ func TestEpochSetBroadcast(t *testing.T) {
 	}
 	if li.Gen != 4 || li.Desc != nil || li.Migrating {
 		t.Fatalf("layout = %+v, want bare gen 4", li)
+	}
+}
+
+// TestEpochFenceDuringMigration: a phase-1 EpochSet fences the node —
+// untagged block I/O bounces typed while a migration moves blocks,
+// stale tags bounce, target-generation tags (the coordinator's own
+// I/O) pass, dropped stale background writes are counted, and the
+// stable completion broadcast reopens the node.
+func TestEpochFenceDuringMigration(t *testing.T) {
+	n := startNode(t, 1, 32)
+	n.Manager.AdoptEpoch(1)
+	c, err := Connect(n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	dev := c.Dev(0)
+	data := make([]byte, 512)
+	rand.New(rand.NewSource(11)).Read(data)
+
+	// Before the fence: untagged I/O is served.
+	if err := dev.WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatalf("untagged write before fence: %v", err)
+	}
+
+	// The coordinator fences the node at migration start (target gen 2).
+	if got, err := c.FenceEpoch(ctx, 2); err != nil || got != 2 {
+		t.Fatalf("FenceEpoch(2) = %d, %v", got, err)
+	}
+	if !n.Manager.EpochFence() {
+		t.Fatal("fence not raised")
+	}
+
+	// Untagged data ops bounce typed — the second mount that never
+	// learned of the migration must not write below the copy cursor.
+	if err := dev.WriteBlocks(ctx, 0, data); !IsStaleEpoch(err) {
+		t.Fatalf("untagged write under fence = %v, want stale-epoch", err)
+	}
+	got := make([]byte, 512)
+	if err := dev.ReadBlocks(ctx, 0, got); !IsStaleEpoch(err) {
+		t.Fatalf("untagged read under fence = %v, want stale-epoch", err)
+	}
+	// Flush and control ops stay open under the fence.
+	if err := dev.Flush(ctx); err != nil {
+		t.Fatalf("flush under fence: %v", err)
+	}
+	if !dev.Healthy() {
+		t.Fatal("fence rejection marked device unhealthy")
+	}
+
+	// A tag at the retired generation bounces the same way.
+	cStale, err := Connect(n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cStale.Close()
+	cStale.SetArrayEpoch(1)
+	if err := cStale.Dev(0).WriteBlocks(ctx, 0, data); !IsStaleEpoch(err) {
+		t.Fatalf("stale-tagged write under fence = %v, want stale-epoch", err)
+	}
+
+	// A stale background mirror write is a notification: the client sees
+	// no error, so the node must count the drop.
+	drops := n.Manager.met.bgStaleDrops
+	if err := cStale.Dev(0).WriteBlocksBackground(ctx, 4, data); err != nil {
+		t.Fatalf("stale background write returned an error to the notifier: %v", err)
+	}
+	// Notifications are async; a call on the same connection orders
+	// behind them.
+	if err := cStale.Dev(0).Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v := drops.Value(); v < 1 {
+		t.Fatalf("bg_stale_drops = %d after dropped stale background write, want >= 1", v)
+	}
+
+	// The coordinator's own I/O — tagged at the target generation —
+	// passes the fence.
+	cCoord, err := Connect(n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cCoord.Close()
+	cCoord.SetArrayEpoch(2)
+	if err := cCoord.Dev(0).WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatalf("target-tagged write under fence: %v", err)
+	}
+
+	// The stable completion broadcast clears the fence.
+	if gen, err := c.EpochSet(ctx, 2); err != nil || gen != 2 {
+		t.Fatalf("EpochSet(2) = %d, %v", gen, err)
+	}
+	if n.Manager.EpochFence() {
+		t.Fatal("fence survived the stable broadcast")
+	}
+	if err := dev.WriteBlocks(ctx, 0, data); err != nil {
+		t.Fatalf("untagged write after completion: %v", err)
 	}
 }
 

@@ -210,6 +210,10 @@ func TestGrowChaosNodeKillMidRebalance(t *testing.T) {
 		Poll:          5 * time.Millisecond,
 		FailureBudget: 10 * time.Minute,
 		ScrubStride:   -1,
+		// Unpaced, the ~48 KiB of moves finishes between two 5ms polls
+		// and the kill lands after completion; this rate stretches the
+		// copy over ~1.5s so the kill is genuinely mid-rebalance.
+		RateBytesPerSec: 32 << 10,
 	})
 
 	ctx := context.Background()

@@ -33,6 +33,14 @@ type Manager struct {
 	// on epoch-tagged I/O (see epoch.go); raised by OpEpochSet
 	// broadcasts and by tags ahead of it, never lowered.
 	epochGen atomic.Uint64
+	// epochFence, while set, rejects UNTAGGED block I/O: a migration is
+	// moving blocks and only the rebalance coordinator — whose tags are
+	// validated against epochGen — may route around the copy cursor. An
+	// untagged writer carries no epoch the node could check, so below
+	// the cursor its blocks would land at old homes and be silently
+	// retired at the epoch switch. Raised by a phase-1 OpEpochSet at
+	// migration start, cleared by the stable completion broadcast.
+	epochFence atomic.Bool
 
 	mu    sync.Mutex
 	peers []*transport.Client // for lock-table replication
@@ -72,8 +80,13 @@ type managerMetrics struct {
 	reads, writes, bgWrites, flushes, probes, failed *obs.Counter
 	beats, lockOps                                   *obs.Counter
 	fgOps, fgErrors                                  *obs.Counter
-	fgLat                                            *obs.Histogram
-	latByOp                                          [len(opSpanNames)]*obs.Histogram
+	// bgStaleDrops counts background mirror writes rejected for a stale
+	// or missing epoch. Clients send those as notifications and never
+	// see the rejection, so each drop is a silent redundancy loss until
+	// resync — the counter keeps it visible to operators.
+	bgStaleDrops *obs.Counter
+	fgLat        *obs.Histogram
+	latByOp      [len(opSpanNames)]*obs.Histogram
 }
 
 // DefaultLeaseTTL is the lock service's grant lease: a client that
@@ -102,9 +115,10 @@ func NewManager(disks []*disk.Disk) *Manager {
 			failed:   reg.Counter("mgr.op_errors"),
 			beats:    reg.Counter("mgr.beats"),
 			lockOps:  reg.Counter("mgr.lock_ops"),
-			fgOps:    reg.Counter("mgr.fg_ops"),
-			fgErrors: reg.Counter("mgr.fg_errors"),
-			fgLat:    reg.Histogram("mgr.fg_latency"),
+			fgOps:        reg.Counter("mgr.fg_ops"),
+			fgErrors:     reg.Counter("mgr.fg_errors"),
+			bgStaleDrops: reg.Counter("mgr.bg_stale_drops"),
+			fgLat:        reg.Histogram("mgr.fg_latency"),
 		},
 	}
 	latVec := reg.HistogramVec("mgr.op_latency", "op")
@@ -244,7 +258,24 @@ func opSpanName(op uint8) string {
 func (m *Manager) Handle(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
 	ctx, h := trace.Start(ctx, opSpanName(op), "")
 	start := time.Now()
-	resp, err := m.handle(ctx, op, payload)
+	var (
+		resp []byte
+		err  error
+	)
+	// The migration fence gates untagged block I/O here, at the entry
+	// point only: handleEpoch re-dispatches validated tagged ops through
+	// handle with their base opcodes, and those must not bounce a second
+	// time. Control and flush ops stay open under the fence.
+	if m.epochFence.Load() && (op == OpRead || op == OpWrite || op == OpWriteBG) {
+		err = fmt.Errorf("cdd: untagged block I/O rejected during migration (node epoch %d): %w",
+			m.epochGen.Load(), errStaleEpoch)
+		if op == OpWriteBG {
+			// A notification: the client never sees this rejection.
+			m.met.bgStaleDrops.Inc()
+		}
+	} else {
+		resp, err = m.handle(ctx, op, payload)
+	}
 	h.End(err)
 	d := time.Since(start)
 	// Latency lands in the per-op labeled histogram and, for the

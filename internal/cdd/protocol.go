@@ -78,10 +78,13 @@ const (
 	// runs here, the full epoch descriptor plus migration progress —
 	// what a stale client fetches to rebuild its placement map.
 	OpLayout
-	// OpEpochSet installs a new array-epoch generation (8-byte payload).
-	// The node adopts it only if higher than its current one and answers
-	// with the generation now in force — idempotent, so the rebalance
-	// coordinator broadcasts it with retries.
+	// OpEpochSet installs a new array-epoch generation: an 8-byte
+	// payload is a stable broadcast, a 9th phase byte of 1 additionally
+	// fences the node against untagged block I/O for the duration of a
+	// migration. The node adopts the generation only if higher than its
+	// current one and answers with the generation now in force —
+	// idempotent, so the rebalance coordinator broadcasts it with
+	// retries.
 	OpEpochSet
 	// OpRebalanceCtl asks the node's rebalance coordinator to start a
 	// membership change (JSON rebalanceReq payload). Answered with an

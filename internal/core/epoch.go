@@ -419,7 +419,12 @@ func (a *RAIDx) writeEpoch(ctx context.Context, b int64, n int, p []byte) error 
 	for _, sp := range spansOf(ents) {
 		sp := sp
 		dev := devs[sp.disk]
-		if a.opt.IntentAhead {
+		// Deferred mirror writes travel as background notifications, and
+		// a remote node's epoch fence may drop a stale one with no error
+		// coming back — mark the intent up front so the divergence stays
+		// visible for delta resync instead of being a silent redundancy
+		// loss.
+		if a.opt.IntentAhead || !a.opt.ForegroundMirror {
 			a.intLog.MarkRange(sp.disk, sp.phys, int64(len(sp.lbs)))
 		}
 		if !dev.Healthy() {

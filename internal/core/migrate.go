@@ -145,7 +145,8 @@ func (m *Migration) openWindow(lo, hi int64) {
 // commitWindow publishes cursor = hi, then releases the window. The
 // publish happens before gated writers wake, so a writer that waited
 // on this window reloads a view that already routes its blocks to
-// their new homes.
+// their new homes. Callers must have made the cursor durable first
+// when the window moved any block (see copyWindow).
 func (m *Migration) commitWindow(hi int64) {
 	m.a.epoch.Store(&epochState{cur: m.from, next: m.to, cursor: hi, mig: m})
 	m.mu.Lock()
@@ -165,13 +166,17 @@ func (m *Migration) abortWindow() {
 
 // Run drives the migration to completion: for each window of migChunk
 // logical blocks it copies every block whose data or image home
-// changes, commits the cursor, reports it to checkpoint (the repair
-// supervisor persists it), and yields to pace. On error or pace abort
-// the cursor keeps its last committed value and Run can be called
-// again; a crash loses at most the in-flight window, which the resumed
-// run re-copies — old homes stay authoritative until the commit, so
-// torn new-home writes are invisible.
-func (m *Migration) Run(ctx context.Context, pace PaceFunc, checkpoint func(cursor int64)) (err error) {
+// changes, persists the cursor through checkpoint (the repair
+// supervisor writes it to stable storage), commits it, and yields to
+// pace. The checkpoint lands BEFORE the commit publishes the cursor:
+// foreground writes route to new-epoch homes only at or below the
+// durable cursor, so a crash-resume from it can never re-copy stale
+// old homes over an acknowledged write. On error, checkpoint failure,
+// or pace abort the cursor keeps its last committed value and Run can
+// be called again; a crash loses at most the in-flight window, which
+// the resumed run re-copies — old homes stay authoritative until the
+// commit, so torn new-home writes are invisible.
+func (m *Migration) Run(ctx context.Context, pace PaceFunc, checkpoint func(cursor int64) error) (err error) {
 	m.mu.Lock()
 	if m.running {
 		m.mu.Unlock()
@@ -203,12 +208,9 @@ func (m *Migration) Run(ctx context.Context, pace PaceFunc, checkpoint func(curs
 		if hi > total {
 			hi = total
 		}
-		moved, err := m.copyWindow(ctx, lo, hi)
+		moved, err := m.copyWindow(ctx, lo, hi, checkpoint)
 		if err != nil {
 			return err
-		}
-		if checkpoint != nil {
-			checkpoint(hi)
 		}
 		if pace != nil && moved > 0 {
 			if err := pace(ctx, int(moved)*m.a.bs); err != nil {
@@ -220,9 +222,10 @@ func (m *Migration) Run(ctx context.Context, pace PaceFunc, checkpoint func(curs
 	return nil
 }
 
-// copyWindow migrates [lo, hi) and commits the cursor. It returns how
-// many physical block copies it performed.
-func (m *Migration) copyWindow(ctx context.Context, lo, hi int64) (int64, error) {
+// copyWindow migrates [lo, hi), persists the cursor through
+// checkpoint, and commits it. It returns how many physical block
+// copies it performed.
+func (m *Migration) copyWindow(ctx context.Context, lo, hi int64, checkpoint func(int64) error) (int64, error) {
 	type move struct {
 		lb       int64
 		from, to layout.Loc
@@ -238,7 +241,15 @@ func (m *Migration) copyWindow(ctx context.Context, lo, hi int64) (int64, error)
 		}
 	}
 	if len(moves) == 0 {
+		// No home changes in this window: the commit carries no routing
+		// delta, so the durable cursor may lag it harmlessly — a resume
+		// below it re-scans blocks whose old and new homes coincide.
 		m.commitWindow(hi)
+		if checkpoint != nil {
+			if err := checkpoint(hi); err != nil {
+				return 0, err
+			}
+		}
 		return 0, nil
 	}
 	m.openWindow(lo, hi)
@@ -278,6 +289,18 @@ func (m *Migration) copyWindow(ctx context.Context, lo, hi int64) (int64, error)
 	if err != nil {
 		m.abortWindow()
 		return 0, err
+	}
+	// Durable before visible: the cursor must reach stable storage
+	// before commitWindow routes foreground writes to the new homes —
+	// a crash-resume restarts from the durable cursor and re-copies
+	// old homes, which would silently overwrite any acknowledged write
+	// that had routed ahead of it. The window is still open here, so
+	// overlapping writes stay gated while the checkpoint syncs.
+	if checkpoint != nil {
+		if err := checkpoint(hi); err != nil {
+			m.abortWindow()
+			return 0, fmt.Errorf("core: migration checkpoint at block %d: %w", hi, err)
+		}
 	}
 	m.commitWindow(hi)
 	m.movedBlocks.Add(int64(len(moves)))

@@ -132,7 +132,7 @@ func TestMigrationGrowLiveTraffic(t *testing.T) {
 		return nil
 	}
 	var lastCkpt int64
-	if err := m.Run(ctx, pace, func(cursor int64) { lastCkpt = cursor }); err != nil {
+	if err := m.Run(ctx, pace, func(cursor int64) error { lastCkpt = cursor; return nil }); err != nil {
 		t.Fatalf("migration run: %v", err)
 	}
 	close(stop)
@@ -248,7 +248,7 @@ func TestMigrationRestartResume(t *testing.T) {
 			return stopErr
 		}
 		return nil
-	}, func(cursor int64) { ckpt = cursor })
+	}, func(cursor int64) error { ckpt = cursor; return nil })
 	if !errors.Is(err, stopErr) {
 		t.Fatalf("interrupted run returned %v", err)
 	}
@@ -571,4 +571,147 @@ func TestRebuildAndResyncUnderEpoch(t *testing.T) {
 		t.Fatalf("verify after epoched resync: %v", err)
 	}
 	checkContent(t, a, data, "after epoched resync")
+}
+
+// TestMigrationCheckpointBeforeCommit pins the durability ordering of
+// the copy loop: for a window that moved blocks, the cursor must reach
+// the checkpoint sink BEFORE the engine publishes it. Foreground
+// writes route to new-epoch homes as soon as the published cursor
+// covers them, and a crash-resume re-copies old homes from the durable
+// cursor on — so a publish ahead of the durable record would let a
+// resume silently overwrite acknowledged writes.
+func TestMigrationCheckpointBeforeCommit(t *testing.T) {
+	const blocks = 96
+	a, _, mk := migArray(t, 4, 1, blocks, Options{})
+	ctx := context.Background()
+	fillRandom(t, a, 31)
+
+	from := a.Epoch()
+	m, err := a.BeginGrow(8, mk(8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to := m.TargetEpoch()
+	var prevHi int64
+	movedWindows := 0
+	err = m.Run(ctx, nil, func(hi int64) error {
+		lo := prevHi
+		prevHi = hi
+		moved := false
+		for lb := lo; lb < hi; lb++ {
+			if from.DataLoc(lb) != to.DataLoc(lb) || from.MirrorLoc(lb) != to.MirrorLoc(lb) {
+				moved = true
+				break
+			}
+		}
+		published, _, active := a.Migrating()
+		if !active {
+			t.Fatalf("checkpoint for window ending %d after migration finished", hi)
+		}
+		if moved {
+			movedWindows++
+			if published >= hi {
+				t.Fatalf("cursor %d published before the checkpoint for window ending %d was durable", published, hi)
+			}
+		} else if published != hi {
+			t.Fatalf("zero-move window ending %d checkpointed at published cursor %d", hi, published)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if movedWindows == 0 {
+		t.Fatal("grow moved no windows; ordering never exercised")
+	}
+}
+
+// TestMigrationResumeFromDurableCursorKeepsWrites is the lost-update
+// regression for a coordinator crash: resume restarts from the durable
+// cursor, while foreground writes route by the published one. A write
+// the published cursor routed to its new home must survive the resumed
+// run's re-copy of everything above the durable cursor — which holds
+// only because the two cursors agree wherever blocks moved.
+func TestMigrationResumeFromDurableCursorKeepsWrites(t *testing.T) {
+	const blocks = 96
+	a, _, mk := migArray(t, 4, 1, blocks, Options{})
+	ctx := context.Background()
+	shadow := fillRandom(t, a, 37)
+
+	fromDesc := a.Epoch().Desc()
+	m, err := a.BeginGrow(8, mk(8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to := m.TargetEpoch()
+	// Crash the persistence sink mid-migration: checkpoints before the
+	// crash are durable, the erroring one is not.
+	crashErr := errors.New("checkpoint sink crashed")
+	var durable int64 = -1
+	err = m.Run(ctx, nil, func(cursor int64) error {
+		// Crash at the final window's checkpoint: by then moved windows
+		// (minimal movement concentrates them in the tail) sit durably
+		// below the cursor.
+		if cursor == a.Blocks() {
+			return crashErr
+		}
+		durable = cursor
+		return nil
+	})
+	if !errors.Is(err, crashErr) {
+		t.Fatalf("crashed run returned %v", err)
+	}
+	if durable < 0 {
+		t.Fatal("no durable checkpoint before the crash")
+	}
+	published, _, active := a.Migrating()
+	if !active {
+		t.Fatal("migration not active after the crashed run")
+	}
+	// An acknowledged foreground write to the highest moved block the
+	// published cursor already routes to its new home.
+	src, err := layout.EpochFromDesc(fromDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lb int64 = -1
+	for b := published - 1; b >= 0; b-- {
+		if src.DataLoc(b) != to.DataLoc(b) {
+			lb = b
+			break
+		}
+	}
+	if lb < 0 {
+		t.Fatal("no moved block below the published cursor")
+	}
+	buf := bytes.Repeat([]byte{0xA7}, bs)
+	if err := a.WriteBlocks(ctx, lb, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(shadow[lb*int64(bs):], buf)
+	if err := a.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh engine over the same devices at the source
+	// epoch, resuming from the DURABLE cursor — exactly what the repair
+	// supervisor reloads after a crash.
+	re, err := NewAtEpoch(append([]raid.Dev(nil), a.Devices()...), src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := re.BeginGrow(8, nil, durable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(ctx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	checkContent(t, re, shadow, "after crash-resume from the durable cursor")
+	if err := re.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -85,10 +85,6 @@ func SaveRebalance(fs store.FS, dir string, ck *RebalanceCkpt) error {
 	return store.WriteFileAtomic(fs, rebalanceFile(dir), raw)
 }
 
-// rebalanceCkptEvery throttles cursor persistence to one write per this
-// many migrated blocks (the final cursor always lands).
-const rebalanceCkptEvery = 1024
-
 // RebalanceStatus is the supervisor's view of the membership job.
 type RebalanceStatus struct {
 	core.MigrateStatus
@@ -178,7 +174,9 @@ func (s *Supervisor) startRebalance(action string, nodes int, newDevs []raid.Dev
 	s.rebNodes = nodes
 	s.rebErr = ""
 	s.mu.Unlock()
-	s.saveRebalanceCkpt(cursor, false)
+	// Best effort: a failed initial write self-heals at the first window
+	// checkpoint, which persists the same full record.
+	_ = s.saveRebalanceCkpt(cursor, false)
 	s.events.Append(obs.EventRebalanceStart, "repair",
 		fmt.Sprintf("%s by %d nodes, resume at block %d", action, nodes, cursor))
 	s.kickRebalance(m)
@@ -200,7 +198,11 @@ func (s *Supervisor) kickRebalance(m *core.Migration) {
 }
 
 // runRebalance drives the migration to completion (or to a pause/error
-// abort), persisting the cursor as it advances.
+// abort). The cursor is persisted durably on every window, BEFORE the
+// engine commits it: foreground writes route to new-epoch homes only
+// at or below the durable cursor, so a coordinator crash and resume
+// from the checkpoint can never re-copy old homes over acknowledged
+// writes.
 func (s *Supervisor) runRebalance(m *core.Migration) {
 	defer func() {
 		s.mu.Lock()
@@ -208,12 +210,8 @@ func (s *Supervisor) runRebalance(m *core.Migration) {
 		s.mu.Unlock()
 	}()
 	ctx := context.Background()
-	var lastSaved int64
-	err := m.Run(ctx, s.pace, func(cursor int64) {
-		if cursor-lastSaved >= rebalanceCkptEvery {
-			lastSaved = cursor
-			s.saveRebalanceCkpt(cursor, false)
-		}
+	err := m.Run(ctx, s.pace, func(cursor int64) error {
+		return s.saveRebalanceCkpt(cursor, false)
 	})
 	if err != nil {
 		if !errors.Is(err, ErrPaused) {
@@ -222,32 +220,30 @@ func (s *Supervisor) runRebalance(m *core.Migration) {
 			s.mu.Unlock()
 			s.events.Append(obs.EventRepairState, "repair", "rebalance error: "+err.Error())
 		}
-		// Persist the last committed cursor so a crash right now loses
-		// nothing the pause already paid for.
-		if r := s.rebalancer(); r != nil {
-			if cursor, _, active := r.Migrating(); active {
-				s.saveRebalanceCkpt(cursor, false)
-			}
-		}
 		return
 	}
 	s.mu.Lock()
 	s.rebErr = ""
 	s.mu.Unlock()
-	s.saveRebalanceCkpt(0, true)
+	// Best effort: if the done record misses, the last per-window
+	// checkpoint holds cursor = Blocks(), so a restart resumes into an
+	// immediately-finishing migration and rewrites it.
+	_ = s.saveRebalanceCkpt(0, true)
 	s.events.Append(obs.EventRebalanceEnd, "repair",
 		fmt.Sprintf("moved %d blocks (%d bytes)", m.Status().MovedBlocks, m.Status().MovedBytes))
 }
 
-// saveRebalanceCkpt writes the epoch checkpoint. On done the stable
-// epoch is the (new) current one and no action is pending.
-func (s *Supervisor) saveRebalanceCkpt(cursor int64, done bool) {
+// saveRebalanceCkpt writes the epoch checkpoint and returns the write
+// error: the migration runner must not commit a window whose cursor
+// never reached stable storage. On done the stable epoch is the (new)
+// current one and no action is pending.
+func (s *Supervisor) saveRebalanceCkpt(cursor int64, done bool) error {
 	if s.cfg.StateDir == "" {
-		return
+		return nil
 	}
 	r := s.rebalancer()
 	if r == nil {
-		return
+		return nil
 	}
 	var ck RebalanceCkpt
 	if done {
@@ -260,7 +256,9 @@ func (s *Supervisor) saveRebalanceCkpt(cursor int64, done bool) {
 	if err := SaveRebalance(s.fsys(), s.cfg.StateDir, &ck); err != nil {
 		s.events.Append(obs.EventRepairState, "repair",
 			fmt.Sprintf("epoch checkpoint save failed: %v", err))
+		return err
 	}
+	return nil
 }
 
 // RebalanceStatus snapshots the membership job; nil when the array has
